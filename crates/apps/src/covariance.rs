@@ -1,0 +1,186 @@
+//! Covariance matrices via pairwise inner products, and PCA (paper §1:
+//! "the computation of the covariance matrix of a matrix A requires to
+//! compute A × Aᵀ. This multiplication is a pairwise inner product on all
+//! rows of A. The covariance matrix is computed, e.g., for principal
+//! component analysis").
+
+use crate::vector::DenseVector;
+use pmr_core::runner::{CompFn, PairwiseOutput};
+
+/// Covariance between two variables given as observation rows:
+/// `cov(a, b) = Σ (aᵢ − ā)(bᵢ − b̄) / (n − 1)`.
+pub fn covariance(a: &DenseVector, b: &DenseVector) -> f64 {
+    assert_eq!(a.dim(), b.dim(), "dimension mismatch");
+    let n = a.dim();
+    if n < 2 {
+        return 0.0;
+    }
+    let (ma, mb) = (a.mean(), b.mean());
+    a.0.iter().zip(&b.0).map(|(x, y)| (x - ma) * (y - mb)).sum::<f64>() / (n - 1) as f64
+}
+
+/// A [`CompFn`] computing covariance — the pairwise `comp` of the PCA
+/// workload.
+pub fn covariance_comp() -> CompFn<DenseVector, f64> {
+    pmr_core::runner::comp_fn(covariance)
+}
+
+/// A dense symmetric matrix stored row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymmetricMatrix {
+    /// Dimension.
+    pub n: usize,
+    data: Vec<f64>,
+}
+
+impl SymmetricMatrix {
+    /// Zero matrix.
+    pub fn zeros(n: usize) -> SymmetricMatrix {
+        SymmetricMatrix { n, data: vec![0.0; n * n] }
+    }
+
+    /// Entry `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Sets `(i, j)` and `(j, i)`.
+    pub fn set_sym(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+        self.data[j * self.n + i] = v;
+    }
+
+    /// Matrix-vector product.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        (0..self.n).map(|i| (0..self.n).map(|j| self.get(i, j) * x[j]).sum()).collect()
+    }
+}
+
+/// Assembles the covariance matrix of `rows` from the aggregated pairwise
+/// output (off-diagonals) plus directly-computed variances (diagonal —
+/// pairwise schemes evaluate only `i > j`).
+pub fn assemble_covariance(
+    rows: &[DenseVector],
+    output: &PairwiseOutput<f64>,
+) -> SymmetricMatrix {
+    let n = rows.len();
+    let mut m = SymmetricMatrix::zeros(n);
+    for (i, row) in rows.iter().enumerate() {
+        m.set_sym(i, i, covariance(row, row));
+    }
+    for (a, results) in &output.per_element {
+        for (b, c) in results {
+            m.set_sym(*a as usize, *b as usize, *c);
+        }
+    }
+    m
+}
+
+/// Leading eigenpairs by power iteration with deflation. Returns
+/// `(eigenvalue, eigenvector)` pairs, largest first. Suitable for the small
+/// `k` PCA needs.
+pub fn top_eigenpairs(m: &SymmetricMatrix, k: usize, iters: usize) -> Vec<(f64, Vec<f64>)> {
+    let n = m.n;
+    let mut deflated = m.clone();
+    let mut out = Vec::with_capacity(k);
+    for comp in 0..k.min(n) {
+        // Deterministic start vector that is unlikely to be orthogonal to
+        // the leading eigenvector.
+        let mut x: Vec<f64> =
+            (0..n).map(|i| 1.0 + ((i * 31 + comp * 17) % 97) as f64 / 97.0).collect();
+        normalize(&mut x);
+        let mut lambda = 0.0;
+        for _ in 0..iters {
+            let mut y = deflated.mul_vec(&x);
+            lambda = dot(&x, &y);
+            let norm = normalize(&mut y);
+            if norm < 1e-300 {
+                break;
+            }
+            x = y;
+        }
+        // Deflate: M ← M − λ·xxᵀ.
+        for i in 0..n {
+            for j in 0..n {
+                let v = deflated.get(i, j) - lambda * x[i] * x[j];
+                deflated.data[i * n + j] = v;
+            }
+        }
+        out.push((lambda, x));
+    }
+    out
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn normalize(x: &mut [f64]) -> f64 {
+    let n = dot(x, x).sqrt();
+    if n > 0.0 {
+        for v in x.iter_mut() {
+            *v /= n;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::random_matrix_rows;
+    use pmr_core::runner::sequential::run_sequential;
+    use pmr_core::runner::{ConcatSort, Symmetry};
+
+    #[test]
+    fn covariance_hand_example() {
+        let a = DenseVector(vec![1.0, 2.0, 3.0]);
+        let b = DenseVector(vec![2.0, 4.0, 6.0]);
+        // cov(a, b) = Σ(aᵢ−2)(bᵢ−4)/2 = ((−1)(−2)+0+1·2)/2 = 2.
+        assert!((covariance(&a, &b) - 2.0).abs() < 1e-12);
+        assert!((covariance(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assembled_matrix_matches_direct_computation() {
+        let rows = random_matrix_rows(12, 50, 31);
+        let out = run_sequential(&rows, &covariance_comp(), Symmetry::Symmetric, &ConcatSort);
+        let m = assemble_covariance(&rows, &out);
+        for i in 0..12 {
+            for j in 0..12 {
+                let want = covariance(&rows[i], &rows[j]);
+                assert!((m.get(i, j) - want).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn power_iteration_finds_planted_direction() {
+        // random_matrix_rows plants a rank-1 component; the top eigenvalue
+        // must dominate.
+        let rows = random_matrix_rows(20, 80, 7);
+        let out = run_sequential(&rows, &covariance_comp(), Symmetry::Symmetric, &ConcatSort);
+        let m = assemble_covariance(&rows, &out);
+        let eigs = top_eigenpairs(&m, 3, 300);
+        assert_eq!(eigs.len(), 3);
+        assert!(eigs[0].0 > 3.0 * eigs[1].0, "{} vs {}", eigs[0].0, eigs[1].0);
+        // Residual check: M·x ≈ λ·x for the leading pair.
+        let (lambda, x) = &eigs[0];
+        let y = m.mul_vec(x);
+        for (yi, xi) in y.iter().zip(x) {
+            assert!((yi - lambda * xi).abs() < 1e-6 * lambda.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn eigenvalues_nonincreasing() {
+        let rows = random_matrix_rows(15, 40, 13);
+        let out = run_sequential(&rows, &covariance_comp(), Symmetry::Symmetric, &ConcatSort);
+        let m = assemble_covariance(&rows, &out);
+        let eigs = top_eigenpairs(&m, 5, 200);
+        for w in eigs.windows(2) {
+            assert!(w[0].0 >= w[1].0 - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Pairwise document similarity (paper §1: cross-document co-referencing)
+//! and the Elsayed et al. inverted-index baseline (paper §2).
+//!
+//! The related-work baseline (Elsayed, Lin, Oard, ACL '08) computes
+//! pairwise dot products *without* evaluating the full Cartesian product:
+//! Job A inverts the corpus into term postings; Job B emits, per term, the
+//! weight product of every posting pair, summed by document pair in the
+//! reduce. It beats the generic schemes when the corpus is sparse — exactly
+//! the problem-complexity reduction the paper contrasts itself against
+//! ("our work concentrates on applications where the quadratic complexity
+//! cannot be reduced").
+
+
+use pmr_cluster::Cluster;
+use pmr_core::runner::CompFn;
+use pmr_mapreduce::{
+    read_output, write_sharded, Engine, JobSpec, MapContext, Mapper, ReduceContext, Reducer,
+    Values,
+};
+
+use crate::vector::SparseVector;
+
+/// A [`CompFn`] computing cosine similarity between documents.
+pub fn cosine_comp() -> CompFn<SparseVector, f64> {
+    pmr_core::runner::comp_fn(|a: &SparseVector, b: &SparseVector| a.cosine(b))
+}
+
+/// A [`CompFn`] computing the raw dot product (what the Elsayed baseline
+/// produces before normalization).
+pub fn dot_comp() -> CompFn<SparseVector, f64> {
+    pmr_core::runner::comp_fn(|a: &SparseVector, b: &SparseVector| a.dot(b))
+}
+
+// --- Job A: invert the corpus ------------------------------------------------
+
+struct InvertMapper;
+
+impl Mapper for InvertMapper {
+    type KIn = u64; // doc id
+    type VIn = SparseVector;
+    type KOut = u32; // term id
+    type VOut = (u64, f64); // (doc id, weight)
+
+    fn map(
+        &self,
+        doc: u64,
+        terms: SparseVector,
+        ctx: &mut MapContext<'_, u32, (u64, f64)>,
+    ) -> pmr_mapreduce::Result<()> {
+        for (term, w) in terms.0 {
+            ctx.emit(term, (doc, w));
+        }
+        Ok(())
+    }
+}
+
+struct PostingsReducer;
+
+impl Reducer for PostingsReducer {
+    type KIn = u32;
+    type VIn = (u64, f64);
+    type KOut = u32;
+    type VOut = Vec<(u64, f64)>;
+
+    fn reduce(
+        &self,
+        term: u32,
+        values: Values<'_, (u64, f64)>,
+        ctx: &mut ReduceContext<'_, u32, Vec<(u64, f64)>>,
+    ) -> pmr_mapreduce::Result<()> {
+        let mut postings: Vec<(u64, f64)> = values.collect();
+        postings.sort_by_key(|(d, _)| *d);
+        ctx.emit(term, postings);
+        Ok(())
+    }
+}
+
+// --- Job B: pairwise contributions per posting list --------------------------
+
+struct PairContribMapper;
+
+impl Mapper for PairContribMapper {
+    type KIn = u32;
+    type VIn = Vec<(u64, f64)>;
+    type KOut = (u64, u64); // (larger doc, smaller doc)
+    type VOut = f64;
+
+    fn map(
+        &self,
+        _term: u32,
+        postings: Vec<(u64, f64)>,
+        ctx: &mut MapContext<'_, (u64, u64), f64>,
+    ) -> pmr_mapreduce::Result<()> {
+        // "It is then possible to evaluate the Cartesian product of this
+        // set locally in just one mapper (per term)."
+        for (i, &(da, wa)) in postings.iter().enumerate().skip(1) {
+            for &(db, wb) in &postings[..i] {
+                ctx.emit((da, db), wa * wb);
+            }
+        }
+        Ok(())
+    }
+}
+
+struct SumReducer;
+
+impl Reducer for SumReducer {
+    type KIn = (u64, u64);
+    type VIn = f64;
+    type KOut = (u64, u64);
+    type VOut = f64;
+
+    fn reduce(
+        &self,
+        pair: (u64, u64),
+        values: Values<'_, f64>,
+        ctx: &mut ReduceContext<'_, (u64, u64), f64>,
+    ) -> pmr_mapreduce::Result<()> {
+        ctx.emit(pair, values.sum());
+        Ok(())
+    }
+}
+
+/// Result of an Elsayed-baseline run.
+#[derive(Debug, Clone)]
+pub struct ElsayedReport {
+    /// Dot products per document pair `(a, b)`, `a > b`; pairs with no
+    /// shared term are absent (the baseline never materializes them).
+    pub dot_products: Vec<((u64, u64), f64)>,
+    /// Job A (invert) output.
+    pub job_invert: pmr_mapreduce::JobOutput,
+    /// Job B (pair contributions) output.
+    pub job_pairs: pmr_mapreduce::JobOutput,
+    /// Pair contributions emitted (Job B map output records) — the
+    /// baseline's work measure, `Σ_t |postings(t)|²/2`.
+    pub contributions: u64,
+}
+
+/// Runs the Elsayed et al. two-job inverted-index baseline on the cluster.
+pub fn run_elsayed(
+    cluster: &Cluster,
+    docs: &[SparseVector],
+    dir: &str,
+) -> pmr_mapreduce::Result<ElsayedReport> {
+    let n = cluster.num_nodes();
+    let inputs = write_sharded(
+        cluster,
+        &format!("{dir}/docs"),
+        2 * n,
+        docs.iter().cloned().enumerate().map(|(i, d)| (i as u64, d)),
+    )?;
+    let engine = Engine::new(cluster);
+    let job_invert = engine.run(JobSpec::new(
+        "elsayed-invert",
+        inputs,
+        format!("{dir}/postings"),
+        InvertMapper,
+        PostingsReducer,
+        2 * n,
+    ))?;
+    let job_pairs = engine.run(JobSpec::new(
+        "elsayed-pairs",
+        job_invert.output_paths.clone(),
+        format!("{dir}/sims"),
+        PairContribMapper,
+        SumReducer,
+        2 * n,
+    ))?;
+    let mut dot_products: Vec<((u64, u64), f64)> =
+        read_output(cluster, &format!("{dir}/sims"))?;
+    dot_products.sort_by_key(|(pair, _)| *pair);
+    let contributions = job_pairs
+        .counters
+        .get(pmr_mapreduce::builtin::MAP_OUTPUT_RECORDS)
+        .copied()
+        .unwrap_or(0);
+    Ok(ElsayedReport { dot_products, job_invert, job_pairs, contributions })
+}
+
+/// Reweights a raw term-frequency corpus with tf-idf:
+/// `w(t, d) = tf(t, d) · ln(N / df(t))`. Terms appearing in every document
+/// get weight 0 (`ln 1`), de-emphasizing the Zipf head exactly as real
+/// similarity pipelines do before the pairwise step.
+pub fn tfidf(corpus: &[SparseVector]) -> Vec<SparseVector> {
+    use std::collections::HashMap;
+    let n = corpus.len() as f64;
+    let mut df: HashMap<u32, u64> = HashMap::new();
+    for doc in corpus {
+        for &(t, _) in &doc.0 {
+            *df.entry(t).or_insert(0) += 1;
+        }
+    }
+    corpus
+        .iter()
+        .map(|doc| {
+            SparseVector(
+                doc.0
+                    .iter()
+                    .map(|&(t, tf)| (t, tf * (n / df[&t] as f64).ln()))
+                    .filter(|&(_, w)| w > 0.0)
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Normalizes baseline dot products into cosine similarities using the
+/// document norms.
+pub fn normalize_to_cosine(
+    dot_products: &[((u64, u64), f64)],
+    docs: &[SparseVector],
+) -> Vec<((u64, u64), f64)> {
+    let norms: Vec<f64> = docs.iter().map(SparseVector::norm).collect();
+    dot_products
+        .iter()
+        .map(|&((a, b), d)| {
+            let denom = norms[a as usize] * norms[b as usize];
+            ((a, b), if denom == 0.0 { 0.0 } else { d / denom })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::zipf_documents;
+    use pmr_cluster::ClusterConfig;
+    use pmr_core::runner::sequential::run_sequential;
+    use pmr_core::runner::{ConcatSort, Symmetry};
+
+    #[test]
+    fn elsayed_matches_full_pairwise_dot_products() {
+        let docs = zipf_documents(25, 200, 30, 1.1, 21);
+        let cluster = Cluster::new(ClusterConfig::with_nodes(3));
+        let report = run_elsayed(&cluster, &docs, "elsayed-test").unwrap();
+
+        // Reference: full pairwise dot products.
+        let reference = run_sequential(&docs, &dot_comp(), Symmetry::Symmetric, &ConcatSort);
+        for &((a, b), d) in &report.dot_products {
+            let r = reference
+                .results_of(a)
+                .unwrap()
+                .iter()
+                .find(|(o, _)| *o == b)
+                .map(|(_, r)| *r)
+                .unwrap();
+            assert!((d - r).abs() < 1e-9 * (1.0 + r.abs()), "pair ({a},{b}): {d} vs {r}");
+        }
+        // Every reference pair with a nonzero dot product appears.
+        let mut nonzero = 0;
+        for (a, rs) in &reference.per_element {
+            for (b, r) in rs {
+                if *a > *b && *r != 0.0 {
+                    nonzero += 1;
+                    assert!(
+                        report.dot_products.iter().any(|((x, y), _)| (x, y) == (a, b)),
+                        "missing pair ({a},{b})"
+                    );
+                }
+            }
+        }
+        assert_eq!(report.dot_products.len(), nonzero);
+    }
+
+    #[test]
+    fn normalization_gives_cosine() {
+        let docs = zipf_documents(10, 100, 20, 1.0, 4);
+        let cluster = Cluster::new(ClusterConfig::with_nodes(2));
+        let report = run_elsayed(&cluster, &docs, "elsayed-norm").unwrap();
+        let cosines = normalize_to_cosine(&report.dot_products, &docs);
+        for ((a, b), c) in cosines {
+            let want = docs[a as usize].cosine(&docs[b as usize]);
+            assert!((c - want).abs() < 1e-9, "({a},{b})");
+        }
+    }
+
+    #[test]
+    fn tfidf_zeroes_ubiquitous_terms_and_keeps_rare_ones() {
+        // Term 0 in every doc (idf 0), term 1 in one doc (max idf).
+        let docs: Vec<SparseVector> = (0..4u32)
+            .map(|d| {
+                let mut e = vec![(0u32, 2.0)];
+                if d == 0 {
+                    e.push((1, 3.0));
+                }
+                e.push((10 + d, 1.0));
+                SparseVector::from_entries(e)
+            })
+            .collect();
+        let weighted = tfidf(&docs);
+        // Ubiquitous term dropped everywhere.
+        assert!(weighted.iter().all(|d| d.0.iter().all(|&(t, _)| t != 0)));
+        // Rare term has weight tf · ln(4).
+        let w = weighted[0].0.iter().find(|&&(t, _)| t == 1).unwrap().1;
+        assert!((w - 3.0 * 4.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tfidf_changes_similarity_ranking_sensibly() {
+        // Two docs sharing only a ubiquitous term look similar under raw
+        // TF but dissimilar under tf-idf.
+        let docs = vec![
+            SparseVector::from_entries(vec![(0, 5.0), (1, 1.0)]),
+            SparseVector::from_entries(vec![(0, 5.0), (2, 1.0)]),
+            SparseVector::from_entries(vec![(0, 5.0), (1, 1.0), (3, 0.5)]),
+        ];
+        let raw_sim = docs[0].cosine(&docs[1]);
+        let weighted = tfidf(&docs);
+        let tfidf_sim = weighted[0].cosine(&weighted[1]);
+        assert!(raw_sim > 0.9, "{raw_sim}");
+        assert!(tfidf_sim < 0.1, "{tfidf_sim}");
+        // Docs 0 and 2 share the genuinely-discriminative term 1.
+        assert!(weighted[0].cosine(&weighted[2]) > 0.5);
+    }
+
+    #[test]
+    fn baseline_work_scales_with_posting_sizes_not_v_squared() {
+        // A corpus where every document has disjoint terms: zero pair
+        // contributions, versus v(v−1)/2 evaluations for full pairwise.
+        let docs: Vec<SparseVector> = (0..30u32)
+            .map(|d| SparseVector::from_entries(vec![(d * 2, 1.0), (d * 2 + 1, 1.0)]))
+            .collect();
+        let cluster = Cluster::new(ClusterConfig::with_nodes(2));
+        let report = run_elsayed(&cluster, &docs, "elsayed-disjoint").unwrap();
+        assert_eq!(report.contributions, 0);
+        assert!(report.dot_products.is_empty());
+    }
+}

@@ -1,0 +1,226 @@
+//! Synthetic workload generators for the paper's motivating applications.
+//!
+//! The paper evaluated on (unavailable) application datasets; these
+//! generators produce structurally-equivalent synthetic inputs: Gaussian
+//! point clusters for DBSCAN-style clustering, Zipf-distributed term
+//! vectors for document similarity, correlated expression profiles for
+//! gene-network reconstruction, and dense random matrices for covariance.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::vector::{DenseVector, SparseVector};
+
+/// Points drawn from `k` spherical Gaussian clusters in `dim` dimensions,
+/// cluster centers on a coarse grid so clusters are separable. Returns the
+/// points and their ground-truth cluster labels.
+pub fn gaussian_clusters(
+    n: usize,
+    k: usize,
+    dim: usize,
+    spread: f64,
+    seed: u64,
+) -> (Vec<DenseVector>, Vec<usize>) {
+    assert!(k >= 1 && dim >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f64>> = (0..k)
+        .map(|c| (0..dim).map(|d| (((c * dim + d) % k) as f64) * 20.0 + (c as f64) * 10.0).collect())
+        .collect();
+    let mut points = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % k;
+        let p: Vec<f64> =
+            centers[c].iter().map(|&m| m + gaussian(&mut rng) * spread).collect();
+        points.push(DenseVector(p));
+        labels.push(c);
+    }
+    (points, labels)
+}
+
+/// Standard normal via Box–Muller.
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Zipf sampler over ranks `0..n` with exponent `s` (inverse-CDF on a
+/// precomputed table).
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a Zipf distribution over `n` ranks with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n >= 1);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 1..=n {
+            acc += 1.0 / (r as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Samples a rank.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Synthetic document corpus: `n` documents, vocabulary `vocab`, document
+/// lengths ~ `len`, term choice Zipf(`s`), TF weights. Mirrors the
+/// pairwise-document-similarity workload of the paper's §1 and the Elsayed
+/// et al. baseline in §2.
+pub fn zipf_documents(n: usize, vocab: usize, len: usize, s: f64, seed: u64) -> Vec<SparseVector> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = Zipf::new(vocab, s);
+    (0..n)
+        .map(|_| {
+            let entries: Vec<(u32, f64)> =
+                (0..len).map(|_| (zipf.sample(&mut rng) as u32, 1.0)).collect();
+            SparseVector::from_entries(entries)
+        })
+        .collect()
+}
+
+/// Synthetic gene-expression profiles: `genes` profiles over `samples`
+/// conditions, organized in correlated modules of size `module` (genes in a
+/// module share a latent signal) — the structure gene-regulatory-network
+/// reconstruction looks for via pairwise mutual information.
+pub fn gene_expression(
+    genes: usize,
+    samples: usize,
+    module: usize,
+    noise: f64,
+    seed: u64,
+) -> Vec<DenseVector> {
+    assert!(module >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_modules = genes.div_ceil(module);
+    let latents: Vec<Vec<f64>> = (0..num_modules)
+        .map(|_| (0..samples).map(|_| gaussian(&mut rng)).collect())
+        .collect();
+    (0..genes)
+        .map(|g| {
+            let l = &latents[g / module];
+            DenseVector(l.iter().map(|&x| x + gaussian(&mut rng) * noise).collect())
+        })
+        .collect()
+}
+
+/// A dense random matrix as rows (for covariance / PCA): `rows × cols`,
+/// entries uniform in `[-1, 1)` plus a planted low-rank component so the
+/// covariance spectrum has clear leading directions.
+pub fn random_matrix_rows(rows: usize, cols: usize, seed: u64) -> Vec<DenseVector> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let direction: Vec<f64> = (0..cols).map(|_| gaussian(&mut rng)).collect();
+    (0..rows)
+        .map(|_| {
+            let strength = gaussian(&mut rng) * 3.0;
+            DenseVector(
+                direction
+                    .iter()
+                    .map(|&d| strength * d + rng.gen_range(-1.0..1.0))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Fixed-size opaque payloads of `size` bytes — the paper's §3 example
+/// ("a dataset of 10,000 elements, 500KB each") for capacity experiments.
+pub fn opaque_elements(n: usize, size: usize, seed: u64) -> Vec<bytes::Bytes> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut data = vec![0u8; size];
+            rng.fill(&mut data[..]);
+            bytes::Bytes::from(data)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clusters_are_separated() {
+        let (points, labels) = gaussian_clusters(60, 3, 2, 0.5, 42);
+        assert_eq!(points.len(), 60);
+        // Same-cluster distances clearly below cross-cluster distances.
+        let d = |a: &DenseVector, b: &DenseVector| {
+            a.0.iter().zip(&b.0).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+        };
+        let mut same_max = 0.0f64;
+        let mut diff_min = f64::INFINITY;
+        for i in 0..60 {
+            for j in 0..i {
+                let dist = d(&points[i], &points[j]);
+                if labels[i] == labels[j] {
+                    same_max = same_max.max(dist);
+                } else {
+                    diff_min = diff_min.min(dist);
+                }
+            }
+        }
+        assert!(same_max < diff_min, "same {same_max} vs diff {diff_min}");
+    }
+
+    #[test]
+    fn zipf_head_is_heavy() {
+        let zipf = Zipf::new(1000, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut head = 0;
+        const N: usize = 10_000;
+        for _ in 0..N {
+            if zipf.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        assert!(head > N / 4, "head mass {head}/{N}");
+    }
+
+    #[test]
+    fn documents_have_requested_shape() {
+        let docs = zipf_documents(20, 500, 40, 1.1, 1);
+        assert_eq!(docs.len(), 20);
+        for d in &docs {
+            assert!(d.nnz() > 0 && d.nnz() <= 40);
+            assert!(d.0.iter().all(|&(t, w)| (t as usize) < 500 && w >= 1.0));
+        }
+    }
+
+    #[test]
+    fn gene_modules_correlate() {
+        let genes = gene_expression(20, 200, 5, 0.3, 3);
+        let corr = |a: &DenseVector, b: &DenseVector| {
+            let (ma, mb) = (a.mean(), b.mean());
+            let num: f64 =
+                a.0.iter().zip(&b.0).map(|(x, y)| (x - ma) * (y - mb)).sum();
+            let da: f64 = a.0.iter().map(|x| (x - ma) * (x - ma)).sum::<f64>().sqrt();
+            let db: f64 = b.0.iter().map(|y| (y - mb) * (y - mb)).sum::<f64>().sqrt();
+            num / (da * db)
+        };
+        // Genes 0 and 1 share a module; genes 0 and 7 do not.
+        assert!(corr(&genes[0], &genes[1]).abs() > 0.7);
+        assert!(corr(&genes[0], &genes[7]).abs() < 0.4);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(zipf_documents(5, 100, 10, 1.0, 9), zipf_documents(5, 100, 10, 1.0, 9));
+        assert_eq!(opaque_elements(3, 64, 4), opaque_elements(3, 64, 4));
+        assert_eq!(opaque_elements(1, 64, 4)[0].len(), 64);
+    }
+}

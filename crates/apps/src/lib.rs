@@ -1,0 +1,28 @@
+//! # pmr-apps — the paper's motivating applications
+//!
+//! Runnable versions of the four §1 workloads of *Pairwise Element
+//! Computation with MapReduce*, each built on the `pmr-core` pairwise
+//! runner with a synthetic workload generator:
+//!
+//! * [`distance`] — pairwise Euclidean/Manhattan/cosine distances and
+//!   DBSCAN clustering on the aggregated neighbor lists;
+//! * [`docsim`] — pairwise document cosine similarity, plus the Elsayed
+//!   et al. inverted-index MapReduce baseline the paper's §2 contrasts
+//!   against;
+//! * [`mutualinfo`] — binned pairwise mutual information and gene-network
+//!   edge reconstruction;
+//! * [`covariance`] — covariance matrices via pairwise inner products and
+//!   PCA by power iteration;
+//! * [`vector`] / [`generate`] — payload types and synthetic data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod covariance;
+pub mod distance;
+pub mod docsim;
+pub mod generate;
+pub mod mutualinfo;
+pub mod vector;
+
+pub use vector::{DenseVector, SparseVector};

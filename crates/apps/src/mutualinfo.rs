@@ -1,0 +1,155 @@
+//! Pairwise mutual information of gene-expression profiles (paper §1:
+//! "comparing the mutual information of all pairs of genes from gene
+//! expression micro-arrays is a necessary first step for reconstructing
+//! gene regulatory networks").
+
+use crate::vector::DenseVector;
+use pmr_core::runner::CompFn;
+
+/// Discretizes a profile into `bins` equal-width bins over its own range.
+/// Constant profiles map to bin 0.
+pub fn discretize(profile: &DenseVector, bins: usize) -> Vec<u32> {
+    assert!(bins >= 1);
+    let lo = profile.0.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = profile.0.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let width = (hi - lo) / bins as f64;
+    profile
+        .0
+        .iter()
+        .map(|&x| {
+            if width == 0.0 || !width.is_finite() {
+                0
+            } else {
+                (((x - lo) / width) as usize).min(bins - 1) as u32
+            }
+        })
+        .collect()
+}
+
+/// Mutual information (nats) between two equal-length discrete sequences.
+pub fn mutual_information_discrete(xs: &[u32], ys: &[u32], bins: usize) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "profiles must have equal length");
+    let n = xs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut joint = vec![0u64; bins * bins];
+    let mut px = vec![0u64; bins];
+    let mut py = vec![0u64; bins];
+    for (&x, &y) in xs.iter().zip(ys) {
+        joint[x as usize * bins + y as usize] += 1;
+        px[x as usize] += 1;
+        py[y as usize] += 1;
+    }
+    let n = n as f64;
+    let mut mi = 0.0;
+    for x in 0..bins {
+        for y in 0..bins {
+            let j = joint[x * bins + y];
+            if j == 0 {
+                continue;
+            }
+            let pxy = j as f64 / n;
+            let p = (px[x] as f64 / n) * (py[y] as f64 / n);
+            mi += pxy * (pxy / p).ln();
+        }
+    }
+    mi.max(0.0)
+}
+
+/// Mutual information between two continuous profiles after equal-width
+/// binning — the `comp` function of the gene-network workload.
+pub fn mutual_information(a: &DenseVector, b: &DenseVector, bins: usize) -> f64 {
+    mutual_information_discrete(&discretize(a, bins), &discretize(b, bins), bins)
+}
+
+/// A [`CompFn`] computing binned mutual information.
+pub fn mi_comp(bins: usize) -> CompFn<DenseVector, f64> {
+    pmr_core::runner::comp_fn(move |a: &DenseVector, b: &DenseVector| {
+        mutual_information(a, b, bins)
+    })
+}
+
+/// Reconstructs a gene-adjacency edge list from aggregated pairwise MI:
+/// keeps edges with MI at least `threshold`, as `(a, b)` with `a > b`.
+pub fn network_edges(
+    output: &pmr_core::runner::PairwiseOutput<f64>,
+    threshold: f64,
+) -> Vec<(u64, u64)> {
+    let mut edges = Vec::new();
+    for (a, results) in &output.per_element {
+        for (b, mi) in results {
+            if a > b && *mi >= threshold {
+                edges.push((*a, *b));
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::gene_expression;
+    use pmr_core::runner::sequential::run_sequential;
+    use pmr_core::runner::{ConcatSort, Symmetry};
+
+    #[test]
+    fn identical_sequences_have_max_mi() {
+        let xs: Vec<u32> = (0..400).map(|i| (i % 4) as u32).collect();
+        let mi = mutual_information_discrete(&xs, &xs, 4);
+        // MI(X;X) = H(X) = ln 4 for a uniform 4-way variable.
+        assert!((mi - 4.0f64.ln()).abs() < 1e-9, "{mi}");
+    }
+
+    #[test]
+    fn independent_sequences_have_near_zero_mi() {
+        // Deterministic "independent" pattern: x cycles mod 4, y cycles
+        // mod 5 — joint distribution is the product of marginals over the
+        // 20-element period.
+        let xs: Vec<u32> = (0..400).map(|i| (i % 4) as u32).collect();
+        let ys: Vec<u32> = (0..400).map(|i| (i % 5) as u32).collect();
+        let mi = mutual_information_discrete(&xs, &ys, 5);
+        assert!(mi < 1e-9, "{mi}");
+    }
+
+    #[test]
+    fn mi_is_symmetric() {
+        let a = DenseVector((0..200).map(|i| ((i * 13) % 41) as f64).collect());
+        let b = DenseVector((0..200).map(|i| ((i * 7) % 23) as f64).collect());
+        let ab = mutual_information(&a, &b, 8);
+        let ba = mutual_information(&b, &a, 8);
+        assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discretize_handles_constant_profiles() {
+        let c = DenseVector(vec![2.5; 10]);
+        assert_eq!(discretize(&c, 4), vec![0; 10]);
+        assert_eq!(mutual_information(&c, &c, 4), 0.0);
+    }
+
+    #[test]
+    fn module_genes_have_higher_mi_than_cross_module() {
+        let genes = gene_expression(12, 500, 4, 0.2, 17);
+        let within = mutual_information(&genes[0], &genes[1], 6);
+        let across = mutual_information(&genes[0], &genes[8], 6);
+        assert!(within > across + 0.1, "within {within} vs across {across}");
+    }
+
+    #[test]
+    fn network_reconstruction_recovers_modules() {
+        let genes = gene_expression(12, 600, 4, 0.2, 23);
+        let out = run_sequential(&genes, &mi_comp(6), Symmetry::Symmetric, &ConcatSort);
+        // Pick a threshold between within- and cross-module MI levels.
+        let within = mutual_information(&genes[0], &genes[1], 6);
+        let across = mutual_information(&genes[0], &genes[8], 6);
+        let edges = network_edges(&out, (within + across) / 2.0);
+        // Expect exactly the 3 modules × C(4,2) = 18 within-module edges.
+        assert_eq!(edges.len(), 18, "{edges:?}");
+        for (a, b) in edges {
+            assert_eq!(a / 4, b / 4, "edge ({a},{b}) crosses modules");
+        }
+    }
+}

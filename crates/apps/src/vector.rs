@@ -1,0 +1,168 @@
+//! Vector payload types with wire encodings, shared by the applications.
+
+use bytes::{Bytes, BytesMut};
+use pmr_mapreduce::{CodecError, Wire};
+
+/// A dense `f64` vector payload (gene-expression profile, matrix row,
+/// feature vector).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DenseVector(pub Vec<f64>);
+
+impl DenseVector {
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.0.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Inner product with another vector (dimensions must match).
+    pub fn dot(&self, other: &DenseVector) -> f64 {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        self.0.iter().zip(&other.0).map(|(a, b)| a * b).sum()
+    }
+
+    /// Arithmetic mean of the entries.
+    pub fn mean(&self) -> f64 {
+        if self.0.is_empty() {
+            0.0
+        } else {
+            self.0.iter().sum::<f64>() / self.0.len() as f64
+        }
+    }
+}
+
+impl Wire for DenseVector {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(DenseVector(Vec::<f64>::decode(buf)?))
+    }
+}
+
+/// A sparse vector payload: sorted `(feature id, weight)` pairs (document
+/// term vectors).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SparseVector(pub Vec<(u32, f64)>);
+
+impl SparseVector {
+    /// Builds from unsorted entries, merging duplicate ids by summation.
+    pub fn from_entries(mut entries: Vec<(u32, f64)>) -> SparseVector {
+        entries.sort_by_key(|(id, _)| *id);
+        let mut merged: Vec<(u32, f64)> = Vec::with_capacity(entries.len());
+        for (id, w) in entries {
+            match merged.last_mut() {
+                Some((last, lw)) if *last == id => *lw += w,
+                _ => merged.push((id, w)),
+            }
+        }
+        SparseVector(merged)
+    }
+
+    /// Number of nonzero entries.
+    pub fn nnz(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.0.iter().map(|(_, w)| w * w).sum::<f64>().sqrt()
+    }
+
+    /// Sparse inner product (merge join over sorted ids).
+    pub fn dot(&self, other: &SparseVector) -> f64 {
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut acc = 0.0;
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].0.cmp(&other.0[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += self.0[i].1 * other.0[j].1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Cosine similarity (0 when either vector is all-zero).
+    pub fn cosine(&self, other: &SparseVector) -> f64 {
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.dot(other) / denom
+        }
+    }
+}
+
+impl Wire for SparseVector {
+    fn encode(&self, buf: &mut BytesMut) {
+        let ids: Vec<u32> = self.0.iter().map(|(i, _)| *i).collect();
+        let ws: Vec<f64> = self.0.iter().map(|(_, w)| *w).collect();
+        ids.encode(buf);
+        ws.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        let ids = Vec::<u32>::decode(buf)?;
+        let ws = Vec::<f64>::decode(buf)?;
+        if ids.len() != ws.len() {
+            return Err(CodecError::Corrupt { what: "sparse vector" });
+        }
+        Ok(SparseVector(ids.into_iter().zip(ws).collect()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_roundtrip_and_math() {
+        let v = DenseVector(vec![3.0, 4.0]);
+        let b = v.to_bytes();
+        assert_eq!(DenseVector::from_bytes(b).unwrap(), v);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(v.dot(&DenseVector(vec![1.0, 2.0])), 11.0);
+        assert_eq!(v.mean(), 3.5);
+    }
+
+    #[test]
+    fn sparse_merge_join_dot() {
+        let a = SparseVector::from_entries(vec![(1, 2.0), (5, 3.0), (9, 1.0)]);
+        let b = SparseVector::from_entries(vec![(5, 4.0), (9, 2.0), (20, 7.0)]);
+        assert_eq!(a.dot(&b), 3.0 * 4.0 + 1.0 * 2.0);
+        assert_eq!(a.dot(&SparseVector::default()), 0.0);
+    }
+
+    #[test]
+    fn sparse_duplicate_ids_merged() {
+        let a = SparseVector::from_entries(vec![(3, 1.0), (3, 2.0), (1, 5.0)]);
+        assert_eq!(a.0, vec![(1, 5.0), (3, 3.0)]);
+    }
+
+    #[test]
+    fn sparse_roundtrip() {
+        let a = SparseVector::from_entries(vec![(1, 2.0), (7, -1.5)]);
+        assert_eq!(SparseVector::from_bytes(a.to_bytes()).unwrap(), a);
+    }
+
+    #[test]
+    fn cosine_identical_is_one() {
+        let a = SparseVector::from_entries(vec![(0, 1.0), (2, 2.0)]);
+        assert!((a.cosine(&a) - 1.0).abs() < 1e-12);
+        assert_eq!(a.cosine(&SparseVector::default()), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dense_dot_dimension_checked() {
+        let _ = DenseVector(vec![1.0]).dot(&DenseVector(vec![1.0, 2.0]));
+    }
+}

@@ -1,0 +1,61 @@
+//! B1 — micro-benchmarks of the triangle-enumeration math (Figure 5/6):
+//! rank/unrank round-trips and range walking, the inner loops of the
+//! broadcast and block schemes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pmr_core::enumeration::{pair_count, pair_rank, pair_unrank, pairs_in_range};
+
+fn bench_rank(c: &mut Criterion) {
+    let mut g = c.benchmark_group("enumeration/rank");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("pair_rank", |b| {
+        let mut i = 2u64;
+        b.iter(|| {
+            i = (i % 1_000_000) + 2;
+            black_box(pair_rank(black_box(i), black_box(i / 2)))
+        })
+    });
+    g.bench_function("pair_unrank", |b| {
+        let mut r = 0u64;
+        b.iter(|| {
+            r = (r + 7_919) % 500_000_000_000;
+            black_box(pair_unrank(black_box(r)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_range_walk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("enumeration/range_walk");
+    for &n in &[1_000u64, 100_000, 1_000_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::new("pairs_in_range", n), &n, |b, &n| {
+            let total = pair_count(100_000);
+            let start = total / 3;
+            b.iter(|| {
+                let mut acc = 0u64;
+                for (a, bx) in pairs_in_range(start, start + n) {
+                    acc = acc.wrapping_add(a ^ bx);
+                }
+                black_box(acc)
+            })
+        });
+        // Baseline: unranking every label independently (O(isqrt) each).
+        g.bench_with_input(BenchmarkId::new("unrank_each", n), &n, |b, &n| {
+            let total = pair_count(100_000);
+            let start = total / 3;
+            b.iter(|| {
+                let mut acc = 0u64;
+                for r in start..start + n {
+                    let (a, bx) = pair_unrank(r);
+                    acc = acc.wrapping_add(a ^ bx);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rank, bench_range_walk);
+criterion_main!(benches);

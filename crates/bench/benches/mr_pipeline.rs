@@ -1,0 +1,95 @@
+//! B6 — end-to-end MapReduce pipeline benchmarks on the simulated
+//! cluster: the two-job pipeline per scheme, and the §5.1 ablation of
+//! broadcast-via-distributed-cache (one job) versus
+//! broadcast-via-shuffle (two jobs).
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmr_apps::generate::opaque_elements;
+use pmr_cluster::{Cluster, ClusterConfig};
+use pmr_core::runner::mr::{run_mr, run_mr_broadcast, MrPairwiseOptions};
+use pmr_core::runner::{comp_fn, CompFn, ConcatSort, Symmetry};
+use pmr_core::scheme::{BlockScheme, BroadcastScheme, DesignScheme, DistributionScheme};
+
+fn comp() -> CompFn<bytes::Bytes, u64> {
+    comp_fn(|a: &bytes::Bytes, b: &bytes::Bytes| (a[0] ^ b[0]) as u64)
+}
+
+fn bench_two_job_pipeline(c: &mut Criterion) {
+    let v = 128u64;
+    let payloads = opaque_elements(v as usize, 128, 1);
+    let mut g = c.benchmark_group("mr/two_job_pipeline");
+    g.sample_size(10);
+    let schemes: Vec<(&str, Arc<dyn DistributionScheme>)> = vec![
+        ("broadcast", Arc::new(BroadcastScheme::new(v, 8))),
+        ("block", Arc::new(BlockScheme::new(v, 4))),
+        ("design", Arc::new(DesignScheme::new(v))),
+    ];
+    for (name, scheme) in &schemes {
+        g.bench_function(BenchmarkId::from_parameter(*name), |b| {
+            b.iter(|| {
+                let cluster = Cluster::new(ClusterConfig::with_nodes(4));
+                black_box(
+                    run_mr(
+                        &cluster,
+                        Arc::clone(scheme),
+                        &payloads,
+                        comp(),
+                        Symmetry::Symmetric,
+                        Arc::new(ConcatSort),
+                        MrPairwiseOptions::default(),
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_broadcast_ablation(c: &mut Criterion) {
+    let v = 128u64;
+    let payloads = opaque_elements(v as usize, 128, 2);
+    let scheme = BroadcastScheme::new(v, 8);
+    let mut g = c.benchmark_group("mr/broadcast_ablation");
+    g.sample_size(10);
+    g.bench_function("via_shuffle_two_jobs", |b| {
+        b.iter(|| {
+            let cluster = Cluster::new(ClusterConfig::with_nodes(4));
+            black_box(
+                run_mr(
+                    &cluster,
+                    Arc::new(scheme.clone()),
+                    &payloads,
+                    comp(),
+                    Symmetry::Symmetric,
+                    Arc::new(ConcatSort),
+                    MrPairwiseOptions::default(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.bench_function("via_cache_one_job", |b| {
+        b.iter(|| {
+            let cluster = Cluster::new(ClusterConfig::with_nodes(4));
+            black_box(
+                run_mr_broadcast(
+                    &cluster,
+                    &scheme,
+                    &payloads,
+                    comp(),
+                    Symmetry::Symmetric,
+                    Arc::new(ConcatSort),
+                    MrPairwiseOptions::default(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_two_job_pipeline, bench_broadcast_ablation);
+criterion_main!(benches);

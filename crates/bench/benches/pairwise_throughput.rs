@@ -1,0 +1,102 @@
+//! B4/B5 — end-to-end pairwise throughput on the local backend: scheme
+//! comparison at fixed parallelism, worker scaling, and cheap-vs-expensive
+//! `comp` (the broadcast approach's motivating regime: "dataset size is
+//! moderate but the function to evaluate is expensive").
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pmr_apps::generate::gene_expression;
+use pmr_apps::mutualinfo::mi_comp;
+use pmr_core::runner::local::run_local;
+use pmr_core::runner::{comp_fn, CompFn, ConcatSort, Symmetry};
+use pmr_core::scheme::{BlockScheme, BroadcastScheme, DesignScheme, DistributionScheme};
+use pmr_apps::DenseVector;
+
+fn cheap_comp() -> CompFn<DenseVector, f64> {
+    comp_fn(|a: &DenseVector, b: &DenseVector| a.0[0] - b.0[0])
+}
+
+fn bench_scheme_comparison(c: &mut Criterion) {
+    let v = 384u64;
+    let data = gene_expression(v as usize, 32, 8, 0.3, 5);
+    let pairs = v * (v - 1) / 2;
+    let mut g = c.benchmark_group("local/scheme_comparison_cheap_comp");
+    g.throughput(Throughput::Elements(pairs));
+    g.sample_size(20);
+    let schemes: Vec<(&str, Box<dyn DistributionScheme>)> = vec![
+        ("broadcast", Box::new(BroadcastScheme::new(v, 16))),
+        ("block", Box::new(BlockScheme::new(v, 8))),
+        ("design", Box::new(DesignScheme::new(v))),
+    ];
+    for (name, scheme) in &schemes {
+        g.bench_function(BenchmarkId::from_parameter(*name), |b| {
+            b.iter(|| {
+                black_box(run_local(
+                    &data,
+                    scheme.as_ref(),
+                    &cheap_comp(),
+                    Symmetry::Symmetric,
+                    &ConcatSort,
+                    4,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_expensive_comp(c: &mut Criterion) {
+    // Mutual information over 200 samples: an expensive comp where the
+    // evaluation dominates and all schemes should converge in throughput.
+    let v = 96u64;
+    let data = gene_expression(v as usize, 200, 8, 0.3, 5);
+    let pairs = v * (v - 1) / 2;
+    let mut g = c.benchmark_group("local/scheme_comparison_expensive_comp");
+    g.throughput(Throughput::Elements(pairs));
+    g.sample_size(10);
+    let schemes: Vec<(&str, Box<dyn DistributionScheme>)> = vec![
+        ("broadcast", Box::new(BroadcastScheme::new(v, 16))),
+        ("block", Box::new(BlockScheme::new(v, 8))),
+        ("design", Box::new(DesignScheme::new(v))),
+    ];
+    for (name, scheme) in &schemes {
+        g.bench_function(BenchmarkId::from_parameter(*name), |b| {
+            b.iter(|| {
+                black_box(run_local(
+                    &data,
+                    scheme.as_ref(),
+                    &mi_comp(6),
+                    Symmetry::Symmetric,
+                    &ConcatSort,
+                    4,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let v = 128u64;
+    let data = gene_expression(v as usize, 200, 8, 0.3, 9);
+    let scheme = BlockScheme::new(v, 8);
+    let mut g = c.benchmark_group("local/worker_scaling_mi");
+    g.sample_size(10);
+    for &threads in &[1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter(|| {
+                black_box(run_local(
+                    &data,
+                    &scheme,
+                    &mi_comp(6),
+                    Symmetry::Symmetric,
+                    &ConcatSort,
+                    threads,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheme_comparison, bench_expensive_comp, bench_worker_scaling);
+criterion_main!(benches);

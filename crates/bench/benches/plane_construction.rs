@@ -1,0 +1,38 @@
+//! B2 — projective-plane construction cost: the paper's Theorem-2 direct
+//! construction vs the classical PG(2, q), and the end-to-end truncated
+//! design for arbitrary `v` (the setup cost of the design scheme).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmr_designs::plane::{pg2, theorem2, truncated_plane};
+
+fn bench_constructions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plane/construction");
+    for &q in &[11u64, 31, 101] {
+        g.bench_with_input(BenchmarkId::new("theorem2", q), &q, |b, &q| {
+            b.iter(|| black_box(theorem2(black_box(q))))
+        });
+        g.bench_with_input(BenchmarkId::new("pg2", q), &q, |b, &q| {
+            b.iter(|| black_box(pg2(black_box(q))))
+        });
+    }
+    // Prime-power order: only PG(2, q) applies.
+    for &q in &[8u64, 27] {
+        g.bench_with_input(BenchmarkId::new("pg2_prime_power", q), &q, |b, &q| {
+            b.iter(|| black_box(pg2(black_box(q))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_truncated(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plane/truncated_design");
+    for &v in &[1_000u64, 10_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, &v| {
+            b.iter(|| black_box(truncated_plane(black_box(v))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_constructions, bench_truncated);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! B3 — distribution-scheme partitioning cost: `getSubsets`
+//! (`subsets_of`) and `getPairs` (`pairs`) per scheme, the per-record and
+//! per-task overheads the MapReduce jobs pay on top of `comp` itself.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pmr_core::scheme::{
+    BlockScheme, BroadcastScheme, DesignScheme, DistributionScheme, PairedBlockScheme,
+};
+
+fn schemes(v: u64) -> Vec<(&'static str, Box<dyn DistributionScheme>)> {
+    vec![
+        ("broadcast", Box::new(BroadcastScheme::new(v, 64))),
+        ("block", Box::new(BlockScheme::new(v, 16))),
+        ("block-paired", Box::new(PairedBlockScheme::new(v, 16))),
+        ("design", Box::new(DesignScheme::new(v))),
+    ]
+}
+
+fn bench_subsets_of(c: &mut Criterion) {
+    let v = 10_000u64;
+    let mut g = c.benchmark_group("scheme/subsets_of");
+    g.throughput(Throughput::Elements(1));
+    for (name, scheme) in schemes(v) {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut e = 0u64;
+            b.iter(|| {
+                e = (e + 7_919) % v;
+                black_box(scheme.subsets_of(black_box(e)))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_pairs(c: &mut Criterion) {
+    let v = 10_000u64;
+    let mut g = c.benchmark_group("scheme/pairs_per_task");
+    for (name, scheme) in schemes(v) {
+        let tasks = scheme.num_tasks();
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut t = 0u64;
+            b.iter(|| {
+                t = (t + 31) % tasks;
+                black_box(scheme.pairs(black_box(t)).len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheme/construction");
+    for &v in &[1_000u64, 10_000] {
+        g.bench_with_input(BenchmarkId::new("broadcast", v), &v, |b, &v| {
+            b.iter(|| black_box(BroadcastScheme::new(v, 64)))
+        });
+        g.bench_with_input(BenchmarkId::new("block", v), &v, |b, &v| {
+            b.iter(|| black_box(BlockScheme::new(v, 16)))
+        });
+        g.bench_with_input(BenchmarkId::new("design", v), &v, |b, &v| {
+            b.iter(|| black_box(DesignScheme::new(v)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_subsets_of, bench_pairs, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Experiment E1 — reproduces the paper's §6 cluster experiments:
+//! *"The results for replication factor and working set sizes showed to be
+//! close to our theoretic evaluations. However, we observed that the
+//! working set size limit was hit a little earlier than expected."*
+//!
+//! Runs all three schemes through the full two-job pipeline on the
+//! simulated cluster and compares measured replication factors, working-set
+//! sizes, and communication against the Table-1 formulas; then demonstrates
+//! the early-limit effect with a memory-accounting overhead factor.
+//!
+//! ```sh
+//! cargo run --release -p pmr-bench --bin cluster_validation
+//! ```
+
+use std::sync::Arc;
+
+use pmr_apps::generate::opaque_elements;
+use pmr_bench::{fmt_f64, fmt_u64, print_table};
+use pmr_cluster::{Cluster, ClusterConfig};
+use pmr_core::runner::mr::{run_mr, MrPairwiseOptions};
+use pmr_core::runner::{comp_fn, CompFn, ConcatSort, Symmetry};
+use pmr_core::scheme::{BlockScheme, BroadcastScheme, DesignScheme, DistributionScheme};
+
+fn comp() -> CompFn<bytes::Bytes, u64> {
+    comp_fn(|a: &bytes::Bytes, b: &bytes::Bytes| {
+        a.iter().zip(b.iter()).map(|(x, y)| x.abs_diff(*y) as u64).sum()
+    })
+}
+
+fn main() {
+    let n_nodes = 8usize;
+    let element_size = 256usize;
+    let framed = element_size as u64 + 28; // wire framing per element record
+
+    for v in [200u64, 500, 1000] {
+        let payloads = opaque_elements(v as usize, element_size, v);
+        let h = 8u64;
+        let schemes: Vec<Arc<dyn DistributionScheme>> = vec![
+            Arc::new(BroadcastScheme::new(v, n_nodes as u64)),
+            Arc::new(BlockScheme::new(v, h)),
+            Arc::new(DesignScheme::new(v)),
+        ];
+        let mut rows = Vec::new();
+        for scheme in schemes {
+            let analytic = scheme.metrics(n_nodes as u64);
+            let cluster = Cluster::new(ClusterConfig::with_nodes(n_nodes));
+            let (_, report) = run_mr(
+                &cluster,
+                Arc::clone(&scheme),
+                &payloads,
+                comp(),
+                Symmetry::Symmetric,
+                Arc::new(ConcatSort),
+                MrPairwiseOptions::default(),
+            )
+            .expect("run failed");
+            let measured_repl = report.replicated_records as f64 / v as f64;
+            // Working set in *elements*: peak group bytes / framed record.
+            let measured_ws = report.max_working_set_bytes / framed;
+            rows.push(vec![
+                analytic.scheme.to_string(),
+                fmt_f64(analytic.replication_factor),
+                fmt_f64(measured_repl),
+                fmt_u64(analytic.working_set_size),
+                fmt_u64(measured_ws),
+                fmt_u64(analytic.communication_elements),
+                fmt_u64(report.shuffle_bytes / framed),
+                fmt_u64(report.evaluations),
+            ]);
+        }
+        print_table(
+            &format!("measured vs theory: v = {v}, n = {n_nodes}, h = {h}, 256-B elements"),
+            &[
+                "scheme",
+                "repl (theory)",
+                "repl (measured)",
+                "ws elems (theory)",
+                "ws elems (measured)",
+                "comm elems (theory)",
+                "shuffled elem-equiv",
+                "evaluations",
+            ],
+            &rows,
+        );
+    }
+
+    println!(
+        "\nmeasured replication matches theory exactly; measured working sets are at or"
+    );
+    println!("just under the theoretical bound (the largest task's actual share). Shuffled");
+    println!("volume exceeds the 2v·r element model because element copies carry their");
+    println!("partial result lists into the aggregation job — bookkeeping the model omits.");
+
+    // --- The "hit a little earlier than expected" effect (§6). ---
+    let v = 300u64;
+    let payloads = opaque_elements(v as usize, element_size, 7);
+    let scheme = Arc::new(BroadcastScheme::new(v, n_nodes as u64));
+    let probe = |budget: u64, overhead: (u64, u64)| -> bool {
+        let cluster = Cluster::new(ClusterConfig::with_nodes(n_nodes).task_memory_budget(budget));
+        run_mr(
+            &cluster,
+            scheme.clone() as Arc<dyn DistributionScheme>,
+            &payloads,
+            comp(),
+            Symmetry::Symmetric,
+            Arc::new(ConcatSort),
+            MrPairwiseOptions { memory_overhead: overhead, ..Default::default() },
+        )
+        .is_ok()
+    };
+    let pure_model = v * framed; // exactly the working set's element bytes
+    let rows = vec![
+        vec!["no overhead".into(), fmt_u64(pure_model), format!("{}", probe(pure_model, (1, 1)))],
+        vec![
+            "10% runtime overhead".into(),
+            fmt_u64(pure_model),
+            format!("{}", probe(pure_model, (11, 10))),
+        ],
+        vec![
+            "10% overhead, 110% budget".into(),
+            fmt_u64(pure_model * 11 / 10),
+            format!("{}", probe(pure_model * 11 / 10, (11, 10))),
+        ],
+    ];
+    print_table(
+        "§6 effect: working-set limit hit earlier than the element-size model predicts",
+        &["accounting", "maxws budget [B]", "job completes"],
+        &rows,
+    );
+    println!("\nwith per-record runtime overhead, a budget equal to the pure element bytes");
+    println!("fails — 'next to the elements themselves, other variables and data need to");
+    println!("be kept in memory' (§6); provisioning 10% headroom restores feasibility");
+}

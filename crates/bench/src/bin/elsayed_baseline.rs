@@ -1,0 +1,88 @@
+//! Experiment E2 — the §2 related-work comparison: the Elsayed et al.
+//! inverted-index method versus generic pairwise computation, across a
+//! corpus-sparsity sweep.
+//!
+//! The paper positions itself for "applications where the quadratic
+//! complexity of the pairwise comparison cannot be reduced"; this
+//! experiment finds the sparsity crossover where that positioning flips.
+//!
+//! ```sh
+//! cargo run --release -p pmr-bench --bin elsayed_baseline
+//! ```
+
+use std::sync::Arc;
+
+use pmr_apps::docsim::{dot_comp, run_elsayed};
+use pmr_apps::generate::zipf_documents;
+use pmr_bench::{fmt_u64, print_table};
+use pmr_cluster::{Cluster, ClusterConfig};
+use pmr_core::runner::mr::{run_mr, MrPairwiseOptions};
+use pmr_core::runner::{ConcatSort, Symmetry};
+use pmr_core::scheme::BlockScheme;
+
+fn main() {
+    let n_docs = 100usize;
+    let total_pairs = (n_docs * (n_docs - 1) / 2) as u64;
+
+    // Sweep document sparsity: vocabulary size up, skew down ⇒ sparser.
+    let corpora = [
+        ("dense (vocab 500, zipf 1.2)", 500usize, 40usize, 1.2f64),
+        ("medium (vocab 5k, zipf 1.0)", 5_000, 40, 1.0),
+        ("sparse (vocab 50k, zipf 0.7)", 50_000, 20, 0.7),
+        ("very sparse (vocab 500k, zipf 0.4)", 500_000, 10, 0.4),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, vocab, len, skew) in corpora {
+        let docs = zipf_documents(n_docs, vocab, len, skew, 77);
+
+        // Generic pairwise through the block scheme.
+        let cluster = Cluster::new(ClusterConfig::with_nodes(4));
+        let (_, pw_report) = run_mr(
+            &cluster,
+            Arc::new(BlockScheme::new(n_docs as u64, 5)),
+            &docs,
+            dot_comp(),
+            Symmetry::Symmetric,
+            Arc::new(ConcatSort),
+            MrPairwiseOptions::default(),
+        )
+        .expect("pairwise failed");
+
+        // Elsayed baseline.
+        let cluster2 = Cluster::new(ClusterConfig::with_nodes(4));
+        let baseline = run_elsayed(&cluster2, &docs, &format!("els-{vocab}")).unwrap();
+
+        let overlap_pct = 100.0 * baseline.dot_products.len() as f64 / total_pairs as f64;
+        rows.push(vec![
+            name.to_string(),
+            fmt_u64(pw_report.evaluations),
+            fmt_u64(baseline.contributions),
+            format!("{overlap_pct:.1}%"),
+            fmt_u64(pw_report.shuffle_bytes),
+            fmt_u64(
+                baseline.job_invert.counters[pmr_mapreduce::builtin::SHUFFLE_BYTES]
+                    + baseline.job_pairs.counters[pmr_mapreduce::builtin::SHUFFLE_BYTES],
+            ),
+            if baseline.contributions < pw_report.evaluations { "baseline" } else { "pairwise" }
+                .to_string(),
+        ]);
+    }
+    print_table(
+        &format!("Elsayed inverted-index baseline vs generic pairwise ({n_docs} docs)"),
+        &[
+            "corpus",
+            "pairwise evals",
+            "baseline contributions",
+            "pairs sharing a term",
+            "pairwise shuffle [B]",
+            "baseline shuffle [B]",
+            "cheaper method",
+        ],
+        &rows,
+    );
+    println!("\nshape: on dense corpora the posting-list Cartesian products exceed v(v−1)/2 —");
+    println!("the quadratic complexity is not reduced and the paper's generic schemes are the");
+    println!("right tool; as the corpus sparsifies, the baseline's work collapses while the");
+    println!("generic schemes still pay for every pair — the §2 positioning, quantified");
+}

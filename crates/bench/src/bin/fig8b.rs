@@ -1,0 +1,85 @@
+//! Experiment F8b — reproduces **Figure 8(b)**: the largest dataset
+//! cardinality `v` the design approach can handle before its materialized
+//! intermediate data (replication factor ≈ √v) exceeds the storage limit
+//! `maxis`, as a function of element size.
+//!
+//! Part 1: paper-scale analytic curves (`maxis` ∈ {100 GB, 1 TB, 10 TB}),
+//! both the paper's `v^{3/2}·s ≤ maxis` approximation and the exact
+//! `v·s·(q+1) ≤ maxis` with the true plane order. Part 2: measured failure
+//! boundary of the real pipeline under scaled `maxis`.
+//!
+//! ```sh
+//! cargo run --release -p pmr-bench --bin fig8b
+//! ```
+
+use pmr_bench::empirical::{probe_max_v, Budgets, ProbeScheme};
+use pmr_bench::{fmt_u64, print_table};
+use pmr_core::analysis::limits::{max_v_design, max_v_design_exact, units::*};
+
+fn main() {
+    // --- Part 1: analytic curves at paper scale. ---
+    let budgets =
+        [("maxis = 100GB", 100.0 * GB), ("maxis = 1TB", 1.0 * TB), ("maxis = 10TB", 10.0 * TB)];
+    let sizes_kb = [10.0, 30.0, 100.0, 300.0, 1_000.0, 3_000.0, 10_000.0];
+    let rows: Vec<Vec<String>> = sizes_kb
+        .iter()
+        .map(|&s_kb| {
+            let mut row = vec![fmt_u64(s_kb as u64)];
+            for (_, maxis) in budgets {
+                let approx = max_v_design(s_kb * KB, maxis) as u64;
+                let exact = max_v_design_exact((s_kb * KB) as u64, maxis as u64);
+                row.push(format!("{} ({})", fmt_u64(approx), fmt_u64(exact)));
+            }
+            row
+        })
+        .collect();
+    print_table(
+        "Figure 8(b), analytic: max v before design intermediate data hits maxis — \
+         √v approximation (exact q+1)",
+        &["element size [KB]", budgets[0].0, budgets[1].0, budgets[2].0],
+        &rows,
+    );
+    println!("(log-log slope −2/3: v_max = (maxis/s)^(2/3), as in the paper's chart)");
+
+    // --- Part 2: measured on the simulator at scaled maxis. ---
+    let scaled: [(usize, u64); 4] =
+        [(256, 1 << 20), (256, 4 << 20), (1024, 4 << 20), (1024, 16 << 20)];
+    let rows: Vec<Vec<String>> = scaled
+        .iter()
+        .map(|&(s, maxis)| {
+            let approx = max_v_design(s as f64, maxis as f64) as u64;
+            // The pipeline materializes framed records (+28 B) and, in the
+            // aggregation job, the result lists too; predict with the exact
+            // plane order on framed sizes.
+            let exact = max_v_design_exact(s as u64 + 28, maxis);
+            let measured = probe_max_v(
+                |_| ProbeScheme::Design,
+                s,
+                Budgets { maxws: None, maxis: Some(maxis) },
+                4 * approx.max(4),
+            );
+            vec![
+                fmt_u64(s as u64),
+                fmt_u64(maxis),
+                fmt_u64(approx),
+                fmt_u64(exact),
+                fmt_u64(measured),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 8(b), measured: real pipeline under scaled maxis",
+        &[
+            "element size [B]",
+            "maxis [B]",
+            "paper √v model",
+            "exact q+1 model",
+            "measured max v",
+        ],
+        &rows,
+    );
+    println!("\nmeasured boundaries track the (maxis/s)^(2/3) law; the exact-q model is");
+    println!("closer because replication is q+1 (a step function), and the measured value");
+    println!("sits slightly below it because the aggregation job's element copies carry");
+    println!("their partial result lists through intermediate storage as well");
+}

@@ -1,0 +1,125 @@
+//! Empirical feasibility probes: run the real MapReduce pipeline under
+//! `maxws`/`maxis` budgets and find the largest dataset cardinality that
+//! still completes — the measured counterpart of Figures 8 and 9.
+
+use std::sync::Arc;
+
+use pmr_apps::generate::opaque_elements;
+use pmr_cluster::{Cluster, ClusterConfig};
+use pmr_core::runner::mr::{run_mr, MrPairwiseOptions};
+use pmr_core::runner::{comp_fn, ConcatSort, Symmetry};
+use pmr_core::scheme::{BlockScheme, BroadcastScheme, DesignScheme, DistributionScheme};
+
+/// Which scheme a probe exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeScheme {
+    /// Broadcast with `tasks` tasks.
+    Broadcast {
+        /// Number of tasks.
+        tasks: u64,
+    },
+    /// Block with blocking factor `h`.
+    Block {
+        /// Blocking factor.
+        h: u64,
+    },
+    /// Design (projective plane).
+    Design,
+}
+
+/// Budgets for a probe run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Budgets {
+    /// Per-task working-set budget (`maxws`), bytes.
+    pub maxws: Option<u64>,
+    /// Cluster-wide intermediate-storage budget (`maxis`), bytes.
+    pub maxis: Option<u64>,
+}
+
+/// Runs one full two-job pipeline with `v` opaque elements of
+/// `element_size` bytes under the given budgets; returns whether it
+/// completed.
+pub fn run_succeeds(scheme: ProbeScheme, v: u64, element_size: usize, budgets: Budgets) -> bool {
+    if v < 2 {
+        return true;
+    }
+    let mut cfg = ClusterConfig::with_nodes(4);
+    cfg.node.task_memory_budget = budgets.maxws;
+    cfg.intermediate_storage_capacity = budgets.maxis;
+    // Keep DFS blocks comfortably larger than one element.
+    cfg.dfs_block_size = (element_size as u64 * 8).max(1 << 16);
+    let cluster = Cluster::new(cfg);
+    let payloads = opaque_elements(v as usize, element_size, 0xF00D + v);
+    let scheme: Arc<dyn DistributionScheme> = match scheme {
+        ProbeScheme::Broadcast { tasks } => Arc::new(BroadcastScheme::new(v, tasks)),
+        ProbeScheme::Block { h } => Arc::new(BlockScheme::new(v, h)),
+        ProbeScheme::Design => Arc::new(DesignScheme::new(v)),
+    };
+    // Trivial comp: the probes measure data movement, not computation.
+    let comp = comp_fn(|a: &bytes::Bytes, b: &bytes::Bytes| (a.len() + b.len()) as u64);
+    run_mr(
+        &cluster,
+        scheme,
+        &payloads,
+        comp,
+        Symmetry::Symmetric,
+        Arc::new(ConcatSort),
+        MrPairwiseOptions::default(),
+    )
+    .is_ok()
+}
+
+/// Finds the largest `v ≤ cap` for which the probe succeeds, assuming
+/// success is monotone decreasing in `v` (exponential probe + binary
+/// search + boundary walk).
+pub fn probe_max_v(
+    scheme: impl Fn(u64) -> ProbeScheme,
+    element_size: usize,
+    budgets: Budgets,
+    cap: u64,
+) -> u64 {
+    let ok = |v: u64| run_succeeds(scheme(v), v, element_size, budgets);
+    if !ok(2) {
+        return 0;
+    }
+    let mut hi = 4u64;
+    while hi < cap && ok(hi) {
+        hi = (hi * 2).min(cap);
+    }
+    if hi >= cap && ok(cap) {
+        return cap;
+    }
+    let mut lo = hi / 2;
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if ok(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbudgeted_probes_succeed() {
+        assert!(run_succeeds(ProbeScheme::Design, 20, 64, Budgets::default()));
+        assert!(run_succeeds(ProbeScheme::Broadcast { tasks: 4 }, 10, 64, Budgets::default()));
+        assert!(run_succeeds(ProbeScheme::Block { h: 3 }, 10, 64, Budgets::default()));
+    }
+
+    #[test]
+    fn probe_finds_broadcast_boundary() {
+        // maxws of 4 KB with 100-byte elements: the broadcast working set
+        // v·(100 + 28 framing) must stay under 4096 ⇒ v ≈ 32.
+        let budgets = Budgets { maxws: Some(4096), maxis: None };
+        let max_v = probe_max_v(|_| ProbeScheme::Broadcast { tasks: 2 }, 100, budgets, 200);
+        assert!((20..=40).contains(&max_v), "max_v = {max_v}");
+        assert!(run_succeeds(ProbeScheme::Broadcast { tasks: 2 }, max_v, 100, budgets));
+        assert!(!run_succeeds(ProbeScheme::Broadcast { tasks: 2 }, max_v + 4, 100, budgets));
+    }
+}

@@ -1,0 +1,163 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` flags.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    flags: BTreeMap<String, String>,
+}
+
+/// Argument-parsing error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses `argv[1..]`: one subcommand followed by `--key value` pairs.
+    pub fn parse(argv: impl IntoIterator<Item = String>) -> Result<Args, ArgError> {
+        let mut it = argv.into_iter();
+        let command = it.next().unwrap_or_default();
+        let mut flags = BTreeMap::new();
+        while let Some(arg) = it.next() {
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| ArgError(format!("expected --flag, got '{arg}'")))?;
+            let value = it
+                .next()
+                .ok_or_else(|| ArgError(format!("flag --{key} needs a value")))?;
+            if flags.insert(key.to_string(), value).is_some() {
+                return Err(ArgError(format!("flag --{key} given twice")));
+            }
+        }
+        Ok(Args { command, flags })
+    }
+
+    /// A required string flag.
+    pub fn required(&self, key: &str) -> Result<&str, ArgError> {
+        self.flags
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError(format!("missing required flag --{key}")))
+    }
+
+    /// An optional string flag.
+    pub fn optional(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// A required numeric flag.
+    pub fn required_num<T: std::str::FromStr>(&self, key: &str) -> Result<T, ArgError> {
+        self.required(key)?
+            .parse()
+            .map_err(|_| ArgError(format!("flag --{key} must be a number")))
+    }
+
+    /// An optional numeric flag with a default.
+    pub fn num_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(s) => {
+                s.parse().map_err(|_| ArgError(format!("flag --{key} must be a number")))
+            }
+        }
+    }
+
+    /// Parses byte quantities with optional suffix: `64KB`, `200MB`, `1GB`,
+    /// `2TB`, or a plain number of bytes (decimal units, as the paper).
+    pub fn bytes_or(&self, key: &str, default: u64) -> Result<u64, ArgError> {
+        let Some(s) = self.flags.get(key) else { return Ok(default) };
+        parse_bytes(s).ok_or_else(|| ArgError(format!("flag --{key}: bad byte quantity '{s}'")))
+    }
+
+    /// Unknown-flag check against the allowed set (catches typos).
+    pub fn check_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for k in self.flags.keys() {
+            if !allowed.contains(&k.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown flag --{k} (allowed: {})",
+                    allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses `123`, `64KB`, `200MB`, `1GB`, `2TB` (decimal units).
+pub fn parse_bytes(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (num, mult) = if let Some(n) = s.strip_suffix("TB") {
+        (n, 1_000_000_000_000u64)
+    } else if let Some(n) = s.strip_suffix("GB") {
+        (n, 1_000_000_000)
+    } else if let Some(n) = s.strip_suffix("MB") {
+        (n, 1_000_000)
+    } else if let Some(n) = s.strip_suffix("KB") {
+        (n, 1_000)
+    } else if let Some(n) = s.strip_suffix('B') {
+        (n, 1)
+    } else {
+        (s, 1)
+    };
+    let v: f64 = num.trim().parse().ok()?;
+    if v < 0.0 {
+        return None;
+    }
+    Some((v * mult as f64) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(line: &str) -> Result<Args, ArgError> {
+        Args::parse(line.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = args("plan --v 1000 --element-bytes 500KB").unwrap();
+        assert_eq!(a.command, "plan");
+        assert_eq!(a.required_num::<u64>("v").unwrap(), 1000);
+        assert_eq!(a.bytes_or("element-bytes", 0).unwrap(), 500_000);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(args("run v 10").is_err()); // not --v
+        assert!(args("run --v").is_err()); // missing value
+        assert!(args("run --v 1 --v 2").is_err()); // duplicate
+        let a = args("run --bogus 1").unwrap();
+        assert!(a.check_known(&["v"]).is_err());
+        assert!(a.required("v").is_err());
+    }
+
+    #[test]
+    fn byte_suffixes() {
+        assert_eq!(parse_bytes("123"), Some(123));
+        assert_eq!(parse_bytes("64KB"), Some(64_000));
+        assert_eq!(parse_bytes("1.5MB"), Some(1_500_000));
+        assert_eq!(parse_bytes("1GB"), Some(1_000_000_000));
+        assert_eq!(parse_bytes("2TB"), Some(2_000_000_000_000));
+        assert_eq!(parse_bytes("10B"), Some(10));
+        assert_eq!(parse_bytes("x"), None);
+        assert_eq!(parse_bytes("-5MB"), None);
+    }
+
+    #[test]
+    fn defaults() {
+        let a = args("plan").unwrap();
+        assert_eq!(a.num_or::<u64>("nodes", 8).unwrap(), 8);
+        assert_eq!(a.optional("missing"), None);
+    }
+}

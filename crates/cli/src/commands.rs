@@ -1,0 +1,328 @@
+//! Subcommand implementations.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+
+use pmr_apps::distance::{cosine_distance, euclidean, manhattan};
+use pmr_apps::generate::{gaussian_clusters, gene_expression, random_matrix_rows};
+use pmr_core::analysis::costmodel::{rank_feasible_schemes, CostParams};
+use pmr_core::analysis::limits::{fig9b_point, h_bounds};
+use pmr_core::analysis::table1::{block_row, broadcast_row, design_row};
+use pmr_core::runner::local::run_local;
+use pmr_core::runner::{comp_fn, CompFn, ConcatSort, FilterAggregator, Symmetry};
+use pmr_core::scheme::{
+    measure, verify_exactly_once, BlockScheme, BroadcastScheme, DesignScheme,
+    DistributionScheme, PairedBlockScheme,
+};
+use pmr_designs::primes::smallest_plane_order;
+
+use crate::args::{ArgError, Args};
+use crate::data::{read_vectors, write_results, write_vectors};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+pairwise — parallel pairwise element computation (HPDC 2010 reproduction)
+
+USAGE: pairwise <command> [--flag value ...]
+
+COMMANDS
+  run       evaluate a function on all pairs of a CSV dataset
+              --input FILE        CSV: one element per line, comma-separated
+              --comp NAME         euclidean | manhattan | cosine  [euclidean]
+              --scheme NAME       block | broadcast | design | paired  [block]
+              --h N               blocking factor (block/paired)  [8]
+              --tasks N           task count (broadcast)  [16]
+              --threads N         worker threads  [4]
+              --max-result X      keep only results ≤ X (ε-pruning)
+              --output FILE       TSV results  [stdout]
+  generate  write a synthetic CSV dataset
+              --kind NAME         clusters | genes | matrix  [clusters]
+              --n N --dim D       size/shape  [200, 3]
+              --seed N            RNG seed  [42]
+              --output FILE       destination  [stdout]
+  plan      feasibility + scheme recommendation for a workload
+              --v N --element-bytes SIZE (e.g. 500KB)
+              --maxws SIZE        task memory limit  [200MB]
+              --maxis SIZE        intermediate storage limit  [1TB]
+              --nodes N           cluster size  [16]
+              --comp-us F         cost of one evaluation, µs  [1000]
+  verify    exhaustively check a scheme evaluates every pair exactly once
+              --scheme NAME --v N [--h N] [--tasks N]
+  table1    print the paper's Table 1 for given parameters
+              --v N [--nodes N] [--h N]
+  help      this text
+";
+
+/// Runs the subcommand in `args`.
+pub fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    match args.command.as_str() {
+        "run" => run(args),
+        "generate" => generate(args),
+        "plan" => plan(args),
+        "verify" => verify(args),
+        "table1" => table1(args),
+        other => Err(Box::new(ArgError(format!(
+            "unknown command '{other}' (try 'pairwise help')"
+        )))),
+    }
+}
+
+fn scheme_from_args(
+    args: &Args,
+    v: u64,
+) -> Result<Box<dyn DistributionScheme>, Box<dyn std::error::Error>> {
+    let name = args.optional("scheme").unwrap_or("block");
+    Ok(match name {
+        "block" => Box::new(BlockScheme::new(v, args.num_or("h", 8)?)),
+        "paired" => Box::new(PairedBlockScheme::new(v, args.num_or("h", 8)?)),
+        "broadcast" => Box::new(BroadcastScheme::new(v, args.num_or("tasks", 16)?)),
+        "design" => Box::new(DesignScheme::new(v)),
+        other => {
+            return Err(Box::new(ArgError(format!(
+                "unknown scheme '{other}' (block | paired | broadcast | design)"
+            ))))
+        }
+    })
+}
+
+fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.check_known(&[
+        "input", "comp", "scheme", "h", "tasks", "threads", "max-result", "output",
+    ])?;
+    let input = args.required("input")?;
+    let data = read_vectors(BufReader::new(File::open(input)?)).map_err(ArgError)?;
+    let v = data.len() as u64;
+    let comp: CompFn<pmr_apps::DenseVector, f64> = match args.optional("comp").unwrap_or("euclidean")
+    {
+        "euclidean" => comp_fn(euclidean),
+        "manhattan" => comp_fn(manhattan),
+        "cosine" => comp_fn(cosine_distance),
+        other => {
+            return Err(Box::new(ArgError(format!(
+                "unknown comp '{other}' (euclidean | manhattan | cosine)"
+            ))))
+        }
+    };
+    let scheme = scheme_from_args(args, v)?;
+    let threads = args.num_or("threads", 4usize)?;
+
+    let (out, stats) = match args.optional("max-result") {
+        Some(s) => {
+            let eps: f64 =
+                s.parse().map_err(|_| ArgError("--max-result must be a number".into()))?;
+            run_local(
+                &data,
+                scheme.as_ref(),
+                &comp,
+                Symmetry::Symmetric,
+                &FilterAggregator::new(move |r: &f64| *r <= eps),
+                threads,
+            )
+        }
+        None => run_local(&data, scheme.as_ref(), &comp, Symmetry::Symmetric, &ConcatSort, threads),
+    };
+    eprintln!(
+        "evaluated {} pairs of {} elements across {} tasks ({} scheme, {} threads)",
+        stats.evaluations,
+        v,
+        stats.tasks,
+        scheme.name(),
+        threads
+    );
+    match args.optional("output") {
+        Some(path) => write_results(BufWriter::new(File::create(path)?), &out)?,
+        None => write_results(std::io::stdout().lock(), &out)?,
+    }
+    Ok(())
+}
+
+fn generate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.check_known(&["kind", "n", "dim", "seed", "output"])?;
+    let n = args.num_or("n", 200usize)?;
+    let dim = args.num_or("dim", 3usize)?;
+    let seed = args.num_or("seed", 42u64)?;
+    let data = match args.optional("kind").unwrap_or("clusters") {
+        "clusters" => gaussian_clusters(n, 4, dim, 0.6, seed).0,
+        "genes" => gene_expression(n, dim.max(16), 6, 0.25, seed),
+        "matrix" => random_matrix_rows(n, dim, seed),
+        other => {
+            return Err(Box::new(ArgError(format!(
+                "unknown kind '{other}' (clusters | genes | matrix)"
+            ))))
+        }
+    };
+    match args.optional("output") {
+        Some(path) => write_vectors(BufWriter::new(File::create(path)?), &data)?,
+        None => write_vectors(std::io::stdout().lock(), &data)?,
+    }
+    eprintln!("wrote {n} elements of dimension {}", data[0].dim());
+    Ok(())
+}
+
+fn plan(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.check_known(&["v", "element-bytes", "maxws", "maxis", "nodes", "comp-us"])?;
+    let v: u64 = args.required_num("v")?;
+    let s = args.bytes_or("element-bytes", 0)?;
+    if s == 0 {
+        return Err(Box::new(ArgError("missing required flag --element-bytes".into())));
+    }
+    let maxws = args.bytes_or("maxws", 200_000_000)? as f64;
+    let maxis = args.bytes_or("maxis", 1_000_000_000_000)? as f64;
+    let n = args.num_or("nodes", 16u64)?;
+    let comp_us = args.num_or("comp-us", 1000.0f64)?;
+
+    let point = fig9b_point(s as f64, maxws, maxis);
+    println!("feasibility for v = {v}, {s}-byte elements:");
+    let check = |name: &str, max_v: f64| {
+        println!(
+            "  {name:<10} max v = {:>12}   {}",
+            max_v as u64,
+            if (v as f64) <= max_v { "feasible" } else { "INFEASIBLE" }
+        );
+    };
+    check("broadcast", point.broadcast);
+    check("block", point.block);
+    check("design", point.design_both);
+    if let Some((lo, hi)) = h_bounds((v * s) as f64, maxws, maxis) {
+        println!("  block h range: [{lo}, {hi}]");
+    }
+    println!("  design plane order: q = {}", smallest_plane_order(v));
+
+    let params = CostParams {
+        v,
+        element_bytes: s,
+        n_nodes: n,
+        comp_cost_us: comp_us,
+        ..Default::default()
+    };
+    let ranked = rank_feasible_schemes(&params, maxws, maxis);
+    if ranked.is_empty() {
+        println!("no scheme fits these limits — consider the hierarchical extensions (§7)");
+    } else {
+        println!("\nrecommendation (estimated makespan on {n} nodes, comp = {comp_us} µs):");
+        for (est, h) in ranked {
+            let cfg = h.map(|h| format!(" (h = {h})")).unwrap_or_default();
+            println!("  {:<10}{cfg:<10} ~{:.1} s", est.scheme, est.total_us / 1e6);
+        }
+    }
+    Ok(())
+}
+
+fn verify(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.check_known(&["scheme", "v", "h", "tasks"])?;
+    let v: u64 = args.required_num("v")?;
+    let scheme = scheme_from_args(args, v)?;
+    verify_exactly_once(scheme.as_ref())
+        .map_err(|e| ArgError(format!("scheme INVALID: {e:?}")))?;
+    let m = measure(scheme.as_ref());
+    println!(
+        "{} over v = {v}: VALID — {} pairs exactly once across {} tasks, \
+         replication {:.2}, max working set {}",
+        scheme.name(),
+        m.total_pairs,
+        m.nonempty_tasks,
+        m.replication_factor,
+        m.max_working_set
+    );
+    Ok(())
+}
+
+fn table1(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.check_known(&["v", "nodes", "h"])?;
+    let v: u64 = args.required_num("v")?;
+    let n = args.num_or("nodes", 16u64)?;
+    let h = args.num_or("h", 16u64)?;
+    let mut out = std::io::stdout().lock();
+    writeln!(out, "Table 1 for v = {v}, n = {n}, h = {h} (broadcast p = n):")?;
+    writeln!(
+        out,
+        "{:>10}  {:>10}  {:>14}  {:>12}  {:>12}  {:>14}",
+        "scheme", "tasks", "comm [sends]", "replication", "working set", "evals/task"
+    )?;
+    for m in [broadcast_row(v, n, n), block_row(v, h, n), design_row(v, n)] {
+        writeln!(
+            out,
+            "{:>10}  {:>10}  {:>14}  {:>12.1}  {:>12}  {:>14.1}",
+            m.scheme,
+            m.num_tasks,
+            m.communication_elements,
+            m.replication_factor,
+            m.working_set_size,
+            m.evaluations_per_task
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(line: &str) -> Args {
+        Args::parse(line.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn verify_accepts_all_schemes() {
+        for line in [
+            "verify --scheme block --v 30 --h 4",
+            "verify --scheme paired --v 30 --h 4",
+            "verify --scheme broadcast --v 30 --tasks 5",
+            "verify --scheme design --v 30",
+        ] {
+            dispatch(&args(line)).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+    }
+
+    #[test]
+    fn unknown_command_and_flags_rejected() {
+        assert!(dispatch(&args("frobnicate")).is_err());
+        assert!(dispatch(&args("verify --scheme block --v 10 --bogus 1")).is_err());
+        assert!(dispatch(&args("verify --scheme nope --v 10")).is_err());
+    }
+
+    #[test]
+    fn plan_produces_recommendation() {
+        // Just exercise it end-to-end (prints to stdout).
+        dispatch(&args("plan --v 10000 --element-bytes 500KB")).unwrap();
+        dispatch(&args("plan --v 10000 --element-bytes 500KB --maxws 1GB --maxis 100GB"))
+            .unwrap();
+    }
+
+    #[test]
+    fn table1_runs() {
+        dispatch(&args("table1 --v 10000 --nodes 100 --h 20")).unwrap();
+    }
+
+    #[test]
+    fn run_generate_roundtrip_via_tempfiles() {
+        let dir = std::env::temp_dir().join(format!("pmr-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("pts.csv");
+        let tsv = dir.join("out.tsv");
+        dispatch(&args(&format!(
+            "generate --kind clusters --n 40 --dim 2 --output {}",
+            csv.display()
+        )))
+        .unwrap();
+        dispatch(&args(&format!(
+            "run --input {} --comp euclidean --scheme design --output {}",
+            csv.display(),
+            tsv.display()
+        )))
+        .unwrap();
+        let text = std::fs::read_to_string(&tsv).unwrap();
+        // 40 elements × 39 neighbors + header.
+        assert_eq!(text.lines().count(), 40 * 39 + 1);
+        // ε-pruned run keeps fewer lines.
+        dispatch(&args(&format!(
+            "run --input {} --comp euclidean --scheme block --h 4 --max-result 2.0 --output {}",
+            csv.display(),
+            tsv.display()
+        )))
+        .unwrap();
+        let pruned = std::fs::read_to_string(&tsv).unwrap();
+        assert!(pruned.lines().count() < text.lines().count());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,105 @@
+//! Plain-text dataset I/O for the CLI: CSV vectors in, TSV results out.
+
+use std::io::{BufRead, Write};
+
+use pmr_apps::DenseVector;
+use pmr_core::runner::PairwiseOutput;
+
+/// Reads a dataset of dense vectors: one element per line, comma-separated
+/// numbers, `#`-comments and blank lines ignored. All rows must share one
+/// dimensionality.
+pub fn read_vectors(reader: impl BufRead) -> Result<Vec<DenseVector>, String> {
+    let mut out: Vec<DenseVector> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("read error: {e}"))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let vals: Result<Vec<f64>, _> =
+            line.split(',').map(|f| f.trim().parse::<f64>()).collect();
+        let vals = vals.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if let Some(first) = out.first() {
+            if first.dim() != vals.len() {
+                return Err(format!(
+                    "line {}: dimension {} != {}",
+                    lineno + 1,
+                    vals.len(),
+                    first.dim()
+                ));
+            }
+        }
+        out.push(DenseVector(vals));
+    }
+    if out.len() < 2 {
+        return Err("need at least 2 elements to form pairs".into());
+    }
+    Ok(out)
+}
+
+/// Writes a dataset as CSV (inverse of [`read_vectors`]).
+pub fn write_vectors(mut w: impl Write, data: &[DenseVector]) -> std::io::Result<()> {
+    for v in data {
+        let line: Vec<String> = v.0.iter().map(|x| format!("{x}")).collect();
+        writeln!(w, "{}", line.join(","))?;
+    }
+    Ok(())
+}
+
+/// Writes pairwise results as TSV: `element <TAB> other <TAB> result`,
+/// one line per stored `(other, result)` entry, ascending by element.
+pub fn write_results(mut w: impl Write, out: &PairwiseOutput<f64>) -> std::io::Result<()> {
+    writeln!(w, "# element\tother\tresult")?;
+    for (id, results) in &out.per_element {
+        for (other, r) in results {
+            writeln!(w, "{id}\t{other}\t{r}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn roundtrip_csv() {
+        let input = "# a comment\n1.0,2.0\n\n3.5,-4.25\n0,0\n";
+        let data = read_vectors(BufReader::new(input.as_bytes())).unwrap();
+        assert_eq!(data.len(), 3);
+        assert_eq!(data[1].0, vec![3.5, -4.25]);
+        let mut buf = Vec::new();
+        write_vectors(&mut buf, &data).unwrap();
+        let again = read_vectors(BufReader::new(&buf[..])).unwrap();
+        assert_eq!(again, data);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let err = read_vectors(BufReader::new("1,2\n1,2,3\n".as_bytes())).unwrap_err();
+        assert!(err.contains("dimension"));
+    }
+
+    #[test]
+    fn garbage_rejected_with_line_number() {
+        let err = read_vectors(BufReader::new("1,2\n1,oops\n".as_bytes())).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn too_few_elements_rejected() {
+        assert!(read_vectors(BufReader::new("1,2\n".as_bytes())).is_err());
+    }
+
+    #[test]
+    fn results_tsv_shape() {
+        let out = PairwiseOutput {
+            per_element: vec![(0, vec![(1u64, 2.5f64)]), (1, vec![(0, 2.5)])],
+        };
+        let mut buf = Vec::new();
+        write_results(&mut buf, &out).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, "# element\tother\tresult\n0\t1\t2.5\n1\t0\t2.5\n");
+    }
+}

@@ -1,0 +1,38 @@
+//! `pairwise` — command-line driver for parallel pairwise element
+//! computation (Kiefer, Volk, Lehner; HPDC 2010).
+//!
+//! ```text
+//! pairwise run      --input pts.csv --comp euclidean --scheme block --h 8
+//! pairwise generate --kind clusters --n 500 --dim 3 --output pts.csv
+//! pairwise plan     --v 10000 --element-bytes 500KB
+//! pairwise verify   --scheme design --v 137
+//! pairwise table1   --v 10000 --nodes 100 --h 20
+//! ```
+
+mod args;
+mod commands;
+mod data;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "help" || argv[0] == "--help" {
+        print!("{}", commands::USAGE);
+        return ExitCode::SUCCESS;
+    }
+    let parsed = match args::Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match commands::dispatch(&parsed) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! The assembled cluster: nodes + DFS + network + failure injection.
+
+use std::sync::Arc;
+
+use crate::config::ClusterConfig;
+use crate::dfs::Dfs;
+use crate::error::{ClusterError, Result};
+use crate::failure::FailureInjector;
+use crate::ids::NodeId;
+use crate::memory::MemoryGauge;
+use crate::network::TrafficAccountant;
+use crate::node::Node;
+
+/// A simulated shared-nothing cluster (paper §3's execution model).
+#[derive(Debug)]
+pub struct Cluster {
+    config: ClusterConfig,
+    nodes: Vec<Arc<Node>>,
+    dfs: Dfs,
+    traffic: TrafficAccountant,
+    injector: FailureInjector,
+}
+
+impl Cluster {
+    /// Builds a cluster from a configuration.
+    pub fn new(config: ClusterConfig) -> Cluster {
+        assert!(config.num_nodes > 0, "cluster needs at least one node");
+        let nodes = (0..config.num_nodes)
+            .map(|i| Arc::new(Node::new(NodeId(i as u32), config.node.storage_capacity)))
+            .collect();
+        let dfs = Dfs::new(config.num_nodes, config.dfs_block_size, config.dfs_replication);
+        let injector = FailureInjector::new(config.task_failure_probability, config.seed);
+        Cluster { config, nodes, dfs, traffic: TrafficAccountant::new(), injector }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Number of nodes `n`.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Handle to a node.
+    pub fn node(&self, id: NodeId) -> &Arc<Node> {
+        &self.nodes[id.index()]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Arc<Node>] {
+        &self.nodes
+    }
+
+    /// The distributed file system.
+    pub fn dfs(&self) -> &Dfs {
+        &self.dfs
+    }
+
+    /// The network traffic accountant.
+    pub fn traffic(&self) -> &TrafficAccountant {
+        &self.traffic
+    }
+
+    /// The failure injector.
+    pub fn injector(&self) -> &FailureInjector {
+        &self.injector
+    }
+
+    /// Creates a task-scoped memory gauge honoring the configured `maxws`.
+    pub fn task_memory_gauge(&self) -> MemoryGauge {
+        MemoryGauge::new(self.config.node.task_memory_budget)
+    }
+
+    /// Bytes of node-local (intermediate) data currently materialized
+    /// across all nodes.
+    pub fn intermediate_bytes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.storage_used()).sum()
+    }
+
+    /// Peak node-local bytes summed over nodes (upper bound on the true
+    /// cluster-wide peak).
+    pub fn intermediate_bytes_peak(&self) -> u64 {
+        self.nodes.iter().map(|n| n.storage_peak()).sum()
+    }
+
+    /// Checks the cluster-wide intermediate-storage cap (`maxis`): errors if
+    /// current usage exceeds it.
+    pub fn check_intermediate_capacity(&self) -> Result<()> {
+        if let Some(cap) = self.config.intermediate_storage_capacity {
+            let used = self.intermediate_bytes();
+            if used > cap {
+                return Err(ClusterError::IntermediateStorageExceeded {
+                    requested: used,
+                    capacity: cap,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn assembly() {
+        let c = Cluster::new(ClusterConfig::with_nodes(3));
+        assert_eq!(c.num_nodes(), 3);
+        assert_eq!(c.node(NodeId(1)).id(), NodeId(1));
+        assert_eq!(c.intermediate_bytes(), 0);
+        c.check_intermediate_capacity().unwrap();
+    }
+
+    #[test]
+    fn intermediate_cap_detected() {
+        let c = Cluster::new(ClusterConfig::with_nodes(2).intermediate_storage(10));
+        c.node(NodeId(0)).write_local("a", Bytes::from(vec![0u8; 8])).unwrap();
+        c.check_intermediate_capacity().unwrap();
+        c.node(NodeId(1)).write_local("b", Bytes::from(vec![0u8; 8])).unwrap();
+        assert!(matches!(
+            c.check_intermediate_capacity(),
+            Err(ClusterError::IntermediateStorageExceeded { requested: 16, capacity: 10 })
+        ));
+    }
+
+    #[test]
+    fn memory_gauge_uses_config() {
+        let c = Cluster::new(ClusterConfig::with_nodes(1).task_memory_budget(64));
+        let g = c.task_memory_gauge();
+        assert!(g.try_reserve(64).is_ok());
+        assert!(g.try_reserve(1).is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! Cluster and node configuration.
+//!
+//! The defaults model the environment of the paper's §6 evaluation scaled
+//! down to a laptop: a handful of nodes, a per-task working-set budget
+//! (`maxws`), and a cluster-wide intermediate-storage budget (`maxis`).
+
+use crate::network::NetworkModel;
+
+/// Per-node resource configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeConfig {
+    /// Per-task main-memory budget in bytes — the paper's `maxws`.
+    /// `None` disables enforcement.
+    pub task_memory_budget: Option<u64>,
+    /// Local storage capacity for intermediate data, in bytes.
+    /// `None` disables enforcement.
+    pub storage_capacity: Option<u64>,
+    /// Concurrent map-task slots on this node.
+    pub map_slots: usize,
+    /// Concurrent reduce-task slots on this node.
+    pub reduce_slots: usize,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            task_memory_budget: None,
+            storage_capacity: None,
+            map_slots: 2,
+            reduce_slots: 2,
+        }
+    }
+}
+
+/// Whole-cluster configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of worker nodes (`n` in the paper).
+    pub num_nodes: usize,
+    /// Per-node resources.
+    pub node: NodeConfig,
+    /// Network cost model for shuffle / DFS-remote-read accounting.
+    pub network: NetworkModel,
+    /// DFS block size in bytes.
+    pub dfs_block_size: u64,
+    /// DFS replication factor (each block stored on this many nodes).
+    pub dfs_replication: usize,
+    /// Cluster-wide cap on materialized intermediate data — the paper's
+    /// `maxis`. `None` disables enforcement.
+    pub intermediate_storage_capacity: Option<u64>,
+    /// Probability in `[0, 1]` that a task attempt fails (injected,
+    /// deterministic per attempt id); retried attempts use fresh draws.
+    pub task_failure_probability: f64,
+    /// Maximum attempts per task before the job is declared failed.
+    pub max_task_attempts: u32,
+    /// Seed for deterministic failure injection and DFS placement jitter.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            num_nodes: 4,
+            node: NodeConfig::default(),
+            network: NetworkModel::default(),
+            dfs_block_size: 1 << 20, // 1 MiB
+            dfs_replication: 2,
+            intermediate_storage_capacity: None,
+            task_failure_probability: 0.0,
+            max_task_attempts: 4,
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A small cluster with `n` nodes and otherwise default settings.
+    pub fn with_nodes(n: usize) -> Self {
+        ClusterConfig { num_nodes: n, ..Default::default() }
+    }
+
+    /// Sets the per-task memory budget (`maxws`), builder-style.
+    pub fn task_memory_budget(mut self, bytes: u64) -> Self {
+        self.node.task_memory_budget = Some(bytes);
+        self
+    }
+
+    /// Sets the cluster-wide intermediate-storage cap (`maxis`),
+    /// builder-style.
+    pub fn intermediate_storage(mut self, bytes: u64) -> Self {
+        self.intermediate_storage_capacity = Some(bytes);
+        self
+    }
+
+    /// Sets the failure-injection probability, builder-style.
+    pub fn failure_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        self.task_failure_probability = p;
+        self
+    }
+
+    /// Sets the RNG seed, builder-style.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Total map slots across the cluster.
+    pub fn total_map_slots(&self) -> usize {
+        self.num_nodes * self.node.map_slots
+    }
+
+    /// Total reduce slots across the cluster.
+    pub fn total_reduce_slots(&self) -> usize {
+        self.num_nodes * self.node.reduce_slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let c = ClusterConfig::with_nodes(8)
+            .task_memory_budget(200 << 20)
+            .intermediate_storage(1 << 40)
+            .failure_probability(0.1)
+            .seed(42);
+        assert_eq!(c.num_nodes, 8);
+        assert_eq!(c.node.task_memory_budget, Some(200 << 20));
+        assert_eq!(c.intermediate_storage_capacity, Some(1 << 40));
+        assert_eq!(c.task_failure_probability, 0.1);
+        assert_eq!(c.total_map_slots(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_bad_probability() {
+        let _ = ClusterConfig::default().failure_probability(1.5);
+    }
+}

@@ -1,0 +1,427 @@
+//! An in-memory distributed file system.
+//!
+//! Models the premise of the paper's execution model (§3): "The input
+//! dataset is stored as files, distributed on the participating nodes.
+//! Random access to single elements may not be possible" — files are
+//! immutable byte sequences split into fixed-size blocks, each replicated on
+//! a few nodes; readers on non-replica nodes pay network cost; MapReduce
+//! input splits are derived from block boundaries (record-aligned when the
+//! writer recorded record offsets).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::{Bytes, BytesMut};
+use parking_lot::RwLock;
+
+use crate::error::{ClusterError, Result};
+use crate::ids::NodeId;
+use crate::network::{NetworkModel, TrafficAccountant};
+
+/// One replicated block of a DFS file.
+#[derive(Debug, Clone)]
+struct DfsBlock {
+    /// Byte offset of this block within the file.
+    offset: u64,
+    data: Bytes,
+    replicas: Vec<NodeId>,
+}
+
+/// One immutable DFS file.
+#[derive(Debug, Clone)]
+struct DfsFile {
+    blocks: Vec<DfsBlock>,
+    len: u64,
+    /// Byte offsets of record starts (ascending, starting at 0), when the
+    /// writer supplied them. Enables record-aligned input splits.
+    record_offsets: Option<Arc<Vec<u64>>>,
+}
+
+/// A contiguous slice of a DFS file assigned to one map task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InputSplit {
+    /// File the split belongs to.
+    pub path: String,
+    /// Starting byte offset.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Nodes holding a replica of the split's first block — scheduling
+    /// there makes the read local.
+    pub preferred_nodes: Vec<NodeId>,
+}
+
+/// The distributed file system.
+///
+/// ```
+/// use bytes::Bytes;
+/// use pmr_cluster::Dfs;
+///
+/// let dfs = Dfs::new(4, 16, 2); // 4 nodes, 16-B blocks, 2 replicas
+/// dfs.create("data", Bytes::from(vec![7u8; 100])).unwrap();
+/// assert_eq!(dfs.len("data").unwrap(), 100);
+/// let splits = dfs.splits("data", 3).unwrap();
+/// assert_eq!(splits.iter().map(|s| s.len).sum::<u64>(), 100);
+/// ```
+#[derive(Debug)]
+pub struct Dfs {
+    block_size: u64,
+    replication: usize,
+    num_nodes: usize,
+    files: RwLock<HashMap<String, DfsFile>>,
+    placement: AtomicU64,
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
+}
+
+impl Dfs {
+    /// Creates a DFS over `num_nodes` nodes.
+    pub fn new(num_nodes: usize, block_size: u64, replication: usize) -> Dfs {
+        assert!(num_nodes > 0 && block_size > 0 && replication > 0);
+        Dfs {
+            block_size,
+            replication: replication.min(num_nodes),
+            num_nodes,
+            files: RwLock::new(HashMap::new()),
+            placement: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+        }
+    }
+
+    /// Block size in bytes.
+    pub fn block_size(&self) -> u64 {
+        self.block_size
+    }
+
+    /// Creates an immutable file. Fails if the path exists.
+    pub fn create(&self, path: &str, data: Bytes) -> Result<()> {
+        self.create_with_records(path, data, None)
+    }
+
+    /// Creates an immutable file and remembers record-start offsets so
+    /// [`Dfs::splits`] can cut on record boundaries.
+    ///
+    /// `record_offsets` must be ascending and start at 0 (checked with
+    /// `debug_assert`); pass `None` for raw byte files.
+    pub fn create_with_records(
+        &self,
+        path: &str,
+        data: Bytes,
+        record_offsets: Option<Vec<u64>>,
+    ) -> Result<()> {
+        if let Some(offs) = &record_offsets {
+            debug_assert!(offs.windows(2).all(|w| w[0] < w[1]), "record offsets must ascend");
+            debug_assert!(offs.first().is_none_or(|&o| o == 0));
+            debug_assert!(offs.last().is_none_or(|&o| o <= data.len() as u64));
+        }
+        let mut files = self.files.write();
+        if files.contains_key(path) {
+            return Err(ClusterError::FileExists(path.to_string()));
+        }
+        let len = data.len() as u64;
+        let mut blocks = Vec::new();
+        let mut off = 0u64;
+        // Zero-length files get a single empty block so they still have a
+        // placement (and splits() yields nothing).
+        loop {
+            let end = (off + self.block_size).min(len);
+            let slice = data.slice(off as usize..end as usize);
+            let start = self.placement.fetch_add(1, Ordering::Relaxed) as usize;
+            let replicas = (0..self.replication)
+                .map(|i| NodeId(((start + i) % self.num_nodes) as u32))
+                .collect();
+            blocks.push(DfsBlock { offset: off, data: slice, replicas });
+            off = end;
+            if off >= len {
+                break;
+            }
+        }
+        self.bytes_written.fetch_add(len, Ordering::Relaxed);
+        files.insert(
+            path.to_string(),
+            DfsFile { blocks, len, record_offsets: record_offsets.map(Arc::new) },
+        );
+        Ok(())
+    }
+
+    /// True iff the path exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.read().contains_key(path)
+    }
+
+    /// File length in bytes.
+    pub fn len(&self, path: &str) -> Result<u64> {
+        self.files
+            .read()
+            .get(path)
+            .map(|f| f.len)
+            .ok_or_else(|| ClusterError::NoSuchFile(path.to_string()))
+    }
+
+    /// True iff no files exist.
+    pub fn is_empty(&self) -> bool {
+        self.files.read().is_empty()
+    }
+
+    /// Reads a whole file without network accounting (test/driver use).
+    pub fn read(&self, path: &str) -> Result<Bytes> {
+        let files = self.files.read();
+        let f = files.get(path).ok_or_else(|| ClusterError::NoSuchFile(path.to_string()))?;
+        Ok(concat_blocks(f, 0, f.len))
+    }
+
+    /// Reads `[offset, offset+len)` of a file as node `reader`, charging
+    /// network cost for every block that has no replica on `reader`.
+    pub fn read_range_from(
+        &self,
+        path: &str,
+        offset: u64,
+        len: u64,
+        reader: NodeId,
+        traffic: &TrafficAccountant,
+        model: &NetworkModel,
+    ) -> Result<Bytes> {
+        let files = self.files.read();
+        let f = files.get(path).ok_or_else(|| ClusterError::NoSuchFile(path.to_string()))?;
+        assert!(offset + len <= f.len, "read past end of {path}");
+        for b in &f.blocks {
+            let b_end = b.offset + b.data.len() as u64;
+            if b_end <= offset || b.offset >= offset + len || b.data.is_empty() {
+                continue;
+            }
+            let overlap = b_end.min(offset + len) - b.offset.max(offset);
+            let src = if b.replicas.contains(&reader) { reader } else { b.replicas[0] };
+            traffic.record(model, src, reader, overlap);
+        }
+        self.bytes_read.fetch_add(len, Ordering::Relaxed);
+        Ok(concat_blocks(f, offset, len))
+    }
+
+    /// Record-start offsets stored for a file, if any.
+    pub fn record_offsets(&self, path: &str) -> Result<Option<Arc<Vec<u64>>>> {
+        let files = self.files.read();
+        let f = files.get(path).ok_or_else(|| ClusterError::NoSuchFile(path.to_string()))?;
+        Ok(f.record_offsets.clone())
+    }
+
+    /// Deletes a file (idempotent).
+    pub fn delete(&self, path: &str) {
+        self.files.write().remove(path);
+    }
+
+    /// Lists paths with the given prefix, sorted.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        let mut v: Vec<String> =
+            self.files.read().keys().filter(|k| k.starts_with(prefix)).cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Splits a file into about `desired` contiguous ranges for map tasks.
+    ///
+    /// Boundaries are aligned to record starts when the file has record
+    /// offsets (no record is ever split across two map tasks), otherwise to
+    /// block boundaries. Every byte belongs to exactly one split.
+    pub fn splits(&self, path: &str, desired: usize) -> Result<Vec<InputSplit>> {
+        let files = self.files.read();
+        let f = files.get(path).ok_or_else(|| ClusterError::NoSuchFile(path.to_string()))?;
+        if f.len == 0 {
+            return Ok(Vec::new());
+        }
+        let desired = desired.max(1) as u64;
+        let target = f.len.div_ceil(desired);
+
+        // Candidate boundaries: record starts if present, else block starts.
+        let boundaries: Vec<u64> = match &f.record_offsets {
+            Some(offs) => offs.as_ref().clone(),
+            None => f.blocks.iter().map(|b| b.offset).collect(),
+        };
+
+        let mut splits = Vec::new();
+        let mut start = 0u64;
+        while start < f.len {
+            let want_end = start + target;
+            // Smallest boundary ≥ want_end, or EOF.
+            let end = if want_end >= f.len {
+                f.len
+            } else {
+                match boundaries.binary_search(&want_end) {
+                    Ok(i) => boundaries[i],
+                    Err(i) if i < boundaries.len() => boundaries[i],
+                    Err(_) => f.len,
+                }
+            };
+            let end = end.max(start + 1).min(f.len);
+            let first_block = f
+                .blocks
+                .iter()
+                .find(|b| b.offset + (b.data.len() as u64).max(1) > start)
+                .unwrap_or(&f.blocks[0]);
+            splits.push(InputSplit {
+                path: path.to_string(),
+                offset: start,
+                len: end - start,
+                preferred_nodes: first_block.replicas.clone(),
+            });
+            start = end;
+        }
+        Ok(splits)
+    }
+
+    /// Sum of all file lengths currently stored.
+    pub fn total_bytes(&self) -> u64 {
+        self.files.read().values().map(|f| f.len).sum()
+    }
+
+    /// Cumulative bytes written since creation.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative bytes read since creation.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+}
+
+fn concat_blocks(f: &DfsFile, offset: u64, len: u64) -> Bytes {
+    if len == 0 {
+        return Bytes::new();
+    }
+    // Fast path: a single block covers the whole range.
+    for b in &f.blocks {
+        let b_end = b.offset + b.data.len() as u64;
+        if b.offset <= offset && offset + len <= b_end {
+            let s = (offset - b.offset) as usize;
+            return b.data.slice(s..s + len as usize);
+        }
+    }
+    let mut out = BytesMut::with_capacity(len as usize);
+    for b in &f.blocks {
+        let b_end = b.offset + b.data.len() as u64;
+        if b_end <= offset || b.offset >= offset + len {
+            continue;
+        }
+        let s = offset.max(b.offset);
+        let e = b_end.min(offset + len);
+        out.extend_from_slice(&b.data[(s - b.offset) as usize..(e - b.offset) as usize]);
+    }
+    out.freeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dfs() -> Dfs {
+        Dfs::new(4, 16, 2)
+    }
+
+    #[test]
+    fn create_read_roundtrip() {
+        let d = dfs();
+        let data = Bytes::from((0..100u8).collect::<Vec<_>>());
+        d.create("f", data.clone()).unwrap();
+        assert_eq!(d.read("f").unwrap(), data);
+        assert_eq!(d.len("f").unwrap(), 100);
+        assert!(d.exists("f"));
+        assert_eq!(d.total_bytes(), 100);
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let d = dfs();
+        d.create("f", Bytes::from_static(b"x")).unwrap();
+        assert!(matches!(d.create("f", Bytes::new()), Err(ClusterError::FileExists(_))));
+    }
+
+    #[test]
+    fn ranged_reads_cross_blocks() {
+        let d = dfs(); // block size 16
+        let data: Vec<u8> = (0..64).collect();
+        d.create("f", Bytes::from(data.clone())).unwrap();
+        let t = TrafficAccountant::new();
+        let m = NetworkModel::default();
+        let got = d.read_range_from("f", 10, 30, NodeId(0), &t, &m).unwrap();
+        assert_eq!(&got[..], &data[10..40]);
+    }
+
+    #[test]
+    fn remote_reads_charge_network() {
+        let d = Dfs::new(4, 16, 1); // replication 1: most blocks are remote
+        d.create("f", Bytes::from(vec![7u8; 64])).unwrap();
+        let t = TrafficAccountant::new();
+        let m = NetworkModel::default();
+        d.read_range_from("f", 0, 64, NodeId(3), &t, &m).unwrap();
+        // 4 blocks with single replicas on nodes 0..3 round-robin; exactly
+        // one is local to node 3.
+        assert_eq!(t.remote_bytes(), 48);
+        assert_eq!(t.local_bytes(), 16);
+    }
+
+    #[test]
+    fn splits_cover_file_exactly_once() {
+        let d = dfs();
+        d.create("f", Bytes::from(vec![1u8; 100])).unwrap();
+        for desired in [1usize, 2, 3, 7, 100] {
+            let splits = d.splits("f", desired).unwrap();
+            assert!(!splits.is_empty());
+            let mut pos = 0;
+            for s in &splits {
+                assert_eq!(s.offset, pos, "desired={desired}");
+                assert!(s.len > 0);
+                pos += s.len;
+            }
+            assert_eq!(pos, 100, "desired={desired}");
+        }
+    }
+
+    #[test]
+    fn record_aligned_splits_never_cut_records() {
+        let d = Dfs::new(2, 8, 1);
+        // Ten 7-byte records.
+        let offsets: Vec<u64> = (0..10).map(|i| i * 7).collect();
+        d.create_with_records("f", Bytes::from(vec![0u8; 70]), Some(offsets.clone())).unwrap();
+        let splits = d.splits("f", 4).unwrap();
+        let mut pos = 0;
+        for s in &splits {
+            assert!(offsets.contains(&s.offset) || s.offset == 0);
+            pos = s.offset + s.len;
+        }
+        assert_eq!(pos, 70);
+        // Every split boundary is a record start.
+        for s in &splits[1..] {
+            assert!(offsets.contains(&s.offset), "offset {} not a record start", s.offset);
+        }
+    }
+
+    #[test]
+    fn empty_file_yields_no_splits() {
+        let d = dfs();
+        d.create("e", Bytes::new()).unwrap();
+        assert!(d.splits("e", 4).unwrap().is_empty());
+        assert_eq!(d.read("e").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn list_and_delete() {
+        let d = dfs();
+        d.create("dir/a", Bytes::from_static(b"1")).unwrap();
+        d.create("dir/b", Bytes::from_static(b"2")).unwrap();
+        d.create("other", Bytes::from_static(b"3")).unwrap();
+        assert_eq!(d.list("dir/"), vec!["dir/a", "dir/b"]);
+        d.delete("dir/a");
+        assert!(!d.exists("dir/a"));
+        assert_eq!(d.total_bytes(), 2);
+    }
+
+    #[test]
+    fn replication_capped_at_cluster_size() {
+        let d = Dfs::new(2, 16, 5);
+        d.create("f", Bytes::from(vec![0u8; 16])).unwrap();
+        let splits = d.splits("f", 1).unwrap();
+        assert_eq!(splits[0].preferred_nodes.len(), 2);
+    }
+}

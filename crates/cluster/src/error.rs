@@ -1,0 +1,74 @@
+//! Error type for cluster-resource violations.
+//!
+//! The paper's feasibility analysis (§6) revolves around two environment
+//! limits: per-task main memory (`maxws`) and intermediate storage
+//! (`maxis`). These errors are how the simulator surfaces a limit being hit,
+//! which the experiment harness turns into the "maximum dataset size before
+//! the limit is reached" curves of Figures 8 and 9.
+
+use std::fmt;
+
+/// Resource-violation and lookup errors raised by the simulated cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A task tried to hold more memory than its working-set budget
+    /// (the paper's `maxws`).
+    MemoryExceeded {
+        /// Bytes the task attempted to have reserved in total.
+        requested: u64,
+        /// The configured per-task budget.
+        budget: u64,
+    },
+    /// A node's local storage for intermediate data overflowed.
+    NodeStorageExceeded {
+        /// Node that overflowed.
+        node: crate::ids::NodeId,
+        /// Bytes the node would have held.
+        requested: u64,
+        /// The configured per-node capacity.
+        capacity: u64,
+    },
+    /// Cluster-wide intermediate storage overflowed (the paper's `maxis`).
+    IntermediateStorageExceeded {
+        /// Bytes the cluster would have held in intermediate data.
+        requested: u64,
+        /// The configured cluster-wide capacity.
+        capacity: u64,
+    },
+    /// A DFS path does not exist.
+    NoSuchFile(String),
+    /// A DFS path already exists (DFS files are immutable once written).
+    FileExists(String),
+    /// An injected (simulated) task failure.
+    InjectedFailure {
+        /// Description of the failed task attempt.
+        task: String,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::MemoryExceeded { requested, budget } => write!(
+                f,
+                "task memory budget exceeded: requested {requested} B, budget {budget} B (maxws)"
+            ),
+            ClusterError::NodeStorageExceeded { node, requested, capacity } => write!(
+                f,
+                "node {node:?} storage exceeded: {requested} B requested, capacity {capacity} B"
+            ),
+            ClusterError::IntermediateStorageExceeded { requested, capacity } => write!(
+                f,
+                "cluster intermediate storage exceeded: {requested} B requested, capacity {capacity} B (maxis)"
+            ),
+            ClusterError::NoSuchFile(p) => write!(f, "no such DFS file: {p}"),
+            ClusterError::FileExists(p) => write!(f, "DFS file already exists: {p}"),
+            ClusterError::InjectedFailure { task } => write!(f, "injected failure in {task}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Convenience alias used across the cluster and MapReduce crates.
+pub type Result<T> = std::result::Result<T, ClusterError>;

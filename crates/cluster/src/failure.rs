@@ -1,0 +1,115 @@
+//! Deterministic task-failure injection.
+//!
+//! Real MapReduce deployments (the paper ran Hadoop on EC2 and the
+//! Google/IBM academic cloud) lose task attempts routinely; the framework
+//! recovers by re-running them. The engine in `pmr-mapreduce` supports the
+//! same retry loop; this injector decides — deterministically from a seed
+//! and the attempt id — which attempts "fail", so tests of the retry path
+//! are reproducible.
+
+use crate::ids::TaskAttemptId;
+
+/// Deterministic Bernoulli failure source keyed by task-attempt identity.
+#[derive(Debug, Clone)]
+pub struct FailureInjector {
+    /// Failures happen when the attempt's hash falls below this threshold.
+    threshold: u64,
+    seed: u64,
+}
+
+impl FailureInjector {
+    /// Creates an injector that fails each attempt independently with
+    /// probability `p` (clamped to `[0, 1]`).
+    pub fn new(p: f64, seed: u64) -> FailureInjector {
+        let p = p.clamp(0.0, 1.0);
+        let threshold = if p >= 1.0 { u64::MAX } else { (p * u64::MAX as f64) as u64 };
+        FailureInjector { threshold, seed }
+    }
+
+    /// An injector that never fails anything.
+    pub fn disabled() -> FailureInjector {
+        FailureInjector { threshold: 0, seed: 0 }
+    }
+
+    /// True iff this attempt should fail. Pure function of `(seed, id)`.
+    pub fn should_fail(&self, id: TaskAttemptId) -> bool {
+        if self.threshold == 0 {
+            return false;
+        }
+        let kind_bit = match id.kind {
+            crate::ids::TaskKind::Map => 0u64,
+            crate::ids::TaskKind::Reduce => 1,
+        };
+        let x = splitmix64(
+            self.seed
+                ^ (id.job as u64) << 48
+                ^ kind_bit << 40
+                ^ (id.task as u64) << 8
+                ^ id.attempt as u64,
+        );
+        x < self.threshold
+    }
+}
+
+/// SplitMix64 — tiny, high-quality 64-bit mixer (public domain algorithm).
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TaskKind;
+
+    fn attempt(task: u32, attempt: u32) -> TaskAttemptId {
+        TaskAttemptId { job: 0, kind: TaskKind::Map, task, attempt }
+    }
+
+    #[test]
+    fn zero_probability_never_fails() {
+        let inj = FailureInjector::new(0.0, 1);
+        assert!((0..1000).all(|t| !inj.should_fail(attempt(t, 0))));
+    }
+
+    #[test]
+    fn full_probability_always_fails() {
+        let inj = FailureInjector::new(1.0, 1);
+        assert!((0..1000).all(|t| inj.should_fail(attempt(t, 0))));
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = FailureInjector::new(0.3, 99);
+        let b = FailureInjector::new(0.3, 99);
+        for t in 0..200 {
+            assert_eq!(a.should_fail(attempt(t, 0)), b.should_fail(attempt(t, 0)));
+        }
+    }
+
+    #[test]
+    fn rate_is_approximately_p() {
+        let inj = FailureInjector::new(0.25, 7);
+        let fails = (0..10_000).filter(|&t| inj.should_fail(attempt(t, 0))).count();
+        let rate = fails as f64 / 10_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate={rate}");
+    }
+
+    #[test]
+    fn retries_draw_independently() {
+        let inj = FailureInjector::new(0.5, 3);
+        // Some attempt that fails at attempt 0 must succeed by attempt 10
+        // for at least one task (overwhelmingly likely).
+        let mut recovered = false;
+        for t in 0..100 {
+            if inj.should_fail(attempt(t, 0))
+                && (1..10).any(|a| !inj.should_fail(attempt(t, a))) {
+                    recovered = true;
+                    break;
+                }
+        }
+        assert!(recovered);
+    }
+}

@@ -1,0 +1,68 @@
+//! Strongly-typed identifiers for cluster entities.
+
+use std::fmt;
+
+/// Identifier of a simulated node (0-based, dense).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node index as a usize (for indexing node tables).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Identifier of a task attempt: `(job, kind, task index, attempt)`.
+///
+/// Mirrors Hadoop's `attempt_<job>_<m|r>_<task>_<attempt>` naming; used for
+/// deterministic failure injection and local-file naming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskAttemptId {
+    /// Job sequence number within the cluster's lifetime.
+    pub job: u32,
+    /// Map or reduce.
+    pub kind: TaskKind,
+    /// Task index within the job phase.
+    pub task: u32,
+    /// Retry attempt, 0-based.
+    pub attempt: u32,
+}
+
+/// Whether a task is a map task or a reduce task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// Map-side task.
+    Map,
+    /// Reduce-side task.
+    Reduce,
+}
+
+impl fmt::Display for TaskAttemptId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let k = match self.kind {
+            TaskKind::Map => 'm',
+            TaskKind::Reduce => 'r',
+        };
+        write!(f, "attempt_{}_{}_{:06}_{}", self.job, k, self.task, self.attempt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId(3).to_string(), "node3");
+        let t = TaskAttemptId { job: 2, kind: TaskKind::Reduce, task: 17, attempt: 1 };
+        assert_eq!(t.to_string(), "attempt_2_r_000017_1");
+    }
+}

@@ -1,0 +1,166 @@
+//! Per-task working-set memory accounting (the paper's `maxws`).
+//!
+//! A reduce task in the pairwise algorithm materializes its whole working
+//! set in memory (paper §5.4: "Because we want the working set to be kept in
+//! memory, its size may hit a limitation introduced by the amount of
+//! available main memory"). [`MemoryGauge`] is handed to each task; the task
+//! reserves bytes as it deserializes elements and the gauge fails the task
+//! the moment the budget is exceeded — reproducing the failure mode the
+//! paper observed on real clouds ("the working set size limit was hit a
+//! little earlier than expected" due to bookkeeping overhead, which callers
+//! model via [`MemoryGauge::with_overhead_factor`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::{ClusterError, Result};
+
+/// Tracks one task's live memory against an optional budget and records the
+/// peak. All operations are thread-safe.
+#[derive(Debug)]
+pub struct MemoryGauge {
+    budget: Option<u64>,
+    /// Numerator/denominator of the accounting overhead factor: every
+    /// reserved byte is charged as `bytes · num / den`, modeling runtime
+    /// per-record bookkeeping on top of raw payload bytes.
+    overhead_num: u64,
+    overhead_den: u64,
+    used: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl MemoryGauge {
+    /// A gauge with an optional budget and no accounting overhead.
+    pub fn new(budget: Option<u64>) -> Self {
+        MemoryGauge { budget, overhead_num: 1, overhead_den: 1, used: AtomicU64::new(0), peak: AtomicU64::new(0) }
+    }
+
+    /// An unlimited gauge (still records usage and peak).
+    pub fn unlimited() -> Self {
+        Self::new(None)
+    }
+
+    /// Adds a multiplicative accounting overhead: each reserved byte charges
+    /// `num/den` bytes against the budget. E.g. `(11, 10)` models 10%
+    /// per-record runtime overhead — the effect the paper saw in §6.
+    pub fn with_overhead_factor(mut self, num: u64, den: u64) -> Self {
+        assert!(den > 0 && num >= den, "overhead factor must be ≥ 1");
+        self.overhead_num = num;
+        self.overhead_den = den;
+        self
+    }
+
+    #[inline]
+    fn charged(&self, bytes: u64) -> u64 {
+        bytes.saturating_mul(self.overhead_num) / self.overhead_den
+    }
+
+    /// Reserves `bytes`; fails with [`ClusterError::MemoryExceeded`] if the
+    /// budget would be exceeded (the reservation is then *not* recorded).
+    pub fn try_reserve(&self, bytes: u64) -> Result<()> {
+        let charged = self.charged(bytes);
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            let next = cur + charged;
+            if let Some(budget) = self.budget {
+                if next > budget {
+                    return Err(ClusterError::MemoryExceeded { requested: next, budget });
+                }
+            }
+            match self.used.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => {
+                    self.peak.fetch_max(next, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Releases `bytes` previously reserved.
+    pub fn release(&self, bytes: u64) {
+        let charged = self.charged(bytes);
+        let prev = self.used.fetch_sub(charged, Ordering::Relaxed);
+        debug_assert!(prev >= charged, "released more memory than reserved");
+    }
+
+    /// Currently reserved bytes (after overhead).
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Peak reserved bytes over the gauge's lifetime (after overhead).
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// The configured budget, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_release_tracks_peak() {
+        let g = MemoryGauge::new(Some(100));
+        g.try_reserve(60).unwrap();
+        g.try_reserve(30).unwrap();
+        g.release(50);
+        g.try_reserve(20).unwrap();
+        assert_eq!(g.used(), 60);
+        assert_eq!(g.peak(), 90);
+    }
+
+    #[test]
+    fn budget_enforced_exactly() {
+        let g = MemoryGauge::new(Some(100));
+        g.try_reserve(100).unwrap();
+        let err = g.try_reserve(1).unwrap_err();
+        assert_eq!(err, ClusterError::MemoryExceeded { requested: 101, budget: 100 });
+        // Failed reservation is not recorded.
+        assert_eq!(g.used(), 100);
+    }
+
+    #[test]
+    fn unlimited_never_fails() {
+        let g = MemoryGauge::unlimited();
+        g.try_reserve(u64::MAX / 4).unwrap();
+        assert!(g.peak() > 0);
+    }
+
+    #[test]
+    fn overhead_factor_charges_more() {
+        // 25% overhead: 80 raw bytes charge 100.
+        let g = MemoryGauge::new(Some(100)).with_overhead_factor(5, 4);
+        g.try_reserve(80).unwrap();
+        assert_eq!(g.used(), 100);
+        assert!(g.try_reserve(1).is_err());
+        g.release(80);
+        assert_eq!(g.used(), 0);
+    }
+
+    #[test]
+    fn concurrent_reservations_respect_budget() {
+        use std::sync::Arc;
+        let g = Arc::new(MemoryGauge::new(Some(1000)));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let g = Arc::clone(&g);
+            handles.push(std::thread::spawn(move || {
+                let mut ok = 0u64;
+                for _ in 0..1000 {
+                    if g.try_reserve(1).is_ok() {
+                        ok += 1;
+                    }
+                }
+                ok
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 1000);
+        assert_eq!(g.used(), 1000);
+    }
+}

@@ -1,0 +1,157 @@
+//! Network cost model and traffic accounting.
+//!
+//! The execution model (paper §3) assumes "a number of nodes that are
+//! connected by a (possibly slow) network" with no online communication —
+//! data moves only as stored files between tasks. The paper's
+//! *communication cost* metric (Table 1) counts bytes of intermediate data
+//! moved through the system; this module measures exactly that, plus a
+//! simple latency/bandwidth time model so experiments can also report
+//! simulated transfer time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::ids::NodeId;
+
+/// Linear latency + bandwidth cost model for point-to-point transfers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkModel {
+    /// Per-transfer latency in microseconds.
+    pub latency_us: u64,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: u64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        // Gigabit ethernet-ish: 100 µs latency, ~117 MiB/s.
+        NetworkModel { latency_us: 100, bandwidth_bytes_per_sec: 117 << 20 }
+    }
+}
+
+impl NetworkModel {
+    /// Simulated wall time for moving `bytes` over one link, in microseconds.
+    pub fn transfer_time_us(&self, bytes: u64) -> u64 {
+        self.latency_us + bytes.saturating_mul(1_000_000) / self.bandwidth_bytes_per_sec.max(1)
+    }
+}
+
+/// Thread-safe accumulator of network traffic.
+///
+/// Local moves (same source and destination node) are counted separately —
+/// the paper assumes "most of the input data can be read locally" and its
+/// communication-cost metric covers only data that crosses the network.
+#[derive(Debug, Default)]
+pub struct TrafficAccountant {
+    remote_bytes: AtomicU64,
+    remote_transfers: AtomicU64,
+    local_bytes: AtomicU64,
+    simulated_time_us: AtomicU64,
+}
+
+impl TrafficAccountant {
+    /// Creates an accountant with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a transfer of `bytes` from `src` to `dst` under `model`.
+    /// Returns the simulated transfer time in microseconds (0 for local).
+    pub fn record(&self, model: &NetworkModel, src: NodeId, dst: NodeId, bytes: u64) -> u64 {
+        if src == dst {
+            self.local_bytes.fetch_add(bytes, Ordering::Relaxed);
+            0
+        } else {
+            self.remote_bytes.fetch_add(bytes, Ordering::Relaxed);
+            self.remote_transfers.fetch_add(1, Ordering::Relaxed);
+            let t = model.transfer_time_us(bytes);
+            self.simulated_time_us.fetch_add(t, Ordering::Relaxed);
+            t
+        }
+    }
+
+    /// Records a broadcast of `bytes` from `src` to every node in
+    /// `0..num_nodes` (used by the distributed cache; paper §5.1).
+    pub fn record_broadcast(
+        &self,
+        model: &NetworkModel,
+        src: NodeId,
+        num_nodes: usize,
+        bytes: u64,
+    ) {
+        for n in 0..num_nodes {
+            self.record(model, src, NodeId(n as u32), bytes);
+        }
+    }
+
+    /// Total bytes moved across the network (excluding node-local moves).
+    pub fn remote_bytes(&self) -> u64 {
+        self.remote_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of remote transfers recorded.
+    pub fn remote_transfers(&self) -> u64 {
+        self.remote_transfers.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes moved node-locally.
+    pub fn local_bytes(&self) -> u64 {
+        self.local_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Sum of simulated transfer times, in microseconds. (An upper bound on
+    /// wall time: real transfers overlap.)
+    pub fn simulated_time_us(&self) -> u64 {
+        self.simulated_time_us.load(Ordering::Relaxed)
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.remote_bytes.store(0, Ordering::Relaxed);
+        self.remote_transfers.store(0, Ordering::Relaxed);
+        self.local_bytes.store(0, Ordering::Relaxed);
+        self.simulated_time_us.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_includes_latency() {
+        let m = NetworkModel { latency_us: 100, bandwidth_bytes_per_sec: 1_000_000 };
+        assert_eq!(m.transfer_time_us(0), 100);
+        assert_eq!(m.transfer_time_us(1_000_000), 100 + 1_000_000);
+    }
+
+    #[test]
+    fn local_transfers_do_not_count_as_remote() {
+        let acc = TrafficAccountant::new();
+        let m = NetworkModel::default();
+        acc.record(&m, NodeId(0), NodeId(0), 500);
+        acc.record(&m, NodeId(0), NodeId(1), 700);
+        assert_eq!(acc.local_bytes(), 500);
+        assert_eq!(acc.remote_bytes(), 700);
+        assert_eq!(acc.remote_transfers(), 1);
+        assert!(acc.simulated_time_us() > 0);
+    }
+
+    #[test]
+    fn broadcast_hits_every_node() {
+        let acc = TrafficAccountant::new();
+        let m = NetworkModel::default();
+        acc.record_broadcast(&m, NodeId(0), 4, 100);
+        // One of the four "transfers" is node-local (src itself).
+        assert_eq!(acc.remote_bytes(), 300);
+        assert_eq!(acc.local_bytes(), 100);
+    }
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let acc = TrafficAccountant::new();
+        acc.record(&NetworkModel::default(), NodeId(0), NodeId(1), 10);
+        acc.reset();
+        assert_eq!(acc.remote_bytes(), 0);
+        assert_eq!(acc.simulated_time_us(), 0);
+    }
+}

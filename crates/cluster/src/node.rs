@@ -1,0 +1,165 @@
+//! A simulated worker node: local file store and storage ledger.
+//!
+//! Nodes hold (a) DFS block replicas and (b) node-local files — the
+//! materialized intermediate data of MapReduce (map outputs waiting to be
+//! shuffled, distributed-cache copies). The paper's `maxis` limit is about
+//! exactly this intermediate data; each node additionally has its own
+//! capacity.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use crate::error::{ClusterError, Result};
+use crate::ids::NodeId;
+
+/// One simulated node.
+#[derive(Debug)]
+pub struct Node {
+    id: NodeId,
+    storage_capacity: Option<u64>,
+    files: RwLock<HashMap<String, Bytes>>,
+    storage_used: AtomicU64,
+    storage_peak: AtomicU64,
+}
+
+impl Node {
+    /// Creates a node with the given local-storage capacity.
+    pub fn new(id: NodeId, storage_capacity: Option<u64>) -> Node {
+        Node {
+            id,
+            storage_capacity,
+            files: RwLock::new(HashMap::new()),
+            storage_used: AtomicU64::new(0),
+            storage_peak: AtomicU64::new(0),
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Writes (or overwrites) a node-local file, enforcing the storage
+    /// capacity. Overwriting releases the old bytes first.
+    pub fn write_local(&self, name: &str, data: Bytes) -> Result<()> {
+        let new_len = data.len() as u64;
+        let mut files = self.files.write();
+        let old_len = files.get(name).map_or(0, |b| b.len() as u64);
+        let cur = self.storage_used.load(Ordering::Relaxed);
+        let next = cur - old_len + new_len;
+        if let Some(cap) = self.storage_capacity {
+            if next > cap {
+                return Err(ClusterError::NodeStorageExceeded {
+                    node: self.id,
+                    requested: next,
+                    capacity: cap,
+                });
+            }
+        }
+        files.insert(name.to_string(), data);
+        self.storage_used.store(next, Ordering::Relaxed);
+        self.storage_peak.fetch_max(next, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Reads a node-local file.
+    pub fn read_local(&self, name: &str) -> Result<Bytes> {
+        self.files
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ClusterError::NoSuchFile(format!("{}:{}", self.id, name)))
+    }
+
+    /// Deletes a node-local file, releasing its bytes. Missing files are
+    /// ignored (idempotent, like task-cleanup in real frameworks).
+    pub fn delete_local(&self, name: &str) {
+        let mut files = self.files.write();
+        if let Some(old) = files.remove(name) {
+            self.storage_used.fetch_sub(old.len() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Deletes all local files whose name starts with `prefix`; returns the
+    /// number of files removed.
+    pub fn delete_local_prefix(&self, prefix: &str) -> usize {
+        let mut files = self.files.write();
+        let victims: Vec<String> =
+            files.keys().filter(|k| k.starts_with(prefix)).cloned().collect();
+        for v in &victims {
+            if let Some(old) = files.remove(v) {
+                self.storage_used.fetch_sub(old.len() as u64, Ordering::Relaxed);
+            }
+        }
+        victims.len()
+    }
+
+    /// Lists local file names with the given prefix, sorted.
+    pub fn list_local(&self, prefix: &str) -> Vec<String> {
+        let mut names: Vec<String> =
+            self.files.read().keys().filter(|k| k.starts_with(prefix)).cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Bytes currently held in node-local files.
+    pub fn storage_used(&self) -> u64 {
+        self.storage_used.load(Ordering::Relaxed)
+    }
+
+    /// Peak bytes held over the node's lifetime.
+    pub fn storage_peak(&self) -> u64 {
+        self.storage_peak.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_delete_roundtrip() {
+        let n = Node::new(NodeId(0), None);
+        n.write_local("a", Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(n.read_local("a").unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(n.storage_used(), 5);
+        n.delete_local("a");
+        assert_eq!(n.storage_used(), 0);
+        assert!(n.read_local("a").is_err());
+    }
+
+    #[test]
+    fn overwrite_releases_old_bytes() {
+        let n = Node::new(NodeId(0), Some(10));
+        n.write_local("f", Bytes::from(vec![0u8; 8])).unwrap();
+        // Overwriting with 10 bytes fits because the old 8 are released.
+        n.write_local("f", Bytes::from(vec![0u8; 10])).unwrap();
+        assert_eq!(n.storage_used(), 10);
+        assert_eq!(n.storage_peak(), 10);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let n = Node::new(NodeId(1), Some(10));
+        n.write_local("a", Bytes::from(vec![0u8; 6])).unwrap();
+        let err = n.write_local("b", Bytes::from(vec![0u8; 5])).unwrap_err();
+        assert!(matches!(err, ClusterError::NodeStorageExceeded { capacity: 10, .. }));
+        // Failed write leaves state unchanged.
+        assert_eq!(n.storage_used(), 6);
+        assert!(n.read_local("b").is_err());
+    }
+
+    #[test]
+    fn prefix_operations() {
+        let n = Node::new(NodeId(0), None);
+        n.write_local("job1/part0", Bytes::from_static(b"x")).unwrap();
+        n.write_local("job1/part1", Bytes::from_static(b"y")).unwrap();
+        n.write_local("job2/part0", Bytes::from_static(b"z")).unwrap();
+        assert_eq!(n.list_local("job1/"), vec!["job1/part0", "job1/part1"]);
+        assert_eq!(n.delete_local_prefix("job1/"), 2);
+        assert_eq!(n.storage_used(), 1);
+    }
+}

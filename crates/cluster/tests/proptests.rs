@@ -1,0 +1,118 @@
+//! Property-based tests for the cluster substrate.
+
+use bytes::Bytes;
+use pmr_cluster::{Cluster, ClusterConfig, Dfs, MemoryGauge, NetworkModel, TrafficAccountant};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn dfs_roundtrips_arbitrary_bytes(
+        data in prop::collection::vec(any::<u8>(), 0..2000),
+        block_size in 1u64..256,
+        nodes in 1usize..6,
+        replication in 1usize..4,
+    ) {
+        let dfs = Dfs::new(nodes, block_size, replication);
+        dfs.create("f", Bytes::from(data.clone())).unwrap();
+        prop_assert_eq!(dfs.read("f").unwrap(), Bytes::from(data.clone()));
+        prop_assert_eq!(dfs.len("f").unwrap(), data.len() as u64);
+    }
+
+    #[test]
+    fn dfs_ranged_reads_match_slices(
+        data in prop::collection::vec(any::<u8>(), 1..1000),
+        block_size in 1u64..128,
+        cuts in prop::collection::vec(any::<u16>(), 1..8),
+    ) {
+        let dfs = Dfs::new(3, block_size, 2);
+        dfs.create("f", Bytes::from(data.clone())).unwrap();
+        let t = TrafficAccountant::new();
+        let m = NetworkModel::default();
+        for c in cuts {
+            let off = c as u64 % data.len() as u64;
+            let len = (data.len() as u64 - off).min(1 + c as u64 % 64);
+            let got = dfs
+                .read_range_from("f", off, len, pmr_cluster::NodeId(0), &t, &m)
+                .unwrap();
+            prop_assert_eq!(&got[..], &data[off as usize..(off + len) as usize]);
+        }
+    }
+
+    #[test]
+    fn dfs_splits_tile_exactly(
+        len in 1usize..5000,
+        block_size in 1u64..512,
+        desired in 1usize..12,
+    ) {
+        let dfs = Dfs::new(4, block_size, 2);
+        dfs.create("f", Bytes::from(vec![1u8; len])).unwrap();
+        let splits = dfs.splits("f", desired).unwrap();
+        let mut pos = 0u64;
+        for s in &splits {
+            prop_assert_eq!(s.offset, pos);
+            prop_assert!(s.len > 0);
+            prop_assert!(!s.preferred_nodes.is_empty());
+            pos += s.len;
+        }
+        prop_assert_eq!(pos, len as u64);
+    }
+
+    #[test]
+    fn memory_gauge_conserves(ops in prop::collection::vec((any::<bool>(), 1u64..1000), 1..100)) {
+        let g = MemoryGauge::unlimited();
+        let mut live: Vec<u64> = Vec::new();
+        let mut expected = 0u64;
+        for (release, bytes) in ops {
+            if release && !live.is_empty() {
+                let b = live.pop().unwrap();
+                g.release(b);
+                expected -= b;
+            } else {
+                g.try_reserve(bytes).unwrap();
+                live.push(bytes);
+                expected += bytes;
+            }
+            prop_assert_eq!(g.used(), expected);
+            prop_assert!(g.peak() >= g.used());
+        }
+    }
+
+    #[test]
+    fn traffic_totals_are_additive(
+        transfers in prop::collection::vec((0u32..4, 0u32..4, 0u64..10_000), 0..50),
+    ) {
+        let acc = TrafficAccountant::new();
+        let m = NetworkModel::default();
+        let mut remote = 0u64;
+        let mut local = 0u64;
+        for (src, dst, bytes) in transfers {
+            acc.record(&m, pmr_cluster::NodeId(src), pmr_cluster::NodeId(dst), bytes);
+            if src == dst {
+                local += bytes;
+            } else {
+                remote += bytes;
+            }
+        }
+        prop_assert_eq!(acc.remote_bytes(), remote);
+        prop_assert_eq!(acc.local_bytes(), local);
+    }
+
+    #[test]
+    fn node_storage_ledger_balances(
+        files in prop::collection::vec((0u8..8, 0usize..200), 1..40),
+    ) {
+        let cluster = Cluster::new(ClusterConfig::with_nodes(1));
+        let node = cluster.node(pmr_cluster::NodeId(0));
+        let mut expect: std::collections::HashMap<u8, usize> = Default::default();
+        for (name, size) in files {
+            node.write_local(&format!("f{name}"), Bytes::from(vec![0u8; size])).unwrap();
+            expect.insert(name, size);
+        }
+        let total: usize = expect.values().sum();
+        prop_assert_eq!(node.storage_used(), total as u64);
+        for name in expect.keys() {
+            node.delete_local(&format!("f{name}"));
+        }
+        prop_assert_eq!(node.storage_used(), 0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Analytic makespan model: which scheme is fastest for a given workload?
+//!
+//! Table 1 compares the schemes metric-by-metric but stops short of a
+//! combined time estimate. This module composes those metrics into a
+//! simple makespan model so the trade-offs become one number:
+//!
+//! ```text
+//! T(scheme) ≈ waves · (task_overhead + W·s/bw + E·c)  +  2·v·r·s / (n·bw)
+//! ```
+//!
+//! with `waves = ⌈p / (n·slots)⌉` task waves, `W` working-set elements per
+//! task, `E` evaluations per task, `c` the cost of one `comp`, `r` the
+//! replication factor, `s` the element size, `bw` per-link bandwidth — the
+//! first term is the critical path through the compute phase (each task
+//! first pulls its working set, then evaluates), the second the
+//! aggregation-phase shuffle spread over `n` parallel links.
+//!
+//! The model is deliberately coarse (no overlap of transfer and compute, no
+//! stragglers); its value is *ordering* schemes and locating crossovers,
+//! which `pmr-bench --bin scheme_advisor` validates against real measured
+//! wall times on the local backend.
+
+use crate::analysis::table1::{block_row, broadcast_row, design_row};
+use crate::scheme::SchemeMetrics;
+
+/// Workload and environment parameters for the makespan model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostParams {
+    /// Dataset cardinality `v`.
+    pub v: u64,
+    /// Element size in bytes.
+    pub element_bytes: u64,
+    /// Number of nodes `n`.
+    pub n_nodes: u64,
+    /// Concurrent task slots per node.
+    pub slots_per_node: u64,
+    /// Cost of one `comp(a, b)` evaluation, microseconds.
+    pub comp_cost_us: f64,
+    /// Per-link network bandwidth, bytes per second.
+    pub network_bytes_per_sec: f64,
+    /// Fixed per-task overhead (scheduling, process spin-up), microseconds.
+    pub task_overhead_us: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            v: 10_000,
+            element_bytes: 500 << 10, // the paper's §3 example: 500 KB
+            n_nodes: 16,
+            slots_per_node: 2,
+            comp_cost_us: 1_000.0,
+            network_bytes_per_sec: 117.0 * (1 << 20) as f64,
+            task_overhead_us: 2_000_000.0, // ~2 s JVM-era task launch
+        }
+    }
+}
+
+/// Makespan estimate for one scheme, with the phase breakdown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEstimate {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// Task waves through the cluster's slots.
+    pub waves: u64,
+    /// Critical-path compute+distribute time, microseconds.
+    pub compute_us: f64,
+    /// Aggregation shuffle time, microseconds.
+    pub aggregate_us: f64,
+    /// Total estimated makespan, microseconds.
+    pub total_us: f64,
+}
+
+fn estimate_from_metrics(m: &SchemeMetrics, p: &CostParams) -> CostEstimate {
+    let slots = (p.n_nodes * p.slots_per_node).max(1);
+    let waves = m.num_tasks.div_ceil(slots).max(1);
+    let bw_us = p.network_bytes_per_sec / 1_000_000.0; // bytes per µs
+    let ws_transfer_us = (m.working_set_size * p.element_bytes) as f64 / bw_us;
+    let per_task_us = p.task_overhead_us + ws_transfer_us + m.evaluations_per_task * p.comp_cost_us;
+    let compute_us = waves as f64 * per_task_us;
+    // Aggregation: each of the v·r copies travels once more; n links in
+    // parallel.
+    let aggregate_bytes = m.replication_factor * (p.v * p.element_bytes) as f64;
+    let aggregate_us = aggregate_bytes / (bw_us * p.n_nodes as f64);
+    CostEstimate {
+        scheme: m.scheme,
+        waves,
+        compute_us,
+        aggregate_us,
+        total_us: compute_us + aggregate_us,
+    }
+}
+
+/// Cost estimate for the broadcast approach with `tasks` tasks
+/// (defaulting, like the paper suggests, to one per slot).
+pub fn broadcast_cost(p: &CostParams, tasks: Option<u64>) -> CostEstimate {
+    let t = tasks.unwrap_or((p.n_nodes * p.slots_per_node).max(1));
+    estimate_from_metrics(&broadcast_row(p.v, t, p.n_nodes), p)
+}
+
+/// Cost estimate for the block approach with blocking factor `h`.
+pub fn block_cost(p: &CostParams, h: u64) -> CostEstimate {
+    estimate_from_metrics(&block_row(p.v, h.max(1), p.n_nodes), p)
+}
+
+/// Cost estimate for the design approach.
+pub fn design_cost(p: &CostParams) -> CostEstimate {
+    estimate_from_metrics(&design_row(p.v, p.n_nodes), p)
+}
+
+/// Searches `1 ≤ h ≤ v` for the blocking factor minimizing the model
+/// makespan (the knob the paper leaves to the user).
+pub fn best_block_h(p: &CostParams) -> (u64, CostEstimate) {
+    let mut best = (1u64, block_cost(p, 1));
+    // The cost is unimodal-ish in h; a coarse geometric sweep plus local
+    // refinement is robust and cheap.
+    let mut candidates: Vec<u64> = Vec::new();
+    let mut h = 1u64;
+    while h <= p.v {
+        candidates.push(h);
+        h = (h * 3 / 2).max(h + 1);
+    }
+    for &h in &candidates {
+        let c = block_cost(p, h);
+        if c.total_us < best.1.total_us {
+            best = (h, c);
+        }
+    }
+    let center = best.0;
+    for h in center.saturating_sub(4)..=center + 4 {
+        if h >= 1 && h <= p.v {
+            let c = block_cost(p, h);
+            if c.total_us < best.1.total_us {
+                best = (h, c);
+            }
+        }
+    }
+    best
+}
+
+/// Ranks all three approaches for the given parameters, fastest first.
+/// The block entry uses [`best_block_h`].
+pub fn rank_schemes(p: &CostParams) -> Vec<(CostEstimate, Option<u64>)> {
+    let (h, block) = best_block_h(p);
+    let mut v = vec![
+        (broadcast_cost(p, None), None),
+        (block, Some(h)),
+        (design_cost(p), None),
+    ];
+    v.sort_by(|(a, _), (b, _)| a.total_us.total_cmp(&b.total_us));
+    v
+}
+
+/// Like [`rank_schemes`] but drops schemes that violate the environment
+/// limits (`maxws`, `maxis` — the paper's §6 feasibility analysis), and
+/// restricts the blocking-factor search to its valid range. Returns an
+/// empty vector when nothing fits.
+pub fn rank_feasible_schemes(
+    p: &CostParams,
+    maxws: f64,
+    maxis: f64,
+) -> Vec<(CostEstimate, Option<u64>)> {
+    use crate::analysis::limits;
+    let s = p.element_bytes as f64;
+    let dataset = p.v as f64 * s;
+    let mut out: Vec<(CostEstimate, Option<u64>)> = Vec::new();
+
+    if (p.v as f64) <= limits::max_v_broadcast(s, maxws) {
+        out.push((broadcast_cost(p, None), None));
+    }
+    if let Some((lo, hi)) = limits::h_bounds(dataset, maxws, maxis) {
+        // Best h restricted to the feasible interval.
+        let mut best: Option<(u64, CostEstimate)> = None;
+        let mut h = lo;
+        while h <= hi {
+            let c = block_cost(p, h);
+            if best.as_ref().is_none_or(|(_, b)| c.total_us < b.total_us) {
+                best = Some((h, c));
+            }
+            h = (h * 5 / 4).max(h + 1);
+        }
+        if let Some((h, c)) = best {
+            out.push((c, Some(h)));
+        }
+    }
+    if (p.v as f64) <= limits::max_v_design_both(s, maxws, maxis) {
+        out.push((design_cost(p), None));
+    }
+    out.sort_by(|(a, _), (b, _)| a.total_us.total_cmp(&b.total_us));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expensive_comp_dominates_everything() {
+        // When comp is very expensive, total time ≈ total evals / slots ·
+        // cost for every scheme; they converge within task-overhead noise.
+        let p = CostParams {
+            comp_cost_us: 1e6,
+            element_bytes: 1 << 10,
+            v: 1000,
+            ..Default::default()
+        };
+        let b = broadcast_cost(&p, None);
+        let (_, bl) = best_block_h(&p);
+        let d = design_cost(&p);
+        let lo = b.total_us.min(bl.total_us).min(d.total_us);
+        let hi = b.total_us.max(bl.total_us).max(d.total_us);
+        assert!(hi / lo < 3.0, "b={} bl={} d={}", b.total_us, bl.total_us, d.total_us);
+    }
+
+    #[test]
+    fn cheap_comp_large_elements_favor_low_replication() {
+        // Data movement dominates: block with a small optimal h should beat
+        // broadcast (which replicates the whole dataset per task wave).
+        let p = CostParams {
+            comp_cost_us: 0.01,
+            element_bytes: 1 << 20,
+            v: 5_000,
+            task_overhead_us: 0.0,
+            ..Default::default()
+        };
+        let ranking = rank_schemes(&p);
+        // Block with a small optimal h wins; broadcast pays full
+        // replication per task, design pays √v replication in aggregation.
+        assert_eq!(ranking[0].0.scheme, "block", "{ranking:?}");
+        let block_t = ranking[0].0.total_us;
+        let broadcast_t =
+            ranking.iter().find(|(e, _)| e.scheme == "broadcast").unwrap().0.total_us;
+        assert!(broadcast_t > 2.0 * block_t);
+    }
+
+    #[test]
+    fn best_h_beats_extremes() {
+        let p = CostParams::default();
+        let (h, best) = best_block_h(&p);
+        assert!(h >= 1);
+        assert!(best.total_us <= block_cost(&p, 1).total_us);
+        assert!(best.total_us <= block_cost(&p, p.v).total_us);
+    }
+
+    #[test]
+    fn makespan_decreases_with_more_nodes() {
+        let small = CostParams { n_nodes: 4, ..Default::default() };
+        let big = CostParams { n_nodes: 64, ..Default::default() };
+        assert!(design_cost(&big).total_us < design_cost(&small).total_us);
+        assert!(rank_schemes(&big)[0].0.total_us < rank_schemes(&small)[0].0.total_us);
+    }
+
+    #[test]
+    fn feasible_ranking_excludes_limit_violations() {
+        // The paper's §3 workload: 10,000 × 500 KB with maxws = 200 MB —
+        // broadcast's 5 GB working set is infeasible, block and design fit.
+        let p = CostParams::default();
+        let ranked = rank_feasible_schemes(&p, 200e6, 1e12);
+        assert!(!ranked.is_empty());
+        assert!(ranked.iter().all(|(e, _)| e.scheme != "broadcast"), "{ranked:?}");
+        // The unfiltered ranking does include broadcast.
+        assert!(rank_schemes(&p).iter().any(|(e, _)| e.scheme == "broadcast"));
+        // Block's chosen h lies in the feasible interval [50, 200].
+        let h = ranked.iter().find_map(|(e, h)| (e.scheme == "block").then_some(*h)).flatten();
+        if let Some(h) = h {
+            assert!((50..=200).contains(&h), "h = {h}");
+        }
+        // Nothing fits a hopeless environment.
+        assert!(rank_feasible_schemes(&p, 1e3, 1e6).is_empty());
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let p = CostParams::default();
+        for est in [broadcast_cost(&p, None), block_cost(&p, 16), design_cost(&p)] {
+            assert!((est.compute_us + est.aggregate_us - est.total_us).abs() < 1e-6);
+            assert!(est.waves >= 1);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Feasibility limits (paper §6, Figures 8 and 9).
+//!
+//! Two environment limits constrain each scheme:
+//!
+//! * `maxws` — main memory available to one task for its working set;
+//! * `maxis` — storage available for materialized intermediate data.
+//!
+//! With element size `s` (bytes) and dataset cardinality `v`:
+//!
+//! | scheme    | working set      | intermediate data        |
+//! |-----------|------------------|--------------------------|
+//! | broadcast | `v·s`            | `v·s·p`                  |
+//! | block     | `2·v·s/h`        | `v·s·h`                  |
+//! | design    | `≈ √v·s`         | `≈ v·s·√v = v^{3/2}·s`   |
+//!
+//! Figure 8(a): largest `v` before the broadcast working set hits `maxws`.
+//! Figure 8(b): largest `v` before the design intermediate data hits
+//! `maxis`. Figure 9(a): the valid range of the blocking factor `h`.
+//! Figure 9(b): the largest `v` for all three schemes.
+//!
+//! All functions take byte quantities; closed forms mirror the paper's
+//! curves, `*_exact` variants use the exact plane order instead of the
+//! `√v` approximation.
+
+use pmr_designs::primes::smallest_plane_order;
+
+/// Figure 8(a): the largest `v` such that the broadcast working set
+/// (`v` elements of `s` bytes) fits in `maxws`.
+pub fn max_v_broadcast(element_size: f64, maxws: f64) -> f64 {
+    (maxws / element_size).floor()
+}
+
+/// Figure 8(b): the largest `v` such that the design scheme's materialized
+/// intermediate data (`v^{3/2}·s`, from the `√v` replication factor) fits
+/// in `maxis` — the paper's curve.
+pub fn max_v_design(element_size: f64, maxis: f64) -> f64 {
+    // Continuous curve (the paper plots it on log-log axes); a tiny epsilon
+    // absorbs floating error at exact powers before flooring.
+    ((maxis / element_size).powf(2.0 / 3.0) + 1e-6).floor()
+}
+
+/// The design scheme's working-set limit (not drawn in the paper's Figure
+/// 9(b), which uses only the storage limit): `√v·s ≤ maxws ⇒ v ≤ (maxws/s)²`.
+pub fn max_v_design_ws(element_size: f64, maxws: f64) -> f64 {
+    (maxws / element_size).powi(2).floor()
+}
+
+/// Design-scheme limit honoring **both** constraints. Stricter than the
+/// paper's Figure 9(b) curve for large elements; see EXPERIMENTS.md.
+pub fn max_v_design_both(element_size: f64, maxws: f64, maxis: f64) -> f64 {
+    max_v_design(element_size, maxis).min(max_v_design_ws(element_size, maxws))
+}
+
+/// Exact Figure 8(b): the largest `v ≥ 2` with
+/// `v · s · (q(v) + 1) ≤ maxis`, using the true plane order
+/// `q(v)` = smallest prime power with `q² + q + 1 ≥ v`.
+pub fn max_v_design_exact(element_size: u64, maxis: u64) -> u64 {
+    let fits = |v: u64| -> bool {
+        let q = smallest_plane_order(v);
+        (v as u128) * (element_size as u128) * ((q + 1) as u128) <= maxis as u128
+    };
+    if !fits(2) {
+        return 0;
+    }
+    // Exponential probe then binary search (the predicate is monotone in v
+    // up to the granularity of q jumps, so finish with a local walk).
+    let mut hi = 2u64;
+    while fits(hi) && hi < 1 << 40 {
+        hi *= 2;
+    }
+    let (mut lo, mut hi) = (hi / 2, hi);
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if fits(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    // q(v) is a step function; walk down over a possible non-monotone edge.
+    while lo > 2 && !fits(lo) {
+        lo -= 1;
+    }
+    lo
+}
+
+/// Figure 9(b) block curve: the largest `v` such that *some* valid `h`
+/// exists, i.e. `v·s ≤ √(maxws·maxis/2)`.
+pub fn max_v_block(element_size: f64, maxws: f64, maxis: f64) -> f64 {
+    ((maxws * maxis / 2.0).sqrt() / element_size).floor()
+}
+
+/// The largest dataset size in bytes for which the block approach has a
+/// valid blocking factor: `vs ≤ √(maxws·maxis/2)` (paper's necessary
+/// condition).
+pub fn max_dataset_bytes_block(maxws: f64, maxis: f64) -> f64 {
+    (maxws * maxis / 2.0).sqrt()
+}
+
+/// Figure 9(a): the valid blocking-factor range for a dataset of
+/// `vs_bytes` total size: `⌈2·vs/maxws⌉ ≤ h ≤ ⌊maxis/vs⌋`.
+/// Returns `None` when the range is empty.
+pub fn h_bounds(vs_bytes: f64, maxws: f64, maxis: f64) -> Option<(u64, u64)> {
+    let lo = (2.0 * vs_bytes / maxws).ceil().max(1.0) as u64;
+    let hi = (maxis / vs_bytes).floor() as u64;
+    (lo <= hi).then_some((lo, hi))
+}
+
+/// Figure 9(b): all three curves at one element size. Fields are the
+/// largest feasible `v` per scheme (the paper's curve definitions:
+/// broadcast by `maxws`, block by the `h`-range existence condition,
+/// design by `maxis`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig9bPoint {
+    /// Element size, bytes.
+    pub element_size: f64,
+    /// Broadcast limit.
+    pub broadcast: f64,
+    /// Block limit.
+    pub block: f64,
+    /// Design limit (paper's storage-only curve).
+    pub design: f64,
+    /// Design limit honoring the working-set constraint too.
+    pub design_both: f64,
+}
+
+/// Evaluates Figure 9(b) at one element size.
+pub fn fig9b_point(element_size: f64, maxws: f64, maxis: f64) -> Fig9bPoint {
+    Fig9bPoint {
+        element_size,
+        broadcast: max_v_broadcast(element_size, maxws),
+        block: max_v_block(element_size, maxws, maxis),
+        design: max_v_design(element_size, maxis),
+        design_both: max_v_design_both(element_size, maxws, maxis),
+    }
+}
+
+/// The element size where the block and design curves of Figure 9(b) cross
+/// (paper: "the design and block approach have a cross-over point" near
+/// 1 MB for `maxws` = 200 MB, `maxis` = 1 TB). Solves
+/// `√(maxws·maxis/2)/s = (maxis/s)^{2/3}` for `s`.
+pub fn block_design_crossover(maxws: f64, maxis: f64) -> f64 {
+    // C_b/s = maxis^{2/3}·s^{−2/3} with C_b = √(maxws·maxis/2)
+    // ⇒ s^{1/3} = C_b / maxis^{2/3} ⇒ s = C_b³ / maxis².
+    let ratio = (maxws * maxis / 2.0).sqrt() / maxis.powf(2.0 / 3.0);
+    ratio.powi(3)
+}
+
+/// Convenience byte-unit constants (decimal, as the paper's axes).
+pub mod units {
+    /// One kilobyte (10³).
+    pub const KB: f64 = 1e3;
+    /// One megabyte (10⁶).
+    pub const MB: f64 = 1e6;
+    /// One gigabyte (10⁹).
+    pub const GB: f64 = 1e9;
+    /// One terabyte (10¹²).
+    pub const TB: f64 = 1e12;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::units::*;
+    use super::*;
+
+    #[test]
+    fn fig8a_broadcast_examples() {
+        // 200 MB budget, 100 KB elements ⇒ 2000 elements.
+        assert_eq!(max_v_broadcast(100.0 * KB, 200.0 * MB), 2000.0);
+        // 1 GB budget, 10 KB elements ⇒ 100,000 elements.
+        assert_eq!(max_v_broadcast(10.0 * KB, 1.0 * GB), 100_000.0);
+        // Larger budget ⇒ larger v, monotone in maxws, antitone in s.
+        assert!(max_v_broadcast(10.0 * KB, 400.0 * MB) > max_v_broadcast(10.0 * KB, 200.0 * MB));
+        assert!(max_v_broadcast(20.0 * KB, 200.0 * MB) < max_v_broadcast(10.0 * KB, 200.0 * MB));
+    }
+
+    #[test]
+    fn fig8b_design_examples() {
+        // maxis = 1 TB, s = 1 MB ⇒ v = (1e6)^{2/3} = 10,000.
+        assert_eq!(max_v_design(1.0 * MB, 1.0 * TB), 10_000.0);
+        // maxis = 1 TB, s = 10 KB ⇒ v = (1e8)^{2/3} ≈ 215,443.
+        let v = max_v_design(10.0 * KB, 1.0 * TB);
+        assert!((v - 215_443.0).abs() <= 1.0, "{v}");
+    }
+
+    #[test]
+    fn design_exact_close_to_approximation() {
+        // Exact uses q+1 (≥ √v), so it is a bit smaller than the paper's
+        // √v-approximation curve but within a constant factor.
+        for (s, maxis) in [(1_000u64, 1u64 << 30), (10_000, 1 << 34), (100_000, 1 << 40)] {
+            let exact = max_v_design_exact(s, maxis);
+            let approx = max_v_design(s as f64, maxis as f64);
+            assert!(exact > 0);
+            assert!((exact as f64) <= approx * 1.05, "exact {exact} vs approx {approx}");
+            assert!((exact as f64) >= approx * 0.5, "exact {exact} vs approx {approx}");
+            // Verify exactness of the boundary.
+            let q = smallest_plane_order(exact);
+            assert!(exact * s * (q + 1) <= maxis);
+            let q2 = smallest_plane_order(exact + 1);
+            assert!((exact + 1) * s * (q2 + 1) > maxis);
+        }
+    }
+
+    #[test]
+    fn fig9a_paper_datum() {
+        // Paper: maxws = 200 MB, maxis = 1 TB, dataset 4 GB ⇒ h ∈ [39, 263]
+        // (paper values read off a log-log chart; decimal-exact is
+        // [40, 250]).
+        let (lo, hi) = h_bounds(4.0 * GB, 200.0 * MB, 1.0 * TB).unwrap();
+        assert!((38..=42).contains(&lo), "lo={lo}");
+        assert!((245..=265).contains(&hi), "hi={hi}");
+    }
+
+    #[test]
+    fn fig9a_existence_condition() {
+        let maxws = 200.0 * MB;
+        let maxis = 1.0 * TB;
+        let threshold = max_dataset_bytes_block(maxws, maxis); // = 10 GB
+        assert!((threshold - 10.0 * GB).abs() < 1.0);
+        assert!(h_bounds(threshold * 0.99, maxws, maxis).is_some());
+        assert!(h_bounds(threshold * 1.25, maxws, maxis).is_none());
+    }
+
+    #[test]
+    fn fig9b_crossover_near_1mb() {
+        // Paper: block/design crossover around 1 MB elements for
+        // maxws = 200 MB, maxis = 1 TB.
+        let s = block_design_crossover(200.0 * MB, 1.0 * TB);
+        assert!((0.5 * MB..2.0 * MB).contains(&s), "crossover at {s} bytes");
+        // At the crossover the curves agree.
+        let p = fig9b_point(s, 200.0 * MB, 1.0 * TB);
+        assert!((p.block - p.design).abs() / p.block < 0.01);
+        // Below the crossover block wins; above, design wins (paper's
+        // "for large elements (> 1MB) the design approach allows a few
+        // more elements").
+        let below = fig9b_point(s / 4.0, 200.0 * MB, 1.0 * TB);
+        assert!(below.block > below.design);
+        let above = fig9b_point(s * 4.0, 200.0 * MB, 1.0 * TB);
+        assert!(above.design > above.block);
+    }
+
+    #[test]
+    fn fig9b_broadcast_is_lowest_for_small_elements() {
+        let p = fig9b_point(10.0 * KB, 200.0 * MB, 1.0 * TB);
+        assert!(p.broadcast < p.block);
+        assert!(p.broadcast < p.design);
+    }
+
+    #[test]
+    fn design_both_never_exceeds_paper_curve() {
+        for s in [1.0 * KB, 100.0 * KB, 1.0 * MB, 10.0 * MB] {
+            let p = fig9b_point(s, 200.0 * MB, 1.0 * TB);
+            assert!(p.design_both <= p.design);
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Analytic models from the paper: Table 1 and the feasibility limits of
+//! Figures 8 and 9.
+
+pub mod costmodel;
+pub mod limits;
+pub mod table1;

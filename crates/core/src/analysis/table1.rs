@@ -1,0 +1,172 @@
+//! The paper's Table 1: analytic comparison of the three distribution
+//! schemes, plus validation against measured scheme walks.
+
+use crate::enumeration::pair_count;
+use crate::scheme::{
+    measure, BlockScheme, BroadcastScheme, DesignScheme, DistributionScheme, SchemeMetrics,
+};
+use pmr_designs::primes::smallest_plane_order;
+
+/// Shared scenario parameters (the paper's `v`, `n` and, for the block
+/// approach, `h`; the broadcast task count defaults to `n`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scenario {
+    /// Dataset cardinality.
+    pub v: u64,
+    /// Number of nodes.
+    pub n: u64,
+    /// Blocking factor for the block approach.
+    pub h: u64,
+    /// Task count for the broadcast approach (paper: "can be any number,
+    /// e.g., the number of nodes").
+    pub broadcast_tasks: u64,
+}
+
+impl Scenario {
+    /// A scenario with `broadcast_tasks = n`.
+    pub fn new(v: u64, n: u64, h: u64) -> Scenario {
+        Scenario { v, n, h, broadcast_tasks: n }
+    }
+}
+
+/// All three Table-1 rows for a scenario.
+pub fn table1(sc: Scenario) -> [SchemeMetrics; 3] {
+    [
+        BroadcastScheme::new(sc.v, sc.broadcast_tasks).metrics(sc.n),
+        BlockScheme::new(sc.v, sc.h).metrics(sc.n),
+        DesignScheme::new(sc.v).metrics(sc.n),
+    ]
+}
+
+/// Closed-form Table-1 row for the broadcast approach without constructing
+/// the scheme (valid at any scale).
+pub fn broadcast_row(v: u64, p: u64, _n: u64) -> SchemeMetrics {
+    SchemeMetrics {
+        scheme: "broadcast",
+        num_tasks: p,
+        communication_elements: 2 * v * p,
+        replication_factor: p as f64,
+        working_set_size: v,
+        evaluations_per_task: pair_count(v) as f64 / p as f64,
+    }
+}
+
+/// Closed-form Table-1 row for the block approach.
+pub fn block_row(v: u64, h: u64, _n: u64) -> SchemeMetrics {
+    let e = v.div_ceil(h);
+    SchemeMetrics {
+        scheme: "block",
+        num_tasks: h * (h + 1) / 2,
+        communication_elements: 2 * v * h,
+        replication_factor: h as f64,
+        working_set_size: 2 * e,
+        evaluations_per_task: (e * e) as f64,
+    }
+}
+
+/// Closed-form Table-1 row for the design approach (uses the exact plane
+/// order `q`, with the paper's `√v` approximations for communication).
+pub fn design_row(v: u64, n: u64) -> SchemeMetrics {
+    let q = smallest_plane_order(v);
+    let sqrt_v = (v as f64).sqrt();
+    SchemeMetrics {
+        scheme: "design",
+        num_tasks: q * q + q + 1,
+        communication_elements: (2.0 * v as f64 * sqrt_v).min(2.0 * (v * n) as f64) as u64,
+        replication_factor: q as f64 + 1.0,
+        working_set_size: q + 1,
+        // Exact per-task bound C(q+1, 2); the paper's ≈ (v−1)/2.
+        evaluations_per_task: (q * (q + 1)) as f64 / 2.0,
+    }
+}
+
+/// One scheme's analytic-vs-measured comparison.
+#[derive(Debug, Clone)]
+pub struct ValidationRow {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// Analytic Table-1 row.
+    pub analytic: SchemeMetrics,
+    /// Measured quantities from an exhaustive scheme walk.
+    pub measured: crate::scheme::MeasuredMetrics,
+    /// Measured total pairs equals `v(v−1)/2`.
+    pub covers_all_pairs: bool,
+    /// Measured max working set is within the analytic bound.
+    pub working_set_within_bound: bool,
+    /// Measured max evaluations is within the analytic bound (rounded up).
+    pub evaluations_within_bound: bool,
+}
+
+/// Walks all three schemes for a scenario and checks the analytic claims.
+pub fn validate(sc: Scenario) -> Vec<ValidationRow> {
+    let schemes: Vec<Box<dyn DistributionScheme>> = vec![
+        Box::new(BroadcastScheme::new(sc.v, sc.broadcast_tasks)),
+        Box::new(BlockScheme::new(sc.v, sc.h)),
+        Box::new(DesignScheme::new(sc.v)),
+    ];
+    schemes
+        .iter()
+        .map(|s| {
+            let analytic = s.metrics(sc.n);
+            let measured = measure(s.as_ref());
+            ValidationRow {
+                scheme: s.name(),
+                covers_all_pairs: measured.total_pairs == pair_count(sc.v),
+                working_set_within_bound: measured.max_working_set <= analytic.working_set_size,
+                evaluations_within_bound: measured.max_evaluations as f64
+                    <= analytic.evaluations_per_task.ceil() + 1.0,
+                analytic,
+                measured,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_forms_match_constructed_schemes() {
+        let sc = Scenario::new(500, 8, 10);
+        let [bc, bl, de] = table1(sc);
+        assert_eq!(bc, broadcast_row(500, 8, 8));
+        assert_eq!(bl, block_row(500, 10, 8));
+        // The constructed design drops truncation-emptied blocks, so its
+        // task count can be slightly below the closed form's q² + q + 1.
+        let row = design_row(500, 8);
+        assert!(de.num_tasks <= row.num_tasks && de.num_tasks + row.replication_factor as u64 >= row.num_tasks);
+        assert_eq!(de.communication_elements, row.communication_elements);
+        assert_eq!(de.replication_factor, row.replication_factor);
+        assert_eq!(de.working_set_size, row.working_set_size);
+        assert_eq!(de.evaluations_per_task, row.evaluations_per_task);
+    }
+
+    #[test]
+    fn validation_passes_for_moderate_scenarios() {
+        for sc in [Scenario::new(100, 4, 5), Scenario::new(273, 8, 7), Scenario::new(500, 16, 10)]
+        {
+            for row in validate(sc) {
+                assert!(row.covers_all_pairs, "{} v={}", row.scheme, sc.v);
+                assert!(row.working_set_within_bound, "{} v={}", row.scheme, sc.v);
+                assert!(row.evaluations_within_bound, "{} v={}", row.scheme, sc.v);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_table1_formula_spotcheck() {
+        // v = 10,000, n = 100 nodes, h = 20.
+        let bc = broadcast_row(10_000, 100, 100);
+        assert_eq!(bc.communication_elements, 2 * 10_000 * 100);
+        assert_eq!(bc.working_set_size, 10_000);
+        let bl = block_row(10_000, 20, 100);
+        assert_eq!(bl.num_tasks, 210); // h(h+1)/2
+        assert_eq!(bl.working_set_size, 1000); // 2⌈v/h⌉
+        assert_eq!(bl.evaluations_per_task, 250_000.0); // ⌈v/h⌉²
+        let de = design_row(10_000, 100);
+        assert_eq!(de.num_tasks, 10_303); // q=101 ⇒ q²+q+1
+        assert_eq!(de.replication_factor, 102.0);
+        assert_eq!(de.evaluations_per_task, 5_151.0); // C(q+1, 2) ≈ (v−1)/2
+    }
+}

@@ -1,0 +1,56 @@
+//! # pmr-core — parallel pairwise element computation
+//!
+//! A full reproduction of *Pairwise Element Computation with MapReduce*
+//! (Tim Kiefer, Peter Benjamin Volk, Wolfgang Lehner; HPDC 2010): evaluate a
+//! function `comp(sᵢ, sⱼ)` on **all pairs** of a dataset in parallel by
+//! partitioning the Cartesian product with a *distribution scheme*.
+//!
+//! * [`enumeration`] — exact labeling of the pair matrix's upper triangle
+//!   (Figures 5 and 6);
+//! * [`scheme`] — the [`scheme::DistributionScheme`] abstraction and the
+//!   paper's three instances: [`scheme::BroadcastScheme`] (§5.1),
+//!   [`scheme::BlockScheme`] (§5.2), [`scheme::DesignScheme`] (§5.3, backed
+//!   by projective planes from `pmr-designs`);
+//! * [`runner`] — execution backends: sequential reference, local thread
+//!   pool, and the paper's two chained MapReduce jobs (Algorithms 1–2) on
+//!   the simulated cluster of `pmr-cluster`/`pmr-mapreduce`, plus the
+//!   single-job distributed-cache broadcast variant;
+//! * [`analysis`] — Table 1 and the feasibility limits of Figures 8–9;
+//! * [`hierarchical`] — the §7 two-level extensions.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pmr_core::runner::{comp_fn, ConcatSort, Symmetry};
+//! use pmr_core::runner::local::run_local;
+//! use pmr_core::scheme::BlockScheme;
+//!
+//! // 100 points on a line; comp = absolute distance.
+//! let payloads: Vec<f64> = (0..100).map(|i| i as f64).collect();
+//! let comp = comp_fn(|a: &f64, b: &f64| (a - b).abs());
+//! let scheme = BlockScheme::new(100, 5);
+//! let (out, stats) = run_local(
+//!     &payloads, &scheme, &comp, Symmetry::Symmetric, &ConcatSort, 4,
+//! );
+//! // Every element ends up with a distance to every other element.
+//! assert!(out.per_element.iter().all(|(_, rs)| rs.len() == 99));
+//! assert_eq!(stats.evaluations, 100 * 99 / 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod enumeration;
+pub mod hierarchical;
+pub mod runner;
+pub mod scheme;
+
+pub use runner::{
+    comp_fn, Aggregator, CompFn, ConcatSort, FilterAggregator, PairwiseOutput, Symmetry,
+    TopKAggregator,
+};
+pub use scheme::{
+    measure, verify_exactly_once, BlockScheme, BroadcastScheme, DesignScheme,
+    DistributionScheme, MeasuredMetrics, PairedBlockScheme, SchemeError, SchemeMetrics,
+};

@@ -1,0 +1,179 @@
+//! Multi-threaded shared-memory execution of a distribution scheme.
+//!
+//! This is the backend a downstream user runs on one machine: the scheme's
+//! tasks are the units of parallelism (exactly the paper's step 2, "perform
+//! pairwise element computation on all subsets in parallel"), pulled from a
+//! shared queue by a pool of worker threads; the per-element partial results
+//! are merged and aggregated afterwards (step 3).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::runner::{finalize, Aggregator, CompFn, PairwiseOutput, Symmetry};
+use crate::scheme::DistributionScheme;
+
+/// Statistics from a local run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LocalRunStats {
+    /// Tasks executed.
+    pub tasks: u64,
+    /// Function evaluations performed (per direction for non-symmetric).
+    pub evaluations: u64,
+    /// Largest working set (elements) seen by any task.
+    pub max_working_set: u64,
+}
+
+/// Evaluates all pairs of `payloads` under `scheme` on `threads` worker
+/// threads. Element `i` has id `i`; `payloads.len()` must equal
+/// `scheme.v()`.
+pub fn run_local<T, R>(
+    payloads: &[T],
+    scheme: &dyn DistributionScheme,
+    comp: &CompFn<T, R>,
+    symmetry: Symmetry,
+    aggregator: &dyn Aggregator<R>,
+    threads: usize,
+) -> (PairwiseOutput<R>, LocalRunStats)
+where
+    T: Sync,
+    R: Clone + Send,
+{
+    assert_eq!(
+        payloads.len() as u64,
+        scheme.v(),
+        "payload count must match the scheme's v"
+    );
+    let threads = threads.max(1);
+    let num_tasks = scheme.num_tasks();
+    let next_task = AtomicU64::new(0);
+    let evaluations = AtomicU64::new(0);
+    let max_ws = AtomicU64::new(0);
+
+    // Each worker accumulates privately; merge after the scope ends.
+    let worker_buckets: Vec<HashMap<u64, Vec<(u64, R)>>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next_task = &next_task;
+                let evaluations = &evaluations;
+                let max_ws = &max_ws;
+                scope.spawn(move |_| {
+                    let mut local: HashMap<u64, Vec<(u64, R)>> = HashMap::new();
+                    let mut evals = 0u64;
+                    loop {
+                        let t = next_task.fetch_add(1, Ordering::Relaxed);
+                        if t >= num_tasks {
+                            break;
+                        }
+                        let ws = scheme.working_set(t);
+                        max_ws.fetch_max(ws.len() as u64, Ordering::Relaxed);
+                        for (a, b) in scheme.pairs(t) {
+                            let (pa, pb) = (&payloads[a as usize], &payloads[b as usize]);
+                            match symmetry {
+                                Symmetry::Symmetric => {
+                                    let r = comp(pa, pb);
+                                    evals += 1;
+                                    local.entry(a).or_default().push((b, r.clone()));
+                                    local.entry(b).or_default().push((a, r));
+                                }
+                                Symmetry::NonSymmetric => {
+                                    evals += 2;
+                                    local.entry(a).or_default().push((b, comp(pa, pb)));
+                                    local.entry(b).or_default().push((a, comp(pb, pa)));
+                                }
+                            }
+                        }
+                    }
+                    evaluations.fetch_add(evals, Ordering::Relaxed);
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("thread scope failed");
+
+    let mut buckets: HashMap<u64, Vec<(u64, R)>> = HashMap::with_capacity(payloads.len());
+    for id in 0..scheme.v() {
+        buckets.insert(id, Vec::new());
+    }
+    for wb in worker_buckets {
+        for (id, mut partials) in wb {
+            buckets.get_mut(&id).expect("scheme produced out-of-range id").append(&mut partials);
+        }
+    }
+    let stats = LocalRunStats {
+        tasks: num_tasks,
+        evaluations: evaluations.load(Ordering::Relaxed),
+        max_working_set: max_ws.load(Ordering::Relaxed),
+    };
+    (finalize(buckets, aggregator), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::sequential::run_sequential;
+    use crate::runner::{comp_fn, ConcatSort};
+    use crate::scheme::{BlockScheme, BroadcastScheme, DesignScheme};
+
+    fn payloads(v: usize) -> Vec<i64> {
+        (0..v as i64).map(|i| i * i % 97).collect()
+    }
+
+    fn comp() -> CompFn<i64, i64> {
+        comp_fn(|a: &i64, b: &i64| (a - b).abs())
+    }
+
+    #[test]
+    fn matches_sequential_for_all_schemes() {
+        let data = payloads(40);
+        let reference = run_sequential(&data, &comp(), Symmetry::Symmetric, &ConcatSort);
+        let schemes: Vec<Box<dyn DistributionScheme>> = vec![
+            Box::new(BroadcastScheme::new(40, 6)),
+            Box::new(BlockScheme::new(40, 5)),
+            Box::new(DesignScheme::new(40)),
+        ];
+        for s in &schemes {
+            for threads in [1usize, 4] {
+                let (out, stats) = run_local(
+                    &data,
+                    s.as_ref(),
+                    &comp(),
+                    Symmetry::Symmetric,
+                    &ConcatSort,
+                    threads,
+                );
+                assert_eq!(out, reference, "{} threads={threads}", s.name());
+                assert_eq!(stats.evaluations, 40 * 39 / 2, "{}", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn non_symmetric_matches_sequential() {
+        let data = payloads(20);
+        let comp: CompFn<i64, i64> = comp_fn(|a: &i64, b: &i64| a * 2 - b);
+        let reference = run_sequential(&data, &comp, Symmetry::NonSymmetric, &ConcatSort);
+        let s = BlockScheme::new(20, 4);
+        let (out, stats) =
+            run_local(&data, &s, &comp, Symmetry::NonSymmetric, &ConcatSort, 3);
+        assert_eq!(out, reference);
+        assert_eq!(stats.evaluations, 20 * 19);
+    }
+
+    #[test]
+    fn stats_report_working_set() {
+        let data = payloads(30);
+        let s = BlockScheme::new(30, 5); // e = 6, ws ≤ 12
+        let (_, stats) = run_local(&data, &s, &comp(), Symmetry::Symmetric, &ConcatSort, 2);
+        assert!(stats.max_working_set <= 12);
+        assert_eq!(stats.tasks, 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn wrong_payload_count_rejected() {
+        let s = BlockScheme::new(10, 2);
+        let _ = run_local(&payloads(9), &s, &comp(), Symmetry::Symmetric, &ConcatSort, 1);
+    }
+}

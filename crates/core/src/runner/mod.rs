@@ -1,0 +1,182 @@
+//! Executing pairwise computations under a distribution scheme.
+//!
+//! Three backends over the same inputs:
+//!
+//! * [`sequential`] — single-threaded reference (the paper's trivial
+//!   solution `b = 1`); ground truth for tests.
+//! * [`local`] — multi-threaded shared-memory execution of a scheme's
+//!   tasks; what a downstream user wants on one machine.
+//! * [`mr`] — the paper's actual construction: two chained MapReduce jobs
+//!   (Algorithms 1 and 2) on the simulated cluster, or the single-job
+//!   distributed-cache variant for the broadcast scheme (§5.1).
+//!
+//! All backends produce a [`PairwiseOutput`]: per element, the aggregated
+//! list of `(other element, result)` — the storage organization of the
+//! paper's Figure 2.
+
+pub mod local;
+pub mod mr;
+pub mod sequential;
+
+use std::sync::Arc;
+
+/// The pairwise function `comp` evaluated on payload pairs.
+pub type CompFn<T, R> = Arc<dyn Fn(&T, &T) -> R + Send + Sync + 'static>;
+
+/// Wraps a closure into a [`CompFn`].
+pub fn comp_fn<T, R>(f: impl Fn(&T, &T) -> R + Send + Sync + 'static) -> CompFn<T, R> {
+    Arc::new(f)
+}
+
+/// Whether `comp` is symmetric (paper's default assumption) or must be
+/// evaluated in both directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Symmetry {
+    /// `comp(a, b) = comp(b, a)`: evaluated once per unordered pair, the
+    /// result stored with both elements.
+    #[default]
+    Symmetric,
+    /// Evaluated separately in each direction: `comp(a, b)` stored with
+    /// `a`, `comp(b, a)` stored with `b` (the paper's "only marginal
+    /// modifications" remark).
+    NonSymmetric,
+}
+
+/// Application-defined merge of the partial result lists collected from an
+/// element's copies (the paper's `aggregateResults`).
+pub trait Aggregator<R>: Send + Sync {
+    /// Merges the `(other, result)` partials gathered for `element`.
+    fn aggregate(&self, element: u64, partials: Vec<(u64, R)>) -> Vec<(u64, R)>;
+}
+
+/// Default aggregator: concatenates all partials and sorts them by the
+/// other element's id — the full neighbor list of Figure 2.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConcatSort;
+
+impl<R> Aggregator<R> for ConcatSort {
+    fn aggregate(&self, _element: u64, mut partials: Vec<(u64, R)>) -> Vec<(u64, R)> {
+        partials.sort_by_key(|(other, _)| *other);
+        partials
+    }
+}
+
+/// Keeps only results passing a predicate (the paper's DBSCAN remark:
+/// "function evaluations are only interesting if they fulfill certain
+/// requirements, e.g., a distance to be less than a threshold").
+pub struct FilterAggregator<R, F: Fn(&R) -> bool + Send + Sync> {
+    predicate: F,
+    _pd: std::marker::PhantomData<fn() -> R>,
+}
+
+impl<R, F: Fn(&R) -> bool + Send + Sync> FilterAggregator<R, F> {
+    /// Creates a filtering aggregator.
+    pub fn new(predicate: F) -> Self {
+        FilterAggregator { predicate, _pd: std::marker::PhantomData }
+    }
+}
+
+impl<R: Send, F: Fn(&R) -> bool + Send + Sync> Aggregator<R> for FilterAggregator<R, F> {
+    fn aggregate(&self, _element: u64, mut partials: Vec<(u64, R)>) -> Vec<(u64, R)> {
+        partials.retain(|(_, r)| (self.predicate)(r));
+        partials.sort_by_key(|(other, _)| *other);
+        partials
+    }
+}
+
+/// Keeps only the `k` nearest results by a caller-supplied score (smaller =
+/// kept first).
+pub struct TopKAggregator<R, F: Fn(&R) -> f64 + Send + Sync> {
+    k: usize,
+    score: F,
+    _pd: std::marker::PhantomData<fn() -> R>,
+}
+
+impl<R, F: Fn(&R) -> f64 + Send + Sync> TopKAggregator<R, F> {
+    /// Creates a top-k aggregator keeping the `k` smallest-scored results.
+    pub fn new(k: usize, score: F) -> Self {
+        TopKAggregator { k, score, _pd: std::marker::PhantomData }
+    }
+}
+
+impl<R: Send, F: Fn(&R) -> f64 + Send + Sync> Aggregator<R> for TopKAggregator<R, F> {
+    fn aggregate(&self, _element: u64, mut partials: Vec<(u64, R)>) -> Vec<(u64, R)> {
+        partials.sort_by(|(oa, ra), (ob, rb)| {
+            (self.score)(ra).total_cmp(&(self.score)(rb)).then(oa.cmp(ob))
+        });
+        partials.truncate(self.k);
+        partials
+    }
+}
+
+/// Per-element aggregated results — the paper's Figure 2 layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairwiseOutput<R> {
+    /// `(element id, aggregated (other, result) list)`, ascending by id.
+    pub per_element: Vec<(u64, Vec<(u64, R)>)>,
+}
+
+impl<R> PairwiseOutput<R> {
+    /// The result list of one element, if present.
+    pub fn results_of(&self, element: u64) -> Option<&[(u64, R)]> {
+        self.per_element
+            .binary_search_by_key(&element, |(id, _)| *id)
+            .ok()
+            .map(|i| self.per_element[i].1.as_slice())
+    }
+
+    /// Total number of stored `(other, result)` entries.
+    pub fn total_results(&self) -> usize {
+        self.per_element.iter().map(|(_, rs)| rs.len()).sum()
+    }
+}
+
+/// Turns per-element result buckets into a sorted [`PairwiseOutput`],
+/// applying the aggregator.
+pub(crate) fn finalize<R>(
+    buckets: std::collections::HashMap<u64, Vec<(u64, R)>>,
+    aggregator: &dyn Aggregator<R>,
+) -> PairwiseOutput<R> {
+    let mut per_element: Vec<(u64, Vec<(u64, R)>)> = buckets
+        .into_iter()
+        .map(|(id, partials)| (id, aggregator.aggregate(id, partials)))
+        .collect();
+    per_element.sort_by_key(|(id, _)| *id);
+    PairwiseOutput { per_element }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_sort_orders_by_neighbor() {
+        let agg = ConcatSort;
+        let out = agg.aggregate(0, vec![(3u64, 30.0f64), (1, 10.0), (2, 20.0)]);
+        assert_eq!(out, vec![(1, 10.0), (2, 20.0), (3, 30.0)]);
+    }
+
+    #[test]
+    fn filter_aggregator_prunes() {
+        let agg = FilterAggregator::new(|r: &f64| *r < 15.0);
+        let out = agg.aggregate(0, vec![(3u64, 30.0f64), (1, 10.0), (2, 20.0)]);
+        assert_eq!(out, vec![(1, 10.0)]);
+    }
+
+    #[test]
+    fn topk_keeps_smallest() {
+        let agg = TopKAggregator::new(2, |r: &f64| *r);
+        let out = agg.aggregate(0, vec![(3u64, 30.0f64), (1, 10.0), (2, 20.0)]);
+        assert_eq!(out, vec![(1, 10.0), (2, 20.0)]);
+    }
+
+    #[test]
+    fn output_lookup() {
+        let out = PairwiseOutput {
+            per_element: vec![(0, vec![(1u64, 1.0f64)]), (1, vec![(0, 1.0)])],
+        };
+        assert_eq!(out.results_of(1), Some(&[(0u64, 1.0f64)][..]));
+        assert_eq!(out.results_of(9), None);
+        assert_eq!(out.total_results(), 2);
+    }
+}

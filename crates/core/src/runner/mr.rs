@@ -1,0 +1,494 @@
+//! MapReduce execution of the pairwise algorithm — the paper's Algorithms
+//! 1 and 2, plus the single-job distributed-cache variant for the broadcast
+//! scheme (§5.1).
+//!
+//! Job 1 (*distribution and pairwise comparison*): `map` replicates each
+//! element to the working sets `getSubsets` names; the sort/shuffle phase
+//! routes every working set to one reducer; `reduce` evaluates `getPairs`
+//! and emits every element copy keyed by element id, carrying the partial
+//! `(other, result)` list.
+//!
+//! Job 2 (*aggregation*): identity `map`; sort/shuffle groups an element's
+//! copies; `reduce` merges the partial lists with the application's
+//! `aggregateResults`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pmr_cluster::Cluster;
+use pmr_mapreduce::{
+    read_output, write_sharded, Engine, IdentityMapper, JobOutput, JobSpec, MapContext, Mapper,
+    ModuloPartitioner, MrError, ReduceContext, Reducer, Values, Wire,
+};
+
+use crate::runner::{Aggregator, CompFn, PairwiseOutput, Symmetry};
+use crate::scheme::{BroadcastScheme, DistributionScheme};
+
+/// User counter: pairwise function evaluations performed inside tasks.
+pub const EVALUATIONS_COUNTER: &str = "pairwise.evaluations";
+
+/// One aggregated output row as stored on the DFS: element id with its
+/// payload and merged `(other, result)` list.
+type OutputRow<T, R> = (u64, (T, Vec<(u64, R)>));
+
+/// Options for an MR pairwise run.
+#[derive(Debug, Clone)]
+pub struct MrPairwiseOptions {
+    /// Input shards written to the DFS (models the output of a preceding
+    /// job). 0 = twice the node count.
+    pub input_shards: usize,
+    /// Reduce tasks for job 1 (working-set evaluation). 0 = auto:
+    /// `min(num_tasks, 4n)`.
+    pub reducers_job1: usize,
+    /// Reduce tasks for job 2 (aggregation). 0 = auto: `min(v, 4n)`.
+    pub reducers_job2: usize,
+    /// Memory-accounting overhead factor for working sets (paper §6 saw
+    /// limits hit "a little earlier than expected"; `(1, 1)` = none).
+    pub memory_overhead: (u64, u64),
+    /// Base DFS directory for this run's files (must be unused).
+    pub dfs_dir: String,
+}
+
+impl Default for MrPairwiseOptions {
+    fn default() -> Self {
+        static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
+        MrPairwiseOptions {
+            input_shards: 0,
+            reducers_job1: 0,
+            reducers_job2: 0,
+            memory_overhead: (1, 1),
+            dfs_dir: format!("pairwise-run-{}", RUN_SEQ.fetch_add(1, Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Metrics of a completed MR pairwise run.
+#[derive(Debug, Clone)]
+pub struct MrRunReport {
+    /// Job 1 (or the single broadcast job) output.
+    pub job1: JobOutput,
+    /// Job 2 output (absent for the single-job broadcast path).
+    pub job2: Option<JobOutput>,
+    /// Pairwise function evaluations performed.
+    pub evaluations: u64,
+    /// Element copies materialized by job 1's map phase — `v ×` the
+    /// measured replication factor.
+    pub replicated_records: u64,
+    /// Total shuffle bytes across jobs (the measured communication cost).
+    pub shuffle_bytes: u64,
+    /// Peak per-group working-set bytes (measured `maxws` pressure).
+    pub max_working_set_bytes: u64,
+    /// Total network bytes across jobs (shuffle + remote reads + cache).
+    pub network_bytes: u64,
+    /// Peak cluster-wide intermediate storage (measured `maxis` pressure).
+    pub peak_intermediate_bytes: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Job 1: distribution + pairwise comparison (paper Algorithm 1)
+// ---------------------------------------------------------------------------
+
+/// Job-1 mapper: `getSubsets` replication.
+struct DistributeMapper<T> {
+    scheme: Arc<dyn DistributionScheme>,
+    _pd: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Wire + Clone + Sync> Mapper for DistributeMapper<T> {
+    type KIn = u64;
+    type VIn = T;
+    type KOut = u64;
+    type VOut = (u64, T);
+
+    fn map(
+        &self,
+        id: u64,
+        payload: T,
+        ctx: &mut MapContext<'_, u64, (u64, T)>,
+    ) -> pmr_mapreduce::Result<()> {
+        for ws in self.scheme.subsets_of(id) {
+            ctx.emit(ws, (id, payload.clone()));
+        }
+        Ok(())
+    }
+}
+
+/// Job-1 reducer: `getPairs` + `evaluate` + `addResult` (both directions).
+struct EvaluateReducer<T, R> {
+    scheme: Arc<dyn DistributionScheme>,
+    comp: CompFn<T, R>,
+    symmetry: Symmetry,
+}
+
+impl<T: Wire + Clone + Sync, R: Wire + Clone + Sync> Reducer for EvaluateReducer<T, R> {
+    type KIn = u64;
+    type VIn = (u64, T);
+    type KOut = u64;
+    type VOut = (T, Vec<(u64, R)>);
+
+    fn reduce(
+        &self,
+        ws: u64,
+        values: Values<'_, (u64, T)>,
+        ctx: &mut ReduceContext<'_, u64, (T, Vec<(u64, R)>)>,
+    ) -> pmr_mapreduce::Result<()> {
+        // Materialize the working set (this is what the task memory budget
+        // constrains; the engine reserved the group's bytes already).
+        let mut members: Vec<(u64, T)> = values.collect();
+        members.sort_by_key(|(id, _)| *id);
+        let expected = self.scheme.working_set(ws);
+        if members.len() != expected.len() {
+            return Err(MrError::User(format!(
+                "working set {ws}: received {} elements, scheme expects {}",
+                members.len(),
+                expected.len()
+            )));
+        }
+        let payload_of = |id: u64| -> &T {
+            let i = members.binary_search_by_key(&id, |(m, _)| *m).expect("pair endpoint missing");
+            &members[i].1
+        };
+        let mut results: HashMap<u64, Vec<(u64, R)>> = HashMap::with_capacity(members.len());
+        let pairs = self.scheme.pairs(ws);
+        let mut evals = 0u64;
+        for (a, b) in pairs {
+            let (pa, pb) = (payload_of(a), payload_of(b));
+            match self.symmetry {
+                Symmetry::Symmetric => {
+                    let r = (self.comp)(pa, pb);
+                    evals += 1;
+                    results.entry(a).or_default().push((b, r.clone()));
+                    results.entry(b).or_default().push((a, r));
+                }
+                Symmetry::NonSymmetric => {
+                    evals += 2;
+                    results.entry(a).or_default().push((b, (self.comp)(pa, pb)));
+                    results.entry(b).or_default().push((a, (self.comp)(pb, pa)));
+                }
+            }
+        }
+        ctx.counters().add(EVALUATIONS_COUNTER, evals);
+        // Emit every copy with its partial results (paper: "The output of
+        // the reduce phase contains each element (including all copies)").
+        for (id, payload) in members {
+            let partial = results.remove(&id).unwrap_or_default();
+            ctx.emit(id, (payload, partial));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Job 2: aggregation (paper Algorithm 2)
+// ---------------------------------------------------------------------------
+
+/// Job-2 reducer: merges an element's copies with `aggregateResults`.
+struct AggregateReducer<T, R> {
+    aggregator: Arc<dyn Aggregator<R>>,
+    _pd: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Wire + Clone + Sync, R: Wire + Clone + Sync> Reducer for AggregateReducer<T, R> {
+    type KIn = u64;
+    type VIn = (T, Vec<(u64, R)>);
+    type KOut = u64;
+    type VOut = (T, Vec<(u64, R)>);
+
+    fn reduce(
+        &self,
+        id: u64,
+        values: Values<'_, (T, Vec<(u64, R)>)>,
+        ctx: &mut ReduceContext<'_, u64, (T, Vec<(u64, R)>)>,
+    ) -> pmr_mapreduce::Result<()> {
+        let mut payload: Option<T> = None;
+        let mut partials: Vec<(u64, R)> = Vec::new();
+        for (p, mut rs) in values {
+            payload.get_or_insert(p);
+            partials.append(&mut rs);
+        }
+        let merged = self.aggregator.aggregate(id, partials);
+        let payload = payload.expect("empty reduce group cannot happen");
+        ctx.emit(id, (payload, merged));
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast single-job variant (paper §5.1)
+// ---------------------------------------------------------------------------
+
+/// Broadcast mapper: evaluates one task's label range against the cached
+/// dataset ("the evaluation of pairs can then be done in the map function").
+struct BroadcastEvalMapper<T, R> {
+    scheme: BroadcastScheme,
+    comp: CompFn<T, R>,
+    symmetry: Symmetry,
+}
+
+impl<T: Wire + Clone + Sync, R: Wire + Clone + Sync> Mapper for BroadcastEvalMapper<T, R> {
+    type KIn = u64;
+    type VIn = ();
+    type KOut = u64;
+    type VOut = (T, Vec<(u64, R)>);
+
+    fn map(
+        &self,
+        task: u64,
+        _unit: (),
+        ctx: &mut MapContext<'_, u64, (T, Vec<(u64, R)>)>,
+    ) -> pmr_mapreduce::Result<()> {
+        let dataset: Vec<(u64, T)> = Vec::from_bytes(ctx.cache().get("dataset"))
+            .map_err(pmr_mapreduce::MrError::Codec)?;
+        let mut results: HashMap<u64, Vec<(u64, R)>> = HashMap::new();
+        let (s, e) = self.scheme.label_range(task);
+        let mut evals = 0u64;
+        for (a, b) in crate::enumeration::pairs_in_range(s, e) {
+            let (pa, pb) = (&dataset[a as usize].1, &dataset[b as usize].1);
+            match self.symmetry {
+                Symmetry::Symmetric => {
+                    let r = (self.comp)(pa, pb);
+                    evals += 1;
+                    results.entry(a).or_default().push((b, r.clone()));
+                    results.entry(b).or_default().push((a, r));
+                }
+                Symmetry::NonSymmetric => {
+                    evals += 2;
+                    results.entry(a).or_default().push((b, (self.comp)(pa, pb)));
+                    results.entry(b).or_default().push((a, (self.comp)(pb, pa)));
+                }
+            }
+        }
+        ctx.counters().add(EVALUATIONS_COUNTER, evals);
+        for (id, partial) in results {
+            ctx.emit(id, (dataset[id as usize].1.clone(), partial));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------------
+
+fn auto(n: usize, cap: u64, requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        (4 * n).min(cap.max(1) as usize)
+    }
+}
+
+/// Runs the paper's two-job pipeline for an arbitrary scheme.
+///
+/// Returns the aggregated per-element output plus the run's measured
+/// metrics. `payloads[i]` is element `i`; `payloads.len()` must equal
+/// `scheme.v()`.
+pub fn run_mr<T, R>(
+    cluster: &Cluster,
+    scheme: Arc<dyn DistributionScheme>,
+    payloads: &[T],
+    comp: CompFn<T, R>,
+    symmetry: Symmetry,
+    aggregator: Arc<dyn Aggregator<R>>,
+    options: MrPairwiseOptions,
+) -> pmr_mapreduce::Result<(PairwiseOutput<R>, MrRunReport)>
+where
+    T: Wire + Clone + Sync,
+    R: Wire + Clone + Sync,
+{
+    if payloads.len() as u64 != scheme.v() {
+        return Err(MrError::InvalidJob(format!(
+            "payload count {} != scheme v {}",
+            payloads.len(),
+            scheme.v()
+        )));
+    }
+    let n = cluster.num_nodes();
+    let dir = &options.dfs_dir;
+    let shards = if options.input_shards == 0 { 2 * n } else { options.input_shards };
+    let inputs = write_sharded(
+        cluster,
+        &format!("{dir}/input"),
+        shards,
+        payloads.iter().cloned().enumerate().map(|(i, p)| (i as u64, p)),
+    )?;
+
+    let engine = Engine::new(cluster);
+    let job1 = engine.run(
+        JobSpec::new(
+            format!("{dir}-j1-distribute-evaluate"),
+            inputs,
+            format!("{dir}/mid"),
+            DistributeMapper::<T> { scheme: Arc::clone(&scheme), _pd: std::marker::PhantomData },
+            EvaluateReducer::<T, R> {
+                scheme: Arc::clone(&scheme),
+                comp,
+                symmetry,
+            },
+            auto(n, scheme.num_tasks(), options.reducers_job1),
+        )
+        .partitioner(Arc::new(ModuloPartitioner))
+        .memory_overhead(options.memory_overhead.0, options.memory_overhead.1),
+    )?;
+
+    let job2 = engine.run(
+        JobSpec::new(
+            format!("{dir}-j2-aggregate"),
+            job1.output_paths.clone(),
+            format!("{dir}/out"),
+            IdentityMapper::<u64, (T, Vec<(u64, R)>)>::new(),
+            AggregateReducer::<T, R> { aggregator, _pd: std::marker::PhantomData },
+            auto(n, scheme.v(), options.reducers_job2),
+        )
+        .partitioner(Arc::new(ModuloPartitioner))
+        .memory_overhead(options.memory_overhead.0, options.memory_overhead.1),
+    )?;
+
+    let rows: Vec<OutputRow<T, R>> = read_output(cluster, &format!("{dir}/out"))?;
+    let mut per_element: Vec<(u64, Vec<(u64, R)>)> =
+        rows.into_iter().map(|(id, (_payload, rs))| (id, rs)).collect();
+    per_element.sort_by_key(|(id, _)| *id);
+
+    let report = MrRunReport {
+        evaluations: job1.counters.get(EVALUATIONS_COUNTER).copied().unwrap_or(0),
+        replicated_records: job1.counters[pmr_mapreduce::builtin::MAP_OUTPUT_RECORDS],
+        shuffle_bytes: job1.counters[pmr_mapreduce::builtin::SHUFFLE_BYTES]
+            + job2.counters[pmr_mapreduce::builtin::SHUFFLE_BYTES],
+        max_working_set_bytes: job1.stats.max_working_set_bytes,
+        network_bytes: job1.stats.network_bytes + job2.stats.network_bytes,
+        peak_intermediate_bytes: job1
+            .stats
+            .peak_intermediate_bytes
+            .max(job2.stats.peak_intermediate_bytes),
+        job1,
+        job2: Some(job2),
+    };
+    Ok((PairwiseOutput { per_element }, report))
+}
+
+/// Runs a hierarchical scheme's rounds **sequentially**, each round as the
+/// full two-job pipeline, aggregating between rounds — the paper's §7
+/// extension ("each block is aggregated before the next one is processed").
+///
+/// Per-round partial results are concatenated and the caller's aggregator
+/// is applied once over the merged lists. Returns the per-round reports so
+/// experiments can show that peak intermediate storage is bounded by the
+/// largest *round* rather than the whole dataset's replication.
+pub fn run_mr_rounds<T, R>(
+    cluster: &Cluster,
+    rounds: Vec<Arc<dyn DistributionScheme>>,
+    payloads: &[T],
+    comp: CompFn<T, R>,
+    symmetry: Symmetry,
+    aggregator: Arc<dyn Aggregator<R>>,
+    options: MrPairwiseOptions,
+) -> pmr_mapreduce::Result<(PairwiseOutput<R>, Vec<MrRunReport>)>
+where
+    T: Wire + Clone + Sync,
+    R: Wire + Clone + Sync,
+{
+    let mut merged: std::collections::HashMap<u64, Vec<(u64, R)>> = (0..payloads.len() as u64)
+        .map(|id| (id, Vec::new()))
+        .collect();
+    let mut reports = Vec::with_capacity(rounds.len());
+    for (i, round) in rounds.into_iter().enumerate() {
+        let opts = MrPairwiseOptions {
+            dfs_dir: format!("{}/round-{i}", options.dfs_dir),
+            ..options.clone()
+        };
+        let (out, report) = run_mr(
+            cluster,
+            round,
+            payloads,
+            Arc::clone(&comp),
+            symmetry,
+            Arc::new(crate::runner::ConcatSort),
+            opts,
+        )?;
+        for (id, mut partial) in out.per_element {
+            merged.entry(id).or_default().append(&mut partial);
+        }
+        reports.push(report);
+        // The round's DFS files are no longer needed once merged.
+        cluster.dfs().list(&format!("{}/round-{i}/", options.dfs_dir)).iter().for_each(|p| {
+            cluster.dfs().delete(p);
+        });
+    }
+    let mut per_element: Vec<(u64, Vec<(u64, R)>)> = merged
+        .into_iter()
+        .map(|(id, partials)| (id, aggregator.aggregate(id, partials)))
+        .collect();
+    per_element.sort_by_key(|(id, _)| *id);
+    Ok((PairwiseOutput { per_element }, reports))
+}
+
+/// Runs the broadcast scheme as a **single** job with the dataset shipped
+/// through the distributed cache — the paper's §5.1 optimization.
+pub fn run_mr_broadcast<T, R>(
+    cluster: &Cluster,
+    scheme: &BroadcastScheme,
+    payloads: &[T],
+    comp: CompFn<T, R>,
+    symmetry: Symmetry,
+    aggregator: Arc<dyn Aggregator<R>>,
+    options: MrPairwiseOptions,
+) -> pmr_mapreduce::Result<(PairwiseOutput<R>, MrRunReport)>
+where
+    T: Wire + Clone + Sync,
+    R: Wire + Clone + Sync,
+{
+    if payloads.len() as u64 != scheme.v() {
+        return Err(MrError::InvalidJob(format!(
+            "payload count {} != scheme v {}",
+            payloads.len(),
+            scheme.v()
+        )));
+    }
+    let n = cluster.num_nodes();
+    let dir = &options.dfs_dir;
+    let dataset: Vec<(u64, T)> =
+        payloads.iter().cloned().enumerate().map(|(i, p)| (i as u64, p)).collect();
+    let dataset_bytes = dataset.to_bytes();
+
+    // Input = one record per (nonempty) task: the unit of map-side work.
+    let tasks: Vec<(u64, ())> = (0..scheme.num_tasks())
+        .filter(|&t| scheme.num_pairs(t) > 0)
+        .map(|t| (t, ()))
+        .collect();
+    let shards = if options.input_shards == 0 { n } else { options.input_shards };
+    let inputs =
+        write_sharded(cluster, &format!("{dir}/tasks"), shards.min(tasks.len().max(1)), tasks)?;
+
+    let engine = Engine::new(cluster);
+    let job = engine.run(
+        JobSpec::new(
+            format!("{dir}-broadcast-evaluate-aggregate"),
+            inputs,
+            format!("{dir}/out"),
+            BroadcastEvalMapper::<T, R> { scheme: scheme.clone(), comp, symmetry },
+            AggregateReducer::<T, R> { aggregator, _pd: std::marker::PhantomData },
+            auto(n, scheme.v(), options.reducers_job2),
+        )
+        .partitioner(Arc::new(ModuloPartitioner))
+        .cache_file("dataset", dataset_bytes)
+        .memory_overhead(options.memory_overhead.0, options.memory_overhead.1),
+    )?;
+
+    let rows: Vec<OutputRow<T, R>> = read_output(cluster, &format!("{dir}/out"))?;
+    let mut per_element: Vec<(u64, Vec<(u64, R)>)> =
+        rows.into_iter().map(|(id, (_payload, rs))| (id, rs)).collect();
+    per_element.sort_by_key(|(id, _)| *id);
+
+    let report = MrRunReport {
+        evaluations: job.counters.get(EVALUATIONS_COUNTER).copied().unwrap_or(0),
+        replicated_records: job.counters[pmr_mapreduce::builtin::MAP_OUTPUT_RECORDS],
+        shuffle_bytes: job.counters[pmr_mapreduce::builtin::SHUFFLE_BYTES],
+        max_working_set_bytes: job.stats.max_working_set_bytes,
+        network_bytes: job.stats.network_bytes,
+        peak_intermediate_bytes: job.stats.peak_intermediate_bytes,
+        job1: job,
+        job2: None,
+    };
+    Ok((PairwiseOutput { per_element }, report))
+}

@@ -1,0 +1,76 @@
+//! Single-threaded reference execution: the paper's trivial solution
+//! (`b = 1`, `D₁ = S`, `P₁` the full strict upper triangle).
+
+use std::collections::HashMap;
+
+use crate::runner::{finalize, Aggregator, CompFn, PairwiseOutput, Symmetry};
+
+/// Evaluates `comp` on all pairs of `payloads` sequentially. Element `i` of
+/// the slice has id `i`. Ground truth for every other backend.
+pub fn run_sequential<T, R: Clone>(
+    payloads: &[T],
+    comp: &CompFn<T, R>,
+    symmetry: Symmetry,
+    aggregator: &dyn Aggregator<R>,
+) -> PairwiseOutput<R> {
+    let v = payloads.len() as u64;
+    let mut buckets: HashMap<u64, Vec<(u64, R)>> = HashMap::with_capacity(payloads.len());
+    for id in 0..v {
+        buckets.insert(id, Vec::new());
+    }
+    for a in 1..v {
+        for b in 0..a {
+            let (pa, pb) = (&payloads[a as usize], &payloads[b as usize]);
+            match symmetry {
+                Symmetry::Symmetric => {
+                    let r = comp(pa, pb);
+                    buckets.get_mut(&a).unwrap().push((b, r.clone()));
+                    buckets.get_mut(&b).unwrap().push((a, r));
+                }
+                Symmetry::NonSymmetric => {
+                    buckets.get_mut(&a).unwrap().push((b, comp(pa, pb)));
+                    buckets.get_mut(&b).unwrap().push((a, comp(pb, pa)));
+                }
+            }
+        }
+    }
+    finalize(buckets, aggregator)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{comp_fn, ConcatSort};
+
+    #[test]
+    fn all_pairs_of_integers() {
+        let payloads: Vec<i64> = vec![10, 20, 30];
+        let comp = comp_fn(|a: &i64, b: &i64| (a - b).abs());
+        let out = run_sequential(&payloads, &comp, Symmetry::Symmetric, &ConcatSort);
+        assert_eq!(out.per_element.len(), 3);
+        assert_eq!(out.results_of(0).unwrap(), &[(1, 10), (2, 20)]);
+        assert_eq!(out.results_of(1).unwrap(), &[(0, 10), (2, 10)]);
+        assert_eq!(out.results_of(2).unwrap(), &[(0, 20), (1, 10)]);
+        // v−1 results per element (Figure 2).
+        assert_eq!(out.total_results(), 3 * 2);
+    }
+
+    #[test]
+    fn non_symmetric_directional() {
+        let payloads: Vec<i64> = vec![1, 5];
+        let comp = comp_fn(|a: &i64, b: &i64| a - b);
+        let out = run_sequential(&payloads, &comp, Symmetry::NonSymmetric, &ConcatSort);
+        assert_eq!(out.results_of(0).unwrap(), &[(1, -4)]); // comp(p0, p1)
+        assert_eq!(out.results_of(1).unwrap(), &[(0, 4)]); // comp(p1, p0)
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let comp = comp_fn(|a: &i64, b: &i64| a + b);
+        let out = run_sequential(&[], &comp, Symmetry::Symmetric, &ConcatSort);
+        assert!(out.per_element.is_empty());
+        let out = run_sequential(&[7], &comp, Symmetry::Symmetric, &ConcatSort);
+        assert_eq!(out.per_element.len(), 1);
+        assert!(out.results_of(0).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,215 @@
+//! The broadcast distribution scheme (paper §5.1).
+//!
+//! "The broadcast approach is based on the assumption that the dataset size
+//! is moderate but the function to evaluate is expensive." Every working set
+//! is the whole dataset (`D₁ = … = D_b = S`); the pair matrix's strict upper
+//! triangle is enumerated (Figure 5) and split into `p` contiguous label
+//! ranges of `h = ⌈v(v−1)/2p⌉` pairs each.
+
+use crate::enumeration::{pair_count, pair_unrank, pairs_in_range};
+use crate::scheme::{DistributionScheme, SchemeMetrics};
+
+/// Broadcast scheme: full replication, contiguous pair-label ranges.
+///
+/// ```
+/// use pmr_core::scheme::{BroadcastScheme, DistributionScheme};
+///
+/// let s = BroadcastScheme::new(100, 4);
+/// // 4 tasks share the 4,950 pairs in ranges of ⌈4950/4⌉ = 1238 labels.
+/// assert_eq!(s.pairs_per_task(), 1238);
+/// assert_eq!(s.working_set(0).len(), 100); // each task sees everything
+/// let total: u64 = (0..4).map(|t| s.num_pairs(t)).sum();
+/// assert_eq!(total, 4950);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BroadcastScheme {
+    v: u64,
+    tasks: u64,
+    /// Pairs per task `h = ⌈total / tasks⌉`.
+    chunk: u64,
+}
+
+impl BroadcastScheme {
+    /// Creates a broadcast scheme over `v` elements with `tasks` tasks
+    /// (the paper notes the number of tasks "can be any number, e.g., the
+    /// number of nodes"). Tasks beyond the number of pairs stay empty.
+    pub fn new(v: u64, tasks: u64) -> BroadcastScheme {
+        assert!(v >= 2, "need at least 2 elements");
+        assert!(tasks >= 1, "need at least 1 task");
+        let total = pair_count(v);
+        let chunk = total.div_ceil(tasks).max(1);
+        BroadcastScheme { v, tasks, chunk }
+    }
+
+    /// The label range `[start, end)` of task `t`.
+    pub fn label_range(&self, task: u64) -> (u64, u64) {
+        let total = pair_count(self.v);
+        let start = (task * self.chunk).min(total);
+        let end = ((task + 1) * self.chunk).min(total);
+        (start, end)
+    }
+
+    /// Pairs per full task, `h = ⌈v(v−1)/(2p)⌉`.
+    pub fn pairs_per_task(&self) -> u64 {
+        self.chunk
+    }
+}
+
+impl DistributionScheme for BroadcastScheme {
+    fn v(&self) -> u64 {
+        self.v
+    }
+
+    fn num_tasks(&self) -> u64 {
+        self.tasks
+    }
+
+    fn subsets_of(&self, element: u64) -> Vec<u64> {
+        debug_assert!(element < self.v);
+        // Every element is replicated to every task whose label range
+        // contains at least one pair involving it — the paper simply
+        // replicates to all tasks; we match that (all nonempty tasks).
+        (0..self.tasks).filter(|&t| { let (s, e) = self.label_range(t); s < e }).collect()
+    }
+
+    fn working_set(&self, task: u64) -> Vec<u64> {
+        let (s, e) = self.label_range(task);
+        if s >= e {
+            return Vec::new();
+        }
+        (0..self.v).collect()
+    }
+
+    fn pairs(&self, task: u64) -> Vec<(u64, u64)> {
+        let (s, e) = self.label_range(task);
+        pairs_in_range(s, e).collect()
+    }
+
+    fn num_pairs(&self, task: u64) -> u64 {
+        let (s, e) = self.label_range(task);
+        e - s
+    }
+
+    fn name(&self) -> &'static str {
+        "broadcast"
+    }
+
+    fn metrics(&self, _n_nodes: u64) -> SchemeMetrics {
+        let p = self.tasks;
+        SchemeMetrics {
+            scheme: self.name(),
+            num_tasks: p,
+            communication_elements: 2 * self.v * p,
+            replication_factor: p as f64,
+            working_set_size: self.v,
+            evaluations_per_task: pair_count(self.v) as f64 / p as f64,
+        }
+    }
+}
+
+/// The elements a broadcast task actually touches (tighter than the full
+/// working set; exposed for the map-side evaluation path, which only loads
+/// what it needs from the distributed cache).
+pub fn touched_elements(scheme: &BroadcastScheme, task: u64) -> Vec<u64> {
+    let (s, e) = scheme.label_range(task);
+    if s >= e {
+        return Vec::new();
+    }
+    // Contiguous label ranges touch: all elements below the largest `a`,
+    // but the smallest rows only partially. Walk boundaries instead of all
+    // pairs: the range covers full rows (a_s..a_e) plus partial first/last.
+    let mut touched: Vec<u64> = Vec::new();
+    let (a_first, _) = pair_unrank(s);
+    let (a_last, _) = pair_unrank(e - 1);
+    // All b-values ≤ a_last − 1 can appear; enumerate precisely only for
+    // small ranges, else fall back to the covering interval.
+    if e - s <= 4096 {
+        let mut set = std::collections::BTreeSet::new();
+        for (a, b) in pairs_in_range(s, e) {
+            set.insert(a);
+            set.insert(b);
+        }
+        touched.extend(set);
+    } else {
+        touched.extend(0..=a_last);
+        let _ = a_first;
+    }
+    touched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{measure, verify_exactly_once};
+
+    #[test]
+    fn covers_every_pair_exactly_once() {
+        for (v, tasks) in [(2u64, 1u64), (7, 3), (10, 4), (25, 8), (40, 40), (13, 100)] {
+            let s = BroadcastScheme::new(v, tasks);
+            verify_exactly_once(&s).unwrap_or_else(|e| panic!("v={v} p={tasks}: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn task_sizes_balanced() {
+        let s = BroadcastScheme::new(100, 7);
+        let total = pair_count(100);
+        let m = measure(&s);
+        assert_eq!(m.total_pairs, total);
+        // Max and min differ by at most the chunk rounding.
+        assert!(m.max_evaluations - m.min_evaluations <= s.pairs_per_task());
+        assert_eq!(m.max_evaluations, s.pairs_per_task());
+    }
+
+    #[test]
+    fn label_ranges_partition_labels() {
+        let s = BroadcastScheme::new(50, 6);
+        let total = pair_count(50);
+        let mut pos = 0;
+        for t in 0..6 {
+            let (a, b) = s.label_range(t);
+            assert_eq!(a, pos);
+            pos = b;
+        }
+        assert_eq!(pos, total);
+    }
+
+    #[test]
+    fn working_set_is_whole_dataset() {
+        let s = BroadcastScheme::new(12, 3);
+        for t in 0..3 {
+            assert_eq!(s.working_set(t), (0..12).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn metrics_match_table1() {
+        let s = BroadcastScheme::new(1000, 16);
+        let m = s.metrics(16);
+        assert_eq!(m.num_tasks, 16);
+        assert_eq!(m.communication_elements, 2 * 1000 * 16);
+        assert_eq!(m.replication_factor, 16.0);
+        assert_eq!(m.working_set_size, 1000);
+        assert!((m.evaluations_per_task - 499_500.0 / 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_tasks_than_pairs() {
+        let s = BroadcastScheme::new(3, 10); // only 3 pairs
+        verify_exactly_once(&s).unwrap();
+        let m = measure(&s);
+        assert_eq!(m.total_pairs, 3);
+        assert_eq!(m.nonempty_tasks, 3);
+    }
+
+    #[test]
+    fn touched_elements_subset_of_pairs() {
+        let s = BroadcastScheme::new(30, 5);
+        for t in 0..5 {
+            let touched = touched_elements(&s, t);
+            for (a, b) in s.pairs(t) {
+                assert!(touched.contains(&a) && touched.contains(&b), "task {t}");
+            }
+        }
+    }
+}

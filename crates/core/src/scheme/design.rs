@@ -1,0 +1,223 @@
+//! The design distribution scheme (paper §5.3).
+//!
+//! Working sets are the blocks of a `(v, k, 1)`-design: a projective plane
+//! of order `q` — the smallest prime power with `q² + q + 1 ≥ v` — truncated
+//! to `v` points when `v < q̂`. Every 2-element subset of `S` lies in exactly
+//! one block, so the pair relation of each task is simply the full strict
+//! upper triangle of its working set:
+//! `P_l = {(s_i, s_j) | s_i, s_j ∈ D_l, i > j}`.
+//!
+//! Table-1 characteristics: `q² + q + 1 ≥ v` tasks, working sets of
+//! `≈ √v` elements, replication `≈ √v`, `≈ (v−1)/2` evaluations per task.
+
+use pmr_designs::plane::truncated_plane;
+use pmr_designs::BlockDesign;
+
+use crate::scheme::{DistributionScheme, SchemeMetrics};
+
+/// Design scheme backed by a (possibly truncated) projective plane.
+///
+/// ```
+/// use pmr_core::scheme::{DesignScheme, DistributionScheme, verify_exactly_once};
+///
+/// let s = DesignScheme::new(57);          // 57 = 7² + 7 + 1: exact plane
+/// assert_eq!(s.order(), 7);
+/// assert!(s.working_set(0).len() <= 8);   // blocks have ≤ q + 1 elements
+/// verify_exactly_once(&s).unwrap();       // every pair in exactly one task
+/// ```
+#[derive(Debug, Clone)]
+pub struct DesignScheme {
+    v: u64,
+    q: u64,
+    design: BlockDesign,
+    /// Inverted index: element → blocks containing it.
+    point_to_blocks: Vec<Vec<u32>>,
+}
+
+impl DesignScheme {
+    /// Builds the scheme for `v` elements: the truncated plane of the
+    /// smallest adequate prime-power order.
+    pub fn new(v: u64) -> DesignScheme {
+        assert!(v >= 2, "need at least 2 elements");
+        let (design, q) = truncated_plane(v);
+        let point_to_blocks = design.point_to_blocks();
+        DesignScheme { v, q, design, point_to_blocks }
+    }
+
+    /// Builds the scheme from a caller-supplied design (must be pairwise
+    /// balanced; verified in debug builds).
+    pub fn from_design(design: BlockDesign, q: u64) -> DesignScheme {
+        debug_assert!(design.verify().is_ok(), "design is not pairwise balanced");
+        let point_to_blocks = design.point_to_blocks();
+        DesignScheme { v: design.v(), q, design, point_to_blocks }
+    }
+
+    /// The plane order `q` used.
+    pub fn order(&self) -> u64 {
+        self.q
+    }
+
+    /// The underlying block design.
+    pub fn design(&self) -> &BlockDesign {
+        &self.design
+    }
+}
+
+impl DistributionScheme for DesignScheme {
+    fn v(&self) -> u64 {
+        self.v
+    }
+
+    fn num_tasks(&self) -> u64 {
+        self.design.num_blocks() as u64
+    }
+
+    fn subsets_of(&self, element: u64) -> Vec<u64> {
+        debug_assert!(element < self.v);
+        self.point_to_blocks[element as usize].iter().map(|&b| b as u64).collect()
+    }
+
+    fn working_set(&self, task: u64) -> Vec<u64> {
+        self.design.blocks()[task as usize].clone()
+    }
+
+    fn pairs(&self, task: u64) -> Vec<(u64, u64)> {
+        let block = &self.design.blocks()[task as usize];
+        let mut out = Vec::with_capacity(block.len() * block.len().saturating_sub(1) / 2);
+        for (idx, &a) in block.iter().enumerate().skip(1) {
+            for &b in &block[..idx] {
+                out.push((a, b)); // blocks are sorted ascending, so a > b
+            }
+        }
+        out
+    }
+
+    fn num_pairs(&self, task: u64) -> u64 {
+        let k = self.design.blocks()[task as usize].len() as u64;
+        k * k.saturating_sub(1) / 2
+    }
+
+    fn name(&self) -> &'static str {
+        "design"
+    }
+
+    fn metrics(&self, n_nodes: u64) -> SchemeMetrics {
+        let sqrt_v = (self.v as f64).sqrt();
+        // Communication ≈ 2v√v, capped at 2vn (sending to all nodes);
+        // Table 1's "max 2vn" column note.
+        let comm = (2.0 * self.v as f64 * sqrt_v).min(2.0 * (self.v * n_nodes) as f64);
+        SchemeMetrics {
+            scheme: self.name(),
+            num_tasks: self.num_tasks(),
+            communication_elements: comm as u64,
+            replication_factor: self.q as f64 + 1.0, // exact: r = q + 1 ≈ √v
+            working_set_size: self.q + 1,            // block size k = q + 1 ≈ √v
+            // Exact per-task bound C(q+1, 2) = q(q+1)/2; equals the paper's
+            // (v−1)/2 when v = q² + q + 1 and approximates it otherwise.
+            evaluations_per_task: (self.q * (self.q + 1)) as f64 / 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumeration::pair_count;
+    use crate::scheme::{measure, verify_exactly_once};
+
+    #[test]
+    fn covers_every_pair_exactly_once() {
+        for v in [2u64, 3, 7, 8, 13, 14, 20, 21, 31, 57, 60, 91, 100, 133] {
+            let s = DesignScheme::new(v);
+            verify_exactly_once(&s).unwrap_or_else(|e| panic!("v={v}: {e:?}"));
+            let m = measure(&s);
+            assert_eq!(m.total_pairs, pair_count(v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn fano_plane_for_v7() {
+        let s = DesignScheme::new(7);
+        assert_eq!(s.order(), 2);
+        assert_eq!(s.num_tasks(), 7);
+        for t in 0..7 {
+            assert_eq!(s.working_set(t).len(), 3);
+            assert_eq!(s.num_pairs(t), 3);
+        }
+        // Figure 4: work split into 7 independent tasks, each with 3 pairs.
+        let m = measure(&s);
+        assert_eq!(m.total_pairs, 21);
+        assert!((m.replication_factor - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_plane_block_sizes_are_q_plus_1() {
+        // v = 13 = 3² + 3 + 1: exact projective plane, all blocks k = 4.
+        let s = DesignScheme::new(13);
+        assert_eq!(s.order(), 3);
+        let m = measure(&s);
+        assert_eq!(m.max_working_set, 4);
+        assert_eq!(m.min_working_set, 4);
+    }
+
+    #[test]
+    fn truncated_plane_block_sizes_at_most_q_plus_1() {
+        let s = DesignScheme::new(100); // q̂(9) = 91 < 100 ≤ 111 = q̂(10)?
+        let m = measure(&s);
+        assert!(m.max_working_set <= s.order() + 1);
+        // Majority of blocks within 1 of each other (paper: "about the
+        // same number of elements (with a difference of at most 1)").
+        assert!(m.max_working_set - m.min_working_set <= s.order());
+    }
+
+    #[test]
+    fn working_set_scales_as_sqrt_v() {
+        for v in [50u64, 100, 200, 500] {
+            let s = DesignScheme::new(v);
+            let sqrt_v = (v as f64).sqrt();
+            let m = measure(&s);
+            assert!(
+                (m.max_working_set as f64) < 2.5 * sqrt_v,
+                "v={v}: ws {} vs √v {sqrt_v}",
+                m.max_working_set
+            );
+        }
+    }
+
+    #[test]
+    fn subsets_inverse_of_working_sets() {
+        let s = DesignScheme::new(40);
+        for e in 0..40u64 {
+            for t in s.subsets_of(e) {
+                assert!(s.working_set(t).contains(&e));
+            }
+        }
+        for t in 0..s.num_tasks() {
+            for e in s.working_set(t) {
+                assert!(s.subsets_of(e).contains(&t));
+            }
+        }
+    }
+
+    #[test]
+    fn num_tasks_at_least_v_for_exact_planes() {
+        // Paper: "because it is the same as the number of elements, no
+        // scalability issues occur... p ≥ v > n" (for untruncated planes).
+        let s = DesignScheme::new(13);
+        assert!(s.num_tasks() >= 13);
+    }
+
+    #[test]
+    fn metrics_match_table1_shape() {
+        let s = DesignScheme::new(10_000);
+        assert_eq!(s.order(), 101); // the paper's example
+        let m = s.metrics(64);
+        assert_eq!(m.replication_factor, 102.0);
+        assert_eq!(m.working_set_size, 102);
+        assert_eq!(m.evaluations_per_task, 5_151.0); // C(102, 2); ≈ (v−1)/2
+        // Communication capped at 2vn for few nodes.
+        assert_eq!(m.communication_elements, 2 * 10_000 * 64);
+        let m2 = s.metrics(1_000_000);
+        assert_eq!(m2.communication_elements, (2.0 * 10_000.0f64 * 100.0) as u64);
+    }
+}

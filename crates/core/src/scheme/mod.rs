@@ -1,0 +1,193 @@
+//! Distribution schemes: partitioning the Cartesian product (paper §5).
+//!
+//! A scheme answers the two questions of the paper's abstract solution:
+//! *which working sets does an element belong to* (`getSubsets`, here
+//! [`DistributionScheme::subsets_of`]) and *which pairs does a task
+//! evaluate* (`getPairs`, here [`DistributionScheme::pairs`]).
+//!
+//! Elements are identified by **dense indexes** `0..v` (the paper's
+//! `s₁…s_v`, shifted to 0-based). Applications with sparse ids map them to
+//! indexes first.
+//!
+//! Correctness contract (the paper's §5 "Problem" statement): across all
+//! tasks, every unordered pair `{a, b} ⊂ 0..v` appears in **exactly one**
+//! task's pair relation, and each task's pairs draw only from its working
+//! set. [`verify_exactly_once`] checks this exhaustively.
+
+pub mod block;
+pub mod broadcast;
+pub mod design;
+
+pub use block::{BlockScheme, PairedBlockScheme};
+pub use broadcast::BroadcastScheme;
+pub use design::DesignScheme;
+
+/// A partitioning of the Cartesian product `S × S` into per-task work.
+pub trait DistributionScheme: Send + Sync {
+    /// Number of elements `v`.
+    fn v(&self) -> u64;
+
+    /// Number of tasks `p` (working sets) the work is split into.
+    fn num_tasks(&self) -> u64;
+
+    /// The working sets containing element `e` — the paper's
+    /// `getSubsets(id(element))`. Determines the element's replication.
+    fn subsets_of(&self, element: u64) -> Vec<u64>;
+
+    /// All elements of task `t`'s working set, ascending.
+    fn working_set(&self, task: u64) -> Vec<u64>;
+
+    /// The pairs task `t` evaluates — the paper's `getPairs`. Every pair
+    /// `(a, b)` satisfies `a > b` and both endpoints lie in
+    /// `working_set(t)`.
+    fn pairs(&self, task: u64) -> Vec<(u64, u64)>;
+
+    /// Number of pairs task `t` evaluates (default: `pairs(t).len()`;
+    /// schemes override with a closed form).
+    fn num_pairs(&self, task: u64) -> u64 {
+        self.pairs(task).len() as u64
+    }
+
+    /// Human-readable scheme name.
+    fn name(&self) -> &'static str;
+
+    /// The analytic Table-1 row for this scheme on `n` nodes.
+    fn metrics(&self, n_nodes: u64) -> SchemeMetrics;
+}
+
+/// Analytic per-scheme metrics — one row of the paper's Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeMetrics {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// Number of tasks `p`.
+    pub num_tasks: u64,
+    /// Communication cost in *element transmissions* (each element copy is
+    /// sent once for the computation and once for the aggregation):
+    /// `2vp` broadcast, `2vh` block, `≈ 2v√v` design.
+    pub communication_elements: u64,
+    /// Replication factor: working sets per element.
+    pub replication_factor: f64,
+    /// Working-set size in elements (the largest task).
+    pub working_set_size: u64,
+    /// Function evaluations per task (the largest task).
+    pub evaluations_per_task: f64,
+}
+
+/// Metrics *measured* by walking a scheme exhaustively; the experimental
+/// counterpart of [`SchemeMetrics`] used to validate Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredMetrics {
+    /// Tasks that own at least one pair.
+    pub nonempty_tasks: u64,
+    /// Total element copies across all working sets.
+    pub total_copies: u64,
+    /// Mean replication factor (`total_copies / v`).
+    pub replication_factor: f64,
+    /// Largest working set.
+    pub max_working_set: u64,
+    /// Smallest nonempty working set.
+    pub min_working_set: u64,
+    /// Largest per-task pair count.
+    pub max_evaluations: u64,
+    /// Smallest nonempty per-task pair count.
+    pub min_evaluations: u64,
+    /// Total pairs across tasks (must equal `v(v−1)/2` for a valid scheme).
+    pub total_pairs: u64,
+}
+
+/// Walks every task of a scheme and measures the Table-1 quantities.
+pub fn measure(scheme: &dyn DistributionScheme) -> MeasuredMetrics {
+    let mut total_copies = 0u64;
+    let mut max_ws = 0u64;
+    let mut min_ws = u64::MAX;
+    let mut max_ev = 0u64;
+    let mut min_ev = u64::MAX;
+    let mut total_pairs = 0u64;
+    let mut nonempty = 0u64;
+    for t in 0..scheme.num_tasks() {
+        let ws = scheme.working_set(t) .len() as u64;
+        let ev = scheme.num_pairs(t);
+        total_copies += ws;
+        total_pairs += ev;
+        if ev > 0 {
+            nonempty += 1;
+            max_ws = max_ws.max(ws);
+            min_ws = min_ws.min(ws);
+            max_ev = max_ev.max(ev);
+            min_ev = min_ev.min(ev);
+        }
+    }
+    if nonempty == 0 {
+        min_ws = 0;
+        min_ev = 0;
+    }
+    MeasuredMetrics {
+        nonempty_tasks: nonempty,
+        total_copies,
+        replication_factor: total_copies as f64 / scheme.v().max(1) as f64,
+        max_working_set: max_ws,
+        min_working_set: min_ws,
+        max_evaluations: max_ev,
+        min_evaluations: min_ev,
+        total_pairs,
+    }
+}
+
+/// Error from [`verify_exactly_once`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemeError {
+    /// Some pair is covered `count ≠ 1` times.
+    Coverage {
+        /// Larger element of the pair.
+        a: u64,
+        /// Smaller element of the pair.
+        b: u64,
+        /// How many tasks evaluate it.
+        count: u64,
+    },
+    /// A task emitted a pair outside its working set.
+    PairOutsideWorkingSet {
+        /// Offending task.
+        task: u64,
+        /// The pair.
+        pair: (u64, u64),
+    },
+    /// A pair is malformed (`a ≤ b` or endpoint `≥ v`).
+    MalformedPair {
+        /// Offending task.
+        task: u64,
+        /// The pair.
+        pair: (u64, u64),
+    },
+}
+
+/// Exhaustively verifies the paper's exactly-once demand:
+/// every unordered pair of `0..v` is evaluated by exactly one task, all
+/// pairs are well-formed, and tasks only pair elements of their working
+/// set. `O(v²)` memory — for tests and small `v`.
+pub fn verify_exactly_once(scheme: &dyn DistributionScheme) -> Result<(), SchemeError> {
+    let v = scheme.v();
+    let total = crate::enumeration::pair_count(v);
+    let mut cover = vec![0u8; total as usize];
+    for t in 0..scheme.num_tasks() {
+        let ws = scheme.working_set(t);
+        for (a, b) in scheme.pairs(t) {
+            if a <= b || a >= v {
+                return Err(SchemeError::MalformedPair { task: t, pair: (a, b) });
+            }
+            if ws.binary_search(&a).is_err() || ws.binary_search(&b).is_err() {
+                return Err(SchemeError::PairOutsideWorkingSet { task: t, pair: (a, b) });
+            }
+            let r = crate::enumeration::pair_rank(a, b) as usize;
+            cover[r] = cover[r].saturating_add(1);
+        }
+    }
+    for (r, &c) in cover.iter().enumerate() {
+        if c != 1 {
+            let (a, b) = crate::enumeration::pair_unrank(r as u64);
+            return Err(SchemeError::Coverage { a, b, count: c as u64 });
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,148 @@
+//! Edge cases and cross-crate integrations: minimal datasets, alternate
+//! design constructions feeding the scheme, and degenerate parameters.
+
+use std::sync::Arc;
+
+use pmr_cluster::{Cluster, ClusterConfig};
+use pmr_core::runner::local::run_local;
+use pmr_core::runner::mr::{run_mr, MrPairwiseOptions};
+use pmr_core::runner::sequential::run_sequential;
+use pmr_core::runner::{comp_fn, CompFn, ConcatSort, Symmetry};
+use pmr_core::scheme::{
+    measure, verify_exactly_once, BlockScheme, BroadcastScheme, DesignScheme,
+    DistributionScheme, PairedBlockScheme,
+};
+use pmr_designs::plane::pg2;
+use pmr_designs::singer::singer;
+
+fn comp() -> CompFn<u64, u64> {
+    comp_fn(|a: &u64, b: &u64| a + b)
+}
+
+#[test]
+fn v_equals_2_all_schemes_and_backends() {
+    let data = vec![10u64, 20];
+    let reference = run_sequential(&data, &comp(), Symmetry::Symmetric, &ConcatSort);
+    assert_eq!(reference.results_of(0).unwrap(), &[(1, 30)]);
+
+    let schemes: Vec<Arc<dyn DistributionScheme>> = vec![
+        Arc::new(BroadcastScheme::new(2, 1)),
+        Arc::new(BroadcastScheme::new(2, 5)),
+        Arc::new(BlockScheme::new(2, 1)),
+        Arc::new(BlockScheme::new(2, 2)),
+        Arc::new(PairedBlockScheme::new(2, 2)),
+        Arc::new(DesignScheme::new(2)),
+    ];
+    for scheme in schemes {
+        verify_exactly_once(scheme.as_ref()).unwrap();
+        let (local, _) =
+            run_local(&data, scheme.as_ref(), &comp(), Symmetry::Symmetric, &ConcatSort, 2);
+        assert_eq!(local, reference, "local/{}", scheme.name());
+        let cluster = Cluster::new(ClusterConfig::with_nodes(2));
+        let (mr, _) = run_mr(
+            &cluster,
+            Arc::clone(&scheme),
+            &data,
+            comp(),
+            Symmetry::Symmetric,
+            Arc::new(ConcatSort),
+            MrPairwiseOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(mr, reference, "mr/{}", scheme.name());
+    }
+}
+
+#[test]
+fn singer_plane_drives_the_design_scheme() {
+    // The Singer difference-set construction (a third, independent plane
+    // construction) plugs straight into the scheme and the runners.
+    let q = 5u64;
+    let plane = singer(q);
+    let v = plane.v(); // 31
+    let scheme = DesignScheme::from_design(plane, q);
+    verify_exactly_once(&scheme).unwrap();
+    let m = measure(&scheme);
+    assert_eq!(m.max_working_set as u64, q + 1);
+    assert!((m.replication_factor - (q + 1) as f64).abs() < 1e-9);
+
+    let data: Vec<u64> = (0..v).map(|i| i * 3 % 17).collect();
+    let reference = run_sequential(&data, &comp(), Symmetry::Symmetric, &ConcatSort);
+    let (out, stats) = run_local(&data, &scheme, &comp(), Symmetry::Symmetric, &ConcatSort, 4);
+    assert_eq!(out, reference);
+    assert_eq!(stats.evaluations, v * (v - 1) / 2);
+}
+
+#[test]
+fn pg2_prime_power_plane_drives_the_design_scheme() {
+    // PG(2, 8): a prime-power order the paper's Theorem-2 construction
+    // cannot produce (8 = 2³), exercised through the whole stack.
+    let plane = pg2(8);
+    let v = plane.v(); // 73
+    let scheme = DesignScheme::from_design(plane, 8);
+    verify_exactly_once(&scheme).unwrap();
+    let data: Vec<u64> = (0..v).collect();
+    let (out, _) = run_local(&data, &scheme, &comp(), Symmetry::Symmetric, &ConcatSort, 4);
+    let reference = run_sequential(&data, &comp(), Symmetry::Symmetric, &ConcatSort);
+    assert_eq!(out, reference);
+}
+
+#[test]
+fn single_node_cluster_works() {
+    let data: Vec<u64> = (0..20).collect();
+    let reference = run_sequential(&data, &comp(), Symmetry::Symmetric, &ConcatSort);
+    let cluster = Cluster::new(ClusterConfig::with_nodes(1));
+    let (out, report) = run_mr(
+        &cluster,
+        Arc::new(BlockScheme::new(20, 3)),
+        &data,
+        comp(),
+        Symmetry::Symmetric,
+        Arc::new(ConcatSort),
+        MrPairwiseOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(out, reference);
+    // One node: the shuffle still happens, but nothing crosses the network.
+    assert_eq!(report.network_bytes, 0);
+    assert!(report.shuffle_bytes > 0);
+}
+
+#[test]
+fn many_more_nodes_than_elements() {
+    let data: Vec<u64> = (0..6).collect();
+    let reference = run_sequential(&data, &comp(), Symmetry::Symmetric, &ConcatSort);
+    let cluster = Cluster::new(ClusterConfig::with_nodes(16));
+    let (out, _) = run_mr(
+        &cluster,
+        Arc::new(DesignScheme::new(6)),
+        &data,
+        comp(),
+        Symmetry::Symmetric,
+        Arc::new(ConcatSort),
+        MrPairwiseOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(out, reference);
+}
+
+#[test]
+fn constant_payloads_and_zero_results() {
+    // All-equal payloads: every result is 0; aggregation must still keep
+    // every (other, 0) entry.
+    let data = vec![5u64; 12];
+    let c: CompFn<u64, u64> = comp_fn(|a: &u64, b: &u64| a.abs_diff(*b));
+    let (out, _) =
+        run_local(&data, &DesignScheme::new(12), &c, Symmetry::Symmetric, &ConcatSort, 2);
+    assert_eq!(out.total_results(), 12 * 11);
+    assert!(out.per_element.iter().all(|(_, rs)| rs.iter().all(|(_, r)| *r == 0)));
+}
+
+#[test]
+fn broadcast_task_count_one_is_the_trivial_solution() {
+    // b = 1, D₁ = S, P₁ = the full triangle (the paper's trivial solution).
+    let s = BroadcastScheme::new(30, 1);
+    assert_eq!(s.num_tasks(), 1);
+    assert_eq!(s.num_pairs(0), 30 * 29 / 2);
+    verify_exactly_once(&s).unwrap();
+}

@@ -1,0 +1,147 @@
+//! Property-based tests: scheme invariants and backend equivalence on
+//! randomized parameters and data.
+
+use proptest::prelude::*;
+
+use pmr_core::enumeration::{diag_rank, diag_unrank, pair_count, pair_rank, pair_unrank};
+use pmr_core::hierarchical::{verify_rounds_exactly_once, BatchedDesign, TwoLevelBlock};
+use pmr_core::runner::local::run_local;
+use pmr_core::runner::sequential::run_sequential;
+use pmr_core::runner::{comp_fn, CompFn, ConcatSort, Symmetry};
+use pmr_core::scheme::{
+    measure, verify_exactly_once, BlockScheme, BroadcastScheme, DesignScheme,
+    DistributionScheme,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pair_enumeration_roundtrip(rank in 0u64..10_000_000_000) {
+        let (a, b) = pair_unrank(rank);
+        prop_assert!(a > b);
+        prop_assert_eq!(pair_rank(a, b), rank);
+    }
+
+    #[test]
+    fn diag_enumeration_roundtrip(rank in 0u64..10_000_000_000) {
+        let (i, j) = diag_unrank(rank);
+        prop_assert!(i >= j);
+        prop_assert_eq!(diag_rank(i, j), rank);
+    }
+
+    #[test]
+    fn broadcast_exactly_once(v in 2u64..120, tasks in 1u64..40) {
+        let s = BroadcastScheme::new(v, tasks);
+        prop_assert!(verify_exactly_once(&s).is_ok());
+    }
+
+    #[test]
+    fn block_exactly_once(v in 2u64..120, h in 1u64..20) {
+        let s = BlockScheme::new(v, h);
+        prop_assert!(verify_exactly_once(&s).is_ok());
+        // Table-1 invariants.
+        let m = measure(&s);
+        prop_assert!(m.max_working_set <= 2 * s.edge());
+        prop_assert!(m.max_evaluations <= s.edge() * s.edge());
+        prop_assert_eq!(m.total_pairs, pair_count(v));
+    }
+
+    #[test]
+    fn design_exactly_once(v in 2u64..150) {
+        let s = DesignScheme::new(v);
+        prop_assert!(verify_exactly_once(&s).is_ok());
+        let m = measure(&s);
+        prop_assert!(m.max_working_set <= s.order() + 1);
+    }
+
+    #[test]
+    fn block_replication_is_exactly_h(v in 2u64..100, h in 1u64..12) {
+        let s = BlockScheme::new(v, h);
+        let eff_h = s.blocking_factor();
+        for e in 0..v {
+            prop_assert_eq!(s.subsets_of(e).len() as u64, eff_h);
+        }
+    }
+
+    #[test]
+    fn two_level_block_exactly_once(v in 4u64..80, coarse in 1u64..5, fine in 1u64..5) {
+        let tlb = TwoLevelBlock::new(v, coarse, fine);
+        prop_assert!(verify_rounds_exactly_once(&tlb.rounds(), v).is_ok());
+    }
+
+    #[test]
+    fn batched_design_exactly_once(v in 4u64..60, batches in 1u64..8) {
+        let bd = BatchedDesign::new(v, batches);
+        let rounds: Vec<Box<dyn DistributionScheme>> = (0..bd.num_rounds())
+            .map(|r| Box::new(bd.round(r)) as Box<dyn DistributionScheme>)
+            .collect();
+        prop_assert!(verify_rounds_exactly_once(&rounds, v).is_ok());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn local_backends_agree_with_sequential(
+        data in prop::collection::vec(0i64..1000, 2..50),
+        h in 1u64..8,
+        threads in 1usize..5,
+    ) {
+        let v = data.len() as u64;
+        let comp: CompFn<i64, i64> = comp_fn(|a: &i64, b: &i64| (a - b).abs());
+        let reference = run_sequential(&data, &comp, Symmetry::Symmetric, &ConcatSort);
+
+        let schemes: Vec<Box<dyn DistributionScheme>> = vec![
+            Box::new(BroadcastScheme::new(v, h + 1)),
+            Box::new(BlockScheme::new(v, h)),
+            Box::new(DesignScheme::new(v)),
+        ];
+        for s in &schemes {
+            let (out, stats) =
+                run_local(&data, s.as_ref(), &comp, Symmetry::Symmetric, &ConcatSort, threads);
+            prop_assert_eq!(&out, &reference, "scheme {}", s.name());
+            prop_assert_eq!(stats.evaluations, pair_count(v));
+        }
+    }
+
+    #[test]
+    fn subsets_consistent_with_working_sets(v in 2u64..80, h in 1u64..10) {
+        let schemes: Vec<Box<dyn DistributionScheme>> = vec![
+            Box::new(BroadcastScheme::new(v, h)),
+            Box::new(BlockScheme::new(v, h)),
+            Box::new(DesignScheme::new(v)),
+        ];
+        for s in &schemes {
+            for e in 0..v {
+                for t in s.subsets_of(e) {
+                    prop_assert!(
+                        s.working_set(t).binary_search(&e).is_ok(),
+                        "{}: element {e} not in claimed working set {t}", s.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn num_pairs_matches_pairs_len(v in 2u64..60, h in 1u64..8) {
+        let schemes: Vec<Box<dyn DistributionScheme>> = vec![
+            Box::new(BroadcastScheme::new(v, h)),
+            Box::new(BlockScheme::new(v, h)),
+            Box::new(DesignScheme::new(v)),
+        ];
+        for s in &schemes {
+            for t in 0..s.num_tasks() {
+                prop_assert_eq!(
+                    s.num_pairs(t),
+                    s.pairs(t).len() as u64,
+                    "{} task {}",
+                    s.name(),
+                    t
+                );
+            }
+        }
+    }
+}

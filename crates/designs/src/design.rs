@@ -1,0 +1,280 @@
+//! `(v, k, λ)`-designs, specialized to the `λ = 1` case the paper uses.
+//!
+//! A `(v, k, 1)`-design (Definition 1 in the paper) is a collection of
+//! `k`-element blocks of a `v`-element point set such that every 2-element
+//! subset of points lies in **exactly one** block. The design distribution
+//! scheme maps blocks to working sets, so this exactly-once property is what
+//! guarantees that every pair of elements is evaluated exactly once.
+
+use std::collections::HashMap;
+
+/// A block design over points `0..v` (0-based, unlike the paper's 1-based
+/// `s₁…s_v`; the conversion is purely notational).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockDesign {
+    v: u64,
+    blocks: Vec<Vec<u64>>,
+}
+
+/// Outcome of [`BlockDesign::verify`]: why a structure fails to be a
+/// `(v, k, 1)`-design (or the weaker "design-like" structure used after
+/// truncation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesignError {
+    /// A block references a point `≥ v`.
+    PointOutOfRange {
+        /// Offending block index.
+        block: usize,
+        /// The out-of-range point.
+        point: u64,
+    },
+    /// A block contains a repeated point.
+    DuplicatePoint {
+        /// Offending block index.
+        block: usize,
+        /// The repeated point.
+        point: u64,
+    },
+    /// Some pair is covered zero times or more than once.
+    PairCoverage {
+        /// Smaller point of the pair.
+        a: u64,
+        /// Larger point of the pair.
+        b: u64,
+        /// Number of blocks containing the pair.
+        count: u64,
+    },
+    /// Block sizes are not all `k` (strict designs only).
+    BlockSize {
+        /// Offending block index.
+        block: usize,
+        /// Actual size.
+        size: usize,
+        /// Expected size `k`.
+        expected: usize,
+    },
+}
+
+impl BlockDesign {
+    /// Builds a design from raw blocks. Blocks are sorted internally; no
+    /// validity check is performed (use [`BlockDesign::verify`]).
+    pub fn new(v: u64, mut blocks: Vec<Vec<u64>>) -> BlockDesign {
+        for b in &mut blocks {
+            b.sort_unstable();
+        }
+        BlockDesign { v, blocks }
+    }
+
+    /// Number of points `v`.
+    pub fn v(&self) -> u64 {
+        self.v
+    }
+
+    /// Number of blocks `b`.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The blocks (each sorted ascending).
+    pub fn blocks(&self) -> &[Vec<u64>] {
+        &self.blocks
+    }
+
+    /// Block sizes `(min, max)`; `(0, 0)` for an empty design.
+    pub fn block_size_range(&self) -> (usize, usize) {
+        let min = self.blocks.iter().map(Vec::len).min().unwrap_or(0);
+        let max = self.blocks.iter().map(Vec::len).max().unwrap_or(0);
+        (min, max)
+    }
+
+    /// Replication number of each point: how many blocks contain it.
+    pub fn replication_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.v as usize];
+        for block in &self.blocks {
+            for &p in block {
+                counts[p as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Index from point to the blocks containing it.
+    pub fn point_to_blocks(&self) -> Vec<Vec<u32>> {
+        let mut idx = vec![Vec::new(); self.v as usize];
+        for (b, block) in self.blocks.iter().enumerate() {
+            for &p in block {
+                idx[p as usize].push(b as u32);
+            }
+        }
+        idx
+    }
+
+    /// Verifies the *pairwise-balance* property: every unordered pair of
+    /// points `0..v` is contained in exactly one block, points are in range,
+    /// and no block repeats a point. Block sizes are **not** required to be
+    /// uniform (the paper's truncated "design-like" structures have blocks of
+    /// varying size).
+    pub fn verify(&self) -> Result<(), DesignError> {
+        let mut cover: HashMap<(u64, u64), u64> = HashMap::new();
+        for (bi, block) in self.blocks.iter().enumerate() {
+            for (i, &a) in block.iter().enumerate() {
+                if a >= self.v {
+                    return Err(DesignError::PointOutOfRange { block: bi, point: a });
+                }
+                if i > 0 && block[i - 1] == a {
+                    return Err(DesignError::DuplicatePoint { block: bi, point: a });
+                }
+                for &b in &block[i + 1..] {
+                    *cover.entry((a, b)).or_insert(0) += 1;
+                }
+            }
+        }
+        for a in 0..self.v {
+            for b in a + 1..self.v {
+                let c = cover.get(&(a, b)).copied().unwrap_or(0);
+                if c != 1 {
+                    return Err(DesignError::PairCoverage { a, b, count: c });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies the strict `(v, k, 1)`-design property: pairwise balance
+    /// *and* every block has exactly `k` points.
+    pub fn verify_strict(&self, k: usize) -> Result<(), DesignError> {
+        for (bi, block) in self.blocks.iter().enumerate() {
+            if block.len() != k {
+                return Err(DesignError::BlockSize { block: bi, size: block.len(), expected: k });
+            }
+        }
+        self.verify()
+    }
+
+    /// True iff this is a projective plane of order `m`, i.e. an
+    /// `(m² + m + 1, m + 1, 1)`-design (Definition 2 in the paper).
+    pub fn is_projective_plane(&self) -> Option<u64> {
+        let (min, max) = self.block_size_range();
+        if min != max || min < 3 {
+            return None;
+        }
+        let m = (min - 1) as u64;
+        if self.v != m * m + m + 1 || self.blocks.len() as u64 != self.v {
+            return None;
+        }
+        self.verify_strict(min).ok().map(|()| m)
+    }
+
+    /// Truncates the design to the first `v'` points (paper §5.3: "If
+    /// `v < q̂`, then the elements `s_{v+1}, …, s_{q̂}` do not exist").
+    ///
+    /// Points `≥ v'` are removed from every block; blocks left with fewer
+    /// than 2 points carry no pairs and are dropped (the paper notes blocks
+    /// that shrink to one element "can therefore be dropped").
+    pub fn truncate_to(&self, v_new: u64) -> BlockDesign {
+        assert!(v_new <= self.v, "truncate_to can only shrink a design");
+        let blocks = self
+            .blocks
+            .iter()
+            .map(|b| b.iter().copied().filter(|&p| p < v_new).collect::<Vec<_>>())
+            .filter(|b| b.len() >= 2)
+            .collect();
+        BlockDesign { v: v_new, blocks }
+    }
+
+    /// Total number of unordered pairs covered across all blocks (with
+    /// multiplicity). For a valid design this equals `v(v−1)/2`.
+    pub fn total_pairs(&self) -> u64 {
+        self.blocks.iter().map(|b| (b.len() as u64) * (b.len() as u64 - 1) / 2).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Fano plane as drawn in the paper's Figures 4 and 7 (1-based
+    /// s₁…s₇ mapped to 0-based points).
+    pub fn fano_from_paper() -> BlockDesign {
+        // Figure 4: D₁={s1,s2,s3} D₂={s1,s4,s7} D₃={s1,s5,s6} D₄={s2,s4,s6}
+        //           D₅={s2,s5,s7} D₆={s3,s4,s5} D₇={s3,s6,s7}
+        BlockDesign::new(
+            7,
+            vec![
+                vec![0, 1, 2],
+                vec![0, 3, 6],
+                vec![0, 4, 5],
+                vec![1, 3, 5],
+                vec![1, 4, 6],
+                vec![2, 3, 4],
+                vec![2, 5, 6],
+            ],
+        )
+    }
+
+    #[test]
+    fn paper_figure4_is_a_731_design() {
+        let fano = fano_from_paper();
+        fano.verify_strict(3).unwrap();
+        assert_eq!(fano.is_projective_plane(), Some(2));
+        assert_eq!(fano.num_blocks(), 7);
+        assert_eq!(fano.total_pairs(), 21); // 7·6/2
+        assert!(fano.replication_counts().iter().all(|&r| r == 3)); // r = q+1
+    }
+
+    #[test]
+    fn broken_coverage_detected() {
+        // Swap one point: pair coverage breaks.
+        let mut blocks = fano_from_paper().blocks().to_vec();
+        blocks[0] = vec![0, 1, 3];
+        let d = BlockDesign::new(7, blocks);
+        assert!(matches!(d.verify(), Err(DesignError::PairCoverage { .. })));
+    }
+
+    #[test]
+    fn out_of_range_detected() {
+        let d = BlockDesign::new(3, vec![vec![0, 1], vec![0, 2], vec![1, 5]]);
+        assert!(matches!(d.verify(), Err(DesignError::PointOutOfRange { point: 5, .. })));
+    }
+
+    #[test]
+    fn duplicate_point_detected() {
+        let d = BlockDesign::new(3, vec![vec![0, 0, 1]]);
+        assert!(matches!(d.verify(), Err(DesignError::DuplicatePoint { point: 0, .. })));
+    }
+
+    #[test]
+    fn wrong_block_size_detected() {
+        let fano = fano_from_paper();
+        assert!(matches!(fano.verify_strict(4), Err(DesignError::BlockSize { expected: 4, .. })));
+    }
+
+    #[test]
+    fn truncation_preserves_pairwise_balance() {
+        let fano = fano_from_paper();
+        for v_new in 2..=7u64 {
+            let t = fano.truncate_to(v_new);
+            t.verify().unwrap_or_else(|e| panic!("v'={v_new}: {e:?}"));
+            assert_eq!(t.total_pairs(), v_new * (v_new - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn truncation_drops_tiny_blocks() {
+        let fano = fano_from_paper();
+        let t = fano.truncate_to(3);
+        // Only D₁ = {0,1,2} retains ≥ 2 points... plus blocks covering
+        // pairs (0,1),(0,2),(1,2) — exactly the 3-point block plus any
+        // two-point leftovers. Verify no 0/1-point blocks survive.
+        assert!(t.blocks().iter().all(|b| b.len() >= 2));
+        t.verify().unwrap();
+    }
+
+    #[test]
+    fn trivial_design_single_block() {
+        // b = 1, D₁ = S is the paper's trivial solution.
+        let d = BlockDesign::new(5, vec![vec![0, 1, 2, 3, 4]]);
+        d.verify().unwrap();
+        assert_eq!(d.total_pairs(), 10);
+    }
+}

@@ -1,0 +1,253 @@
+//! Projective-plane constructions.
+//!
+//! Two independent constructions of a `(q² + q + 1, q + 1, 1)`-design — a
+//! finite projective plane of order `q` (paper Definition 2, Theorem 1):
+//!
+//! * [`theorem2`] — the paper's direct construction (Theorem 2, after Lee,
+//!   Kang & Choi): pure modular arithmetic, valid for **prime** `q`.
+//! * [`pg2`] — the classical `PG(2, q)` construction over `GF(q)`: points
+//!   are 1-dimensional subspaces of `GF(q)³`, lines are kernels of linear
+//!   forms; valid for **every prime power** `q`.
+//!
+//! [`plane`] dispatches to the paper's construction for primes and to
+//! `PG(2, q)` for higher prime powers, and [`truncated_plane`] produces the
+//! paper's "design-like" structure for arbitrary `v` (§5.3).
+
+use crate::design::BlockDesign;
+use crate::gf::Gf;
+use crate::primes::{is_prime, plane_size, prime_power, smallest_plane_order};
+
+/// The paper's Theorem 2 construction (0-based points and blocks).
+///
+/// Rules (translated from the paper's 1-based `s_j`, `D_i`):
+/// 1. block 0 = `{0, …, q}`;
+/// 2. blocks `1 ≤ i ≤ q` = `{0} ∪ {q·i + 1, …, q·i + q}`;
+/// 3. blocks `q+1 ≤ i ≤ q²+q`: with `t = i − 1`, `h = ⌊t/q⌋ − 1`,
+///    `l = t mod q`, block = `{h+1} ∪ {q(m+1) + ((l − h·m) mod q) + 1}` for
+///    `0 ≤ m ≤ q−1`.
+///
+/// Panics if `q` is not prime (rule 3 requires `ℤ_q` to be a field; for
+/// prime powers use [`pg2`]).
+pub fn theorem2(q: u64) -> BlockDesign {
+    assert!(is_prime(q), "theorem2 construction requires prime q (got {q}); use pg2 for prime powers");
+    let qhat = plane_size(q);
+    let mut blocks = Vec::with_capacity(qhat as usize);
+
+    // Rule 1.
+    blocks.push((0..=q).collect::<Vec<u64>>());
+
+    // Rule 2.
+    for i in 1..=q {
+        let mut b = Vec::with_capacity(q as usize + 1);
+        b.push(0);
+        b.extend(q * i + 1..=q * i + q);
+        blocks.push(b);
+    }
+
+    // Rule 3.
+    for i in q + 1..qhat {
+        let t = i - 1;
+        let h = t / q - 1;
+        let l = t % q;
+        let mut b = Vec::with_capacity(q as usize + 1);
+        b.push(h + 1);
+        for m in 0..q {
+            // (l − h·m) mod q, computed without going negative.
+            let hm = (h % q) * (m % q) % q;
+            let off = (l + q - hm % q) % q;
+            b.push(q * (m + 1) + off + 1);
+        }
+        blocks.push(b);
+    }
+
+    BlockDesign::new(qhat, blocks)
+}
+
+/// The classical `PG(2, q)` construction over `GF(q)`.
+///
+/// Points are the `q² + q + 1` normalized nonzero triples of `GF(q)³`
+/// (first nonzero coordinate scaled to 1); a line with normalized
+/// coefficients `(a, b, c)` contains the points `(x, y, z)` with
+/// `ax + by + cz = 0`. Point ids:
+/// `(1, y, z) ↦ y·q + z`, `(0, 1, z) ↦ q² + z`, `(0, 0, 1) ↦ q² + q`.
+///
+/// Works for every prime power `q` (panics otherwise, via [`Gf::new`]).
+pub fn pg2(q: u64) -> BlockDesign {
+    let gf = Gf::new(q);
+    let qhat = plane_size(q);
+
+    let point_id = |x: u64, y: u64, z: u64| -> u64 {
+        // Normalize: scale so the first nonzero coordinate is 1.
+        let (x, y, z) = if x != 0 {
+            let inv = gf.inv(x);
+            (1, gf.mul(y, inv), gf.mul(z, inv))
+        } else if y != 0 {
+            let inv = gf.inv(y);
+            (0, 1, gf.mul(z, inv))
+        } else {
+            debug_assert!(z != 0, "zero vector is not a projective point");
+            (0, 0, 1)
+        };
+        match (x, y) {
+            (1, _) => y * q + z,
+            (0, 1) => q * q + z,
+            _ => q * q + q,
+        }
+    };
+
+    // Enumerate normalized line-coefficient triples exactly like points, and
+    // for each line generate its q + 1 points from a basis of its kernel.
+    let mut lines = Vec::with_capacity(qhat as usize);
+    let mut coefs = Vec::with_capacity(qhat as usize);
+    for y in 0..q {
+        for z in 0..q {
+            coefs.push((1, y, z));
+        }
+    }
+    for z in 0..q {
+        coefs.push((0, 1, z));
+    }
+    coefs.push((0, 0, 1));
+
+    for (a, b, c) in coefs {
+        // Two independent solutions (u, w) of a·x + b·y + c·z = 0.
+        let (u, w) = if c != 0 {
+            let cinv = gf.inv(c);
+            // (1, 0, −a/c) and (0, 1, −b/c).
+            ((1, 0, gf.neg(gf.mul(a, cinv))), (0, 1, gf.neg(gf.mul(b, cinv))))
+        } else if b != 0 {
+            let binv = gf.inv(b);
+            // (1, −a/b, 0) and (0, 0, 1).
+            ((1, gf.neg(gf.mul(a, binv)), 0), (0, 0, 1))
+        } else {
+            // a ≠ 0, b = c = 0: x = 0 plane.
+            ((0, 1, 0), (0, 0, 1))
+        };
+        let mut block = Vec::with_capacity(q as usize + 1);
+        // The q + 1 subspaces of span{u, w}: u + t·w for all t, plus w.
+        for t in 0..q {
+            let x = gf.add(u.0, gf.mul(t, w.0));
+            let y = gf.add(u.1, gf.mul(t, w.1));
+            let z = gf.add(u.2, gf.mul(t, w.2));
+            block.push(point_id(x, y, z));
+        }
+        block.push(point_id(w.0, w.1, w.2));
+        lines.push(block);
+    }
+
+    BlockDesign::new(qhat, lines)
+}
+
+/// Builds a projective plane of order `q` for any prime power `q`:
+/// the paper's Theorem 2 construction when `q` is prime, `PG(2, q)`
+/// otherwise. Panics if `q` is not a prime power.
+pub fn plane(q: u64) -> BlockDesign {
+    match prime_power(q) {
+        Some((_, 1)) => theorem2(q),
+        Some(_) => pg2(q),
+        None => panic!("no projective plane construction for non-prime-power order {q}"),
+    }
+}
+
+/// The paper's §5.3 structure for an arbitrary dataset size `v`: the plane
+/// of the smallest prime power `q` with `q² + q + 1 ≥ v`, truncated to `v`
+/// points (blocks that shrink below 2 points are dropped).
+///
+/// Returns the design together with the order `q` used.
+pub fn truncated_plane(v: u64) -> (BlockDesign, u64) {
+    assert!(v >= 2, "need at least two elements to form pairs (got v={v})");
+    let q = smallest_plane_order(v);
+    let full = plane(q);
+    let truncated = if v < full.v() { full.truncate_to(v) } else { full };
+    (truncated, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem2_fano() {
+        let d = theorem2(2);
+        assert_eq!(d.is_projective_plane(), Some(2));
+        assert_eq!(d.num_blocks(), 7);
+    }
+
+    #[test]
+    fn theorem2_valid_for_small_primes() {
+        for q in [2u64, 3, 5, 7, 11, 13] {
+            let d = theorem2(q);
+            assert_eq!(
+                d.is_projective_plane(),
+                Some(q),
+                "Theorem 2 construction failed for q={q}"
+            );
+            // Every point lies on exactly q + 1 lines (replication r = k).
+            assert!(d.replication_counts().iter().all(|&r| r == q + 1));
+        }
+    }
+
+    #[test]
+    fn pg2_valid_for_prime_powers() {
+        for q in [2u64, 3, 4, 5, 7, 8, 9] {
+            let d = pg2(q);
+            assert_eq!(d.is_projective_plane(), Some(q), "PG(2,{q}) invalid");
+            assert!(d.replication_counts().iter().all(|&r| r == q + 1));
+        }
+    }
+
+    #[test]
+    fn both_constructions_agree_on_parameters() {
+        for q in [2u64, 3, 5, 7] {
+            let a = theorem2(q);
+            let b = pg2(q);
+            assert_eq!(a.v(), b.v());
+            assert_eq!(a.num_blocks(), b.num_blocks());
+            assert_eq!(a.block_size_range(), b.block_size_range());
+            // (The designs are isomorphic but need not be identical.)
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires prime q")]
+    fn theorem2_rejects_prime_powers() {
+        let _ = theorem2(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-prime-power")]
+    fn plane_rejects_order_6() {
+        let _ = plane(6); // no projective plane of order 6 exists (Tarry)
+    }
+
+    #[test]
+    fn truncated_plane_covers_all_pairs() {
+        for v in [2u64, 3, 5, 7, 8, 10, 13, 14, 20, 21, 25, 31, 40, 57, 60, 91, 100] {
+            let (d, q) = truncated_plane(v);
+            assert_eq!(d.v(), v);
+            assert_eq!(q, smallest_plane_order(v));
+            d.verify().unwrap_or_else(|e| panic!("v={v} q={q}: {e:?}"));
+            assert_eq!(d.total_pairs(), v * (v - 1) / 2);
+            // No block exceeds q + 1 points.
+            let (_, max) = d.block_size_range();
+            assert!(max as u64 <= q + 1);
+        }
+    }
+
+    #[test]
+    fn truncated_plane_exact_when_v_is_qhat() {
+        let (d, q) = truncated_plane(13); // 13 = 3² + 3 + 1
+        assert_eq!(q, 3);
+        assert_eq!(d.is_projective_plane(), Some(3));
+    }
+
+    #[test]
+    fn paper_example_v_10000() {
+        // §5.3: v = 10,000 ⇒ q = 101, q̂ = 10,303; the first q+1 = 102
+        // working sets are "dominated by the following 10,201 working sets".
+        let q = smallest_plane_order(10_000);
+        assert_eq!(q, 101);
+        assert_eq!(plane_size(q), 10_303);
+        assert_eq!(plane_size(q) - (q + 1), 10_201);
+    }
+}

@@ -1,0 +1,317 @@
+//! Dense polynomial arithmetic over prime fields `GF(p)`.
+//!
+//! Supports the irreducible-modulus search that backs extension-field
+//! arithmetic in [`crate::gf`]. Coefficients are stored low-to-high and kept
+//! normalized (no trailing zeros; the zero polynomial has an empty
+//! coefficient vector).
+
+/// A polynomial over `GF(p)`; coefficients low-to-high, normalized.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Poly {
+    coeffs: Vec<u64>,
+}
+
+impl Poly {
+    /// Builds a polynomial from raw coefficients (low-to-high), trimming
+    /// trailing zeros.
+    pub fn from_coeffs(mut coeffs: Vec<u64>) -> Poly {
+        while coeffs.last() == Some(&0) {
+            coeffs.pop();
+        }
+        Poly { coeffs }
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Poly {
+        Poly { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `1`.
+    pub fn one() -> Poly {
+        Poly { coeffs: vec![1] }
+    }
+
+    /// Monomial `x^d`.
+    pub fn monomial(d: usize) -> Poly {
+        let mut coeffs = vec![0; d + 1];
+        coeffs[d] = 1;
+        Poly { coeffs }
+    }
+
+    /// True iff this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Degree; `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Coefficient slice, low-to-high.
+    pub fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// Leading coefficient; 0 for the zero polynomial.
+    pub fn leading(&self) -> u64 {
+        *self.coeffs.last().unwrap_or(&0)
+    }
+
+    /// Evaluates the polynomial at `x` in `GF(p)` (Horner).
+    pub fn eval(&self, x: u64, p: u64) -> u64 {
+        let mut acc = 0u64;
+        for &c in self.coeffs.iter().rev() {
+            acc = (crate::primes::mul_mod(acc, x, p) + c) % p;
+        }
+        acc
+    }
+}
+
+/// `a + b` over GF(p).
+pub fn add(a: &Poly, b: &Poly, p: u64) -> Poly {
+    let n = a.coeffs.len().max(b.coeffs.len());
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let x = a.coeffs.get(i).copied().unwrap_or(0);
+        let y = b.coeffs.get(i).copied().unwrap_or(0);
+        out.push((x + y) % p);
+    }
+    Poly::from_coeffs(out)
+}
+
+/// `-a` over GF(p).
+pub fn neg(a: &Poly, p: u64) -> Poly {
+    Poly::from_coeffs(a.coeffs.iter().map(|&c| if c == 0 { 0 } else { p - c }).collect())
+}
+
+/// `a - b` over GF(p).
+pub fn sub(a: &Poly, b: &Poly, p: u64) -> Poly {
+    add(a, &neg(b, p), p)
+}
+
+/// `a · b` over GF(p) (schoolbook; degrees here are tiny).
+pub fn mul(a: &Poly, b: &Poly, p: u64) -> Poly {
+    if a.is_zero() || b.is_zero() {
+        return Poly::zero();
+    }
+    let mut out = vec![0u64; a.coeffs.len() + b.coeffs.len() - 1];
+    for (i, &x) in a.coeffs.iter().enumerate() {
+        if x == 0 {
+            continue;
+        }
+        for (j, &y) in b.coeffs.iter().enumerate() {
+            out[i + j] = (out[i + j] + crate::primes::mul_mod(x, y, p)) % p;
+        }
+    }
+    Poly::from_coeffs(out)
+}
+
+/// Division with remainder: returns `(quotient, remainder)` with
+/// `a = q·b + r`, `deg r < deg b`. Panics if `b` is zero.
+pub fn divmod(a: &Poly, b: &Poly, p: u64) -> (Poly, Poly) {
+    assert!(!b.is_zero(), "polynomial division by zero");
+    let db = b.degree().unwrap();
+    let lead_inv = crate::primes::pow_mod(b.leading(), p - 2, p);
+    let mut rem = a.coeffs.clone();
+    let mut quot = vec![0u64; a.coeffs.len().saturating_sub(db)];
+    while rem.len() > db {
+        let dr = rem.len() - 1;
+        let coef = crate::primes::mul_mod(*rem.last().unwrap(), lead_inv, p);
+        if coef != 0 {
+            quot[dr - db] = coef;
+            for (i, &bc) in b.coeffs.iter().enumerate() {
+                let idx = dr - db + i;
+                let sub = crate::primes::mul_mod(coef, bc, p);
+                rem[idx] = (rem[idx] + p - sub % p) % p;
+            }
+        }
+        rem.pop();
+        while rem.last() == Some(&0) {
+            rem.pop();
+        }
+        // Re-extend quotient walk: loop continues from current rem length.
+        if rem.len() <= db {
+            break;
+        }
+    }
+    (Poly::from_coeffs(quot), Poly::from_coeffs(rem))
+}
+
+/// Remainder of `a mod b` over GF(p).
+pub fn rem(a: &Poly, b: &Poly, p: u64) -> Poly {
+    divmod(a, b, p).1
+}
+
+/// Greatest common divisor (monic) over GF(p).
+pub fn gcd(a: &Poly, b: &Poly, p: u64) -> Poly {
+    let (mut x, mut y) = (a.clone(), b.clone());
+    while !y.is_zero() {
+        let r = rem(&x, &y, p);
+        x = y;
+        y = r;
+    }
+    // Normalize to monic.
+    if x.is_zero() {
+        return x;
+    }
+    let inv = crate::primes::pow_mod(x.leading(), p - 2, p);
+    Poly::from_coeffs(x.coeffs.iter().map(|&c| crate::primes::mul_mod(c, inv, p)).collect())
+}
+
+/// Computes `x^(p^e) mod f` over GF(p) by repeated exponentiation.
+fn frobenius_power(f: &Poly, p: u64, e: u32) -> Poly {
+    // x^p mod f, then raise repeatedly: ((x^p)^p)^... e times.
+    let mut cur = Poly::monomial(1);
+    for _ in 0..e {
+        cur = pow_mod_poly(&cur, p, f, p);
+    }
+    cur
+}
+
+/// Computes `base^e mod f` over GF(p).
+fn pow_mod_poly(base: &Poly, e: u64, f: &Poly, p: u64) -> Poly {
+    let mut result = Poly::one();
+    let mut b = rem(base, f, p);
+    let mut e = e;
+    while e > 0 {
+        if e & 1 == 1 {
+            result = rem(&mul(&result, &b, p), f, p);
+        }
+        b = rem(&mul(&b, &b, p), f, p);
+        e >>= 1;
+    }
+    result
+}
+
+/// Rabin irreducibility test: a monic polynomial `f` of degree `k` over
+/// GF(p) is irreducible iff `x^(p^k) ≡ x (mod f)` and for every prime
+/// divisor `d` of `k`, `gcd(x^(p^(k/d)) − x, f) = 1`.
+pub fn is_irreducible(f: &Poly, p: u64) -> bool {
+    let k = match f.degree() {
+        Some(0) | None => return false,
+        Some(k) => k as u32,
+    };
+    if k == 1 {
+        return true;
+    }
+    let x = Poly::monomial(1);
+    // x^(p^k) mod f must equal x mod f.
+    if frobenius_power(f, p, k) != rem(&x, f, p) {
+        return false;
+    }
+    // Prime divisors of k.
+    let mut n = k;
+    let mut divisors = Vec::new();
+    let mut d = 2u32;
+    while d * d <= n {
+        if n % d == 0 {
+            divisors.push(d);
+            while n % d == 0 {
+                n /= d;
+            }
+        }
+        d += 1;
+    }
+    if n > 1 {
+        divisors.push(n);
+    }
+    for &d in &divisors {
+        let h = sub(&frobenius_power(f, p, k / d), &x, p);
+        let g = gcd(&h, f, p);
+        if g.degree() != Some(0) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Finds the lexicographically-smallest monic irreducible polynomial of
+/// degree `k` over GF(p) by exhaustive search over the `p^k` candidates.
+///
+/// Returns the coefficient vector low-to-high (length `k + 1`, last entry 1).
+/// Panics only if no irreducible polynomial exists, which cannot happen
+/// (there are `≈ p^k / k` monic irreducibles of degree `k`).
+pub fn find_irreducible(p: u64, k: u32) -> Vec<u64> {
+    assert!(k >= 1);
+    let total = p.checked_pow(k).expect("field too large for search");
+    for idx in 0..total {
+        let mut coeffs = Vec::with_capacity(k as usize + 1);
+        let mut x = idx;
+        for _ in 0..k {
+            coeffs.push(x % p);
+            x /= p;
+        }
+        coeffs.push(1); // monic
+        let f = Poly::from_coeffs(coeffs.clone());
+        if is_irreducible(&f, p) {
+            return coeffs;
+        }
+    }
+    unreachable!("monic irreducible polynomials of degree {k} over GF({p}) always exist")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divmod_roundtrip() {
+        let p = 7;
+        let a = Poly::from_coeffs(vec![3, 0, 1, 5, 2]); // 2x⁴+5x³+x²+3
+        let b = Poly::from_coeffs(vec![1, 2, 1]); // x²+2x+1
+        let (q, r) = divmod(&a, &b, p);
+        let back = add(&mul(&q, &b, p), &r, p);
+        assert_eq!(back, a);
+        assert!(r.degree().is_none_or(|d| d < 2));
+    }
+
+    #[test]
+    fn known_irreducibles() {
+        // x² + x + 1 is irreducible over GF(2); x² + 1 is not (x=1 is a root).
+        assert!(is_irreducible(&Poly::from_coeffs(vec![1, 1, 1]), 2));
+        assert!(!is_irreducible(&Poly::from_coeffs(vec![1, 0, 1]), 2));
+        // x² + 1 is irreducible over GF(3) (no root: 0²,1²,2² = 0,1,1 ≠ 2).
+        assert!(is_irreducible(&Poly::from_coeffs(vec![1, 0, 1]), 3));
+        // x³ + x + 1 irreducible over GF(2).
+        assert!(is_irreducible(&Poly::from_coeffs(vec![1, 1, 0, 1]), 2));
+        // (x+1)² = x² + 2x + 1 reducible over GF(3).
+        assert!(!is_irreducible(&Poly::from_coeffs(vec![1, 2, 1]), 3));
+    }
+
+    #[test]
+    fn irreducible_has_no_roots_deg2_3() {
+        for p in [2u64, 3, 5, 7, 11] {
+            for k in [2u32, 3] {
+                let f = Poly::from_coeffs(find_irreducible(p, k));
+                assert_eq!(f.degree(), Some(k as usize));
+                for x in 0..p {
+                    assert_ne!(f.eval(x, p), 0, "root {x} in GF({p}), k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn irreducible_search_matches_bruteforce_factor_check() {
+        // Degree-2 over GF(5): verify against a quadratic having no roots.
+        let f = Poly::from_coeffs(find_irreducible(5, 2));
+        let roots: Vec<u64> = (0..5).filter(|&x| f.eval(x, 5) == 0).collect();
+        assert!(roots.is_empty());
+    }
+
+    #[test]
+    fn gcd_basics() {
+        let p = 5;
+        // gcd((x+1)(x+2), (x+1)(x+3)) = x + 1.
+        let a = mul(&Poly::from_coeffs(vec![1, 1]), &Poly::from_coeffs(vec![2, 1]), p);
+        let b = mul(&Poly::from_coeffs(vec![1, 1]), &Poly::from_coeffs(vec![3, 1]), p);
+        assert_eq!(gcd(&a, &b, p), Poly::from_coeffs(vec![1, 1]));
+    }
+
+    #[test]
+    fn eval_horner() {
+        let f = Poly::from_coeffs(vec![1, 2, 3]); // 3x² + 2x + 1
+        assert_eq!(f.eval(2, 7), (3 * 4 + 2 * 2 + 1) % 7);
+    }
+}

@@ -1,0 +1,121 @@
+//! Singer difference-set construction of projective planes.
+//!
+//! A third, independent route to the `(q² + q + 1, q + 1, 1)`-designs the
+//! design scheme needs (besides the paper's Theorem 2 and classical
+//! `PG(2, q)`), used to cross-validate the other constructions:
+//!
+//! The multiplicative group of `GF(q³)` modulo `GF(q)*` is cyclic of order
+//! `q̂ = q² + q + 1` and acts regularly on the points of `PG(2, q)` (a
+//! *Singer cycle*). Fixing the line `{degree ≤ 1 polynomials}` and a
+//! generator `g` of `GF(q³)*`, the index set
+//! `D = { i ∈ [0, q̂) : coeff₂(gⁱ) = 0 }` is a **perfect difference set**:
+//! every nonzero residue mod `q̂` arises exactly once as a difference of two
+//! elements of `D`. Its translates `D + t (mod q̂)` are the lines of a
+//! projective plane of order `q`.
+//!
+//! Implemented for prime `q` (the `GF(q)`-subfield of `GF(q³)` is then the
+//! base-`p` digit structure of our packed representation).
+
+use crate::design::BlockDesign;
+use crate::gf::Gf;
+use crate::primes::{is_prime, plane_size};
+
+/// Computes the Singer perfect difference set for prime `q`: `q + 1`
+/// residues mod `q̂ = q² + q + 1`, sorted ascending.
+///
+/// Panics if `q` is not prime.
+pub fn singer_difference_set(q: u64) -> Vec<u64> {
+    assert!(is_prime(q), "singer construction implemented for prime q (got {q})");
+    let qhat = plane_size(q);
+    let gf = Gf::new(q * q * q);
+    let g = gf.generator();
+    // coeff₂ of the packed polynomial representation c₀ + c₁·q + c₂·q².
+    let coeff2 = |x: u64| x / (q * q);
+    let mut d = Vec::with_capacity(q as usize + 1);
+    let mut x = 1u64; // g⁰
+    for i in 0..qhat {
+        if coeff2(x) == 0 {
+            d.push(i);
+        }
+        x = gf.mul(x, g);
+    }
+    debug_assert_eq!(d.len() as u64, q + 1, "Singer set must have q+1 elements");
+    d
+}
+
+/// True iff `d` is a perfect difference set mod `v`: every nonzero residue
+/// occurs exactly once among the ordered differences `dᵢ − dⱼ (mod v)`.
+pub fn is_perfect_difference_set(d: &[u64], v: u64) -> bool {
+    let mut seen = vec![0u32; v as usize];
+    for &a in d {
+        for &b in d {
+            if a != b {
+                let diff = ((a + v) - b) % v;
+                seen[diff as usize] += 1;
+            }
+        }
+    }
+    seen[0] == 0 && seen[1..].iter().all(|&c| c == 1)
+}
+
+/// Builds the projective plane of prime order `q` as the *development* of
+/// the Singer difference set: block `t` is `{ (d + t) mod q̂ : d ∈ D }`.
+pub fn singer(q: u64) -> BlockDesign {
+    let qhat = plane_size(q);
+    let d = singer_difference_set(q);
+    let blocks = (0..qhat)
+        .map(|t| d.iter().map(|&x| (x + t) % qhat).collect::<Vec<u64>>())
+        .collect();
+    BlockDesign::new(qhat, blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plane::theorem2;
+
+    #[test]
+    fn fano_difference_set() {
+        // q = 2: the unique (7, 3, 1) perfect difference set up to
+        // translation/multiplication is {0, 1, 3} (or an equivalent).
+        let d = singer_difference_set(2);
+        assert_eq!(d.len(), 3);
+        assert!(is_perfect_difference_set(&d, 7), "{d:?}");
+    }
+
+    #[test]
+    fn difference_sets_are_perfect_for_small_primes() {
+        for q in [2u64, 3, 5, 7, 11, 13] {
+            let d = singer_difference_set(q);
+            assert_eq!(d.len() as u64, q + 1, "q={q}");
+            assert!(is_perfect_difference_set(&d, plane_size(q)), "q={q}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn singer_planes_are_valid() {
+        for q in [2u64, 3, 5, 7, 11] {
+            let plane = singer(q);
+            assert_eq!(plane.is_projective_plane(), Some(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn singer_agrees_with_theorem2_on_parameters() {
+        for q in [2u64, 3, 5, 7] {
+            let a = singer(q);
+            let b = theorem2(q);
+            assert_eq!(a.v(), b.v());
+            assert_eq!(a.num_blocks(), b.num_blocks());
+            assert_eq!(a.block_size_range(), b.block_size_range());
+            assert_eq!(a.replication_counts(), b.replication_counts());
+        }
+    }
+
+    #[test]
+    fn known_non_difference_sets_rejected() {
+        assert!(!is_perfect_difference_set(&[0, 1, 2], 7)); // diff 1 twice
+        assert!(!is_perfect_difference_set(&[0, 1, 3], 8)); // wrong modulus
+        assert!(is_perfect_difference_set(&[0, 1, 3], 7)); // the Fano set
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the combinatorial-design substrate.
+
+use pmr_designs::design::BlockDesign;
+use pmr_designs::gf::Gf;
+use pmr_designs::plane::{pg2, theorem2, truncated_plane};
+use pmr_designs::poly::{self, Poly};
+use pmr_designs::primes::{
+    ikroot, is_prime, is_prime_power, isqrt, plane_size, prime_power, smallest_plane_order,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn isqrt_is_exact(n in any::<u64>()) {
+        let r = isqrt(n);
+        prop_assert!((r as u128) * (r as u128) <= n as u128);
+        prop_assert!(((r + 1) as u128) * ((r + 1) as u128) > n as u128);
+    }
+
+    #[test]
+    fn ikroot_is_exact(n in any::<u64>(), k in 1u32..8) {
+        let r = ikroot(n, k);
+        let pow = |b: u64| (0..k).try_fold(1u128, |a, _| {
+            let v = a * b as u128;
+            if v > u64::MAX as u128 { None } else { Some(v) }
+        });
+        prop_assert!(pow(r).is_some_and(|p| p <= n as u128));
+        prop_assert!(pow(r + 1).is_none_or(|p| p > n as u128));
+    }
+
+    #[test]
+    fn prime_power_roundtrip(p in prop::sample::select(vec![2u64, 3, 5, 7, 11, 13, 17]), k in 1u32..6) {
+        let n = p.pow(k);
+        prop_assert_eq!(prime_power(n), Some((p, k)));
+        prop_assert!(is_prime_power(n));
+    }
+
+    #[test]
+    fn products_of_two_distinct_primes_are_not_prime_powers(
+        a in prop::sample::select(vec![2u64, 3, 5, 7, 11]),
+        b in prop::sample::select(vec![13u64, 17, 19, 23, 29]),
+    ) {
+        prop_assert!(!is_prime_power(a * b));
+    }
+
+    #[test]
+    fn smallest_plane_order_is_minimal_prime_power(v in 2u64..50_000) {
+        let q = smallest_plane_order(v);
+        prop_assert!(is_prime_power(q));
+        prop_assert!(plane_size(q) >= v);
+        // Minimality: q-1 downwards until the previous prime power must be
+        // too small. Check just the previous prime power.
+        let mut prev = q - 1;
+        while prev >= 2 && !is_prime_power(prev) {
+            prev -= 1;
+        }
+        if prev >= 2 {
+            prop_assert!(plane_size(prev) < v);
+        }
+    }
+
+    #[test]
+    fn field_inverse_roundtrip(q in prop::sample::select(vec![3u64, 4, 5, 7, 8, 9, 11, 16, 25, 27]),
+                               a in 1u64..1000) {
+        let gf = Gf::new(q);
+        let a = 1 + a % (q - 1); // nonzero element
+        prop_assert_eq!(gf.mul(a, gf.inv(a)), 1);
+        prop_assert_eq!(gf.add(a, gf.neg(a)), 0);
+    }
+
+    #[test]
+    fn field_distributivity(q in prop::sample::select(vec![5u64, 8, 9, 13]),
+                            a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let gf = Gf::new(q);
+        let (a, b, c) = (a % q, b % q, c % q);
+        prop_assert_eq!(gf.mul(a, gf.add(b, c)), gf.add(gf.mul(a, b), gf.mul(a, c)));
+    }
+
+    #[test]
+    fn poly_divmod_invariant(
+        a in prop::collection::vec(0u64..7, 0..10),
+        b in prop::collection::vec(0u64..7, 1..6),
+    ) {
+        let p = 7u64;
+        let pa = Poly::from_coeffs(a);
+        let pb = Poly::from_coeffs(b);
+        prop_assume!(!pb.is_zero());
+        let (q, r) = poly::divmod(&pa, &pb, p);
+        let back = poly::add(&poly::mul(&q, &pb, p), &r, p);
+        prop_assert_eq!(back, pa);
+        if let (Some(dr), Some(db)) = (r.degree(), pb.degree()) {
+            prop_assert!(dr < db);
+        }
+    }
+
+    #[test]
+    fn truncated_plane_every_pair_exactly_once(v in 2u64..200) {
+        let (d, _q) = truncated_plane(v);
+        prop_assert!(d.verify().is_ok());
+        prop_assert_eq!(d.total_pairs(), v * (v - 1) / 2);
+    }
+
+    #[test]
+    fn truncation_of_any_plane_stays_pairwise_balanced(
+        q in prop::sample::select(vec![2u64, 3, 4, 5, 7]),
+        frac in 0.3f64..1.0,
+    ) {
+        let full = if is_prime(q) { theorem2(q) } else { pg2(q) };
+        let v_new = ((full.v() as f64 * frac) as u64).max(2);
+        let t = full.truncate_to(v_new);
+        prop_assert!(t.verify().is_ok());
+        prop_assert_eq!(t.total_pairs(), v_new * (v_new - 1) / 2);
+    }
+
+    #[test]
+    fn replication_counts_sum_to_block_sizes(v in 2u64..150) {
+        let (d, _) = truncated_plane(v);
+        let total_from_points: u64 = d.replication_counts().iter().sum();
+        let total_from_blocks: u64 = d.blocks().iter().map(|b| b.len() as u64).sum();
+        prop_assert_eq!(total_from_points, total_from_blocks);
+    }
+}
+
+// A design built from random garbage blocks should (almost) never verify;
+// more importantly, verify() must never panic on arbitrary input.
+proptest! {
+    #[test]
+    fn verify_never_panics_on_arbitrary_blocks(
+        v in 2u64..20,
+        blocks in prop::collection::vec(prop::collection::vec(0u64..25, 0..6), 0..10),
+    ) {
+        let d = BlockDesign::new(v, blocks);
+        let _ = d.verify(); // may be Ok or Err; must not panic
+    }
+}

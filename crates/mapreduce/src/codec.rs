@@ -1,0 +1,432 @@
+//! Wire format for keys, values, and records.
+//!
+//! Intermediate data in the engine is real serialized bytes — that is what
+//! makes the paper's *communication cost* and *intermediate storage* metrics
+//! (Table 1, Figures 8–9) measurable rather than estimated. The format is a
+//! minimal length-prefixed binary encoding:
+//!
+//! * integers: fixed-width **big-endian** (so lexicographic byte order on
+//!   encoded keys equals numeric order — the shuffle sorts raw bytes, like
+//!   Hadoop's raw comparator);
+//! * byte strings / strings / vectors: `u32` length prefix + payload;
+//! * records: `key-len, key-bytes, value-len, value-bytes`.
+//!
+//! Encodings must be *canonical*: two values compare equal iff their
+//! encodings are byte-identical, because the shuffle groups by encoded key.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Decoding error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Fewer bytes available than the decoder needed.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// A length prefix or tag had an invalid value.
+    Corrupt {
+        /// What was being decoded.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { what } => write!(f, "truncated input while decoding {what}"),
+            CodecError::Corrupt { what } => write!(f, "corrupt encoding of {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Result alias for decoding.
+pub type DecodeResult<T> = Result<T, CodecError>;
+
+/// A type with a canonical binary encoding.
+///
+/// ```
+/// use pmr_mapreduce::Wire;
+///
+/// let v = (7u64, String::from("hi"), vec![1u32, 2]);
+/// let bytes = v.to_bytes();
+/// let back = <(u64, String, Vec<u32>)>::from_bytes(bytes).unwrap();
+/// assert_eq!(back, v);
+/// // u64 keys sort correctly as raw bytes (big-endian encoding):
+/// assert!(1u64.to_bytes() < 256u64.to_bytes());
+/// ```
+pub trait Wire: Sized + Send + 'static {
+    /// Appends the canonical encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+    /// Decodes one value from the front of `buf`, consuming its bytes.
+    fn decode(buf: &mut Bytes) -> DecodeResult<Self>;
+
+    /// Encodes into a fresh buffer (convenience).
+    fn to_bytes(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        self.encode(&mut b);
+        b.freeze()
+    }
+
+    /// Decodes a value that must consume the entire buffer.
+    fn from_bytes(bytes: Bytes) -> DecodeResult<Self> {
+        let mut b = bytes;
+        let v = Self::decode(&mut b)?;
+        if !b.is_empty() {
+            return Err(CodecError::Corrupt { what: "trailing bytes" });
+        }
+        Ok(v)
+    }
+}
+
+macro_rules! impl_wire_uint {
+    ($t:ty, $get:ident, $put:ident, $n:expr, $name:expr) => {
+        impl Wire for $t {
+            fn encode(&self, buf: &mut BytesMut) {
+                buf.$put(*self);
+            }
+            fn decode(buf: &mut Bytes) -> DecodeResult<Self> {
+                if buf.len() < $n {
+                    return Err(CodecError::Truncated { what: $name });
+                }
+                Ok(buf.$get())
+            }
+        }
+    };
+}
+
+impl_wire_uint!(u8, get_u8, put_u8, 1, "u8");
+impl_wire_uint!(u16, get_u16, put_u16, 2, "u16");
+impl_wire_uint!(u32, get_u32, put_u32, 4, "u32");
+impl_wire_uint!(u64, get_u64, put_u64, 8, "u64");
+
+impl Wire for i64 {
+    /// Encoded as sign-flipped big-endian so byte order equals numeric order.
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64((*self as u64) ^ (1 << 63));
+    }
+    fn decode(buf: &mut Bytes) -> DecodeResult<Self> {
+        if buf.len() < 8 {
+            return Err(CodecError::Truncated { what: "i64" });
+        }
+        Ok((buf.get_u64() ^ (1 << 63)) as i64)
+    }
+}
+
+impl Wire for f64 {
+    /// IEEE-754 bits, big-endian. (Not order-preserving for negatives; use
+    /// only as a value type, not a key, when ordering matters.)
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_f64(*self);
+    }
+    fn decode(buf: &mut Bytes) -> DecodeResult<Self> {
+        if buf.len() < 8 {
+            return Err(CodecError::Truncated { what: "f64" });
+        }
+        Ok(buf.get_f64())
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(*self as u8);
+    }
+    fn decode(buf: &mut Bytes) -> DecodeResult<Self> {
+        if buf.is_empty() {
+            return Err(CodecError::Truncated { what: "bool" });
+        }
+        match buf.get_u8() {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Corrupt { what: "bool" }),
+        }
+    }
+}
+
+impl Wire for () {
+    fn encode(&self, _buf: &mut BytesMut) {}
+    fn decode(_buf: &mut Bytes) -> DecodeResult<Self> {
+        Ok(())
+    }
+}
+
+fn put_len(buf: &mut BytesMut, len: usize) {
+    debug_assert!(len <= u32::MAX as usize);
+    buf.put_u32(len as u32);
+}
+
+fn get_len(buf: &mut Bytes, what: &'static str) -> DecodeResult<usize> {
+    if buf.len() < 4 {
+        return Err(CodecError::Truncated { what });
+    }
+    let len = buf.get_u32() as usize;
+    if buf.len() < len {
+        return Err(CodecError::Truncated { what });
+    }
+    Ok(len)
+}
+
+impl Wire for Bytes {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_len(buf, self.len());
+        buf.extend_from_slice(self);
+    }
+    fn decode(buf: &mut Bytes) -> DecodeResult<Self> {
+        let len = get_len(buf, "bytes")?;
+        Ok(buf.split_to(len))
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_len(buf, self.len());
+        buf.extend_from_slice(self.as_bytes());
+    }
+    fn decode(buf: &mut Bytes) -> DecodeResult<Self> {
+        let len = get_len(buf, "string")?;
+        String::from_utf8(buf.split_to(len).to_vec())
+            .map_err(|_| CodecError::Corrupt { what: "string utf-8" })
+    }
+}
+
+impl<T: Wire> Wire for Vec<T>
+where
+    Vec<T>: Send,
+{
+    fn encode(&self, buf: &mut BytesMut) {
+        put_len(buf, self.len());
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn decode(buf: &mut Bytes) -> DecodeResult<Self> {
+        if buf.len() < 4 {
+            return Err(CodecError::Truncated { what: "vec" });
+        }
+        let n = buf.get_u32() as usize;
+        let mut out = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            out.push(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> DecodeResult<Self> {
+        if buf.is_empty() {
+            return Err(CodecError::Truncated { what: "option" });
+        }
+        match buf.get_u8() {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            _ => Err(CodecError::Corrupt { what: "option tag" }),
+        }
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> DecodeResult<Self> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> DecodeResult<Self> {
+        Ok((A::decode(buf)?, B::decode(buf)?, C::decode(buf)?))
+    }
+}
+
+/// A raw (encoded-key, encoded-value) record as moved by the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawRecord {
+    /// Canonical encoding of the key.
+    pub key: Bytes,
+    /// Canonical encoding of the value.
+    pub value: Bytes,
+}
+
+impl RawRecord {
+    /// Serialized size of this record in a record stream.
+    pub fn framed_len(&self) -> usize {
+        8 + self.key.len() + self.value.len()
+    }
+
+    /// Appends the framed record (`u32` key len, key, `u32` value len,
+    /// value) to `buf`.
+    pub fn write_framed(&self, buf: &mut BytesMut) {
+        put_len(buf, self.key.len());
+        buf.extend_from_slice(&self.key);
+        put_len(buf, self.value.len());
+        buf.extend_from_slice(&self.value);
+    }
+
+    /// Reads one framed record from the front of `buf`.
+    pub fn read_framed(buf: &mut Bytes) -> DecodeResult<RawRecord> {
+        let klen = get_len(buf, "record key")?;
+        let key = buf.split_to(klen);
+        let vlen = get_len(buf, "record value")?;
+        let value = buf.split_to(vlen);
+        Ok(RawRecord { key, value })
+    }
+}
+
+/// Encodes a typed record stream into framed bytes, returning the buffer and
+/// the byte offset of each record start (for record-aligned DFS splits).
+pub fn encode_record_stream<K: Wire, V: Wire>(
+    records: impl IntoIterator<Item = (K, V)>,
+) -> (Bytes, Vec<u64>) {
+    let mut buf = BytesMut::new();
+    let mut offsets = Vec::new();
+    for (k, v) in records {
+        offsets.push(buf.len() as u64);
+        let rec = RawRecord { key: k.to_bytes(), value: v.to_bytes() };
+        rec.write_framed(&mut buf);
+    }
+    (buf.freeze(), offsets)
+}
+
+/// Decodes a framed byte stream back into typed records.
+pub fn decode_record_stream<K: Wire, V: Wire>(mut data: Bytes) -> DecodeResult<Vec<(K, V)>> {
+    let mut out = Vec::new();
+    while !data.is_empty() {
+        let raw = RawRecord::read_framed(&mut data)?;
+        out.push((K::from_bytes(raw.key)?, V::from_bytes(raw.value)?));
+    }
+    Ok(out)
+}
+
+/// Decodes a framed byte stream into raw records (no typing).
+pub fn decode_raw_stream(mut data: Bytes) -> DecodeResult<Vec<RawRecord>> {
+    let mut out = Vec::new();
+    while !data.is_empty() {
+        out.push(RawRecord::read_framed(&mut data)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug + Clone>(v: T) {
+        let b = v.to_bytes();
+        assert_eq!(T::from_bytes(b).unwrap(), v);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(54321u16);
+        roundtrip(0xDEAD_BEEFu32);
+        roundtrip(u64::MAX);
+        roundtrip(-42i64);
+        roundtrip(i64::MIN);
+        roundtrip(1.5f64);
+        roundtrip(f64::NEG_INFINITY);
+        roundtrip(true);
+        roundtrip(());
+        roundtrip(String::from("héllo wörld"));
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<u8>::new());
+        roundtrip(Bytes::from_static(b"raw"));
+        roundtrip(Some(7u32));
+        roundtrip(Option::<u32>::None);
+        roundtrip((1u64, String::from("x")));
+        roundtrip((1u64, 2.5f64, vec![9u8]));
+    }
+
+    #[test]
+    fn u64_byte_order_is_numeric_order() {
+        let mut pairs = vec![(0u64, 1u64), (255, 256), (u64::MAX - 1, u64::MAX), (7, 1 << 40)];
+        pairs.push((12345, 12346));
+        for (a, b) in pairs {
+            assert!(a.to_bytes() < b.to_bytes(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn i64_byte_order_is_numeric_order() {
+        let vals = [i64::MIN, -1_000_000, -1, 0, 1, 42, i64::MAX];
+        for w in vals.windows(2) {
+            assert!(w[0].to_bytes() < w[1].to_bytes(), "{} vs {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn truncated_input_detected() {
+        let b = 0xAABBCCDDu32.to_bytes();
+        let mut short = b.slice(0..2);
+        assert!(matches!(u32::decode(&mut short), Err(CodecError::Truncated { .. })));
+        let mut empty = Bytes::new();
+        assert!(String::decode(&mut empty).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut buf = BytesMut::new();
+        7u32.encode(&mut buf);
+        buf.put_u8(99);
+        assert!(matches!(u32::from_bytes(buf.freeze()), Err(CodecError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn corrupt_tags_detected() {
+        assert!(matches!(
+            bool::from_bytes(Bytes::from_static(&[2])),
+            Err(CodecError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            Option::<u8>::from_bytes(Bytes::from_static(&[9])),
+            Err(CodecError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn record_stream_roundtrip_with_offsets() {
+        let recs: Vec<(u64, String)> =
+            (0..10).map(|i| (i, format!("value-{i}"))).collect();
+        let (bytes, offsets) = encode_record_stream(recs.clone());
+        assert_eq!(offsets.len(), 10);
+        assert_eq!(offsets[0], 0);
+        assert!(offsets.windows(2).all(|w| w[0] < w[1]));
+        let back: Vec<(u64, String)> = decode_record_stream(bytes).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn framed_len_matches_actual() {
+        let r = RawRecord { key: Bytes::from_static(b"key"), value: Bytes::from_static(b"val!") };
+        let mut buf = BytesMut::new();
+        r.write_framed(&mut buf);
+        assert_eq!(buf.len(), r.framed_len());
+    }
+
+    #[test]
+    fn empty_stream_decodes_empty() {
+        let v: Vec<(u64, u64)> = decode_record_stream(Bytes::new()).unwrap();
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,177 @@
+//! Job counters, mirroring Hadoop's counter framework.
+//!
+//! The experiment harness reads these to *measure* the paper's Table-1
+//! metrics (communication cost, replication factor, working-set size,
+//! evaluations per task) instead of trusting the analytic formulas.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Well-known counter names used by the engine itself.
+pub mod builtin {
+    /// Records read by all map tasks.
+    pub const MAP_INPUT_RECORDS: &str = "mr.map.input.records";
+    /// Records emitted by all map tasks.
+    pub const MAP_OUTPUT_RECORDS: &str = "mr.map.output.records";
+    /// Bytes of serialized map output (pre-combiner).
+    pub const MAP_OUTPUT_BYTES: &str = "mr.map.output.bytes";
+    /// Records entering combiners.
+    pub const COMBINE_INPUT_RECORDS: &str = "mr.combine.input.records";
+    /// Records leaving combiners.
+    pub const COMBINE_OUTPUT_RECORDS: &str = "mr.combine.output.records";
+    /// Bytes fetched by reduce tasks during the shuffle.
+    pub const SHUFFLE_BYTES: &str = "mr.shuffle.bytes";
+    /// Distinct keys seen by all reduce tasks.
+    pub const REDUCE_INPUT_GROUPS: &str = "mr.reduce.input.groups";
+    /// Records consumed by all reduce tasks.
+    pub const REDUCE_INPUT_RECORDS: &str = "mr.reduce.input.records";
+    /// Records emitted by all reduce tasks.
+    pub const REDUCE_OUTPUT_RECORDS: &str = "mr.reduce.output.records";
+    /// Bytes written to the DFS by reduce tasks.
+    pub const REDUCE_OUTPUT_BYTES: &str = "mr.reduce.output.bytes";
+    /// Map tasks launched (including retries).
+    pub const MAP_TASK_ATTEMPTS: &str = "mr.map.task.attempts";
+    /// Reduce tasks launched (including retries).
+    pub const REDUCE_TASK_ATTEMPTS: &str = "mr.reduce.task.attempts";
+    /// Failed task attempts (injected failures).
+    pub const FAILED_ATTEMPTS: &str = "mr.failed.attempts";
+    /// Records spilled to local files by map tasks.
+    pub const SPILLED_RECORDS: &str = "mr.spilled.records";
+    /// Sort-buffer overflow spills performed by map tasks.
+    pub const MAP_SPILLS: &str = "mr.map.spills";
+    /// Spill runs merged while producing final map output.
+    pub const MERGED_RUNS: &str = "mr.map.merged.runs";
+    /// Bytes broadcast through the distributed cache.
+    pub const DISTRIBUTED_CACHE_BYTES: &str = "mr.cache.bytes";
+}
+
+/// A concurrent bag of named `u64` counters.
+///
+/// ```
+/// use pmr_mapreduce::Counters;
+///
+/// let c = Counters::new();
+/// c.inc("records");
+/// c.add("records", 9);
+/// c.record_max("peak", 7);
+/// c.record_max("peak", 3);
+/// assert_eq!(c.get("records"), 10);
+/// assert_eq!(c.snapshot()["peak"], 7);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counters {
+    inner: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+}
+
+impl Counters {
+    /// New, empty counter bag.
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    fn cell(&self, name: &str) -> Arc<AtomicU64> {
+        let mut map = self.inner.lock();
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(AtomicU64::new(0));
+        map.insert(name.to_string(), Arc::clone(&c));
+        c
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn add(&self, name: &str, delta: u64) {
+        self.cell(name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Increments the named counter by one.
+    pub fn inc(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Records a maximum: the counter becomes `max(current, value)`.
+    pub fn record_max(&self, name: &str, value: u64) {
+        self.cell(name).fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.inner.lock().get(name).map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Snapshot of all counters, sorted by name.
+    pub fn snapshot(&self) -> BTreeMap<String, u64> {
+        self.inner
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Merges another snapshot into this bag (used when chaining jobs).
+    pub fn merge_snapshot(&self, snap: &BTreeMap<String, u64>) {
+        for (k, v) in snap {
+            self.add(k, *v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_snapshot() {
+        let c = Counters::new();
+        c.inc("a");
+        c.add("a", 4);
+        c.add("b", 2);
+        assert_eq!(c.get("a"), 5);
+        assert_eq!(c.get("missing"), 0);
+        let snap = c.snapshot();
+        assert_eq!(snap["a"], 5);
+        assert_eq!(snap["b"], 2);
+    }
+
+    #[test]
+    fn record_max_keeps_largest() {
+        let c = Counters::new();
+        c.record_max("peak", 10);
+        c.record_max("peak", 3);
+        c.record_max("peak", 17);
+        assert_eq!(c.get("peak"), 17);
+    }
+
+    #[test]
+    fn concurrent_increments() {
+        let c = Arc::new(Counters::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc("n");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get("n"), 8000);
+    }
+
+    #[test]
+    fn merge_snapshots() {
+        let a = Counters::new();
+        a.add("x", 1);
+        let b = Counters::new();
+        b.add("x", 2);
+        b.add("y", 3);
+        a.merge_snapshot(&b.snapshot());
+        assert_eq!(a.get("x"), 3);
+        assert_eq!(a.get("y"), 3);
+    }
+}

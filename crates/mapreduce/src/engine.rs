@@ -1,0 +1,512 @@
+//! The job executor: map → sort/shuffle → reduce over the simulated
+//! cluster.
+//!
+//! Execution model (paper §3): tasks run in parallel on nodes, each task
+//! touches only node-local data plus data explicitly moved to it; moves are
+//! accounted as network traffic. Scheduling is deterministic — map tasks go
+//! to the least-loaded replica holder of their split (locality first),
+//! reduce task `r` goes to node `r mod n` — so byte-level metrics are
+//! reproducible run to run while tasks still execute on real parallel
+//! threads (one worker thread per configured task slot).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Instant;
+
+use bytes::BytesMut;
+use parking_lot::Mutex;
+use pmr_cluster::{Cluster, ClusterError, MemoryGauge, NodeId, TaskAttemptId, TaskKind};
+
+use crate::api::{MapContext, Mapper, ReduceContext, Reducer, TaskCache, Values};
+use crate::codec::{decode_raw_stream, RawRecord, Wire};
+use crate::counters::{builtin, Counters};
+use crate::error::{MrError, Result};
+use crate::job::{JobOutput, JobSpec, JobStats};
+
+/// Runs MapReduce jobs on a cluster. Cheap to create; jobs it runs get
+/// sequential ids for task naming and failure injection.
+pub struct Engine<'c> {
+    cluster: &'c Cluster,
+    job_seq: AtomicU32,
+}
+
+/// Name of the engine counter recording the peak per-group working set.
+pub const WS_PEAK_COUNTER: &str = "mr.reduce.ws.peak.bytes";
+/// Name of the engine counter recording peak intermediate bytes.
+pub const INTERMEDIATE_PEAK_COUNTER: &str = "mr.intermediate.peak.bytes";
+
+impl<'c> Engine<'c> {
+    /// Creates an engine bound to a cluster.
+    pub fn new(cluster: &'c Cluster) -> Engine<'c> {
+        Engine { cluster, job_seq: AtomicU32::new(0) }
+    }
+
+    /// The cluster this engine runs on.
+    pub fn cluster(&self) -> &Cluster {
+        self.cluster
+    }
+
+    /// Runs one job to completion.
+    pub fn run<M, R>(&self, spec: JobSpec<M, R>) -> Result<JobOutput>
+    where
+        M: Mapper,
+        R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+    {
+        let started = Instant::now();
+        if spec.num_reducers == 0 {
+            return Err(MrError::InvalidJob("num_reducers must be ≥ 1".into()));
+        }
+        if spec.inputs.is_empty() {
+            return Err(MrError::InvalidJob("job has no inputs".into()));
+        }
+        let jid = self.job_seq.fetch_add(1, Ordering::Relaxed);
+        let counters = Counters::new();
+        let cluster = self.cluster;
+        let n = cluster.num_nodes();
+        let net_before = cluster.traffic().remote_bytes();
+        let sim_before = cluster.traffic().simulated_time_us();
+
+        // --- Distribute cache files to every node (paper §5.1). ---
+        let cache_prefix = format!("mr/{jid}/cache/");
+        for (name, data) in &spec.cache_files {
+            for node in cluster.nodes() {
+                node.write_local(&format!("{cache_prefix}{name}"), data.clone())?;
+            }
+            cluster
+                .traffic()
+                .record_broadcast(&cluster.config().network, NodeId(0), n, data.len() as u64);
+            counters.add(builtin::DISTRIBUTED_CACHE_BYTES, data.len() as u64 * n as u64);
+            cluster.check_intermediate_capacity()?;
+        }
+
+        // --- Plan input splits. ---
+        let mut total_len = 0u64;
+        for path in &spec.inputs {
+            if !cluster.dfs().exists(path) {
+                return Err(MrError::InvalidJob(format!("input path not found: {path}")));
+            }
+            total_len += cluster.dfs().len(path)?;
+        }
+        let mut splits = Vec::new();
+        for path in &spec.inputs {
+            let flen = cluster.dfs().len(path)?;
+            let desired = if spec.desired_map_tasks == 0 {
+                usize::MAX // one split per block
+            } else {
+                (((spec.desired_map_tasks as u64 * flen) + total_len - 1) / total_len.max(1))
+                    .max(1) as usize
+            };
+            let per_block = flen.div_ceil(cluster.dfs().block_size()).max(1) as usize;
+            splits.extend(cluster.dfs().splits(path, desired.min(per_block))?);
+        }
+        if splits.is_empty() {
+            return Err(MrError::InvalidJob("inputs contain no records".into()));
+        }
+
+        // --- Assign map tasks: locality-aware, deterministic. ---
+        let mut load = vec![0usize; n];
+        let map_assignment: Vec<NodeId> = splits
+            .iter()
+            .map(|s| {
+                let chosen = s
+                    .preferred_nodes
+                    .iter()
+                    .copied()
+                    .min_by_key(|nd| (load[nd.index()], nd.0))
+                    .unwrap_or_else(|| {
+                        NodeId(
+                            (0..n).min_by_key(|&i| (load[i], i)).unwrap() as u32,
+                        )
+                    });
+                load[chosen.index()] += 1;
+                chosen
+            })
+            .collect();
+
+        // --- Map phase. ---
+        let num_maps = splits.len();
+        let error: Mutex<Option<MrError>> = Mutex::new(None);
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..n).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (t, nd) in map_assignment.iter().enumerate() {
+            queues[nd.index()].lock().push_back(t);
+        }
+        crossbeam::thread::scope(|scope| {
+            for node_idx in 0..n {
+                for _slot in 0..cluster.config().node.map_slots.max(1) {
+                    let queues = &queues;
+                    let error = &error;
+                    let splits = &splits;
+                    let spec = &spec;
+                    let counters = &counters;
+                    let cache_prefix = &cache_prefix;
+                    scope.spawn(move |_| loop {
+                        if error.lock().is_some() {
+                            return;
+                        }
+                        let task = match queues[node_idx].lock().pop_front() {
+                            Some(t) => t,
+                            None => return,
+                        };
+                        let r = self.run_map_task(
+                            jid,
+                            task as u32,
+                            NodeId(node_idx as u32),
+                            &splits[task],
+                            spec,
+                            counters,
+                            cache_prefix,
+                        );
+                        if let Err(e) = r {
+                            let mut guard = error.lock();
+                            if guard.is_none() {
+                                *guard = Some(e);
+                            }
+                            return;
+                        }
+                    });
+                }
+            }
+        })
+        .expect("map worker panicked");
+        if let Some(e) = error.lock().take() {
+            self.cleanup(jid);
+            return Err(e);
+        }
+
+        // Intermediate data is fully materialized now: record the peak.
+        let peak_intermediate = cluster.intermediate_bytes();
+        counters.record_max(INTERMEDIATE_PEAK_COUNTER, peak_intermediate);
+
+        // --- Reduce phase. ---
+        let reduce_queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..n).map(|_| Mutex::new(VecDeque::new())).collect();
+        for r in 0..spec.num_reducers {
+            reduce_queues[r % n].lock().push_back(r);
+        }
+        crossbeam::thread::scope(|scope| {
+            for node_idx in 0..n {
+                for _slot in 0..cluster.config().node.reduce_slots.max(1) {
+                    let reduce_queues = &reduce_queues;
+                    let error = &error;
+                    let spec = &spec;
+                    let counters = &counters;
+                    let cache_prefix = &cache_prefix;
+                    let map_assignment = &map_assignment;
+                    scope.spawn(move |_| loop {
+                        if error.lock().is_some() {
+                            return;
+                        }
+                        let task = match reduce_queues[node_idx].lock().pop_front() {
+                            Some(t) => t,
+                            None => return,
+                        };
+                        let r = self.run_reduce_task(
+                            jid,
+                            task as u32,
+                            NodeId(node_idx as u32),
+                            num_maps,
+                            map_assignment,
+                            spec,
+                            counters,
+                            cache_prefix,
+                        );
+                        if let Err(e) = r {
+                            let mut guard = error.lock();
+                            if guard.is_none() {
+                                *guard = Some(e);
+                            }
+                            return;
+                        }
+                    });
+                }
+            }
+        })
+        .expect("reduce worker panicked");
+        self.cleanup(jid);
+        if let Some(e) = error.lock().take() {
+            return Err(e);
+        }
+
+        let output_paths: Vec<String> =
+            (0..spec.num_reducers).map(|r| format!("{}/part-{r:05}", spec.output)).collect();
+        let stats = JobStats {
+            map_tasks: num_maps,
+            reduce_tasks: spec.num_reducers,
+            network_bytes: cluster.traffic().remote_bytes() - net_before,
+            max_working_set_bytes: counters.get(WS_PEAK_COUNTER),
+            peak_intermediate_bytes: peak_intermediate,
+            simulated_network_time_us: cluster.traffic().simulated_time_us() - sim_before,
+            wall_time_us: started.elapsed().as_micros() as u64,
+        };
+        Ok(JobOutput { output_paths, counters: counters.snapshot(), stats })
+    }
+
+    fn cleanup(&self, jid: u32) {
+        for node in self.cluster.nodes() {
+            node.delete_local_prefix(&format!("mr/{jid}/"));
+        }
+    }
+
+    /// Retry wrapper + body of one map task.
+    #[allow(clippy::too_many_arguments)]
+    fn run_map_task<M, R>(
+        &self,
+        jid: u32,
+        task: u32,
+        node_id: NodeId,
+        split: &pmr_cluster::InputSplit,
+        spec: &JobSpec<M, R>,
+        counters: &Counters,
+        cache_prefix: &str,
+    ) -> Result<()>
+    where
+        M: Mapper,
+        R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+    {
+        let cluster = self.cluster;
+        let max_attempts = cluster.config().max_task_attempts.max(1);
+        for attempt in 0..max_attempts {
+            counters.inc(builtin::MAP_TASK_ATTEMPTS);
+            let aid = TaskAttemptId { job: jid, kind: TaskKind::Map, task, attempt };
+            if cluster.injector().should_fail(aid) {
+                counters.inc(builtin::FAILED_ATTEMPTS);
+                continue;
+            }
+            return self.map_attempt(jid, task, node_id, split, spec, counters, cache_prefix);
+        }
+        Err(MrError::TaskFailed {
+            task: format!("job{jid}/map{task}"),
+            attempts: max_attempts,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn map_attempt<M, R>(
+        &self,
+        jid: u32,
+        task: u32,
+        node_id: NodeId,
+        split: &pmr_cluster::InputSplit,
+        spec: &JobSpec<M, R>,
+        counters: &Counters,
+        cache_prefix: &str,
+    ) -> Result<()>
+    where
+        M: Mapper,
+        R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+    {
+        let cluster = self.cluster;
+        let node = cluster.node(node_id);
+        let data = cluster.dfs().read_range_from(
+            &split.path,
+            split.offset,
+            split.len,
+            node_id,
+            cluster.traffic(),
+            &cluster.config().network,
+        )?;
+        let records = decode_raw_stream(data)?;
+        let mut partitions: Vec<Vec<RawRecord>> = vec![Vec::new(); spec.num_reducers];
+        let cache = TaskCache { node, prefix: cache_prefix.to_string() };
+        let sink = crate::api::SpillSink {
+            node,
+            prefix: format!("mr/{jid}/m/{task}/spill/"),
+            runs: std::cell::Cell::new(0),
+            error: std::cell::RefCell::new(None),
+        };
+        let mut ctx: MapContext<'_, M::KOut, M::VOut> =
+            MapContext::new(&mut partitions, spec.partitioner.as_ref(), counters, &cache)
+                .with_spilling(spec.sort_buffer_bytes, &sink);
+        for raw in records {
+            counters.inc(builtin::MAP_INPUT_RECORDS);
+            let k = M::KIn::from_bytes(raw.key)?;
+            let v = M::VIn::from_bytes(raw.value)?;
+            spec.mapper.map(k, v, &mut ctx)?;
+        }
+        counters.add(builtin::MAP_OUTPUT_BYTES, ctx.take_output_bytes());
+        if let Some(e) = sink.error.borrow_mut().take() {
+            return Err(e);
+        }
+
+        // Merge spill runs back into the in-memory buffers (k-way merge of
+        // sorted runs, modeled as read + merge by concatenation + re-sort;
+        // the final per-partition sort below produces the merged order).
+        let runs = sink.runs.get();
+        if runs > 0 {
+            counters.add(builtin::MERGED_RUNS, runs as u64);
+            for (p, part) in partitions.iter_mut().enumerate() {
+                for run in 0..runs {
+                    let name = format!("mr/{jid}/m/{task}/spill/{run}/p/{p}");
+                    match node.read_local(&name) {
+                        Ok(data) => {
+                            part.extend(decode_raw_stream(data)?);
+                            node.delete_local(&name);
+                        }
+                        Err(ClusterError::NoSuchFile(_)) => {}
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+            }
+        }
+
+        // Sort each partition by key bytes; run the combiner if present.
+        for (p, part) in partitions.iter_mut().enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            part.sort_by(|a, b| a.key.cmp(&b.key));
+            if let Some(comb) = &spec.combiner {
+                let mut out = Vec::with_capacity(part.len());
+                let mut i = 0;
+                while i < part.len() {
+                    let mut j = i + 1;
+                    while j < part.len() && part[j].key == part[i].key {
+                        j += 1;
+                    }
+                    counters.add(builtin::COMBINE_INPUT_RECORDS, (j - i) as u64);
+                    let key = part[i].key.clone();
+                    let vals: Vec<bytes::Bytes> =
+                        part[i..j].iter().map(|r| r.value.clone()).collect();
+                    let combined = comb.combine(key, vals);
+                    counters.add(builtin::COMBINE_OUTPUT_RECORDS, combined.len() as u64);
+                    out.extend(combined);
+                    i = j;
+                }
+                out.sort_by(|a, b| a.key.cmp(&b.key));
+                *part = out;
+            }
+            let mut buf = BytesMut::new();
+            for rec in part.iter() {
+                rec.write_framed(&mut buf);
+            }
+            counters.add(builtin::SPILLED_RECORDS, part.len() as u64);
+            node.write_local(&format!("mr/{jid}/m/{task}/p/{p}"), buf.freeze())?;
+        }
+        cluster.check_intermediate_capacity()?;
+        Ok(())
+    }
+
+    /// Retry wrapper + body of one reduce task.
+    #[allow(clippy::too_many_arguments)]
+    fn run_reduce_task<M, R>(
+        &self,
+        jid: u32,
+        task: u32,
+        node_id: NodeId,
+        num_maps: usize,
+        map_assignment: &[NodeId],
+        spec: &JobSpec<M, R>,
+        counters: &Counters,
+        cache_prefix: &str,
+    ) -> Result<()>
+    where
+        M: Mapper,
+        R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+    {
+        let cluster = self.cluster;
+        let max_attempts = cluster.config().max_task_attempts.max(1);
+        for attempt in 0..max_attempts {
+            counters.inc(builtin::REDUCE_TASK_ATTEMPTS);
+            let aid = TaskAttemptId { job: jid, kind: TaskKind::Reduce, task, attempt };
+            if cluster.injector().should_fail(aid) {
+                counters.inc(builtin::FAILED_ATTEMPTS);
+                continue;
+            }
+            return self.reduce_attempt(
+                jid,
+                task,
+                node_id,
+                num_maps,
+                map_assignment,
+                spec,
+                counters,
+                cache_prefix,
+            );
+        }
+        Err(MrError::TaskFailed {
+            task: format!("job{jid}/reduce{task}"),
+            attempts: max_attempts,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn reduce_attempt<M, R>(
+        &self,
+        jid: u32,
+        task: u32,
+        node_id: NodeId,
+        num_maps: usize,
+        map_assignment: &[NodeId],
+        spec: &JobSpec<M, R>,
+        counters: &Counters,
+        cache_prefix: &str,
+    ) -> Result<()>
+    where
+        M: Mapper,
+        R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+    {
+        let cluster = self.cluster;
+        let node = cluster.node(node_id);
+
+        // Shuffle: fetch this task's partition from every map output.
+        let mut records: Vec<RawRecord> = Vec::new();
+        for (m, &src) in map_assignment.iter().enumerate().take(num_maps) {
+            let name = format!("mr/{jid}/m/{m}/p/{task}");
+            match cluster.node(src).read_local(&name) {
+                Ok(data) => {
+                    counters.add(builtin::SHUFFLE_BYTES, data.len() as u64);
+                    cluster.traffic().record(
+                        &cluster.config().network,
+                        src,
+                        node_id,
+                        data.len() as u64,
+                    );
+                    records.extend(decode_raw_stream(data)?);
+                }
+                Err(ClusterError::NoSuchFile(_)) => {} // empty partition
+                Err(e) => return Err(e.into()),
+            }
+        }
+
+        // Sort (stable, so value order within a key is deterministic).
+        records.sort_by(|a, b| a.key.cmp(&b.key));
+
+        // Reduce each group under the working-set memory budget.
+        let (on, od) = spec.memory_overhead;
+        let gauge = MemoryGauge::new(cluster.config().node.task_memory_budget)
+            .with_overhead_factor(on.max(od), od.max(1));
+        let mut out = BytesMut::new();
+        let mut offsets: Vec<u64> = Vec::new();
+        let cache = TaskCache { node, prefix: cache_prefix.to_string() };
+        let mut i = 0;
+        while i < records.len() {
+            let mut j = i + 1;
+            while j < records.len() && records[j].key == records[i].key {
+                j += 1;
+            }
+            let group_bytes: u64 = records[i..j].iter().map(|r| r.framed_len() as u64).sum();
+            gauge.try_reserve(group_bytes)?;
+            counters.inc(builtin::REDUCE_INPUT_GROUPS);
+            counters.add(builtin::REDUCE_INPUT_RECORDS, (j - i) as u64);
+            let key = R::KIn::from_bytes(records[i].key.clone())?;
+            let values: Values<'_, R::VIn> = Values::new(&records[i..j]);
+            let mut ctx: ReduceContext<'_, R::KOut, R::VOut> =
+                ReduceContext::new(&mut out, &mut offsets, counters, &cache, &gauge);
+            spec.reducer.reduce(key, values, &mut ctx)?;
+            gauge.release(group_bytes);
+            i = j;
+        }
+        counters.record_max(WS_PEAK_COUNTER, gauge.peak());
+
+        // Write this task's output part file to the DFS.
+        let path = format!("{}/part-{task:05}", spec.output);
+        counters.add(builtin::REDUCE_OUTPUT_BYTES, out.len() as u64);
+        let data = out.freeze();
+        // Re-running a reduce after a sibling task's failure may find the
+        // part file already present; replace it for idempotence.
+        cluster.dfs().delete(&path);
+        cluster.dfs().create_with_records(&path, data, Some(offsets))?;
+        Ok(())
+    }
+}

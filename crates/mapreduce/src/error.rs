@@ -1,0 +1,58 @@
+//! Error type for MapReduce jobs.
+
+use pmr_cluster::ClusterError;
+use std::fmt;
+
+use crate::codec::CodecError;
+
+/// Errors surfaced by job execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MrError {
+    /// A cluster resource limit or lookup failed. Resource-limit errors are
+    /// deterministic and therefore not retried.
+    Cluster(ClusterError),
+    /// Corrupt or truncated serialized data.
+    Codec(CodecError),
+    /// A task exhausted its retry budget.
+    TaskFailed {
+        /// Human-readable attempt id of the last failure.
+        task: String,
+        /// Number of attempts made.
+        attempts: u32,
+    },
+    /// Job-configuration problem (bad input path, zero reducers, ...).
+    InvalidJob(String),
+    /// Error raised by user map/reduce code.
+    User(String),
+}
+
+impl fmt::Display for MrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrError::Cluster(e) => write!(f, "cluster: {e}"),
+            MrError::Codec(e) => write!(f, "codec: {e}"),
+            MrError::TaskFailed { task, attempts } => {
+                write!(f, "task {task} failed after {attempts} attempts")
+            }
+            MrError::InvalidJob(m) => write!(f, "invalid job: {m}"),
+            MrError::User(m) => write!(f, "user code: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MrError {}
+
+impl From<ClusterError> for MrError {
+    fn from(e: ClusterError) -> Self {
+        MrError::Cluster(e)
+    }
+}
+
+impl From<CodecError> for MrError {
+    fn from(e: CodecError) -> Self {
+        MrError::Codec(e)
+    }
+}
+
+/// Result alias for MapReduce operations.
+pub type Result<T> = std::result::Result<T, MrError>;

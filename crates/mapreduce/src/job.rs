@@ -1,0 +1,154 @@
+//! Job specification and results.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::api::{Mapper, RawCombiner, Reducer};
+use crate::partition::{HashPartitioner, Partitioner};
+
+/// Specification of one MapReduce job.
+///
+/// `M` and `R` are the mapper and reducer; the reducer's input types must
+/// match the mapper's output types.
+pub struct JobSpec<M, R>
+where
+    M: Mapper,
+    R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+{
+    /// Job name (used in DFS/task paths and diagnostics).
+    pub name: String,
+    /// DFS input paths. Each must be a framed record file of `(M::KIn,
+    /// M::VIn)` records.
+    pub inputs: Vec<String>,
+    /// DFS output directory; reduce task `r` writes `/{output}/part-{r:05}`.
+    pub output: String,
+    /// The map function.
+    pub mapper: M,
+    /// The reduce function.
+    pub reducer: R,
+    /// Optional combiner run over each map task's sorted output partitions.
+    pub combiner: Option<Arc<dyn RawCombiner>>,
+    /// Number of reduce tasks.
+    pub num_reducers: usize,
+    /// Desired number of map tasks (actual count derives from input splits;
+    /// 0 means one per DFS block).
+    pub desired_map_tasks: usize,
+    /// Files broadcast to every node before the job starts (the paper's
+    /// §5.1 distributed cache).
+    pub cache_files: Vec<(String, Bytes)>,
+    /// Partitioner routing intermediate keys to reducers.
+    pub partitioner: Arc<dyn Partitioner>,
+    /// Working-set accounting overhead factor `(num, den)` applied to the
+    /// per-task memory gauge; `(1, 1)` = none. Models the paper's §6
+    /// observation that "next to the elements themselves, other variables
+    /// and data need to be kept in memory".
+    pub memory_overhead: (u64, u64),
+    /// Map-side sort-buffer capacity in bytes (Hadoop's `io.sort.mb`).
+    /// Emits beyond it spill sorted runs to the mapper's local store, which
+    /// are merged when the task finishes. `None` = buffer everything.
+    pub sort_buffer_bytes: Option<u64>,
+}
+
+impl<M, R> JobSpec<M, R>
+where
+    M: Mapper,
+    R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+{
+    /// Creates a job spec with defaults: hash partitioning, no combiner, no
+    /// cache files, map tasks = one per block.
+    pub fn new(
+        name: impl Into<String>,
+        inputs: Vec<String>,
+        output: impl Into<String>,
+        mapper: M,
+        reducer: R,
+        num_reducers: usize,
+    ) -> Self {
+        JobSpec {
+            name: name.into(),
+            inputs,
+            output: output.into(),
+            mapper,
+            reducer,
+            combiner: None,
+            num_reducers,
+            desired_map_tasks: 0,
+            cache_files: Vec::new(),
+            partitioner: Arc::new(HashPartitioner),
+            memory_overhead: (1, 1),
+            sort_buffer_bytes: None,
+        }
+    }
+
+    /// Sets a combiner, builder-style.
+    pub fn combiner(mut self, c: Arc<dyn RawCombiner>) -> Self {
+        self.combiner = Some(c);
+        self
+    }
+
+    /// Sets the desired number of map tasks, builder-style.
+    pub fn map_tasks(mut self, n: usize) -> Self {
+        self.desired_map_tasks = n;
+        self
+    }
+
+    /// Adds a distributed-cache file, builder-style.
+    pub fn cache_file(mut self, name: impl Into<String>, data: Bytes) -> Self {
+        self.cache_files.push((name.into(), data));
+        self
+    }
+
+    /// Sets the partitioner, builder-style.
+    pub fn partitioner(mut self, p: Arc<dyn Partitioner>) -> Self {
+        self.partitioner = p;
+        self
+    }
+
+    /// Sets the memory-accounting overhead factor, builder-style.
+    pub fn memory_overhead(mut self, num: u64, den: u64) -> Self {
+        self.memory_overhead = (num, den);
+        self
+    }
+
+    /// Sets the map-side sort-buffer capacity, builder-style.
+    pub fn sort_buffer(mut self, bytes: u64) -> Self {
+        self.sort_buffer_bytes = Some(bytes);
+        self
+    }
+}
+
+/// Result of a completed job.
+#[derive(Debug, Clone)]
+pub struct JobOutput {
+    /// DFS paths of the reduce outputs, in task order.
+    pub output_paths: Vec<String>,
+    /// Counter snapshot (engine builtins + user counters).
+    pub counters: BTreeMap<String, u64>,
+    /// Execution statistics.
+    pub stats: JobStats,
+}
+
+/// Aggregate execution statistics for one job.
+#[derive(Debug, Clone, Default)]
+pub struct JobStats {
+    /// Map tasks run (first attempts).
+    pub map_tasks: usize,
+    /// Reduce tasks run (first attempts).
+    pub reduce_tasks: usize,
+    /// Bytes moved across the network during this job (shuffle + remote
+    /// DFS reads + cache broadcast).
+    pub network_bytes: u64,
+    /// Peak working-set bytes observed by any single reduce group
+    /// (after overhead): the measured counterpart of the paper's
+    /// working-set-size metric.
+    pub max_working_set_bytes: u64,
+    /// Peak cluster-wide intermediate storage during the job: the measured
+    /// counterpart of the paper's replication-factor cost.
+    pub peak_intermediate_bytes: u64,
+    /// Sum of simulated network transfer time, microseconds.
+    pub simulated_network_time_us: u64,
+    /// Wall-clock execution time of the job, microseconds.
+    pub wall_time_us: u64,
+}

@@ -1,0 +1,42 @@
+//! # pmr-mapreduce — an in-process MapReduce framework
+//!
+//! A faithful, instrumented miniature of the Hadoop MapReduce model the
+//! paper (*Pairwise Element Computation with MapReduce*, HPDC 2010)
+//! implements against, running on the simulated shared-nothing cluster of
+//! `pmr-cluster`:
+//!
+//! * typed [`api::Mapper`] / [`api::Reducer`] user code with combiners and
+//!   a distributed cache (paper §5.1);
+//! * real serialized intermediate data ([`codec`]) with hash partitioning
+//!   ([`partition`]), per-partition byte-order sorting, and a shuffle that
+//!   moves bytes between node-local stores with full network accounting;
+//! * working-set memory budgets (`maxws`) enforced per reduce group and an
+//!   intermediate-storage cap (`maxis`) enforced cluster-wide — the two
+//!   limits the paper's §6 feasibility analysis revolves around;
+//! * deterministic task retry under injected failures;
+//! * Hadoop-style [`counters`] from which the experiment harness *measures*
+//!   the paper's Table-1 metrics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod codec;
+pub mod counters;
+pub mod engine;
+pub mod error;
+pub mod io;
+pub mod job;
+pub mod partition;
+
+pub use api::{
+    typed_combiner, IdentityMapper, MapContext, Mapper, RawCombiner, ReduceContext, Reducer,
+    TaskCache, Values,
+};
+pub use codec::{decode_record_stream, decode_raw_stream, encode_record_stream, CodecError, RawRecord, Wire};
+pub use counters::{builtin, Counters};
+pub use engine::{Engine, INTERMEDIATE_PEAK_COUNTER, WS_PEAK_COUNTER};
+pub use error::{MrError, Result};
+pub use io::{read_output, read_records, write_records, write_sharded};
+pub use job::{JobOutput, JobSpec, JobStats};
+pub use partition::{fnv1a, HashPartitioner, ModuloPartitioner, Partitioner};

@@ -1,0 +1,29 @@
+//! # pairwise-mr
+//!
+//! Parallel pairwise element computation with MapReduce-style distribution
+//! schemes — a reproduction of *Pairwise Element Computation with
+//! MapReduce* (Tim Kiefer, Peter Benjamin Volk, Wolfgang Lehner; HPDC 2010,
+//! DOI 10.1145/1851476.1851595).
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`core`] (`pmr-core`) — distribution schemes (broadcast / block /
+//!   design), execution backends (sequential, local threads, MapReduce),
+//!   the paper's analytic models, and the §7 hierarchical extensions;
+//! * [`designs`] (`pmr-designs`) — finite fields, projective planes,
+//!   `(v, k, 1)`-designs;
+//! * [`cluster`] (`pmr-cluster`) — the simulated shared-nothing cluster;
+//! * [`mapreduce`] (`pmr-mapreduce`) — the MapReduce framework;
+//! * [`apps`] (`pmr-apps`) — DBSCAN, document similarity (incl. the
+//!   Elsayed baseline), mutual information, covariance/PCA.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the paper-reproduction map.
+
+#![forbid(unsafe_code)]
+
+pub use pmr_apps as apps;
+pub use pmr_cluster as cluster;
+pub use pmr_core as core;
+pub use pmr_designs as designs;
+pub use pmr_mapreduce as mapreduce;

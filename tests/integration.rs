@@ -1,0 +1,247 @@
+//! Workspace-spanning integration tests: applications running end-to-end
+//! on the MapReduce pipeline, cross-backend equivalence, and the §7
+//! hierarchical rounds.
+
+use std::sync::Arc;
+
+use pairwise_mr::apps::covariance::{assemble_covariance, covariance_comp, top_eigenpairs};
+use pairwise_mr::apps::distance::{dbscan, euclidean_comp, num_clusters};
+use pairwise_mr::apps::generate::{gaussian_clusters, random_matrix_rows, zipf_documents};
+use pairwise_mr::apps::docsim::{dot_comp, run_elsayed};
+use pairwise_mr::cluster::{Cluster, ClusterConfig};
+use pairwise_mr::core::hierarchical::{BatchedDesign, TwoLevelBlock};
+use pairwise_mr::core::runner::local::run_local;
+use pairwise_mr::core::runner::mr::{run_mr, run_mr_broadcast, run_mr_rounds, MrPairwiseOptions};
+use pairwise_mr::core::runner::sequential::run_sequential;
+use pairwise_mr::core::runner::{ConcatSort, FilterAggregator, Symmetry};
+use pairwise_mr::core::scheme::{
+    BlockScheme, BroadcastScheme, DesignScheme, DistributionScheme,
+};
+
+#[test]
+fn dbscan_identical_across_all_backends_and_schemes() {
+    let (points, _) = gaussian_clusters(60, 3, 2, 0.5, 42);
+    let v = points.len() as u64;
+    let eps = 3.0;
+
+    let reference = run_sequential(&points, &euclidean_comp(), Symmetry::Symmetric, &ConcatSort);
+    let ref_labels = dbscan(&reference, eps, 4);
+    assert_eq!(num_clusters(&ref_labels), 3);
+
+    // Local backend, each scheme.
+    let schemes: Vec<Box<dyn DistributionScheme>> = vec![
+        Box::new(BroadcastScheme::new(v, 5)),
+        Box::new(BlockScheme::new(v, 4)),
+        Box::new(DesignScheme::new(v)),
+    ];
+    for s in &schemes {
+        let (out, _) =
+            run_local(&points, s.as_ref(), &euclidean_comp(), Symmetry::Symmetric, &ConcatSort, 3);
+        assert_eq!(dbscan(&out, eps, 4), ref_labels, "local/{}", s.name());
+    }
+
+    // MR backend with ε-pruning aggregation still yields the same clusters.
+    let cluster = Cluster::new(ClusterConfig::with_nodes(3));
+    let (out, _) = run_mr(
+        &cluster,
+        Arc::new(BlockScheme::new(v, 4)),
+        &points,
+        euclidean_comp(),
+        Symmetry::Symmetric,
+        Arc::new(FilterAggregator::new(move |d: &f64| *d <= eps)),
+        MrPairwiseOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(dbscan(&out, eps, 4), ref_labels, "mr/pruned");
+}
+
+#[test]
+fn covariance_pca_on_mr_matches_sequential() {
+    let rows = random_matrix_rows(24, 60, 9);
+    let reference = run_sequential(&rows, &covariance_comp(), Symmetry::Symmetric, &ConcatSort);
+    let cluster = Cluster::new(ClusterConfig::with_nodes(4));
+    let (out, _) = run_mr(
+        &cluster,
+        Arc::new(DesignScheme::new(24)),
+        &rows,
+        covariance_comp(),
+        Symmetry::Symmetric,
+        Arc::new(ConcatSort),
+        MrPairwiseOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(out, reference);
+    let m_seq = assemble_covariance(&rows, &reference);
+    let m_mr = assemble_covariance(&rows, &out);
+    assert_eq!(m_seq, m_mr);
+    let eigs = top_eigenpairs(&m_mr, 2, 200);
+    assert!(eigs[0].0 >= eigs[1].0);
+}
+
+#[test]
+fn elsayed_and_generic_pairwise_agree_via_mr() {
+    let docs = zipf_documents(30, 300, 25, 1.0, 3);
+    let cluster = Cluster::new(ClusterConfig::with_nodes(3));
+    let (pairwise, _) = run_mr(
+        &cluster,
+        Arc::new(BlockScheme::new(30, 3)),
+        &docs,
+        dot_comp(),
+        Symmetry::Symmetric,
+        Arc::new(ConcatSort),
+        MrPairwiseOptions::default(),
+    )
+    .unwrap();
+    let cluster2 = Cluster::new(ClusterConfig::with_nodes(3));
+    let baseline = run_elsayed(&cluster2, &docs, "it-elsayed").unwrap();
+    for ((a, b), d) in &baseline.dot_products {
+        let r = pairwise
+            .results_of(*a)
+            .unwrap()
+            .iter()
+            .find(|(o, _)| o == b)
+            .map(|(_, r)| *r)
+            .unwrap();
+        assert!((d - r).abs() < 1e-9 * (1.0 + r.abs()));
+    }
+}
+
+#[test]
+fn broadcast_cache_variant_equals_two_job_variant() {
+    let payloads: Vec<u64> = (0..40u64).map(|i| i * 7 % 53).collect();
+    let comp = pairwise_mr::core::comp_fn(|a: &u64, b: &u64| a.abs_diff(*b));
+    let scheme = BroadcastScheme::new(40, 6);
+
+    let c1 = Cluster::new(ClusterConfig::with_nodes(3));
+    let (out_two_jobs, rep_two) = run_mr(
+        &c1,
+        Arc::new(scheme.clone()),
+        &payloads,
+        Arc::clone(&comp),
+        Symmetry::Symmetric,
+        Arc::new(ConcatSort),
+        MrPairwiseOptions::default(),
+    )
+    .unwrap();
+
+    let c2 = Cluster::new(ClusterConfig::with_nodes(3));
+    let (out_cache, rep_cache) = run_mr_broadcast(
+        &c2,
+        &scheme,
+        &payloads,
+        comp,
+        Symmetry::Symmetric,
+        Arc::new(ConcatSort),
+        MrPairwiseOptions::default(),
+    )
+    .unwrap();
+
+    assert_eq!(out_two_jobs, out_cache);
+    // The cache variant avoids shuffling v·p element copies through the
+    // sort phase: its shuffle is strictly smaller.
+    assert!(
+        rep_cache.shuffle_bytes < rep_two.shuffle_bytes,
+        "cache {} vs shuffle {}",
+        rep_cache.shuffle_bytes,
+        rep_two.shuffle_bytes
+    );
+}
+
+#[test]
+fn two_level_rounds_match_flat_and_bound_intermediate() {
+    let payloads: Vec<u64> = (0..48u64).map(|i| i * 13 % 97).collect();
+    let comp = pairwise_mr::core::comp_fn(|a: &u64, b: &u64| a.abs_diff(*b));
+    let reference = run_sequential(&payloads, &comp, Symmetry::Symmetric, &ConcatSort);
+
+    let tlb = TwoLevelBlock::new(48, 3, 2);
+    let rounds: Vec<Arc<dyn DistributionScheme>> =
+        tlb.rounds().into_iter().map(Arc::from).collect();
+    let cluster = Cluster::new(ClusterConfig::with_nodes(3));
+    let (out, reports) = run_mr_rounds(
+        &cluster,
+        rounds,
+        &payloads,
+        Arc::clone(&comp),
+        Symmetry::Symmetric,
+        Arc::new(ConcatSort),
+        MrPairwiseOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(out, reference);
+    assert_eq!(reports.len() as u64, tlb.num_rounds());
+
+    // Compare against the flat block scheme with matching task granularity.
+    let cluster_flat = Cluster::new(ClusterConfig::with_nodes(3));
+    let (out_flat, report_flat) = run_mr(
+        &cluster_flat,
+        Arc::new(BlockScheme::new(48, 6)),
+        &payloads,
+        comp,
+        Symmetry::Symmetric,
+        Arc::new(ConcatSort),
+        MrPairwiseOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(out_flat, reference);
+    let max_round_peak =
+        reports.iter().map(|r| r.peak_intermediate_bytes).max().unwrap();
+    assert!(
+        max_round_peak < report_flat.peak_intermediate_bytes,
+        "hierarchical rounds should bound intermediate storage: {} vs flat {}",
+        max_round_peak,
+        report_flat.peak_intermediate_bytes
+    );
+}
+
+#[test]
+fn batched_design_rounds_match_flat_design() {
+    let payloads: Vec<u64> = (0..31u64).map(|i| i * 11 % 89).collect();
+    let comp = pairwise_mr::core::comp_fn(|a: &u64, b: &u64| a.abs_diff(*b));
+    let reference = run_sequential(&payloads, &comp, Symmetry::Symmetric, &ConcatSort);
+
+    let bd = BatchedDesign::new(31, 4);
+    let rounds: Vec<Arc<dyn DistributionScheme>> = (0..bd.num_rounds())
+        .map(|r| Arc::new(bd.round(r)) as Arc<dyn DistributionScheme>)
+        .collect();
+    let cluster = Cluster::new(ClusterConfig::with_nodes(3));
+    let (out, reports) = run_mr_rounds(
+        &cluster,
+        rounds,
+        &payloads,
+        comp,
+        Symmetry::Symmetric,
+        Arc::new(ConcatSort),
+        MrPairwiseOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(out, reference);
+    assert_eq!(reports.len(), 4);
+}
+
+#[test]
+fn nonsymmetric_comp_consistent_across_backends() {
+    let payloads: Vec<u64> = (0..26u64).collect();
+    let comp = pairwise_mr::core::comp_fn(|a: &u64, b: &u64| a * 100 + b);
+    let reference = run_sequential(&payloads, &comp, Symmetry::NonSymmetric, &ConcatSort);
+    let (local, _) = run_local(
+        &payloads,
+        &DesignScheme::new(26),
+        &comp,
+        Symmetry::NonSymmetric,
+        &ConcatSort,
+        2,
+    );
+    assert_eq!(local, reference);
+    let cluster = Cluster::new(ClusterConfig::with_nodes(2));
+    let (mr, _) = run_mr(
+        &cluster,
+        Arc::new(DesignScheme::new(26)),
+        &payloads,
+        comp,
+        Symmetry::NonSymmetric,
+        Arc::new(ConcatSort),
+        MrPairwiseOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(mr, reference);
+}
