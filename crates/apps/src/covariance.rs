@@ -60,10 +60,7 @@ impl SymmetricMatrix {
 /// Assembles the covariance matrix of `rows` from the aggregated pairwise
 /// output (off-diagonals) plus directly-computed variances (diagonal —
 /// pairwise schemes evaluate only `i > j`).
-pub fn assemble_covariance(
-    rows: &[DenseVector],
-    output: &PairwiseOutput<f64>,
-) -> SymmetricMatrix {
+pub fn assemble_covariance(rows: &[DenseVector], output: &PairwiseOutput<f64>) -> SymmetricMatrix {
     let n = rows.len();
     let mut m = SymmetricMatrix::zeros(n);
     for (i, row) in rows.iter().enumerate() {

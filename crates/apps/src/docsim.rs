@@ -10,12 +10,10 @@
 //! ("our work concentrates on applications where the quadratic complexity
 //! cannot be reduced").
 
-
 use pmr_cluster::Cluster;
 use pmr_core::runner::CompFn;
 use pmr_mapreduce::{
-    read_output, write_sharded, Engine, JobSpec, MapContext, Mapper, ReduceContext, Reducer,
-    Values,
+    read_output, write_sharded, Engine, JobSpec, MapContext, Mapper, ReduceContext, Reducer, Values,
 };
 
 use crate::vector::SparseVector;
@@ -166,14 +164,10 @@ pub fn run_elsayed(
         SumReducer,
         2 * n,
     ))?;
-    let mut dot_products: Vec<((u64, u64), f64)> =
-        read_output(cluster, &format!("{dir}/sims"))?;
+    let mut dot_products: Vec<((u64, u64), f64)> = read_output(cluster, &format!("{dir}/sims"))?;
     dot_products.sort_by_key(|(pair, _)| *pair);
-    let contributions = job_pairs
-        .counters
-        .get(pmr_mapreduce::builtin::MAP_OUTPUT_RECORDS)
-        .copied()
-        .unwrap_or(0);
+    let contributions =
+        job_pairs.counters.get(pmr_mapreduce::builtin::MAP_OUTPUT_RECORDS).copied().unwrap_or(0);
     Ok(ElsayedReport { dot_products, job_invert, job_pairs, contributions })
 }
 

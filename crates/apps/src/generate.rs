@@ -24,14 +24,15 @@ pub fn gaussian_clusters(
     assert!(k >= 1 && dim >= 1);
     let mut rng = StdRng::seed_from_u64(seed);
     let centers: Vec<Vec<f64>> = (0..k)
-        .map(|c| (0..dim).map(|d| (((c * dim + d) % k) as f64) * 20.0 + (c as f64) * 10.0).collect())
+        .map(|c| {
+            (0..dim).map(|d| (((c * dim + d) % k) as f64) * 20.0 + (c as f64) * 10.0).collect()
+        })
         .collect();
     let mut points = Vec::with_capacity(n);
     let mut labels = Vec::with_capacity(n);
     for i in 0..n {
         let c = i % k;
-        let p: Vec<f64> =
-            centers[c].iter().map(|&m| m + gaussian(&mut rng) * spread).collect();
+        let p: Vec<f64> = centers[c].iter().map(|&m| m + gaussian(&mut rng) * spread).collect();
         points.push(DenseVector(p));
         labels.push(c);
     }
@@ -107,9 +108,8 @@ pub fn gene_expression(
     assert!(module >= 1);
     let mut rng = StdRng::seed_from_u64(seed);
     let num_modules = genes.div_ceil(module);
-    let latents: Vec<Vec<f64>> = (0..num_modules)
-        .map(|_| (0..samples).map(|_| gaussian(&mut rng)).collect())
-        .collect();
+    let latents: Vec<Vec<f64>> =
+        (0..num_modules).map(|_| (0..samples).map(|_| gaussian(&mut rng)).collect()).collect();
     (0..genes)
         .map(|g| {
             let l = &latents[g / module];
@@ -128,10 +128,7 @@ pub fn random_matrix_rows(rows: usize, cols: usize, seed: u64) -> Vec<DenseVecto
         .map(|_| {
             let strength = gaussian(&mut rng) * 3.0;
             DenseVector(
-                direction
-                    .iter()
-                    .map(|&d| strength * d + rng.gen_range(-1.0..1.0))
-                    .collect(),
+                direction.iter().map(|&d| strength * d + rng.gen_range(-1.0..1.0)).collect(),
             )
         })
         .collect()
@@ -206,8 +203,7 @@ mod tests {
         let genes = gene_expression(20, 200, 5, 0.3, 3);
         let corr = |a: &DenseVector, b: &DenseVector| {
             let (ma, mb) = (a.mean(), b.mean());
-            let num: f64 =
-                a.0.iter().zip(&b.0).map(|(x, y)| (x - ma) * (y - mb)).sum();
+            let num: f64 = a.0.iter().zip(&b.0).map(|(x, y)| (x - ma) * (y - mb)).sum();
             let da: f64 = a.0.iter().map(|x| (x - ma) * (x - ma)).sum::<f64>().sqrt();
             let db: f64 = b.0.iter().map(|y| (y - mb) * (y - mb)).sum::<f64>().sqrt();
             num / (da * db)

@@ -6,10 +6,10 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pmr_apps::generate::gene_expression;
 use pmr_apps::mutualinfo::mi_comp;
+use pmr_apps::DenseVector;
 use pmr_core::runner::local::run_local;
 use pmr_core::runner::{comp_fn, CompFn, ConcatSort, Symmetry};
 use pmr_core::scheme::{BlockScheme, BroadcastScheme, DesignScheme, DistributionScheme};
-use pmr_apps::DenseVector;
 
 fn cheap_comp() -> CompFn<DenseVector, f64> {
     comp_fn(|a: &DenseVector, b: &DenseVector| a.0[0] - b.0[0])

@@ -15,11 +15,12 @@
 use std::sync::Arc;
 
 use pmr_apps::generate::opaque_elements;
-use pmr_bench::{fmt_f64, fmt_u64, print_table};
+use pmr_bench::{fmt_f64, fmt_u64, print_table, save_report};
 use pmr_cluster::{Cluster, ClusterConfig};
-use pmr_core::runner::mr::{run_mr, MrPairwiseOptions};
-use pmr_core::runner::{comp_fn, CompFn, ConcatSort, Symmetry};
+use pmr_core::runner::mr::MrPairwiseOptions;
+use pmr_core::runner::{comp_fn, Backend, CompFn, PairwiseJob};
 use pmr_core::scheme::{BlockScheme, BroadcastScheme, DesignScheme, DistributionScheme};
+use pmr_obs::Telemetry;
 
 fn comp() -> CompFn<bytes::Bytes, u64> {
     comp_fn(|a: &bytes::Bytes, b: &bytes::Bytes| {
@@ -43,17 +44,15 @@ fn main() {
         let mut rows = Vec::new();
         for scheme in schemes {
             let analytic = scheme.metrics(n_nodes as u64);
-            let cluster = Cluster::new(ClusterConfig::with_nodes(n_nodes));
-            let (_, report) = run_mr(
-                &cluster,
-                Arc::clone(&scheme),
-                &payloads,
-                comp(),
-                Symmetry::Symmetric,
-                Arc::new(ConcatSort),
-                MrPairwiseOptions::default(),
-            )
-            .expect("run failed");
+            let cluster = Cluster::new(ClusterConfig::with_nodes(n_nodes))
+                .with_telemetry(Telemetry::enabled());
+            let run = PairwiseJob::new(&payloads, comp())
+                .scheme_arc(Arc::clone(&scheme))
+                .backend(Backend::Mr(&cluster))
+                .run()
+                .expect("run failed");
+            save_report(&format!("cluster_validation-{}-v{v}", scheme.name()), &run.report);
+            let report = &run.mr[0];
             let measured_repl = report.replicated_records as f64 / v as f64;
             // Working set in *elements*: peak group bytes / framed record.
             let measured_ws = report.max_working_set_bytes / framed;
@@ -84,9 +83,7 @@ fn main() {
         );
     }
 
-    println!(
-        "\nmeasured replication matches theory exactly; measured working sets are at or"
-    );
+    println!("\nmeasured replication matches theory exactly; measured working sets are at or");
     println!("just under the theoretical bound (the largest task's actual share). Shuffled");
     println!("volume exceeds the 2v·r element model because element copies carry their");
     println!("partial result lists into the aggregation job — bookkeeping the model omits.");
@@ -97,16 +94,12 @@ fn main() {
     let scheme = Arc::new(BroadcastScheme::new(v, n_nodes as u64));
     let probe = |budget: u64, overhead: (u64, u64)| -> bool {
         let cluster = Cluster::new(ClusterConfig::with_nodes(n_nodes).task_memory_budget(budget));
-        run_mr(
-            &cluster,
-            scheme.clone() as Arc<dyn DistributionScheme>,
-            &payloads,
-            comp(),
-            Symmetry::Symmetric,
-            Arc::new(ConcatSort),
-            MrPairwiseOptions { memory_overhead: overhead, ..Default::default() },
-        )
-        .is_ok()
+        PairwiseJob::new(&payloads, comp())
+            .scheme_arc(scheme.clone() as Arc<dyn DistributionScheme>)
+            .backend(Backend::Mr(&cluster))
+            .mr_options(MrPairwiseOptions { memory_overhead: overhead, ..Default::default() })
+            .run()
+            .is_ok()
     };
     let pure_model = v * framed; // exactly the working set's element bytes
     let rows = vec![

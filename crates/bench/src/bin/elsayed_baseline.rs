@@ -10,6 +10,10 @@
 //! cargo run --release -p pmr-bench --bin elsayed_baseline
 //! ```
 
+// Stays on the pre-builder entry points deliberately: the deprecated shims
+// must keep existing callers compiling (see `deprecated_shims_still_run`).
+#![allow(deprecated)]
+
 use std::sync::Arc;
 
 use pmr_apps::docsim::{dot_comp, run_elsayed};

@@ -12,14 +12,14 @@
 //! cargo run --release -p pmr-bench --bin fig8a
 //! ```
 
-use pmr_bench::empirical::{probe_max_v, Budgets, ProbeScheme};
-use pmr_bench::{fmt_u64, print_table};
+use pmr_bench::empirical::{probe_max_v, probe_report, Budgets, ProbeScheme};
+use pmr_bench::{fmt_u64, print_table, save_report};
 use pmr_core::analysis::limits::{max_v_broadcast, units::*};
 
 fn main() {
     // --- Part 1: analytic curves at paper scale (Figure 8(a) axes). ---
-    let budgets = [("maxws = 200MB", 200.0 * MB), ("maxws = 400MB", 400.0 * MB),
-                   ("maxws = 1GB", 1.0 * GB)];
+    let budgets =
+        [("maxws = 200MB", 200.0 * MB), ("maxws = 400MB", 400.0 * MB), ("maxws = 1GB", 1.0 * GB)];
     let sizes_kb = [10.0, 30.0, 100.0, 300.0, 1_000.0, 3_000.0, 10_000.0];
     let rows: Vec<Vec<String>> = sizes_kb
         .iter()
@@ -47,12 +47,16 @@ fn main() {
         .iter()
         .map(|&(s, maxws)| {
             let predicted = maxws / s as u64;
-            let measured = probe_max_v(
-                |_| ProbeScheme::Broadcast { tasks: 4 },
-                s,
-                Budgets { maxws: Some(maxws), maxis: None },
-                4 * predicted,
-            );
+            let budgets = Budgets { maxws: Some(maxws), maxis: None };
+            let measured =
+                probe_max_v(|_| ProbeScheme::Broadcast { tasks: 4 }, s, budgets, 4 * predicted);
+            // Persist the instrumented boundary run: the largest v that
+            // still fits shows how close the working set sits to maxws.
+            if let Some(report) =
+                probe_report(ProbeScheme::Broadcast { tasks: 4 }, measured, s, budgets)
+            {
+                save_report(&format!("fig8a-s{s}-maxws{maxws}"), &report);
+            }
             let overhead_adjusted = maxws / (s as u64 + 28);
             vec![
                 fmt_u64(s as u64),

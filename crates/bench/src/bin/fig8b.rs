@@ -12,8 +12,8 @@
 //! cargo run --release -p pmr-bench --bin fig8b
 //! ```
 
-use pmr_bench::empirical::{probe_max_v, Budgets, ProbeScheme};
-use pmr_bench::{fmt_u64, print_table};
+use pmr_bench::empirical::{probe_max_v, probe_report, Budgets, ProbeScheme};
+use pmr_bench::{fmt_u64, print_table, save_report};
 use pmr_core::analysis::limits::{max_v_design, max_v_design_exact, units::*};
 
 fn main() {
@@ -52,12 +52,11 @@ fn main() {
             // aggregation job, the result lists too; predict with the exact
             // plane order on framed sizes.
             let exact = max_v_design_exact(s as u64 + 28, maxis);
-            let measured = probe_max_v(
-                |_| ProbeScheme::Design,
-                s,
-                Budgets { maxws: None, maxis: Some(maxis) },
-                4 * approx.max(4),
-            );
+            let budgets = Budgets { maxws: None, maxis: Some(maxis) };
+            let measured = probe_max_v(|_| ProbeScheme::Design, s, budgets, 4 * approx.max(4));
+            if let Some(report) = probe_report(ProbeScheme::Design, measured, s, budgets) {
+                save_report(&format!("fig8b-s{s}-maxis{maxis}"), &report);
+            }
             vec![
                 fmt_u64(s as u64),
                 fmt_u64(maxis),
@@ -69,13 +68,7 @@ fn main() {
         .collect();
     print_table(
         "Figure 8(b), measured: real pipeline under scaled maxis",
-        &[
-            "element size [B]",
-            "maxis [B]",
-            "paper √v model",
-            "exact q+1 model",
-            "measured max v",
-        ],
+        &["element size [B]", "maxis [B]", "paper √v model", "exact q+1 model", "measured max v"],
         &rows,
     );
     println!("\nmeasured boundaries track the (maxis/s)^(2/3) law; the exact-q model is");

@@ -46,9 +46,7 @@ fn main() {
 
     // The paper's worked example.
     let (lo, hi) = h_bounds(4.0 * GB, 200.0 * MB, 1.0 * TB).expect("4GB must be feasible");
-    println!(
-        "\npaper example: vs = 4GB, maxws = 200MB, maxis = 1TB ⇒ valid h ∈ [{lo}, {hi}]"
-    );
+    println!("\npaper example: vs = 4GB, maxws = 200MB, maxis = 1TB ⇒ valid h ∈ [{lo}, {hi}]");
     println!("(the paper reads [39, 263] off its log-log chart; decimal-exact is [40, 250])");
 
     // Existence threshold per (maxws, maxis) combination.

@@ -13,8 +13,8 @@
 //! cargo run --release -p pmr-bench --bin fig9b
 //! ```
 
-use pmr_bench::empirical::{probe_max_v, Budgets, ProbeScheme};
-use pmr_bench::{fmt_u64, print_table};
+use pmr_bench::empirical::{probe_max_v, probe_report, Budgets, ProbeScheme};
+use pmr_bench::{fmt_u64, print_table, save_report};
 use pmr_core::analysis::limits::{block_design_crossover, fig9b_point, h_bounds, units::*};
 
 fn main() {
@@ -38,24 +38,13 @@ fn main() {
         .collect();
     print_table(
         "Figure 9(b), analytic: max v per approach (maxws = 200MB, maxis = 1TB)",
-        &[
-            "element size [KB]",
-            "broadcast",
-            "block",
-            "design (paper curve)",
-            "design (+ws limit)",
-        ],
+        &["element size [KB]", "broadcast", "block", "design (paper curve)", "design (+ws limit)"],
         &rows,
     );
     let crossover = block_design_crossover(maxws, maxis);
-    println!(
-        "\nblock/design crossover at element size ≈ {:.2} MB (paper: ≈ 1 MB)",
-        crossover / MB
-    );
+    println!("\nblock/design crossover at element size ≈ {:.2} MB (paper: ≈ 1 MB)", crossover / MB);
     println!("broadcast is lowest everywhere — 'only reasonable for smaller datasets'");
-    println!(
-        "note: the paper's design curve uses only the maxis limit; honoring the design's"
-    );
+    println!("note: the paper's design curve uses only the maxis limit; honoring the design's");
     println!(
         "working-set limit too (√v·s ≤ maxws) caps it for elements > {:.1} MB — see the",
         // ws limit binds where (maxws/s)² < (maxis/s)^(2/3) ⇒ s > maxws^{3/2}·... print numeric
@@ -73,8 +62,7 @@ fn main() {
     // maxis/2) ≈ 181k; crossover s* = C_b³/maxis² ≈ 5.4 KB.
     let smaxws = 64u64 << 10;
     let smaxis = 1u64 << 20;
-    let budgets =
-        Budgets { maxws: Some(smaxws), maxis: Some(smaxis) };
+    let budgets = Budgets { maxws: Some(smaxws), maxis: Some(smaxis) };
     let mut rows = Vec::new();
     for &s in &[1024usize, 16 * 1024] {
         let bc = probe_max_v(|_| ProbeScheme::Broadcast { tasks: 4 }, s, budgets, 512);
@@ -92,12 +80,16 @@ fn main() {
             512,
         );
         let design = probe_max_v(|_| ProbeScheme::Design, s, budgets, 512);
-        rows.push(vec![
-            fmt_u64(s as u64),
-            fmt_u64(bc),
-            fmt_u64(block),
-            fmt_u64(design),
-        ]);
+        // Persist one instrumented boundary run per scheme and element size.
+        for (scheme, max_v, tag) in [
+            (ProbeScheme::Broadcast { tasks: 4 }, bc, "broadcast"),
+            (ProbeScheme::Design, design, "design"),
+        ] {
+            if let Some(report) = probe_report(scheme, max_v, s, budgets) {
+                save_report(&format!("fig9b-{tag}-s{s}"), &report);
+            }
+        }
+        rows.push(vec![fmt_u64(s as u64), fmt_u64(bc), fmt_u64(block), fmt_u64(design)]);
     }
     print_table(
         "Figure 9(b), measured: max v on the real pipeline (maxws = 64KB, maxis = 1MB)",

@@ -10,12 +10,12 @@
 use std::sync::Arc;
 
 use pmr_apps::generate::opaque_elements;
-use pmr_bench::{fmt_f64, print_table};
+use pmr_bench::{fmt_f64, print_table, save_report};
 use pmr_cluster::{Cluster, ClusterConfig};
 use pmr_core::analysis::costmodel::{rank_schemes, CostParams};
-use pmr_core::runner::mr::{run_mr, MrPairwiseOptions};
-use pmr_core::runner::{comp_fn, CompFn, ConcatSort, Symmetry};
+use pmr_core::runner::{comp_fn, Backend, CompFn, PairwiseJob};
 use pmr_core::scheme::{BlockScheme, BroadcastScheme, DesignScheme, DistributionScheme};
+use pmr_obs::Telemetry;
 
 fn main() {
     // --- Part 1: model map at paper scale. ---
@@ -63,26 +63,30 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for (name, scheme) in &schemes {
-        // Median of 3 runs to steady the wall clock.
+        // Median of 3 runs to steady the wall clock; the exported report
+        // comes from the final repetition (telemetry overhead is <2%, so
+        // it does not disturb the median).
         let mut times = Vec::new();
         let mut bytes = 0;
-        for _ in 0..3 {
-            let cluster = Cluster::new(ClusterConfig::with_nodes(4));
-            let (_, report) = run_mr(
-                &cluster,
-                Arc::clone(scheme),
-                &payloads,
-                Arc::clone(&cheap),
-                Symmetry::Symmetric,
-                Arc::new(ConcatSort),
-                MrPairwiseOptions::default(),
-            )
-            .expect("run failed");
+        for i in 0..3 {
+            let mut cluster = Cluster::new(ClusterConfig::with_nodes(4));
+            if i == 2 {
+                cluster = cluster.with_telemetry(Telemetry::enabled());
+            }
+            let run = PairwiseJob::new(&payloads, Arc::clone(&cheap))
+                .scheme_arc(Arc::clone(scheme))
+                .backend(Backend::Mr(&cluster))
+                .run()
+                .expect("run failed");
+            let report = &run.mr[0];
             times.push(
                 report.job1.stats.wall_time_us
                     + report.job2.as_ref().map_or(0, |j| j.stats.wall_time_us),
             );
             bytes = report.shuffle_bytes;
+            if i == 2 {
+                save_report(&format!("scheme_advisor-{}", scheme.name()), &run.report);
+            }
         }
         times.sort();
         rows.push((times[1], name.to_string(), bytes));

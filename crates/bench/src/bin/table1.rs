@@ -38,9 +38,7 @@ fn main() {
     println!("paper-scale scenario: v = {v}, n = {n}, h = {h}, broadcast p = n");
     println!("total pairs: {}", fmt_u64(pair_count(v)));
     print_table("Table 1 (analytic, closed forms)", &header, &metrics_rows(v, n, h, n));
-    println!(
-        "\nformulas: broadcast 2vp / p / v / v(v-1)/2p;  block 2vh / h / 2⌈v/h⌉ / ⌈v/h⌉²;"
-    );
+    println!("\nformulas: broadcast 2vp / p / v / v(v-1)/2p;  block 2vh / h / 2⌈v/h⌉ / ⌈v/h⌉²;");
     println!("          design ≈2v√v (max 2vn) / q+1 / q+1 / C(q+1,2), q = 101 for v = 10,000");
 
     // --- Laptop-scale measured validation. ---

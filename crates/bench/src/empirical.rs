@@ -6,9 +6,9 @@ use std::sync::Arc;
 
 use pmr_apps::generate::opaque_elements;
 use pmr_cluster::{Cluster, ClusterConfig};
-use pmr_core::runner::mr::{run_mr, MrPairwiseOptions};
-use pmr_core::runner::{comp_fn, ConcatSort, Symmetry};
+use pmr_core::runner::{comp_fn, Backend, PairwiseJob};
 use pmr_core::scheme::{BlockScheme, BroadcastScheme, DesignScheme, DistributionScheme};
+use pmr_obs::{RunReport, Telemetry};
 
 /// Which scheme a probe exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,18 +37,25 @@ pub struct Budgets {
 }
 
 /// Runs one full two-job pipeline with `v` opaque elements of
-/// `element_size` bytes under the given budgets; returns whether it
-/// completed.
-pub fn run_succeeds(scheme: ProbeScheme, v: u64, element_size: usize, budgets: Budgets) -> bool {
-    if v < 2 {
-        return true;
-    }
+/// `element_size` bytes under the given budgets; returns the run report
+/// when it completed (`None` means a budget was exceeded). Telemetry is
+/// enabled only when `instrument` is set — the probe loops run dark.
+fn probe_run(
+    scheme: ProbeScheme,
+    v: u64,
+    element_size: usize,
+    budgets: Budgets,
+    instrument: bool,
+) -> Option<RunReport> {
     let mut cfg = ClusterConfig::with_nodes(4);
     cfg.node.task_memory_budget = budgets.maxws;
     cfg.intermediate_storage_capacity = budgets.maxis;
     // Keep DFS blocks comfortably larger than one element.
     cfg.dfs_block_size = (element_size as u64 * 8).max(1 << 16);
-    let cluster = Cluster::new(cfg);
+    let mut cluster = Cluster::new(cfg);
+    if instrument {
+        cluster = cluster.with_telemetry(Telemetry::enabled());
+    }
     let payloads = opaque_elements(v as usize, element_size, 0xF00D + v);
     let scheme: Arc<dyn DistributionScheme> = match scheme {
         ProbeScheme::Broadcast { tasks } => Arc::new(BroadcastScheme::new(v, tasks)),
@@ -57,16 +64,36 @@ pub fn run_succeeds(scheme: ProbeScheme, v: u64, element_size: usize, budgets: B
     };
     // Trivial comp: the probes measure data movement, not computation.
     let comp = comp_fn(|a: &bytes::Bytes, b: &bytes::Bytes| (a.len() + b.len()) as u64);
-    run_mr(
-        &cluster,
-        scheme,
-        &payloads,
-        comp,
-        Symmetry::Symmetric,
-        Arc::new(ConcatSort),
-        MrPairwiseOptions::default(),
-    )
-    .is_ok()
+    PairwiseJob::new(&payloads, comp)
+        .scheme_arc(scheme)
+        .backend(Backend::Mr(&cluster))
+        .run()
+        .ok()
+        .map(|run| run.report)
+}
+
+/// Runs one full two-job pipeline with `v` opaque elements of
+/// `element_size` bytes under the given budgets; returns whether it
+/// completed.
+pub fn run_succeeds(scheme: ProbeScheme, v: u64, element_size: usize, budgets: Budgets) -> bool {
+    if v < 2 {
+        return true;
+    }
+    probe_run(scheme, v, element_size, budgets, false).is_some()
+}
+
+/// Re-runs a (typically boundary) configuration with telemetry enabled and
+/// returns its [`RunReport`], or `None` if the run exceeds a budget.
+pub fn probe_report(
+    scheme: ProbeScheme,
+    v: u64,
+    element_size: usize,
+    budgets: Budgets,
+) -> Option<RunReport> {
+    if v < 2 {
+        return None;
+    }
+    probe_run(scheme, v, element_size, budgets, true)
 }
 
 /// Finds the largest `v ≤ cap` for which the probe succeeds, assuming
@@ -110,6 +137,14 @@ mod tests {
         assert!(run_succeeds(ProbeScheme::Design, 20, 64, Budgets::default()));
         assert!(run_succeeds(ProbeScheme::Broadcast { tasks: 4 }, 10, 64, Budgets::default()));
         assert!(run_succeeds(ProbeScheme::Block { h: 3 }, 10, 64, Budgets::default()));
+    }
+
+    #[test]
+    fn probe_report_captures_an_instrumented_run() {
+        let report = probe_report(ProbeScheme::Block { h: 3 }, 12, 64, Budgets::default()).unwrap();
+        assert!(report.wall_time_us > 0);
+        assert!(report.task_spans.iter().any(|s| s.kind == "map"));
+        assert!(report.meta.iter().any(|(k, v)| k == "scheme" && v == "block"));
     }
 
     #[test]

@@ -22,6 +22,29 @@
 
 pub mod empirical;
 
+/// Directory where experiment binaries persist their [`pmr_obs::RunReport`]
+/// JSON files: `$PMR_REPORT_DIR` if set, else `target/run-reports`.
+pub fn report_dir() -> std::path::PathBuf {
+    match std::env::var_os("PMR_REPORT_DIR") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::path::PathBuf::from("target/run-reports"),
+    }
+}
+
+/// Writes `report` to `<report_dir()>/<name>.json`, creating the directory
+/// as needed, and announces the path on stderr. Failures are reported, not
+/// fatal: report export must never abort an experiment.
+pub fn save_report(name: &str, report: &pmr_obs::RunReport) {
+    let dir = report_dir();
+    let path = dir.join(format!("{name}.json"));
+    let res = std::fs::create_dir_all(&dir)
+        .and_then(|()| report.write_json_file(&path.display().to_string()));
+    match res {
+        Ok(()) => eprintln!("run report: {}", path.display()),
+        Err(e) => eprintln!("run report {} not written: {e}", path.display()),
+    }
+}
+
 /// Formats a number with thousands separators (for table output).
 pub fn fmt_u64(x: u64) -> String {
     let s = x.to_string();

@@ -32,9 +32,7 @@ impl Args {
             let key = arg
                 .strip_prefix("--")
                 .ok_or_else(|| ArgError(format!("expected --flag, got '{arg}'")))?;
-            let value = it
-                .next()
-                .ok_or_else(|| ArgError(format!("flag --{key} needs a value")))?;
+            let value = it.next().ok_or_else(|| ArgError(format!("flag --{key} needs a value")))?;
             if flags.insert(key.to_string(), value).is_some() {
                 return Err(ArgError(format!("flag --{key} given twice")));
             }
@@ -57,18 +55,14 @@ impl Args {
 
     /// A required numeric flag.
     pub fn required_num<T: std::str::FromStr>(&self, key: &str) -> Result<T, ArgError> {
-        self.required(key)?
-            .parse()
-            .map_err(|_| ArgError(format!("flag --{key} must be a number")))
+        self.required(key)?.parse().map_err(|_| ArgError(format!("flag --{key} must be a number")))
     }
 
     /// An optional numeric flag with a default.
     pub fn num_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
         match self.flags.get(key) {
             None => Ok(default),
-            Some(s) => {
-                s.parse().map_err(|_| ArgError(format!("flag --{key} must be a number")))
-            }
+            Some(s) => s.parse().map_err(|_| ArgError(format!("flag --{key} must be a number"))),
         }
     }
 

@@ -5,16 +5,17 @@ use std::io::{BufReader, BufWriter, Write};
 
 use pmr_apps::distance::{cosine_distance, euclidean, manhattan};
 use pmr_apps::generate::{gaussian_clusters, gene_expression, random_matrix_rows};
+use pmr_cluster::{Cluster, ClusterConfig};
 use pmr_core::analysis::costmodel::{rank_feasible_schemes, CostParams};
 use pmr_core::analysis::limits::{fig9b_point, h_bounds};
 use pmr_core::analysis::table1::{block_row, broadcast_row, design_row};
-use pmr_core::runner::local::run_local;
-use pmr_core::runner::{comp_fn, CompFn, ConcatSort, FilterAggregator, Symmetry};
+use pmr_core::runner::{comp_fn, Aggregator, Backend, CompFn, FilterAggregator, PairwiseJob};
 use pmr_core::scheme::{
-    measure, verify_exactly_once, BlockScheme, BroadcastScheme, DesignScheme,
-    DistributionScheme, PairedBlockScheme,
+    measure, verify_exactly_once, BlockScheme, BroadcastScheme, DesignScheme, DistributionScheme,
+    PairedBlockScheme,
 };
 use pmr_designs::primes::smallest_plane_order;
+use pmr_obs::Telemetry;
 
 use crate::args::{ArgError, Args};
 use crate::data::{read_vectors, write_results, write_vectors};
@@ -32,9 +33,12 @@ COMMANDS
               --scheme NAME       block | broadcast | design | paired  [block]
               --h N               blocking factor (block/paired)  [8]
               --tasks N           task count (broadcast)  [16]
-              --threads N         worker threads  [4]
+              --backend NAME      local | mr | sequential  [local]
+              --threads N         worker threads (local)  [4]
+              --nodes N           simulated cluster nodes (mr)  [4]
               --max-result X      keep only results ≤ X (ε-pruning)
               --output FILE       TSV results  [stdout]
+              --report FILE       write the run report as JSON
   generate  write a synthetic CSV dataset
               --kind NAME         clusters | genes | matrix  [clusters]
               --n N --dim D       size/shape  [200, 3]
@@ -61,9 +65,9 @@ pub fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "plan" => plan(args),
         "verify" => verify(args),
         "table1" => table1(args),
-        other => Err(Box::new(ArgError(format!(
-            "unknown command '{other}' (try 'pairwise help')"
-        )))),
+        other => {
+            Err(Box::new(ArgError(format!("unknown command '{other}' (try 'pairwise help')"))))
+        }
     }
 }
 
@@ -87,51 +91,90 @@ fn scheme_from_args(
 
 fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     args.check_known(&[
-        "input", "comp", "scheme", "h", "tasks", "threads", "max-result", "output",
+        "input",
+        "comp",
+        "scheme",
+        "h",
+        "tasks",
+        "backend",
+        "threads",
+        "nodes",
+        "max-result",
+        "output",
+        "report",
     ])?;
     let input = args.required("input")?;
     let data = read_vectors(BufReader::new(File::open(input)?)).map_err(ArgError)?;
     let v = data.len() as u64;
-    let comp: CompFn<pmr_apps::DenseVector, f64> = match args.optional("comp").unwrap_or("euclidean")
-    {
-        "euclidean" => comp_fn(euclidean),
-        "manhattan" => comp_fn(manhattan),
-        "cosine" => comp_fn(cosine_distance),
+    let comp: CompFn<pmr_apps::DenseVector, f64> =
+        match args.optional("comp").unwrap_or("euclidean") {
+            "euclidean" => comp_fn(euclidean),
+            "manhattan" => comp_fn(manhattan),
+            "cosine" => comp_fn(cosine_distance),
+            other => {
+                return Err(Box::new(ArgError(format!(
+                    "unknown comp '{other}' (euclidean | manhattan | cosine)"
+                ))))
+            }
+        };
+    let scheme: std::sync::Arc<dyn DistributionScheme> =
+        std::sync::Arc::from(scheme_from_args(args, v)?);
+    let scheme_name = scheme.name();
+    let threads = args.num_or("threads", 4usize)?;
+    let nodes = args.num_or("nodes", 4usize)?;
+    let report_path = args.optional("report");
+    // Telemetry costs nothing when no report is requested.
+    let telemetry =
+        if report_path.is_some() { Telemetry::enabled() } else { Telemetry::disabled() };
+
+    let mut job = PairwiseJob::new(&data, comp).scheme_arc(scheme).telemetry(telemetry.clone());
+    if let Some(s) = args.optional("max-result") {
+        let eps: f64 = s.parse().map_err(|_| ArgError("--max-result must be a number".into()))?;
+        let agg: std::sync::Arc<dyn Aggregator<f64>> =
+            std::sync::Arc::new(FilterAggregator::new(move |r: &f64| *r <= eps));
+        job = job.aggregator_arc(agg);
+    }
+    let backend = args.optional("backend").unwrap_or("local");
+    let cluster; // owns the simulated cluster for the 'mr' backend
+    let run = match backend {
+        "sequential" => job.run()?,
+        "local" => job.backend(Backend::Local { threads }).run()?,
+        "mr" => {
+            cluster =
+                Cluster::new(ClusterConfig::with_nodes(nodes)).with_telemetry(telemetry.clone());
+            job.backend(Backend::Mr(&cluster)).run()?
+        }
         other => {
             return Err(Box::new(ArgError(format!(
-                "unknown comp '{other}' (euclidean | manhattan | cosine)"
+                "unknown backend '{other}' (local | mr | sequential)"
             ))))
         }
     };
-    let scheme = scheme_from_args(args, v)?;
-    let threads = args.num_or("threads", 4usize)?;
-
-    let (out, stats) = match args.optional("max-result") {
-        Some(s) => {
-            let eps: f64 =
-                s.parse().map_err(|_| ArgError("--max-result must be a number".into()))?;
-            run_local(
-                &data,
-                scheme.as_ref(),
-                &comp,
-                Symmetry::Symmetric,
-                &FilterAggregator::new(move |r: &f64| *r <= eps),
-                threads,
-            )
-        }
-        None => run_local(&data, scheme.as_ref(), &comp, Symmetry::Symmetric, &ConcatSort, threads),
-    };
+    let tasks = run
+        .local
+        .as_ref()
+        .map(|s| s.tasks)
+        .or_else(|| run.mr.first().map(|r| r.job1.stats.reduce_tasks as u64))
+        .unwrap_or(1);
     eprintln!(
-        "evaluated {} pairs of {} elements across {} tasks ({} scheme, {} threads)",
-        stats.evaluations,
+        "evaluated {} pairs of {} elements across {} tasks ({} scheme, {} backend)",
+        run.evaluations(),
         v,
-        stats.tasks,
-        scheme.name(),
-        threads
+        tasks,
+        scheme_name,
+        backend
     );
+    if let Some(path) = report_path {
+        run.report.write_json_file(path)?;
+        eprintln!(
+            "run report: {path} ({} task spans, {} µs wall time)",
+            run.report.task_spans.len(),
+            run.report.wall_time_us
+        );
+    }
     match args.optional("output") {
-        Some(path) => write_results(BufWriter::new(File::create(path)?), &out)?,
-        None => write_results(std::io::stdout().lock(), &out)?,
+        Some(path) => write_results(BufWriter::new(File::create(path)?), &run.output)?,
+        None => write_results(std::io::stdout().lock(), &run.output)?,
     }
     Ok(())
 }
@@ -188,13 +231,8 @@ fn plan(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("  design plane order: q = {}", smallest_plane_order(v));
 
-    let params = CostParams {
-        v,
-        element_bytes: s,
-        n_nodes: n,
-        comp_cost_us: comp_us,
-        ..Default::default()
-    };
+    let params =
+        CostParams { v, element_bytes: s, n_nodes: n, comp_cost_us: comp_us, ..Default::default() };
     let ranked = rank_feasible_schemes(&params, maxws, maxis);
     if ranked.is_empty() {
         println!("no scheme fits these limits — consider the hierarchical extensions (§7)");
@@ -212,8 +250,7 @@ fn verify(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     args.check_known(&["scheme", "v", "h", "tasks"])?;
     let v: u64 = args.required_num("v")?;
     let scheme = scheme_from_args(args, v)?;
-    verify_exactly_once(scheme.as_ref())
-        .map_err(|e| ArgError(format!("scheme INVALID: {e:?}")))?;
+    verify_exactly_once(scheme.as_ref()).map_err(|e| ArgError(format!("scheme INVALID: {e:?}")))?;
     let m = measure(scheme.as_ref());
     println!(
         "{} over v = {v}: VALID — {} pairs exactly once across {} tasks, \
@@ -285,8 +322,7 @@ mod tests {
     fn plan_produces_recommendation() {
         // Just exercise it end-to-end (prints to stdout).
         dispatch(&args("plan --v 10000 --element-bytes 500KB")).unwrap();
-        dispatch(&args("plan --v 10000 --element-bytes 500KB --maxws 1GB --maxis 100GB"))
-            .unwrap();
+        dispatch(&args("plan --v 10000 --element-bytes 500KB --maxws 1GB --maxis 100GB")).unwrap();
     }
 
     #[test]
@@ -323,6 +359,34 @@ mod tests {
         .unwrap();
         let pruned = std::fs::read_to_string(&tsv).unwrap();
         assert!(pruned.lines().count() < text.lines().count());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn run_report_writes_json_for_each_backend() {
+        let dir = std::env::temp_dir().join(format!("pmr-cli-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("pts.csv");
+        dispatch(&args(&format!(
+            "generate --kind clusters --n 30 --dim 2 --output {}",
+            csv.display()
+        )))
+        .unwrap();
+        for backend in ["local", "mr", "sequential"] {
+            let json_path = dir.join(format!("report-{backend}.json"));
+            let tsv = dir.join("out.tsv");
+            dispatch(&args(&format!(
+                "run --input {} --scheme block --h 4 --backend {backend} --nodes 3 \
+                 --report {} --output {}",
+                csv.display(),
+                json_path.display(),
+                tsv.display()
+            )))
+            .unwrap();
+            let json = std::fs::read_to_string(&json_path).unwrap();
+            assert!(json.contains("\"schema\": \"pmr.run_report/1\""), "{backend}");
+            assert!(json.contains(&format!("\"backend\": \"{backend}\"")), "{backend}");
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

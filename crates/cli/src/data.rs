@@ -16,8 +16,7 @@ pub fn read_vectors(reader: impl BufRead) -> Result<Vec<DenseVector>, String> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let vals: Result<Vec<f64>, _> =
-            line.split(',').map(|f| f.trim().parse::<f64>()).collect();
+        let vals: Result<Vec<f64>, _> = line.split(',').map(|f| f.trim().parse::<f64>()).collect();
         let vals = vals.map_err(|e| format!("line {}: {e}", lineno + 1))?;
         if let Some(first) = out.first() {
             if first.dim() != vals.len() {
@@ -94,9 +93,8 @@ mod tests {
 
     #[test]
     fn results_tsv_shape() {
-        let out = PairwiseOutput {
-            per_element: vec![(0, vec![(1u64, 2.5f64)]), (1, vec![(0, 2.5)])],
-        };
+        let out =
+            PairwiseOutput { per_element: vec![(0, vec![(1u64, 2.5f64)]), (1, vec![(0, 2.5)])] };
         let mut buf = Vec::new();
         write_results(&mut buf, &out).unwrap();
         let text = String::from_utf8(buf).unwrap();

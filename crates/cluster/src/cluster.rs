@@ -2,6 +2,8 @@
 
 use std::sync::Arc;
 
+use pmr_obs::Telemetry;
+
 use crate::config::ClusterConfig;
 use crate::dfs::Dfs;
 use crate::error::{ClusterError, Result};
@@ -19,6 +21,7 @@ pub struct Cluster {
     dfs: Dfs,
     traffic: TrafficAccountant,
     injector: FailureInjector,
+    telemetry: Telemetry,
 }
 
 impl Cluster {
@@ -30,7 +33,31 @@ impl Cluster {
             .collect();
         let dfs = Dfs::new(config.num_nodes, config.dfs_block_size, config.dfs_replication);
         let injector = FailureInjector::new(config.task_failure_probability, config.seed);
-        Cluster { config, nodes, dfs, traffic: TrafficAccountant::new(), injector }
+        Cluster {
+            config,
+            nodes,
+            dfs,
+            traffic: TrafficAccountant::new(),
+            injector,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry handle (builder-style, before the cluster is
+    /// shared): the DFS emits placement events and the traffic accountant
+    /// emits transfer events into it, and the engine picks it up from
+    /// here for task spans and job phases.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Cluster {
+        self.traffic.set_telemetry(telemetry.clone());
+        self.dfs.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The telemetry handle events are recorded into (disabled unless
+    /// attached with [`Cluster::with_telemetry`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The cluster configuration.

@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 use bytes::{Bytes, BytesMut};
 use parking_lot::RwLock;
+use pmr_obs::Telemetry;
 
 use crate::error::{ClusterError, Result};
 use crate::ids::NodeId;
@@ -73,6 +74,7 @@ pub struct Dfs {
     placement: AtomicU64,
     bytes_written: AtomicU64,
     bytes_read: AtomicU64,
+    telemetry: Telemetry,
 }
 
 impl Dfs {
@@ -87,7 +89,14 @@ impl Dfs {
             placement: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle: every subsequent block-replica
+    /// placement is also emitted as a telemetry event.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Block size in bytes.
@@ -129,9 +138,12 @@ impl Dfs {
             let end = (off + self.block_size).min(len);
             let slice = data.slice(off as usize..end as usize);
             let start = self.placement.fetch_add(1, Ordering::Relaxed) as usize;
-            let replicas = (0..self.replication)
+            let replicas: Vec<NodeId> = (0..self.replication)
                 .map(|i| NodeId(((start + i) % self.num_nodes) as u32))
                 .collect();
+            for r in &replicas {
+                self.telemetry.placement(r.0, slice.len() as u64);
+            }
             blocks.push(DfsBlock { offset: off, data: slice, replicas });
             off = end;
             if off >= len {

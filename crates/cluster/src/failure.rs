@@ -104,11 +104,10 @@ mod tests {
         // for at least one task (overwhelmingly likely).
         let mut recovered = false;
         for t in 0..100 {
-            if inj.should_fail(attempt(t, 0))
-                && (1..10).any(|a| !inj.should_fail(attempt(t, a))) {
-                    recovered = true;
-                    break;
-                }
+            if inj.should_fail(attempt(t, 0)) && (1..10).any(|a| !inj.should_fail(attempt(t, a))) {
+                recovered = true;
+                break;
+            }
         }
         assert!(recovered);
     }

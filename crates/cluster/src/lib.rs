@@ -36,3 +36,4 @@ pub use ids::{NodeId, TaskAttemptId, TaskKind};
 pub use memory::MemoryGauge;
 pub use network::{NetworkModel, TrafficAccountant};
 pub use node::Node;
+pub use pmr_obs::Telemetry;

@@ -31,7 +31,13 @@ pub struct MemoryGauge {
 impl MemoryGauge {
     /// A gauge with an optional budget and no accounting overhead.
     pub fn new(budget: Option<u64>) -> Self {
-        MemoryGauge { budget, overhead_num: 1, overhead_den: 1, used: AtomicU64::new(0), peak: AtomicU64::new(0) }
+        MemoryGauge {
+            budget,
+            overhead_num: 1,
+            overhead_den: 1,
+            used: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        }
     }
 
     /// An unlimited gauge (still records usage and peak).

@@ -10,6 +10,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use pmr_obs::Telemetry;
+
 use crate::ids::NodeId;
 
 /// Linear latency + bandwidth cost model for point-to-point transfers.
@@ -46,6 +48,7 @@ pub struct TrafficAccountant {
     remote_transfers: AtomicU64,
     local_bytes: AtomicU64,
     simulated_time_us: AtomicU64,
+    telemetry: Telemetry,
 }
 
 impl TrafficAccountant {
@@ -54,17 +57,25 @@ impl TrafficAccountant {
         Self::default()
     }
 
+    /// Attaches a telemetry handle: every subsequent transfer is also
+    /// emitted as a telemetry event (aggregated per directed link).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
     /// Records a transfer of `bytes` from `src` to `dst` under `model`.
     /// Returns the simulated transfer time in microseconds (0 for local).
     pub fn record(&self, model: &NetworkModel, src: NodeId, dst: NodeId, bytes: u64) -> u64 {
         if src == dst {
             self.local_bytes.fetch_add(bytes, Ordering::Relaxed);
+            self.telemetry.transfer(src.0, dst.0, bytes, 0);
             0
         } else {
             self.remote_bytes.fetch_add(bytes, Ordering::Relaxed);
             self.remote_transfers.fetch_add(1, Ordering::Relaxed);
             let t = model.transfer_time_us(bytes);
             self.simulated_time_us.fetch_add(t, Ordering::Relaxed);
+            self.telemetry.transfer(src.0, dst.0, bytes, t);
             t
         }
     }

@@ -142,11 +142,7 @@ pub fn best_block_h(p: &CostParams) -> (u64, CostEstimate) {
 /// The block entry uses [`best_block_h`].
 pub fn rank_schemes(p: &CostParams) -> Vec<(CostEstimate, Option<u64>)> {
     let (h, block) = best_block_h(p);
-    let mut v = vec![
-        (broadcast_cost(p, None), None),
-        (block, Some(h)),
-        (design_cost(p), None),
-    ];
+    let mut v = vec![(broadcast_cost(p, None), None), (block, Some(h)), (design_cost(p), None)];
     v.sort_by(|(a, _), (b, _)| a.total_us.total_cmp(&b.total_us));
     v
 }
@@ -198,12 +194,8 @@ mod tests {
     fn expensive_comp_dominates_everything() {
         // When comp is very expensive, total time ≈ total evals / slots ·
         // cost for every scheme; they converge within task-overhead noise.
-        let p = CostParams {
-            comp_cost_us: 1e6,
-            element_bytes: 1 << 10,
-            v: 1000,
-            ..Default::default()
-        };
+        let p =
+            CostParams { comp_cost_us: 1e6, element_bytes: 1 << 10, v: 1000, ..Default::default() };
         let b = broadcast_cost(&p, None);
         let (_, bl) = best_block_h(&p);
         let d = design_cost(&p);
@@ -228,8 +220,7 @@ mod tests {
         // replication per task, design pays √v replication in aggregation.
         assert_eq!(ranking[0].0.scheme, "block", "{ranking:?}");
         let block_t = ranking[0].0.total_us;
-        let broadcast_t =
-            ranking.iter().find(|(e, _)| e.scheme == "broadcast").unwrap().0.total_us;
+        let broadcast_t = ranking.iter().find(|(e, _)| e.scheme == "broadcast").unwrap().0.total_us;
         assert!(broadcast_t > 2.0 * block_t);
     }
 

@@ -135,7 +135,10 @@ mod tests {
         // The constructed design drops truncation-emptied blocks, so its
         // task count can be slightly below the closed form's q² + q + 1.
         let row = design_row(500, 8);
-        assert!(de.num_tasks <= row.num_tasks && de.num_tasks + row.replication_factor as u64 >= row.num_tasks);
+        assert!(
+            de.num_tasks <= row.num_tasks
+                && de.num_tasks + row.replication_factor as u64 >= row.num_tasks
+        );
         assert_eq!(de.communication_elements, row.communication_elements);
         assert_eq!(de.replication_factor, row.replication_factor);
         assert_eq!(de.working_set_size, row.working_set_size);
@@ -144,8 +147,7 @@ mod tests {
 
     #[test]
     fn validation_passes_for_moderate_scenarios() {
-        for sc in [Scenario::new(100, 4, 5), Scenario::new(273, 8, 7), Scenario::new(500, 16, 10)]
-        {
+        for sc in [Scenario::new(100, 4, 5), Scenario::new(273, 8, 7), Scenario::new(500, 16, 10)] {
             for row in validate(sc) {
                 assert!(row.covers_all_pairs, "{} v={}", row.scheme, sc.v);
                 assert!(row.working_set_within_bound, "{} v={}", row.scheme, sc.v);

@@ -21,20 +21,19 @@
 //! ## Quick start
 //!
 //! ```
-//! use pmr_core::runner::{comp_fn, ConcatSort, Symmetry};
-//! use pmr_core::runner::local::run_local;
+//! use pmr_core::runner::{Backend, PairwiseJob};
 //! use pmr_core::scheme::BlockScheme;
 //!
 //! // 100 points on a line; comp = absolute distance.
 //! let payloads: Vec<f64> = (0..100).map(|i| i as f64).collect();
-//! let comp = comp_fn(|a: &f64, b: &f64| (a - b).abs());
-//! let scheme = BlockScheme::new(100, 5);
-//! let (out, stats) = run_local(
-//!     &payloads, &scheme, &comp, Symmetry::Symmetric, &ConcatSort, 4,
-//! );
+//! let run = PairwiseJob::from_fn(&payloads, |a: &f64, b: &f64| (a - b).abs())
+//!     .scheme(BlockScheme::new(100, 5))
+//!     .backend(Backend::Local { threads: 4 })
+//!     .run()
+//!     .unwrap();
 //! // Every element ends up with a distance to every other element.
-//! assert!(out.per_element.iter().all(|(_, rs)| rs.len() == 99));
-//! assert_eq!(stats.evaluations, 100 * 99 / 2);
+//! assert!(run.output.per_element.iter().all(|(_, rs)| rs.len() == 99));
+//! assert_eq!(run.evaluations(), 100 * 99 / 2);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -47,10 +46,10 @@ pub mod runner;
 pub mod scheme;
 
 pub use runner::{
-    comp_fn, Aggregator, CompFn, ConcatSort, FilterAggregator, PairwiseOutput, Symmetry,
-    TopKAggregator,
+    comp_fn, Aggregator, Backend, CompFn, ConcatSort, FilterAggregator, PairwiseJob,
+    PairwiseOutput, PairwiseRun, Symmetry, TopKAggregator,
 };
 pub use scheme::{
-    measure, verify_exactly_once, BlockScheme, BroadcastScheme, DesignScheme,
-    DistributionScheme, MeasuredMetrics, PairedBlockScheme, SchemeError, SchemeMetrics,
+    measure, verify_exactly_once, BlockScheme, BroadcastScheme, DesignScheme, DistributionScheme,
+    MeasuredMetrics, PairedBlockScheme, SchemeError, SchemeMetrics,
 };

@@ -1,0 +1,450 @@
+//! The unified [`PairwiseJob`] builder — one entry point over the
+//! sequential, local-threads, and MapReduce backends.
+//!
+//! ```ignore
+//! let run = PairwiseJob::new(&payloads, comp)
+//!     .scheme(BlockScheme::new(v, b))
+//!     .backend(Backend::Mr(&cluster))
+//!     .aggregator(ConcatSort)
+//!     .telemetry(Telemetry::enabled())
+//!     .run()?;
+//! run.report.write_json_file("report.json")?;
+//! ```
+//!
+//! The builder replaces the free functions `run_mr`, `run_mr_rounds`, and
+//! `run_mr_broadcast` (now deprecated shims): the distribution plan
+//! ([`PairwiseJob::scheme`], [`PairwiseJob::broadcast`],
+//! [`PairwiseJob::rounds`]) is orthogonal to the execution [`Backend`], and
+//! every run yields a [`pmr_obs::RunReport`] alongside the output.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pmr_cluster::Cluster;
+use pmr_mapreduce::{MrError, Wire};
+use pmr_obs::{RunReport, Telemetry};
+
+use crate::runner::local::{run_local_impl, LocalRunStats};
+use crate::runner::mr::{
+    run_mr_broadcast_impl, run_mr_impl, run_mr_rounds_impl, MrPairwiseOptions, MrRunReport,
+    EVALUATIONS_COUNTER,
+};
+use crate::runner::sequential::run_sequential;
+use crate::runner::{Aggregator, CompFn, ConcatSort, PairwiseOutput, Symmetry};
+use crate::scheme::{BroadcastScheme, DistributionScheme};
+
+/// Where a [`PairwiseJob`] executes.
+#[derive(Clone, Copy)]
+pub enum Backend<'a> {
+    /// Single-threaded reference execution (no scheme required).
+    Sequential,
+    /// Multi-threaded shared-memory execution of the scheme's tasks.
+    Local {
+        /// Worker threads (clamped to at least 1).
+        threads: usize,
+    },
+    /// The paper's MapReduce pipeline on a simulated cluster.
+    Mr(&'a Cluster),
+}
+
+impl Backend<'_> {
+    fn name(&self) -> &'static str {
+        match self {
+            Backend::Sequential => "sequential",
+            Backend::Local { .. } => "local",
+            Backend::Mr(_) => "mr",
+        }
+    }
+}
+
+/// How elements are distributed into tasks.
+enum Plan {
+    /// No scheme chosen (valid only for [`Backend::Sequential`]).
+    None,
+    /// A single distribution scheme (two-job pipeline on MR).
+    Scheme(Arc<dyn DistributionScheme>),
+    /// The broadcast scheme via the single-job distributed-cache variant
+    /// (paper §5.1) on MR; plain task execution elsewhere.
+    Broadcast(BroadcastScheme),
+    /// Hierarchical rounds executed sequentially (paper §7).
+    Rounds(Vec<Arc<dyn DistributionScheme>>),
+}
+
+/// A completed [`PairwiseJob`]: output plus observability artifacts.
+#[derive(Debug)]
+pub struct PairwiseRun<R> {
+    /// Per-element aggregated results.
+    pub output: PairwiseOutput<R>,
+    /// The run report (meta, counters, spans, timelines, histograms).
+    /// Empty when telemetry was never enabled.
+    pub report: RunReport,
+    /// Per-MR-run metrics: one entry for a plain/broadcast run, one per
+    /// round for [`PairwiseJob::rounds`]; empty for non-MR backends.
+    pub mr: Vec<MrRunReport>,
+    /// Local-backend statistics, when [`Backend::Local`] ran.
+    pub local: Option<LocalRunStats>,
+}
+
+impl<R> PairwiseRun<R> {
+    /// Total pairwise function evaluations across the run.
+    pub fn evaluations(&self) -> u64 {
+        if let Some(local) = &self.local {
+            return local.evaluations;
+        }
+        if !self.mr.is_empty() {
+            return self.mr.iter().map(|r| r.evaluations).sum();
+        }
+        self.report.counter(EVALUATIONS_COUNTER).unwrap_or(0)
+    }
+}
+
+/// Builder for one pairwise computation: elements + `comp`, a distribution
+/// plan, a backend, and optional aggregation/telemetry. See the module
+/// docs for an example.
+pub struct PairwiseJob<'a, T, R> {
+    elements: &'a [T],
+    comp: CompFn<T, R>,
+    plan: Plan,
+    backend: Backend<'a>,
+    symmetry: Symmetry,
+    aggregator: Arc<dyn Aggregator<R>>,
+    telemetry: Telemetry,
+    options: MrPairwiseOptions,
+}
+
+impl<'a, T, R> PairwiseJob<'a, T, R>
+where
+    T: Wire + Clone + Sync,
+    R: Wire + Clone + Send + Sync,
+{
+    /// Starts a job over `elements` (element `i` has id `i`) with an
+    /// already-wrapped [`CompFn`].
+    pub fn new(elements: &'a [T], comp: CompFn<T, R>) -> Self {
+        PairwiseJob {
+            elements,
+            comp,
+            plan: Plan::None,
+            backend: Backend::Sequential,
+            symmetry: Symmetry::Symmetric,
+            aggregator: Arc::new(ConcatSort),
+            telemetry: Telemetry::disabled(),
+            options: MrPairwiseOptions::default(),
+        }
+    }
+
+    /// Starts a job from a plain closure (wrapped via [`crate::runner::comp_fn`]).
+    pub fn from_fn(elements: &'a [T], comp: impl Fn(&T, &T) -> R + Send + Sync + 'static) -> Self {
+        PairwiseJob::new(elements, Arc::new(comp))
+    }
+
+    /// Distributes elements with `scheme` (two-job pipeline on MR).
+    pub fn scheme(self, scheme: impl DistributionScheme + 'static) -> Self {
+        self.scheme_arc(Arc::new(scheme))
+    }
+
+    /// [`PairwiseJob::scheme`] for an already-shared scheme.
+    pub fn scheme_arc(mut self, scheme: Arc<dyn DistributionScheme>) -> Self {
+        self.plan = Plan::Scheme(scheme);
+        self
+    }
+
+    /// Uses the broadcast scheme via the single-job distributed-cache
+    /// variant on MR (paper §5.1).
+    pub fn broadcast(mut self, scheme: BroadcastScheme) -> Self {
+        self.plan = Plan::Broadcast(scheme);
+        self
+    }
+
+    /// Runs a hierarchical scheme's rounds sequentially, aggregating
+    /// between rounds (paper §7).
+    pub fn rounds(mut self, rounds: Vec<Arc<dyn DistributionScheme>>) -> Self {
+        self.plan = Plan::Rounds(rounds);
+        self
+    }
+
+    /// Selects the execution backend (default: [`Backend::Sequential`]).
+    pub fn backend(mut self, backend: Backend<'a>) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Declares `comp`'s symmetry (default: [`Symmetry::Symmetric`]).
+    pub fn symmetry(mut self, symmetry: Symmetry) -> Self {
+        self.symmetry = symmetry;
+        self
+    }
+
+    /// Sets the result aggregator (default: [`ConcatSort`]).
+    pub fn aggregator(self, aggregator: impl Aggregator<R> + 'static) -> Self {
+        self.aggregator_arc(Arc::new(aggregator))
+    }
+
+    /// [`PairwiseJob::aggregator`] for an already-shared aggregator.
+    pub fn aggregator_arc(mut self, aggregator: Arc<dyn Aggregator<R>>) -> Self {
+        self.aggregator = aggregator;
+        self
+    }
+
+    /// Attaches a telemetry handle; [`PairwiseRun::report`] snapshots it
+    /// after the run. On [`Backend::Mr`] the cluster's own handle (see
+    /// `Cluster::with_telemetry`) takes precedence when enabled, so engine
+    /// task spans and the report come from one sink.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Overrides the MR execution options (shards, reducers, DFS dir, …).
+    pub fn mr_options(mut self, options: MrPairwiseOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Executes the job.
+    ///
+    /// Errors if the plan/backend combination is invalid (a scheme is
+    /// required by every backend except [`Backend::Sequential`]) or the MR
+    /// pipeline fails; payload-count mismatches surface as
+    /// [`MrError::InvalidJob`].
+    pub fn run(self) -> pmr_mapreduce::Result<PairwiseRun<R>> {
+        let PairwiseJob { elements, comp, plan, backend, symmetry, aggregator, telemetry, options } =
+            self;
+        // One sink for the whole run: the cluster's when it has one (the
+        // engine records spans there), otherwise the builder's.
+        let effective = match backend {
+            Backend::Mr(cluster) if cluster.telemetry().is_enabled() => cluster.telemetry().clone(),
+            _ => telemetry,
+        };
+        effective.set_meta("backend", backend.name());
+        effective.set_meta("symmetry", format!("{symmetry:?}"));
+        effective.set_meta("elements", elements.len());
+        match &plan {
+            Plan::None => {}
+            Plan::Scheme(s) => {
+                effective.set_meta("scheme", s.name());
+                effective.set_meta("scheme.v", s.v());
+                effective.set_meta("scheme.tasks", s.num_tasks());
+            }
+            Plan::Broadcast(s) => {
+                effective.set_meta("scheme", s.name());
+                effective.set_meta("scheme.v", s.v());
+                effective.set_meta("scheme.tasks", s.num_tasks());
+            }
+            Plan::Rounds(rounds) => {
+                effective.set_meta("scheme", "hierarchical-rounds");
+                effective.set_meta("scheme.rounds", rounds.len());
+            }
+        }
+
+        let mut run = match (backend, plan) {
+            (Backend::Sequential, _) => {
+                let phase = effective.job_phase("sequential", "evaluate");
+                let output = run_sequential(elements, &comp, symmetry, aggregator.as_ref());
+                drop(phase);
+                let v = elements.len() as u64;
+                let evaluations = match symmetry {
+                    Symmetry::Symmetric => v * v.saturating_sub(1) / 2,
+                    Symmetry::NonSymmetric => v * v.saturating_sub(1),
+                };
+                PairwiseRun {
+                    output,
+                    report: RunReport::default(),
+                    mr: Vec::new(),
+                    local: Some(LocalRunStats { tasks: 1, evaluations, max_working_set: v }),
+                }
+            }
+            (Backend::Local { .. }, Plan::None) => {
+                return Err(MrError::InvalidJob(
+                    "the local backend needs a scheme (scheme/broadcast/rounds)".into(),
+                ));
+            }
+            (Backend::Local { threads }, Plan::Scheme(scheme)) => {
+                let (output, stats) = run_local_impl(
+                    elements,
+                    scheme.as_ref(),
+                    &comp,
+                    symmetry,
+                    aggregator.as_ref(),
+                    threads,
+                    &effective,
+                );
+                PairwiseRun {
+                    output,
+                    report: RunReport::default(),
+                    mr: Vec::new(),
+                    local: Some(stats),
+                }
+            }
+            (Backend::Local { threads }, Plan::Broadcast(scheme)) => {
+                let (output, stats) = run_local_impl(
+                    elements,
+                    &scheme,
+                    &comp,
+                    symmetry,
+                    aggregator.as_ref(),
+                    threads,
+                    &effective,
+                );
+                PairwiseRun {
+                    output,
+                    report: RunReport::default(),
+                    mr: Vec::new(),
+                    local: Some(stats),
+                }
+            }
+            (Backend::Local { threads }, Plan::Rounds(rounds)) => {
+                let mut merged: HashMap<u64, Vec<(u64, R)>> =
+                    (0..elements.len() as u64).map(|id| (id, Vec::new())).collect();
+                let mut stats = LocalRunStats::default();
+                for round in rounds {
+                    let (out, s) = run_local_impl(
+                        elements,
+                        round.as_ref(),
+                        &comp,
+                        symmetry,
+                        &ConcatSort,
+                        threads,
+                        &effective,
+                    );
+                    for (id, mut partial) in out.per_element {
+                        merged.entry(id).or_default().append(&mut partial);
+                    }
+                    stats.tasks += s.tasks;
+                    stats.evaluations += s.evaluations;
+                    stats.max_working_set = stats.max_working_set.max(s.max_working_set);
+                }
+                let mut per_element: Vec<(u64, Vec<(u64, R)>)> = merged
+                    .into_iter()
+                    .map(|(id, partials)| (id, aggregator.aggregate(id, partials)))
+                    .collect();
+                per_element.sort_by_key(|(id, _)| *id);
+                PairwiseRun {
+                    output: PairwiseOutput { per_element },
+                    report: RunReport::default(),
+                    mr: Vec::new(),
+                    local: Some(stats),
+                }
+            }
+            (Backend::Mr(_), Plan::None) => {
+                return Err(MrError::InvalidJob(
+                    "the MR backend needs a scheme (scheme/broadcast/rounds)".into(),
+                ));
+            }
+            (Backend::Mr(cluster), Plan::Scheme(scheme)) => {
+                let (output, report) =
+                    run_mr_impl(cluster, scheme, elements, comp, symmetry, aggregator, options)?;
+                PairwiseRun { output, report: RunReport::default(), mr: vec![report], local: None }
+            }
+            (Backend::Mr(cluster), Plan::Broadcast(scheme)) => {
+                let (output, report) = run_mr_broadcast_impl(
+                    cluster, &scheme, elements, comp, symmetry, aggregator, options,
+                )?;
+                PairwiseRun { output, report: RunReport::default(), mr: vec![report], local: None }
+            }
+            (Backend::Mr(cluster), Plan::Rounds(rounds)) => {
+                let (output, reports) = run_mr_rounds_impl(
+                    cluster, rounds, elements, comp, symmetry, aggregator, options,
+                )?;
+                PairwiseRun { output, report: RunReport::default(), mr: reports, local: None }
+            }
+        };
+
+        // Assemble the report last so wall time covers the whole run, then
+        // fold in the framework counters (and the evaluation counts the
+        // non-MR backends tracked outside the counter system).
+        let mut report = effective.report();
+        for mr in &run.mr {
+            report.merge_counters(mr.job1.counters.iter().map(|(k, v)| (k.as_str(), *v)));
+            if let Some(job2) = &mr.job2 {
+                report.merge_counters(job2.counters.iter().map(|(k, v)| (k.as_str(), *v)));
+            }
+        }
+        if let Some(local) = &run.local {
+            report.merge_counters([(EVALUATIONS_COUNTER, local.evaluations)]);
+        }
+        run.report = report;
+        Ok(run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::comp_fn;
+    use crate::scheme::BlockScheme;
+    use pmr_cluster::{Cluster, ClusterConfig};
+
+    fn payloads(v: usize) -> Vec<i64> {
+        (0..v as i64).map(|i| i * 31 % 101).collect()
+    }
+
+    fn comp() -> CompFn<i64, i64> {
+        comp_fn(|a: &i64, b: &i64| (a - b).abs())
+    }
+
+    #[test]
+    fn all_backends_agree() {
+        let data = payloads(24);
+        let reference = PairwiseJob::new(&data, comp()).run().unwrap();
+        let local = PairwiseJob::new(&data, comp())
+            .scheme(BlockScheme::new(24, 4))
+            .backend(Backend::Local { threads: 3 })
+            .run()
+            .unwrap();
+        let cluster = Cluster::new(ClusterConfig::with_nodes(3));
+        let mr = PairwiseJob::new(&data, comp())
+            .scheme(BlockScheme::new(24, 4))
+            .backend(Backend::Mr(&cluster))
+            .run()
+            .unwrap();
+        assert_eq!(local.output, reference.output);
+        assert_eq!(mr.output, reference.output);
+        assert_eq!(local.evaluations(), 24 * 23 / 2);
+        assert_eq!(mr.evaluations(), 24 * 23 / 2);
+        assert_eq!(mr.mr.len(), 1);
+    }
+
+    #[test]
+    fn scheme_required_off_sequential() {
+        let data = payloads(6);
+        let err = PairwiseJob::new(&data, comp())
+            .backend(Backend::Local { threads: 2 })
+            .run()
+            .unwrap_err();
+        assert!(err.to_string().contains("needs a scheme"), "{err}");
+    }
+
+    #[test]
+    fn telemetry_report_covers_local_run() {
+        let data = payloads(18);
+        let t = Telemetry::enabled();
+        let run = PairwiseJob::new(&data, comp())
+            .scheme(BlockScheme::new(18, 3))
+            .backend(Backend::Local { threads: 2 })
+            .telemetry(t)
+            .run()
+            .unwrap();
+        assert!(run.report.wall_time_us > 0);
+        assert!(!run.report.task_spans.is_empty());
+        assert_eq!(run.report.counter(EVALUATIONS_COUNTER), Some(18 * 17 / 2));
+        assert!(run.report.meta.iter().any(|(k, v)| k == "backend" && v == "local"));
+        assert!(run.report.meta.iter().any(|(k, v)| k == "scheme" && v == "block"));
+    }
+
+    #[test]
+    fn mr_backend_uses_cluster_sink() {
+        let data = payloads(12);
+        let cluster =
+            Cluster::new(ClusterConfig::with_nodes(2)).with_telemetry(Telemetry::enabled());
+        let run = PairwiseJob::new(&data, comp())
+            .scheme(BlockScheme::new(12, 3))
+            .backend(Backend::Mr(&cluster))
+            .run()
+            .unwrap();
+        assert!(!run.report.task_spans.is_empty());
+        assert!(run.report.task_spans.iter().any(|s| s.kind == "map"));
+        assert!(run.report.task_spans.iter().any(|s| s.kind == "reduce"));
+        // Framework counters were folded into the report.
+        assert!(run.report.counter(pmr_mapreduce::builtin::SHUFFLE_BYTES).unwrap_or(0) > 0);
+    }
+}

@@ -8,6 +8,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use pmr_obs::{hist, SpanKind, Telemetry};
 
 use crate::runner::{finalize, Aggregator, CompFn, PairwiseOutput, Symmetry};
 use crate::scheme::DistributionScheme;
@@ -38,11 +41,26 @@ where
     T: Sync,
     R: Clone + Send,
 {
-    assert_eq!(
-        payloads.len() as u64,
-        scheme.v(),
-        "payload count must match the scheme's v"
-    );
+    run_local_impl(payloads, scheme, comp, symmetry, aggregator, threads, &Telemetry::disabled())
+}
+
+/// [`run_local`] with a telemetry handle: each task becomes a
+/// [`SpanKind::Task`] span (node = worker index), and the run's
+/// evaluate/aggregate windows are emitted as job phases of job `"local"`.
+pub(crate) fn run_local_impl<T, R>(
+    payloads: &[T],
+    scheme: &dyn DistributionScheme,
+    comp: &CompFn<T, R>,
+    symmetry: Symmetry,
+    aggregator: &dyn Aggregator<R>,
+    threads: usize,
+    telemetry: &Telemetry,
+) -> (PairwiseOutput<R>, LocalRunStats)
+where
+    T: Sync,
+    R: Clone + Send,
+{
+    assert_eq!(payloads.len() as u64, scheme.v(), "payload count must match the scheme's v");
     let threads = threads.max(1);
     let num_tasks = scheme.num_tasks();
     let next_task = AtomicU64::new(0);
@@ -50,9 +68,10 @@ where
     let max_ws = AtomicU64::new(0);
 
     // Each worker accumulates privately; merge after the scope ends.
+    let eval_phase = telemetry.job_phase("local", "evaluate");
     let worker_buckets: Vec<HashMap<u64, Vec<(u64, R)>>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
+            .map(|w| {
                 let next_task = &next_task;
                 let evaluations = &evaluations;
                 let max_ws = &max_ws;
@@ -64,24 +83,32 @@ where
                         if t >= num_tasks {
                             break;
                         }
+                        let mut span =
+                            telemetry.span("local", SpanKind::Task, t as u32, 0, w as u32);
+                        let mut lap_at = Instant::now();
                         let ws = scheme.working_set(t);
                         max_ws.fetch_max(ws.len() as u64, Ordering::Relaxed);
+                        span.add_records_in(ws.len() as u64);
+                        let mut task_evals = 0u64;
                         for (a, b) in scheme.pairs(t) {
                             let (pa, pb) = (&payloads[a as usize], &payloads[b as usize]);
                             match symmetry {
                                 Symmetry::Symmetric => {
                                     let r = comp(pa, pb);
-                                    evals += 1;
+                                    task_evals += 1;
                                     local.entry(a).or_default().push((b, r.clone()));
                                     local.entry(b).or_default().push((a, r));
                                 }
                                 Symmetry::NonSymmetric => {
-                                    evals += 2;
+                                    task_evals += 2;
                                     local.entry(a).or_default().push((b, comp(pa, pb)));
                                     local.entry(b).or_default().push((a, comp(pb, pa)));
                                 }
                             }
                         }
+                        evals += task_evals;
+                        span.lap("evaluate", &mut lap_at);
+                        telemetry.record_value(hist::EVALUATIONS_PER_TASK, task_evals);
                     }
                     evaluations.fetch_add(evals, Ordering::Relaxed);
                     local
@@ -91,6 +118,8 @@ where
         handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
     })
     .expect("thread scope failed");
+    drop(eval_phase);
+    let agg_phase = telemetry.job_phase("local", "aggregate");
 
     let mut buckets: HashMap<u64, Vec<(u64, R)>> = HashMap::with_capacity(payloads.len());
     for id in 0..scheme.v() {
@@ -106,7 +135,9 @@ where
         evaluations: evaluations.load(Ordering::Relaxed),
         max_working_set: max_ws.load(Ordering::Relaxed),
     };
-    (finalize(buckets, aggregator), stats)
+    let out = finalize(buckets, aggregator);
+    drop(agg_phase);
+    (out, stats)
 }
 
 #[cfg(test)]
@@ -155,8 +186,7 @@ mod tests {
         let comp: CompFn<i64, i64> = comp_fn(|a: &i64, b: &i64| a * 2 - b);
         let reference = run_sequential(&data, &comp, Symmetry::NonSymmetric, &ConcatSort);
         let s = BlockScheme::new(20, 4);
-        let (out, stats) =
-            run_local(&data, &s, &comp, Symmetry::NonSymmetric, &ConcatSort, 3);
+        let (out, stats) = run_local(&data, &s, &comp, Symmetry::NonSymmetric, &ConcatSort, 3);
         assert_eq!(out, reference);
         assert_eq!(stats.evaluations, 20 * 19);
     }

@@ -13,10 +13,16 @@
 //! All backends produce a [`PairwiseOutput`]: per element, the aggregated
 //! list of `(other element, result)` — the storage organization of the
 //! paper's Figure 2.
+//!
+//! The [`job`] module's [`PairwiseJob`] builder is the unified entry point
+//! over all three; the per-backend free functions are deprecated shims.
 
+pub mod job;
 pub mod local;
 pub mod mr;
 pub mod sequential;
+
+pub use job::{Backend, PairwiseJob, PairwiseRun};
 
 use std::sync::Arc;
 
@@ -172,9 +178,8 @@ mod tests {
 
     #[test]
     fn output_lookup() {
-        let out = PairwiseOutput {
-            per_element: vec![(0, vec![(1u64, 1.0f64)]), (1, vec![(0, 1.0)])],
-        };
+        let out =
+            PairwiseOutput { per_element: vec![(0, vec![(1u64, 1.0f64)]), (1, vec![(0, 1.0)])] };
         assert_eq!(out.results_of(1), Some(&[(0u64, 1.0f64)][..]));
         assert_eq!(out.results_of(9), None);
         assert_eq!(out.total_results(), 2);

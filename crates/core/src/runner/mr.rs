@@ -21,6 +21,7 @@ use pmr_mapreduce::{
     read_output, write_sharded, Engine, IdentityMapper, JobOutput, JobSpec, MapContext, Mapper,
     ModuloPartitioner, MrError, ReduceContext, Reducer, Values, Wire,
 };
+use pmr_obs::{hist, Telemetry};
 
 use crate::runner::{Aggregator, CompFn, PairwiseOutput, Symmetry};
 use crate::scheme::{BroadcastScheme, DistributionScheme};
@@ -119,6 +120,7 @@ struct EvaluateReducer<T, R> {
     scheme: Arc<dyn DistributionScheme>,
     comp: CompFn<T, R>,
     symmetry: Symmetry,
+    telemetry: Telemetry,
 }
 
 impl<T: Wire + Clone + Sync, R: Wire + Clone + Sync> Reducer for EvaluateReducer<T, R> {
@@ -169,6 +171,7 @@ impl<T: Wire + Clone + Sync, R: Wire + Clone + Sync> Reducer for EvaluateReducer
             }
         }
         ctx.counters().add(EVALUATIONS_COUNTER, evals);
+        self.telemetry.record_value(hist::EVALUATIONS_PER_TASK, evals);
         // Emit every copy with its partial results (paper: "The output of
         // the reduce phase contains each element (including all copies)").
         for (id, payload) in members {
@@ -224,6 +227,7 @@ struct BroadcastEvalMapper<T, R> {
     scheme: BroadcastScheme,
     comp: CompFn<T, R>,
     symmetry: Symmetry,
+    telemetry: Telemetry,
 }
 
 impl<T: Wire + Clone + Sync, R: Wire + Clone + Sync> Mapper for BroadcastEvalMapper<T, R> {
@@ -238,8 +242,8 @@ impl<T: Wire + Clone + Sync, R: Wire + Clone + Sync> Mapper for BroadcastEvalMap
         _unit: (),
         ctx: &mut MapContext<'_, u64, (T, Vec<(u64, R)>)>,
     ) -> pmr_mapreduce::Result<()> {
-        let dataset: Vec<(u64, T)> = Vec::from_bytes(ctx.cache().get("dataset"))
-            .map_err(pmr_mapreduce::MrError::Codec)?;
+        let dataset: Vec<(u64, T)> =
+            Vec::from_bytes(ctx.cache().get("dataset")).map_err(pmr_mapreduce::MrError::Codec)?;
         let mut results: HashMap<u64, Vec<(u64, R)>> = HashMap::new();
         let (s, e) = self.scheme.label_range(task);
         let mut evals = 0u64;
@@ -260,6 +264,7 @@ impl<T: Wire + Clone + Sync, R: Wire + Clone + Sync> Mapper for BroadcastEvalMap
             }
         }
         ctx.counters().add(EVALUATIONS_COUNTER, evals);
+        self.telemetry.record_value(hist::EVALUATIONS_PER_TASK, evals);
         for (id, partial) in results {
             ctx.emit(id, (dataset[id as usize].1.clone(), partial));
         }
@@ -279,12 +284,7 @@ fn auto(n: usize, cap: u64, requested: usize) -> usize {
     }
 }
 
-/// Runs the paper's two-job pipeline for an arbitrary scheme.
-///
-/// Returns the aggregated per-element output plus the run's measured
-/// metrics. `payloads[i]` is element `i`; `payloads.len()` must equal
-/// `scheme.v()`.
-pub fn run_mr<T, R>(
+pub(crate) fn run_mr_impl<T, R>(
     cluster: &Cluster,
     scheme: Arc<dyn DistributionScheme>,
     payloads: &[T],
@@ -304,15 +304,25 @@ where
             scheme.v()
         )));
     }
+    let telemetry = cluster.telemetry().clone();
+    telemetry.set_meta("scheme", scheme.name());
+    telemetry.set_meta("scheme.v", scheme.v());
+    telemetry.set_meta("scheme.tasks", scheme.num_tasks());
+    telemetry.set_meta("backend", "mr");
+    telemetry.set_meta("symmetry", format!("{symmetry:?}"));
     let n = cluster.num_nodes();
     let dir = &options.dfs_dir;
     let shards = if options.input_shards == 0 { 2 * n } else { options.input_shards };
+    // Runner-level I/O gets its own phase track (job `{dir}-io`) so the
+    // report's phases tile the whole run, not just the engine jobs.
+    let io = telemetry.job_phase(&format!("{dir}-io"), "distribute-input");
     let inputs = write_sharded(
         cluster,
         &format!("{dir}/input"),
         shards,
         payloads.iter().cloned().enumerate().map(|(i, p)| (i as u64, p)),
     )?;
+    drop(io);
 
     let engine = Engine::new(cluster);
     let job1 = engine.run(
@@ -325,6 +335,7 @@ where
                 scheme: Arc::clone(&scheme),
                 comp,
                 symmetry,
+                telemetry: telemetry.clone(),
             },
             auto(n, scheme.num_tasks(), options.reducers_job1),
         )
@@ -345,10 +356,12 @@ where
         .memory_overhead(options.memory_overhead.0, options.memory_overhead.1),
     )?;
 
+    let io = telemetry.job_phase(&format!("{dir}-io"), "collect-output");
     let rows: Vec<OutputRow<T, R>> = read_output(cluster, &format!("{dir}/out"))?;
     let mut per_element: Vec<(u64, Vec<(u64, R)>)> =
         rows.into_iter().map(|(id, (_payload, rs))| (id, rs)).collect();
     per_element.sort_by_key(|(id, _)| *id);
+    drop(io);
 
     let report = MrRunReport {
         evaluations: job1.counters.get(EVALUATIONS_COUNTER).copied().unwrap_or(0),
@@ -375,7 +388,7 @@ where
 /// is applied once over the merged lists. Returns the per-round reports so
 /// experiments can show that peak intermediate storage is bounded by the
 /// largest *round* rather than the whole dataset's replication.
-pub fn run_mr_rounds<T, R>(
+pub(crate) fn run_mr_rounds_impl<T, R>(
     cluster: &Cluster,
     rounds: Vec<Arc<dyn DistributionScheme>>,
     payloads: &[T],
@@ -388,16 +401,15 @@ where
     T: Wire + Clone + Sync,
     R: Wire + Clone + Sync,
 {
-    let mut merged: std::collections::HashMap<u64, Vec<(u64, R)>> = (0..payloads.len() as u64)
-        .map(|id| (id, Vec::new()))
-        .collect();
+    let mut merged: std::collections::HashMap<u64, Vec<(u64, R)>> =
+        (0..payloads.len() as u64).map(|id| (id, Vec::new())).collect();
     let mut reports = Vec::with_capacity(rounds.len());
     for (i, round) in rounds.into_iter().enumerate() {
         let opts = MrPairwiseOptions {
             dfs_dir: format!("{}/round-{i}", options.dfs_dir),
             ..options.clone()
         };
-        let (out, report) = run_mr(
+        let (out, report) = run_mr_impl(
             cluster,
             round,
             payloads,
@@ -415,17 +427,13 @@ where
             cluster.dfs().delete(p);
         });
     }
-    let mut per_element: Vec<(u64, Vec<(u64, R)>)> = merged
-        .into_iter()
-        .map(|(id, partials)| (id, aggregator.aggregate(id, partials)))
-        .collect();
+    let mut per_element: Vec<(u64, Vec<(u64, R)>)> =
+        merged.into_iter().map(|(id, partials)| (id, aggregator.aggregate(id, partials))).collect();
     per_element.sort_by_key(|(id, _)| *id);
     Ok((PairwiseOutput { per_element }, reports))
 }
 
-/// Runs the broadcast scheme as a **single** job with the dataset shipped
-/// through the distributed cache — the paper's §5.1 optimization.
-pub fn run_mr_broadcast<T, R>(
+pub(crate) fn run_mr_broadcast_impl<T, R>(
     cluster: &Cluster,
     scheme: &BroadcastScheme,
     payloads: &[T],
@@ -445,6 +453,12 @@ where
             scheme.v()
         )));
     }
+    let telemetry = cluster.telemetry().clone();
+    telemetry.set_meta("scheme", scheme.name());
+    telemetry.set_meta("scheme.v", scheme.v());
+    telemetry.set_meta("scheme.tasks", scheme.num_tasks());
+    telemetry.set_meta("backend", "mr");
+    telemetry.set_meta("symmetry", format!("{symmetry:?}"));
     let n = cluster.num_nodes();
     let dir = &options.dfs_dir;
     let dataset: Vec<(u64, T)> =
@@ -452,13 +466,13 @@ where
     let dataset_bytes = dataset.to_bytes();
 
     // Input = one record per (nonempty) task: the unit of map-side work.
-    let tasks: Vec<(u64, ())> = (0..scheme.num_tasks())
-        .filter(|&t| scheme.num_pairs(t) > 0)
-        .map(|t| (t, ()))
-        .collect();
+    let tasks: Vec<(u64, ())> =
+        (0..scheme.num_tasks()).filter(|&t| scheme.num_pairs(t) > 0).map(|t| (t, ())).collect();
     let shards = if options.input_shards == 0 { n } else { options.input_shards };
+    let io = telemetry.job_phase(&format!("{dir}-io"), "distribute-input");
     let inputs =
         write_sharded(cluster, &format!("{dir}/tasks"), shards.min(tasks.len().max(1)), tasks)?;
+    drop(io);
 
     let engine = Engine::new(cluster);
     let job = engine.run(
@@ -466,7 +480,12 @@ where
             format!("{dir}-broadcast-evaluate-aggregate"),
             inputs,
             format!("{dir}/out"),
-            BroadcastEvalMapper::<T, R> { scheme: scheme.clone(), comp, symmetry },
+            BroadcastEvalMapper::<T, R> {
+                scheme: scheme.clone(),
+                comp,
+                symmetry,
+                telemetry: telemetry.clone(),
+            },
             AggregateReducer::<T, R> { aggregator, _pd: std::marker::PhantomData },
             auto(n, scheme.v(), options.reducers_job2),
         )
@@ -475,10 +494,12 @@ where
         .memory_overhead(options.memory_overhead.0, options.memory_overhead.1),
     )?;
 
+    let io = telemetry.job_phase(&format!("{dir}-io"), "collect-output");
     let rows: Vec<OutputRow<T, R>> = read_output(cluster, &format!("{dir}/out"))?;
     let mut per_element: Vec<(u64, Vec<(u64, R)>)> =
         rows.into_iter().map(|(id, (_payload, rs))| (id, rs)).collect();
     per_element.sort_by_key(|(id, _)| *id);
+    drop(io);
 
     let report = MrRunReport {
         evaluations: job.counters.get(EVALUATIONS_COUNTER).copied().unwrap_or(0),
@@ -491,4 +512,82 @@ where
         job2: None,
     };
     Ok((PairwiseOutput { per_element }, report))
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated free-function entry points (kept as thin shims over the
+// `PairwiseJob` builder's internals so pre-builder callers keep compiling)
+// ---------------------------------------------------------------------------
+
+/// Runs the paper's two-job pipeline for an arbitrary scheme.
+///
+/// Returns the aggregated per-element output plus the run's measured
+/// metrics. `payloads[i]` is element `i`; `payloads.len()` must equal
+/// `scheme.v()`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `PairwiseJob` builder: \
+            `PairwiseJob::new(payloads, comp).scheme_arc(scheme).backend(Backend::Mr(cluster)).run()`"
+)]
+pub fn run_mr<T, R>(
+    cluster: &Cluster,
+    scheme: Arc<dyn DistributionScheme>,
+    payloads: &[T],
+    comp: CompFn<T, R>,
+    symmetry: Symmetry,
+    aggregator: Arc<dyn Aggregator<R>>,
+    options: MrPairwiseOptions,
+) -> pmr_mapreduce::Result<(PairwiseOutput<R>, MrRunReport)>
+where
+    T: Wire + Clone + Sync,
+    R: Wire + Clone + Sync,
+{
+    run_mr_impl(cluster, scheme, payloads, comp, symmetry, aggregator, options)
+}
+
+/// Runs a hierarchical scheme's rounds **sequentially**, each round as the
+/// full two-job pipeline, aggregating between rounds — the paper's §7
+/// extension.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `PairwiseJob` builder: \
+            `PairwiseJob::new(payloads, comp).rounds(rounds).backend(Backend::Mr(cluster)).run()`"
+)]
+pub fn run_mr_rounds<T, R>(
+    cluster: &Cluster,
+    rounds: Vec<Arc<dyn DistributionScheme>>,
+    payloads: &[T],
+    comp: CompFn<T, R>,
+    symmetry: Symmetry,
+    aggregator: Arc<dyn Aggregator<R>>,
+    options: MrPairwiseOptions,
+) -> pmr_mapreduce::Result<(PairwiseOutput<R>, Vec<MrRunReport>)>
+where
+    T: Wire + Clone + Sync,
+    R: Wire + Clone + Sync,
+{
+    run_mr_rounds_impl(cluster, rounds, payloads, comp, symmetry, aggregator, options)
+}
+
+/// Runs the broadcast scheme as a **single** job with the dataset shipped
+/// through the distributed cache — the paper's §5.1 optimization.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `PairwiseJob` builder: \
+            `PairwiseJob::new(payloads, comp).broadcast(scheme).backend(Backend::Mr(cluster)).run()`"
+)]
+pub fn run_mr_broadcast<T, R>(
+    cluster: &Cluster,
+    scheme: &BroadcastScheme,
+    payloads: &[T],
+    comp: CompFn<T, R>,
+    symmetry: Symmetry,
+    aggregator: Arc<dyn Aggregator<R>>,
+    options: MrPairwiseOptions,
+) -> pmr_mapreduce::Result<(PairwiseOutput<R>, MrRunReport)>
+where
+    T: Wire + Clone + Sync,
+    R: Wire + Clone + Sync,
+{
+    run_mr_broadcast_impl(cluster, scheme, payloads, comp, symmetry, aggregator, options)
 }

@@ -241,11 +241,9 @@ impl DistributionScheme for PairedBlockScheme {
 
     fn working_set(&self, task: u64) -> Vec<u64> {
         match self.classify(task) {
-            PairedTask::OffDiag { col, row } => self
-                .inner
-                .stripe_range(row)
-                .chain(self.inner.stripe_range(col))
-                .collect(),
+            PairedTask::OffDiag { col, row } => {
+                self.inner.stripe_range(row).chain(self.inner.stripe_range(col)).collect()
+            }
             PairedTask::DiagPair { first } => {
                 let mut ws: Vec<u64> = self.inner.stripe_range(first).collect();
                 if first + 1 < self.inner.h {
@@ -422,8 +420,7 @@ mod tests {
 
     #[test]
     fn paired_covers_every_pair_exactly_once() {
-        for (v, h) in [(2u64, 1u64), (7, 2), (15, 3), (16, 3), (17, 4), (40, 5), (41, 7), (9, 9)]
-        {
+        for (v, h) in [(2u64, 1u64), (7, 2), (15, 3), (16, 3), (17, 4), (40, 5), (41, 7), (9, 9)] {
             let s = PairedBlockScheme::new(v, h);
             verify_exactly_once(&s).unwrap_or_else(|e| panic!("v={v} h={h}: {e:?}"));
         }

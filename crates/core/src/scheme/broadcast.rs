@@ -69,7 +69,12 @@ impl DistributionScheme for BroadcastScheme {
         // Every element is replicated to every task whose label range
         // contains at least one pair involving it — the paper simply
         // replicates to all tasks; we match that (all nonempty tasks).
-        (0..self.tasks).filter(|&t| { let (s, e) = self.label_range(t); s < e }).collect()
+        (0..self.tasks)
+            .filter(|&t| {
+                let (s, e) = self.label_range(t);
+                s < e
+            })
+            .collect()
     }
 
     fn working_set(&self, task: u64) -> Vec<u64> {

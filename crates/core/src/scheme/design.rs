@@ -215,7 +215,7 @@ mod tests {
         assert_eq!(m.replication_factor, 102.0);
         assert_eq!(m.working_set_size, 102);
         assert_eq!(m.evaluations_per_task, 5_151.0); // C(102, 2); ≈ (v−1)/2
-        // Communication capped at 2vn for few nodes.
+                                                     // Communication capped at 2vn for few nodes.
         assert_eq!(m.communication_elements, 2 * 10_000 * 64);
         let m2 = s.metrics(1_000_000);
         assert_eq!(m2.communication_elements, (2.0 * 10_000.0f64 * 100.0) as u64);

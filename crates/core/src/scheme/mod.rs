@@ -106,7 +106,7 @@ pub fn measure(scheme: &dyn DistributionScheme) -> MeasuredMetrics {
     let mut total_pairs = 0u64;
     let mut nonempty = 0u64;
     for t in 0..scheme.num_tasks() {
-        let ws = scheme.working_set(t) .len() as u64;
+        let ws = scheme.working_set(t).len() as u64;
         let ev = scheme.num_pairs(t);
         total_copies += ws;
         total_pairs += ev;

@@ -5,12 +5,11 @@ use std::sync::Arc;
 
 use pmr_cluster::{Cluster, ClusterConfig};
 use pmr_core::runner::local::run_local;
-use pmr_core::runner::mr::{run_mr, MrPairwiseOptions};
 use pmr_core::runner::sequential::run_sequential;
-use pmr_core::runner::{comp_fn, CompFn, ConcatSort, Symmetry};
+use pmr_core::runner::{comp_fn, Backend, CompFn, ConcatSort, PairwiseJob, Symmetry};
 use pmr_core::scheme::{
-    measure, verify_exactly_once, BlockScheme, BroadcastScheme, DesignScheme,
-    DistributionScheme, PairedBlockScheme,
+    measure, verify_exactly_once, BlockScheme, BroadcastScheme, DesignScheme, DistributionScheme,
+    PairedBlockScheme,
 };
 use pmr_designs::plane::pg2;
 use pmr_designs::singer::singer;
@@ -39,16 +38,12 @@ fn v_equals_2_all_schemes_and_backends() {
             run_local(&data, scheme.as_ref(), &comp(), Symmetry::Symmetric, &ConcatSort, 2);
         assert_eq!(local, reference, "local/{}", scheme.name());
         let cluster = Cluster::new(ClusterConfig::with_nodes(2));
-        let (mr, _) = run_mr(
-            &cluster,
-            Arc::clone(&scheme),
-            &data,
-            comp(),
-            Symmetry::Symmetric,
-            Arc::new(ConcatSort),
-            MrPairwiseOptions::default(),
-        )
-        .unwrap();
+        let mr = PairwiseJob::new(&data, comp())
+            .scheme_arc(Arc::clone(&scheme))
+            .backend(Backend::Mr(&cluster))
+            .run()
+            .unwrap()
+            .output;
         assert_eq!(mr, reference, "mr/{}", scheme.name());
     }
 }
@@ -92,20 +87,15 @@ fn single_node_cluster_works() {
     let data: Vec<u64> = (0..20).collect();
     let reference = run_sequential(&data, &comp(), Symmetry::Symmetric, &ConcatSort);
     let cluster = Cluster::new(ClusterConfig::with_nodes(1));
-    let (out, report) = run_mr(
-        &cluster,
-        Arc::new(BlockScheme::new(20, 3)),
-        &data,
-        comp(),
-        Symmetry::Symmetric,
-        Arc::new(ConcatSort),
-        MrPairwiseOptions::default(),
-    )
-    .unwrap();
-    assert_eq!(out, reference);
+    let run = PairwiseJob::new(&data, comp())
+        .scheme(BlockScheme::new(20, 3))
+        .backend(Backend::Mr(&cluster))
+        .run()
+        .unwrap();
+    assert_eq!(run.output, reference);
     // One node: the shuffle still happens, but nothing crosses the network.
-    assert_eq!(report.network_bytes, 0);
-    assert!(report.shuffle_bytes > 0);
+    assert_eq!(run.mr[0].network_bytes, 0);
+    assert!(run.mr[0].shuffle_bytes > 0);
 }
 
 #[test]
@@ -113,16 +103,12 @@ fn many_more_nodes_than_elements() {
     let data: Vec<u64> = (0..6).collect();
     let reference = run_sequential(&data, &comp(), Symmetry::Symmetric, &ConcatSort);
     let cluster = Cluster::new(ClusterConfig::with_nodes(16));
-    let (out, _) = run_mr(
-        &cluster,
-        Arc::new(DesignScheme::new(6)),
-        &data,
-        comp(),
-        Symmetry::Symmetric,
-        Arc::new(ConcatSort),
-        MrPairwiseOptions::default(),
-    )
-    .unwrap();
+    let out = PairwiseJob::new(&data, comp())
+        .scheme(DesignScheme::new(6))
+        .backend(Backend::Mr(&cluster))
+        .run()
+        .unwrap()
+        .output;
     assert_eq!(out, reference);
 }
 

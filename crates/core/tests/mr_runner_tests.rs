@@ -1,12 +1,15 @@
 //! End-to-end tests of the MapReduce pairwise pipeline (Algorithms 1–2)
-//! against the sequential reference.
+//! against the sequential reference, driven through the `PairwiseJob`
+//! builder.
 
 use std::sync::Arc;
 
 use pmr_cluster::{Cluster, ClusterConfig, ClusterError};
-use pmr_core::runner::mr::{run_mr, run_mr_broadcast, MrPairwiseOptions};
+use pmr_core::runner::mr::MrPairwiseOptions;
 use pmr_core::runner::sequential::run_sequential;
-use pmr_core::runner::{comp_fn, CompFn, ConcatSort, FilterAggregator, Symmetry};
+use pmr_core::runner::{
+    comp_fn, Backend, CompFn, ConcatSort, FilterAggregator, PairwiseJob, Symmetry,
+};
 use pmr_core::scheme::{BlockScheme, BroadcastScheme, DesignScheme, DistributionScheme};
 use pmr_mapreduce::MrError;
 
@@ -32,17 +35,13 @@ fn two_job_pipeline_matches_sequential_for_all_schemes() {
     for scheme in schemes {
         let cluster = Cluster::new(ClusterConfig::with_nodes(4));
         let name = scheme.name();
-        let (out, report) = run_mr(
-            &cluster,
-            Arc::clone(&scheme),
-            &data,
-            comp(),
-            Symmetry::Symmetric,
-            Arc::new(ConcatSort),
-            MrPairwiseOptions::default(),
-        )
-        .unwrap_or_else(|e| panic!("{name}: {e}"));
-        assert_eq!(out, reference, "scheme {name}");
+        let run = PairwiseJob::new(&data, comp())
+            .scheme_arc(Arc::clone(&scheme))
+            .backend(Backend::Mr(&cluster))
+            .run()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(run.output, reference, "scheme {name}");
+        let report = &run.mr[0];
         assert_eq!(report.evaluations, (v * (v - 1) / 2) as u64, "scheme {name}");
         assert!(report.shuffle_bytes > 0);
         assert!(report.job2.is_some());
@@ -55,18 +54,13 @@ fn broadcast_single_job_matches_sequential() {
     let data = payloads(v);
     let reference = run_sequential(&data, &comp(), Symmetry::Symmetric, &ConcatSort);
     let cluster = Cluster::new(ClusterConfig::with_nodes(3));
-    let scheme = BroadcastScheme::new(v as u64, 6);
-    let (out, report) = run_mr_broadcast(
-        &cluster,
-        &scheme,
-        &data,
-        comp(),
-        Symmetry::Symmetric,
-        Arc::new(ConcatSort),
-        MrPairwiseOptions::default(),
-    )
-    .unwrap();
-    assert_eq!(out, reference);
+    let run = PairwiseJob::new(&data, comp())
+        .broadcast(BroadcastScheme::new(v as u64, 6))
+        .backend(Backend::Mr(&cluster))
+        .run()
+        .unwrap();
+    assert_eq!(run.output, reference);
+    let report = &run.mr[0];
     assert_eq!(report.evaluations, (v * (v - 1) / 2) as u64);
     assert!(report.job2.is_none(), "broadcast path is a single job");
     // The distributed cache carried the dataset to every node.
@@ -83,18 +77,14 @@ fn non_symmetric_mr_matches_sequential() {
     let comp: CompFn<u64, u64> = comp_fn(|a: &u64, b: &u64| a.wrapping_mul(3).wrapping_sub(*b));
     let reference = run_sequential(&data, &comp, Symmetry::NonSymmetric, &ConcatSort);
     let cluster = Cluster::new(ClusterConfig::with_nodes(3));
-    let (out, report) = run_mr(
-        &cluster,
-        Arc::new(BlockScheme::new(v as u64, 3)),
-        &data,
-        Arc::clone(&comp),
-        Symmetry::NonSymmetric,
-        Arc::new(ConcatSort),
-        MrPairwiseOptions::default(),
-    )
-    .unwrap();
-    assert_eq!(out, reference);
-    assert_eq!(report.evaluations, (v * (v - 1)) as u64); // both directions
+    let run = PairwiseJob::new(&data, comp)
+        .scheme(BlockScheme::new(v as u64, 3))
+        .backend(Backend::Mr(&cluster))
+        .symmetry(Symmetry::NonSymmetric)
+        .run()
+        .unwrap();
+    assert_eq!(run.output, reference);
+    assert_eq!(run.mr[0].evaluations, (v * (v - 1)) as u64); // both directions
 }
 
 #[test]
@@ -102,16 +92,13 @@ fn filter_aggregator_prunes_in_job2() {
     let v = 20usize;
     let data = payloads(v);
     let cluster = Cluster::new(ClusterConfig::with_nodes(3));
-    let (out, _) = run_mr(
-        &cluster,
-        Arc::new(DesignScheme::new(v as u64)),
-        &data,
-        comp(),
-        Symmetry::Symmetric,
-        Arc::new(FilterAggregator::new(|r: &u64| *r < 10)),
-        MrPairwiseOptions::default(),
-    )
-    .unwrap();
+    let out = PairwiseJob::new(&data, comp())
+        .scheme(DesignScheme::new(v as u64))
+        .backend(Backend::Mr(&cluster))
+        .aggregator(FilterAggregator::new(|r: &u64| *r < 10))
+        .run()
+        .unwrap()
+        .output;
     let reference = run_sequential(
         &data,
         &comp(),
@@ -129,33 +116,23 @@ fn replication_counts_match_scheme_theory() {
     // Block scheme with h = 5: every element is replicated h times, so job
     // 1's map phase emits exactly v·h records (paper Table 1).
     let cluster = Cluster::new(ClusterConfig::with_nodes(4));
-    let (_, report) = run_mr(
-        &cluster,
-        Arc::new(BlockScheme::new(v, 5)),
-        &data,
-        comp(),
-        Symmetry::Symmetric,
-        Arc::new(ConcatSort),
-        MrPairwiseOptions::default(),
-    )
-    .unwrap();
-    assert_eq!(report.replicated_records, v * 5);
+    let run = PairwiseJob::new(&data, comp())
+        .scheme(BlockScheme::new(v, 5))
+        .backend(Backend::Mr(&cluster))
+        .run()
+        .unwrap();
+    assert_eq!(run.mr[0].replicated_records, v * 5);
 
     // Design scheme: Σ replication = Σ block sizes.
     let scheme = DesignScheme::new(v);
     let expected: u64 = pmr_core::scheme::measure(&scheme).total_copies;
     let cluster = Cluster::new(ClusterConfig::with_nodes(4));
-    let (_, report) = run_mr(
-        &cluster,
-        Arc::new(scheme),
-        &data,
-        comp(),
-        Symmetry::Symmetric,
-        Arc::new(ConcatSort),
-        MrPairwiseOptions::default(),
-    )
-    .unwrap();
-    assert_eq!(report.replicated_records, expected);
+    let run = PairwiseJob::new(&data, comp())
+        .scheme(scheme)
+        .backend(Backend::Mr(&cluster))
+        .run()
+        .unwrap();
+    assert_eq!(run.mr[0].replicated_records, expected);
 }
 
 #[test]
@@ -171,31 +148,23 @@ fn working_set_budget_fails_broadcast_first() {
     let budget = 1600u64;
     let mk = || Cluster::new(ClusterConfig::with_nodes(4).task_memory_budget(budget));
 
-    let err = run_mr(
-        &mk(),
-        Arc::new(BroadcastScheme::new(v, 4)),
-        &data,
-        comp(),
-        Symmetry::Symmetric,
-        Arc::new(ConcatSort),
-        MrPairwiseOptions::default(),
-    )
-    .unwrap_err();
+    let c1 = mk();
+    let err = PairwiseJob::new(&data, comp())
+        .scheme(BroadcastScheme::new(v, 4))
+        .backend(Backend::Mr(&c1))
+        .run()
+        .unwrap_err();
     assert!(
         matches!(err, MrError::Cluster(ClusterError::MemoryExceeded { .. })),
         "broadcast should bust maxws: {err}"
     );
 
-    run_mr(
-        &mk(),
-        Arc::new(DesignScheme::new(v)),
-        &data,
-        comp(),
-        Symmetry::Symmetric,
-        Arc::new(ConcatSort),
-        MrPairwiseOptions::default(),
-    )
-    .expect("design working sets must fit the same budget");
+    let c2 = mk();
+    PairwiseJob::new(&data, comp())
+        .scheme(DesignScheme::new(v))
+        .backend(Backend::Mr(&c2))
+        .run()
+        .expect("design working sets must fit the same budget");
 }
 
 #[test]
@@ -207,38 +176,29 @@ fn intermediate_storage_cap_fails_design_first() {
     // design intermediate ≈ 1200 copies · 620 B ≈ 744 KB, block h=2 peaks
     // at ≈ 286 KB (job 2, elements + result lists).
     let v = 100u64;
-    let data: Vec<bytes::Bytes> =
-        (0..v).map(|i| bytes::Bytes::from(vec![i as u8; 600])).collect();
+    let data: Vec<bytes::Bytes> = (0..v).map(|i| bytes::Bytes::from(vec![i as u8; 600])).collect();
     let comp: CompFn<bytes::Bytes, u64> =
         comp_fn(|a: &bytes::Bytes, b: &bytes::Bytes| (a[0] as u64).abs_diff(b[0] as u64));
     let cap = 400_000u64;
     let mk = || Cluster::new(ClusterConfig::with_nodes(4).intermediate_storage(cap));
 
-    let err = run_mr(
-        &mk(),
-        Arc::new(DesignScheme::new(v)), // replication ≈ 12
-        &data,
-        Arc::clone(&comp),
-        Symmetry::Symmetric,
-        Arc::new(ConcatSort),
-        MrPairwiseOptions::default(),
-    )
-    .unwrap_err();
+    let c1 = mk();
+    let err = PairwiseJob::new(&data, Arc::clone(&comp))
+        .scheme(DesignScheme::new(v)) // replication ≈ 12
+        .backend(Backend::Mr(&c1))
+        .run()
+        .unwrap_err();
     assert!(
         matches!(err, MrError::Cluster(ClusterError::IntermediateStorageExceeded { .. })),
         "design should bust maxis: {err}"
     );
 
-    run_mr(
-        &mk(),
-        Arc::new(BlockScheme::new(v, 2)), // replication 2
-        &data,
-        comp,
-        Symmetry::Symmetric,
-        Arc::new(ConcatSort),
-        MrPairwiseOptions::default(),
-    )
-    .expect("block h=2 must fit the same cap");
+    let c2 = mk();
+    PairwiseJob::new(&data, comp)
+        .scheme(BlockScheme::new(v, 2)) // replication 2
+        .backend(Backend::Mr(&c2))
+        .run()
+        .expect("block h=2 must fit the same cap");
 }
 
 #[test]
@@ -249,43 +209,29 @@ fn memory_overhead_factor_tightens_budget() {
     let v = 48u64;
     let data = payloads(v as usize);
     let cluster = Cluster::new(ClusterConfig::with_nodes(2));
-    let (_, report) = run_mr(
-        &cluster,
-        Arc::new(BroadcastScheme::new(v, 2)),
-        &data,
-        comp(),
-        Symmetry::Symmetric,
-        Arc::new(ConcatSort),
-        MrPairwiseOptions::default(),
-    )
-    .unwrap();
-    let peak = report.max_working_set_bytes;
+    let run = PairwiseJob::new(&data, comp())
+        .scheme(BroadcastScheme::new(v, 2))
+        .backend(Backend::Mr(&cluster))
+        .run()
+        .unwrap();
+    let peak = run.mr[0].max_working_set_bytes;
 
     // Budget exactly at the observed peak: fits without overhead…
     let tight = Cluster::new(ClusterConfig::with_nodes(2).task_memory_budget(peak));
-    run_mr(
-        &tight,
-        Arc::new(BroadcastScheme::new(v, 2)),
-        &data,
-        comp(),
-        Symmetry::Symmetric,
-        Arc::new(ConcatSort),
-        MrPairwiseOptions::default(),
-    )
-    .expect("must fit at the exact peak");
+    PairwiseJob::new(&data, comp())
+        .scheme(BroadcastScheme::new(v, 2))
+        .backend(Backend::Mr(&tight))
+        .run()
+        .expect("must fit at the exact peak");
 
     // …but not with 30% accounting overhead.
     let tight = Cluster::new(ClusterConfig::with_nodes(2).task_memory_budget(peak));
-    let err = run_mr(
-        &tight,
-        Arc::new(BroadcastScheme::new(v, 2)),
-        &data,
-        comp(),
-        Symmetry::Symmetric,
-        Arc::new(ConcatSort),
-        MrPairwiseOptions { memory_overhead: (13, 10), ..Default::default() },
-    )
-    .unwrap_err();
+    let err = PairwiseJob::new(&data, comp())
+        .scheme(BroadcastScheme::new(v, 2))
+        .backend(Backend::Mr(&tight))
+        .mr_options(MrPairwiseOptions { memory_overhead: (13, 10), ..Default::default() })
+        .run()
+        .unwrap_err();
     assert!(matches!(err, MrError::Cluster(ClusterError::MemoryExceeded { .. })), "{err}");
 }
 
@@ -295,9 +241,52 @@ fn mr_under_injected_failures_still_correct() {
     let data = payloads(v);
     let reference = run_sequential(&data, &comp(), Symmetry::Symmetric, &ConcatSort);
     let cluster = Cluster::new(ClusterConfig::with_nodes(3).failure_probability(0.25).seed(99));
+    let run = PairwiseJob::new(&data, comp())
+        .scheme(BlockScheme::new(v as u64, 4))
+        .backend(Backend::Mr(&cluster))
+        .run()
+        .unwrap();
+    assert_eq!(run.output, reference);
+    let report = &run.mr[0];
+    let failed =
+        report.job1.counters.get(pmr_mapreduce::builtin::FAILED_ATTEMPTS).copied().unwrap_or(0)
+            + report
+                .job2
+                .as_ref()
+                .unwrap()
+                .counters
+                .get(pmr_mapreduce::builtin::FAILED_ATTEMPTS)
+                .copied()
+                .unwrap_or(0);
+    assert!(failed > 0, "seed should produce at least one injected failure");
+}
+
+#[test]
+fn payload_count_mismatch_rejected() {
+    let cluster = Cluster::new(ClusterConfig::with_nodes(2));
+    let err = PairwiseJob::new(&payloads(9), comp())
+        .scheme(BlockScheme::new(10, 2))
+        .backend(Backend::Mr(&cluster))
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, MrError::InvalidJob(_)));
+}
+
+/// The pre-builder free functions must keep working for downstream code
+/// that has not migrated yet.
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_still_run() {
+    use pmr_core::runner::mr::{run_mr, run_mr_broadcast, run_mr_rounds};
+
+    let v = 16usize;
+    let data = payloads(v);
+    let reference = run_sequential(&data, &comp(), Symmetry::Symmetric, &ConcatSort);
+
+    let cluster = Cluster::new(ClusterConfig::with_nodes(2));
     let (out, report) = run_mr(
         &cluster,
-        Arc::new(BlockScheme::new(v as u64, 4)),
+        Arc::new(BlockScheme::new(v as u64, 2)),
         &data,
         comp(),
         Symmetry::Symmetric,
@@ -306,31 +295,32 @@ fn mr_under_injected_failures_still_correct() {
     )
     .unwrap();
     assert_eq!(out, reference);
-    let failed = report.job1.counters.get(pmr_mapreduce::builtin::FAILED_ATTEMPTS).copied()
-        .unwrap_or(0)
-        + report
-            .job2
-            .as_ref()
-            .unwrap()
-            .counters
-            .get(pmr_mapreduce::builtin::FAILED_ATTEMPTS)
-            .copied()
-            .unwrap_or(0);
-    assert!(failed > 0, "seed should produce at least one injected failure");
-}
+    assert_eq!(report.evaluations, (v * (v - 1) / 2) as u64);
 
-#[test]
-fn payload_count_mismatch_rejected() {
-    let cluster = Cluster::new(ClusterConfig::with_nodes(2));
-    let err = run_mr(
+    let scheme = BroadcastScheme::new(v as u64, 3);
+    let (out, _) = run_mr_broadcast(
         &cluster,
-        Arc::new(BlockScheme::new(10, 2)),
-        &payloads(9),
+        &scheme,
+        &data,
         comp(),
         Symmetry::Symmetric,
         Arc::new(ConcatSort),
         MrPairwiseOptions::default(),
     )
-    .unwrap_err();
-    assert!(matches!(err, MrError::InvalidJob(_)));
+    .unwrap();
+    assert_eq!(out, reference);
+
+    let rounds: Vec<Arc<dyn DistributionScheme>> = vec![Arc::new(BlockScheme::new(v as u64, 2))];
+    let (out, reports) = run_mr_rounds(
+        &cluster,
+        rounds,
+        &data,
+        comp(),
+        Symmetry::Symmetric,
+        Arc::new(ConcatSort),
+        MrPairwiseOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(out, reference);
+    assert_eq!(reports.len(), 1);
 }

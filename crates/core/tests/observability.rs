@@ -1,0 +1,184 @@
+//! Conservation properties of the run report: job phases must tile each
+//! job's wall time, and span byte/record totals must agree with the
+//! engine's builtin counters — the two bookkeeping systems observe the
+//! same run independently, so any drift is a bug in one of them.
+
+use pmr_cluster::{Cluster, ClusterConfig};
+use pmr_core::runner::mr::EVALUATIONS_COUNTER;
+use pmr_core::runner::{comp_fn, Backend, CompFn, PairwiseJob, PairwiseRun};
+use pmr_core::scheme::BlockScheme;
+use pmr_mapreduce::builtin;
+use pmr_obs::{RunReport, Telemetry};
+
+fn comp() -> CompFn<u64, u64> {
+    comp_fn(|a: &u64, b: &u64| a.wrapping_mul(31) ^ b)
+}
+
+fn instrumented_mr_run(v: u64, nodes: usize) -> PairwiseRun<u64> {
+    let data: Vec<u64> = (0..v).map(|i| i * 17 % 257).collect();
+    let cluster =
+        Cluster::new(ClusterConfig::with_nodes(nodes)).with_telemetry(Telemetry::enabled());
+    PairwiseJob::new(&data, comp())
+        .scheme(BlockScheme::new(v, 6))
+        .backend(Backend::Mr(&cluster))
+        .run()
+        .unwrap()
+}
+
+/// Distinct job names in recorded order.
+fn job_names(report: &RunReport) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for p in &report.job_phases {
+        if !names.contains(&p.job) {
+            names.push(p.job.clone());
+        }
+    }
+    names
+}
+
+#[test]
+fn job_phases_tile_each_jobs_wall_time() {
+    let run = instrumented_mr_run(64, 4);
+    let report = &run.report;
+    let all_jobs = job_names(report);
+    // Runner-level DFS I/O (input distribution, output collection) is
+    // tracked on its own `-io` job so the phases tile the whole run.
+    let (io_jobs, jobs): (Vec<_>, Vec<_>) = all_jobs.into_iter().partition(|j| j.ends_with("-io"));
+    assert_eq!(io_jobs.len(), 1, "io jobs: {io_jobs:?}");
+    assert_eq!(
+        report
+            .job_phases
+            .iter()
+            .filter(|p| p.job == io_jobs[0])
+            .map(|p| p.phase.as_str())
+            .collect::<Vec<_>>(),
+        ["distribute-input", "collect-output"]
+    );
+    // The two-job pipeline: distribute/evaluate then aggregate.
+    assert_eq!(jobs.len(), 2, "jobs: {jobs:?}");
+    for job in &jobs {
+        let phases: Vec<_> = report.job_phases.iter().filter(|p| p.job == *job).collect();
+        // setup → map → reduce → finalize, opened back-to-back.
+        assert_eq!(
+            phases.iter().map(|p| p.phase.as_str()).collect::<Vec<_>>(),
+            ["setup", "map", "reduce", "finalize"],
+            "{job}"
+        );
+        // Consecutive guards take two clock readings (drop, then create),
+        // so allow microsecond-rounding gaps but nothing that would hide
+        // untracked work between phases.
+        for pair in phases.windows(2) {
+            assert!(pair[1].start_us >= pair[0].end_us, "overlap inside {job}");
+            assert!(pair[1].start_us - pair[0].end_us <= 100, "gap inside {job}");
+        }
+        let window = phases.last().unwrap().end_us - phases.first().unwrap().start_us;
+        let total = report.job_phase_total_us(job);
+        assert!(window - total <= 300, "{job}: phases must tile their window");
+    }
+    // The phase windows must also cover (±5%) the engine's own measure of
+    // each job's wall time — the acceptance bar for the report.
+    let engine_walls =
+        [run.mr[0].job1.stats.wall_time_us, run.mr[0].job2.as_ref().unwrap().stats.wall_time_us];
+    for (job, engine_wall) in jobs.iter().zip(engine_walls) {
+        let total = report.job_phase_total_us(job) as f64;
+        let wall = engine_wall as f64;
+        assert!(
+            (total - wall).abs() <= wall * 0.05 + 500.0,
+            "{job}: phase total {total}µs vs engine wall {wall}µs"
+        );
+    }
+    // And across every job — engine phases plus the runner's I/O phases —
+    // the durations must sum (±5%) to the report's own wall time.
+    let total: u64 = report.job_phases.iter().map(|p| p.end_us - p.start_us).sum();
+    let wall = report.wall_time_us;
+    assert!(
+        (total as f64 - wall as f64).abs() <= wall as f64 * 0.05 + 500.0,
+        "all phases {total}µs vs report wall {wall}µs"
+    );
+}
+
+#[test]
+fn span_byte_totals_equal_builtin_counters() {
+    let run = instrumented_mr_run(48, 3);
+    let report = &run.report;
+    let jobs: Vec<String> = job_names(report).into_iter().filter(|j| !j.ends_with("-io")).collect();
+    let counters = [&run.mr[0].job1.counters, &run.mr[0].job2.as_ref().unwrap().counters];
+    for (job, counters) in jobs.iter().zip(counters) {
+        // Reduce-side: every shuffled byte lands in exactly one reduce
+        // span's bytes_in.
+        let reduce_in: u64 = report
+            .task_spans
+            .iter()
+            .filter(|s| s.job == *job && s.kind == "reduce")
+            .map(|s| s.bytes_in)
+            .sum();
+        assert_eq!(reduce_in, counters[builtin::SHUFFLE_BYTES], "{job}: shuffle");
+        // Map-side: span bytes_out is the same accumulation as the
+        // MAP_OUTPUT_BYTES counter.
+        let map_out: u64 = report
+            .task_spans
+            .iter()
+            .filter(|s| s.job == *job && s.kind == "map")
+            .map(|s| s.bytes_out)
+            .sum();
+        assert_eq!(map_out, counters[builtin::MAP_OUTPUT_BYTES], "{job}: map output");
+        // Record conservation: reduce spans see exactly the records the
+        // grouping loop hands to the reducer.
+        let reduce_records: u64 = report
+            .task_spans
+            .iter()
+            .filter(|s| s.job == *job && s.kind == "reduce")
+            .map(|s| s.records_in)
+            .sum();
+        assert_eq!(
+            reduce_records,
+            counters[builtin::REDUCE_INPUT_RECORDS],
+            "{job}: reduce records"
+        );
+    }
+}
+
+#[test]
+fn histograms_agree_with_counters() {
+    let run = instrumented_mr_run(40, 4);
+    let report = &run.report;
+    let hist_sum = |name: &str| -> u64 {
+        report.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h.sum).unwrap_or(0)
+    };
+    // Every evaluation is recorded once in the per-task histogram and once
+    // in the user counter (folded into the report by the builder).
+    assert_eq!(
+        hist_sum("pairwise.evaluations_per_task"),
+        report.counter(EVALUATIONS_COUNTER).unwrap()
+    );
+    assert_eq!(report.counter(EVALUATIONS_COUNTER).unwrap(), 40 * 39 / 2);
+    // Shuffle histogram entries are per reduce partition; their sum is the
+    // builtin counter total (both jobs).
+    assert_eq!(
+        hist_sum("shuffle.bytes_per_partition"),
+        report.counter(builtin::SHUFFLE_BYTES).unwrap()
+    );
+    // Group sizes: one histogram sample per reduce group, total records.
+    assert_eq!(
+        hist_sum("reduce.group_size"),
+        report.counter(builtin::REDUCE_INPUT_RECORDS).unwrap()
+    );
+}
+
+#[test]
+fn node_timelines_partition_wall_time() {
+    let run = instrumented_mr_run(48, 3);
+    let report = &run.report;
+    assert!(!report.node_timelines.is_empty());
+    for tl in &report.node_timelines {
+        assert_eq!(tl.busy_us + tl.idle_us, report.wall_time_us, "node {}", tl.node);
+        assert!(tl.tasks > 0);
+        // Busy intervals are disjoint and ascending after merging.
+        for pair in tl.busy_intervals.windows(2) {
+            assert!(pair[0].1 < pair[1].0);
+        }
+    }
+    // Every span is attributed to some node's timeline.
+    let span_count: u64 = report.node_timelines.iter().map(|t| t.tasks).sum();
+    assert_eq!(span_count, report.task_spans.len() as u64);
+}

@@ -9,8 +9,7 @@ use pmr_core::runner::local::run_local;
 use pmr_core::runner::sequential::run_sequential;
 use pmr_core::runner::{comp_fn, CompFn, ConcatSort, Symmetry};
 use pmr_core::scheme::{
-    measure, verify_exactly_once, BlockScheme, BroadcastScheme, DesignScheme,
-    DistributionScheme,
+    measure, verify_exactly_once, BlockScheme, BroadcastScheme, DesignScheme, DistributionScheme,
 };
 
 proptest! {

@@ -27,5 +27,5 @@ pub mod singer;
 pub use design::{BlockDesign, DesignError};
 pub use gf::Gf;
 pub use plane::{pg2, plane, theorem2, truncated_plane};
-pub use singer::{is_perfect_difference_set, singer, singer_difference_set};
 pub use primes::{is_prime, is_prime_power, plane_size, prime_power, smallest_plane_order};
+pub use singer::{is_perfect_difference_set, singer, singer_difference_set};

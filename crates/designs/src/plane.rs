@@ -29,7 +29,10 @@ use crate::primes::{is_prime, plane_size, prime_power, smallest_plane_order};
 /// Panics if `q` is not prime (rule 3 requires `ℤ_q` to be a field; for
 /// prime powers use [`pg2`]).
 pub fn theorem2(q: u64) -> BlockDesign {
-    assert!(is_prime(q), "theorem2 construction requires prime q (got {q}); use pg2 for prime powers");
+    assert!(
+        is_prime(q),
+        "theorem2 construction requires prime q (got {q}); use pg2 for prime powers"
+    );
     let qhat = plane_size(q);
     let mut blocks = Vec::with_capacity(qhat as usize);
 
@@ -177,11 +180,7 @@ mod tests {
     fn theorem2_valid_for_small_primes() {
         for q in [2u64, 3, 5, 7, 11, 13] {
             let d = theorem2(q);
-            assert_eq!(
-                d.is_projective_plane(),
-                Some(q),
-                "Theorem 2 construction failed for q={q}"
-            );
+            assert_eq!(d.is_projective_plane(), Some(q), "Theorem 2 construction failed for q={q}");
             // Every point lies on exactly q + 1 lines (replication r = k).
             assert!(d.replication_counts().iter().all(|&r| r == q + 1));
         }

@@ -63,9 +63,8 @@ pub fn is_perfect_difference_set(d: &[u64], v: u64) -> bool {
 pub fn singer(q: u64) -> BlockDesign {
     let qhat = plane_size(q);
     let d = singer_difference_set(q);
-    let blocks = (0..qhat)
-        .map(|t| d.iter().map(|&x| (x + t) % qhat).collect::<Vec<u64>>())
-        .collect();
+    let blocks =
+        (0..qhat).map(|t| d.iter().map(|&x| (x + t) % qhat).collect::<Vec<u64>>()).collect();
     BlockDesign::new(qhat, blocks)
 }
 

@@ -209,7 +209,8 @@ impl<'a> SpillSink<'a> {
                 rec.write_framed(&mut buf);
             }
             counters.add(builtin::SPILLED_RECORDS, part.len() as u64);
-            if let Err(e) = self.node.write_local(&format!("{}{run}/p/{p}", self.prefix), buf.freeze())
+            if let Err(e) =
+                self.node.write_local(&format!("{}{run}/p/{p}", self.prefix), buf.freeze())
             {
                 let mut err = self.error.borrow_mut();
                 if err.is_none() {

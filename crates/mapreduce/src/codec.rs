@@ -406,8 +406,7 @@ mod tests {
 
     #[test]
     fn record_stream_roundtrip_with_offsets() {
-        let recs: Vec<(u64, String)> =
-            (0..10).map(|i| (i, format!("value-{i}"))).collect();
+        let recs: Vec<(u64, String)> = (0..10).map(|i| (i, format!("value-{i}"))).collect();
         let (bytes, offsets) = encode_record_stream(recs.clone());
         assert_eq!(offsets.len(), 10);
         assert_eq!(offsets[0], 0);

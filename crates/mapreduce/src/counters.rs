@@ -103,11 +103,7 @@ impl Counters {
 
     /// Snapshot of all counters, sorted by name.
     pub fn snapshot(&self) -> BTreeMap<String, u64> {
-        self.inner
-            .lock()
-            .iter()
-            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
-            .collect()
+        self.inner.lock().iter().map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed))).collect()
     }
 
     /// Merges another snapshot into this bag (used when chaining jobs).

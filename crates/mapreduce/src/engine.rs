@@ -16,6 +16,7 @@ use std::time::Instant;
 use bytes::BytesMut;
 use parking_lot::Mutex;
 use pmr_cluster::{Cluster, ClusterError, MemoryGauge, NodeId, TaskAttemptId, TaskKind};
+use pmr_obs::{hist, SpanKind};
 
 use crate::api::{MapContext, Mapper, ReduceContext, Reducer, TaskCache, Values};
 use crate::codec::{decode_raw_stream, RawRecord, Wire};
@@ -65,6 +66,10 @@ impl<'c> Engine<'c> {
         let n = cluster.num_nodes();
         let net_before = cluster.traffic().remote_bytes();
         let sim_before = cluster.traffic().simulated_time_us();
+        // Job-level phase windows are opened back-to-back so their wall
+        // times tile the job's wall time.
+        let telemetry = cluster.telemetry().clone();
+        let mut phase = telemetry.job_phase(&spec.name, "setup");
 
         // --- Distribute cache files to every node (paper §5.1). ---
         let cache_prefix = format!("mr/{jid}/cache/");
@@ -72,9 +77,12 @@ impl<'c> Engine<'c> {
             for node in cluster.nodes() {
                 node.write_local(&format!("{cache_prefix}{name}"), data.clone())?;
             }
-            cluster
-                .traffic()
-                .record_broadcast(&cluster.config().network, NodeId(0), n, data.len() as u64);
+            cluster.traffic().record_broadcast(
+                &cluster.config().network,
+                NodeId(0),
+                n,
+                data.len() as u64,
+            );
             counters.add(builtin::DISTRIBUTED_CACHE_BYTES, data.len() as u64 * n as u64);
             cluster.check_intermediate_capacity()?;
         }
@@ -93,8 +101,8 @@ impl<'c> Engine<'c> {
             let desired = if spec.desired_map_tasks == 0 {
                 usize::MAX // one split per block
             } else {
-                (((spec.desired_map_tasks as u64 * flen) + total_len - 1) / total_len.max(1))
-                    .max(1) as usize
+                (((spec.desired_map_tasks as u64 * flen) + total_len - 1) / total_len.max(1)).max(1)
+                    as usize
             };
             let per_block = flen.div_ceil(cluster.dfs().block_size()).max(1) as usize;
             splits.extend(cluster.dfs().splits(path, desired.min(per_block))?);
@@ -113,17 +121,17 @@ impl<'c> Engine<'c> {
                     .iter()
                     .copied()
                     .min_by_key(|nd| (load[nd.index()], nd.0))
-                    .unwrap_or_else(|| {
-                        NodeId(
-                            (0..n).min_by_key(|&i| (load[i], i)).unwrap() as u32,
-                        )
-                    });
+                    .unwrap_or_else(
+                        || NodeId((0..n).min_by_key(|&i| (load[i], i)).unwrap() as u32),
+                    );
                 load[chosen.index()] += 1;
                 chosen
             })
             .collect();
 
         // --- Map phase. ---
+        drop(phase);
+        phase = telemetry.job_phase(&spec.name, "map");
         let num_maps = splits.len();
         let error: Mutex<Option<MrError>> = Mutex::new(None);
         let queues: Vec<Mutex<VecDeque<usize>>> =
@@ -179,6 +187,8 @@ impl<'c> Engine<'c> {
         counters.record_max(INTERMEDIATE_PEAK_COUNTER, peak_intermediate);
 
         // --- Reduce phase. ---
+        drop(phase);
+        phase = telemetry.job_phase(&spec.name, "reduce");
         let reduce_queues: Vec<Mutex<VecDeque<usize>>> =
             (0..n).map(|_| Mutex::new(VecDeque::new())).collect();
         for r in 0..spec.num_reducers {
@@ -223,6 +233,8 @@ impl<'c> Engine<'c> {
             }
         })
         .expect("reduce worker panicked");
+        drop(phase);
+        let phase = telemetry.job_phase(&spec.name, "finalize");
         self.cleanup(jid);
         if let Some(e) = error.lock().take() {
             return Err(e);
@@ -239,6 +251,7 @@ impl<'c> Engine<'c> {
             simulated_network_time_us: cluster.traffic().simulated_time_us() - sim_before,
             wall_time_us: started.elapsed().as_micros() as u64,
         };
+        drop(phase);
         Ok(JobOutput { output_paths, counters: counters.snapshot(), stats })
     }
 
@@ -273,12 +286,18 @@ impl<'c> Engine<'c> {
                 counters.inc(builtin::FAILED_ATTEMPTS);
                 continue;
             }
-            return self.map_attempt(jid, task, node_id, split, spec, counters, cache_prefix);
+            return self.map_attempt(
+                jid,
+                task,
+                attempt,
+                node_id,
+                split,
+                spec,
+                counters,
+                cache_prefix,
+            );
         }
-        Err(MrError::TaskFailed {
-            task: format!("job{jid}/map{task}"),
-            attempts: max_attempts,
-        })
+        Err(MrError::TaskFailed { task: format!("job{jid}/map{task}"), attempts: max_attempts })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -286,6 +305,7 @@ impl<'c> Engine<'c> {
         &self,
         jid: u32,
         task: u32,
+        attempt: u32,
         node_id: NodeId,
         split: &pmr_cluster::InputSplit,
         spec: &JobSpec<M, R>,
@@ -298,6 +318,9 @@ impl<'c> Engine<'c> {
     {
         let cluster = self.cluster;
         let node = cluster.node(node_id);
+        let mut span =
+            cluster.telemetry().span(&spec.name, SpanKind::Map, task, attempt, node_id.0);
+        let mut lap_at = Instant::now();
         let data = cluster.dfs().read_range_from(
             &split.path,
             split.offset,
@@ -306,7 +329,10 @@ impl<'c> Engine<'c> {
             cluster.traffic(),
             &cluster.config().network,
         )?;
+        span.add_bytes_in(data.len() as u64);
         let records = decode_raw_stream(data)?;
+        span.add_records_in(records.len() as u64);
+        span.lap("read", &mut lap_at);
         let mut partitions: Vec<Vec<RawRecord>> = vec![Vec::new(); spec.num_reducers];
         let cache = TaskCache { node, prefix: cache_prefix.to_string() };
         let sink = crate::api::SpillSink {
@@ -324,7 +350,10 @@ impl<'c> Engine<'c> {
             let v = M::VIn::from_bytes(raw.value)?;
             spec.mapper.map(k, v, &mut ctx)?;
         }
-        counters.add(builtin::MAP_OUTPUT_BYTES, ctx.take_output_bytes());
+        let output_bytes = ctx.take_output_bytes();
+        counters.add(builtin::MAP_OUTPUT_BYTES, output_bytes);
+        span.add_bytes_out(output_bytes);
+        span.lap("map", &mut lap_at);
         if let Some(e) = sink.error.borrow_mut().take() {
             return Err(e);
         }
@@ -349,6 +378,7 @@ impl<'c> Engine<'c> {
                 }
             }
         }
+        span.lap("merge", &mut lap_at);
 
         // Sort each partition by key bytes; run the combiner if present.
         for (p, part) in partitions.iter_mut().enumerate() {
@@ -381,8 +411,10 @@ impl<'c> Engine<'c> {
                 rec.write_framed(&mut buf);
             }
             counters.add(builtin::SPILLED_RECORDS, part.len() as u64);
+            span.add_records_out(part.len() as u64);
             node.write_local(&format!("mr/{jid}/m/{task}/p/{p}"), buf.freeze())?;
         }
+        span.lap("sort", &mut lap_at);
         cluster.check_intermediate_capacity()?;
         Ok(())
     }
@@ -416,6 +448,7 @@ impl<'c> Engine<'c> {
             return self.reduce_attempt(
                 jid,
                 task,
+                attempt,
                 node_id,
                 num_maps,
                 map_assignment,
@@ -424,10 +457,7 @@ impl<'c> Engine<'c> {
                 cache_prefix,
             );
         }
-        Err(MrError::TaskFailed {
-            task: format!("job{jid}/reduce{task}"),
-            attempts: max_attempts,
-        })
+        Err(MrError::TaskFailed { task: format!("job{jid}/reduce{task}"), attempts: max_attempts })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -435,6 +465,7 @@ impl<'c> Engine<'c> {
         &self,
         jid: u32,
         task: u32,
+        attempt: u32,
         node_id: NodeId,
         num_maps: usize,
         map_assignment: &[NodeId],
@@ -448,14 +479,19 @@ impl<'c> Engine<'c> {
     {
         let cluster = self.cluster;
         let node = cluster.node(node_id);
+        let telemetry = cluster.telemetry();
+        let mut span = telemetry.span(&spec.name, SpanKind::Reduce, task, attempt, node_id.0);
+        let mut lap_at = Instant::now();
 
         // Shuffle: fetch this task's partition from every map output.
         let mut records: Vec<RawRecord> = Vec::new();
+        let mut fetched_bytes = 0u64;
         for (m, &src) in map_assignment.iter().enumerate().take(num_maps) {
             let name = format!("mr/{jid}/m/{m}/p/{task}");
             match cluster.node(src).read_local(&name) {
                 Ok(data) => {
                     counters.add(builtin::SHUFFLE_BYTES, data.len() as u64);
+                    fetched_bytes += data.len() as u64;
                     cluster.traffic().record(
                         &cluster.config().network,
                         src,
@@ -468,9 +504,14 @@ impl<'c> Engine<'c> {
                 Err(e) => return Err(e.into()),
             }
         }
+        span.add_bytes_in(fetched_bytes);
+        span.add_records_in(records.len() as u64);
+        telemetry.record_value(hist::SHUFFLE_BYTES_PER_PARTITION, fetched_bytes);
+        span.lap("shuffle", &mut lap_at);
 
         // Sort (stable, so value order within a key is deterministic).
         records.sort_by(|a, b| a.key.cmp(&b.key));
+        span.lap("sort", &mut lap_at);
 
         // Reduce each group under the working-set memory budget.
         let (on, od) = spec.memory_overhead;
@@ -489,6 +530,7 @@ impl<'c> Engine<'c> {
             gauge.try_reserve(group_bytes)?;
             counters.inc(builtin::REDUCE_INPUT_GROUPS);
             counters.add(builtin::REDUCE_INPUT_RECORDS, (j - i) as u64);
+            telemetry.record_value(hist::GROUP_SIZE, (j - i) as u64);
             let key = R::KIn::from_bytes(records[i].key.clone())?;
             let values: Values<'_, R::VIn> = Values::new(&records[i..j]);
             let mut ctx: ReduceContext<'_, R::KOut, R::VOut> =
@@ -498,15 +540,20 @@ impl<'c> Engine<'c> {
             i = j;
         }
         counters.record_max(WS_PEAK_COUNTER, gauge.peak());
+        span.record_peak_working_set(gauge.peak());
+        span.lap("reduce", &mut lap_at);
 
         // Write this task's output part file to the DFS.
         let path = format!("{}/part-{task:05}", spec.output);
         counters.add(builtin::REDUCE_OUTPUT_BYTES, out.len() as u64);
+        span.add_bytes_out(out.len() as u64);
+        span.add_records_out(offsets.len() as u64);
         let data = out.freeze();
         // Re-running a reduce after a sibling task's failure may find the
         // part file already present; replace it for idempotence.
         cluster.dfs().delete(&path);
         cluster.dfs().create_with_records(&path, data, Some(offsets))?;
+        span.lap("write", &mut lap_at);
         Ok(())
     }
 }

@@ -33,7 +33,9 @@ pub use api::{
     typed_combiner, IdentityMapper, MapContext, Mapper, RawCombiner, ReduceContext, Reducer,
     TaskCache, Values,
 };
-pub use codec::{decode_record_stream, decode_raw_stream, encode_record_stream, CodecError, RawRecord, Wire};
+pub use codec::{
+    decode_raw_stream, decode_record_stream, encode_record_stream, CodecError, RawRecord, Wire,
+};
 pub use counters::{builtin, Counters};
 pub use engine::{Engine, INTERMEDIATE_PEAK_COUNTER, WS_PEAK_COUNTER};
 pub use error::{MrError, Result};

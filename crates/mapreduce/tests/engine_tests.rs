@@ -50,12 +50,8 @@ impl Reducer for SumReducer {
 }
 
 fn word_corpus() -> Vec<(u64, String)> {
-    let lines = [
-        "the quick brown fox",
-        "the lazy dog",
-        "the quick dog jumps",
-        "fox and dog and fox",
-    ];
+    let lines =
+        ["the quick brown fox", "the lazy dog", "the quick dog jumps", "fox and dog and fox"];
     lines.iter().enumerate().map(|(i, l)| (i as u64, l.to_string())).collect()
 }
 
@@ -101,11 +97,10 @@ fn combiner_shrinks_shuffle_but_preserves_results() {
         let cluster = Cluster::new(ClusterConfig::with_nodes(4));
         let inputs = write_sharded(&cluster, "in", 2, word_corpus()).unwrap();
         let engine = Engine::new(&cluster);
-        let mut spec =
-            JobSpec::new("wc", inputs, "out", TokenizeMapper, SumReducer, 2);
+        let mut spec = JobSpec::new("wc", inputs, "out", TokenizeMapper, SumReducer, 2);
         if with_combiner {
-            spec = spec
-                .combiner(typed_combiner(|k: String, vs: Vec<u64>| vec![(k, vs.iter().sum())]));
+            spec =
+                spec.combiner(typed_combiner(|k: String, vs: Vec<u64>| vec![(k, vs.iter().sum())]));
         }
         let out = engine.run(spec).unwrap();
         let mut results: Vec<(String, u64)> = read_output(&cluster, "out").unwrap();
@@ -129,9 +124,7 @@ fn chained_jobs_share_dfs() {
     let cluster = Cluster::new(ClusterConfig::with_nodes(3));
     let inputs = write_sharded(&cluster, "in", 2, word_corpus()).unwrap();
     let engine = Engine::new(&cluster);
-    let j1 = engine
-        .run(JobSpec::new("wc", inputs, "mid", TokenizeMapper, SumReducer, 2))
-        .unwrap();
+    let j1 = engine.run(JobSpec::new("wc", inputs, "mid", TokenizeMapper, SumReducer, 2)).unwrap();
     let j2 = engine
         .run(JobSpec::new(
             "identity",
@@ -150,14 +143,11 @@ fn chained_jobs_share_dfs() {
 
 #[test]
 fn injected_failures_are_retried_transparently() {
-    let cluster = Cluster::new(
-        ClusterConfig::with_nodes(4).failure_probability(0.3).seed(7),
-    );
+    let cluster = Cluster::new(ClusterConfig::with_nodes(4).failure_probability(0.3).seed(7));
     let inputs = write_sharded(&cluster, "in", 4, word_corpus()).unwrap();
     let engine = Engine::new(&cluster);
-    let out = engine
-        .run(JobSpec::new("wc-flaky", inputs, "out", TokenizeMapper, SumReducer, 4))
-        .unwrap();
+    let out =
+        engine.run(JobSpec::new("wc-flaky", inputs, "out", TokenizeMapper, SumReducer, 4)).unwrap();
     // With p=0.3 over 8+ attempts some failure is overwhelmingly likely;
     // if this seed produced none the assertion below would flag it.
     assert!(
@@ -300,9 +290,8 @@ fn network_accounting_is_deterministic() {
         let cluster = Cluster::new(ClusterConfig::with_nodes(4).seed(11));
         let inputs = write_sharded(&cluster, "in", 4, word_corpus()).unwrap();
         let engine = Engine::new(&cluster);
-        let out = engine
-            .run(JobSpec::new("wc", inputs, "out", TokenizeMapper, SumReducer, 3))
-            .unwrap();
+        let out =
+            engine.run(JobSpec::new("wc", inputs, "out", TokenizeMapper, SumReducer, 3)).unwrap();
         (out.stats.network_bytes, out.counters[builtin::SHUFFLE_BYTES])
     };
     assert_eq!(run(), run(), "same seed+config must give identical byte accounting");
@@ -335,9 +324,7 @@ fn many_reducers_more_than_keys() {
     let cluster = Cluster::new(ClusterConfig::with_nodes(2));
     let inputs = write_sharded(&cluster, "in", 1, word_corpus()).unwrap();
     let engine = Engine::new(&cluster);
-    engine
-        .run(JobSpec::new("wide", inputs, "out", TokenizeMapper, SumReducer, 16))
-        .unwrap();
+    engine.run(JobSpec::new("wide", inputs, "out", TokenizeMapper, SumReducer, 16)).unwrap();
     let mut results: Vec<(String, u64)> = read_output(&cluster, "out").unwrap();
     results.sort();
     assert_eq!(results, expected_counts());
@@ -354,9 +341,8 @@ fn large_dataset_spans_blocks_and_splits() {
         (0..5000u64).map(|i| (i, format!("word{} word{}", i % 50, (i + 1) % 50))).collect();
     let inputs = write_sharded(&cluster, "in", 4, records).unwrap();
     let engine = Engine::new(&cluster);
-    let out = engine
-        .run(JobSpec::new("big", inputs, "out", TokenizeMapper, SumReducer, 5))
-        .unwrap();
+    let out =
+        engine.run(JobSpec::new("big", inputs, "out", TokenizeMapper, SumReducer, 5)).unwrap();
     assert_eq!(out.counters[builtin::MAP_INPUT_RECORDS], 5000);
     assert!(out.stats.map_tasks > 4, "block-sized splits expected, got {}", out.stats.map_tasks);
     let results: Vec<(String, u64)> = read_output(&cluster, "out").unwrap();
@@ -393,9 +379,7 @@ fn sort_buffer_spills_preserve_results() {
     assert!(spilled_counters.get("mr.map.merged.runs").copied().unwrap_or(0) >= spills);
     // Spilled records exceed map-output records (each record is written in
     // a run and again in the final partition files).
-    assert!(
-        spilled_counters[builtin::SPILLED_RECORDS] > plain_counters[builtin::SPILLED_RECORDS]
-    );
+    assert!(spilled_counters[builtin::SPILLED_RECORDS] > plain_counters[builtin::SPILLED_RECORDS]);
 }
 
 #[test]
@@ -423,17 +407,11 @@ fn spills_count_against_node_storage() {
     let mut cfg = ClusterConfig::with_nodes(1);
     cfg.node.storage_capacity = Some(600);
     let cluster = Cluster::new(cfg);
-    let records: Vec<(u64, String)> =
-        (0..200u64).map(|i| (i, format!("word{}", i % 7))).collect();
+    let records: Vec<(u64, String)> = (0..200u64).map(|i| (i, format!("word{}", i % 7))).collect();
     let inputs = write_sharded(&cluster, "in", 1, records.clone()).unwrap();
     let engine = Engine::new(&cluster);
     let err = engine
-        .run(
-            JobSpec::new("wc", inputs, "out", TokenizeMapper, SumReducer, 1).sort_buffer(64),
-        )
+        .run(JobSpec::new("wc", inputs, "out", TokenizeMapper, SumReducer, 1).sort_buffer(64))
         .unwrap_err();
-    assert!(
-        matches!(err, MrError::Cluster(ClusterError::NodeStorageExceeded { .. })),
-        "{err}"
-    );
+    assert!(matches!(err, MrError::Cluster(ClusterError::NodeStorageExceeded { .. })), "{err}");
 }

@@ -80,12 +80,7 @@ impl Mapper for KeyedMapper {
     type KOut = u64;
     type VOut = u64;
 
-    fn map(
-        &self,
-        k: u64,
-        v: u64,
-        ctx: &mut MapContext<'_, u64, u64>,
-    ) -> pmr_mapreduce::Result<()> {
+    fn map(&self, k: u64, v: u64, ctx: &mut MapContext<'_, u64, u64>) -> pmr_mapreduce::Result<()> {
         ctx.emit(k % 10, v);
         ctx.emit(k % 7, v / 2);
         Ok(())

@@ -1,0 +1,167 @@
+//! Power-of-two bucketed histograms for size/count distributions
+//! (shuffle bytes per partition, group sizes per reduce key, evaluations
+//! per task).
+
+/// A histogram with log2 buckets: bucket 0 holds the value 0, bucket
+/// `i ≥ 1` holds values in `[2^(i-1), 2^i)`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram { buckets: [0; 65], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Index of the bucket holding `value`.
+    fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Lower bound (inclusive) of bucket `i`.
+    pub fn bucket_lo(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Upper bound (inclusive) of bucket `i`.
+    pub fn bucket_hi(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Immutable snapshot with only the populated buckets.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| HistogramBucket {
+                    lo: Self::bucket_lo(i),
+                    hi: Self::bucket_hi(i),
+                    count: c,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One populated bucket of a [`HistogramSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramBucket {
+    /// Smallest value the bucket holds.
+    pub lo: u64,
+    /// Largest value the bucket holds.
+    pub hi: u64,
+    /// Observations that fell in the bucket.
+    pub count: u64,
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values (saturating).
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Populated buckets, ascending.
+    pub buckets: Vec<HistogramBucket>,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_lo(2), 2);
+        assert_eq!(Histogram::bucket_hi(2), 3);
+    }
+
+    #[test]
+    fn snapshot_tracks_stats() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 1024] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1030);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1024);
+        assert_eq!(s.mean(), 206.0);
+        // Buckets: {0}, {1}, {2,3}, {1024}.
+        assert_eq!(s.buckets.len(), 4);
+        assert_eq!(s.buckets[2], HistogramBucket { lo: 2, hi: 3, count: 2 });
+    }
+
+    #[test]
+    fn empty_snapshot_is_sane() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.buckets.is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! # pmr-obs — run-report observability layer
+//!
+//! A lock-cheap structured telemetry subsystem threaded through the whole
+//! stack:
+//!
+//! * [`Telemetry`] — a cheap-clone handle over a shared event sink. A
+//!   *disabled* handle is a `None`: every recording call returns
+//!   immediately without allocating, so instrumentation can stay in the
+//!   hot paths unconditionally.
+//! * [`Span`] — one task attempt: id, node, attempt, phase-by-phase wall
+//!   timings, bytes/records in and out, peak working set. Accumulates
+//!   locally; one mutex hold on drop.
+//! * Job-level [`telemetry::JobPhase`] windows, emitted back-to-back by
+//!   the engine so a job's phases tile its wall time.
+//! * [`Histogram`] — log2-bucketed distributions (shuffle bytes per
+//!   partition, group sizes per reduce key, evaluations per task).
+//! * [`RunReport`] — the assembled picture (plus derived per-node
+//!   busy/idle timelines and memory high-water marks), serializable to
+//!   JSON via a hand-rolled writer ([`json`]) with zero dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod json;
+pub mod report;
+pub mod telemetry;
+
+pub use histogram::{Histogram, HistogramBucket, HistogramSnapshot};
+pub use json::JsonWriter;
+pub use report::{NodeTimeline, RunReport};
+pub use telemetry::{
+    JobPhase, LinkStats, PhaseGuard, PlacementStats, Span, SpanKind, TaskSpan, Telemetry,
+};
+
+/// Well-known histogram names recorded by the engine and runners.
+pub mod hist {
+    /// Shuffle bytes fetched per reduce partition (one observation per
+    /// reduce task).
+    pub const SHUFFLE_BYTES_PER_PARTITION: &str = "shuffle.bytes_per_partition";
+    /// Records per reduce key group (one observation per group).
+    pub const GROUP_SIZE: &str = "reduce.group_size";
+    /// Pairwise evaluations per task (one observation per evaluating
+    /// task).
+    pub const EVALUATIONS_PER_TASK: &str = "pairwise.evaluations_per_task";
+}

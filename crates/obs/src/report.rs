@@ -1,0 +1,382 @@
+//! The machine-readable run report: everything the telemetry sink saw,
+//! assembled, derived (node timelines), and serializable to JSON with the
+//! hand-rolled writer in [`crate::json`].
+
+use crate::histogram::HistogramSnapshot;
+use crate::json::JsonWriter;
+use crate::telemetry::{JobPhase, LinkStats, PlacementStats, TaskSpan};
+
+/// Busy/idle picture of one node, derived from its task spans.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeTimeline {
+    /// Node id.
+    pub node: u32,
+    /// Task attempts that ran on the node.
+    pub tasks: u64,
+    /// Microseconds the node ran ≥ 1 task (span union).
+    pub busy_us: u64,
+    /// `wall_time_us - busy_us`.
+    pub idle_us: u64,
+    /// Merged busy intervals `(start_us, end_us)`, ascending.
+    pub busy_intervals: Vec<(u64, u64)>,
+    /// Largest task working set seen on the node, bytes.
+    pub memory_high_water_bytes: u64,
+}
+
+/// A completed run's telemetry: metadata, counters, job phases, task
+/// spans, per-node timelines, traffic/placement aggregates, histograms.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Report-level `(key, value)` metadata in insertion order.
+    pub meta: Vec<(String, String)>,
+    /// Run wall time, µs since the telemetry epoch.
+    pub wall_time_us: u64,
+    /// Named counters (merged in by the caller; e.g. engine counters).
+    pub counters: Vec<(String, u64)>,
+    /// Job-level phase windows in recorded order.
+    pub job_phases: Vec<JobPhase>,
+    /// Completed task attempts, sorted by (job, kind, task, attempt).
+    pub task_spans: Vec<TaskSpan>,
+    /// Per-node busy/idle timelines, ascending by node.
+    pub node_timelines: Vec<NodeTimeline>,
+    /// Directed per-link traffic `(src, dst, stats)`, ascending.
+    pub transfers: Vec<(u32, u32, LinkStats)>,
+    /// Per-node DFS placement `(node, stats)`, ascending.
+    pub placements: Vec<(u32, PlacementStats)>,
+    /// Named histograms, ascending by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl RunReport {
+    /// Builds a report from sink contents (called by
+    /// [`crate::Telemetry::report`]): sorts spans, derives node timelines.
+    pub fn assemble(
+        meta: Vec<(String, String)>,
+        wall_time_us: u64,
+        job_phases: Vec<JobPhase>,
+        mut task_spans: Vec<TaskSpan>,
+        transfers: Vec<(u32, u32, LinkStats)>,
+        placements: Vec<(u32, PlacementStats)>,
+        histograms: Vec<(String, HistogramSnapshot)>,
+    ) -> RunReport {
+        task_spans.sort_by(|a, b| {
+            (&a.job, a.kind, a.task, a.attempt).cmp(&(&b.job, b.kind, b.task, b.attempt))
+        });
+        let node_timelines = derive_timelines(&task_spans, wall_time_us);
+        RunReport {
+            meta,
+            wall_time_us,
+            counters: Vec::new(),
+            job_phases,
+            task_spans,
+            node_timelines,
+            transfers,
+            placements,
+            histograms,
+        }
+    }
+
+    /// Merges counters (sorted by name for deterministic output). Existing
+    /// entries with the same name are summed.
+    pub fn merge_counters<'a>(&mut self, counters: impl IntoIterator<Item = (&'a str, u64)>) {
+        for (name, value) in counters {
+            match self.counters.iter_mut().find(|(n, _)| n == name) {
+                Some(slot) => slot.1 += value,
+                None => self.counters.push((name.to_string(), value)),
+            }
+        }
+        self.counters.sort();
+    }
+
+    /// Value of a named counter, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The longest task attempt — the straggler (None if no spans).
+    pub fn straggler(&self) -> Option<&TaskSpan> {
+        self.task_spans.iter().max_by_key(|s| s.end_us.saturating_sub(s.start_us))
+    }
+
+    /// Total bytes over all recorded transfers (remote and local links).
+    pub fn total_transfer_bytes(&self) -> u64 {
+        self.transfers.iter().map(|(_, _, l)| l.bytes).sum()
+    }
+
+    /// Bytes over remote links only (src ≠ dst) — the paper's
+    /// communication-cost metric.
+    pub fn remote_transfer_bytes(&self) -> u64 {
+        self.transfers.iter().filter(|(s, d, _)| s != d).map(|(_, _, l)| l.bytes).sum()
+    }
+
+    /// Summed wall time of a job's phase windows (µs). With back-to-back
+    /// phase guards this tiles — and therefore equals — the job's wall
+    /// time.
+    pub fn job_phase_total_us(&self, job: &str) -> u64 {
+        self.job_phases
+            .iter()
+            .filter(|p| p.job == job)
+            .map(|p| p.end_us.saturating_sub(p.start_us))
+            .sum()
+    }
+
+    /// Serializes the report to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.str_field("schema", "pmr.run_report/1");
+        w.u64_field("wall_time_us", self.wall_time_us);
+
+        w.begin_object_key("meta");
+        for (k, v) in &self.meta {
+            w.str_field(k, v);
+        }
+        w.end_object();
+
+        w.begin_object_key("counters");
+        for (k, v) in &self.counters {
+            w.u64_field(k, *v);
+        }
+        w.end_object();
+
+        w.begin_array_key("job_phases");
+        for p in &self.job_phases {
+            w.begin_object();
+            w.str_field("job", &p.job);
+            w.str_field("phase", &p.phase);
+            w.u64_field("start_us", p.start_us);
+            w.u64_field("end_us", p.end_us);
+            w.end_object();
+        }
+        w.end_array();
+
+        w.begin_array_key("task_spans");
+        for s in &self.task_spans {
+            w.begin_object();
+            w.str_field("job", &s.job);
+            w.str_field("kind", s.kind);
+            w.u64_field("task", s.task as u64);
+            w.u64_field("attempt", s.attempt as u64);
+            w.u64_field("node", s.node as u64);
+            w.u64_field("start_us", s.start_us);
+            w.u64_field("end_us", s.end_us);
+            w.begin_object_key("phases");
+            for (name, us) in &s.phases {
+                w.u64_field(name, *us);
+            }
+            w.end_object();
+            w.u64_field("bytes_in", s.bytes_in);
+            w.u64_field("bytes_out", s.bytes_out);
+            w.u64_field("records_in", s.records_in);
+            w.u64_field("records_out", s.records_out);
+            w.u64_field("peak_working_set_bytes", s.peak_working_set_bytes);
+            w.begin_object_key("labels");
+            for (k, v) in &s.labels {
+                w.str_field(k, v);
+            }
+            w.end_object();
+            w.end_object();
+        }
+        w.end_array();
+
+        w.begin_array_key("node_timelines");
+        for n in &self.node_timelines {
+            w.begin_object();
+            w.u64_field("node", n.node as u64);
+            w.u64_field("tasks", n.tasks);
+            w.u64_field("busy_us", n.busy_us);
+            w.u64_field("idle_us", n.idle_us);
+            w.begin_array_key("busy_intervals");
+            for (start, end) in &n.busy_intervals {
+                w.begin_object();
+                w.u64_field("start_us", *start);
+                w.u64_field("end_us", *end);
+                w.end_object();
+            }
+            w.end_array();
+            w.u64_field("memory_high_water_bytes", n.memory_high_water_bytes);
+            w.end_object();
+        }
+        w.end_array();
+
+        w.begin_array_key("transfers");
+        for (src, dst, l) in &self.transfers {
+            w.begin_object();
+            w.u64_field("src", *src as u64);
+            w.u64_field("dst", *dst as u64);
+            w.u64_field("bytes", l.bytes);
+            w.u64_field("events", l.events);
+            w.u64_field("sim_us", l.sim_us);
+            w.end_object();
+        }
+        w.end_array();
+
+        w.begin_array_key("placements");
+        for (node, p) in &self.placements {
+            w.begin_object();
+            w.u64_field("node", *node as u64);
+            w.u64_field("blocks", p.blocks);
+            w.u64_field("bytes", p.bytes);
+            w.end_object();
+        }
+        w.end_array();
+
+        w.begin_array_key("histograms");
+        for (name, h) in &self.histograms {
+            w.begin_object();
+            w.str_field("name", name);
+            w.u64_field("count", h.count);
+            w.u64_field("sum", h.sum);
+            w.u64_field("min", h.min);
+            w.u64_field("max", h.max);
+            w.f64_field("mean", h.mean());
+            w.begin_array_key("buckets");
+            for b in &h.buckets {
+                w.begin_object();
+                w.u64_field("lo", b.lo);
+                w.u64_field("hi", b.hi);
+                w.u64_field("count", b.count);
+                w.end_object();
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_array();
+
+        w.end_object();
+        w.finish()
+    }
+
+    /// Writes the JSON serialization to `path` (with a trailing newline).
+    pub fn write_json_file(&self, path: &str) -> std::io::Result<()> {
+        let mut text = self.to_json();
+        text.push('\n');
+        std::fs::write(path, text)
+    }
+}
+
+/// Merges each node's span windows into busy intervals and totals.
+fn derive_timelines(spans: &[TaskSpan], wall_time_us: u64) -> Vec<NodeTimeline> {
+    let mut per_node: std::collections::BTreeMap<u32, Vec<(u64, u64)>> =
+        std::collections::BTreeMap::new();
+    let mut high_water: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+    for s in spans {
+        per_node.entry(s.node).or_default().push((s.start_us, s.end_us.max(s.start_us)));
+        let hw = high_water.entry(s.node).or_default();
+        *hw = (*hw).max(s.peak_working_set_bytes);
+    }
+    per_node
+        .into_iter()
+        .map(|(node, mut windows)| {
+            let tasks = windows.len() as u64;
+            windows.sort_unstable();
+            let mut merged: Vec<(u64, u64)> = Vec::new();
+            for (start, end) in windows {
+                match merged.last_mut() {
+                    Some((_, last_end)) if start <= *last_end => *last_end = (*last_end).max(end),
+                    _ => merged.push((start, end)),
+                }
+            }
+            let busy_us: u64 = merged.iter().map(|(s, e)| e - s).sum();
+            NodeTimeline {
+                node,
+                tasks,
+                busy_us,
+                idle_us: wall_time_us.saturating_sub(busy_us),
+                busy_intervals: merged,
+                memory_high_water_bytes: high_water.get(&node).copied().unwrap_or(0),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(node: u32, task: u32, start: u64, end: u64, ws: u64) -> TaskSpan {
+        TaskSpan {
+            job: "j".into(),
+            kind: "map",
+            task,
+            node,
+            start_us: start,
+            end_us: end,
+            peak_working_set_bytes: ws,
+            ..TaskSpan::default()
+        }
+    }
+
+    #[test]
+    fn timelines_merge_overlaps() {
+        let spans = vec![span(0, 0, 0, 10, 100), span(0, 1, 5, 20, 300), span(1, 2, 30, 40, 50)];
+        let tl = derive_timelines(&spans, 50);
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl[0].busy_intervals, vec![(0, 20)]);
+        assert_eq!(tl[0].busy_us, 20);
+        assert_eq!(tl[0].idle_us, 30);
+        assert_eq!(tl[0].tasks, 2);
+        assert_eq!(tl[0].memory_high_water_bytes, 300);
+        assert_eq!(tl[1].busy_intervals, vec![(30, 40)]);
+    }
+
+    #[test]
+    fn straggler_is_longest_span() {
+        let r = RunReport::assemble(
+            vec![],
+            100,
+            vec![],
+            vec![span(0, 0, 0, 10, 0), span(1, 1, 10, 90, 0), span(0, 2, 20, 30, 0)],
+            vec![],
+            vec![],
+            vec![],
+        );
+        assert_eq!(r.straggler().unwrap().task, 1);
+    }
+
+    #[test]
+    fn counters_merge_and_sort() {
+        let mut r = RunReport::default();
+        r.merge_counters([("b", 2), ("a", 1)]);
+        r.merge_counters([("b", 3)]);
+        assert_eq!(r.counters, vec![("a".to_string(), 1), ("b".to_string(), 5)]);
+        assert_eq!(r.counter("b"), Some(5));
+        assert_eq!(r.counter("zz"), None);
+    }
+
+    #[test]
+    fn phase_totals_per_job() {
+        let r = RunReport {
+            job_phases: vec![
+                JobPhase { job: "j1".into(), phase: "map".into(), start_us: 0, end_us: 60 },
+                JobPhase { job: "j1".into(), phase: "reduce".into(), start_us: 60, end_us: 100 },
+                JobPhase { job: "j2".into(), phase: "map".into(), start_us: 100, end_us: 110 },
+            ],
+            ..RunReport::default()
+        };
+        assert_eq!(r.job_phase_total_us("j1"), 100);
+        assert_eq!(r.job_phase_total_us("j2"), 10);
+    }
+
+    #[test]
+    fn json_has_schema_and_sections() {
+        let mut r = RunReport::default();
+        r.meta.push(("scheme".into(), "design(q=7)".into()));
+        r.merge_counters([("mr.shuffle.bytes", 42)]);
+        let json = r.to_json();
+        for needle in [
+            "\"schema\": \"pmr.run_report/1\"",
+            "\"meta\"",
+            "\"counters\"",
+            "\"job_phases\"",
+            "\"task_spans\"",
+            "\"node_timelines\"",
+            "\"transfers\"",
+            "\"placements\"",
+            "\"histograms\"",
+            "\"mr.shuffle.bytes\": 42",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+    }
+}

@@ -1,0 +1,423 @@
+//! The structured event sink and its cheap-clone handle.
+//!
+//! [`Telemetry`] is an `Option<Arc<…>>` wrapper: a disabled handle is a
+//! `None` that every recording method checks before doing *anything* —
+//! no formatting, no allocation, no locking — so instrumented code can be
+//! left in place unconditionally. An enabled handle points at a shared
+//! sink; events accumulate locally in [`Span`]s / [`PhaseGuard`]s and are
+//! pushed under one short mutex hold when the guard drops, keeping the
+//! hot path lock-cheap.
+//!
+//! All timestamps are microseconds since the sink's creation (its
+//! *epoch*), so times of spans, phases, and the final report share one
+//! axis.
+
+use std::collections::BTreeMap;
+use std::fmt::Display;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use crate::histogram::Histogram;
+use crate::report::RunReport;
+
+/// What kind of work a task span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SpanKind {
+    /// A map task attempt.
+    Map,
+    /// A reduce task attempt.
+    Reduce,
+    /// A generic task (local/sequential backends).
+    Task,
+}
+
+impl SpanKind {
+    /// Stable lowercase name used in reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::Map => "map",
+            SpanKind::Reduce => "reduce",
+            SpanKind::Task => "task",
+        }
+    }
+}
+
+/// One completed task attempt: identity, wall-clock window, per-phase
+/// timings, byte/record flows, and peak working set.
+#[derive(Debug, Clone, Default)]
+pub struct TaskSpan {
+    /// Job the task belongs to.
+    pub job: String,
+    /// Task kind ("map" / "reduce" / "task").
+    pub kind: &'static str,
+    /// Task index within the job and kind.
+    pub task: u32,
+    /// Attempt number (0 = first).
+    pub attempt: u32,
+    /// Node the attempt ran on.
+    pub node: u32,
+    /// Start, µs since the telemetry epoch.
+    pub start_us: u64,
+    /// End, µs since the telemetry epoch.
+    pub end_us: u64,
+    /// `(phase name, wall µs)` in execution order; phases tile the span.
+    pub phases: Vec<(&'static str, u64)>,
+    /// Bytes read by the task (input + shuffle).
+    pub bytes_in: u64,
+    /// Bytes written by the task (map output / reduce output).
+    pub bytes_out: u64,
+    /// Records read.
+    pub records_in: u64,
+    /// Records written.
+    pub records_out: u64,
+    /// Peak working-set bytes reserved while the task ran.
+    pub peak_working_set_bytes: u64,
+    /// Free-form `(key, value)` labels (scheme metadata etc.).
+    pub labels: Vec<(String, String)>,
+}
+
+/// One job-level phase window. The engine emits these back-to-back so the
+/// phases of a job tile its wall time.
+#[derive(Debug, Clone, Default)]
+pub struct JobPhase {
+    /// Job name.
+    pub job: String,
+    /// Phase name ("setup" / "map" / "reduce" / "finalize" …).
+    pub phase: String,
+    /// Start, µs since the telemetry epoch.
+    pub start_us: u64,
+    /// End, µs since the telemetry epoch.
+    pub end_us: u64,
+}
+
+/// Aggregated traffic over one directed node pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Total bytes moved.
+    pub bytes: u64,
+    /// Number of transfers.
+    pub events: u64,
+    /// Summed simulated transfer time, µs.
+    pub sim_us: u64,
+}
+
+/// Aggregated DFS block placement on one node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlacementStats {
+    /// Block replicas placed.
+    pub blocks: u64,
+    /// Bytes placed.
+    pub bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct SinkState {
+    meta: Vec<(String, String)>,
+    job_phases: Vec<JobPhase>,
+    spans: Vec<TaskSpan>,
+    transfers: BTreeMap<(u32, u32), LinkStats>,
+    placements: BTreeMap<u32, PlacementStats>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+#[derive(Debug)]
+struct Sink {
+    epoch: Instant,
+    state: Mutex<SinkState>,
+}
+
+impl Sink {
+    fn lock(&self) -> MutexGuard<'_, SinkState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Cheap-clone telemetry handle; see the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry(Option<Arc<Sink>>);
+
+impl Telemetry {
+    /// A no-op handle: every recording method returns immediately without
+    /// allocating.
+    pub fn disabled() -> Telemetry {
+        Telemetry(None)
+    }
+
+    /// A recording handle with a fresh sink; "now" becomes the epoch.
+    pub fn enabled() -> Telemetry {
+        Telemetry(Some(Arc::new(Sink { epoch: Instant::now(), state: Mutex::default() })))
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Microseconds since the sink's epoch (0 when disabled).
+    pub fn now_us(&self) -> u64 {
+        match &self.0 {
+            Some(sink) => sink.epoch.elapsed().as_micros() as u64,
+            None => 0,
+        }
+    }
+
+    /// Sets a report-level metadata entry (scheme name, parameters, …).
+    /// Last write wins for a repeated key.
+    pub fn set_meta(&self, key: &str, value: impl Display) {
+        if let Some(sink) = &self.0 {
+            let rendered = value.to_string();
+            let mut st = sink.lock();
+            if let Some(slot) = st.meta.iter_mut().find(|(k, _)| k == key) {
+                slot.1 = rendered;
+            } else {
+                st.meta.push((key.to_string(), rendered));
+            }
+        }
+    }
+
+    /// Opens a job-level phase window ending when the guard drops.
+    pub fn job_phase(&self, job: &str, phase: &str) -> PhaseGuard {
+        PhaseGuard(self.0.as_ref().map(|sink| PhaseGuardInner {
+            sink: Arc::clone(sink),
+            job: job.to_string(),
+            phase: phase.to_string(),
+            start_us: sink.epoch.elapsed().as_micros() as u64,
+        }))
+    }
+
+    /// Opens a task span ending (and recording) when the guard drops.
+    pub fn span(&self, job: &str, kind: SpanKind, task: u32, attempt: u32, node: u32) -> Span {
+        Span(self.0.as_ref().map(|sink| SpanInner {
+            sink: Arc::clone(sink),
+            data: TaskSpan {
+                job: job.to_string(),
+                kind: kind.as_str(),
+                task,
+                attempt,
+                node,
+                start_us: sink.epoch.elapsed().as_micros() as u64,
+                ..TaskSpan::default()
+            },
+        }))
+    }
+
+    /// Records one network transfer (aggregated per directed link).
+    pub fn transfer(&self, src: u32, dst: u32, bytes: u64, sim_us: u64) {
+        if let Some(sink) = &self.0 {
+            let mut st = sink.lock();
+            let link = st.transfers.entry((src, dst)).or_default();
+            link.bytes += bytes;
+            link.events += 1;
+            link.sim_us += sim_us;
+        }
+    }
+
+    /// Records one DFS block replica placed on `node`.
+    pub fn placement(&self, node: u32, bytes: u64) {
+        if let Some(sink) = &self.0 {
+            let mut st = sink.lock();
+            let p = st.placements.entry(node).or_default();
+            p.blocks += 1;
+            p.bytes += bytes;
+        }
+    }
+
+    /// Records one observation into the named histogram.
+    pub fn record_value(&self, histogram: &str, value: u64) {
+        if let Some(sink) = &self.0 {
+            let mut st = sink.lock();
+            match st.histograms.get_mut(histogram) {
+                Some(h) => h.record(value),
+                None => {
+                    let mut h = Histogram::new();
+                    h.record(value);
+                    st.histograms.insert(histogram.to_string(), h);
+                }
+            }
+        }
+    }
+
+    /// Snapshots everything recorded so far into a [`RunReport`].
+    /// `wall_time_us` is "now"; node timelines are derived from the spans.
+    pub fn report(&self) -> RunReport {
+        let Some(sink) = &self.0 else {
+            return RunReport::default();
+        };
+        let wall = sink.epoch.elapsed().as_micros() as u64;
+        let st = sink.lock();
+        RunReport::assemble(
+            st.meta.clone(),
+            wall,
+            st.job_phases.clone(),
+            st.spans.clone(),
+            st.transfers.iter().map(|(&(s, d), &l)| (s, d, l)).collect(),
+            st.placements.iter().map(|(&n, &p)| (n, p)).collect(),
+            st.histograms.iter().map(|(k, h)| (k.clone(), h.snapshot())).collect(),
+        )
+    }
+}
+
+struct PhaseGuardInner {
+    sink: Arc<Sink>,
+    job: String,
+    phase: String,
+    start_us: u64,
+}
+
+/// Guard of one [`Telemetry::job_phase`] window.
+pub struct PhaseGuard(Option<PhaseGuardInner>);
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        if let Some(inner) = self.0.take() {
+            let end_us = inner.sink.epoch.elapsed().as_micros() as u64;
+            inner.sink.lock().job_phases.push(JobPhase {
+                job: inner.job,
+                phase: inner.phase,
+                start_us: inner.start_us,
+                end_us,
+            });
+        }
+    }
+}
+
+struct SpanInner {
+    sink: Arc<Sink>,
+    data: TaskSpan,
+}
+
+/// Guard of one task attempt; accumulates locally, records on drop.
+pub struct Span(Option<SpanInner>);
+
+impl Span {
+    /// Records the phase ending now: its wall time is the elapsed time of
+    /// `since`, which is then reset so consecutive laps tile the span.
+    pub fn lap(&mut self, phase: &'static str, since: &mut Instant) {
+        let now = Instant::now();
+        if let Some(inner) = &mut self.0 {
+            inner.data.phases.push((phase, now.duration_since(*since).as_micros() as u64));
+        }
+        *since = now;
+    }
+
+    /// Adds bytes read by the task.
+    pub fn add_bytes_in(&mut self, bytes: u64) {
+        if let Some(inner) = &mut self.0 {
+            inner.data.bytes_in += bytes;
+        }
+    }
+
+    /// Adds bytes written by the task.
+    pub fn add_bytes_out(&mut self, bytes: u64) {
+        if let Some(inner) = &mut self.0 {
+            inner.data.bytes_out += bytes;
+        }
+    }
+
+    /// Adds records read by the task.
+    pub fn add_records_in(&mut self, records: u64) {
+        if let Some(inner) = &mut self.0 {
+            inner.data.records_in += records;
+        }
+    }
+
+    /// Adds records written by the task.
+    pub fn add_records_out(&mut self, records: u64) {
+        if let Some(inner) = &mut self.0 {
+            inner.data.records_out += records;
+        }
+    }
+
+    /// Raises the span's peak working set to at least `bytes`.
+    pub fn record_peak_working_set(&mut self, bytes: u64) {
+        if let Some(inner) = &mut self.0 {
+            inner.data.peak_working_set_bytes = inner.data.peak_working_set_bytes.max(bytes);
+        }
+    }
+
+    /// Attaches a `(key, value)` label (scheme name, h, q, block id, …).
+    pub fn label(&mut self, key: &str, value: impl Display) {
+        if let Some(inner) = &mut self.0 {
+            inner.data.labels.push((key.to_string(), value.to_string()));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(mut inner) = self.0.take() {
+            inner.data.end_us = inner.sink.epoch.elapsed().as_micros() as u64;
+            let data = inner.data;
+            inner.sink.lock().spans.push(data);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        t.set_meta("k", 1);
+        t.transfer(0, 1, 100, 5);
+        t.placement(0, 64);
+        t.record_value("h", 3);
+        let mut span = t.span("job", SpanKind::Map, 0, 0, 0);
+        let mut at = Instant::now();
+        span.lap("read", &mut at);
+        span.add_bytes_in(10);
+        drop(span);
+        drop(t.job_phase("job", "map"));
+        let report = t.report();
+        assert_eq!(report.wall_time_us, 0);
+        assert!(report.task_spans.is_empty() && report.histograms.is_empty());
+    }
+
+    #[test]
+    fn span_lifecycle_lands_in_report() {
+        let t = Telemetry::enabled();
+        t.set_meta("scheme", "block(b=5)");
+        t.set_meta("scheme", "block(b=6)"); // last write wins
+        {
+            let _phase = t.job_phase("j1", "map");
+            let mut span = t.span("j1", SpanKind::Map, 3, 0, 1);
+            let mut at = Instant::now();
+            span.add_records_in(7);
+            span.add_bytes_in(128);
+            span.lap("read", &mut at);
+            span.lap("map", &mut at);
+            span.record_peak_working_set(2048);
+            span.label("block", 3);
+        }
+        t.transfer(0, 1, 100, 5);
+        t.transfer(0, 1, 50, 2);
+        t.placement(1, 64);
+        t.record_value("group.size", 4);
+        let r = t.report();
+        assert_eq!(r.meta, vec![("scheme".to_string(), "block(b=6)".to_string())]);
+        assert_eq!(r.task_spans.len(), 1);
+        let s = &r.task_spans[0];
+        assert_eq!((s.kind, s.task, s.node), ("map", 3, 1));
+        assert_eq!(s.phases.len(), 2);
+        assert!(s.end_us >= s.start_us);
+        assert_eq!(s.records_in, 7);
+        assert_eq!(s.peak_working_set_bytes, 2048);
+        assert_eq!(s.labels, vec![("block".to_string(), "3".to_string())]);
+        assert_eq!(r.job_phases.len(), 1);
+        assert_eq!(r.transfers, vec![(0, 1, LinkStats { bytes: 150, events: 2, sim_us: 7 })]);
+        assert_eq!(r.placements, vec![(1, PlacementStats { blocks: 1, bytes: 64 })]);
+        assert_eq!(r.histograms[0].0, "group.size");
+        assert_eq!(r.histograms[0].1.count, 1);
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let t = Telemetry::enabled();
+        let t2 = t.clone();
+        t2.record_value("h", 1);
+        assert_eq!(t.report().histograms[0].1.count, 1);
+    }
+}

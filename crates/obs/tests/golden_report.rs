@@ -1,0 +1,132 @@
+//! Golden-file test for the RunReport JSON serialization: a fully
+//! populated, hand-assembled report must serialize byte-for-byte to the
+//! checked-in `tests/golden/run_report.json`. Consumers parse this format
+//! (schema tag `pmr.run_report/1`), so any change to the writer or the
+//! report layout must show up as a reviewed diff of the golden file.
+//!
+//! To regenerate after an intentional format change:
+//! `UPDATE_GOLDEN=1 cargo test -p pmr-obs --test golden_report`
+
+use pmr_obs::telemetry::{JobPhase, LinkStats, PlacementStats, TaskSpan};
+use pmr_obs::{Histogram, RunReport};
+
+/// Deterministic report exercising every section and value shape the
+/// writer handles (empty + populated objects, nested arrays, floats).
+fn sample_report() -> RunReport {
+    let mut shuffle = Histogram::new();
+    for bytes in [0u64, 96, 128, 4096] {
+        shuffle.record(bytes);
+    }
+    let mut groups = Histogram::new();
+    for size in [1u64, 2, 2, 3] {
+        groups.record(size);
+    }
+    let spans = vec![
+        TaskSpan {
+            job: "j1-distribute-evaluate".into(),
+            kind: "map",
+            task: 0,
+            attempt: 0,
+            node: 0,
+            start_us: 120,
+            end_us: 480,
+            phases: vec![("read", 100), ("map", 200), ("merge", 0), ("sort", 60)],
+            bytes_in: 2048,
+            bytes_out: 1024,
+            records_in: 16,
+            records_out: 32,
+            peak_working_set_bytes: 0,
+            labels: vec![],
+        },
+        TaskSpan {
+            job: "j1-distribute-evaluate".into(),
+            kind: "reduce",
+            task: 0,
+            attempt: 1,
+            node: 1,
+            start_us: 500,
+            end_us: 900,
+            phases: vec![("shuffle", 80), ("sort", 20), ("reduce", 300)],
+            bytes_in: 1024,
+            bytes_out: 512,
+            records_in: 32,
+            records_out: 8,
+            peak_working_set_bytes: 4096,
+            labels: vec![("scheme".into(), "block".into()), ("h".into(), "4".into())],
+        },
+        TaskSpan {
+            job: "j1-distribute-evaluate".into(),
+            kind: "reduce",
+            task: 1,
+            attempt: 0,
+            node: 0,
+            start_us: 460,
+            end_us: 700,
+            phases: vec![("shuffle", 40), ("sort", 10), ("reduce", 190)],
+            bytes_in: 512,
+            bytes_out: 256,
+            records_in: 8,
+            records_out: 4,
+            peak_working_set_bytes: 2048,
+            labels: vec![],
+        },
+    ];
+    let mut report = RunReport::assemble(
+        vec![
+            ("backend".into(), "mr".into()),
+            ("scheme".into(), "block".into()),
+            ("scheme.v".into(), "32".into()),
+        ],
+        1000,
+        vec![
+            JobPhase {
+                job: "j1-distribute-evaluate".into(),
+                phase: "map".into(),
+                start_us: 100,
+                end_us: 490,
+            },
+            JobPhase {
+                job: "j1-distribute-evaluate".into(),
+                phase: "reduce".into(),
+                start_us: 490,
+                end_us: 950,
+            },
+        ],
+        spans,
+        vec![
+            (0, 1, LinkStats { bytes: 1024, events: 2, sim_us: 37 }),
+            (1, 1, LinkStats { bytes: 512, events: 1, sim_us: 0 }),
+        ],
+        vec![
+            (0, PlacementStats { blocks: 3, bytes: 6144 }),
+            (1, PlacementStats { blocks: 1, bytes: 2048 }),
+        ],
+        vec![
+            ("reduce.group_size".into(), groups.snapshot()),
+            ("shuffle.bytes_per_partition".into(), shuffle.snapshot()),
+        ],
+    );
+    report.merge_counters([
+        ("mr.shuffle.bytes", 1536),
+        ("mr.map.output.bytes", 1024),
+        ("pairwise.evaluations", 496),
+    ]);
+    report
+}
+
+#[test]
+fn run_report_json_matches_golden_file() {
+    let mut json = sample_report().to_json();
+    json.push('\n');
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/run_report.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &json).unwrap();
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("golden file missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        json, golden,
+        "RunReport JSON drifted from the golden file; if the change is \
+         intentional, regenerate with UPDATE_GOLDEN=1 and review the diff"
+    );
+}

@@ -37,7 +37,10 @@ fn main() {
         Some((lo, hi)) => {
             println!("\nblock approach: any blocking factor h in [{lo}, {hi}] fits both limits");
             println!("  h = {lo}: biggest tasks, least replication ({lo}× data materialized)");
-            println!("  h = {hi}: smallest working sets ({:.1} MB each)", 2.0 * dataset / hi as f64 / MB);
+            println!(
+                "  h = {hi}: smallest working sets ({:.1} MB each)",
+                2.0 * dataset / hi as f64 / MB
+            );
         }
         None => println!("\nblock approach: no valid h — dataset too large for these limits"),
     }
@@ -62,7 +65,11 @@ fn main() {
 
     // --- Time estimates for three comp-cost regimes. ---
     println!("\nestimated makespans (16 nodes × 2 slots, ~117 MB/s links):");
-    for (label, comp_us) in [("cheap comp (1 µs)", 1.0), ("moderate (1 ms)", 1_000.0), ("expensive (100 ms)", 100_000.0)] {
+    for (label, comp_us) in [
+        ("cheap comp (1 µs)", 1.0),
+        ("moderate (1 ms)", 1_000.0),
+        ("expensive (100 ms)", 100_000.0),
+    ] {
         let params = CostParams {
             v,
             element_bytes: element as u64,

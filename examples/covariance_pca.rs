@@ -6,14 +6,9 @@
 //! cargo run --release --example covariance_pca
 //! ```
 
-use std::sync::Arc;
-
 use pairwise_mr::apps::covariance::{assemble_covariance, covariance_comp, top_eigenpairs};
 use pairwise_mr::apps::generate::random_matrix_rows;
-use pairwise_mr::cluster::{Cluster, ClusterConfig};
-use pairwise_mr::core::runner::mr::{run_mr, MrPairwiseOptions};
-use pairwise_mr::core::runner::{ConcatSort, Symmetry};
-use pairwise_mr::core::scheme::BlockScheme;
+use pairwise_mr::prelude::*;
 
 fn main() {
     let variables = 64usize; // rows of A
@@ -22,23 +17,18 @@ fn main() {
 
     // Pairwise covariance on the simulated cluster (block scheme h = 4).
     let cluster = Cluster::new(ClusterConfig::with_nodes(4));
-    let (output, report) = run_mr(
-        &cluster,
-        Arc::new(BlockScheme::new(variables as u64, 4)),
-        &rows,
-        covariance_comp(),
-        Symmetry::Symmetric,
-        Arc::new(ConcatSort),
-        MrPairwiseOptions::default(),
-    )
-    .expect("covariance job failed");
+    let run = PairwiseJob::new(&rows, covariance_comp())
+        .scheme(BlockScheme::new(variables as u64, 4))
+        .backend(Backend::Mr(&cluster))
+        .run()
+        .expect("covariance job failed");
+    let report = &run.mr[0];
     println!(
         "covariance: {} pairwise inner products on the cluster ({} tasks)",
-        report.evaluations,
-        report.job1.stats.reduce_tasks
+        report.evaluations, report.job1.stats.reduce_tasks
     );
 
-    let cov = assemble_covariance(&rows, &output);
+    let cov = assemble_covariance(&rows, &run.output);
     println!("assembled {0}×{0} covariance matrix", cov.n);
 
     // PCA: the generator plants a rank-1 direction, so one component

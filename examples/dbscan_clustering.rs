@@ -7,14 +7,9 @@
 //! cargo run --release --example dbscan_clustering
 //! ```
 
-use std::sync::Arc;
-
 use pairwise_mr::apps::distance::{dbscan, euclidean_comp, num_clusters, DbscanLabel};
 use pairwise_mr::apps::generate::gaussian_clusters;
-use pairwise_mr::cluster::{Cluster, ClusterConfig};
-use pairwise_mr::core::runner::mr::{run_mr, MrPairwiseOptions};
-use pairwise_mr::core::runner::{FilterAggregator, Symmetry};
-use pairwise_mr::core::scheme::BlockScheme;
+use pairwise_mr::prelude::*;
 
 fn main() {
     let n_points = 240usize;
@@ -26,24 +21,21 @@ fn main() {
     // Pairwise distances on the simulated cluster; the aggregator prunes
     // everything beyond ε so the output stays linear-ish, not quadratic.
     let cluster = Cluster::new(ClusterConfig::with_nodes(4));
-    let (output, report) = run_mr(
-        &cluster,
-        Arc::new(BlockScheme::new(n_points as u64, 6)),
-        &points,
-        euclidean_comp(),
-        Symmetry::Symmetric,
-        Arc::new(FilterAggregator::new(move |d: &f64| *d <= eps)),
-        MrPairwiseOptions::default(),
-    )
-    .expect("pairwise distance job failed");
+    let run = PairwiseJob::new(&points, euclidean_comp())
+        .scheme(BlockScheme::new(n_points as u64, 6))
+        .backend(Backend::Mr(&cluster))
+        .aggregator(FilterAggregator::new(move |d: &f64| *d <= eps))
+        .run()
+        .expect("pairwise distance job failed");
+    let output = &run.output;
 
     println!(
         "computed {} distances on the cluster; {} survive the ε = {eps} filter",
-        report.evaluations,
+        run.mr[0].evaluations,
         output.total_results() / 2
     );
 
-    let labels = dbscan(&output, eps, min_pts);
+    let labels = dbscan(output, eps, min_pts);
     let found = num_clusters(&labels);
     let noise = labels.iter().filter(|l| **l == DbscanLabel::Noise).count();
     println!("DBSCAN: {found} clusters, {noise} noise points (planted: {k_true} clusters)");

@@ -10,14 +10,9 @@
 //! cargo run --release --example document_similarity
 //! ```
 
-use std::sync::Arc;
-
 use pairwise_mr::apps::docsim::{dot_comp, normalize_to_cosine, run_elsayed};
 use pairwise_mr::apps::generate::zipf_documents;
-use pairwise_mr::cluster::{Cluster, ClusterConfig};
-use pairwise_mr::core::runner::mr::{run_mr, MrPairwiseOptions};
-use pairwise_mr::core::runner::{ConcatSort, Symmetry};
-use pairwise_mr::core::scheme::DesignScheme;
+use pairwise_mr::prelude::*;
 
 fn main() {
     let n_docs = 120usize;
@@ -25,19 +20,15 @@ fn main() {
 
     // --- Generic pairwise (design scheme, two MR jobs). ---
     let cluster = Cluster::new(ClusterConfig::with_nodes(4));
-    let (pairwise_out, report) = run_mr(
-        &cluster,
-        Arc::new(DesignScheme::new(n_docs as u64)),
-        &docs,
-        dot_comp(),
-        Symmetry::Symmetric,
-        Arc::new(ConcatSort),
-        MrPairwiseOptions::default(),
-    )
-    .expect("pairwise run failed");
+    let run = PairwiseJob::new(&docs, dot_comp())
+        .scheme(DesignScheme::new(n_docs as u64))
+        .backend(Backend::Mr(&cluster))
+        .run()
+        .expect("pairwise run failed");
+    let pairwise_out = &run.output;
     println!(
         "generic pairwise: {} evaluations, {} shuffle bytes",
-        report.evaluations, report.shuffle_bytes
+        run.mr[0].evaluations, run.mr[0].shuffle_bytes
     );
 
     // --- Elsayed inverted-index baseline (two different MR jobs). ---
@@ -62,10 +53,7 @@ fn main() {
             .unwrap();
         let denom = docs[*a as usize].norm() * docs[*b as usize].norm();
         let cos_pairwise = if denom == 0.0 { 0.0 } else { dot / denom };
-        assert!(
-            (cos_baseline - cos_pairwise).abs() < 1e-9,
-            "pair ({a},{b}) disagrees"
-        );
+        assert!((cos_baseline - cos_pairwise).abs() < 1e-9, "pair ({a},{b}) disagrees");
         checked += 1;
     }
     println!("both methods agree on all {checked} overlapping pairs ✓");

@@ -6,14 +6,9 @@
 //! cargo run --release --example gene_network
 //! ```
 
-use std::sync::Arc;
-
 use pairwise_mr::apps::generate::gene_expression;
 use pairwise_mr::apps::mutualinfo::{mi_comp, mutual_information, network_edges};
-use pairwise_mr::cluster::{Cluster, ClusterConfig};
-use pairwise_mr::core::runner::mr::{run_mr, MrPairwiseOptions};
-use pairwise_mr::core::runner::{ConcatSort, Symmetry};
-use pairwise_mr::core::scheme::BroadcastScheme;
+use pairwise_mr::prelude::*;
 
 fn main() {
     let genes = 48usize;
@@ -26,28 +21,26 @@ fn main() {
     // sweet spot ("dataset size is moderate but the function to evaluate
     // is expensive", §5.1).
     let cluster = Cluster::new(ClusterConfig::with_nodes(4));
-    let (output, report) = run_mr(
-        &cluster,
-        Arc::new(BroadcastScheme::new(genes as u64, 8)),
-        &profiles,
-        mi_comp(bins),
-        Symmetry::Symmetric,
-        Arc::new(ConcatSort),
-        MrPairwiseOptions::default(),
-    )
-    .expect("MI job failed");
+    let run = PairwiseJob::new(&profiles, mi_comp(bins))
+        .broadcast(BroadcastScheme::new(genes as u64, 8))
+        .backend(Backend::Mr(&cluster))
+        .run()
+        .expect("MI job failed");
+    let output = &run.output;
     println!(
         "pairwise MI on cluster: {} evaluations across 8 tasks, {} network bytes",
-        report.evaluations, report.network_bytes
+        run.mr[0].evaluations, run.mr[0].network_bytes
     );
 
     // Threshold halfway between typical within- and cross-module MI.
     let within = mutual_information(&profiles[0], &profiles[1], bins);
     let across = mutual_information(&profiles[0], &profiles[module + 1], bins);
     let threshold = (within + across) / 2.0;
-    println!("MI within-module ≈ {within:.3}, cross-module ≈ {across:.3}, threshold {threshold:.3}");
+    println!(
+        "MI within-module ≈ {within:.3}, cross-module ≈ {across:.3}, threshold {threshold:.3}"
+    );
 
-    let edges = network_edges(&output, threshold);
+    let edges = network_edges(output, threshold);
     let expected = (genes / module) * (module * (module - 1) / 2);
     let intra = edges.iter().filter(|(a, b)| a / module as u64 == b / module as u64).count();
     println!(

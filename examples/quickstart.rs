@@ -1,17 +1,11 @@
-//! Quickstart: evaluate a function on all pairs of a dataset, three ways.
+//! Quickstart: evaluate a function on all pairs of a dataset, three ways,
+//! through the unified `PairwiseJob` builder.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use std::sync::Arc;
-
-use pairwise_mr::cluster::{Cluster, ClusterConfig};
-use pairwise_mr::core::runner::local::run_local;
-use pairwise_mr::core::runner::mr::{run_mr, MrPairwiseOptions};
-use pairwise_mr::core::runner::sequential::run_sequential;
-use pairwise_mr::core::runner::{comp_fn, ConcatSort, Symmetry};
-use pairwise_mr::core::scheme::{BlockScheme, DesignScheme, DistributionScheme};
+use pairwise_mr::prelude::*;
 
 fn main() {
     // A dataset of v = 200 elements; comp = absolute difference. Element i
@@ -21,9 +15,12 @@ fn main() {
     let comp = comp_fn(|a: &u64, b: &u64| a.abs_diff(*b));
 
     // --- 1. Sequential reference (the paper's trivial b = 1 solution). ---
-    let reference = run_sequential(&payloads, &comp, Symmetry::Symmetric, &ConcatSort);
-    println!("sequential: {} elements, {} results", reference.per_element.len(),
-             reference.total_results());
+    let reference = PairwiseJob::new(&payloads, comp.clone()).run().unwrap();
+    println!(
+        "sequential: {} elements, {} results",
+        reference.output.per_element.len(),
+        reference.output.total_results()
+    );
 
     // --- 2. Local thread pool under a block scheme (§5.2). ---
     let scheme = BlockScheme::new(v, 8);
@@ -33,9 +30,13 @@ fn main() {
         2 * scheme.edge(),
         scheme.blocking_factor()
     );
-    let (local_out, stats) =
-        run_local(&payloads, &scheme, &comp, Symmetry::Symmetric, &ConcatSort, 4);
-    assert_eq!(local_out, reference);
+    let local = PairwiseJob::new(&payloads, comp.clone())
+        .scheme(scheme)
+        .backend(Backend::Local { threads: 4 })
+        .run()
+        .unwrap();
+    assert_eq!(local.output, reference.output);
+    let stats = local.local.as_ref().unwrap();
     println!(
         "local run: {} tasks, {} evaluations (= v(v−1)/2 = {})",
         stats.tasks,
@@ -43,20 +44,16 @@ fn main() {
         v * (v - 1) / 2
     );
 
-    // --- 3. The paper's two MapReduce jobs on a simulated cluster. ---
-    let cluster = Cluster::new(ClusterConfig::with_nodes(4));
-    let scheme: Arc<dyn DistributionScheme> = Arc::new(DesignScheme::new(v));
-    let (mr_out, report) = run_mr(
-        &cluster,
-        scheme,
-        &payloads,
-        comp,
-        Symmetry::Symmetric,
-        Arc::new(ConcatSort),
-        MrPairwiseOptions::default(),
-    )
-    .expect("MR run failed");
-    assert_eq!(mr_out, reference);
+    // --- 3. The paper's two MapReduce jobs on a simulated cluster, with
+    // --- telemetry recording a full run report.
+    let cluster = Cluster::new(ClusterConfig::with_nodes(4)).with_telemetry(Telemetry::enabled());
+    let mr = PairwiseJob::new(&payloads, comp)
+        .scheme(DesignScheme::new(v))
+        .backend(Backend::Mr(&cluster))
+        .run()
+        .expect("MR run failed");
+    assert_eq!(mr.output, reference.output);
+    let report = &mr.mr[0];
     println!(
         "MapReduce run (design scheme): {} evaluations, {} element copies shuffled, \
          {} shuffle bytes, peak working set {} bytes",
@@ -65,5 +62,21 @@ fn main() {
         report.shuffle_bytes,
         report.max_working_set_bytes
     );
+    // The run report captures task spans, phase timings, and histograms;
+    // see `mr.report.to_json()` or the `--report` flag of the CLI.
+    println!(
+        "telemetry: {} task spans over {} µs of wall time",
+        mr.report.task_spans.len(),
+        mr.report.wall_time_us
+    );
+    if let Some(straggler) = mr.report.straggler() {
+        println!(
+            "slowest task: {} {} on node {} ({} µs)",
+            straggler.kind,
+            straggler.task,
+            straggler.node,
+            straggler.end_us - straggler.start_us
+        );
+    }
     println!("all three backends agree ✓");
 }

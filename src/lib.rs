@@ -27,3 +27,34 @@ pub use pmr_cluster as cluster;
 pub use pmr_core as core;
 pub use pmr_designs as designs;
 pub use pmr_mapreduce as mapreduce;
+pub use pmr_obs as obs;
+
+/// One-stop imports for the common workflow: build a [`PairwiseJob`](
+/// prelude::PairwiseJob), pick a scheme and a backend, run it, and read
+/// the [`RunReport`](prelude::RunReport).
+///
+/// ```
+/// use pairwise_mr::prelude::*;
+///
+/// let data: Vec<f64> = (0..50).map(|i| i as f64).collect();
+/// let run = PairwiseJob::from_fn(&data, |a: &f64, b: &f64| (a - b).abs())
+///     .scheme(BlockScheme::new(50, 5))
+///     .backend(Backend::Local { threads: 2 })
+///     .telemetry(Telemetry::enabled())
+///     .run()
+///     .unwrap();
+/// assert_eq!(run.evaluations(), 50 * 49 / 2);
+/// assert!(run.report.wall_time_us > 0);
+/// ```
+pub mod prelude {
+    pub use pmr_cluster::{Cluster, ClusterConfig, NodeConfig};
+    pub use pmr_core::runner::mr::{MrPairwiseOptions, MrRunReport, EVALUATIONS_COUNTER};
+    pub use pmr_core::runner::{
+        comp_fn, Aggregator, Backend, CompFn, ConcatSort, FilterAggregator, PairwiseJob,
+        PairwiseOutput, PairwiseRun, Symmetry, TopKAggregator,
+    };
+    pub use pmr_core::scheme::{
+        BlockScheme, BroadcastScheme, DesignScheme, DistributionScheme, PairedBlockScheme,
+    };
+    pub use pmr_obs::{RunReport, Telemetry};
+}

@@ -1,22 +1,15 @@
 //! Workspace-spanning integration tests: applications running end-to-end
 //! on the MapReduce pipeline, cross-backend equivalence, and the §7
-//! hierarchical rounds.
+//! hierarchical rounds — all through the `PairwiseJob` builder.
 
 use std::sync::Arc;
 
 use pairwise_mr::apps::covariance::{assemble_covariance, covariance_comp, top_eigenpairs};
 use pairwise_mr::apps::distance::{dbscan, euclidean_comp, num_clusters};
-use pairwise_mr::apps::generate::{gaussian_clusters, random_matrix_rows, zipf_documents};
 use pairwise_mr::apps::docsim::{dot_comp, run_elsayed};
-use pairwise_mr::cluster::{Cluster, ClusterConfig};
+use pairwise_mr::apps::generate::{gaussian_clusters, random_matrix_rows, zipf_documents};
 use pairwise_mr::core::hierarchical::{BatchedDesign, TwoLevelBlock};
-use pairwise_mr::core::runner::local::run_local;
-use pairwise_mr::core::runner::mr::{run_mr, run_mr_broadcast, run_mr_rounds, MrPairwiseOptions};
-use pairwise_mr::core::runner::sequential::run_sequential;
-use pairwise_mr::core::runner::{ConcatSort, FilterAggregator, Symmetry};
-use pairwise_mr::core::scheme::{
-    BlockScheme, BroadcastScheme, DesignScheme, DistributionScheme,
-};
+use pairwise_mr::prelude::*;
 
 #[test]
 fn dbscan_identical_across_all_backends_and_schemes() {
@@ -24,52 +17,47 @@ fn dbscan_identical_across_all_backends_and_schemes() {
     let v = points.len() as u64;
     let eps = 3.0;
 
-    let reference = run_sequential(&points, &euclidean_comp(), Symmetry::Symmetric, &ConcatSort);
+    let reference = PairwiseJob::new(&points, euclidean_comp()).run().unwrap().output;
     let ref_labels = dbscan(&reference, eps, 4);
     assert_eq!(num_clusters(&ref_labels), 3);
 
     // Local backend, each scheme.
-    let schemes: Vec<Box<dyn DistributionScheme>> = vec![
-        Box::new(BroadcastScheme::new(v, 5)),
-        Box::new(BlockScheme::new(v, 4)),
-        Box::new(DesignScheme::new(v)),
+    let schemes: Vec<Arc<dyn DistributionScheme>> = vec![
+        Arc::new(BroadcastScheme::new(v, 5)),
+        Arc::new(BlockScheme::new(v, 4)),
+        Arc::new(DesignScheme::new(v)),
     ];
     for s in &schemes {
-        let (out, _) =
-            run_local(&points, s.as_ref(), &euclidean_comp(), Symmetry::Symmetric, &ConcatSort, 3);
-        assert_eq!(dbscan(&out, eps, 4), ref_labels, "local/{}", s.name());
+        let run = PairwiseJob::new(&points, euclidean_comp())
+            .scheme_arc(Arc::clone(s))
+            .backend(Backend::Local { threads: 3 })
+            .run()
+            .unwrap();
+        assert_eq!(dbscan(&run.output, eps, 4), ref_labels, "local/{}", s.name());
     }
 
     // MR backend with ε-pruning aggregation still yields the same clusters.
     let cluster = Cluster::new(ClusterConfig::with_nodes(3));
-    let (out, _) = run_mr(
-        &cluster,
-        Arc::new(BlockScheme::new(v, 4)),
-        &points,
-        euclidean_comp(),
-        Symmetry::Symmetric,
-        Arc::new(FilterAggregator::new(move |d: &f64| *d <= eps)),
-        MrPairwiseOptions::default(),
-    )
-    .unwrap();
-    assert_eq!(dbscan(&out, eps, 4), ref_labels, "mr/pruned");
+    let run = PairwiseJob::new(&points, euclidean_comp())
+        .scheme(BlockScheme::new(v, 4))
+        .backend(Backend::Mr(&cluster))
+        .aggregator(FilterAggregator::new(move |d: &f64| *d <= eps))
+        .run()
+        .unwrap();
+    assert_eq!(dbscan(&run.output, eps, 4), ref_labels, "mr/pruned");
 }
 
 #[test]
 fn covariance_pca_on_mr_matches_sequential() {
     let rows = random_matrix_rows(24, 60, 9);
-    let reference = run_sequential(&rows, &covariance_comp(), Symmetry::Symmetric, &ConcatSort);
+    let reference = PairwiseJob::new(&rows, covariance_comp()).run().unwrap().output;
     let cluster = Cluster::new(ClusterConfig::with_nodes(4));
-    let (out, _) = run_mr(
-        &cluster,
-        Arc::new(DesignScheme::new(24)),
-        &rows,
-        covariance_comp(),
-        Symmetry::Symmetric,
-        Arc::new(ConcatSort),
-        MrPairwiseOptions::default(),
-    )
-    .unwrap();
+    let out = PairwiseJob::new(&rows, covariance_comp())
+        .scheme(DesignScheme::new(24))
+        .backend(Backend::Mr(&cluster))
+        .run()
+        .unwrap()
+        .output;
     assert_eq!(out, reference);
     let m_seq = assemble_covariance(&rows, &reference);
     let m_mr = assemble_covariance(&rows, &out);
@@ -82,26 +70,17 @@ fn covariance_pca_on_mr_matches_sequential() {
 fn elsayed_and_generic_pairwise_agree_via_mr() {
     let docs = zipf_documents(30, 300, 25, 1.0, 3);
     let cluster = Cluster::new(ClusterConfig::with_nodes(3));
-    let (pairwise, _) = run_mr(
-        &cluster,
-        Arc::new(BlockScheme::new(30, 3)),
-        &docs,
-        dot_comp(),
-        Symmetry::Symmetric,
-        Arc::new(ConcatSort),
-        MrPairwiseOptions::default(),
-    )
-    .unwrap();
+    let pairwise = PairwiseJob::new(&docs, dot_comp())
+        .scheme(BlockScheme::new(30, 3))
+        .backend(Backend::Mr(&cluster))
+        .run()
+        .unwrap()
+        .output;
     let cluster2 = Cluster::new(ClusterConfig::with_nodes(3));
     let baseline = run_elsayed(&cluster2, &docs, "it-elsayed").unwrap();
     for ((a, b), d) in &baseline.dot_products {
-        let r = pairwise
-            .results_of(*a)
-            .unwrap()
-            .iter()
-            .find(|(o, _)| o == b)
-            .map(|(_, r)| *r)
-            .unwrap();
+        let r =
+            pairwise.results_of(*a).unwrap().iter().find(|(o, _)| o == b).map(|(_, r)| *r).unwrap();
         assert!((d - r).abs() < 1e-9 * (1.0 + r.abs()));
     }
 }
@@ -109,139 +88,147 @@ fn elsayed_and_generic_pairwise_agree_via_mr() {
 #[test]
 fn broadcast_cache_variant_equals_two_job_variant() {
     let payloads: Vec<u64> = (0..40u64).map(|i| i * 7 % 53).collect();
-    let comp = pairwise_mr::core::comp_fn(|a: &u64, b: &u64| a.abs_diff(*b));
+    let comp = comp_fn(|a: &u64, b: &u64| a.abs_diff(*b));
     let scheme = BroadcastScheme::new(40, 6);
 
+    // `.scheme(...)` runs the broadcast scheme through the generic two-job
+    // pipeline; `.broadcast(...)` takes the §5.1 distributed-cache path.
     let c1 = Cluster::new(ClusterConfig::with_nodes(3));
-    let (out_two_jobs, rep_two) = run_mr(
-        &c1,
-        Arc::new(scheme.clone()),
-        &payloads,
-        Arc::clone(&comp),
-        Symmetry::Symmetric,
-        Arc::new(ConcatSort),
-        MrPairwiseOptions::default(),
-    )
-    .unwrap();
+    let two_jobs = PairwiseJob::new(&payloads, Arc::clone(&comp))
+        .scheme(scheme.clone())
+        .backend(Backend::Mr(&c1))
+        .run()
+        .unwrap();
 
     let c2 = Cluster::new(ClusterConfig::with_nodes(3));
-    let (out_cache, rep_cache) = run_mr_broadcast(
-        &c2,
-        &scheme,
-        &payloads,
-        comp,
-        Symmetry::Symmetric,
-        Arc::new(ConcatSort),
-        MrPairwiseOptions::default(),
-    )
-    .unwrap();
+    let cache = PairwiseJob::new(&payloads, comp)
+        .broadcast(scheme)
+        .backend(Backend::Mr(&c2))
+        .run()
+        .unwrap();
 
-    assert_eq!(out_two_jobs, out_cache);
+    assert_eq!(two_jobs.output, cache.output);
     // The cache variant avoids shuffling v·p element copies through the
     // sort phase: its shuffle is strictly smaller.
     assert!(
-        rep_cache.shuffle_bytes < rep_two.shuffle_bytes,
+        cache.mr[0].shuffle_bytes < two_jobs.mr[0].shuffle_bytes,
         "cache {} vs shuffle {}",
-        rep_cache.shuffle_bytes,
-        rep_two.shuffle_bytes
+        cache.mr[0].shuffle_bytes,
+        two_jobs.mr[0].shuffle_bytes
     );
 }
 
 #[test]
 fn two_level_rounds_match_flat_and_bound_intermediate() {
     let payloads: Vec<u64> = (0..48u64).map(|i| i * 13 % 97).collect();
-    let comp = pairwise_mr::core::comp_fn(|a: &u64, b: &u64| a.abs_diff(*b));
-    let reference = run_sequential(&payloads, &comp, Symmetry::Symmetric, &ConcatSort);
+    let comp = comp_fn(|a: &u64, b: &u64| a.abs_diff(*b));
+    let reference = PairwiseJob::new(&payloads, Arc::clone(&comp)).run().unwrap().output;
 
     let tlb = TwoLevelBlock::new(48, 3, 2);
     let rounds: Vec<Arc<dyn DistributionScheme>> =
         tlb.rounds().into_iter().map(Arc::from).collect();
     let cluster = Cluster::new(ClusterConfig::with_nodes(3));
-    let (out, reports) = run_mr_rounds(
-        &cluster,
-        rounds,
-        &payloads,
-        Arc::clone(&comp),
-        Symmetry::Symmetric,
-        Arc::new(ConcatSort),
-        MrPairwiseOptions::default(),
-    )
-    .unwrap();
-    assert_eq!(out, reference);
-    assert_eq!(reports.len() as u64, tlb.num_rounds());
+    let hierarchical = PairwiseJob::new(&payloads, Arc::clone(&comp))
+        .rounds(rounds)
+        .backend(Backend::Mr(&cluster))
+        .run()
+        .unwrap();
+    assert_eq!(hierarchical.output, reference);
+    assert_eq!(hierarchical.mr.len() as u64, tlb.num_rounds());
 
     // Compare against the flat block scheme with matching task granularity.
     let cluster_flat = Cluster::new(ClusterConfig::with_nodes(3));
-    let (out_flat, report_flat) = run_mr(
-        &cluster_flat,
-        Arc::new(BlockScheme::new(48, 6)),
-        &payloads,
-        comp,
-        Symmetry::Symmetric,
-        Arc::new(ConcatSort),
-        MrPairwiseOptions::default(),
-    )
-    .unwrap();
-    assert_eq!(out_flat, reference);
-    let max_round_peak =
-        reports.iter().map(|r| r.peak_intermediate_bytes).max().unwrap();
+    let flat = PairwiseJob::new(&payloads, comp)
+        .scheme(BlockScheme::new(48, 6))
+        .backend(Backend::Mr(&cluster_flat))
+        .run()
+        .unwrap();
+    assert_eq!(flat.output, reference);
+    let max_round_peak = hierarchical.mr.iter().map(|r| r.peak_intermediate_bytes).max().unwrap();
     assert!(
-        max_round_peak < report_flat.peak_intermediate_bytes,
+        max_round_peak < flat.mr[0].peak_intermediate_bytes,
         "hierarchical rounds should bound intermediate storage: {} vs flat {}",
         max_round_peak,
-        report_flat.peak_intermediate_bytes
+        flat.mr[0].peak_intermediate_bytes
     );
 }
 
 #[test]
 fn batched_design_rounds_match_flat_design() {
     let payloads: Vec<u64> = (0..31u64).map(|i| i * 11 % 89).collect();
-    let comp = pairwise_mr::core::comp_fn(|a: &u64, b: &u64| a.abs_diff(*b));
-    let reference = run_sequential(&payloads, &comp, Symmetry::Symmetric, &ConcatSort);
+    let comp = comp_fn(|a: &u64, b: &u64| a.abs_diff(*b));
+    let reference = PairwiseJob::new(&payloads, Arc::clone(&comp)).run().unwrap().output;
 
     let bd = BatchedDesign::new(31, 4);
     let rounds: Vec<Arc<dyn DistributionScheme>> = (0..bd.num_rounds())
         .map(|r| Arc::new(bd.round(r)) as Arc<dyn DistributionScheme>)
         .collect();
     let cluster = Cluster::new(ClusterConfig::with_nodes(3));
-    let (out, reports) = run_mr_rounds(
-        &cluster,
-        rounds,
-        &payloads,
-        comp,
-        Symmetry::Symmetric,
-        Arc::new(ConcatSort),
-        MrPairwiseOptions::default(),
-    )
-    .unwrap();
-    assert_eq!(out, reference);
-    assert_eq!(reports.len(), 4);
+    let run = PairwiseJob::new(&payloads, comp)
+        .rounds(rounds)
+        .backend(Backend::Mr(&cluster))
+        .run()
+        .unwrap();
+    assert_eq!(run.output, reference);
+    assert_eq!(run.mr.len(), 4);
 }
 
 #[test]
 fn nonsymmetric_comp_consistent_across_backends() {
     let payloads: Vec<u64> = (0..26u64).collect();
-    let comp = pairwise_mr::core::comp_fn(|a: &u64, b: &u64| a * 100 + b);
-    let reference = run_sequential(&payloads, &comp, Symmetry::NonSymmetric, &ConcatSort);
-    let (local, _) = run_local(
-        &payloads,
-        &DesignScheme::new(26),
-        &comp,
-        Symmetry::NonSymmetric,
-        &ConcatSort,
-        2,
-    );
+    let comp = comp_fn(|a: &u64, b: &u64| a * 100 + b);
+    let reference = PairwiseJob::new(&payloads, Arc::clone(&comp))
+        .symmetry(Symmetry::NonSymmetric)
+        .run()
+        .unwrap()
+        .output;
+    let local = PairwiseJob::new(&payloads, Arc::clone(&comp))
+        .scheme(DesignScheme::new(26))
+        .backend(Backend::Local { threads: 2 })
+        .symmetry(Symmetry::NonSymmetric)
+        .run()
+        .unwrap()
+        .output;
     assert_eq!(local, reference);
     let cluster = Cluster::new(ClusterConfig::with_nodes(2));
-    let (mr, _) = run_mr(
-        &cluster,
-        Arc::new(DesignScheme::new(26)),
-        &payloads,
-        comp,
-        Symmetry::NonSymmetric,
-        Arc::new(ConcatSort),
-        MrPairwiseOptions::default(),
-    )
-    .unwrap();
+    let mr = PairwiseJob::new(&payloads, comp)
+        .scheme(DesignScheme::new(26))
+        .backend(Backend::Mr(&cluster))
+        .symmetry(Symmetry::NonSymmetric)
+        .run()
+        .unwrap()
+        .output;
     assert_eq!(mr, reference);
+}
+
+#[test]
+fn run_report_covers_mr_pipeline() {
+    // The full observability path: telemetry on the cluster, a run through
+    // the builder, and a report whose phases/counters are consistent.
+    let payloads: Vec<u64> = (0..32u64).map(|i| i * 3 % 41).collect();
+    let cluster = Cluster::new(ClusterConfig::with_nodes(3)).with_telemetry(Telemetry::enabled());
+    let run = PairwiseJob::new(&payloads, comp_fn(|a: &u64, b: &u64| a.abs_diff(*b)))
+        .scheme(BlockScheme::new(32, 4))
+        .backend(Backend::Mr(&cluster))
+        .run()
+        .unwrap();
+    let report = &run.report;
+    assert!(report.wall_time_us > 0);
+    assert!(report.task_spans.iter().any(|s| s.kind == "map"));
+    assert!(report.task_spans.iter().any(|s| s.kind == "reduce"));
+    assert!(!report.node_timelines.is_empty());
+    assert!(report.meta.iter().any(|(k, v)| k == "scheme" && v == "block"));
+    // Shuffle bytes recorded in the histogram agree with the counter total.
+    let shuffle_hist = report
+        .histograms
+        .iter()
+        .find(|(name, _)| name == "shuffle.bytes_per_partition")
+        .map(|(_, h)| h.sum)
+        .unwrap();
+    let shuffle_counter = report.counter(pairwise_mr::mapreduce::builtin::SHUFFLE_BYTES).unwrap();
+    assert_eq!(shuffle_hist, shuffle_counter);
+    // JSON export round-trips through the writer without panicking and
+    // carries the schema tag.
+    let json = report.to_json();
+    assert!(json.contains("\"schema\": \"pmr.run_report/1\""));
 }

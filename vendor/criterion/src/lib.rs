@@ -1,0 +1,261 @@
+//! Offline drop-in subset of `criterion`.
+//!
+//! Implements the call shapes this workspace's benches use —
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `sample_size`, `throughput`, `BenchmarkId`, [`black_box`], and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! wall-clock harness: per benchmark it warms up, sizes the inner loop to
+//! a few milliseconds per sample, then reports the mean and best
+//! nanoseconds per iteration (plus derived throughput) on stdout. There
+//! are no statistics beyond that and no HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` style id.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId { name: format!("{function_name}/{parameter}") }
+    }
+
+    /// Id that is just the parameter.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+/// Things accepted where a benchmark id is expected.
+pub trait IntoBenchmarkId {
+    /// Converts to a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Times the body of one benchmark.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` `self.iters` times and records the elapsed wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+    sample_target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // CRITERION_FAST=1 shrinks sampling for smoke runs (e.g. CI).
+        let fast = std::env::var("CRITERION_FAST").is_ok();
+        Criterion {
+            sample_size: if fast { 3 } else { 10 },
+            sample_target: Duration::from_millis(if fast { 2 } else { 10 }),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+            sample_target: self.sample_target,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        let (sample_size, sample_target) = (self.sample_size, self.sample_target);
+        run_benchmark(&id.into_benchmark_id(), sample_size, sample_target, None, f);
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sampling settings.
+pub struct BenchmarkGroup<'a> {
+    sample_size: usize,
+    sample_target: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        run_benchmark(
+            &id.into_benchmark_id(),
+            self.sample_size,
+            self.sample_target,
+            self.throughput,
+            f,
+        );
+    }
+
+    /// Runs one benchmark with an explicit input handed to the closure.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &BenchmarkId,
+    sample_size: usize,
+    sample_target: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Warm-up + calibration: size the inner loop so one sample lasts
+    // roughly `sample_target`.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let iters = (sample_target.as_nanos() / per_iter.as_nanos()).clamp(1, 1 << 24) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    for _ in 0..sample_size {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        total += b.elapsed;
+        best = best.min(b.elapsed);
+    }
+    let samples = sample_size as u64;
+    let mean_ns = total.as_nanos() as f64 / (samples * iters) as f64;
+    let best_ns = best.as_nanos() as f64 / iters as f64;
+
+    let rate = |ns_per_iter: f64| match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.3} Melem/s", n as f64 / ns_per_iter * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.3} MiB/s", n as f64 / ns_per_iter * 1e9 / (1 << 20) as f64)
+        }
+        None => String::new(),
+    };
+    println!(
+        "  {:<40} mean {:>12.1} ns/iter  best {:>12.1} ns/iter{}",
+        id.name,
+        mean_ns,
+        best_ns,
+        rate(mean_ns)
+    );
+}
+
+/// Defines a function running the listed benchmarks in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main` running the listed [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("sum", |b| b.iter(|| (0u64..4).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &k| {
+            b.iter(|| k.wrapping_mul(0x9E3779B97F4A7C15))
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_to_completion() {
+        std::env::set_var("CRITERION_FAST", "1");
+        benches();
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 8).name, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").name, "x");
+    }
+}
