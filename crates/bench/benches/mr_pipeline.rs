@@ -3,17 +3,12 @@
 //! broadcast-via-distributed-cache (one job) versus
 //! broadcast-via-shuffle (two jobs).
 
-// Stays on the pre-builder entry points deliberately: the deprecated shims
-// must keep existing callers compiling (see `deprecated_shims_still_run`).
-#![allow(deprecated)]
-
 use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use pmr_apps::generate::opaque_elements;
 use pmr_cluster::{Cluster, ClusterConfig};
-use pmr_core::runner::mr::{run_mr, run_mr_broadcast, MrPairwiseOptions};
-use pmr_core::runner::{comp_fn, CompFn, ConcatSort, Symmetry};
+use pmr_core::runner::{comp_fn, Backend, CompFn, PairwiseJob};
 use pmr_core::scheme::{BlockScheme, BroadcastScheme, DesignScheme, DistributionScheme};
 
 fn comp() -> CompFn<bytes::Bytes, u64> {
@@ -35,16 +30,11 @@ fn bench_two_job_pipeline(c: &mut Criterion) {
             b.iter(|| {
                 let cluster = Cluster::new(ClusterConfig::with_nodes(4));
                 black_box(
-                    run_mr(
-                        &cluster,
-                        Arc::clone(scheme),
-                        &payloads,
-                        comp(),
-                        Symmetry::Symmetric,
-                        Arc::new(ConcatSort),
-                        MrPairwiseOptions::default(),
-                    )
-                    .unwrap(),
+                    PairwiseJob::new(&payloads, comp())
+                        .scheme_arc(Arc::clone(scheme))
+                        .backend(Backend::Mr(&cluster))
+                        .run()
+                        .unwrap(),
                 )
             })
         });
@@ -62,16 +52,11 @@ fn bench_broadcast_ablation(c: &mut Criterion) {
         b.iter(|| {
             let cluster = Cluster::new(ClusterConfig::with_nodes(4));
             black_box(
-                run_mr(
-                    &cluster,
-                    Arc::new(scheme.clone()),
-                    &payloads,
-                    comp(),
-                    Symmetry::Symmetric,
-                    Arc::new(ConcatSort),
-                    MrPairwiseOptions::default(),
-                )
-                .unwrap(),
+                PairwiseJob::new(&payloads, comp())
+                    .scheme(scheme.clone())
+                    .backend(Backend::Mr(&cluster))
+                    .run()
+                    .unwrap(),
             )
         })
     });
@@ -79,16 +64,11 @@ fn bench_broadcast_ablation(c: &mut Criterion) {
         b.iter(|| {
             let cluster = Cluster::new(ClusterConfig::with_nodes(4));
             black_box(
-                run_mr_broadcast(
-                    &cluster,
-                    &scheme,
-                    &payloads,
-                    comp(),
-                    Symmetry::Symmetric,
-                    Arc::new(ConcatSort),
-                    MrPairwiseOptions::default(),
-                )
-                .unwrap(),
+                PairwiseJob::new(&payloads, comp())
+                    .broadcast(scheme.clone())
+                    .backend(Backend::Mr(&cluster))
+                    .run()
+                    .unwrap(),
             )
         })
     });

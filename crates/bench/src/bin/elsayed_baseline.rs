@@ -10,18 +10,11 @@
 //! cargo run --release -p pmr-bench --bin elsayed_baseline
 //! ```
 
-// Stays on the pre-builder entry points deliberately: the deprecated shims
-// must keep existing callers compiling (see `deprecated_shims_still_run`).
-#![allow(deprecated)]
-
-use std::sync::Arc;
-
 use pmr_apps::docsim::{dot_comp, run_elsayed};
 use pmr_apps::generate::zipf_documents;
 use pmr_bench::{fmt_u64, print_table};
 use pmr_cluster::{Cluster, ClusterConfig};
-use pmr_core::runner::mr::{run_mr, MrPairwiseOptions};
-use pmr_core::runner::{ConcatSort, Symmetry};
+use pmr_core::runner::{Backend, PairwiseJob};
 use pmr_core::scheme::BlockScheme;
 
 fn main() {
@@ -42,16 +35,12 @@ fn main() {
 
         // Generic pairwise through the block scheme.
         let cluster = Cluster::new(ClusterConfig::with_nodes(4));
-        let (_, pw_report) = run_mr(
-            &cluster,
-            Arc::new(BlockScheme::new(n_docs as u64, 5)),
-            &docs,
-            dot_comp(),
-            Symmetry::Symmetric,
-            Arc::new(ConcatSort),
-            MrPairwiseOptions::default(),
-        )
-        .expect("pairwise failed");
+        let pw_run = PairwiseJob::new(&docs, dot_comp())
+            .scheme(BlockScheme::new(n_docs as u64, 5))
+            .backend(Backend::Mr(&cluster))
+            .run()
+            .expect("pairwise failed");
+        let pw_report = &pw_run.mr[0];
 
         // Elsayed baseline.
         let cluster2 = Cluster::new(ClusterConfig::with_nodes(4));

@@ -7,18 +7,13 @@
 //! cargo run --release -p pmr-bench --bin hierarchical
 //! ```
 
-// Stays on the pre-builder entry points deliberately: the deprecated shims
-// must keep existing callers compiling (see `deprecated_shims_still_run`).
-#![allow(deprecated)]
-
 use std::sync::Arc;
 
 use pmr_apps::generate::opaque_elements;
 use pmr_bench::{fmt_u64, print_table};
 use pmr_cluster::{Cluster, ClusterConfig};
 use pmr_core::hierarchical::{BatchedDesign, TwoLevelBlock};
-use pmr_core::runner::mr::{run_mr, run_mr_rounds, MrPairwiseOptions};
-use pmr_core::runner::{comp_fn, CompFn, ConcatSort, Symmetry};
+use pmr_core::runner::{comp_fn, Backend, CompFn, PairwiseJob};
 use pmr_core::scheme::{BlockScheme, DesignScheme, DistributionScheme};
 
 fn comp() -> CompFn<bytes::Bytes, u64> {
@@ -36,32 +31,24 @@ fn main() {
     // one coarse round at a time.
     let flat = BlockScheme::new(v, 12);
     let cluster = Cluster::new(ClusterConfig::with_nodes(4));
-    let (flat_out, flat_report) = run_mr(
-        &cluster,
-        Arc::new(flat),
-        &payloads,
-        comp(),
-        Symmetry::Symmetric,
-        Arc::new(ConcatSort),
-        MrPairwiseOptions::default(),
-    )
-    .expect("flat block run failed");
+    let flat_run = PairwiseJob::new(&payloads, comp())
+        .scheme(flat)
+        .backend(Backend::Mr(&cluster))
+        .run()
+        .expect("flat block run failed");
+    let flat_report = &flat_run.mr[0];
 
     let tlb = TwoLevelBlock::new(v, 4, 3);
     let rounds: Vec<Arc<dyn DistributionScheme>> =
         tlb.rounds().into_iter().map(Arc::from).collect();
     let cluster2 = Cluster::new(ClusterConfig::with_nodes(4));
-    let (tlb_out, tlb_reports) = run_mr_rounds(
-        &cluster2,
-        rounds,
-        &payloads,
-        comp(),
-        Symmetry::Symmetric,
-        Arc::new(ConcatSort),
-        MrPairwiseOptions::default(),
-    )
-    .expect("two-level run failed");
-    assert_eq!(flat_out, tlb_out, "hierarchical result must equal flat result");
+    let tlb_run = PairwiseJob::new(&payloads, comp())
+        .rounds(rounds)
+        .backend(Backend::Mr(&cluster2))
+        .run()
+        .expect("two-level run failed");
+    let tlb_reports = &tlb_run.mr;
+    assert_eq!(flat_run.output, tlb_run.output, "hierarchical result must equal flat result");
 
     let tlb_peak = tlb_reports.iter().map(|r| r.peak_intermediate_bytes).max().unwrap();
     let tlb_ws = tlb_reports.iter().map(|r| r.max_working_set_bytes).max().unwrap();
@@ -94,16 +81,12 @@ fn main() {
     // --- Batched design vs flat design. ---
     let flat_design = DesignScheme::new(v);
     let cluster3 = Cluster::new(ClusterConfig::with_nodes(4));
-    let (design_out, design_report) = run_mr(
-        &cluster3,
-        Arc::new(flat_design),
-        &payloads,
-        comp(),
-        Symmetry::Symmetric,
-        Arc::new(ConcatSort),
-        MrPairwiseOptions::default(),
-    )
-    .expect("flat design run failed");
+    let design_run = PairwiseJob::new(&payloads, comp())
+        .scheme(flat_design)
+        .backend(Backend::Mr(&cluster3))
+        .run()
+        .expect("flat design run failed");
+    let design_report = &design_run.mr[0];
 
     let mut rows = vec![vec![
         "flat design".into(),
@@ -117,17 +100,13 @@ fn main() {
             .map(|r| Arc::new(bd.round(r)) as Arc<dyn DistributionScheme>)
             .collect();
         let cluster4 = Cluster::new(ClusterConfig::with_nodes(4));
-        let (out, reports) = run_mr_rounds(
-            &cluster4,
-            rounds,
-            &payloads,
-            comp(),
-            Symmetry::Symmetric,
-            Arc::new(ConcatSort),
-            MrPairwiseOptions::default(),
-        )
-        .expect("batched design run failed");
-        assert_eq!(out, design_out, "batched design must equal flat design");
+        let run = PairwiseJob::new(&payloads, comp())
+            .rounds(rounds)
+            .backend(Backend::Mr(&cluster4))
+            .run()
+            .expect("batched design run failed");
+        assert_eq!(run.output, design_run.output, "batched design must equal flat design");
+        let reports = &run.mr;
         let peak = reports.iter().map(|r| r.peak_intermediate_bytes).max().unwrap();
         rows.push(vec![
             format!("batched design ({batches} rounds)"),

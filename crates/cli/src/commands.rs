@@ -384,7 +384,7 @@ mod tests {
             )))
             .unwrap();
             let json = std::fs::read_to_string(&json_path).unwrap();
-            assert!(json.contains("\"schema\": \"pmr.run_report/1\""), "{backend}");
+            assert!(json.contains("\"schema\": \"pmr.run_report/2\""), "{backend}");
             assert!(json.contains(&format!("\"backend\": \"{backend}\"")), "{backend}");
         }
         std::fs::remove_dir_all(&dir).unwrap();

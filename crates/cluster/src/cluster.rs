@@ -22,6 +22,11 @@ pub struct Cluster {
     traffic: TrafficAccountant,
     injector: FailureInjector,
     telemetry: Telemetry,
+    /// Model-charged intermediate bytes with no physical backing (e.g.
+    /// payload bytes an id-only shuffle no longer materializes). Counted
+    /// into [`Cluster::intermediate_bytes`] so the paper's `maxis` cap
+    /// keeps billing the full replicated volume.
+    charged_extra: std::sync::atomic::AtomicU64,
 }
 
 impl Cluster {
@@ -40,6 +45,7 @@ impl Cluster {
             traffic: TrafficAccountant::new(),
             injector,
             telemetry: Telemetry::disabled(),
+            charged_extra: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -100,10 +106,28 @@ impl Cluster {
         MemoryGauge::new(self.config.node.task_memory_budget)
     }
 
-    /// Bytes of node-local (intermediate) data currently materialized
-    /// across all nodes.
+    /// Bytes of node-local (intermediate) data currently billed across all
+    /// nodes: physically materialized bytes plus any outstanding charged
+    /// extra (see [`Cluster::charge_intermediate`]).
     pub fn intermediate_bytes(&self) -> u64 {
-        self.nodes.iter().map(|n| n.storage_used()).sum()
+        let physical: u64 = self.nodes.iter().map(|n| n.storage_used()).sum();
+        physical + self.charged_extra.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Bills `bytes` of intermediate storage that the paper's cost model
+    /// charges but no file materializes (id-only shuffle standing in for
+    /// replicated payloads). Balanced by [`Cluster::uncharge_intermediate`].
+    pub fn charge_intermediate(&self, bytes: u64) {
+        self.charged_extra.fetch_add(bytes, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Releases a prior [`Cluster::charge_intermediate`] billing (saturating).
+    pub fn uncharge_intermediate(&self, bytes: u64) {
+        let _ = self.charged_extra.fetch_update(
+            std::sync::atomic::Ordering::Relaxed,
+            std::sync::atomic::Ordering::Relaxed,
+            |cur| Some(cur.saturating_sub(bytes)),
+        );
     }
 
     /// Peak node-local bytes summed over nodes (upper bound on the true
@@ -140,6 +164,20 @@ mod tests {
         assert_eq!(c.node(NodeId(1)).id(), NodeId(1));
         assert_eq!(c.intermediate_bytes(), 0);
         c.check_intermediate_capacity().unwrap();
+    }
+
+    #[test]
+    fn charged_intermediate_counts_against_cap() {
+        let c = Cluster::new(ClusterConfig::with_nodes(2).intermediate_storage(10));
+        c.charge_intermediate(16);
+        assert_eq!(c.intermediate_bytes(), 16);
+        assert!(c.check_intermediate_capacity().is_err());
+        c.uncharge_intermediate(16);
+        assert_eq!(c.intermediate_bytes(), 0);
+        c.check_intermediate_capacity().unwrap();
+        // Uncharging below zero saturates rather than wrapping.
+        c.uncharge_intermediate(1);
+        assert_eq!(c.intermediate_bytes(), 0);
     }
 
     #[test]

@@ -11,11 +11,12 @@
 //! run.report.write_json_file("report.json")?;
 //! ```
 //!
-//! The builder replaces the free functions `run_mr`, `run_mr_rounds`, and
-//! `run_mr_broadcast` (now deprecated shims): the distribution plan
-//! ([`PairwiseJob::scheme`], [`PairwiseJob::broadcast`],
-//! [`PairwiseJob::rounds`]) is orthogonal to the execution [`Backend`], and
-//! every run yields a [`pmr_obs::RunReport`] alongside the output.
+//! The distribution plan ([`PairwiseJob::scheme`],
+//! [`PairwiseJob::broadcast`], [`PairwiseJob::rounds`]) is orthogonal to
+//! the execution [`Backend`], and every run yields a
+//! [`pmr_obs::RunReport`] alongside the output. The dataset is ingested
+//! once into an [`ElementStore`] shared by all backends; pass an existing
+//! store with [`PairwiseJob::from_store`] to skip the ingest copy.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -30,6 +31,7 @@ use crate::runner::mr::{
     EVALUATIONS_COUNTER,
 };
 use crate::runner::sequential::run_sequential;
+use crate::runner::store::ElementStore;
 use crate::runner::{Aggregator, CompFn, ConcatSort, PairwiseOutput, Symmetry};
 use crate::scheme::{BroadcastScheme, DistributionScheme};
 
@@ -102,7 +104,7 @@ impl<R> PairwiseRun<R> {
 /// plan, a backend, and optional aggregation/telemetry. See the module
 /// docs for an example.
 pub struct PairwiseJob<'a, T, R> {
-    elements: &'a [T],
+    store: Arc<ElementStore<T>>,
     comp: CompFn<T, R>,
     plan: Plan,
     backend: Backend<'a>,
@@ -118,10 +120,16 @@ where
     R: Wire + Clone + Send + Sync,
 {
     /// Starts a job over `elements` (element `i` has id `i`) with an
-    /// already-wrapped [`CompFn`].
+    /// already-wrapped [`CompFn`]. The elements are ingested once into an
+    /// [`ElementStore`] — the only payload copy the pipeline makes.
     pub fn new(elements: &'a [T], comp: CompFn<T, R>) -> Self {
+        PairwiseJob::from_store(ElementStore::from_slice(elements), comp)
+    }
+
+    /// Starts a job over an existing shared [`ElementStore`] (no copy).
+    pub fn from_store(store: Arc<ElementStore<T>>, comp: CompFn<T, R>) -> Self {
         PairwiseJob {
-            elements,
+            store,
             comp,
             plan: Plan::None,
             backend: Backend::Sequential,
@@ -207,7 +215,7 @@ where
     /// pipeline fails; payload-count mismatches surface as
     /// [`MrError::InvalidJob`].
     pub fn run(self) -> pmr_mapreduce::Result<PairwiseRun<R>> {
-        let PairwiseJob { elements, comp, plan, backend, symmetry, aggregator, telemetry, options } =
+        let PairwiseJob { store, comp, plan, backend, symmetry, aggregator, telemetry, options } =
             self;
         // One sink for the whole run: the cluster's when it has one (the
         // engine records spans there), otherwise the builder's.
@@ -217,7 +225,7 @@ where
         };
         effective.set_meta("backend", backend.name());
         effective.set_meta("symmetry", format!("{symmetry:?}"));
-        effective.set_meta("elements", elements.len());
+        effective.set_meta("elements", store.len());
         match &plan {
             Plan::None => {}
             Plan::Scheme(s) => {
@@ -239,9 +247,9 @@ where
         let mut run = match (backend, plan) {
             (Backend::Sequential, _) => {
                 let phase = effective.job_phase("sequential", "evaluate");
-                let output = run_sequential(elements, &comp, symmetry, aggregator.as_ref());
+                let output = run_sequential(store.elements(), &comp, symmetry, aggregator.as_ref());
                 drop(phase);
-                let v = elements.len() as u64;
+                let v = store.len() as u64;
                 let evaluations = match symmetry {
                     Symmetry::Symmetric => v * v.saturating_sub(1) / 2,
                     Symmetry::NonSymmetric => v * v.saturating_sub(1),
@@ -260,7 +268,7 @@ where
             }
             (Backend::Local { threads }, Plan::Scheme(scheme)) => {
                 let (output, stats) = run_local_impl(
-                    elements,
+                    store.elements(),
                     scheme.as_ref(),
                     &comp,
                     symmetry,
@@ -277,7 +285,7 @@ where
             }
             (Backend::Local { threads }, Plan::Broadcast(scheme)) => {
                 let (output, stats) = run_local_impl(
-                    elements,
+                    store.elements(),
                     &scheme,
                     &comp,
                     symmetry,
@@ -294,11 +302,11 @@ where
             }
             (Backend::Local { threads }, Plan::Rounds(rounds)) => {
                 let mut merged: HashMap<u64, Vec<(u64, R)>> =
-                    (0..elements.len() as u64).map(|id| (id, Vec::new())).collect();
+                    (0..store.len() as u64).map(|id| (id, Vec::new())).collect();
                 let mut stats = LocalRunStats::default();
                 for round in rounds {
                     let (out, s) = run_local_impl(
-                        elements,
+                        store.elements(),
                         round.as_ref(),
                         &comp,
                         symmetry,
@@ -332,18 +340,18 @@ where
             }
             (Backend::Mr(cluster), Plan::Scheme(scheme)) => {
                 let (output, report) =
-                    run_mr_impl(cluster, scheme, elements, comp, symmetry, aggregator, options)?;
+                    run_mr_impl(cluster, scheme, &store, comp, symmetry, aggregator, options)?;
                 PairwiseRun { output, report: RunReport::default(), mr: vec![report], local: None }
             }
             (Backend::Mr(cluster), Plan::Broadcast(scheme)) => {
                 let (output, report) = run_mr_broadcast_impl(
-                    cluster, &scheme, elements, comp, symmetry, aggregator, options,
+                    cluster, &scheme, &store, comp, symmetry, aggregator, options,
                 )?;
                 PairwiseRun { output, report: RunReport::default(), mr: vec![report], local: None }
             }
             (Backend::Mr(cluster), Plan::Rounds(rounds)) => {
                 let (output, reports) = run_mr_rounds_impl(
-                    cluster, rounds, elements, comp, symmetry, aggregator, options,
+                    cluster, rounds, &store, comp, symmetry, aggregator, options,
                 )?;
                 PairwiseRun { output, report: RunReport::default(), mr: reports, local: None }
             }

@@ -15,14 +15,20 @@
 //! paper's Figure 2.
 //!
 //! The [`job`] module's [`PairwiseJob`] builder is the unified entry point
-//! over all three; the per-backend free functions are deprecated shims.
+//! over all three. The dataset is ingested once into an id-indexed
+//! [`store::ElementStore`] shared by every backend: working sets carry
+//! element ids, tasks resolve ids through a node-local store handle, and
+//! replicated payload bytes are *charged* to the paper's cost model
+//! without being *moved*.
 
 pub mod job;
 pub mod local;
 pub mod mr;
 pub mod sequential;
+pub mod store;
 
 pub use job::{Backend, PairwiseJob, PairwiseRun};
+pub use store::ElementStore;
 
 use std::sync::Arc;
 

@@ -2,15 +2,24 @@
 //! 1 and 2, plus the single-job distributed-cache variant for the broadcast
 //! scheme (§5.1).
 //!
-//! Job 1 (*distribution and pairwise comparison*): `map` replicates each
-//! element to the working sets `getSubsets` names; the sort/shuffle phase
-//! routes every working set to one reducer; `reduce` evaluates `getPairs`
-//! and emits every element copy keyed by element id, carrying the partial
-//! `(other, result)` list.
+//! The pipeline moves **element ids, not payloads**. The dataset lives in
+//! an id-indexed [`ElementStore`] attached to each job as the node-local
+//! resolver; every place the paper's algorithm would shuffle an element
+//! copy, we shuffle its `u64` id and *charge* the copy's encoded payload
+//! bytes to the cost model (`emit_charged`), so the measured communication
+//! cost, working-set pressure, and intermediate-storage pressure stay
+//! exactly the paper's while the physically moved bytes collapse to
+//! O(ids).
 //!
-//! Job 2 (*aggregation*): identity `map`; sort/shuffle groups an element's
-//! copies; `reduce` merges the partial lists with the application's
-//! `aggregateResults`.
+//! Job 1 (*distribution and pairwise comparison*): `map` replicates each
+//! element id to the working sets `getSubsets` names; the sort/shuffle
+//! phase routes every working set to one reducer; `reduce` resolves ids
+//! through the store, evaluates `getPairs`, and emits each element id with
+//! its partial `(other, result)` list.
+//!
+//! Job 2 (*aggregation*): `map` groups by element id (charging the payload
+//! copy the paper's identity map would carry); `reduce` merges the partial
+//! lists with the application's `aggregateResults`.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -18,11 +27,12 @@ use std::sync::Arc;
 
 use pmr_cluster::Cluster;
 use pmr_mapreduce::{
-    read_output, write_sharded, Engine, IdentityMapper, JobOutput, JobSpec, MapContext, Mapper,
-    ModuloPartitioner, MrError, ReduceContext, Reducer, Values, Wire,
+    read_output, write_sharded, Engine, JobOutput, JobSpec, MapContext, Mapper, ModuloPartitioner,
+    MrError, ReduceContext, Reducer, Values, Wire,
 };
 use pmr_obs::{hist, Telemetry};
 
+use crate::runner::store::ElementStore;
 use crate::runner::{Aggregator, CompFn, PairwiseOutput, Symmetry};
 use crate::scheme::{BroadcastScheme, DistributionScheme};
 
@@ -30,8 +40,9 @@ use crate::scheme::{BroadcastScheme, DistributionScheme};
 pub const EVALUATIONS_COUNTER: &str = "pairwise.evaluations";
 
 /// One aggregated output row as stored on the DFS: element id with its
-/// payload and merged `(other, result)` list.
-type OutputRow<T, R> = (u64, (T, Vec<(u64, R)>));
+/// merged `(other, result)` list. Payloads never round-trip through the
+/// output — callers resolve ids against the store.
+type OutputRow<R> = (u64, Vec<(u64, R)>);
 
 /// Options for an MR pairwise run.
 #[derive(Debug, Clone)]
@@ -76,8 +87,12 @@ pub struct MrRunReport {
     /// Element copies materialized by job 1's map phase — `v ×` the
     /// measured replication factor.
     pub replicated_records: u64,
-    /// Total shuffle bytes across jobs (the measured communication cost).
+    /// Total *charged* shuffle bytes across jobs (the measured
+    /// communication cost of the paper's model, payload copies included).
     pub shuffle_bytes: u64,
+    /// Total bytes the shuffle physically moved across jobs — id records
+    /// only, the engineering win of the id-indexed store.
+    pub shuffle_moved_bytes: u64,
     /// Peak per-group working-set bytes (measured `maxws` pressure).
     pub max_working_set_bytes: u64,
     /// Total network bytes across jobs (shuffle + remote reads + cache).
@@ -90,32 +105,36 @@ pub struct MrRunReport {
 // Job 1: distribution + pairwise comparison (paper Algorithm 1)
 // ---------------------------------------------------------------------------
 
-/// Job-1 mapper: `getSubsets` replication.
+/// Job-1 mapper: `getSubsets` replication, ids only. Each emitted copy is
+/// charged the element's encoded payload bytes so the replication cost the
+/// paper measures is unchanged.
 struct DistributeMapper<T> {
     scheme: Arc<dyn DistributionScheme>,
     _pd: std::marker::PhantomData<fn() -> T>,
 }
 
-impl<T: Wire + Clone + Sync> Mapper for DistributeMapper<T> {
+impl<T: Wire + Sync> Mapper for DistributeMapper<T> {
     type KIn = u64;
     type VIn = T;
     type KOut = u64;
-    type VOut = (u64, T);
+    type VOut = u64;
 
     fn map(
         &self,
         id: u64,
         payload: T,
-        ctx: &mut MapContext<'_, u64, (u64, T)>,
+        ctx: &mut MapContext<'_, u64, u64>,
     ) -> pmr_mapreduce::Result<()> {
+        let charge = payload.to_bytes().len() as u64;
         for ws in self.scheme.subsets_of(id) {
-            ctx.emit(ws, (id, payload.clone()));
+            ctx.emit_charged(ws, id, charge);
         }
         Ok(())
     }
 }
 
-/// Job-1 reducer: `getPairs` + `evaluate` + `addResult` (both directions).
+/// Job-1 reducer: `getPairs` + `evaluate` + `addResult` (both directions),
+/// resolving ids through the node-local element store.
 struct EvaluateReducer<T, R> {
     scheme: Arc<dyn DistributionScheme>,
     comp: CompFn<T, R>,
@@ -123,39 +142,54 @@ struct EvaluateReducer<T, R> {
     telemetry: Telemetry,
 }
 
-impl<T: Wire + Clone + Sync, R: Wire + Clone + Sync> Reducer for EvaluateReducer<T, R> {
+impl<T: Wire + Sync, R: Wire + Clone + Sync> Reducer for EvaluateReducer<T, R> {
     type KIn = u64;
-    type VIn = (u64, T);
+    type VIn = u64;
     type KOut = u64;
-    type VOut = (T, Vec<(u64, R)>);
+    type VOut = Vec<(u64, R)>;
 
     fn reduce(
         &self,
         ws: u64,
-        values: Values<'_, (u64, T)>,
-        ctx: &mut ReduceContext<'_, u64, (T, Vec<(u64, R)>)>,
+        values: Values<'_, u64>,
+        ctx: &mut ReduceContext<'_, u64, Vec<(u64, R)>>,
     ) -> pmr_mapreduce::Result<()> {
-        // Materialize the working set (this is what the task memory budget
-        // constrains; the engine reserved the group's bytes already).
-        let mut members: Vec<(u64, T)> = values.collect();
-        members.sort_by_key(|(id, _)| *id);
+        let store = ctx
+            .store::<ElementStore<T>>()
+            .ok_or_else(|| MrError::InvalidJob("element store not attached to job 1".into()))?;
+        let mut ids: Vec<u64> = values.collect();
+        ids.sort_unstable();
         let expected = self.scheme.working_set(ws);
-        if members.len() != expected.len() {
+        if ids.len() != expected.len() {
             return Err(MrError::User(format!(
                 "working set {ws}: received {} elements, scheme expects {}",
-                members.len(),
+                ids.len(),
                 expected.len()
             )));
         }
-        let payload_of = |id: u64| -> &T {
-            let i = members.binary_search_by_key(&id, |(m, _)| *m).expect("pair endpoint missing");
-            &members[i].1
+        // The working set's payloads are what the task memory budget
+        // constrains (paper §6): the engine reserved the id records'
+        // physical bytes, this charges the payload bytes they stand for.
+        let payload_bytes: u64 = ids
+            .iter()
+            .map(|&id| {
+                store.get(id).map(|_| store.encoded_len(id)).ok_or_else(|| {
+                    MrError::User(format!("working set {ws}: element id {id} not in store"))
+                })
+            })
+            .sum::<pmr_mapreduce::Result<u64>>()?;
+        ctx.memory().try_reserve(payload_bytes)?;
+        let resolve = |id: u64| -> pmr_mapreduce::Result<&T> {
+            ids.binary_search(&id).map_err(|_| {
+                MrError::User(format!("working set {ws}: pair endpoint {id} missing"))
+            })?;
+            store.get(id).ok_or_else(|| MrError::User(format!("element id {id} not in store")))
         };
-        let mut results: HashMap<u64, Vec<(u64, R)>> = HashMap::with_capacity(members.len());
+        let mut results: HashMap<u64, Vec<(u64, R)>> = HashMap::with_capacity(ids.len());
         let pairs = self.scheme.pairs(ws);
         let mut evals = 0u64;
         for (a, b) in pairs {
-            let (pa, pb) = (payload_of(a), payload_of(b));
+            let (pa, pb) = (resolve(a)?, resolve(b)?);
             match self.symmetry {
                 Symmetry::Symmetric => {
                     let r = (self.comp)(pa, pb);
@@ -173,11 +207,13 @@ impl<T: Wire + Clone + Sync, R: Wire + Clone + Sync> Reducer for EvaluateReducer
         ctx.counters().add(EVALUATIONS_COUNTER, evals);
         self.telemetry.record_value(hist::EVALUATIONS_PER_TASK, evals);
         // Emit every copy with its partial results (paper: "The output of
-        // the reduce phase contains each element (including all copies)").
-        for (id, payload) in members {
+        // the reduce phase contains each element (including all copies)") —
+        // as ids, not payloads.
+        for id in ids {
             let partial = results.remove(&id).unwrap_or_default();
-            ctx.emit(id, (payload, partial));
+            ctx.emit(id, partial);
         }
+        ctx.memory().release(payload_bytes);
         Ok(())
     }
 }
@@ -186,33 +222,78 @@ impl<T: Wire + Clone + Sync, R: Wire + Clone + Sync> Reducer for EvaluateReducer
 // Job 2: aggregation (paper Algorithm 2)
 // ---------------------------------------------------------------------------
 
+/// Job-2 mapper: groups partial lists by element id. The paper's identity
+/// map would re-ship each copy's payload; this ships the id and charges
+/// the payload bytes instead.
+struct GroupByElementMapper<T, R> {
+    _pd: std::marker::PhantomData<fn() -> (T, R)>,
+}
+
+impl<T: Wire + Sync, R: Wire + Sync> Mapper for GroupByElementMapper<T, R> {
+    type KIn = u64;
+    type VIn = Vec<(u64, R)>;
+    type KOut = u64;
+    type VOut = Vec<(u64, R)>;
+
+    fn map(
+        &self,
+        id: u64,
+        partial: Vec<(u64, R)>,
+        ctx: &mut MapContext<'_, u64, Vec<(u64, R)>>,
+    ) -> pmr_mapreduce::Result<()> {
+        let store = ctx
+            .store::<ElementStore<T>>()
+            .ok_or_else(|| MrError::InvalidJob("element store not attached to job 2".into()))?;
+        if store.get(id).is_none() {
+            return Err(MrError::User(format!(
+                "aggregate: element id {id} in intermediate record is not in the store"
+            )));
+        }
+        let charge = store.encoded_len(id);
+        ctx.emit_charged(id, partial, charge);
+        Ok(())
+    }
+}
+
 /// Job-2 reducer: merges an element's copies with `aggregateResults`.
 struct AggregateReducer<T, R> {
     aggregator: Arc<dyn Aggregator<R>>,
     _pd: std::marker::PhantomData<fn() -> T>,
 }
 
-impl<T: Wire + Clone + Sync, R: Wire + Clone + Sync> Reducer for AggregateReducer<T, R> {
+impl<T: Wire + Sync, R: Wire + Sync> Reducer for AggregateReducer<T, R> {
     type KIn = u64;
-    type VIn = (T, Vec<(u64, R)>);
+    type VIn = Vec<(u64, R)>;
     type KOut = u64;
-    type VOut = (T, Vec<(u64, R)>);
+    type VOut = Vec<(u64, R)>;
 
     fn reduce(
         &self,
         id: u64,
-        values: Values<'_, (T, Vec<(u64, R)>)>,
-        ctx: &mut ReduceContext<'_, u64, (T, Vec<(u64, R)>)>,
+        values: Values<'_, Vec<(u64, R)>>,
+        ctx: &mut ReduceContext<'_, u64, Vec<(u64, R)>>,
     ) -> pmr_mapreduce::Result<()> {
-        let mut payload: Option<T> = None;
+        let store = ctx
+            .store::<ElementStore<T>>()
+            .ok_or_else(|| MrError::InvalidJob("element store not attached to job 2".into()))?;
+        // A corrupt or foreign intermediate record surfaces as an error,
+        // not a worker panic.
+        if store.get(id).is_none() {
+            return Err(MrError::User(format!(
+                "aggregate: element id {id} in intermediate record is not in the store"
+            )));
+        }
+        // Charge the payload copy each grouped record used to carry, so
+        // the measured `maxws` pressure matches the paper's model.
+        let payload_bytes = store.encoded_len(id) * values.len() as u64;
+        ctx.memory().try_reserve(payload_bytes)?;
         let mut partials: Vec<(u64, R)> = Vec::new();
-        for (p, mut rs) in values {
-            payload.get_or_insert(p);
+        for mut rs in values {
             partials.append(&mut rs);
         }
         let merged = self.aggregator.aggregate(id, partials);
-        let payload = payload.expect("empty reduce group cannot happen");
-        ctx.emit(id, (payload, merged));
+        ctx.emit(id, merged);
+        ctx.memory().release(payload_bytes);
         Ok(())
     }
 }
@@ -221,8 +302,11 @@ impl<T: Wire + Clone + Sync, R: Wire + Clone + Sync> Reducer for AggregateReduce
 // Broadcast single-job variant (paper §5.1)
 // ---------------------------------------------------------------------------
 
-/// Broadcast mapper: evaluates one task's label range against the cached
-/// dataset ("the evaluation of pairs can then be done in the map function").
+/// Broadcast mapper: evaluates one task's label range against the
+/// node-local store ("the evaluation of pairs can then be done in the map
+/// function"). The dataset is still shipped to every node through the
+/// distributed cache — that is the paper's §5.1 seeding cost and it is
+/// recorded unchanged — but payload resolution goes through the store.
 struct BroadcastEvalMapper<T, R> {
     scheme: BroadcastScheme,
     comp: CompFn<T, R>,
@@ -230,25 +314,31 @@ struct BroadcastEvalMapper<T, R> {
     telemetry: Telemetry,
 }
 
-impl<T: Wire + Clone + Sync, R: Wire + Clone + Sync> Mapper for BroadcastEvalMapper<T, R> {
+impl<T: Wire + Sync, R: Wire + Clone + Sync> Mapper for BroadcastEvalMapper<T, R> {
     type KIn = u64;
     type VIn = ();
     type KOut = u64;
-    type VOut = (T, Vec<(u64, R)>);
+    type VOut = Vec<(u64, R)>;
 
     fn map(
         &self,
         task: u64,
         _unit: (),
-        ctx: &mut MapContext<'_, u64, (T, Vec<(u64, R)>)>,
+        ctx: &mut MapContext<'_, u64, Vec<(u64, R)>>,
     ) -> pmr_mapreduce::Result<()> {
-        let dataset: Vec<(u64, T)> =
-            Vec::from_bytes(ctx.cache().get("dataset")).map_err(pmr_mapreduce::MrError::Codec)?;
+        let store = ctx.store::<ElementStore<T>>().ok_or_else(|| {
+            MrError::InvalidJob("element store not attached to broadcast job".into())
+        })?;
+        let resolve = |id: u64| -> pmr_mapreduce::Result<&T> {
+            store
+                .get(id)
+                .ok_or_else(|| MrError::User(format!("broadcast: element id {id} not in store")))
+        };
         let mut results: HashMap<u64, Vec<(u64, R)>> = HashMap::new();
         let (s, e) = self.scheme.label_range(task);
         let mut evals = 0u64;
         for (a, b) in crate::enumeration::pairs_in_range(s, e) {
-            let (pa, pb) = (&dataset[a as usize].1, &dataset[b as usize].1);
+            let (pa, pb) = (resolve(a)?, resolve(b)?);
             match self.symmetry {
                 Symmetry::Symmetric => {
                     let r = (self.comp)(pa, pb);
@@ -265,8 +355,11 @@ impl<T: Wire + Clone + Sync, R: Wire + Clone + Sync> Mapper for BroadcastEvalMap
         }
         ctx.counters().add(EVALUATIONS_COUNTER, evals);
         self.telemetry.record_value(hist::EVALUATIONS_PER_TASK, evals);
-        for (id, partial) in results {
-            ctx.emit(id, (dataset[id as usize].1.clone(), partial));
+        let mut rows: Vec<(u64, Vec<(u64, R)>)> = results.into_iter().collect();
+        rows.sort_by_key(|(id, _)| *id);
+        for (id, partial) in rows {
+            let charge = store.encoded_len(id);
+            ctx.emit_charged(id, partial, charge);
         }
         Ok(())
     }
@@ -284,10 +377,22 @@ fn auto(n: usize, cap: u64, requested: usize) -> usize {
     }
 }
 
+/// The store handle as attached to a [`JobSpec`] (type-erased; tasks get
+/// it back typed via `ctx.store::<ElementStore<T>>()`).
+fn store_handle<T: Wire + Sync>(
+    store: &Arc<ElementStore<T>>,
+) -> Arc<dyn std::any::Any + Send + Sync> {
+    Arc::clone(store) as Arc<dyn std::any::Any + Send + Sync>
+}
+
+fn moved_counter(job: &JobOutput) -> u64 {
+    job.counters.get(pmr_mapreduce::builtin::SHUFFLE_MOVED_BYTES).copied().unwrap_or(0)
+}
+
 pub(crate) fn run_mr_impl<T, R>(
     cluster: &Cluster,
     scheme: Arc<dyn DistributionScheme>,
-    payloads: &[T],
+    store: &Arc<ElementStore<T>>,
     comp: CompFn<T, R>,
     symmetry: Symmetry,
     aggregator: Arc<dyn Aggregator<R>>,
@@ -297,10 +402,10 @@ where
     T: Wire + Clone + Sync,
     R: Wire + Clone + Sync,
 {
-    if payloads.len() as u64 != scheme.v() {
+    if store.len() as u64 != scheme.v() {
         return Err(MrError::InvalidJob(format!(
             "payload count {} != scheme v {}",
-            payloads.len(),
+            store.len(),
             scheme.v()
         )));
     }
@@ -320,7 +425,7 @@ where
         cluster,
         &format!("{dir}/input"),
         shards,
-        payloads.iter().cloned().enumerate().map(|(i, p)| (i as u64, p)),
+        store.elements().iter().cloned().enumerate().map(|(i, p)| (i as u64, p)),
     )?;
     drop(io);
 
@@ -340,7 +445,8 @@ where
             auto(n, scheme.num_tasks(), options.reducers_job1),
         )
         .partitioner(Arc::new(ModuloPartitioner))
-        .memory_overhead(options.memory_overhead.0, options.memory_overhead.1),
+        .memory_overhead(options.memory_overhead.0, options.memory_overhead.1)
+        .store(store_handle(store)),
     )?;
 
     let job2 = engine.run(
@@ -348,18 +454,17 @@ where
             format!("{dir}-j2-aggregate"),
             job1.output_paths.clone(),
             format!("{dir}/out"),
-            IdentityMapper::<u64, (T, Vec<(u64, R)>)>::new(),
+            GroupByElementMapper::<T, R> { _pd: std::marker::PhantomData },
             AggregateReducer::<T, R> { aggregator, _pd: std::marker::PhantomData },
             auto(n, scheme.v(), options.reducers_job2),
         )
         .partitioner(Arc::new(ModuloPartitioner))
-        .memory_overhead(options.memory_overhead.0, options.memory_overhead.1),
+        .memory_overhead(options.memory_overhead.0, options.memory_overhead.1)
+        .store(store_handle(store)),
     )?;
 
     let io = telemetry.job_phase(&format!("{dir}-io"), "collect-output");
-    let rows: Vec<OutputRow<T, R>> = read_output(cluster, &format!("{dir}/out"))?;
-    let mut per_element: Vec<(u64, Vec<(u64, R)>)> =
-        rows.into_iter().map(|(id, (_payload, rs))| (id, rs)).collect();
+    let mut per_element: Vec<OutputRow<R>> = read_output(cluster, &format!("{dir}/out"))?;
     per_element.sort_by_key(|(id, _)| *id);
     drop(io);
 
@@ -368,6 +473,7 @@ where
         replicated_records: job1.counters[pmr_mapreduce::builtin::MAP_OUTPUT_RECORDS],
         shuffle_bytes: job1.counters[pmr_mapreduce::builtin::SHUFFLE_BYTES]
             + job2.counters[pmr_mapreduce::builtin::SHUFFLE_BYTES],
+        shuffle_moved_bytes: moved_counter(&job1) + moved_counter(&job2),
         max_working_set_bytes: job1.stats.max_working_set_bytes,
         network_bytes: job1.stats.network_bytes + job2.stats.network_bytes,
         peak_intermediate_bytes: job1
@@ -391,7 +497,7 @@ where
 pub(crate) fn run_mr_rounds_impl<T, R>(
     cluster: &Cluster,
     rounds: Vec<Arc<dyn DistributionScheme>>,
-    payloads: &[T],
+    store: &Arc<ElementStore<T>>,
     comp: CompFn<T, R>,
     symmetry: Symmetry,
     aggregator: Arc<dyn Aggregator<R>>,
@@ -402,7 +508,7 @@ where
     R: Wire + Clone + Sync,
 {
     let mut merged: std::collections::HashMap<u64, Vec<(u64, R)>> =
-        (0..payloads.len() as u64).map(|id| (id, Vec::new())).collect();
+        (0..store.len() as u64).map(|id| (id, Vec::new())).collect();
     let mut reports = Vec::with_capacity(rounds.len());
     for (i, round) in rounds.into_iter().enumerate() {
         let opts = MrPairwiseOptions {
@@ -412,7 +518,7 @@ where
         let (out, report) = run_mr_impl(
             cluster,
             round,
-            payloads,
+            store,
             Arc::clone(&comp),
             symmetry,
             Arc::new(crate::runner::ConcatSort),
@@ -436,7 +542,7 @@ where
 pub(crate) fn run_mr_broadcast_impl<T, R>(
     cluster: &Cluster,
     scheme: &BroadcastScheme,
-    payloads: &[T],
+    store: &Arc<ElementStore<T>>,
     comp: CompFn<T, R>,
     symmetry: Symmetry,
     aggregator: Arc<dyn Aggregator<R>>,
@@ -446,10 +552,10 @@ where
     T: Wire + Clone + Sync,
     R: Wire + Clone + Sync,
 {
-    if payloads.len() as u64 != scheme.v() {
+    if store.len() as u64 != scheme.v() {
         return Err(MrError::InvalidJob(format!(
             "payload count {} != scheme v {}",
-            payloads.len(),
+            store.len(),
             scheme.v()
         )));
     }
@@ -461,9 +567,9 @@ where
     telemetry.set_meta("symmetry", format!("{symmetry:?}"));
     let n = cluster.num_nodes();
     let dir = &options.dfs_dir;
-    let dataset: Vec<(u64, T)> =
-        payloads.iter().cloned().enumerate().map(|(i, p)| (i as u64, p)).collect();
-    let dataset_bytes = dataset.to_bytes();
+    // The §5.1 seeding cost: the dataset is broadcast to every node, and
+    // the per-node store view resolves against it.
+    let dataset_bytes = store.dataset_bytes();
 
     // Input = one record per (nonempty) task: the unit of map-side work.
     let tasks: Vec<(u64, ())> =
@@ -491,13 +597,12 @@ where
         )
         .partitioner(Arc::new(ModuloPartitioner))
         .cache_file("dataset", dataset_bytes)
-        .memory_overhead(options.memory_overhead.0, options.memory_overhead.1),
+        .memory_overhead(options.memory_overhead.0, options.memory_overhead.1)
+        .store(store_handle(store)),
     )?;
 
     let io = telemetry.job_phase(&format!("{dir}-io"), "collect-output");
-    let rows: Vec<OutputRow<T, R>> = read_output(cluster, &format!("{dir}/out"))?;
-    let mut per_element: Vec<(u64, Vec<(u64, R)>)> =
-        rows.into_iter().map(|(id, (_payload, rs))| (id, rs)).collect();
+    let mut per_element: Vec<OutputRow<R>> = read_output(cluster, &format!("{dir}/out"))?;
     per_element.sort_by_key(|(id, _)| *id);
     drop(io);
 
@@ -505,6 +610,7 @@ where
         evaluations: job.counters.get(EVALUATIONS_COUNTER).copied().unwrap_or(0),
         replicated_records: job.counters[pmr_mapreduce::builtin::MAP_OUTPUT_RECORDS],
         shuffle_bytes: job.counters[pmr_mapreduce::builtin::SHUFFLE_BYTES],
+        shuffle_moved_bytes: moved_counter(&job),
         max_working_set_bytes: job.stats.max_working_set_bytes,
         network_bytes: job.stats.network_bytes,
         peak_intermediate_bytes: job.stats.peak_intermediate_bytes,
@@ -514,80 +620,98 @@ where
     Ok((PairwiseOutput { per_element }, report))
 }
 
-// ---------------------------------------------------------------------------
-// Deprecated free-function entry points (kept as thin shims over the
-// `PairwiseJob` builder's internals so pre-builder callers keep compiling)
-// ---------------------------------------------------------------------------
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmr_cluster::{Cluster, ClusterConfig};
+    use pmr_mapreduce::IdentityMapper;
 
-/// Runs the paper's two-job pipeline for an arbitrary scheme.
-///
-/// Returns the aggregated per-element output plus the run's measured
-/// metrics. `payloads[i]` is element `i`; `payloads.len()` must equal
-/// `scheme.v()`.
-#[deprecated(
-    since = "0.1.0",
-    note = "use the `PairwiseJob` builder: \
-            `PairwiseJob::new(payloads, comp).scheme_arc(scheme).backend(Backend::Mr(cluster)).run()`"
-)]
-pub fn run_mr<T, R>(
-    cluster: &Cluster,
-    scheme: Arc<dyn DistributionScheme>,
-    payloads: &[T],
-    comp: CompFn<T, R>,
-    symmetry: Symmetry,
-    aggregator: Arc<dyn Aggregator<R>>,
-    options: MrPairwiseOptions,
-) -> pmr_mapreduce::Result<(PairwiseOutput<R>, MrRunReport)>
-where
-    T: Wire + Clone + Sync,
-    R: Wire + Clone + Sync,
-{
-    run_mr_impl(cluster, scheme, payloads, comp, symmetry, aggregator, options)
-}
+    fn job2_with_record(record: (u64, Vec<(u64, u64)>)) -> pmr_mapreduce::Result<JobOutput> {
+        let cluster = Cluster::new(ClusterConfig::with_nodes(2));
+        let store: Arc<ElementStore<u64>> = ElementStore::from_slice(&[10u64, 20, 30]);
+        let inputs = write_sharded(&cluster, "corrupt/in", 1, [record])?;
+        Engine::new(&cluster).run(
+            JobSpec::new(
+                "corrupt-j2",
+                inputs,
+                "corrupt/out",
+                GroupByElementMapper::<u64, u64> { _pd: std::marker::PhantomData },
+                AggregateReducer::<u64, u64> {
+                    aggregator: Arc::new(crate::runner::ConcatSort),
+                    _pd: std::marker::PhantomData,
+                },
+                2,
+            )
+            .partitioner(Arc::new(ModuloPartitioner))
+            .store(store_handle(&store)),
+        )
+    }
 
-/// Runs a hierarchical scheme's rounds **sequentially**, each round as the
-/// full two-job pipeline, aggregating between rounds — the paper's §7
-/// extension.
-#[deprecated(
-    since = "0.1.0",
-    note = "use the `PairwiseJob` builder: \
-            `PairwiseJob::new(payloads, comp).rounds(rounds).backend(Backend::Mr(cluster)).run()`"
-)]
-pub fn run_mr_rounds<T, R>(
-    cluster: &Cluster,
-    rounds: Vec<Arc<dyn DistributionScheme>>,
-    payloads: &[T],
-    comp: CompFn<T, R>,
-    symmetry: Symmetry,
-    aggregator: Arc<dyn Aggregator<R>>,
-    options: MrPairwiseOptions,
-) -> pmr_mapreduce::Result<(PairwiseOutput<R>, Vec<MrRunReport>)>
-where
-    T: Wire + Clone + Sync,
-    R: Wire + Clone + Sync,
-{
-    run_mr_rounds_impl(cluster, rounds, payloads, comp, symmetry, aggregator, options)
-}
+    /// A corrupt intermediate record (an element id outside the store)
+    /// surfaces as an `MrError`, not a worker panic.
+    #[test]
+    fn corrupt_intermediate_id_is_an_error_not_a_panic() {
+        let err = job2_with_record((999, vec![(1, 7)])).unwrap_err();
+        assert!(
+            matches!(&err, MrError::User(msg) if msg.contains("not in the store")),
+            "expected the corrupt-record error, got: {err}"
+        );
+        // A well-formed record on the same pipeline succeeds.
+        let out = job2_with_record((1, vec![(0, 7)])).unwrap();
+        assert_eq!(out.counters[pmr_mapreduce::builtin::REDUCE_OUTPUT_RECORDS], 1);
+    }
 
-/// Runs the broadcast scheme as a **single** job with the dataset shipped
-/// through the distributed cache — the paper's §5.1 optimization.
-#[deprecated(
-    since = "0.1.0",
-    note = "use the `PairwiseJob` builder: \
-            `PairwiseJob::new(payloads, comp).broadcast(scheme).backend(Backend::Mr(cluster)).run()`"
-)]
-pub fn run_mr_broadcast<T, R>(
-    cluster: &Cluster,
-    scheme: &BroadcastScheme,
-    payloads: &[T],
-    comp: CompFn<T, R>,
-    symmetry: Symmetry,
-    aggregator: Arc<dyn Aggregator<R>>,
-    options: MrPairwiseOptions,
-) -> pmr_mapreduce::Result<(PairwiseOutput<R>, MrRunReport)>
-where
-    T: Wire + Clone + Sync,
-    R: Wire + Clone + Sync,
-{
-    run_mr_broadcast_impl(cluster, scheme, payloads, comp, symmetry, aggregator, options)
+    /// The aggregation reducer itself (not just the grouping mapper)
+    /// rejects unknown ids — exercised by bypassing the mapper's check
+    /// with an identity map.
+    #[test]
+    fn aggregate_reducer_rejects_unknown_id() {
+        let cluster = Cluster::new(ClusterConfig::with_nodes(2));
+        let store: Arc<ElementStore<u64>> = ElementStore::from_slice(&[10u64, 20, 30]);
+        let inputs =
+            write_sharded(&cluster, "corrupt-r/in", 1, [(999u64, vec![(1u64, 7u64)])]).unwrap();
+        let err = Engine::new(&cluster)
+            .run(
+                JobSpec::new(
+                    "corrupt-r-j2",
+                    inputs,
+                    "corrupt-r/out",
+                    IdentityMapper::<u64, Vec<(u64, u64)>>::new(),
+                    AggregateReducer::<u64, u64> {
+                        aggregator: Arc::new(crate::runner::ConcatSort),
+                        _pd: std::marker::PhantomData,
+                    },
+                    2,
+                )
+                .partitioner(Arc::new(ModuloPartitioner))
+                .store(store_handle(&store)),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(&err, MrError::User(msg) if msg.contains("not in the store")),
+            "expected the corrupt-record error, got: {err}"
+        );
+    }
+
+    /// Job 2 without a store attached fails cleanly.
+    #[test]
+    fn missing_store_is_invalid_job() {
+        let cluster = Cluster::new(ClusterConfig::with_nodes(2));
+        let inputs =
+            write_sharded(&cluster, "nostore/in", 1, [(1u64, vec![(0u64, 7u64)])]).unwrap();
+        let err = Engine::new(&cluster)
+            .run(JobSpec::new(
+                "nostore-j2",
+                inputs,
+                "nostore/out",
+                GroupByElementMapper::<u64, u64> { _pd: std::marker::PhantomData },
+                AggregateReducer::<u64, u64> {
+                    aggregator: Arc::new(crate::runner::ConcatSort),
+                    _pd: std::marker::PhantomData,
+                },
+                1,
+            ))
+            .unwrap_err();
+        assert!(matches!(&err, MrError::InvalidJob(msg) if msg.contains("store")), "{err}");
+    }
 }

@@ -272,55 +272,38 @@ fn payload_count_mismatch_rejected() {
     assert!(matches!(err, MrError::InvalidJob(_)));
 }
 
-/// The pre-builder free functions must keep working for downstream code
-/// that has not migrated yet.
+/// The id-indexed store is the only payload copy: charged shuffle bytes
+/// (the paper's cost model) strictly dominate physically moved bytes, and
+/// a store built once can be shared across runs without re-ingesting.
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_still_run() {
-    use pmr_core::runner::mr::{run_mr, run_mr_broadcast, run_mr_rounds};
-
-    let v = 16usize;
+fn store_moves_ids_but_charges_payloads() {
+    let v = 30usize;
     let data = payloads(v);
+    let store = pmr_core::runner::ElementStore::from_slice(&data);
     let reference = run_sequential(&data, &comp(), Symmetry::Symmetric, &ConcatSort);
 
-    let cluster = Cluster::new(ClusterConfig::with_nodes(2));
-    let (out, report) = run_mr(
-        &cluster,
-        Arc::new(BlockScheme::new(v as u64, 2)),
-        &data,
-        comp(),
-        Symmetry::Symmetric,
-        Arc::new(ConcatSort),
-        MrPairwiseOptions::default(),
-    )
-    .unwrap();
-    assert_eq!(out, reference);
-    assert_eq!(report.evaluations, (v * (v - 1) / 2) as u64);
+    let cluster = Cluster::new(ClusterConfig::with_nodes(3));
+    let run = PairwiseJob::from_store(Arc::clone(&store), comp())
+        .scheme(BlockScheme::new(v as u64, 3))
+        .backend(Backend::Mr(&cluster))
+        .run()
+        .unwrap();
+    assert_eq!(run.output, reference);
+    let report = &run.mr[0];
+    assert!(report.shuffle_moved_bytes > 0);
+    assert!(
+        report.shuffle_moved_bytes < report.shuffle_bytes,
+        "moved {} must be strictly below charged {}",
+        report.shuffle_moved_bytes,
+        report.shuffle_bytes
+    );
 
-    let scheme = BroadcastScheme::new(v as u64, 3);
-    let (out, _) = run_mr_broadcast(
-        &cluster,
-        &scheme,
-        &data,
-        comp(),
-        Symmetry::Symmetric,
-        Arc::new(ConcatSort),
-        MrPairwiseOptions::default(),
-    )
-    .unwrap();
-    assert_eq!(out, reference);
-
-    let rounds: Vec<Arc<dyn DistributionScheme>> = vec![Arc::new(BlockScheme::new(v as u64, 2))];
-    let (out, reports) = run_mr_rounds(
-        &cluster,
-        rounds,
-        &data,
-        comp(),
-        Symmetry::Symmetric,
-        Arc::new(ConcatSort),
-        MrPairwiseOptions::default(),
-    )
-    .unwrap();
-    assert_eq!(out, reference);
-    assert_eq!(reports.len(), 1);
+    // The same store powers a second run (a different scheme) untouched.
+    let cluster2 = Cluster::new(ClusterConfig::with_nodes(3));
+    let run2 = PairwiseJob::from_store(store, comp())
+        .scheme(DesignScheme::new(v as u64))
+        .backend(Backend::Mr(&cluster2))
+        .run()
+        .unwrap();
+    assert_eq!(run2.output, reference);
 }

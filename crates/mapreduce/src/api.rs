@@ -158,10 +158,12 @@ impl<'a, V: Wire> Iterator for Values<'a, V> {
     }
 }
 
-/// Read access to distributed-cache files from inside a task.
+/// Read access to distributed-cache files and the job's node-shared
+/// resolver handle from inside a task.
 pub struct TaskCache<'a> {
     pub(crate) node: &'a pmr_cluster::Node,
     pub(crate) prefix: String,
+    pub(crate) store: Option<&'a (dyn std::any::Any + Send + Sync)>,
 }
 
 impl<'a> TaskCache<'a> {
@@ -176,6 +178,15 @@ impl<'a> TaskCache<'a> {
     /// True iff the named cache file exists.
     pub fn contains(&self, name: &str) -> bool {
         self.node.read_local(&format!("{}{}", self.prefix, name)).is_ok()
+    }
+
+    /// Typed view of the job's node-shared resolver handle (attached via
+    /// [`crate::JobSpec::store`]). Returns `None` when no store was
+    /// attached or the requested type does not match. The returned
+    /// reference lives as long as the task (`'a`), so callers may hold it
+    /// across mutable uses of their context.
+    pub fn store<S: Send + Sync + 'static>(&self) -> Option<&'a S> {
+        self.store.and_then(|s| s.downcast_ref::<S>())
     }
 }
 
@@ -229,7 +240,14 @@ pub struct MapContext<'a, K: Wire, V: Wire> {
     pub(crate) partitioner: &'a dyn Partitioner,
     pub(crate) counters: &'a Counters,
     pub(crate) cache: &'a TaskCache<'a>,
+    /// Charged output bytes: framed record bytes plus any extra charge
+    /// billed through [`MapContext::emit_charged`].
     pub(crate) output_bytes: u64,
+    /// Physically buffered output bytes (framed records only).
+    pub(crate) moved_bytes: u64,
+    /// Extra charge billed per output partition, for exact per-transfer
+    /// charged accounting in the shuffle.
+    pub(crate) partition_charges: Vec<u64>,
     /// In-memory bytes since the last spill.
     pub(crate) buffered_bytes: u64,
     /// Sort-buffer capacity; emits past it trigger a spill when a sink is
@@ -246,12 +264,15 @@ impl<'a, K: Wire, V: Wire> MapContext<'a, K, V> {
         counters: &'a Counters,
         cache: &'a TaskCache<'a>,
     ) -> Self {
+        let num_partitions = partitions.len();
         MapContext {
             partitions,
             partitioner,
             counters,
             cache,
             output_bytes: 0,
+            moved_bytes: 0,
+            partition_charges: vec![0; num_partitions],
             buffered_bytes: 0,
             sort_buffer: None,
             spill_sink: None,
@@ -271,10 +292,22 @@ impl<'a, K: Wire, V: Wire> MapContext<'a, K, V> {
 
     /// Emits one intermediate record.
     pub fn emit(&mut self, key: K, value: V) {
+        self.emit_charged(key, value, 0);
+    }
+
+    /// Emits one intermediate record and bills `extra_charge` additional
+    /// bytes to the paper's cost model on top of the record's framed
+    /// length. The extra charge follows the record through the shuffle
+    /// (charged byte counters, traffic, budgets) but is never physically
+    /// buffered or moved — this is how an id-only record stands in for the
+    /// replicated payload the model prices.
+    pub fn emit_charged(&mut self, key: K, value: V, extra_charge: u64) {
         let rec = RawRecord { key: key.to_bytes(), value: value.to_bytes() };
         let p = self.partitioner.partition(&rec.key, self.partitions.len());
         let len = rec.framed_len() as u64;
-        self.output_bytes += len;
+        self.output_bytes += len + extra_charge;
+        self.moved_bytes += len;
+        self.partition_charges[p] += extra_charge;
         self.buffered_bytes += len;
         self.counters.inc(builtin::MAP_OUTPUT_RECORDS);
         self.partitions[p].push(rec);
@@ -296,8 +329,22 @@ impl<'a, K: Wire, V: Wire> MapContext<'a, K, V> {
         self.cache
     }
 
+    /// Typed view of the job's node-shared resolver handle (see
+    /// [`TaskCache::store`]).
+    pub fn store<S: Send + Sync + 'static>(&self) -> Option<&'a S> {
+        self.cache.store::<S>()
+    }
+
     pub(crate) fn take_output_bytes(&self) -> u64 {
         self.output_bytes
+    }
+
+    pub(crate) fn take_moved_bytes(&self) -> u64 {
+        self.moved_bytes
+    }
+
+    pub(crate) fn take_partition_charges(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.partition_charges)
     }
 }
 
@@ -341,6 +388,12 @@ impl<'a, K: Wire, V: Wire> ReduceContext<'a, K, V> {
         self.cache
     }
 
+    /// Typed view of the job's node-shared resolver handle (see
+    /// [`TaskCache::store`]).
+    pub fn store<S: Send + Sync + 'static>(&self) -> Option<&'a S> {
+        self.cache.store::<S>()
+    }
+
     /// The task's working-set memory gauge (budget = the paper's `maxws`).
     /// Reduce implementations that materialize data should reserve here so
     /// the budget is honored.
@@ -359,7 +412,7 @@ mod tests {
         let mut parts: Vec<Vec<RawRecord>> = vec![Vec::new(); 4];
         let counters = Counters::new();
         let node = pmr_cluster::Node::new(pmr_cluster::NodeId(0), None);
-        let cache = TaskCache { node: &node, prefix: "c/".into() };
+        let cache = TaskCache { node: &node, prefix: "c/".into(), store: None };
         let part = HashPartitioner;
         let mut ctx: MapContext<'_, u64, String> =
             MapContext::new(&mut parts, &part, &counters, &cache);
@@ -374,6 +427,36 @@ mod tests {
         let p1 = HashPartitioner.partition(&42u64.to_bytes(), 4);
         let p2 = HashPartitioner.partition(&42u64.to_bytes(), 4);
         assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn emit_charged_splits_charged_and_moved_series() {
+        let mut parts: Vec<Vec<RawRecord>> = vec![Vec::new(); 4];
+        let counters = Counters::new();
+        let node = pmr_cluster::Node::new(pmr_cluster::NodeId(0), None);
+        let cache = TaskCache { node: &node, prefix: "c/".into(), store: None };
+        let part = HashPartitioner;
+        let mut ctx: MapContext<'_, u64, u64> =
+            MapContext::new(&mut parts, &part, &counters, &cache);
+        ctx.emit_charged(1, 2, 600);
+        ctx.emit(3, 4);
+        // Each (u64, u64) record frames to 8 + 8 + 8 = 24 bytes.
+        assert_eq!(ctx.take_moved_bytes(), 48);
+        assert_eq!(ctx.take_output_bytes(), 48 + 600);
+        let p = HashPartitioner.partition(&1u64.to_bytes(), 4);
+        let charges = ctx.take_partition_charges();
+        assert_eq!(charges[p], 600);
+        assert_eq!(charges.iter().sum::<u64>(), 600);
+    }
+
+    #[test]
+    fn task_cache_store_downcasts() {
+        let node = pmr_cluster::Node::new(pmr_cluster::NodeId(0), None);
+        let handle: std::sync::Arc<dyn std::any::Any + Send + Sync> =
+            std::sync::Arc::new(vec![1u64, 2, 3]);
+        let cache = TaskCache { node: &node, prefix: "c/".into(), store: Some(&*handle) };
+        assert_eq!(cache.store::<Vec<u64>>().unwrap(), &vec![1, 2, 3]);
+        assert!(cache.store::<String>().is_none());
     }
 
     #[test]

@@ -21,8 +21,14 @@ pub mod builtin {
     pub const COMBINE_INPUT_RECORDS: &str = "mr.combine.input.records";
     /// Records leaving combiners.
     pub const COMBINE_OUTPUT_RECORDS: &str = "mr.combine.output.records";
+    /// Bytes of map output physically buffered/spilled (the moved series of
+    /// [`MAP_OUTPUT_BYTES`], which stays on charged semantics).
+    pub const MAP_OUTPUT_MOVED_BYTES: &str = "mr.map.output.moved.bytes";
     /// Bytes fetched by reduce tasks during the shuffle.
     pub const SHUFFLE_BYTES: &str = "mr.shuffle.bytes";
+    /// Bytes physically fetched by reduce tasks (the moved series of
+    /// [`SHUFFLE_BYTES`], which stays on charged semantics).
+    pub const SHUFFLE_MOVED_BYTES: &str = "mr.shuffle.moved.bytes";
     /// Distinct keys seen by all reduce tasks.
     pub const REDUCE_INPUT_GROUPS: &str = "mr.reduce.input.groups";
     /// Records consumed by all reduce tasks.

@@ -10,7 +10,7 @@
 //! threads (one worker thread per configured task slot).
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::time::Instant;
 
 use bytes::BytesMut;
@@ -133,6 +133,12 @@ impl<'c> Engine<'c> {
         drop(phase);
         phase = telemetry.job_phase(&spec.name, "map");
         let num_maps = splits.len();
+        // Per-(map task, partition) extra charge billed via `emit_charged`:
+        // bytes the cost model prices into the shuffle transfer of that
+        // partition even though they are never materialized. Written once
+        // per map body (bodies run at most once), read by reduce tasks.
+        let charges: Vec<AtomicU64> =
+            (0..num_maps * spec.num_reducers).map(|_| AtomicU64::new(0)).collect();
         let error: Mutex<Option<MrError>> = Mutex::new(None);
         let queues: Vec<Mutex<VecDeque<usize>>> =
             (0..n).map(|_| Mutex::new(VecDeque::new())).collect();
@@ -148,6 +154,7 @@ impl<'c> Engine<'c> {
                     let spec = &spec;
                     let counters = &counters;
                     let cache_prefix = &cache_prefix;
+                    let charges = &charges;
                     scope.spawn(move |_| loop {
                         if error.lock().is_some() {
                             return;
@@ -164,6 +171,7 @@ impl<'c> Engine<'c> {
                             spec,
                             counters,
                             cache_prefix,
+                            charges,
                         );
                         if let Err(e) = r {
                             let mut guard = error.lock();
@@ -177,12 +185,18 @@ impl<'c> Engine<'c> {
             }
         })
         .expect("map worker panicked");
+        let charged_total: u64 = charges.iter().map(|c| c.load(Ordering::Relaxed)).sum();
         if let Some(e) = error.lock().take() {
-            self.cleanup(jid);
+            self.cleanup(jid, charged_total);
             return Err(e);
         }
+        phase.add_bytes(
+            counters.get(builtin::MAP_OUTPUT_BYTES),
+            counters.get(builtin::MAP_OUTPUT_MOVED_BYTES),
+        );
 
-        // Intermediate data is fully materialized now: record the peak.
+        // Intermediate data is fully materialized (and charged) now:
+        // record the peak.
         let peak_intermediate = cluster.intermediate_bytes();
         counters.record_max(INTERMEDIATE_PEAK_COUNTER, peak_intermediate);
 
@@ -203,6 +217,7 @@ impl<'c> Engine<'c> {
                     let counters = &counters;
                     let cache_prefix = &cache_prefix;
                     let map_assignment = &map_assignment;
+                    let charges = &charges;
                     scope.spawn(move |_| loop {
                         if error.lock().is_some() {
                             return;
@@ -220,6 +235,7 @@ impl<'c> Engine<'c> {
                             spec,
                             counters,
                             cache_prefix,
+                            charges,
                         );
                         if let Err(e) = r {
                             let mut guard = error.lock();
@@ -233,9 +249,13 @@ impl<'c> Engine<'c> {
             }
         })
         .expect("reduce worker panicked");
+        phase.add_bytes(
+            counters.get(builtin::SHUFFLE_BYTES),
+            counters.get(builtin::SHUFFLE_MOVED_BYTES),
+        );
         drop(phase);
         let phase = telemetry.job_phase(&spec.name, "finalize");
-        self.cleanup(jid);
+        self.cleanup(jid, charged_total);
         if let Some(e) = error.lock().take() {
             return Err(e);
         }
@@ -255,10 +275,13 @@ impl<'c> Engine<'c> {
         Ok(JobOutput { output_paths, counters: counters.snapshot(), stats })
     }
 
-    fn cleanup(&self, jid: u32) {
+    /// Deletes the job's node-local files and releases the job's charged
+    /// (unmaterialized) intermediate bytes.
+    fn cleanup(&self, jid: u32, charged: u64) {
         for node in self.cluster.nodes() {
             node.delete_local_prefix(&format!("mr/{jid}/"));
         }
+        self.cluster.uncharge_intermediate(charged);
     }
 
     /// Retry wrapper + body of one map task.
@@ -272,6 +295,7 @@ impl<'c> Engine<'c> {
         spec: &JobSpec<M, R>,
         counters: &Counters,
         cache_prefix: &str,
+        charges: &[AtomicU64],
     ) -> Result<()>
     where
         M: Mapper,
@@ -295,6 +319,7 @@ impl<'c> Engine<'c> {
                 spec,
                 counters,
                 cache_prefix,
+                charges,
             );
         }
         Err(MrError::TaskFailed { task: format!("job{jid}/map{task}"), attempts: max_attempts })
@@ -311,6 +336,7 @@ impl<'c> Engine<'c> {
         spec: &JobSpec<M, R>,
         counters: &Counters,
         cache_prefix: &str,
+        charges: &[AtomicU64],
     ) -> Result<()>
     where
         M: Mapper,
@@ -334,7 +360,8 @@ impl<'c> Engine<'c> {
         span.add_records_in(records.len() as u64);
         span.lap("read", &mut lap_at);
         let mut partitions: Vec<Vec<RawRecord>> = vec![Vec::new(); spec.num_reducers];
-        let cache = TaskCache { node, prefix: cache_prefix.to_string() };
+        let cache =
+            TaskCache { node, prefix: cache_prefix.to_string(), store: spec.store.as_deref() };
         let sink = crate::api::SpillSink {
             node,
             prefix: format!("mr/{jid}/m/{task}/spill/"),
@@ -351,12 +378,25 @@ impl<'c> Engine<'c> {
             spec.mapper.map(k, v, &mut ctx)?;
         }
         let output_bytes = ctx.take_output_bytes();
+        let moved_bytes = ctx.take_moved_bytes();
+        let partition_charges = ctx.take_partition_charges();
         counters.add(builtin::MAP_OUTPUT_BYTES, output_bytes);
+        counters.add(builtin::MAP_OUTPUT_MOVED_BYTES, moved_bytes);
         span.add_bytes_out(output_bytes);
         span.lap("map", &mut lap_at);
         if let Some(e) = sink.error.borrow_mut().take() {
             return Err(e);
         }
+        // Publish this task's per-partition extra charges (`store`, not
+        // `add`: a task body runs at most once, but keep it idempotent) and
+        // bill the unmaterialized bytes against the intermediate-storage
+        // cap — released in `cleanup`.
+        let mut task_charge = 0u64;
+        for (p, c) in partition_charges.iter().enumerate() {
+            charges[task as usize * spec.num_reducers + p].store(*c, Ordering::Relaxed);
+            task_charge += c;
+        }
+        cluster.charge_intermediate(task_charge);
 
         // Merge spill runs back into the in-memory buffers (k-way merge of
         // sorted runs, modeled as read + merge by concatenation + re-sort;
@@ -431,6 +471,7 @@ impl<'c> Engine<'c> {
         spec: &JobSpec<M, R>,
         counters: &Counters,
         cache_prefix: &str,
+        charges: &[AtomicU64],
     ) -> Result<()>
     where
         M: Mapper,
@@ -455,6 +496,7 @@ impl<'c> Engine<'c> {
                 spec,
                 counters,
                 cache_prefix,
+                charges,
             );
         }
         Err(MrError::TaskFailed { task: format!("job{jid}/reduce{task}"), attempts: max_attempts })
@@ -472,6 +514,7 @@ impl<'c> Engine<'c> {
         spec: &JobSpec<M, R>,
         counters: &Counters,
         cache_prefix: &str,
+        charges: &[AtomicU64],
     ) -> Result<()>
     where
         M: Mapper,
@@ -483,20 +526,28 @@ impl<'c> Engine<'c> {
         let mut span = telemetry.span(&spec.name, SpanKind::Reduce, task, attempt, node_id.0);
         let mut lap_at = Instant::now();
 
-        // Shuffle: fetch this task's partition from every map output.
+        // Shuffle: fetch this task's partition from every map output. Each
+        // transfer physically moves the partition file but is *charged* the
+        // file plus the map task's extra charge for this partition, so the
+        // paper's communication-cost series is unchanged by id-only emits.
         let mut records: Vec<RawRecord> = Vec::new();
         let mut fetched_bytes = 0u64;
         for (m, &src) in map_assignment.iter().enumerate().take(num_maps) {
             let name = format!("mr/{jid}/m/{m}/p/{task}");
             match cluster.node(src).read_local(&name) {
                 Ok(data) => {
-                    counters.add(builtin::SHUFFLE_BYTES, data.len() as u64);
-                    fetched_bytes += data.len() as u64;
-                    cluster.traffic().record(
+                    let moved = data.len() as u64;
+                    let extra =
+                        charges[m * spec.num_reducers + task as usize].load(Ordering::Relaxed);
+                    counters.add(builtin::SHUFFLE_BYTES, moved + extra);
+                    counters.add(builtin::SHUFFLE_MOVED_BYTES, moved);
+                    fetched_bytes += moved + extra;
+                    cluster.traffic().record_with_charge(
                         &cluster.config().network,
                         src,
                         node_id,
-                        data.len() as u64,
+                        moved,
+                        moved + extra,
                     );
                     records.extend(decode_raw_stream(data)?);
                 }
@@ -519,7 +570,8 @@ impl<'c> Engine<'c> {
             .with_overhead_factor(on.max(od), od.max(1));
         let mut out = BytesMut::new();
         let mut offsets: Vec<u64> = Vec::new();
-        let cache = TaskCache { node, prefix: cache_prefix.to_string() };
+        let cache =
+            TaskCache { node, prefix: cache_prefix.to_string(), store: spec.store.as_deref() };
         let mut i = 0;
         while i < records.len() {
             let mut j = i + 1;

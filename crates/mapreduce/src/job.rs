@@ -49,6 +49,10 @@ where
     /// Emits beyond it spill sorted runs to the mapper's local store, which
     /// are merged when the task finishes. `None` = buffer everything.
     pub sort_buffer_bytes: Option<u64>,
+    /// Optional node-shared resolver handle (e.g. an element store) exposed
+    /// to mappers and reducers through [`crate::api::TaskCache::store`].
+    /// Typed at the user layer; the engine only threads the `Arc` through.
+    pub store: Option<Arc<dyn std::any::Any + Send + Sync>>,
 }
 
 impl<M, R> JobSpec<M, R>
@@ -79,6 +83,7 @@ where
             partitioner: Arc::new(HashPartitioner),
             memory_overhead: (1, 1),
             sort_buffer_bytes: None,
+            store: None,
         }
     }
 
@@ -115,6 +120,13 @@ where
     /// Sets the map-side sort-buffer capacity, builder-style.
     pub fn sort_buffer(mut self, bytes: u64) -> Self {
         self.sort_buffer_bytes = Some(bytes);
+        self
+    }
+
+    /// Attaches a node-shared resolver handle, builder-style. Tasks read it
+    /// back (typed) via [`crate::api::TaskCache::store`].
+    pub fn store(mut self, store: Arc<dyn std::any::Any + Send + Sync>) -> Self {
+        self.store = Some(store);
         self
     }
 }

@@ -6,8 +6,9 @@ use std::collections::BTreeMap;
 use bytes::Bytes;
 use pmr_cluster::{Cluster, ClusterConfig};
 use pmr_mapreduce::{
-    decode_record_stream, encode_record_stream, read_output, write_sharded, Engine, JobSpec,
-    MapContext, Mapper, RawRecord, ReduceContext, Reducer, Values, Wire,
+    decode_record_stream, encode_record_stream, read_output, write_sharded, Engine,
+    HashPartitioner, JobSpec, MapContext, Mapper, ModuloPartitioner, Partitioner, RawRecord,
+    ReduceContext, Reducer, Values, Wire,
 };
 use proptest::prelude::*;
 
@@ -56,6 +57,75 @@ proptest! {
             let (k, _) = (u64::from_bytes(raw.key).unwrap(), raw.value);
             prop_assert_eq!(k, recs[i].0);
         }
+    }
+
+    // The id-moving pipeline's wire records: job 1 shuffles bare
+    // `(working set, element id)` pairs, job 2 shuffles
+    // `(element id, partial (other, result) list)` rows.
+    #[test]
+    fn job1_id_record_roundtrip(ws in any::<u64>(), id in any::<u64>()) {
+        let rec = (ws, id);
+        prop_assert_eq!(<(u64, u64)>::from_bytes(rec.to_bytes()).unwrap(), rec);
+        // Framed size is fixed — ids move a constant 16 encoded bytes no
+        // matter how large the payload they stand for is.
+        prop_assert_eq!(rec.to_bytes().len(), 16);
+    }
+
+    #[test]
+    fn job2_partial_list_record_roundtrip(
+        id in any::<u64>(),
+        partials in prop::collection::vec((any::<u64>(), any::<i64>()), 0..30),
+    ) {
+        let rec = (id, partials);
+        let back = <(u64, Vec<(u64, i64)>)>::from_bytes(rec.to_bytes()).unwrap();
+        prop_assert_eq!(back, rec);
+    }
+
+    // Element ids are dense and consecutive (`0..v`), the worst case for a
+    // naive partitioner. Both partitioners must spread a consecutive id
+    // range evenly: no reducer gets more than twice its fair share.
+    #[test]
+    fn partitioners_spread_consecutive_ids(
+        start in 0u64..1 << 32,
+        count in 64u64..512,
+        partitions in 2usize..16,
+    ) {
+        for partitioner in [&ModuloPartitioner as &dyn Partitioner, &HashPartitioner] {
+            let mut loads = vec![0u64; partitions];
+            for id in start..start + count {
+                loads[partitioner.partition(&id.to_bytes(), partitions)] += 1;
+            }
+            let cap = 2 * count.div_ceil(partitions as u64);
+            let max = *loads.iter().max().unwrap();
+            prop_assert!(
+                max <= cap,
+                "skew: max load {} over cap {} across {} partitions",
+                max, cap, partitions
+            );
+        }
+    }
+
+    // Ids clustered on a stride that shares a factor with the partition
+    // count defeat plain modulo (all keys land on few reducers) but not
+    // the mixing hash — the reason job specs choose per-job.
+    #[test]
+    fn strided_ids_skew_modulo_but_not_hash(partitions in 2usize..9) {
+        let stride = partitions as u64 * 2;
+        let ids: Vec<u64> = (0..256u64).map(|i| i * stride).collect();
+        let load = |p: &dyn Partitioner| {
+            let mut loads = vec![0u64; partitions];
+            for id in &ids {
+                loads[p.partition(&id.to_bytes(), partitions)] += 1;
+            }
+            loads
+        };
+        let modulo = load(&ModuloPartitioner);
+        // Plain modulo collapses the stride onto one reducer…
+        prop_assert_eq!(*modulo.iter().max().unwrap(), ids.len() as u64);
+        // …while the hash keeps every reducer under twice fair share.
+        let hash = load(&HashPartitioner);
+        let cap = 2 * (ids.len() as u64).div_ceil(partitions as u64);
+        prop_assert!(*hash.iter().max().unwrap() <= cap, "hash skew: {hash:?}");
     }
 
     #[test]

@@ -124,7 +124,7 @@ impl RunReport {
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_object();
-        w.str_field("schema", "pmr.run_report/1");
+        w.str_field("schema", "pmr.run_report/2");
         w.u64_field("wall_time_us", self.wall_time_us);
 
         w.begin_object_key("meta");
@@ -146,6 +146,10 @@ impl RunReport {
             w.str_field("phase", &p.phase);
             w.u64_field("start_us", p.start_us);
             w.u64_field("end_us", p.end_us);
+            w.begin_object_key("bytes");
+            w.u64_field("charged", p.bytes_charged);
+            w.u64_field("moved", p.bytes_moved);
+            w.end_object();
             w.end_object();
         }
         w.end_array();
@@ -344,13 +348,17 @@ mod tests {
         assert_eq!(r.counter("zz"), None);
     }
 
+    fn phase(job: &str, name: &str, start_us: u64, end_us: u64) -> JobPhase {
+        JobPhase { job: job.into(), phase: name.into(), start_us, end_us, ..JobPhase::default() }
+    }
+
     #[test]
     fn phase_totals_per_job() {
         let r = RunReport {
             job_phases: vec![
-                JobPhase { job: "j1".into(), phase: "map".into(), start_us: 0, end_us: 60 },
-                JobPhase { job: "j1".into(), phase: "reduce".into(), start_us: 60, end_us: 100 },
-                JobPhase { job: "j2".into(), phase: "map".into(), start_us: 100, end_us: 110 },
+                phase("j1", "map", 0, 60),
+                phase("j1", "reduce", 60, 100),
+                phase("j2", "map", 100, 110),
             ],
             ..RunReport::default()
         };
@@ -365,7 +373,7 @@ mod tests {
         r.merge_counters([("mr.shuffle.bytes", 42)]);
         let json = r.to_json();
         for needle in [
-            "\"schema\": \"pmr.run_report/1\"",
+            "\"schema\": \"pmr.run_report/2\"",
             "\"meta\"",
             "\"counters\"",
             "\"job_phases\"",

@@ -78,6 +78,12 @@ pub struct TaskSpan {
 
 /// One job-level phase window. The engine emits these back-to-back so the
 /// phases of a job tile its wall time.
+///
+/// The two byte series carry the paper's charged-vs-moved distinction:
+/// `bytes_charged` is the communication cost the paper's model bills for
+/// the phase (replicated payload bytes included), `bytes_moved` is what
+/// physically crossed between stores (ids only on the payload-free shuffle
+/// path). Both are zero for phases that move no accounted data.
 #[derive(Debug, Clone, Default)]
 pub struct JobPhase {
     /// Job name.
@@ -88,6 +94,10 @@ pub struct JobPhase {
     pub start_us: u64,
     /// End, µs since the telemetry epoch.
     pub end_us: u64,
+    /// Bytes charged to this phase under the paper's cost model.
+    pub bytes_charged: u64,
+    /// Bytes physically moved during this phase.
+    pub bytes_moved: u64,
 }
 
 /// Aggregated traffic over one directed node pair.
@@ -182,6 +192,8 @@ impl Telemetry {
             job: job.to_string(),
             phase: phase.to_string(),
             start_us: sink.epoch.elapsed().as_micros() as u64,
+            bytes_charged: 0,
+            bytes_moved: 0,
         }))
     }
 
@@ -262,10 +274,24 @@ struct PhaseGuardInner {
     job: String,
     phase: String,
     start_us: u64,
+    bytes_charged: u64,
+    bytes_moved: u64,
 }
 
 /// Guard of one [`Telemetry::job_phase`] window.
 pub struct PhaseGuard(Option<PhaseGuardInner>);
+
+impl PhaseGuard {
+    /// Adds to the phase's charged/moved byte totals (recorded on drop).
+    /// Charged bytes follow the paper's cost model; moved bytes are what
+    /// physically crossed between stores.
+    pub fn add_bytes(&mut self, charged: u64, moved: u64) {
+        if let Some(inner) = &mut self.0 {
+            inner.bytes_charged += charged;
+            inner.bytes_moved += moved;
+        }
+    }
+}
 
 impl Drop for PhaseGuard {
     fn drop(&mut self) {
@@ -276,6 +302,8 @@ impl Drop for PhaseGuard {
                 phase: inner.phase,
                 start_us: inner.start_us,
                 end_us,
+                bytes_charged: inner.bytes_charged,
+                bytes_moved: inner.bytes_moved,
             });
         }
     }

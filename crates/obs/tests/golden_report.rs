@@ -1,7 +1,7 @@
 //! Golden-file test for the RunReport JSON serialization: a fully
 //! populated, hand-assembled report must serialize byte-for-byte to the
 //! checked-in `tests/golden/run_report.json`. Consumers parse this format
-//! (schema tag `pmr.run_report/1`), so any change to the writer or the
+//! (schema tag `pmr.run_report/2`), so any change to the writer or the
 //! report layout must show up as a reviewed diff of the golden file.
 //!
 //! To regenerate after an intentional format change:
@@ -84,12 +84,16 @@ fn sample_report() -> RunReport {
                 phase: "map".into(),
                 start_us: 100,
                 end_us: 490,
+                bytes_charged: 1024,
+                bytes_moved: 256,
             },
             JobPhase {
                 job: "j1-distribute-evaluate".into(),
                 phase: "reduce".into(),
                 start_us: 490,
                 end_us: 950,
+                bytes_charged: 1536,
+                bytes_moved: 384,
             },
         ],
         spans,

@@ -50,8 +50,8 @@ pub mod prelude {
     pub use pmr_cluster::{Cluster, ClusterConfig, NodeConfig};
     pub use pmr_core::runner::mr::{MrPairwiseOptions, MrRunReport, EVALUATIONS_COUNTER};
     pub use pmr_core::runner::{
-        comp_fn, Aggregator, Backend, CompFn, ConcatSort, FilterAggregator, PairwiseJob,
-        PairwiseOutput, PairwiseRun, Symmetry, TopKAggregator,
+        comp_fn, Aggregator, Backend, CompFn, ConcatSort, ElementStore, FilterAggregator,
+        PairwiseJob, PairwiseOutput, PairwiseRun, Symmetry, TopKAggregator,
     };
     pub use pmr_core::scheme::{
         BlockScheme, BroadcastScheme, DesignScheme, DistributionScheme, PairedBlockScheme,
