@@ -36,6 +36,9 @@ COMMANDS
               --backend NAME      local | mr | sequential  [local]
               --threads N         worker threads (local)  [4]
               --nodes N           simulated cluster nodes (mr)  [4]
+              --chaos-nodes N     crash N nodes at seeded points (mr)  [0]
+              --chaos-seed N      seed for the crash schedule (mr)
+              --speculation X     back up tasks slower than X × median (mr)
               --max-result X      keep only results ≤ X (ε-pruning)
               --output FILE       TSV results  [stdout]
               --report FILE       write the run report as JSON
@@ -99,6 +102,9 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "backend",
         "threads",
         "nodes",
+        "chaos-nodes",
+        "chaos-seed",
+        "speculation",
         "max-result",
         "output",
         "report",
@@ -140,8 +146,21 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "sequential" => job.run()?,
         "local" => job.backend(Backend::Local { threads }).run()?,
         "mr" => {
-            cluster =
-                Cluster::new(ClusterConfig::with_nodes(nodes)).with_telemetry(telemetry.clone());
+            let mut config = ClusterConfig::with_nodes(nodes);
+            let chaos_nodes = args.num_or("chaos-nodes", 0usize)?;
+            if chaos_nodes > 0 {
+                let seed = args.num_or("chaos-seed", config.chaos_seed)?;
+                config = config.chaos(chaos_nodes, seed);
+            }
+            if let Some(s) = args.optional("speculation") {
+                let mult: f64 =
+                    s.parse().map_err(|_| ArgError("--speculation must be a number ≥ 1".into()))?;
+                if mult < 1.0 {
+                    return Err(Box::new(ArgError("--speculation must be ≥ 1".into())));
+                }
+                config = config.speculation(mult);
+            }
+            cluster = Cluster::new(config).with_telemetry(telemetry.clone());
             job.backend(Backend::Mr(&cluster)).run()?
         }
         other => {
@@ -164,6 +183,15 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         scheme_name,
         backend
     );
+    let crashes: u64 = run.mr.iter().map(|r| r.node_crashes).sum();
+    if crashes > 0 {
+        eprintln!(
+            "survived {crashes} node crash(es): re-ran {} lost map task(s), \
+             launched {} speculative attempt(s)",
+            run.mr.iter().map(|r| r.map_reruns).sum::<u64>(),
+            run.mr.iter().map(|r| r.speculative_launched).sum::<u64>(),
+        );
+    }
     if let Some(path) = report_path {
         run.report.write_json_file(path)?;
         eprintln!(
@@ -363,6 +391,46 @@ mod tests {
     }
 
     #[test]
+    fn run_survives_chaos_flags() {
+        let dir = std::env::temp_dir().join(format!("pmr-cli-chaos-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("pts.csv");
+        let clean = dir.join("clean.tsv");
+        let chaotic = dir.join("chaotic.tsv");
+        dispatch(&args(&format!(
+            "generate --kind clusters --n 30 --dim 2 --output {}",
+            csv.display()
+        )))
+        .unwrap();
+        dispatch(&args(&format!(
+            "run --input {} --scheme block --h 4 --backend mr --nodes 4 --output {}",
+            csv.display(),
+            clean.display()
+        )))
+        .unwrap();
+        dispatch(&args(&format!(
+            "run --input {} --scheme block --h 4 --backend mr --nodes 4 \
+             --chaos-nodes 1 --chaos-seed 11 --speculation 4.0 --output {}",
+            csv.display(),
+            chaotic.display()
+        )))
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&clean).unwrap(),
+            std::fs::read_to_string(&chaotic).unwrap(),
+            "output must be identical with and without chaos"
+        );
+        // Bad speculation multipliers are rejected before the run starts.
+        assert!(dispatch(&args(&format!(
+            "run --input {} --backend mr --speculation 0.5 --output {}",
+            csv.display(),
+            chaotic.display()
+        )))
+        .is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn run_report_writes_json_for_each_backend() {
         let dir = std::env::temp_dir().join(format!("pmr-cli-report-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -384,7 +452,7 @@ mod tests {
             )))
             .unwrap();
             let json = std::fs::read_to_string(&json_path).unwrap();
-            assert!(json.contains("\"schema\": \"pmr.run_report/2\""), "{backend}");
+            assert!(json.contains("\"schema\": \"pmr.run_report/3\""), "{backend}");
             assert!(json.contains(&format!("\"backend\": \"{backend}\"")), "{backend}");
         }
         std::fs::remove_dir_all(&dir).unwrap();

@@ -1,17 +1,30 @@
 //! The assembled cluster: nodes + DFS + network + failure injection.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use parking_lot::Mutex;
 use pmr_obs::Telemetry;
 
 use crate::config::ClusterConfig;
 use crate::dfs::Dfs;
 use crate::error::{ClusterError, Result};
-use crate::failure::FailureInjector;
+use crate::failure::{ChaosPlan, FailureInjector};
 use crate::ids::NodeId;
 use crate::memory::MemoryGauge;
 use crate::network::TrafficAccountant;
 use crate::node::Node;
+
+/// Mutable state of the deterministic crash schedule.
+#[derive(Debug)]
+struct ChaosRuntime {
+    /// `(completed-task threshold, victim)` pairs, ascending.
+    plan: Vec<(u64, NodeId)>,
+    /// Index of the next crash to fire.
+    next: usize,
+    /// Tasks committed so far (drives the thresholds).
+    completed: u64,
+}
 
 /// A simulated shared-nothing cluster (paper §3's execution model).
 #[derive(Debug)]
@@ -27,6 +40,8 @@ pub struct Cluster {
     /// into [`Cluster::intermediate_bytes`] so the paper's `maxis` cap
     /// keeps billing the full replicated volume.
     charged_extra: std::sync::atomic::AtomicU64,
+    chaos: Mutex<ChaosRuntime>,
+    crashes: AtomicU64,
 }
 
 impl Cluster {
@@ -38,6 +53,13 @@ impl Cluster {
             .collect();
         let dfs = Dfs::new(config.num_nodes, config.dfs_block_size, config.dfs_replication);
         let injector = FailureInjector::new(config.task_failure_probability, config.seed);
+        let plan = if config.chaos_nodes > 0 {
+            ChaosPlan::new(config.chaos_nodes, config.chaos_seed, config.num_nodes)
+                .crashes()
+                .to_vec()
+        } else {
+            Vec::new()
+        };
         Cluster {
             config,
             nodes,
@@ -46,6 +68,8 @@ impl Cluster {
             injector,
             telemetry: Telemetry::disabled(),
             charged_extra: std::sync::atomic::AtomicU64::new(0),
+            chaos: Mutex::new(ChaosRuntime { plan, next: 0, completed: 0 }),
+            crashes: AtomicU64::new(0),
         }
     }
 
@@ -104,6 +128,69 @@ impl Cluster {
     /// Creates a task-scoped memory gauge honoring the configured `maxws`.
     pub fn task_memory_gauge(&self) -> MemoryGauge {
         MemoryGauge::new(self.config.node.task_memory_budget)
+    }
+
+    /// True iff the node has not crashed.
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.nodes[id.index()].is_alive()
+    }
+
+    /// Ids of nodes that have not crashed, ascending.
+    pub fn live_nodes(&self) -> Vec<NodeId> {
+        self.nodes.iter().filter(|n| n.is_alive()).map(|n| n.id()).collect()
+    }
+
+    /// Number of node crashes so far.
+    pub fn node_crashes(&self) -> u64 {
+        self.crashes.load(Ordering::Relaxed)
+    }
+
+    /// Notes one committed task against the chaos schedule; when the
+    /// completion count reaches the next planned crash point, the planned
+    /// victim crashes. Returns the victim if a crash fired.
+    ///
+    /// Called by the engine each time a task attempt commits. With chaos
+    /// disabled (`chaos_nodes == 0`) the plan is empty and this is a cheap
+    /// counter bump.
+    pub fn note_task_completion(&self) -> Option<NodeId> {
+        let victim = {
+            let mut rt = self.chaos.lock();
+            rt.completed += 1;
+            if rt.next < rt.plan.len() && rt.completed >= rt.plan[rt.next].0 {
+                let v = rt.plan[rt.next].1;
+                rt.next += 1;
+                Some(v)
+            } else {
+                None
+            }
+        };
+        victim.filter(|&v| self.crash_node(v))
+    }
+
+    /// Crashes a node: its local files (map outputs, cache copies) are
+    /// lost, its DFS replicas are re-replicated onto live nodes (charged
+    /// through the traffic accountant), and it accepts no further work.
+    ///
+    /// Refuses to crash the last live node (the cluster must stay able to
+    /// finish the job) and is idempotent per node. Returns whether the node
+    /// actually crashed.
+    pub fn crash_node(&self, id: NodeId) -> bool {
+        let node = &self.nodes[id.index()];
+        if !node.is_alive() || self.nodes.iter().filter(|n| n.is_alive()).count() <= 1 {
+            return false;
+        }
+        let (lost_files, lost_bytes) = node.crash();
+        let (re_blocks, re_bytes) =
+            self.dfs.handle_node_crash(id, &self.traffic, &self.config.network);
+        self.crashes.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.event(
+            "node.crash",
+            format!(
+                "{id} crashed: lost {lost_files} local files ({lost_bytes} B); \
+                 re-replicated {re_blocks} DFS blocks ({re_bytes} B)"
+            ),
+        );
+        true
     }
 
     /// Bytes of node-local (intermediate) data currently billed across all
@@ -190,6 +277,65 @@ mod tests {
             c.check_intermediate_capacity(),
             Err(ClusterError::IntermediateStorageExceeded { requested: 16, capacity: 10 })
         ));
+    }
+
+    #[test]
+    fn crash_node_loses_local_files_and_marks_dead() {
+        let c = Cluster::new(ClusterConfig::with_nodes(3));
+        c.node(NodeId(1)).write_local("tmp", Bytes::from(vec![0u8; 8])).unwrap();
+        assert!(c.crash_node(NodeId(1)));
+        assert!(!c.is_alive(NodeId(1)));
+        assert_eq!(c.live_nodes(), vec![NodeId(0), NodeId(2)]);
+        assert_eq!(c.node_crashes(), 1);
+        assert_eq!(c.node(NodeId(1)).storage_used(), 0);
+        assert!(matches!(
+            c.node(NodeId(1)).write_local("x", Bytes::new()),
+            Err(ClusterError::NodeDead(NodeId(1)))
+        ));
+        // Idempotent.
+        assert!(!c.crash_node(NodeId(1)));
+        assert_eq!(c.node_crashes(), 1);
+    }
+
+    #[test]
+    fn last_live_node_cannot_crash() {
+        let c = Cluster::new(ClusterConfig::with_nodes(2));
+        assert!(c.crash_node(NodeId(0)));
+        assert!(!c.crash_node(NodeId(1)), "the last live node must survive");
+        assert!(c.is_alive(NodeId(1)));
+    }
+
+    #[test]
+    fn chaos_schedule_fires_on_task_completions() {
+        let c = Cluster::new(ClusterConfig::with_nodes(4).chaos(2, 42));
+        let mut victims = Vec::new();
+        for _ in 0..64 {
+            if let Some(v) = c.note_task_completion() {
+                victims.push(v);
+            }
+        }
+        assert_eq!(victims.len(), 2, "both planned crashes fire");
+        assert_eq!(c.node_crashes(), 2);
+        assert_eq!(c.live_nodes().len(), 2);
+        // Deterministic: a fresh cluster with the same seed crashes the
+        // same nodes at the same points.
+        let c2 = Cluster::new(ClusterConfig::with_nodes(4).chaos(2, 42));
+        let mut victims2 = Vec::new();
+        for _ in 0..64 {
+            if let Some(v) = c2.note_task_completion() {
+                victims2.push(v);
+            }
+        }
+        assert_eq!(victims, victims2);
+    }
+
+    #[test]
+    fn no_chaos_means_no_crashes() {
+        let c = Cluster::new(ClusterConfig::with_nodes(2));
+        for _ in 0..100 {
+            assert_eq!(c.note_task_completion(), None);
+        }
+        assert_eq!(c.node_crashes(), 0);
     }
 
     #[test]

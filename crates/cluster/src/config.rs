@@ -55,6 +55,18 @@ pub struct ClusterConfig {
     pub max_task_attempts: u32,
     /// Seed for deterministic failure injection and DFS placement jitter.
     pub seed: u64,
+    /// Number of nodes to crash (chaos injection) over the cluster's
+    /// lifetime. Clamped so at least one node survives. `0` disables
+    /// chaos entirely.
+    pub chaos_nodes: usize,
+    /// Seed for the deterministic crash schedule (victim choice and crash
+    /// points). Independent of `seed` so chaos can vary while task-failure
+    /// draws stay fixed.
+    pub chaos_seed: u64,
+    /// Speculative execution: when a running task's elapsed time exceeds
+    /// this multiple of the median completed-task time, a backup attempt is
+    /// launched on another node. `None` disables speculation.
+    pub speculation_multiplier: Option<f64>,
 }
 
 impl Default for ClusterConfig {
@@ -69,6 +81,9 @@ impl Default for ClusterConfig {
             task_failure_probability: 0.0,
             max_task_attempts: 4,
             seed: 0x9E37_79B9_7F4A_7C15,
+            chaos_nodes: 0,
+            chaos_seed: 0xDEAD_BEEF_0BAD_C0DE,
+            speculation_multiplier: None,
         }
     }
 }
@@ -105,6 +120,22 @@ impl ClusterConfig {
         self
     }
 
+    /// Enables chaos injection: crash `nodes` nodes at seeded points,
+    /// builder-style.
+    pub fn chaos(mut self, nodes: usize, seed: u64) -> Self {
+        self.chaos_nodes = nodes;
+        self.chaos_seed = seed;
+        self
+    }
+
+    /// Enables speculative execution with the given slowness multiplier,
+    /// builder-style.
+    pub fn speculation(mut self, multiplier: f64) -> Self {
+        assert!(multiplier >= 1.0, "speculation multiplier must be >= 1");
+        self.speculation_multiplier = Some(multiplier);
+        self
+    }
+
     /// Total map slots across the cluster.
     pub fn total_map_slots(&self) -> usize {
         self.num_nodes * self.node.map_slots
@@ -138,5 +169,22 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn rejects_bad_probability() {
         let _ = ClusterConfig::default().failure_probability(1.5);
+    }
+
+    #[test]
+    fn chaos_and_speculation_builders() {
+        let c = ClusterConfig::with_nodes(4).chaos(1, 7).speculation(2.5);
+        assert_eq!(c.chaos_nodes, 1);
+        assert_eq!(c.chaos_seed, 7);
+        assert_eq!(c.speculation_multiplier, Some(2.5));
+        // Defaults keep chaos off.
+        assert_eq!(ClusterConfig::default().chaos_nodes, 0);
+        assert_eq!(ClusterConfig::default().speculation_multiplier, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplier")]
+    fn rejects_bad_speculation_multiplier() {
+        let _ = ClusterConfig::default().speculation(0.5);
     }
 }

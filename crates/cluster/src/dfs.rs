@@ -74,6 +74,9 @@ pub struct Dfs {
     placement: AtomicU64,
     bytes_written: AtomicU64,
     bytes_read: AtomicU64,
+    /// `dead[i]` is set once node `i` crashes: it receives no new replicas
+    /// and its existing replicas are re-replicated elsewhere.
+    dead: RwLock<Vec<bool>>,
     telemetry: Telemetry,
 }
 
@@ -89,8 +92,20 @@ impl Dfs {
             placement: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
+            dead: RwLock::new(vec![false; num_nodes]),
             telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Nodes currently eligible to hold replicas.
+    fn live_nodes(&self) -> Vec<NodeId> {
+        let dead = self.dead.read();
+        (0..self.num_nodes as u32).map(NodeId).filter(|n| !dead[n.index()]).collect()
+    }
+
+    /// True iff the node has not crashed (from the DFS's point of view).
+    pub fn is_node_live(&self, node: NodeId) -> bool {
+        !self.dead.read()[node.index()]
     }
 
     /// Attaches a telemetry handle: every subsequent block-replica
@@ -132,15 +147,19 @@ impl Dfs {
         let len = data.len() as u64;
         let mut blocks = Vec::new();
         let mut off = 0u64;
+        // Replicas only land on live nodes. When nothing has crashed this
+        // reduces exactly to round-robin over all nodes.
+        let live = self.live_nodes();
+        assert!(!live.is_empty(), "cannot create DFS files with every node dead");
+        let replication = self.replication.min(live.len());
         // Zero-length files get a single empty block so they still have a
         // placement (and splits() yields nothing).
         loop {
             let end = (off + self.block_size).min(len);
             let slice = data.slice(off as usize..end as usize);
             let start = self.placement.fetch_add(1, Ordering::Relaxed) as usize;
-            let replicas: Vec<NodeId> = (0..self.replication)
-                .map(|i| NodeId(((start + i) % self.num_nodes) as u32))
-                .collect();
+            let replicas: Vec<NodeId> =
+                (0..replication).map(|i| live[(start + i) % live.len()]).collect();
             for r in &replicas {
                 self.telemetry.placement(r.0, slice.len() as u64);
             }
@@ -204,7 +223,13 @@ impl Dfs {
                 continue;
             }
             let overlap = b_end.min(offset + len) - b.offset.max(offset);
-            let src = if b.replicas.contains(&reader) { reader } else { b.replicas[0] };
+            // Replica lists only ever reference live nodes (crash handling
+            // rewrites them), so the first replica is a valid remote source.
+            let src = if b.replicas.contains(&reader) {
+                reader
+            } else {
+                b.replicas.first().copied().unwrap_or(reader)
+            };
             traffic.record(model, src, reader, overlap);
         }
         self.bytes_read.fetch_add(len, Ordering::Relaxed);
@@ -280,6 +305,66 @@ impl Dfs {
             start = end;
         }
         Ok(splits)
+    }
+
+    /// Handles a node crash: marks the node dead, strips it from every
+    /// block's replica list, and re-replicates under-replicated blocks onto
+    /// live nodes, charging the copy traffic (surviving replica → new
+    /// replica) through `traffic`. Returns `(blocks re-replicated, bytes
+    /// re-replicated)`. Idempotent per node.
+    pub fn handle_node_crash(
+        &self,
+        victim: NodeId,
+        traffic: &TrafficAccountant,
+        model: &NetworkModel,
+    ) -> (u64, u64) {
+        {
+            let mut dead = self.dead.write();
+            if dead[victim.index()] {
+                return (0, 0);
+            }
+            dead[victim.index()] = true;
+        }
+        let live = self.live_nodes();
+        if live.is_empty() {
+            // Nothing left to copy to; data on the victim is simply lost.
+            return (0, 0);
+        }
+        let target = self.replication.min(live.len());
+        let mut files = self.files.write();
+        let mut blocks_fixed = 0u64;
+        let mut bytes_fixed = 0u64;
+        for f in files.values_mut() {
+            for b in f.blocks.iter_mut() {
+                let before = b.replicas.len();
+                b.replicas.retain(|r| *r != victim);
+                if b.replicas.len() == before {
+                    continue;
+                }
+                while b.replicas.len() < target {
+                    let start = self.placement.fetch_add(1, Ordering::Relaxed) as usize;
+                    let Some(dst) = (0..live.len())
+                        .map(|i| live[(start + i) % live.len()])
+                        .find(|n| !b.replicas.contains(n))
+                    else {
+                        break;
+                    };
+                    let len = b.data.len() as u64;
+                    // Copy from a surviving replica when one exists; an
+                    // empty block costs nothing to restore.
+                    if len > 0 {
+                        if let Some(&src) = b.replicas.first() {
+                            traffic.record(model, src, dst, len);
+                        }
+                    }
+                    self.telemetry.placement(dst.0, len);
+                    b.replicas.push(dst);
+                    blocks_fixed += 1;
+                    bytes_fixed += len;
+                }
+            }
+        }
+        (blocks_fixed, bytes_fixed)
     }
 
     /// Sum of all file lengths currently stored.
@@ -427,6 +512,40 @@ mod tests {
         d.delete("dir/a");
         assert!(!d.exists("dir/a"));
         assert_eq!(d.total_bytes(), 2);
+    }
+
+    #[test]
+    fn crash_re_replicates_and_charges_traffic() {
+        let d = Dfs::new(4, 16, 2);
+        d.create("f", Bytes::from(vec![3u8; 64])).unwrap(); // 4 blocks × 2 replicas
+        let t = TrafficAccountant::new();
+        let m = NetworkModel::default();
+        let (blocks, bytes) = d.handle_node_crash(NodeId(0), &t, &m);
+        assert!(blocks > 0, "node 0 held at least one replica");
+        assert_eq!(bytes, blocks * 16);
+        assert_eq!(t.remote_bytes(), bytes, "every restored copy is a remote transfer");
+        assert!(!d.is_node_live(NodeId(0)));
+        // All replica lists now reference live nodes only, at full
+        // replication, and reads still return the data.
+        for s in d.splits("f", 4).unwrap() {
+            assert_eq!(s.preferred_nodes.len(), 2);
+            assert!(!s.preferred_nodes.contains(&NodeId(0)));
+        }
+        assert_eq!(d.read("f").unwrap(), Bytes::from(vec![3u8; 64]));
+        // Idempotent: a second crash of the same node does nothing.
+        assert_eq!(d.handle_node_crash(NodeId(0), &t, &m), (0, 0));
+    }
+
+    #[test]
+    fn new_files_avoid_dead_nodes() {
+        let d = Dfs::new(3, 16, 2);
+        let t = TrafficAccountant::new();
+        let m = NetworkModel::default();
+        d.handle_node_crash(NodeId(1), &t, &m);
+        d.create("f", Bytes::from(vec![0u8; 48])).unwrap();
+        for s in d.splits("f", 3).unwrap() {
+            assert!(!s.preferred_nodes.contains(&NodeId(1)));
+        }
     }
 
     #[test]

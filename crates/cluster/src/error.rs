@@ -37,6 +37,9 @@ pub enum ClusterError {
     },
     /// A DFS path does not exist.
     NoSuchFile(String),
+    /// The node has crashed: its local files are lost and it accepts no
+    /// further reads or writes.
+    NodeDead(crate::ids::NodeId),
     /// A DFS path already exists (DFS files are immutable once written).
     FileExists(String),
     /// An injected (simulated) task failure.
@@ -62,6 +65,7 @@ impl fmt::Display for ClusterError {
                 "cluster intermediate storage exceeded: {requested} B requested, capacity {capacity} B (maxis)"
             ),
             ClusterError::NoSuchFile(p) => write!(f, "no such DFS file: {p}"),
+            ClusterError::NodeDead(n) => write!(f, "{n} is dead (crashed)"),
             ClusterError::FileExists(p) => write!(f, "DFS file already exists: {p}"),
             ClusterError::InjectedFailure { task } => write!(f, "injected failure in {task}"),
         }

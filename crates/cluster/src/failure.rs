@@ -36,6 +36,11 @@ impl FailureInjector {
         if self.threshold == 0 {
             return false;
         }
+        // p = 1.0 must be unconditional: with `x < threshold` an attempt
+        // hashing to exactly u64::MAX would survive a probability-1 injector.
+        if self.threshold == u64::MAX {
+            return true;
+        }
         let kind_bit = match id.kind {
             crate::ids::TaskKind::Map => 0u64,
             crate::ids::TaskKind::Reduce => 1,
@@ -59,6 +64,56 @@ pub fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Deterministic schedule of node crashes for chaos testing.
+///
+/// The plan is fixed up front from `(num_victims, seed, num_nodes)`: it
+/// picks `num_victims` distinct victim nodes (never all of them — at least
+/// one node always survives) and, for each, a small task-completion count
+/// after which the crash fires. The engine calls
+/// [`crate::Cluster::note_task_completion`] as tasks commit; when the
+/// completion counter reaches a victim's threshold, that node crashes.
+#[derive(Debug, Clone)]
+pub struct ChaosPlan {
+    /// `(completed-task threshold, victim)` pairs, ascending by threshold.
+    crashes: Vec<(u64, crate::ids::NodeId)>,
+}
+
+impl ChaosPlan {
+    /// Builds the schedule. `num_victims` is clamped to `num_nodes - 1` so
+    /// the cluster always keeps at least one live node.
+    pub fn new(num_victims: usize, seed: u64, num_nodes: usize) -> ChaosPlan {
+        let victims = num_victims.min(num_nodes.saturating_sub(1));
+        let mut ids: Vec<u32> = (0..num_nodes as u32).collect();
+        // Seeded Fisher–Yates: victim choice depends only on the seed.
+        let mut state = seed ^ 0xC4A0_5C4A_0055_1DEA;
+        let mut pos = ids.len();
+        while pos > 1 {
+            state = splitmix64(state);
+            let j = (state % pos as u64) as usize;
+            pos -= 1;
+            ids.swap(pos, j);
+        }
+        let mut crashes: Vec<(u64, crate::ids::NodeId)> = ids[..victims]
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| {
+                // Small, distinct thresholds so crashes land mid-job even in
+                // small test runs: 1 + a seeded offset in [0, 3], spread out
+                // per victim.
+                let jitter = splitmix64(seed ^ 0xBADC_0FFE ^ i as u64) % 4;
+                (1 + 2 * i as u64 + jitter, crate::ids::NodeId(id))
+            })
+            .collect();
+        crashes.sort_unstable();
+        ChaosPlan { crashes }
+    }
+
+    /// The planned `(threshold, victim)` pairs, ascending.
+    pub fn crashes(&self) -> &[(u64, crate::ids::NodeId)] {
+        &self.crashes
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,6 +133,42 @@ mod tests {
     fn full_probability_always_fails() {
         let inj = FailureInjector::new(1.0, 1);
         assert!((0..1000).all(|t| inj.should_fail(attempt(t, 0))));
+    }
+
+    #[test]
+    fn full_probability_fails_even_max_hash() {
+        // Regression: with `x < threshold` and threshold = u64::MAX, an
+        // attempt hashing to exactly u64::MAX survived a p = 1.0 injector.
+        // 0x31628AF67B2131AB is a splitmix64 preimage of u64::MAX; seeding
+        // the injector with it makes attempt (job 0, map, task 0, attempt 0)
+        // hash to exactly u64::MAX.
+        const SEED: u64 = 0x31628AF67B2131AB;
+        assert_eq!(splitmix64(SEED), u64::MAX, "preimage constant is stale");
+        let inj = FailureInjector::new(1.0, SEED);
+        assert!(inj.should_fail(attempt(0, 0)));
+    }
+
+    #[test]
+    fn chaos_plan_is_deterministic_and_bounded() {
+        let a = ChaosPlan::new(2, 42, 4);
+        let b = ChaosPlan::new(2, 42, 4);
+        assert_eq!(a.crashes(), b.crashes());
+        assert_eq!(a.crashes().len(), 2);
+        // Victims are distinct nodes.
+        let mut victims: Vec<u32> = a.crashes().iter().map(|&(_, n)| n.0).collect();
+        victims.sort_unstable();
+        victims.dedup();
+        assert_eq!(victims.len(), 2);
+        // Thresholds ascend.
+        assert!(a.crashes().windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn chaos_plan_never_kills_every_node() {
+        let plan = ChaosPlan::new(10, 7, 3);
+        assert_eq!(plan.crashes().len(), 2);
+        let single = ChaosPlan::new(5, 7, 1);
+        assert!(single.crashes().is_empty());
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //! * [`network`] — traffic accounting and a latency/bandwidth cost model
 //!   (the paper's *communication cost* metric);
 //! * [`memory`] — per-task working-set budgets (the paper's `maxws`);
-//! * [`failure`] — deterministic task-failure injection;
+//! * [`failure`] — deterministic task-failure injection and seeded
+//!   node-crash schedules (chaos testing);
 //! * [`cluster`] — the assembled [`Cluster`], including the cluster-wide
 //!   intermediate-storage cap (the paper's `maxis`).
 
@@ -31,7 +32,7 @@ pub use cluster::Cluster;
 pub use config::{ClusterConfig, NodeConfig};
 pub use dfs::{Dfs, InputSplit};
 pub use error::{ClusterError, Result};
-pub use failure::FailureInjector;
+pub use failure::{ChaosPlan, FailureInjector};
 pub use ids::{NodeId, TaskAttemptId, TaskKind};
 pub use memory::MemoryGauge;
 pub use network::{NetworkModel, TrafficAccountant};

@@ -7,7 +7,7 @@
 //! capacity.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use bytes::Bytes;
 use parking_lot::RwLock;
@@ -23,6 +23,7 @@ pub struct Node {
     files: RwLock<HashMap<String, Bytes>>,
     storage_used: AtomicU64,
     storage_peak: AtomicU64,
+    alive: AtomicBool,
 }
 
 impl Node {
@@ -34,6 +35,7 @@ impl Node {
             files: RwLock::new(HashMap::new()),
             storage_used: AtomicU64::new(0),
             storage_peak: AtomicU64::new(0),
+            alive: AtomicBool::new(true),
         }
     }
 
@@ -42,11 +44,38 @@ impl Node {
         self.id
     }
 
+    /// True until the node crashes.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+
+    /// Crashes the node: every local file is lost and all subsequent reads
+    /// and writes fail with [`ClusterError::NodeDead`]. Returns
+    /// `(files lost, bytes lost)`. Idempotent — crashing a dead node loses
+    /// nothing further.
+    pub fn crash(&self) -> (usize, u64) {
+        // Take the file lock before flipping the flag so a concurrent
+        // write either completes (and is wiped here) or observes the dead
+        // flag and fails.
+        let mut files = self.files.write();
+        if !self.alive.swap(false, Ordering::SeqCst) {
+            return (0, 0);
+        }
+        let lost_files = files.len();
+        let lost_bytes = self.storage_used.swap(0, Ordering::SeqCst);
+        files.clear();
+        (lost_files, lost_bytes)
+    }
+
     /// Writes (or overwrites) a node-local file, enforcing the storage
-    /// capacity. Overwriting releases the old bytes first.
+    /// capacity. Overwriting releases the old bytes first. Fails with
+    /// [`ClusterError::NodeDead`] once the node has crashed.
     pub fn write_local(&self, name: &str, data: Bytes) -> Result<()> {
         let new_len = data.len() as u64;
         let mut files = self.files.write();
+        if !self.is_alive() {
+            return Err(ClusterError::NodeDead(self.id));
+        }
         let old_len = files.get(name).map_or(0, |b| b.len() as u64);
         let cur = self.storage_used.load(Ordering::Relaxed);
         let next = cur - old_len + new_len;
@@ -65,10 +94,16 @@ impl Node {
         Ok(())
     }
 
-    /// Reads a node-local file.
+    /// Reads a node-local file. Fails with [`ClusterError::NodeDead`] once
+    /// the node has crashed — a missing file on a *live* node is
+    /// `NoSuchFile`, so callers can distinguish "genuinely absent" from
+    /// "lost with the node".
     pub fn read_local(&self, name: &str) -> Result<Bytes> {
-        self.files
-            .read()
+        let files = self.files.read();
+        if !self.is_alive() {
+            return Err(ClusterError::NodeDead(self.id));
+        }
+        files
             .get(name)
             .cloned()
             .ok_or_else(|| ClusterError::NoSuchFile(format!("{}:{}", self.id, name)))
@@ -150,6 +185,24 @@ mod tests {
         // Failed write leaves state unchanged.
         assert_eq!(n.storage_used(), 6);
         assert!(n.read_local("b").is_err());
+    }
+
+    #[test]
+    fn crash_loses_files_and_rejects_io() {
+        let n = Node::new(NodeId(2), None);
+        n.write_local("a", Bytes::from_static(b"hello")).unwrap();
+        assert!(n.is_alive());
+        assert_eq!(n.crash(), (1, 5));
+        assert!(!n.is_alive());
+        assert_eq!(n.storage_used(), 0);
+        assert_eq!(n.storage_peak(), 5, "peak survives the crash for reporting");
+        assert!(matches!(n.read_local("a"), Err(ClusterError::NodeDead(NodeId(2)))));
+        assert!(matches!(
+            n.write_local("b", Bytes::from_static(b"x")),
+            Err(ClusterError::NodeDead(NodeId(2)))
+        ));
+        // Crashing again loses nothing further.
+        assert_eq!(n.crash(), (0, 0));
     }
 
     #[test]

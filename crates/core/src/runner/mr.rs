@@ -99,6 +99,16 @@ pub struct MrRunReport {
     pub network_bytes: u64,
     /// Peak cluster-wide intermediate storage (measured `maxis` pressure).
     pub peak_intermediate_bytes: u64,
+    /// Node crashes observed while the run's jobs executed (chaos
+    /// injection; 0 on healthy runs).
+    pub node_crashes: u64,
+    /// Completed map tasks re-executed because their output died with a
+    /// node (Dean–Ghemawat recovery).
+    pub map_reruns: u64,
+    /// Speculative backup attempts launched for straggling tasks.
+    pub speculative_launched: u64,
+    /// Speculative backup attempts that beat the original and won commit.
+    pub speculative_won: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -389,6 +399,12 @@ fn moved_counter(job: &JobOutput) -> u64 {
     job.counters.get(pmr_mapreduce::builtin::SHUFFLE_MOVED_BYTES).copied().unwrap_or(0)
 }
 
+/// Sums a recovery counter over the run's jobs (absent on healthy runs —
+/// the engine only creates these counters when they fire).
+fn recovery_counter<'a>(jobs: impl IntoIterator<Item = &'a JobOutput>, name: &str) -> u64 {
+    jobs.into_iter().map(|j| j.counters.get(name).copied().unwrap_or(0)).sum()
+}
+
 pub(crate) fn run_mr_impl<T, R>(
     cluster: &Cluster,
     scheme: Arc<dyn DistributionScheme>,
@@ -480,6 +496,13 @@ where
             .stats
             .peak_intermediate_bytes
             .max(job2.stats.peak_intermediate_bytes),
+        node_crashes: recovery_counter([&job1, &job2], pmr_mapreduce::builtin::NODE_CRASHES),
+        map_reruns: recovery_counter([&job1, &job2], pmr_mapreduce::builtin::MAP_RERUNS),
+        speculative_launched: recovery_counter(
+            [&job1, &job2],
+            pmr_mapreduce::builtin::SPECULATIVE_LAUNCHED,
+        ),
+        speculative_won: recovery_counter([&job1, &job2], pmr_mapreduce::builtin::SPECULATIVE_WON),
         job1,
         job2: Some(job2),
     };
@@ -614,6 +637,13 @@ where
         max_working_set_bytes: job.stats.max_working_set_bytes,
         network_bytes: job.stats.network_bytes,
         peak_intermediate_bytes: job.stats.peak_intermediate_bytes,
+        node_crashes: recovery_counter([&job], pmr_mapreduce::builtin::NODE_CRASHES),
+        map_reruns: recovery_counter([&job], pmr_mapreduce::builtin::MAP_RERUNS),
+        speculative_launched: recovery_counter(
+            [&job],
+            pmr_mapreduce::builtin::SPECULATIVE_LAUNCHED,
+        ),
+        speculative_won: recovery_counter([&job], pmr_mapreduce::builtin::SPECULATIVE_WON),
         job1: job,
         job2: None,
     };

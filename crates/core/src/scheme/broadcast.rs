@@ -100,14 +100,18 @@ impl DistributionScheme for BroadcastScheme {
     }
 
     fn metrics(&self, _n_nodes: u64) -> SchemeMetrics {
-        let p = self.tasks;
+        // Elements only travel to tasks that own at least one pair: with
+        // more tasks than pairs the trailing label ranges are empty, get no
+        // working set, and must not inflate the analytic communication and
+        // replication numbers (Table 1 assumes p ≤ v(v−1)/2 implicitly).
+        let nonempty = pair_count(self.v).div_ceil(self.chunk);
         SchemeMetrics {
             scheme: self.name(),
-            num_tasks: p,
-            communication_elements: 2 * self.v * p,
-            replication_factor: p as f64,
+            num_tasks: self.tasks,
+            communication_elements: 2 * self.v * nonempty,
+            replication_factor: nonempty as f64,
             working_set_size: self.v,
-            evaluations_per_task: pair_count(self.v) as f64 / p as f64,
+            evaluations_per_task: pair_count(self.v) as f64 / nonempty as f64,
         }
     }
 }
@@ -205,6 +209,32 @@ mod tests {
         let m = measure(&s);
         assert_eq!(m.total_pairs, 3);
         assert_eq!(m.nonempty_tasks, 3);
+    }
+
+    #[test]
+    fn analytic_metrics_agree_with_measurement_for_tiny_v() {
+        // Empty tasks must not inflate the analytic numbers: with 3 pairs
+        // across 10 tasks, only 3 tasks receive the dataset.
+        for (v, tasks) in [(3u64, 10u64), (4, 100), (5, 5), (40, 8)] {
+            let s = BroadcastScheme::new(v, tasks);
+            let analytic = s.metrics(tasks);
+            let measured = measure(&s);
+            assert_eq!(analytic.num_tasks, tasks, "v={v} tasks={tasks}");
+            assert_eq!(
+                analytic.communication_elements,
+                2 * measured.total_copies,
+                "v={v} tasks={tasks}: one copy in, one result out, per element copy"
+            );
+            assert!(
+                (analytic.replication_factor - measured.replication_factor).abs() < 1e-9,
+                "v={v} tasks={tasks}"
+            );
+            assert_eq!(analytic.working_set_size, measured.max_working_set, "v={v} tasks={tasks}");
+            assert!(
+                analytic.evaluations_per_task <= measured.max_evaluations as f64,
+                "v={v} tasks={tasks}: mean over nonempty tasks can't exceed the max"
+            );
+        }
     }
 
     #[test]

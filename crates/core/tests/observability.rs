@@ -166,6 +166,50 @@ fn histograms_agree_with_counters() {
 }
 
 #[test]
+fn conservation_holds_under_injected_failures() {
+    // Retried tasks must not double-count: injector-failed attempts never
+    // open a span, and only the committed attempt's scratch counters merge
+    // into the job counters, so both bookkeeping systems still agree
+    // exactly on a flaky cluster.
+    let data: Vec<u64> = (0..48u64).map(|i| i * 17 % 257).collect();
+    let mut cfg = ClusterConfig::with_nodes(3).failure_probability(0.35).seed(777);
+    cfg.max_task_attempts = 30;
+    let cluster = Cluster::new(cfg).with_telemetry(Telemetry::enabled());
+    let run = PairwiseJob::new(&data, comp())
+        .scheme(BlockScheme::new(48, 6))
+        .backend(Backend::Mr(&cluster))
+        .run()
+        .unwrap();
+    let report = &run.report;
+    let failed = report.counter(builtin::FAILED_ATTEMPTS).unwrap_or(0);
+    assert!(failed > 0, "seed produced no failures; pick another seed");
+    let jobs: Vec<String> = job_names(report).into_iter().filter(|j| !j.ends_with("-io")).collect();
+    let counters = [&run.mr[0].job1.counters, &run.mr[0].job2.as_ref().unwrap().counters];
+    for (job, counters) in jobs.iter().zip(counters) {
+        let sum = |kind: &str, f: fn(&pmr_obs::TaskSpan) -> u64| -> u64 {
+            report.task_spans.iter().filter(|s| s.job == *job && s.kind == kind).map(f).sum()
+        };
+        assert_eq!(sum("reduce", |s| s.bytes_in), counters[builtin::SHUFFLE_BYTES], "{job}");
+        assert_eq!(sum("map", |s| s.bytes_out), counters[builtin::MAP_OUTPUT_BYTES], "{job}");
+        assert_eq!(
+            sum("reduce", |s| s.records_in),
+            counters[builtin::REDUCE_INPUT_RECORDS],
+            "{job}"
+        );
+        assert_eq!(sum("map", |s| s.records_in), counters[builtin::MAP_INPUT_RECORDS], "{job}");
+    }
+    // The evaluations histogram and user counter also stay exactly-once.
+    let hist_sum = |name: &str| -> u64 {
+        report.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h.sum).unwrap_or(0)
+    };
+    assert_eq!(report.counter(EVALUATIONS_COUNTER).unwrap(), 48 * 47 / 2);
+    assert_eq!(
+        hist_sum("pairwise.evaluations_per_task"),
+        report.counter(EVALUATIONS_COUNTER).unwrap()
+    );
+}
+
+#[test]
 fn node_timelines_partition_wall_time() {
     let run = instrumented_mr_run(48, 3);
     let report = &run.report;

@@ -51,6 +51,15 @@ pub mod builtin {
     pub const MERGED_RUNS: &str = "mr.map.merged.runs";
     /// Bytes broadcast through the distributed cache.
     pub const DISTRIBUTED_CACHE_BYTES: &str = "mr.cache.bytes";
+    /// Node crashes observed while the job ran.
+    pub const NODE_CRASHES: &str = "mr.node.crashes";
+    /// Completed map tasks re-executed because their output died with a
+    /// node (Dean–Ghemawat recovery).
+    pub const MAP_RERUNS: &str = "mr.map.reruns";
+    /// Speculative backup attempts launched for slow tasks.
+    pub const SPECULATIVE_LAUNCHED: &str = "mr.speculative.launched";
+    /// Speculative backup attempts that finished first and won.
+    pub const SPECULATIVE_WON: &str = "mr.speculative.won";
 }
 
 /// A concurrent bag of named `u64` counters.

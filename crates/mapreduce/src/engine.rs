@@ -4,19 +4,49 @@
 //! Execution model (paper §3): tasks run in parallel on nodes, each task
 //! touches only node-local data plus data explicitly moved to it; moves are
 //! accounted as network traffic. Scheduling is deterministic — map tasks go
-//! to the least-loaded replica holder of their split (locality first),
+//! to the least-loaded live replica holder of their split (locality first),
 //! reduce task `r` goes to node `r mod n` — so byte-level metrics are
 //! reproducible run to run while tasks still execute on real parallel
 //! threads (one worker thread per configured task slot).
+//!
+//! # Fault tolerance
+//!
+//! The engine survives node crashes with Dean–Ghemawat semantics:
+//!
+//! * Every task attempt runs against a *scratch* counter bag and commits
+//!   atomically: the first attempt of a task to finish wins (a CAS on the
+//!   task's winner slot), merges its scratch counters into the job
+//!   counters, and publishes its output; losing sibling attempts are
+//!   discarded wholesale (span cancelled, counters dropped). Logical
+//!   counters — `pairwise.evaluations`, record and byte totals — therefore
+//!   count each task exactly once no matter how many attempts ran.
+//! * A crashed node loses its local files, including completed map
+//!   outputs. Reducers detect this during the shuffle (a dead node answers
+//!   `NodeDead`, not `NoSuchFile`) and re-execute the lost map task on
+//!   their own node; the re-run's input re-read is charged as recovery
+//!   traffic, but its counters are discarded — the logical work was
+//!   already committed by the original attempt.
+//! * Queued tasks of a dead node are drained to live nodes; attempts that
+//!   die mid-flight (their node crashed under them) are re-queued.
+//! * With `speculation_multiplier` configured, a task running longer than
+//!   that multiple of the median completed-task time gets a backup attempt
+//!   on another node; the commit CAS arbitrates, and the loser's partial
+//!   output is never observed (map outputs are read via the winner's
+//!   recorded site; reduce output is written to the DFS only by the
+//!   winner).
+//!
+//! Per-attempt histograms (group sizes, shuffle bytes per partition) are
+//! recorded as attempts run, so under speculation a losing attempt may
+//! contribute observations; counters never do.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 use bytes::BytesMut;
 use parking_lot::Mutex;
 use pmr_cluster::{Cluster, ClusterError, MemoryGauge, NodeId, TaskAttemptId, TaskKind};
-use pmr_obs::{hist, SpanKind};
+use pmr_obs::{hist, Span, SpanKind, Telemetry};
 
 use crate::api::{MapContext, Mapper, ReduceContext, Reducer, TaskCache, Values};
 use crate::codec::{decode_raw_stream, RawRecord, Wire};
@@ -35,6 +65,155 @@ pub struct Engine<'c> {
 pub const WS_PEAK_COUNTER: &str = "mr.reduce.ws.peak.bytes";
 /// Name of the engine counter recording peak intermediate bytes.
 pub const INTERMEDIATE_PEAK_COUNTER: &str = "mr.intermediate.peak.bytes";
+
+/// Counter-name suffix merged with `max` (not `+`) when an attempt's
+/// scratch counters are committed.
+const PEAK_SUFFIX: &str = ".peak.bytes";
+
+/// How long an idle worker sleeps between polls for redistributed or
+/// speculative work.
+const IDLE_POLL: Duration = Duration::from_micros(200);
+
+/// Sentinel in a task's winner slot: no attempt has committed yet.
+const OPEN: u32 = u32::MAX;
+
+/// Per-phase scheduling state: node work queues plus the commit, retry,
+/// and speculation bookkeeping of every task in the phase.
+struct PhaseBoard {
+    /// Per-node FIFO of task indices.
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    /// Tasks not yet committed.
+    remaining: AtomicUsize,
+    /// Committed attempt id per task (`OPEN` until an attempt wins).
+    winner: Vec<AtomicU32>,
+    /// Next attempt id per task (shared by retries, re-queues, backups).
+    next_attempt: Vec<AtomicU32>,
+    /// Injected-failure count per task (drives `max_task_attempts`).
+    failures: Vec<AtomicU32>,
+    /// Whether a speculative backup was already launched for the task.
+    speculated: Vec<AtomicBool>,
+    /// Wall times (µs) of committed attempts; median feeds speculation.
+    durations: Mutex<Vec<u64>>,
+    /// Currently running attempts `(task, node, start)`.
+    running: Mutex<Vec<(usize, u32, Instant)>>,
+}
+
+impl PhaseBoard {
+    /// Builds a board with `assignment[t]` = node index of task `t`.
+    fn new(n: usize, assignment: &[usize]) -> PhaseBoard {
+        let tasks = assignment.len();
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..n).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (t, &nd) in assignment.iter().enumerate() {
+            queues[nd].lock().push_back(t);
+        }
+        PhaseBoard {
+            queues,
+            remaining: AtomicUsize::new(tasks),
+            winner: (0..tasks).map(|_| AtomicU32::new(OPEN)).collect(),
+            next_attempt: (0..tasks).map(|_| AtomicU32::new(0)).collect(),
+            failures: (0..tasks).map(|_| AtomicU32::new(0)).collect(),
+            speculated: (0..tasks).map(|_| AtomicBool::new(false)).collect(),
+            durations: Mutex::new(Vec::new()),
+            running: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// True iff no attempt of the task has committed yet.
+    fn is_open(&self, task: usize) -> bool {
+        self.winner[task].load(Ordering::SeqCst) == OPEN
+    }
+
+    /// Tries to commit `attempt` as the task's winner.
+    fn try_win(&self, task: usize, attempt: u32) -> bool {
+        self.winner[task]
+            .compare_exchange(OPEN, attempt, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Marks a committed task done.
+    fn finish(&self, duration_us: u64) {
+        self.durations.lock().push(duration_us);
+        self.remaining.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Pushes a task onto the least-loaded live node's queue.
+    fn requeue_on_live(&self, cluster: &Cluster, task: usize) {
+        let target = cluster
+            .live_nodes()
+            .into_iter()
+            .min_by_key(|nd| (self.queues[nd.index()].lock().len(), nd.0))
+            .expect("cluster always keeps at least one live node");
+        self.queues[target.index()].lock().push_back(task);
+    }
+
+    /// Moves every queued task of a (dead) node to live nodes.
+    fn drain_dead(&self, cluster: &Cluster, node_idx: usize) {
+        while let Some(task) = self.queues[node_idx].lock().pop_front() {
+            self.requeue_on_live(cluster, task);
+        }
+    }
+
+    fn note_start(&self, task: usize, node: u32, started: Instant) {
+        self.running.lock().push((task, node, started));
+    }
+
+    fn note_end(&self, task: usize, node: u32) {
+        let mut running = self.running.lock();
+        if let Some(i) = running.iter().position(|&(t, nd, _)| t == task && nd == node) {
+            running.swap_remove(i);
+        }
+    }
+
+    /// Picks a straggler to back up on node `me`: a task running on
+    /// another node for longer than `mult ×` the median committed-task
+    /// time, not yet committed, not yet speculated. Marks it speculated.
+    fn pick_speculation(&self, me: usize, mult: f64) -> Option<usize> {
+        let median = {
+            let durations = self.durations.lock();
+            if durations.is_empty() {
+                return None;
+            }
+            let mut sorted = durations.clone();
+            sorted.sort_unstable();
+            sorted[sorted.len() / 2]
+        };
+        let threshold_us = (median as f64 * mult).max(1.0) as u128;
+        let running = self.running.lock();
+        for &(task, node, started) in running.iter() {
+            if node as usize == me
+                || !self.is_open(task)
+                || started.elapsed().as_micros() < threshold_us
+            {
+                continue;
+            }
+            if !self.speculated[task].swap(true, Ordering::SeqCst) {
+                return Some(task);
+            }
+        }
+        None
+    }
+}
+
+/// Merges an attempt's scratch counters into the job counters: `*.peak.bytes`
+/// entries merge with `max`, everything else sums.
+fn commit_scratch(counters: &Counters, scratch: &Counters) {
+    for (name, value) in scratch.snapshot() {
+        if name.ends_with(PEAK_SUFFIX) {
+            counters.record_max(&name, value);
+        } else {
+            counters.add(&name, value);
+        }
+    }
+}
+
+/// Result of a reduce-task body, held back until the attempt wins commit.
+struct ReduceDone {
+    out: bytes::Bytes,
+    offsets: Vec<u64>,
+    span: Span,
+    lap_at: Instant,
+}
 
 impl<'c> Engine<'c> {
     /// Creates an engine bound to a cluster.
@@ -66,24 +245,29 @@ impl<'c> Engine<'c> {
         let n = cluster.num_nodes();
         let net_before = cluster.traffic().remote_bytes();
         let sim_before = cluster.traffic().simulated_time_us();
+        let crashes_before = cluster.node_crashes();
         // Job-level phase windows are opened back-to-back so their wall
         // times tile the job's wall time.
         let telemetry = cluster.telemetry().clone();
         let mut phase = telemetry.job_phase(&spec.name, "setup");
 
-        // --- Distribute cache files to every node (paper §5.1). ---
+        // --- Distribute cache files to every live node (paper §5.1). ---
         let cache_prefix = format!("mr/{jid}/cache/");
+        let live_count = cluster.live_nodes().len();
         for (name, data) in &spec.cache_files {
             for node in cluster.nodes() {
+                if !node.is_alive() {
+                    continue;
+                }
                 node.write_local(&format!("{cache_prefix}{name}"), data.clone())?;
             }
             cluster.traffic().record_broadcast(
                 &cluster.config().network,
                 NodeId(0),
-                n,
+                live_count,
                 data.len() as u64,
             );
-            counters.add(builtin::DISTRIBUTED_CACHE_BYTES, data.len() as u64 * n as u64);
+            counters.add(builtin::DISTRIBUTED_CACHE_BYTES, data.len() as u64 * live_count as u64);
             cluster.check_intermediate_capacity()?;
         }
 
@@ -111,21 +295,26 @@ impl<'c> Engine<'c> {
             return Err(MrError::InvalidJob("inputs contain no records".into()));
         }
 
-        // --- Assign map tasks: locality-aware, deterministic. ---
+        // --- Assign map tasks: locality-aware over live nodes. ---
         let mut load = vec![0usize; n];
-        let map_assignment: Vec<NodeId> = splits
+        let map_assignment: Vec<usize> = splits
             .iter()
             .map(|s| {
                 let chosen = s
                     .preferred_nodes
                     .iter()
                     .copied()
+                    .filter(|nd| cluster.is_alive(*nd))
                     .min_by_key(|nd| (load[nd.index()], nd.0))
-                    .unwrap_or_else(
-                        || NodeId((0..n).min_by_key(|&i| (load[i], i)).unwrap() as u32),
-                    );
+                    .unwrap_or_else(|| {
+                        (0..n as u32)
+                            .map(NodeId)
+                            .filter(|nd| cluster.is_alive(*nd))
+                            .min_by_key(|nd| (load[nd.index()], nd.0))
+                            .expect("cluster always keeps at least one live node")
+                    });
                 load[chosen.index()] += 1;
-                chosen
+                chosen.index()
             })
             .collect();
 
@@ -135,50 +324,90 @@ impl<'c> Engine<'c> {
         let num_maps = splits.len();
         // Per-(map task, partition) extra charge billed via `emit_charged`:
         // bytes the cost model prices into the shuffle transfer of that
-        // partition even though they are never materialized. Written once
-        // per map body (bodies run at most once), read by reduce tasks.
+        // partition even though they are never materialized. Published at
+        // commit (and idempotently re-published by recovery re-runs — the
+        // values are a deterministic function of the task), read by reduce
+        // tasks.
         let charges: Vec<AtomicU64> =
             (0..num_maps * spec.num_reducers).map(|_| AtomicU64::new(0)).collect();
+        // Node each map task's committed output lives on: initialized to
+        // the assignment, overwritten by the winning attempt's node and by
+        // recovery re-runs.
+        let map_sites: Vec<AtomicU32> =
+            map_assignment.iter().map(|&nd| AtomicU32::new(nd as u32)).collect();
         let error: Mutex<Option<MrError>> = Mutex::new(None);
-        let queues: Vec<Mutex<VecDeque<usize>>> =
-            (0..n).map(|_| Mutex::new(VecDeque::new())).collect();
-        for (t, nd) in map_assignment.iter().enumerate() {
-            queues[nd.index()].lock().push_back(t);
-        }
+        let map_board = PhaseBoard::new(n, &map_assignment);
         crossbeam::thread::scope(|scope| {
             for node_idx in 0..n {
                 for _slot in 0..cluster.config().node.map_slots.max(1) {
-                    let queues = &queues;
+                    let board = &map_board;
                     let error = &error;
                     let splits = &splits;
                     let spec = &spec;
                     let counters = &counters;
                     let cache_prefix = &cache_prefix;
                     let charges = &charges;
-                    scope.spawn(move |_| loop {
-                        if error.lock().is_some() {
-                            return;
-                        }
-                        let task = match queues[node_idx].lock().pop_front() {
-                            Some(t) => t,
-                            None => return,
-                        };
-                        let r = self.run_map_task(
-                            jid,
-                            task as u32,
-                            NodeId(node_idx as u32),
-                            &splits[task],
-                            spec,
-                            counters,
-                            cache_prefix,
-                            charges,
-                        );
-                        if let Err(e) = r {
-                            let mut guard = error.lock();
-                            if guard.is_none() {
-                                *guard = Some(e);
+                    let map_sites = &map_sites;
+                    scope.spawn(move |_| {
+                        let me = NodeId(node_idx as u32);
+                        loop {
+                            if error.lock().is_some() {
+                                return;
                             }
-                            return;
+                            if !cluster.is_alive(me) {
+                                board.drain_dead(cluster, node_idx);
+                                return;
+                            }
+                            let popped = board.queues[node_idx].lock().pop_front();
+                            let (task, is_backup) = match popped {
+                                Some(t) => (t, false),
+                                None => {
+                                    if board.remaining.load(Ordering::SeqCst) == 0 {
+                                        return;
+                                    }
+                                    let mult = cluster.config().speculation_multiplier;
+                                    match mult.and_then(|m| board.pick_speculation(node_idx, m)) {
+                                        Some(t) => (t, true),
+                                        None => {
+                                            std::thread::sleep(IDLE_POLL);
+                                            continue;
+                                        }
+                                    }
+                                }
+                            };
+                            if is_backup {
+                                counters.inc(builtin::SPECULATIVE_LAUNCHED);
+                                cluster.telemetry().event(
+                                    "speculative.launch",
+                                    format!("backup attempt of map task {task} on {me}"),
+                                );
+                            }
+                            let r = self.drive_map(
+                                jid,
+                                task,
+                                me,
+                                is_backup,
+                                board,
+                                &splits[task],
+                                spec,
+                                counters,
+                                cache_prefix,
+                                charges,
+                                map_sites,
+                            );
+                            match r {
+                                Ok(()) => {}
+                                Err(MrError::Cluster(ClusterError::NodeDead(_))) => {
+                                    board.requeue_on_live(cluster, task);
+                                }
+                                Err(e) => {
+                                    let mut guard = error.lock();
+                                    if guard.is_none() {
+                                        *guard = Some(e);
+                                    }
+                                    return;
+                                }
+                            }
                         }
                     });
                 }
@@ -203,46 +432,87 @@ impl<'c> Engine<'c> {
         // --- Reduce phase. ---
         drop(phase);
         phase = telemetry.job_phase(&spec.name, "reduce");
-        let reduce_queues: Vec<Mutex<VecDeque<usize>>> =
-            (0..n).map(|_| Mutex::new(VecDeque::new())).collect();
-        for r in 0..spec.num_reducers {
-            reduce_queues[r % n].lock().push_back(r);
-        }
+        let reduce_assignment: Vec<usize> = (0..spec.num_reducers).map(|r| r % n).collect();
+        let reduce_board = PhaseBoard::new(n, &reduce_assignment);
+        // Serializes recovery of one lost map output; re-runs continue the
+        // map task's attempt numbering.
+        let recovery: Vec<Mutex<()>> = (0..num_maps).map(|_| Mutex::new(())).collect();
         crossbeam::thread::scope(|scope| {
             for node_idx in 0..n {
                 for _slot in 0..cluster.config().node.reduce_slots.max(1) {
-                    let reduce_queues = &reduce_queues;
+                    let board = &reduce_board;
+                    let map_board = &map_board;
                     let error = &error;
+                    let splits = &splits;
                     let spec = &spec;
                     let counters = &counters;
                     let cache_prefix = &cache_prefix;
-                    let map_assignment = &map_assignment;
                     let charges = &charges;
-                    scope.spawn(move |_| loop {
-                        if error.lock().is_some() {
-                            return;
-                        }
-                        let task = match reduce_queues[node_idx].lock().pop_front() {
-                            Some(t) => t,
-                            None => return,
-                        };
-                        let r = self.run_reduce_task(
-                            jid,
-                            task as u32,
-                            NodeId(node_idx as u32),
-                            num_maps,
-                            map_assignment,
-                            spec,
-                            counters,
-                            cache_prefix,
-                            charges,
-                        );
-                        if let Err(e) = r {
-                            let mut guard = error.lock();
-                            if guard.is_none() {
-                                *guard = Some(e);
+                    let map_sites = &map_sites;
+                    let recovery = &recovery;
+                    scope.spawn(move |_| {
+                        let me = NodeId(node_idx as u32);
+                        loop {
+                            if error.lock().is_some() {
+                                return;
                             }
-                            return;
+                            if !cluster.is_alive(me) {
+                                board.drain_dead(cluster, node_idx);
+                                return;
+                            }
+                            let popped = board.queues[node_idx].lock().pop_front();
+                            let (task, is_backup) = match popped {
+                                Some(t) => (t, false),
+                                None => {
+                                    if board.remaining.load(Ordering::SeqCst) == 0 {
+                                        return;
+                                    }
+                                    let mult = cluster.config().speculation_multiplier;
+                                    match mult.and_then(|m| board.pick_speculation(node_idx, m)) {
+                                        Some(t) => (t, true),
+                                        None => {
+                                            std::thread::sleep(IDLE_POLL);
+                                            continue;
+                                        }
+                                    }
+                                }
+                            };
+                            if is_backup {
+                                counters.inc(builtin::SPECULATIVE_LAUNCHED);
+                                cluster.telemetry().event(
+                                    "speculative.launch",
+                                    format!("backup attempt of reduce task {task} on {me}"),
+                                );
+                            }
+                            let r = self.drive_reduce(
+                                jid,
+                                task,
+                                me,
+                                is_backup,
+                                board,
+                                map_board,
+                                num_maps,
+                                splits,
+                                spec,
+                                counters,
+                                cache_prefix,
+                                charges,
+                                map_sites,
+                                recovery,
+                            );
+                            match r {
+                                Ok(()) => {}
+                                Err(MrError::Cluster(ClusterError::NodeDead(_))) => {
+                                    board.requeue_on_live(cluster, task);
+                                }
+                                Err(e) => {
+                                    let mut guard = error.lock();
+                                    if guard.is_none() {
+                                        *guard = Some(e);
+                                    }
+                                    return;
+                                }
+                            }
                         }
                     });
                 }
@@ -260,6 +530,10 @@ impl<'c> Engine<'c> {
             return Err(e);
         }
 
+        let crash_delta = cluster.node_crashes() - crashes_before;
+        if crash_delta > 0 {
+            counters.add(builtin::NODE_CRASHES, crash_delta);
+        }
         let output_paths: Vec<String> =
             (0..spec.num_reducers).map(|r| format!("{}/part-{r:05}", spec.output)).collect();
         let stats = JobStats {
@@ -284,18 +558,21 @@ impl<'c> Engine<'c> {
         self.cluster.uncharge_intermediate(charged);
     }
 
-    /// Retry wrapper + body of one map task.
+    /// Retry wrapper + commit protocol of one map task on one node.
     #[allow(clippy::too_many_arguments)]
-    fn run_map_task<M, R>(
+    fn drive_map<M, R>(
         &self,
         jid: u32,
-        task: u32,
-        node_id: NodeId,
+        task: usize,
+        me: NodeId,
+        is_backup: bool,
+        board: &PhaseBoard,
         split: &pmr_cluster::InputSplit,
         spec: &JobSpec<M, R>,
         counters: &Counters,
         cache_prefix: &str,
         charges: &[AtomicU64],
+        map_sites: &[AtomicU32],
     ) -> Result<()>
     where
         M: Mapper,
@@ -303,30 +580,75 @@ impl<'c> Engine<'c> {
     {
         let cluster = self.cluster;
         let max_attempts = cluster.config().max_task_attempts.max(1);
-        for attempt in 0..max_attempts {
+        loop {
+            if !board.is_open(task) {
+                return Ok(()); // a sibling attempt already committed
+            }
+            if !cluster.is_alive(me) {
+                return Err(ClusterError::NodeDead(me).into());
+            }
+            let attempt = board.next_attempt[task].fetch_add(1, Ordering::SeqCst);
             counters.inc(builtin::MAP_TASK_ATTEMPTS);
-            let aid = TaskAttemptId { job: jid, kind: TaskKind::Map, task, attempt };
+            let aid = TaskAttemptId { job: jid, kind: TaskKind::Map, task: task as u32, attempt };
             if cluster.injector().should_fail(aid) {
                 counters.inc(builtin::FAILED_ATTEMPTS);
+                let fails = board.failures[task].fetch_add(1, Ordering::SeqCst) + 1;
+                if fails >= max_attempts {
+                    return Err(MrError::TaskFailed {
+                        task: format!("job{jid}/map{task}"),
+                        attempts: max_attempts,
+                    });
+                }
                 continue;
             }
-            return self.map_attempt(
+            let run_started = Instant::now();
+            board.note_start(task, me.0, run_started);
+            let scratch = Counters::new();
+            let body = self.map_body(
                 jid,
-                task,
+                task as u32,
                 attempt,
-                node_id,
+                me,
                 split,
                 spec,
-                counters,
+                &scratch,
                 cache_prefix,
-                charges,
+                cluster.telemetry(),
             );
+            board.note_end(task, me.0);
+            let (partition_charges, mut span) = body?;
+            if board.try_win(task, attempt) {
+                let mut task_charge = 0u64;
+                for (p, c) in partition_charges.iter().enumerate() {
+                    charges[task * spec.num_reducers + p].store(*c, Ordering::Relaxed);
+                    task_charge += c;
+                }
+                cluster.charge_intermediate(task_charge);
+                map_sites[task].store(me.0, Ordering::SeqCst);
+                commit_scratch(counters, &scratch);
+                drop(span);
+                board.finish(run_started.elapsed().as_micros() as u64);
+                if is_backup {
+                    counters.inc(builtin::SPECULATIVE_WON);
+                    cluster
+                        .telemetry()
+                        .event("speculative.win", format!("backup of map task {task} won on {me}"));
+                }
+                let _ = cluster.note_task_completion();
+                cluster.check_intermediate_capacity()?;
+            } else {
+                span.cancel();
+            }
+            return Ok(());
         }
-        Err(MrError::TaskFailed { task: format!("job{jid}/map{task}"), attempts: max_attempts })
     }
 
+    /// Body of one map attempt: read split, map, spill-merge, sort,
+    /// combine, write partition files to the local store. Returns the
+    /// per-partition extra charges and the (still-open) task span; nothing
+    /// globally visible is published here — that is the committer's job.
     #[allow(clippy::too_many_arguments)]
-    fn map_attempt<M, R>(
+    fn map_body<M, R>(
         &self,
         jid: u32,
         task: u32,
@@ -334,18 +656,17 @@ impl<'c> Engine<'c> {
         node_id: NodeId,
         split: &pmr_cluster::InputSplit,
         spec: &JobSpec<M, R>,
-        counters: &Counters,
+        scratch: &Counters,
         cache_prefix: &str,
-        charges: &[AtomicU64],
-    ) -> Result<()>
+        telemetry: &Telemetry,
+    ) -> Result<(Vec<u64>, Span)>
     where
         M: Mapper,
         R: Reducer<KIn = M::KOut, VIn = M::VOut>,
     {
         let cluster = self.cluster;
         let node = cluster.node(node_id);
-        let mut span =
-            cluster.telemetry().span(&spec.name, SpanKind::Map, task, attempt, node_id.0);
+        let mut span = telemetry.span(&spec.name, SpanKind::Map, task, attempt, node_id.0);
         let mut lap_at = Instant::now();
         let data = cluster.dfs().read_range_from(
             &split.path,
@@ -369,10 +690,10 @@ impl<'c> Engine<'c> {
             error: std::cell::RefCell::new(None),
         };
         let mut ctx: MapContext<'_, M::KOut, M::VOut> =
-            MapContext::new(&mut partitions, spec.partitioner.as_ref(), counters, &cache)
+            MapContext::new(&mut partitions, spec.partitioner.as_ref(), scratch, &cache)
                 .with_spilling(spec.sort_buffer_bytes, &sink);
         for raw in records {
-            counters.inc(builtin::MAP_INPUT_RECORDS);
+            scratch.inc(builtin::MAP_INPUT_RECORDS);
             let k = M::KIn::from_bytes(raw.key)?;
             let v = M::VIn::from_bytes(raw.value)?;
             spec.mapper.map(k, v, &mut ctx)?;
@@ -380,30 +701,20 @@ impl<'c> Engine<'c> {
         let output_bytes = ctx.take_output_bytes();
         let moved_bytes = ctx.take_moved_bytes();
         let partition_charges = ctx.take_partition_charges();
-        counters.add(builtin::MAP_OUTPUT_BYTES, output_bytes);
-        counters.add(builtin::MAP_OUTPUT_MOVED_BYTES, moved_bytes);
+        scratch.add(builtin::MAP_OUTPUT_BYTES, output_bytes);
+        scratch.add(builtin::MAP_OUTPUT_MOVED_BYTES, moved_bytes);
         span.add_bytes_out(output_bytes);
         span.lap("map", &mut lap_at);
         if let Some(e) = sink.error.borrow_mut().take() {
             return Err(e);
         }
-        // Publish this task's per-partition extra charges (`store`, not
-        // `add`: a task body runs at most once, but keep it idempotent) and
-        // bill the unmaterialized bytes against the intermediate-storage
-        // cap — released in `cleanup`.
-        let mut task_charge = 0u64;
-        for (p, c) in partition_charges.iter().enumerate() {
-            charges[task as usize * spec.num_reducers + p].store(*c, Ordering::Relaxed);
-            task_charge += c;
-        }
-        cluster.charge_intermediate(task_charge);
 
         // Merge spill runs back into the in-memory buffers (k-way merge of
         // sorted runs, modeled as read + merge by concatenation + re-sort;
         // the final per-partition sort below produces the merged order).
         let runs = sink.runs.get();
         if runs > 0 {
-            counters.add(builtin::MERGED_RUNS, runs as u64);
+            scratch.add(builtin::MERGED_RUNS, runs as u64);
             for (p, part) in partitions.iter_mut().enumerate() {
                 for run in 0..runs {
                     let name = format!("mr/{jid}/m/{task}/spill/{run}/p/{p}");
@@ -434,12 +745,12 @@ impl<'c> Engine<'c> {
                     while j < part.len() && part[j].key == part[i].key {
                         j += 1;
                     }
-                    counters.add(builtin::COMBINE_INPUT_RECORDS, (j - i) as u64);
+                    scratch.add(builtin::COMBINE_INPUT_RECORDS, (j - i) as u64);
                     let key = part[i].key.clone();
                     let vals: Vec<bytes::Bytes> =
                         part[i..j].iter().map(|r| r.value.clone()).collect();
                     let combined = comb.combine(key, vals);
-                    counters.add(builtin::COMBINE_OUTPUT_RECORDS, combined.len() as u64);
+                    scratch.add(builtin::COMBINE_OUTPUT_RECORDS, combined.len() as u64);
                     out.extend(combined);
                     i = j;
                 }
@@ -450,28 +761,32 @@ impl<'c> Engine<'c> {
             for rec in part.iter() {
                 rec.write_framed(&mut buf);
             }
-            counters.add(builtin::SPILLED_RECORDS, part.len() as u64);
+            scratch.add(builtin::SPILLED_RECORDS, part.len() as u64);
             span.add_records_out(part.len() as u64);
             node.write_local(&format!("mr/{jid}/m/{task}/p/{p}"), buf.freeze())?;
         }
         span.lap("sort", &mut lap_at);
-        cluster.check_intermediate_capacity()?;
-        Ok(())
+        Ok((partition_charges, span))
     }
 
-    /// Retry wrapper + body of one reduce task.
+    /// Retry wrapper + commit protocol of one reduce task on one node.
     #[allow(clippy::too_many_arguments)]
-    fn run_reduce_task<M, R>(
+    fn drive_reduce<M, R>(
         &self,
         jid: u32,
-        task: u32,
-        node_id: NodeId,
+        task: usize,
+        me: NodeId,
+        is_backup: bool,
+        board: &PhaseBoard,
+        map_board: &PhaseBoard,
         num_maps: usize,
-        map_assignment: &[NodeId],
+        splits: &[pmr_cluster::InputSplit],
         spec: &JobSpec<M, R>,
         counters: &Counters,
         cache_prefix: &str,
         charges: &[AtomicU64],
+        map_sites: &[AtomicU32],
+        recovery: &[Mutex<()>],
     ) -> Result<()>
     where
         M: Mapper,
@@ -479,43 +794,97 @@ impl<'c> Engine<'c> {
     {
         let cluster = self.cluster;
         let max_attempts = cluster.config().max_task_attempts.max(1);
-        for attempt in 0..max_attempts {
+        loop {
+            if !board.is_open(task) {
+                return Ok(());
+            }
+            if !cluster.is_alive(me) {
+                return Err(ClusterError::NodeDead(me).into());
+            }
+            let attempt = board.next_attempt[task].fetch_add(1, Ordering::SeqCst);
             counters.inc(builtin::REDUCE_TASK_ATTEMPTS);
-            let aid = TaskAttemptId { job: jid, kind: TaskKind::Reduce, task, attempt };
+            let aid =
+                TaskAttemptId { job: jid, kind: TaskKind::Reduce, task: task as u32, attempt };
             if cluster.injector().should_fail(aid) {
                 counters.inc(builtin::FAILED_ATTEMPTS);
+                let fails = board.failures[task].fetch_add(1, Ordering::SeqCst) + 1;
+                if fails >= max_attempts {
+                    return Err(MrError::TaskFailed {
+                        task: format!("job{jid}/reduce{task}"),
+                        attempts: max_attempts,
+                    });
+                }
                 continue;
             }
-            return self.reduce_attempt(
+            let run_started = Instant::now();
+            board.note_start(task, me.0, run_started);
+            let scratch = Counters::new();
+            let body = self.reduce_body(
                 jid,
-                task,
+                task as u32,
                 attempt,
-                node_id,
+                me,
+                map_board,
                 num_maps,
-                map_assignment,
+                splits,
                 spec,
+                &scratch,
                 counters,
                 cache_prefix,
                 charges,
+                map_sites,
+                recovery,
             );
+            board.note_end(task, me.0);
+            let mut done = body?;
+            if board.try_win(task, attempt) {
+                // Only the winner touches the DFS output path, so a losing
+                // sibling can never clobber or merge into committed output.
+                // The delete keeps re-running a whole job over the same
+                // output directory idempotent.
+                let path = format!("{}/part-{task:05}", spec.output);
+                cluster.dfs().delete(&path);
+                cluster.dfs().create_with_records(&path, done.out, Some(done.offsets))?;
+                done.span.lap("write", &mut done.lap_at);
+                commit_scratch(counters, &scratch);
+                drop(done.span);
+                board.finish(run_started.elapsed().as_micros() as u64);
+                if is_backup {
+                    counters.inc(builtin::SPECULATIVE_WON);
+                    cluster.telemetry().event(
+                        "speculative.win",
+                        format!("backup of reduce task {task} won on {me}"),
+                    );
+                }
+                let _ = cluster.note_task_completion();
+            } else {
+                done.span.cancel();
+            }
+            return Ok(());
         }
-        Err(MrError::TaskFailed { task: format!("job{jid}/reduce{task}"), attempts: max_attempts })
     }
 
+    /// Body of one reduce attempt: shuffle (with lost-map recovery), sort,
+    /// reduce. The output is returned, not written — the committer writes
+    /// the DFS part file only for the winning attempt.
     #[allow(clippy::too_many_arguments)]
-    fn reduce_attempt<M, R>(
+    fn reduce_body<M, R>(
         &self,
         jid: u32,
         task: u32,
         attempt: u32,
         node_id: NodeId,
+        map_board: &PhaseBoard,
         num_maps: usize,
-        map_assignment: &[NodeId],
+        splits: &[pmr_cluster::InputSplit],
         spec: &JobSpec<M, R>,
-        counters: &Counters,
+        scratch: &Counters,
+        job_counters: &Counters,
         cache_prefix: &str,
         charges: &[AtomicU64],
-    ) -> Result<()>
+        map_sites: &[AtomicU32],
+        recovery: &[Mutex<()>],
+    ) -> Result<ReduceDone>
     where
         M: Mapper,
         R: Reducer<KIn = M::KOut, VIn = M::VOut>,
@@ -526,33 +895,55 @@ impl<'c> Engine<'c> {
         let mut span = telemetry.span(&spec.name, SpanKind::Reduce, task, attempt, node_id.0);
         let mut lap_at = Instant::now();
 
-        // Shuffle: fetch this task's partition from every map output. Each
-        // transfer physically moves the partition file but is *charged* the
-        // file plus the map task's extra charge for this partition, so the
-        // paper's communication-cost series is unchanged by id-only emits.
+        // Shuffle: fetch this task's partition from every map output's
+        // committed site. Each transfer physically moves the partition file
+        // but is *charged* the file plus the map task's extra charge for
+        // this partition, so the paper's communication-cost series is
+        // unchanged by id-only emits. A dead site (NodeDead — distinct
+        // from NoSuchFile, which a live node returns for a genuinely empty
+        // partition) triggers re-execution of the lost map task here.
         let mut records: Vec<RawRecord> = Vec::new();
         let mut fetched_bytes = 0u64;
-        for (m, &src) in map_assignment.iter().enumerate().take(num_maps) {
+        for m in 0..num_maps {
             let name = format!("mr/{jid}/m/{m}/p/{task}");
-            match cluster.node(src).read_local(&name) {
-                Ok(data) => {
-                    let moved = data.len() as u64;
-                    let extra =
-                        charges[m * spec.num_reducers + task as usize].load(Ordering::Relaxed);
-                    counters.add(builtin::SHUFFLE_BYTES, moved + extra);
-                    counters.add(builtin::SHUFFLE_MOVED_BYTES, moved);
-                    fetched_bytes += moved + extra;
-                    cluster.traffic().record_with_charge(
-                        &cluster.config().network,
-                        src,
-                        node_id,
-                        moved,
-                        moved + extra,
-                    );
-                    records.extend(decode_raw_stream(data)?);
+            loop {
+                let src = NodeId(map_sites[m].load(Ordering::SeqCst));
+                match cluster.node(src).read_local(&name) {
+                    Ok(data) => {
+                        let moved = data.len() as u64;
+                        let extra =
+                            charges[m * spec.num_reducers + task as usize].load(Ordering::Relaxed);
+                        scratch.add(builtin::SHUFFLE_BYTES, moved + extra);
+                        scratch.add(builtin::SHUFFLE_MOVED_BYTES, moved);
+                        fetched_bytes += moved + extra;
+                        cluster.traffic().record_with_charge(
+                            &cluster.config().network,
+                            src,
+                            node_id,
+                            moved,
+                            moved + extra,
+                        );
+                        records.extend(decode_raw_stream(data)?);
+                        break;
+                    }
+                    Err(ClusterError::NoSuchFile(_)) => break, // empty partition on a live node
+                    Err(ClusterError::NodeDead(_)) => {
+                        self.recover_map_output(
+                            jid,
+                            m,
+                            node_id,
+                            map_board,
+                            splits,
+                            spec,
+                            job_counters,
+                            cache_prefix,
+                            charges,
+                            map_sites,
+                            recovery,
+                        )?;
+                    }
+                    Err(e) => return Err(e.into()),
                 }
-                Err(ClusterError::NoSuchFile(_)) => {} // empty partition
-                Err(e) => return Err(e.into()),
             }
         }
         span.add_bytes_in(fetched_bytes);
@@ -580,32 +971,88 @@ impl<'c> Engine<'c> {
             }
             let group_bytes: u64 = records[i..j].iter().map(|r| r.framed_len() as u64).sum();
             gauge.try_reserve(group_bytes)?;
-            counters.inc(builtin::REDUCE_INPUT_GROUPS);
-            counters.add(builtin::REDUCE_INPUT_RECORDS, (j - i) as u64);
+            scratch.inc(builtin::REDUCE_INPUT_GROUPS);
+            scratch.add(builtin::REDUCE_INPUT_RECORDS, (j - i) as u64);
             telemetry.record_value(hist::GROUP_SIZE, (j - i) as u64);
             let key = R::KIn::from_bytes(records[i].key.clone())?;
             let values: Values<'_, R::VIn> = Values::new(&records[i..j]);
             let mut ctx: ReduceContext<'_, R::KOut, R::VOut> =
-                ReduceContext::new(&mut out, &mut offsets, counters, &cache, &gauge);
+                ReduceContext::new(&mut out, &mut offsets, scratch, &cache, &gauge);
             spec.reducer.reduce(key, values, &mut ctx)?;
             gauge.release(group_bytes);
             i = j;
         }
-        counters.record_max(WS_PEAK_COUNTER, gauge.peak());
+        scratch.record_max(WS_PEAK_COUNTER, gauge.peak());
         span.record_peak_working_set(gauge.peak());
         span.lap("reduce", &mut lap_at);
 
-        // Write this task's output part file to the DFS.
-        let path = format!("{}/part-{task:05}", spec.output);
-        counters.add(builtin::REDUCE_OUTPUT_BYTES, out.len() as u64);
+        scratch.add(builtin::REDUCE_OUTPUT_BYTES, out.len() as u64);
         span.add_bytes_out(out.len() as u64);
         span.add_records_out(offsets.len() as u64);
-        let data = out.freeze();
-        // Re-running a reduce after a sibling task's failure may find the
-        // part file already present; replace it for idempotence.
-        cluster.dfs().delete(&path);
-        cluster.dfs().create_with_records(&path, data, Some(offsets))?;
-        span.lap("write", &mut lap_at);
+        Ok(ReduceDone { out: out.freeze(), offsets, span, lap_at })
+    }
+
+    /// Re-executes a committed map task whose output died with its node
+    /// (Dean–Ghemawat recovery), on the calling reducer's node.
+    ///
+    /// The re-run's counters are discarded — the original commit already
+    /// counted the logical work — but its input re-read and the local
+    /// rewrite of the partition files are real recovery costs and are
+    /// charged through the traffic accountant and storage ledgers. The
+    /// per-partition charges it republishes are a deterministic function
+    /// of the task, so the idempotent `store` leaves them unchanged.
+    #[allow(clippy::too_many_arguments)]
+    fn recover_map_output<M, R>(
+        &self,
+        jid: u32,
+        m: usize,
+        me: NodeId,
+        map_board: &PhaseBoard,
+        splits: &[pmr_cluster::InputSplit],
+        spec: &JobSpec<M, R>,
+        job_counters: &Counters,
+        cache_prefix: &str,
+        charges: &[AtomicU64],
+        map_sites: &[AtomicU32],
+        recovery: &[Mutex<()>],
+    ) -> Result<()>
+    where
+        M: Mapper,
+        R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+    {
+        let cluster = self.cluster;
+        let _serialized = recovery[m].lock();
+        let site = NodeId(map_sites[m].load(Ordering::SeqCst));
+        if cluster.is_alive(site) {
+            return Ok(()); // another reducer recovered it while we waited
+        }
+        if !cluster.is_alive(me) {
+            return Err(ClusterError::NodeDead(me).into());
+        }
+        job_counters.inc(builtin::MAP_RERUNS);
+        cluster.telemetry().event(
+            "map.rerun",
+            format!("map task {m} re-run on {me}: committed output was lost with {site}"),
+        );
+        let attempt = map_board.next_attempt[m].fetch_add(1, Ordering::SeqCst);
+        let scratch = Counters::new();
+        let disabled = Telemetry::disabled();
+        let (partition_charges, span) = self.map_body(
+            jid,
+            m as u32,
+            attempt,
+            me,
+            &splits[m],
+            spec,
+            &scratch,
+            cache_prefix,
+            &disabled,
+        )?;
+        drop(span); // disabled telemetry: records nothing
+        for (p, c) in partition_charges.iter().enumerate() {
+            charges[m * spec.num_reducers + p].store(*c, Ordering::Relaxed);
+        }
+        map_sites[m].store(me.0, Ordering::SeqCst);
         Ok(())
     }
 }

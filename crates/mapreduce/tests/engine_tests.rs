@@ -400,6 +400,157 @@ fn sort_buffer_with_combiner_still_correct() {
     assert_eq!(results, expected_counts());
 }
 
+/// Logical (exactly-once) counters that must not move under retries,
+/// chaos, or speculation — only attempt/recovery bookkeeping may differ.
+const LOGICAL_COUNTERS: &[&str] = &[
+    builtin::MAP_INPUT_RECORDS,
+    builtin::MAP_OUTPUT_RECORDS,
+    builtin::MAP_OUTPUT_BYTES,
+    builtin::SHUFFLE_BYTES,
+    builtin::REDUCE_INPUT_GROUPS,
+    builtin::REDUCE_INPUT_RECORDS,
+    builtin::REDUCE_OUTPUT_RECORDS,
+    builtin::REDUCE_OUTPUT_BYTES,
+];
+
+#[test]
+fn high_failure_rate_matches_failure_free_run() {
+    // A deterministic high-failure run must produce byte-identical output
+    // and identical logical counters to the failure-free run; only the
+    // attempt bookkeeping may differ.
+    let run = |p: f64| {
+        let mut cfg = ClusterConfig::with_nodes(4).failure_probability(p).seed(90210);
+        cfg.max_task_attempts = 25;
+        let cluster = Cluster::new(cfg);
+        let inputs = write_sharded(&cluster, "in", 4, word_corpus()).unwrap();
+        let engine = Engine::new(&cluster);
+        let out = engine
+            .run(JobSpec::new("wc-chaotic", inputs, "out", TokenizeMapper, SumReducer, 3))
+            .unwrap();
+        let mut results: Vec<(String, u64)> = read_output(&cluster, "out").unwrap();
+        results.sort();
+        (results, out.counters)
+    };
+    let (clean, clean_counters) = run(0.0);
+    let (flaky, flaky_counters) = run(0.45);
+    assert_eq!(clean, expected_counts());
+    assert_eq!(flaky, clean, "failures must be invisible in the output");
+    assert!(
+        flaky_counters.get(builtin::FAILED_ATTEMPTS).copied().unwrap_or(0) > 0,
+        "seed produced no failures; pick another seed"
+    );
+    for name in LOGICAL_COUNTERS {
+        assert_eq!(
+            flaky_counters.get(*name),
+            clean_counters.get(*name),
+            "{name} must count logical work exactly once despite retries"
+        );
+    }
+}
+
+#[test]
+fn node_crashes_recover_with_identical_output() {
+    // Seeded chaos: one node dies mid-job; results and logical counters
+    // must match the healthy run exactly, and the crash must be counted.
+    let clean = {
+        let cluster = Cluster::new(ClusterConfig::with_nodes(4));
+        let inputs = write_sharded(&cluster, "in", 8, word_corpus()).unwrap();
+        let out = Engine::new(&cluster)
+            .run(JobSpec::new("wc", inputs, "out", TokenizeMapper, SumReducer, 3))
+            .unwrap();
+        let mut results: Vec<(String, u64)> = read_output(&cluster, "out").unwrap();
+        results.sort();
+        (results, out.counters)
+    };
+    assert_eq!(clean.0, expected_counts());
+    let mut any_rerun = false;
+    for chaos_seed in [3u64, 17, 4242] {
+        let cluster = Cluster::new(ClusterConfig::with_nodes(4).chaos(1, chaos_seed));
+        let inputs = write_sharded(&cluster, "in", 8, word_corpus()).unwrap();
+        let out = Engine::new(&cluster)
+            .run(JobSpec::new("wc", inputs, "out", TokenizeMapper, SumReducer, 3))
+            .unwrap();
+        assert_eq!(cluster.node_crashes(), 1, "seed {chaos_seed}");
+        assert_eq!(out.counters[builtin::NODE_CRASHES], 1, "seed {chaos_seed}");
+        any_rerun |= out.counters.get(builtin::MAP_RERUNS).copied().unwrap_or(0) > 0;
+        let mut results: Vec<(String, u64)> = read_output(&cluster, "out").unwrap();
+        results.sort();
+        assert_eq!(results, clean.0, "seed {chaos_seed}: output must survive the crash");
+        for name in LOGICAL_COUNTERS {
+            assert_eq!(
+                out.counters.get(*name),
+                clean.1.get(*name),
+                "seed {chaos_seed}: {name} must stay exactly-once under a crash"
+            );
+        }
+    }
+    assert!(any_rerun, "no chaos seed exercised map-output recovery; adjust seeds");
+}
+
+#[test]
+fn speculative_backup_preserves_results() {
+    // One map task is much slower than its siblings; with an aggressive
+    // speculation multiplier an idle node launches a backup, and whichever
+    // attempt wins, the committed output and counters are exactly-once.
+    struct SlowShardMapper;
+    impl Mapper for SlowShardMapper {
+        type KIn = u64;
+        type VIn = String;
+        type KOut = String;
+        type VOut = u64;
+        fn map(
+            &self,
+            line_no: u64,
+            line: String,
+            ctx: &mut MapContext<'_, String, u64>,
+        ) -> pmr_mapreduce::Result<()> {
+            if line_no == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(40));
+            }
+            for word in line.split_whitespace() {
+                ctx.emit(word.to_string(), 1);
+            }
+            Ok(())
+        }
+    }
+    let cluster = Cluster::new(ClusterConfig::with_nodes(4).speculation(1.0));
+    let inputs = write_sharded(&cluster, "in", 4, word_corpus()).unwrap();
+    let engine = Engine::new(&cluster);
+    let out = engine
+        .run(JobSpec::new("wc-straggler", inputs, "out", SlowShardMapper, SumReducer, 2))
+        .unwrap();
+    let launched = out.counters.get(builtin::SPECULATIVE_LAUNCHED).copied().unwrap_or(0);
+    let won = out.counters.get(builtin::SPECULATIVE_WON).copied().unwrap_or(0);
+    assert!(launched >= 1, "the straggling map task should get a backup attempt");
+    assert!(won <= launched);
+    let mut results: Vec<(String, u64)> = read_output(&cluster, "out").unwrap();
+    results.sort();
+    assert_eq!(results, expected_counts(), "speculation must not change results");
+    assert_eq!(out.counters[builtin::MAP_OUTPUT_RECORDS], 16, "exactly-once despite backups");
+}
+
+#[test]
+fn chaos_off_runs_report_no_recovery_counters() {
+    // Healthy runs must not grow new counter keys — byte-for-byte metric
+    // parity with pre-chaos reports.
+    let cluster = Cluster::new(ClusterConfig::with_nodes(3));
+    let inputs = write_sharded(&cluster, "in", 2, word_corpus()).unwrap();
+    let out = Engine::new(&cluster)
+        .run(JobSpec::new("wc", inputs, "out", TokenizeMapper, SumReducer, 2))
+        .unwrap();
+    for name in [
+        builtin::NODE_CRASHES,
+        builtin::MAP_RERUNS,
+        builtin::SPECULATIVE_LAUNCHED,
+        builtin::SPECULATIVE_WON,
+    ] {
+        assert!(
+            !out.counters.contains_key(name),
+            "{name} must not appear in a healthy run's counters"
+        );
+    }
+}
+
 #[test]
 fn spills_count_against_node_storage() {
     // Spill runs live in node-local storage until merged, so a node storage

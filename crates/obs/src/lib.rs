@@ -30,7 +30,7 @@ pub use histogram::{Histogram, HistogramBucket, HistogramSnapshot};
 pub use json::JsonWriter;
 pub use report::{NodeTimeline, RunReport};
 pub use telemetry::{
-    JobPhase, LinkStats, PhaseGuard, PlacementStats, Span, SpanKind, TaskSpan, Telemetry,
+    JobPhase, LinkStats, PhaseGuard, PlacementStats, RunEvent, Span, SpanKind, TaskSpan, Telemetry,
 };
 
 /// Well-known histogram names recorded by the engine and runners.

@@ -4,7 +4,7 @@
 
 use crate::histogram::HistogramSnapshot;
 use crate::json::JsonWriter;
-use crate::telemetry::{JobPhase, LinkStats, PlacementStats, TaskSpan};
+use crate::telemetry::{JobPhase, LinkStats, PlacementStats, RunEvent, TaskSpan};
 
 /// Busy/idle picture of one node, derived from its task spans.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -45,11 +45,15 @@ pub struct RunReport {
     pub placements: Vec<(u32, PlacementStats)>,
     /// Named histograms, ascending by name.
     pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Discrete run events (crashes, recoveries, speculation) in recorded
+    /// order.
+    pub events: Vec<RunEvent>,
 }
 
 impl RunReport {
     /// Builds a report from sink contents (called by
     /// [`crate::Telemetry::report`]): sorts spans, derives node timelines.
+    #[allow(clippy::too_many_arguments)]
     pub fn assemble(
         meta: Vec<(String, String)>,
         wall_time_us: u64,
@@ -58,6 +62,7 @@ impl RunReport {
         transfers: Vec<(u32, u32, LinkStats)>,
         placements: Vec<(u32, PlacementStats)>,
         histograms: Vec<(String, HistogramSnapshot)>,
+        events: Vec<RunEvent>,
     ) -> RunReport {
         task_spans.sort_by(|a, b| {
             (&a.job, a.kind, a.task, a.attempt).cmp(&(&b.job, b.kind, b.task, b.attempt))
@@ -73,6 +78,7 @@ impl RunReport {
             transfers,
             placements,
             histograms,
+            events,
         }
     }
 
@@ -124,7 +130,7 @@ impl RunReport {
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_object();
-        w.str_field("schema", "pmr.run_report/2");
+        w.str_field("schema", "pmr.run_report/3");
         w.u64_field("wall_time_us", self.wall_time_us);
 
         w.begin_object_key("meta");
@@ -221,6 +227,16 @@ impl RunReport {
             w.u64_field("node", *node as u64);
             w.u64_field("blocks", p.blocks);
             w.u64_field("bytes", p.bytes);
+            w.end_object();
+        }
+        w.end_array();
+
+        w.begin_array_key("events");
+        for e in &self.events {
+            w.begin_object();
+            w.u64_field("at_us", e.at_us);
+            w.str_field("kind", e.kind);
+            w.str_field("detail", &e.detail);
             w.end_object();
         }
         w.end_array();
@@ -334,6 +350,7 @@ mod tests {
             vec![],
             vec![],
             vec![],
+            vec![],
         );
         assert_eq!(r.straggler().unwrap().task, 1);
     }
@@ -371,9 +388,12 @@ mod tests {
         let mut r = RunReport::default();
         r.meta.push(("scheme".into(), "design(q=7)".into()));
         r.merge_counters([("mr.shuffle.bytes", 42)]);
+        r.events.push(RunEvent { at_us: 5, kind: "node.crash", detail: "node_0 crashed".into() });
         let json = r.to_json();
         for needle in [
-            "\"schema\": \"pmr.run_report/2\"",
+            "\"schema\": \"pmr.run_report/3\"",
+            "\"events\"",
+            "\"kind\": \"node.crash\"",
             "\"meta\"",
             "\"counters\"",
             "\"job_phases\"",

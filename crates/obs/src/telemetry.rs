@@ -100,6 +100,19 @@ pub struct JobPhase {
     pub bytes_moved: u64,
 }
 
+/// One discrete run event (node crash, map re-run, speculative launch…),
+/// timestamped on the shared telemetry axis.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunEvent {
+    /// When the event happened, µs since the telemetry epoch.
+    pub at_us: u64,
+    /// Stable event kind ("node.crash", "map.rerun",
+    /// "speculative.launch", "speculative.win").
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
 /// Aggregated traffic over one directed node pair.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LinkStats {
@@ -128,6 +141,7 @@ struct SinkState {
     transfers: BTreeMap<(u32, u32), LinkStats>,
     placements: BTreeMap<u32, PlacementStats>,
     histograms: BTreeMap<String, Histogram>,
+    events: Vec<RunEvent>,
 }
 
 #[derive(Debug)]
@@ -224,6 +238,15 @@ impl Telemetry {
         }
     }
 
+    /// Records a discrete run event (crash, recovery, speculation)
+    /// timestamped now.
+    pub fn event(&self, kind: &'static str, detail: String) {
+        if let Some(sink) = &self.0 {
+            let at_us = sink.epoch.elapsed().as_micros() as u64;
+            sink.lock().events.push(RunEvent { at_us, kind, detail });
+        }
+    }
+
     /// Records one DFS block replica placed on `node`.
     pub fn placement(&self, node: u32, bytes: u64) {
         if let Some(sink) = &self.0 {
@@ -265,6 +288,7 @@ impl Telemetry {
             st.transfers.iter().map(|(&(s, d), &l)| (s, d, l)).collect(),
             st.placements.iter().map(|(&n, &p)| (n, p)).collect(),
             st.histograms.iter().map(|(k, h)| (k.clone(), h.snapshot())).collect(),
+            st.events.clone(),
         )
     }
 }
@@ -369,6 +393,13 @@ impl Span {
             inner.data.labels.push((key.to_string(), value.to_string()));
         }
     }
+
+    /// Discards the span: nothing is recorded on drop. Used for task
+    /// attempts that lose a speculative race — their work never becomes
+    /// part of the run's accounting.
+    pub fn cancel(&mut self) {
+        self.0 = None;
+    }
 }
 
 impl Drop for Span {
@@ -439,6 +470,28 @@ mod tests {
         assert_eq!(r.placements, vec![(1, PlacementStats { blocks: 1, bytes: 64 })]);
         assert_eq!(r.histograms[0].0, "group.size");
         assert_eq!(r.histograms[0].1.count, 1);
+    }
+
+    #[test]
+    fn events_are_recorded_in_order() {
+        let t = Telemetry::enabled();
+        t.event("node.crash", "node_1 crashed".to_string());
+        t.event("map.rerun", "map 3 re-run on node_0".to_string());
+        let r = t.report();
+        assert_eq!(r.events.len(), 2);
+        assert_eq!(r.events[0].kind, "node.crash");
+        assert_eq!(r.events[1].kind, "map.rerun");
+        assert!(r.events[0].at_us <= r.events[1].at_us);
+    }
+
+    #[test]
+    fn cancelled_span_records_nothing() {
+        let t = Telemetry::enabled();
+        let mut span = t.span("j", SpanKind::Map, 0, 1, 2);
+        span.add_bytes_in(100);
+        span.cancel();
+        drop(span);
+        assert!(t.report().task_spans.is_empty());
     }
 
     #[test]

@@ -1,13 +1,13 @@
 //! Golden-file test for the RunReport JSON serialization: a fully
 //! populated, hand-assembled report must serialize byte-for-byte to the
 //! checked-in `tests/golden/run_report.json`. Consumers parse this format
-//! (schema tag `pmr.run_report/2`), so any change to the writer or the
+//! (schema tag `pmr.run_report/3`), so any change to the writer or the
 //! report layout must show up as a reviewed diff of the golden file.
 //!
 //! To regenerate after an intentional format change:
 //! `UPDATE_GOLDEN=1 cargo test -p pmr-obs --test golden_report`
 
-use pmr_obs::telemetry::{JobPhase, LinkStats, PlacementStats, TaskSpan};
+use pmr_obs::telemetry::{JobPhase, LinkStats, PlacementStats, RunEvent, TaskSpan};
 use pmr_obs::{Histogram, RunReport};
 
 /// Deterministic report exercising every section and value shape the
@@ -108,6 +108,20 @@ fn sample_report() -> RunReport {
         vec![
             ("reduce.group_size".into(), groups.snapshot()),
             ("shuffle.bytes_per_partition".into(), shuffle.snapshot()),
+        ],
+        vec![
+            RunEvent {
+                at_us: 450,
+                kind: "node.crash",
+                detail: "node_2 crashed: lost 3 local files (1024 B); \
+                         re-replicated 2 DFS blocks (2048 B)"
+                    .into(),
+            },
+            RunEvent {
+                at_us: 610,
+                kind: "map.rerun",
+                detail: "map task 0 re-run on node_1 (output lost with node_2)".into(),
+            },
         ],
     );
     report.merge_counters([
