@@ -2,11 +2,13 @@
 
 use std::collections::BTreeMap;
 
-/// Parsed command line: a subcommand plus `--key value` flags.
+/// Parsed command line: a subcommand plus positional arguments and
+/// `--key value` flags.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Args {
     /// The subcommand (first positional argument).
     pub command: String,
+    positionals: Vec<String>,
     flags: BTreeMap<String, String>,
 }
 
@@ -23,21 +25,48 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 impl Args {
-    /// Parses `argv[1..]`: one subcommand followed by `--key value` pairs.
+    /// Parses `argv[1..]`: one subcommand followed by positionals and
+    /// `--key value` pairs, in any order. Commands that take no
+    /// positionals reject them via [`Args::no_positionals`].
     pub fn parse(argv: impl IntoIterator<Item = String>) -> Result<Args, ArgError> {
         let mut it = argv.into_iter();
         let command = it.next().unwrap_or_default();
+        let mut positionals = Vec::new();
         let mut flags = BTreeMap::new();
         while let Some(arg) = it.next() {
-            let key = arg
-                .strip_prefix("--")
-                .ok_or_else(|| ArgError(format!("expected --flag, got '{arg}'")))?;
+            let Some(key) = arg.strip_prefix("--") else {
+                positionals.push(arg);
+                continue;
+            };
             let value = it.next().ok_or_else(|| ArgError(format!("flag --{key} needs a value")))?;
             if flags.insert(key.to_string(), value).is_some() {
                 return Err(ArgError(format!("flag --{key} given twice")));
             }
         }
-        Ok(Args { command, flags })
+        Ok(Args { command, positionals, flags })
+    }
+
+    /// The `i`-th positional argument after the subcommand, if present.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
+    }
+
+    /// A required positional argument, named for the error message.
+    pub fn required_positional(&self, i: usize, name: &str) -> Result<&str, ArgError> {
+        self.positional(i).ok_or_else(|| ArgError(format!("missing argument <{name}>")))
+    }
+
+    /// Rejects stray positional arguments beyond the first `allowed`.
+    pub fn max_positionals(&self, allowed: usize) -> Result<(), ArgError> {
+        match self.positionals.get(allowed) {
+            None => Ok(()),
+            Some(extra) => Err(ArgError(format!("unexpected argument '{extra}'"))),
+        }
+    }
+
+    /// Rejects any positional argument (most commands take only flags).
+    pub fn no_positionals(&self) -> Result<(), ArgError> {
+        self.max_positionals(0)
     }
 
     /// A required string flag.
@@ -128,12 +157,28 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        assert!(args("run v 10").is_err()); // not --v
+        assert!(args("run v 10").unwrap().no_positionals().is_err()); // not --v
         assert!(args("run --v").is_err()); // missing value
         assert!(args("run --v 1 --v 2").is_err()); // duplicate
         let a = args("run --bogus 1").unwrap();
         assert!(a.check_known(&["v"]).is_err());
         assert!(a.required("v").is_err());
+    }
+
+    #[test]
+    fn positionals_are_collected_in_order() {
+        let a = args("trace diff a.json b.json --chrome out.json").unwrap();
+        assert_eq!(a.command, "trace");
+        assert_eq!(a.positional(0), Some("diff"));
+        assert_eq!(a.positional(1), Some("a.json"));
+        assert_eq!(a.positional(2), Some("b.json"));
+        assert_eq!(a.positional(3), None);
+        assert_eq!(a.required("chrome").unwrap(), "out.json");
+        assert!(a.required_positional(3, "extra").is_err());
+        assert!(a.max_positionals(3).is_ok());
+        assert!(a.max_positionals(2).is_err());
+        assert!(a.no_positionals().is_err());
+        assert!(args("plan --v 10").unwrap().no_positionals().is_ok());
     }
 
     #[test]

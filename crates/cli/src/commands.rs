@@ -15,7 +15,7 @@ use pmr_core::scheme::{
     PairedBlockScheme,
 };
 use pmr_designs::primes::smallest_plane_order;
-use pmr_obs::Telemetry;
+use pmr_obs::{export, RunReport, Telemetry, TraceDiff};
 
 use crate::args::{ArgError, Args};
 use crate::data::{read_vectors, write_results, write_vectors};
@@ -57,6 +57,11 @@ COMMANDS
               --scheme NAME --v N [--h N] [--tasks N]
   table1    print the paper's Table 1 for given parameters
               --v N [--nodes N] [--h N]
+  trace     inspect run reports written with `run --report`
+              analyze FILE        critical path, skew, and straggler summary
+              export FILE --chrome OUT
+                                  write a Chrome-trace JSON (chrome://tracing)
+              diff A B            compare critical paths of two runs
   help      this text
 ";
 
@@ -68,6 +73,7 @@ pub fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "plan" => plan(args),
         "verify" => verify(args),
         "table1" => table1(args),
+        "trace" => trace(args),
         other => {
             Err(Box::new(ArgError(format!("unknown command '{other}' (try 'pairwise help')"))))
         }
@@ -93,6 +99,7 @@ fn scheme_from_args(
 }
 
 fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.no_positionals()?;
     args.check_known(&[
         "input",
         "comp",
@@ -208,6 +215,7 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn generate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.no_positionals()?;
     args.check_known(&["kind", "n", "dim", "seed", "output"])?;
     let n = args.num_or("n", 200usize)?;
     let dim = args.num_or("dim", 3usize)?;
@@ -231,6 +239,7 @@ fn generate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn plan(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.no_positionals()?;
     args.check_known(&["v", "element-bytes", "maxws", "maxis", "nodes", "comp-us"])?;
     let v: u64 = args.required_num("v")?;
     let s = args.bytes_or("element-bytes", 0)?;
@@ -275,6 +284,7 @@ fn plan(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn verify(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.no_positionals()?;
     args.check_known(&["scheme", "v", "h", "tasks"])?;
     let v: u64 = args.required_num("v")?;
     let scheme = scheme_from_args(args, v)?;
@@ -293,6 +303,7 @@ fn verify(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn table1(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.no_positionals()?;
     args.check_known(&["v", "nodes", "h"])?;
     let v: u64 = args.required_num("v")?;
     let n = args.num_or("nodes", 16u64)?;
@@ -315,6 +326,64 @@ fn table1(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             m.working_set_size,
             m.evaluations_per_task
         )?;
+    }
+    Ok(())
+}
+
+fn load_report(path: &str) -> Result<RunReport, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ArgError(format!("cannot read report '{path}': {e}")))?;
+    let report =
+        RunReport::from_json(&text).map_err(|e| ArgError(format!("bad report '{path}': {e}")))?;
+    Ok(report)
+}
+
+fn trace(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let action = args.required_positional(0, "analyze | export | diff")?;
+    match action {
+        "analyze" => {
+            args.max_positionals(2)?;
+            args.check_known(&[])?;
+            let report = load_report(args.required_positional(1, "report.json")?)?;
+            print!("{}", export::text_summary(&report));
+        }
+        "export" => {
+            args.max_positionals(2)?;
+            args.check_known(&["chrome"])?;
+            let path = args.required_positional(1, "report.json")?;
+            let report = load_report(path)?;
+            let out = args.required("chrome")?;
+            std::fs::write(out, export::chrome_trace(&report))?;
+            eprintln!(
+                "wrote Chrome trace for {path} ({} trace events) to {out} — \
+                 open with chrome://tracing or https://ui.perfetto.dev",
+                report.trace.len()
+            );
+        }
+        "diff" => {
+            args.max_positionals(3)?;
+            args.check_known(&[])?;
+            let a = load_report(args.required_positional(1, "a.json")?)?;
+            let b = load_report(args.required_positional(2, "b.json")?)?;
+            let d = TraceDiff::compute(&a, &b);
+            let mut out = std::io::stdout().lock();
+            writeln!(out, "A: {}", d.label_a)?;
+            writeln!(out, "B: {}", d.label_b)?;
+            writeln!(out, "{:<16}{:>14} {:>14}", "", "A [µs]", "B [µs]")?;
+            let row = |name: &str, a: u64, b: u64| format!("{name:<16}{a:>14} {b:>14}");
+            writeln!(out, "{}", row("makespan", d.makespan_us.0, d.makespan_us.1))?;
+            writeln!(out, "{}", row("critical path", d.critical_path_us.0, d.critical_path_us.1))?;
+            writeln!(out, "{}", row("  compute", d.attribution_a.0, d.attribution_b.0))?;
+            writeln!(out, "{}", row("  shuffle", d.attribution_a.1, d.attribution_b.1))?;
+            writeln!(out, "{}", row("  recovery", d.attribution_a.2, d.attribution_b.2))?;
+            writeln!(out, "{}", row("  wait", d.attribution_a.3, d.attribution_b.3))?;
+            writeln!(out, "longer critical path: {}", d.longer_critical_path)?;
+        }
+        other => {
+            return Err(Box::new(ArgError(format!(
+                "unknown trace action '{other}' (analyze | export | diff)"
+            ))))
+        }
     }
     Ok(())
 }
@@ -452,9 +521,52 @@ mod tests {
             )))
             .unwrap();
             let json = std::fs::read_to_string(&json_path).unwrap();
-            assert!(json.contains("\"schema\": \"pmr.run_report/3\""), "{backend}");
+            assert!(json.contains("\"schema\": \"pmr.run_report/4\""), "{backend}");
             assert!(json.contains(&format!("\"backend\": \"{backend}\"")), "{backend}");
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trace_subcommand_analyzes_exports_and_diffs() {
+        let dir = std::env::temp_dir().join(format!("pmr-cli-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("pts.csv");
+        dispatch(&args(&format!(
+            "generate --kind clusters --n 30 --dim 2 --output {}",
+            csv.display()
+        )))
+        .unwrap();
+        let report_a = dir.join("a.json");
+        let report_b = dir.join("b.json");
+        for (h, report) in [(3, &report_a), (6, &report_b)] {
+            dispatch(&args(&format!(
+                "run --input {} --scheme block --h {h} --backend mr --nodes 3 \
+                 --chaos-nodes 1 --chaos-seed 7 --report {} --output {}",
+                csv.display(),
+                report.display(),
+                dir.join("out.tsv").display()
+            )))
+            .unwrap();
+        }
+        dispatch(&args(&format!("trace analyze {}", report_a.display()))).unwrap();
+        let chrome = dir.join("chrome.json");
+        dispatch(&args(&format!(
+            "trace export {} --chrome {}",
+            report_a.display(),
+            chrome.display()
+        )))
+        .unwrap();
+        let trace_json = std::fs::read_to_string(&chrome).unwrap();
+        pmr_obs::JsonValue::parse(&trace_json).expect("chrome trace must be valid JSON");
+        assert!(trace_json.contains("\"traceEvents\""));
+        dispatch(&args(&format!("trace diff {} {}", report_a.display(), report_b.display())))
+            .unwrap();
+        // Stray arguments and missing files are rejected.
+        assert!(dispatch(&args("trace")).is_err());
+        assert!(dispatch(&args("trace frobnicate")).is_err());
+        assert!(dispatch(&args("trace analyze a.json b.json")).is_err());
+        assert!(dispatch(&args("trace analyze /nonexistent/report.json")).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -183,8 +183,10 @@ impl Cluster {
         let (re_blocks, re_bytes) =
             self.dfs.handle_node_crash(id, &self.traffic, &self.config.network);
         self.crashes.fetch_add(1, Ordering::Relaxed);
-        self.telemetry.event(
+        self.telemetry.event_traced(
             "node.crash",
+            id.0,
+            0,
             format!(
                 "{id} crashed: lost {lost_files} local files ({lost_bytes} B); \
                  re-replicated {re_blocks} DFS blocks ({re_bytes} B)"

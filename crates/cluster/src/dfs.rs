@@ -364,6 +364,18 @@ impl Dfs {
                 }
             }
         }
+        drop(files);
+        if blocks_fixed > 0 {
+            self.telemetry.event_traced(
+                "dfs.rereplicate",
+                victim.0,
+                0,
+                format!(
+                    "restored replication after {victim}: {blocks_fixed} blocks \
+                     ({bytes_fixed} B) copied onto live nodes"
+                ),
+            );
+        }
         (blocks_fixed, bytes_fixed)
     }
 

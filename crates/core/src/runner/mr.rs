@@ -405,6 +405,21 @@ fn recovery_counter<'a>(jobs: impl IntoIterator<Item = &'a JobOutput>, name: &st
     jobs.into_iter().map(|j| j.counters.get(name).copied().unwrap_or(0)).sum()
 }
 
+/// Stamps the scheme's closed-form predictions (Table 1) into the report
+/// meta so the skew diagnoser can compare measured working sets and
+/// evaluation counts against what the analysis promised.
+fn record_analytic_meta(telemetry: &Telemetry, scheme: &dyn DistributionScheme, n: u64) {
+    if !telemetry.is_enabled() {
+        return;
+    }
+    let analytic = scheme.metrics(n);
+    telemetry.set_meta("scheme.analytic.working_set", analytic.working_set_size);
+    telemetry.set_meta(
+        "scheme.analytic.evals_per_task",
+        format!("{:.1}", analytic.evaluations_per_task),
+    );
+}
+
 pub(crate) fn run_mr_impl<T, R>(
     cluster: &Cluster,
     scheme: Arc<dyn DistributionScheme>,
@@ -432,6 +447,7 @@ where
     telemetry.set_meta("backend", "mr");
     telemetry.set_meta("symmetry", format!("{symmetry:?}"));
     let n = cluster.num_nodes();
+    record_analytic_meta(&telemetry, scheme.as_ref(), n as u64);
     let dir = &options.dfs_dir;
     let shards = if options.input_shards == 0 { 2 * n } else { options.input_shards };
     // Runner-level I/O gets its own phase track (job `{dir}-io`) so the
@@ -589,6 +605,7 @@ where
     telemetry.set_meta("backend", "mr");
     telemetry.set_meta("symmetry", format!("{symmetry:?}"));
     let n = cluster.num_nodes();
+    record_analytic_meta(&telemetry, scheme, n as u64);
     let dir = &options.dfs_dir;
     // The §5.1 seeding cost: the dataset is broadcast to every node, and
     // the per-node store view resolves against it.

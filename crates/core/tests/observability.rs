@@ -8,7 +8,7 @@ use pmr_core::runner::mr::EVALUATIONS_COUNTER;
 use pmr_core::runner::{comp_fn, Backend, CompFn, PairwiseJob, PairwiseRun};
 use pmr_core::scheme::BlockScheme;
 use pmr_mapreduce::builtin;
-use pmr_obs::{RunReport, Telemetry};
+use pmr_obs::{trace, CriticalPath, RunReport, Telemetry};
 
 fn comp() -> CompFn<u64, u64> {
     comp_fn(|a: &u64, b: &u64| a.wrapping_mul(31) ^ b)
@@ -225,4 +225,130 @@ fn node_timelines_partition_wall_time() {
     // Every span is attributed to some node's timeline.
     let span_count: u64 = report.node_timelines.iter().map(|t| t.tasks).sum();
     assert_eq!(span_count, report.task_spans.len() as u64);
+}
+
+#[test]
+fn disabled_telemetry_run_records_no_trace() {
+    // The default cluster carries a disabled telemetry handle; a full MR
+    // run through it must leave the trace ring untouched.
+    let data: Vec<u64> = (0..32u64).map(|i| i * 17 % 257).collect();
+    let cluster = Cluster::new(ClusterConfig::with_nodes(3));
+    let run = PairwiseJob::new(&data, comp())
+        .scheme(BlockScheme::new(32, 6))
+        .backend(Backend::Mr(&cluster))
+        .run()
+        .unwrap();
+    assert!(run.report.trace.is_empty(), "disabled run must not record trace events");
+    assert_eq!(run.report.trace_dropped, 0);
+    assert!(run.report.events.is_empty());
+    assert!(run.report.task_spans.is_empty());
+}
+
+#[test]
+fn trace_is_totally_ordered_and_mirrors_every_span_and_event() {
+    let run = instrumented_mr_run(48, 3);
+    let report = &run.report;
+    assert!(!report.trace.is_empty());
+    assert_eq!(report.trace_dropped, 0, "small run must fit the trace ring");
+    // Sequence numbers are dense from zero: the ring's push order is the
+    // run's total order.
+    for (i, ev) in report.trace.iter().enumerate() {
+        assert_eq!(ev.seq, i as u64, "trace seq must be dense");
+    }
+    // Every committed span has exactly one start and one commit; every
+    // discrete event is mirrored into the trace verbatim.
+    let count = |kind: &str| report.trace.iter().filter(|e| e.kind == kind).count();
+    assert_eq!(count(trace::kind::TASK_START), report.task_spans.len() + count("task.cancel"));
+    assert_eq!(count(trace::kind::TASK_COMMIT), report.task_spans.len());
+    for ev in &report.events {
+        assert!(
+            report.trace.iter().any(|t| t.kind == ev.kind && t.detail == ev.detail),
+            "event '{}' missing from the trace",
+            ev.kind
+        );
+    }
+}
+
+#[test]
+fn chaos_run_traces_recovery_with_node_and_duration() {
+    let v = 40u64;
+    let data: Vec<u64> = (0..v).map(|i| i * 37 % 101).collect();
+    let mut saw_rerun = false;
+    for chaos_seed in [5u64, 23, 1009] {
+        let cluster = Cluster::new(ClusterConfig::with_nodes(4).chaos(1, chaos_seed))
+            .with_telemetry(Telemetry::enabled());
+        let run = PairwiseJob::new(&data, comp())
+            .scheme(BlockScheme::new(v, 5))
+            .backend(Backend::Mr(&cluster))
+            .run()
+            .unwrap();
+        let report = &run.report;
+        let crashes: Vec<_> = report.trace.iter().filter(|e| e.kind == "node.crash").collect();
+        assert_eq!(crashes.len(), 1, "seed {chaos_seed}");
+        // The crash event is tagged with the victim node, not the sentinel.
+        assert_ne!(crashes[0].node, trace::NONE, "seed {chaos_seed}");
+        // Each recovered map task leaves one timed rerun event on the node
+        // that re-executed it.
+        let reruns: u64 = run.mr.iter().map(|r| r.map_reruns).sum();
+        let traced: Vec<_> = report.trace.iter().filter(|e| e.kind == "map.rerun").collect();
+        assert_eq!(traced.len() as u64, reruns, "seed {chaos_seed}");
+        for ev in &traced {
+            assert_ne!(ev.node, trace::NONE, "seed {chaos_seed}: rerun must name its node");
+            assert!(!ev.detail.is_empty(), "seed {chaos_seed}");
+        }
+        saw_rerun |= !traced.is_empty();
+        // Lost DFS replicas are restored and traced once per crash that
+        // cost blocks.
+        for ev in report.trace.iter().filter(|e| e.kind == "dfs.rereplicate") {
+            assert_ne!(ev.node, trace::NONE, "seed {chaos_seed}");
+        }
+    }
+    assert!(saw_rerun, "no seed exercised a map re-run; pick other seeds");
+}
+
+#[test]
+fn critical_path_is_bounded_by_makespan_and_attribution_tiles_it() {
+    let run = instrumented_mr_run(64, 4);
+    let cp = CriticalPath::from_report(&run.report).expect("instrumented run has spans");
+    assert!(cp.duration_us <= cp.makespan_us, "{} > {}", cp.duration_us, cp.makespan_us);
+    assert_eq!(
+        cp.compute_us + cp.shuffle_us + cp.recovery_us + cp.wait_us,
+        cp.duration_us,
+        "attribution must tile the chain"
+    );
+    assert!(!cp.segments.is_empty());
+    assert_eq!(cp.segments[0].edge, "start");
+    for pair in cp.segments.windows(2) {
+        assert!(pair[0].end_us <= pair[1].start_us, "chain must be contiguous");
+    }
+}
+
+#[test]
+fn single_slot_single_node_critical_path_equals_makespan() {
+    // One node with one map and one reduce slot fully serializes the run,
+    // so the binding chain is the whole run: duration == makespan.
+    let data: Vec<u64> = (0..40u64).map(|i| i * 17 % 257).collect();
+    let mut config = ClusterConfig::with_nodes(1);
+    config.node.map_slots = 1;
+    config.node.reduce_slots = 1;
+    let cluster = Cluster::new(config).with_telemetry(Telemetry::enabled());
+    let run = PairwiseJob::new(&data, comp())
+        .scheme(BlockScheme::new(40, 6))
+        .backend(Backend::Mr(&cluster))
+        .run()
+        .unwrap();
+    let cp = CriticalPath::from_report(&run.report).unwrap();
+    assert_eq!(cp.duration_us, cp.makespan_us, "serialized run: chain must cover the makespan");
+    assert_eq!(cp.segments.len(), run.report.task_spans.len());
+}
+
+#[test]
+fn skew_report_carries_the_analytic_predictions() {
+    let run = instrumented_mr_run(48, 3);
+    let skew = pmr_obs::SkewReport::from_report(&run.report);
+    // The runner stamps Table-1 predictions into the report metadata.
+    let analytic_ws = skew.analytic_working_set.expect("runner must record analytic working set");
+    assert_eq!(analytic_ws, 2.0 * 48.0 / 6.0, "block h=6 working set is 2v/h");
+    assert!(skew.analytic_evals_per_task.unwrap() > 0.0);
+    assert!(!skew.utilization.is_empty());
 }

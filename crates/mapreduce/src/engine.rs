@@ -1030,10 +1030,7 @@ impl<'c> Engine<'c> {
             return Err(ClusterError::NodeDead(me).into());
         }
         job_counters.inc(builtin::MAP_RERUNS);
-        cluster.telemetry().event(
-            "map.rerun",
-            format!("map task {m} re-run on {me}: committed output was lost with {site}"),
-        );
+        let rerun_started = Instant::now();
         let attempt = map_board.next_attempt[m].fetch_add(1, Ordering::SeqCst);
         let scratch = Counters::new();
         let disabled = Telemetry::disabled();
@@ -1053,6 +1050,15 @@ impl<'c> Engine<'c> {
             charges[m * spec.num_reducers + p].store(*c, Ordering::Relaxed);
         }
         map_sites[m].store(me.0, Ordering::SeqCst);
+        // Emitted after the re-run so the trace carries its measured
+        // duration — the critical-path analyzer attributes this window
+        // of the recovering reducer's shuffle to recovery.
+        cluster.telemetry().event_traced(
+            "map.rerun",
+            me.0,
+            rerun_started.elapsed().as_micros() as u64,
+            format!("map task {m} re-run on {me}: committed output was lost with {site}"),
+        );
         Ok(())
     }
 }

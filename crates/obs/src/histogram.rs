@@ -121,6 +121,45 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimates the `q`-quantile (`0.0 ≤ q ≤ 1.0`) from the bucket
+    /// bounds: the bucket holding the rank-`⌈q·count⌉` observation is
+    /// found, the position inside it interpolated linearly between its
+    /// bounds, and the estimate clamped to the exact `[min, max]` range.
+    /// Returns 0 when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for b in &self.buckets {
+            if seen + b.count >= rank {
+                let into = (rank - seen).saturating_sub(1) as f64;
+                let frac = if b.count > 1 { into / (b.count - 1) as f64 } else { 0.0 };
+                let est = b.lo as f64 + frac * (b.hi - b.lo) as f64;
+                return (est.round() as u64).clamp(self.min, self.max);
+            }
+            seen += b.count;
+        }
+        self.max
+    }
+
+    /// Median estimate; see [`HistogramSnapshot::quantile`].
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate; see [`HistogramSnapshot::quantile`].
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate; see [`HistogramSnapshot::quantile`].
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
 }
 
 #[cfg(test)]
@@ -163,5 +202,44 @@ mod tests {
         assert_eq!(s.min, 0);
         assert_eq!(s.mean(), 0.0);
         assert!(s.buckets.is_empty());
+        assert_eq!(s.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantiles_of_a_constant_distribution_are_the_constant() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(37);
+        }
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 37, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let (p50, p90, p99) = (s.p50(), s.p90(), s.p99());
+        assert!(p50 <= p90 && p90 <= p99, "p50={p50} p90={p90} p99={p99}");
+        assert!(p50 >= s.min && p99 <= s.max);
+        // Log2 buckets are coarse, but the estimates must land in the
+        // right ballpark of the true quantiles.
+        assert!((300..=700).contains(&p50), "p50={p50}");
+        assert!((800..=1000).contains(&p90), "p90={p90}");
+        assert!((900..=1000).contains(&p99), "p99={p99}");
+    }
+
+    #[test]
+    fn quantile_of_a_single_observation_is_that_value() {
+        let mut h = Histogram::new();
+        h.record(5);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.01), 5);
+        assert_eq!(s.quantile(0.99), 5);
     }
 }

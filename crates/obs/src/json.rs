@@ -129,6 +129,21 @@ impl JsonWriter {
         let _ = write!(self.out, "{value}");
         self
     }
+
+    /// Writes `key: <raw>` where `raw` is already-valid JSON (a number,
+    /// a quoted string from [`JsonWriter::quote`], …).
+    pub fn raw_field(&mut self, key: &str, raw: &str) -> &mut Self {
+        self.key(key);
+        self.out.push_str(raw);
+        self
+    }
+
+    /// Returns `s` as a quoted, escaped JSON string literal.
+    pub fn quote(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        write_escaped(&mut out, s);
+        out
+    }
 }
 
 /// Appends `s` as a quoted, escaped JSON string.

@@ -17,21 +17,34 @@
 //! * [`RunReport`] — the assembled picture (plus derived per-node
 //!   busy/idle timelines and memory high-water marks), serializable to
 //!   JSON via a hand-rolled writer ([`json`]) with zero dependencies.
+//! * [`trace`] — a totally-ordered structured event stream (task
+//!   start/lap/commit/cancel, phase edges, transfers, placements,
+//!   crash/recovery/speculation) recorded into a bounded ring; the
+//!   substrate for the [`analyze`] layer (critical path, skew/straggler
+//!   diagnosis, run diffs) and the [`export`] layer (Chrome-trace JSON,
+//!   text summaries).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
+pub mod export;
 pub mod histogram;
 pub mod json;
+pub mod jsonparse;
 pub mod report;
 pub mod telemetry;
+pub mod trace;
 
+pub use analyze::{CriticalPath, CriticalPathSegment, NodeUtilization, SkewReport, TraceDiff};
 pub use histogram::{Histogram, HistogramBucket, HistogramSnapshot};
 pub use json::JsonWriter;
+pub use jsonparse::JsonValue;
 pub use report::{NodeTimeline, RunReport};
 pub use telemetry::{
     JobPhase, LinkStats, PhaseGuard, PlacementStats, RunEvent, Span, SpanKind, TaskSpan, Telemetry,
 };
+pub use trace::{TraceEvent, TraceRing};
 
 /// Well-known histogram names recorded by the engine and runners.
 pub mod hist {

@@ -5,6 +5,7 @@
 use crate::histogram::HistogramSnapshot;
 use crate::json::JsonWriter;
 use crate::telemetry::{JobPhase, LinkStats, PlacementStats, RunEvent, TaskSpan};
+use crate::trace::{self, TraceEvent};
 
 /// Busy/idle picture of one node, derived from its task spans.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -48,6 +49,10 @@ pub struct RunReport {
     /// Discrete run events (crashes, recoveries, speculation) in recorded
     /// order.
     pub events: Vec<RunEvent>,
+    /// The structured event trace in `seq` (total) order.
+    pub trace: Vec<TraceEvent>,
+    /// Trace events evicted from the bounded ring before this snapshot.
+    pub trace_dropped: u64,
 }
 
 impl RunReport {
@@ -63,6 +68,8 @@ impl RunReport {
         placements: Vec<(u32, PlacementStats)>,
         histograms: Vec<(String, HistogramSnapshot)>,
         events: Vec<RunEvent>,
+        trace: Vec<TraceEvent>,
+        trace_dropped: u64,
     ) -> RunReport {
         task_spans.sort_by(|a, b| {
             (&a.job, a.kind, a.task, a.attempt).cmp(&(&b.job, b.kind, b.task, b.attempt))
@@ -79,6 +86,8 @@ impl RunReport {
             placements,
             histograms,
             events,
+            trace,
+            trace_dropped,
         }
     }
 
@@ -130,7 +139,7 @@ impl RunReport {
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_object();
-        w.str_field("schema", "pmr.run_report/3");
+        w.str_field("schema", "pmr.run_report/4");
         w.u64_field("wall_time_us", self.wall_time_us);
 
         w.begin_object_key("meta");
@@ -241,6 +250,52 @@ impl RunReport {
         }
         w.end_array();
 
+        w.begin_object_key("trace");
+        w.u64_field("dropped", self.trace_dropped);
+        w.begin_array_key("events");
+        for e in &self.trace {
+            w.begin_object();
+            w.u64_field("seq", e.seq);
+            w.u64_field("at_us", e.at_us);
+            w.str_field("kind", e.kind);
+            if !e.job.is_empty() {
+                w.str_field("job", &e.job);
+            }
+            if !e.task_kind.is_empty() {
+                w.str_field("task_kind", e.task_kind);
+            }
+            if e.task != trace::NONE {
+                w.u64_field("task", e.task as u64);
+            }
+            if e.attempt != trace::NONE {
+                w.u64_field("attempt", e.attempt as u64);
+            }
+            if e.node != trace::NONE {
+                w.u64_field("node", e.node as u64);
+            }
+            if e.peer != trace::NONE {
+                w.u64_field("peer", e.peer as u64);
+            }
+            if !e.phase.is_empty() {
+                w.str_field("phase", &e.phase);
+            }
+            if e.bytes != 0 {
+                w.u64_field("bytes", e.bytes);
+            }
+            if e.dur_us != 0 {
+                w.u64_field("dur_us", e.dur_us);
+            }
+            if e.sim_us != 0 {
+                w.u64_field("sim_us", e.sim_us);
+            }
+            if !e.detail.is_empty() {
+                w.str_field("detail", &e.detail);
+            }
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+
         w.begin_array_key("histograms");
         for (name, h) in &self.histograms {
             w.begin_object();
@@ -250,6 +305,9 @@ impl RunReport {
             w.u64_field("min", h.min);
             w.u64_field("max", h.max);
             w.f64_field("mean", h.mean());
+            w.u64_field("p50", h.quantile(0.50));
+            w.u64_field("p90", h.quantile(0.90));
+            w.u64_field("p99", h.quantile(0.99));
             w.begin_array_key("buckets");
             for b in &h.buckets {
                 w.begin_object();
@@ -267,8 +325,14 @@ impl RunReport {
         w.finish()
     }
 
-    /// Writes the JSON serialization to `path` (with a trailing newline).
+    /// Writes the JSON serialization to `path` (with a trailing newline),
+    /// creating missing parent directories.
     pub fn write_json_file(&self, path: &str) -> std::io::Result<()> {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
         let mut text = self.to_json();
         text.push('\n');
         std::fs::write(path, text)
@@ -351,6 +415,8 @@ mod tests {
             vec![],
             vec![],
             vec![],
+            vec![],
+            0,
         );
         assert_eq!(r.straggler().unwrap().task, 1);
     }
@@ -389,9 +455,16 @@ mod tests {
         r.meta.push(("scheme".into(), "design(q=7)".into()));
         r.merge_counters([("mr.shuffle.bytes", 42)]);
         r.events.push(RunEvent { at_us: 5, kind: "node.crash", detail: "node_0 crashed".into() });
+        r.trace.push(TraceEvent {
+            seq: 0,
+            at_us: 5,
+            kind: "node.crash",
+            detail: "node_0 crashed".into(),
+            ..TraceEvent::default()
+        });
         let json = r.to_json();
         for needle in [
-            "\"schema\": \"pmr.run_report/3\"",
+            "\"schema\": \"pmr.run_report/4\"",
             "\"events\"",
             "\"kind\": \"node.crash\"",
             "\"meta\"",
@@ -402,9 +475,27 @@ mod tests {
             "\"transfers\"",
             "\"placements\"",
             "\"histograms\"",
+            "\"trace\"",
+            "\"dropped\": 0",
+            "\"seq\": 0",
             "\"mr.shuffle.bytes\": 42",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }
+        // Sentinel identity fields are omitted from trace events.
+        let trace_tail = json.split("\"trace\"").nth(1).unwrap();
+        assert!(!trace_tail.contains("\"node\": 4294967295"));
+    }
+
+    #[test]
+    fn write_json_file_creates_missing_parent_dirs() {
+        let dir = std::env::temp_dir().join(format!("pmr-report-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/deeper/report.json");
+        let r = RunReport::default();
+        r.write_json_file(path.to_str().unwrap()).expect("parents should be created");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("pmr.run_report/4"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

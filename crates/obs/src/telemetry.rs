@@ -19,6 +19,7 @@ use std::time::Instant;
 
 use crate::histogram::Histogram;
 use crate::report::RunReport;
+use crate::trace::{self, TraceEvent, TraceRing};
 
 /// What kind of work a task span covers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -142,6 +143,7 @@ struct SinkState {
     placements: BTreeMap<u32, PlacementStats>,
     histograms: BTreeMap<String, Histogram>,
     events: Vec<RunEvent>,
+    trace: TraceRing,
 }
 
 #[derive(Debug)]
@@ -201,59 +203,116 @@ impl Telemetry {
 
     /// Opens a job-level phase window ending when the guard drops.
     pub fn job_phase(&self, job: &str, phase: &str) -> PhaseGuard {
-        PhaseGuard(self.0.as_ref().map(|sink| PhaseGuardInner {
-            sink: Arc::clone(sink),
-            job: job.to_string(),
-            phase: phase.to_string(),
-            start_us: sink.epoch.elapsed().as_micros() as u64,
-            bytes_charged: 0,
-            bytes_moved: 0,
+        PhaseGuard(self.0.as_ref().map(|sink| {
+            let start_us = sink.epoch.elapsed().as_micros() as u64;
+            sink.lock().trace.push(TraceEvent {
+                at_us: start_us,
+                kind: trace::kind::PHASE_START,
+                job: job.to_string(),
+                phase: phase.to_string(),
+                ..TraceEvent::default()
+            });
+            PhaseGuardInner {
+                sink: Arc::clone(sink),
+                job: job.to_string(),
+                phase: phase.to_string(),
+                start_us,
+                bytes_charged: 0,
+                bytes_moved: 0,
+            }
         }))
     }
 
     /// Opens a task span ending (and recording) when the guard drops.
     pub fn span(&self, job: &str, kind: SpanKind, task: u32, attempt: u32, node: u32) -> Span {
-        Span(self.0.as_ref().map(|sink| SpanInner {
-            sink: Arc::clone(sink),
-            data: TaskSpan {
+        Span(self.0.as_ref().map(|sink| {
+            let start_us = sink.epoch.elapsed().as_micros() as u64;
+            sink.lock().trace.push(TraceEvent {
+                at_us: start_us,
+                kind: trace::kind::TASK_START,
                 job: job.to_string(),
-                kind: kind.as_str(),
+                task_kind: kind.as_str(),
                 task,
                 attempt,
                 node,
-                start_us: sink.epoch.elapsed().as_micros() as u64,
-                ..TaskSpan::default()
-            },
+                ..TraceEvent::default()
+            });
+            SpanInner {
+                sink: Arc::clone(sink),
+                data: TaskSpan {
+                    job: job.to_string(),
+                    kind: kind.as_str(),
+                    task,
+                    attempt,
+                    node,
+                    start_us,
+                    ..TaskSpan::default()
+                },
+            }
         }))
     }
 
     /// Records one network transfer (aggregated per directed link).
     pub fn transfer(&self, src: u32, dst: u32, bytes: u64, sim_us: u64) {
         if let Some(sink) = &self.0 {
+            let at_us = sink.epoch.elapsed().as_micros() as u64;
             let mut st = sink.lock();
             let link = st.transfers.entry((src, dst)).or_default();
             link.bytes += bytes;
             link.events += 1;
             link.sim_us += sim_us;
+            st.trace.push(TraceEvent {
+                at_us,
+                kind: trace::kind::TRANSFER,
+                node: dst,
+                peer: src,
+                bytes,
+                sim_us,
+                ..TraceEvent::default()
+            });
         }
     }
 
     /// Records a discrete run event (crash, recovery, speculation)
-    /// timestamped now.
+    /// timestamped now, mirrored into the trace.
     pub fn event(&self, kind: &'static str, detail: String) {
+        self.event_traced(kind, trace::NONE, 0, detail);
+    }
+
+    /// Records a discrete run event like [`Telemetry::event`], additionally
+    /// attributing it to `node` and — for recovery work that took measurable
+    /// wall time, like a map re-run — carrying its duration in the trace.
+    pub fn event_traced(&self, kind: &'static str, node: u32, dur_us: u64, detail: String) {
         if let Some(sink) = &self.0 {
             let at_us = sink.epoch.elapsed().as_micros() as u64;
-            sink.lock().events.push(RunEvent { at_us, kind, detail });
+            let mut st = sink.lock();
+            st.trace.push(TraceEvent {
+                at_us,
+                kind,
+                node,
+                dur_us,
+                detail: detail.clone(),
+                ..TraceEvent::default()
+            });
+            st.events.push(RunEvent { at_us, kind, detail });
         }
     }
 
     /// Records one DFS block replica placed on `node`.
     pub fn placement(&self, node: u32, bytes: u64) {
         if let Some(sink) = &self.0 {
+            let at_us = sink.epoch.elapsed().as_micros() as u64;
             let mut st = sink.lock();
             let p = st.placements.entry(node).or_default();
             p.blocks += 1;
             p.bytes += bytes;
+            st.trace.push(TraceEvent {
+                at_us,
+                kind: trace::kind::PLACEMENT,
+                node,
+                bytes,
+                ..TraceEvent::default()
+            });
         }
     }
 
@@ -289,6 +348,8 @@ impl Telemetry {
             st.placements.iter().map(|(&n, &p)| (n, p)).collect(),
             st.histograms.iter().map(|(k, h)| (k.clone(), h.snapshot())).collect(),
             st.events.clone(),
+            st.trace.snapshot(),
+            st.trace.dropped(),
         )
     }
 }
@@ -321,7 +382,17 @@ impl Drop for PhaseGuard {
     fn drop(&mut self) {
         if let Some(inner) = self.0.take() {
             let end_us = inner.sink.epoch.elapsed().as_micros() as u64;
-            inner.sink.lock().job_phases.push(JobPhase {
+            let mut st = inner.sink.lock();
+            st.trace.push(TraceEvent {
+                at_us: end_us,
+                kind: trace::kind::PHASE_END,
+                job: inner.job.clone(),
+                phase: inner.phase.clone(),
+                bytes: inner.bytes_charged,
+                dur_us: end_us.saturating_sub(inner.start_us),
+                ..TraceEvent::default()
+            });
+            st.job_phases.push(JobPhase {
                 job: inner.job,
                 phase: inner.phase,
                 start_us: inner.start_us,
@@ -338,6 +409,23 @@ struct SpanInner {
     data: TaskSpan,
 }
 
+impl SpanInner {
+    /// A trace event carrying this span's task identity.
+    fn task_event(&self, kind: &'static str, at_us: u64, dur_us: u64) -> TraceEvent {
+        TraceEvent {
+            at_us,
+            kind,
+            job: self.data.job.clone(),
+            task_kind: self.data.kind,
+            task: self.data.task,
+            attempt: self.data.attempt,
+            node: self.data.node,
+            dur_us,
+            ..TraceEvent::default()
+        }
+    }
+}
+
 /// Guard of one task attempt; accumulates locally, records on drop.
 pub struct Span(Option<SpanInner>);
 
@@ -347,7 +435,12 @@ impl Span {
     pub fn lap(&mut self, phase: &'static str, since: &mut Instant) {
         let now = Instant::now();
         if let Some(inner) = &mut self.0 {
-            inner.data.phases.push((phase, now.duration_since(*since).as_micros() as u64));
+            let dur_us = now.duration_since(*since).as_micros() as u64;
+            inner.data.phases.push((phase, dur_us));
+            let at_us = inner.sink.epoch.elapsed().as_micros() as u64;
+            let mut ev = inner.task_event(trace::kind::TASK_LAP, at_us, dur_us);
+            ev.phase = phase.to_string();
+            inner.sink.lock().trace.push(ev);
         }
         *since = now;
     }
@@ -394,11 +487,17 @@ impl Span {
         }
     }
 
-    /// Discards the span: nothing is recorded on drop. Used for task
-    /// attempts that lose a speculative race — their work never becomes
-    /// part of the run's accounting.
+    /// Discards the span: no [`TaskSpan`] is recorded on drop. Used for
+    /// task attempts that lose a speculative race — their work never
+    /// becomes part of the run's accounting, though the cancellation
+    /// itself is traced.
     pub fn cancel(&mut self) {
-        self.0 = None;
+        if let Some(inner) = self.0.take() {
+            let at_us = inner.sink.epoch.elapsed().as_micros() as u64;
+            let dur_us = at_us.saturating_sub(inner.data.start_us);
+            let ev = inner.task_event(trace::kind::TASK_CANCEL, at_us, dur_us);
+            inner.sink.lock().trace.push(ev);
+        }
     }
 }
 
@@ -406,8 +505,12 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some(mut inner) = self.0.take() {
             inner.data.end_us = inner.sink.epoch.elapsed().as_micros() as u64;
+            let dur_us = inner.data.end_us.saturating_sub(inner.data.start_us);
+            let ev = inner.task_event(trace::kind::TASK_COMMIT, inner.data.end_us, dur_us);
             let data = inner.data;
-            inner.sink.lock().spans.push(data);
+            let mut st = inner.sink.lock();
+            st.trace.push(ev);
+            st.spans.push(data);
         }
     }
 }
@@ -492,6 +595,62 @@ mod tests {
         span.cancel();
         drop(span);
         assert!(t.report().task_spans.is_empty());
+    }
+
+    #[test]
+    fn trace_mirrors_the_span_lifecycle_in_total_order() {
+        let t = Telemetry::enabled();
+        {
+            let _phase = t.job_phase("j1", "map");
+            let mut span = t.span("j1", SpanKind::Map, 3, 0, 1);
+            let mut at = Instant::now();
+            span.lap("read", &mut at);
+        }
+        t.transfer(0, 1, 100, 5);
+        t.placement(1, 64);
+        t.event_traced("map.rerun", 1, 250, "map 3 re-run".to_string());
+        let r = t.report();
+        let kinds: Vec<&str> = r.trace.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "phase.start",
+                "task.start",
+                "task.lap",
+                "task.commit",
+                "phase.end",
+                "transfer",
+                "placement",
+                "map.rerun",
+            ]
+        );
+        for (i, e) in r.trace.iter().enumerate() {
+            assert_eq!(e.seq, i as u64, "seq must be dense and ordered");
+        }
+        assert_eq!(r.trace_dropped, 0);
+        let lap = &r.trace[2];
+        assert_eq!((lap.job.as_str(), lap.task_kind, lap.task, lap.node), ("j1", "map", 3, 1));
+        assert_eq!(lap.phase, "read");
+        let xfer = &r.trace[5];
+        assert_eq!((xfer.peer, xfer.node, xfer.bytes, xfer.sim_us), (0, 1, 100, 5));
+        let rerun = &r.trace[7];
+        assert_eq!((rerun.node, rerun.dur_us), (1, 250));
+        // The discrete event also landed in the aggregate events list.
+        assert_eq!(r.events.len(), 1);
+        assert_eq!(r.events[0].kind, "map.rerun");
+    }
+
+    #[test]
+    fn cancelled_span_leaves_a_cancel_trace_event() {
+        let t = Telemetry::enabled();
+        let mut span = t.span("j", SpanKind::Reduce, 2, 1, 0);
+        span.cancel();
+        drop(span);
+        let r = t.report();
+        assert!(r.task_spans.is_empty());
+        let kinds: Vec<&str> = r.trace.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["task.start", "task.cancel"]);
+        assert_eq!(r.trace[1].attempt, 1);
     }
 
     #[test]

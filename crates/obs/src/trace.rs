@@ -1,0 +1,212 @@
+//! Totally-ordered structured event trace.
+//!
+//! While aggregates ([`crate::report::RunReport`] counters, histograms,
+//! spans) answer *how much*, the trace answers *when* and *in what
+//! order*: every task start/lap/commit/cancel, job-phase window edge,
+//! network transfer, DFS placement, and discrete recovery event is
+//! appended to one bounded ring inside the telemetry sink, stamped with
+//! wall time (µs since the sink epoch) and — where the event models
+//! simulated hardware, like a network transfer — simulated time.
+//!
+//! Total order is the `seq` number, assigned under the sink mutex, so
+//! events from concurrent workers interleave exactly as they reached the
+//! sink. The ring is bounded ([`TraceRing::DEFAULT_CAPACITY`]); once
+//! full, the oldest events are evicted and counted in
+//! [`TraceRing::dropped`], never silently.
+//!
+//! When telemetry is disabled nothing here runs: all emission sites sit
+//! behind the `Option` check in [`crate::Telemetry`]'s guards, so the
+//! disabled path stays allocation-free.
+
+use std::collections::VecDeque;
+
+/// Sentinel for "no node / task / attempt / peer" in a [`TraceEvent`].
+pub const NONE: u32 = u32::MAX;
+
+/// Stable event-kind names recorded in the trace.
+///
+/// Discrete run events mirrored from [`crate::Telemetry::event`] keep
+/// their own kinds (`"node.crash"`, `"map.rerun"`, `"speculative.launch"`,
+/// `"speculative.win"`, `"dfs.rereplicate"`, …).
+pub mod kind {
+    /// A task attempt began.
+    pub const TASK_START: &str = "task.start";
+    /// A task phase (lap) completed; `dur_us` is its wall time.
+    pub const TASK_LAP: &str = "task.lap";
+    /// A task attempt finished and its span was recorded.
+    pub const TASK_COMMIT: &str = "task.commit";
+    /// A task attempt was discarded (lost a speculative race).
+    pub const TASK_CANCEL: &str = "task.cancel";
+    /// A job-level phase window opened.
+    pub const PHASE_START: &str = "phase.start";
+    /// A job-level phase window closed; `dur_us` is its wall time.
+    pub const PHASE_END: &str = "phase.end";
+    /// A network transfer; `peer` → `node`, `sim_us` is simulated time.
+    pub const TRANSFER: &str = "transfer";
+    /// A DFS block replica landed on `node`.
+    pub const PLACEMENT: &str = "placement";
+}
+
+/// One structured trace event.
+///
+/// Identity fields use sentinels when not applicable: [`NONE`] for the
+/// `u32` ids, the empty string for names. `at_us` is always the
+/// wall-clock stamp on the telemetry axis; `dur_us` is a measured wall
+/// duration (laps, commits, timed recovery events) and `sim_us` a
+/// simulated duration (network transfers), each zero when meaningless.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Position in the total order (assigned by the ring).
+    pub seq: u64,
+    /// Wall-clock stamp, µs since the telemetry epoch.
+    pub at_us: u64,
+    /// Event kind; see [`kind`].
+    pub kind: &'static str,
+    /// Job the event belongs to ("" for cluster-scope events).
+    pub job: String,
+    /// Task kind ("map" / "reduce" / "task"), "" when not task-scoped.
+    pub task_kind: &'static str,
+    /// Task index, [`NONE`] when not task-scoped.
+    pub task: u32,
+    /// Task attempt, [`NONE`] when not task-scoped.
+    pub attempt: u32,
+    /// Primary node (the lane the event renders on), [`NONE`] for
+    /// cluster-scope events.
+    pub node: u32,
+    /// Secondary node (transfer source), [`NONE`] when not applicable.
+    pub peer: u32,
+    /// Phase or lap name, "" when not applicable.
+    pub phase: String,
+    /// Bytes carried by the event (transfer / placement), else 0.
+    pub bytes: u64,
+    /// Measured wall duration, µs (laps, commits, timed events), else 0.
+    pub dur_us: u64,
+    /// Simulated duration, µs (network transfers), else 0.
+    pub sim_us: u64,
+    /// Free-form detail (crash/recovery descriptions), "" otherwise.
+    pub detail: String,
+}
+
+impl Default for TraceEvent {
+    fn default() -> Self {
+        TraceEvent {
+            seq: 0,
+            at_us: 0,
+            kind: "",
+            job: String::new(),
+            task_kind: "",
+            task: NONE,
+            attempt: NONE,
+            node: NONE,
+            peer: NONE,
+            phase: String::new(),
+            bytes: 0,
+            dur_us: 0,
+            sim_us: 0,
+            detail: String::new(),
+        }
+    }
+}
+
+/// Bounded ring buffer holding the trace inside the sink.
+#[derive(Debug)]
+pub struct TraceRing {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl Default for TraceRing {
+    fn default() -> Self {
+        TraceRing::with_capacity(TraceRing::DEFAULT_CAPACITY)
+    }
+}
+
+impl TraceRing {
+    /// Default bound on retained events; ample for every in-repo
+    /// workload while keeping a pathological run's memory bounded.
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// An empty ring retaining at most `capacity` events (min 1).
+    pub fn with_capacity(capacity: usize) -> TraceRing {
+        TraceRing { buf: VecDeque::new(), capacity: capacity.max(1), next_seq: 0, dropped: 0 }
+    }
+
+    /// Appends `ev`, assigning its `seq`; evicts the oldest event when
+    /// the ring is full.
+    pub fn push(&mut self, mut ev: TraceEvent) {
+        ev.seq = self.next_seq;
+        self.next_seq += 1;
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no event has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// How many events were evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained events in `seq` order.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.buf.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: &'static str) -> TraceEvent {
+        TraceEvent { kind, ..TraceEvent::default() }
+    }
+
+    #[test]
+    fn seq_is_a_total_order() {
+        let mut ring = TraceRing::default();
+        for _ in 0..10 {
+            ring.push(ev(kind::TASK_START));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 10);
+        for (i, e) in snap.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn full_ring_evicts_oldest_and_counts_drops() {
+        let mut ring = TraceRing::with_capacity(4);
+        for _ in 0..10 {
+            ring.push(ev(kind::TRANSFER));
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 6);
+        let snap = ring.snapshot();
+        assert_eq!(snap.first().unwrap().seq, 6);
+        assert_eq!(snap.last().unwrap().seq, 9);
+    }
+
+    #[test]
+    fn capacity_has_a_floor_of_one() {
+        let mut ring = TraceRing::with_capacity(0);
+        ring.push(ev(kind::PLACEMENT));
+        ring.push(ev(kind::PLACEMENT));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.snapshot()[0].seq, 1);
+    }
+}

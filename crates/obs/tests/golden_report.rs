@@ -1,13 +1,14 @@
 //! Golden-file test for the RunReport JSON serialization: a fully
 //! populated, hand-assembled report must serialize byte-for-byte to the
 //! checked-in `tests/golden/run_report.json`. Consumers parse this format
-//! (schema tag `pmr.run_report/3`), so any change to the writer or the
+//! (schema tag `pmr.run_report/4`), so any change to the writer or the
 //! report layout must show up as a reviewed diff of the golden file.
 //!
 //! To regenerate after an intentional format change:
 //! `UPDATE_GOLDEN=1 cargo test -p pmr-obs --test golden_report`
 
 use pmr_obs::telemetry::{JobPhase, LinkStats, PlacementStats, RunEvent, TaskSpan};
+use pmr_obs::trace::{self, TraceEvent};
 use pmr_obs::{Histogram, RunReport};
 
 /// Deterministic report exercising every section and value shape the
@@ -123,6 +124,70 @@ fn sample_report() -> RunReport {
                 detail: "map task 0 re-run on node_1 (output lost with node_2)".into(),
             },
         ],
+        vec![
+            TraceEvent {
+                seq: 0,
+                at_us: 120,
+                kind: trace::kind::TASK_START,
+                job: "j1-distribute-evaluate".into(),
+                task_kind: "map",
+                task: 0,
+                attempt: 0,
+                node: 0,
+                ..TraceEvent::default()
+            },
+            TraceEvent {
+                seq: 1,
+                at_us: 220,
+                kind: trace::kind::TASK_LAP,
+                job: "j1-distribute-evaluate".into(),
+                task_kind: "map",
+                task: 0,
+                attempt: 0,
+                node: 0,
+                phase: "read".into(),
+                dur_us: 100,
+                ..TraceEvent::default()
+            },
+            TraceEvent {
+                seq: 2,
+                at_us: 300,
+                kind: trace::kind::TRANSFER,
+                node: 1,
+                peer: 0,
+                bytes: 1024,
+                sim_us: 37,
+                ..TraceEvent::default()
+            },
+            TraceEvent {
+                seq: 3,
+                at_us: 450,
+                kind: "node.crash",
+                node: 2,
+                detail: "node_2 crashed: lost 3 local files (1024 B); \
+                         re-replicated 2 DFS blocks (2048 B)"
+                    .into(),
+                ..TraceEvent::default()
+            },
+            TraceEvent {
+                seq: 4,
+                at_us: 610,
+                kind: "map.rerun",
+                node: 1,
+                dur_us: 85,
+                detail: "map task 0 re-run on node_1 (output lost with node_2)".into(),
+                ..TraceEvent::default()
+            },
+            TraceEvent {
+                seq: 5,
+                at_us: 700,
+                kind: trace::kind::PLACEMENT,
+                node: 0,
+                bytes: 2048,
+                ..TraceEvent::default()
+            },
+        ],
+        2,
     );
     report.merge_counters([
         ("mr.shuffle.bytes", 1536),

@@ -49,6 +49,13 @@ fn disabled_sink_hot_path_does_not_allocate() {
         span.record_peak_working_set(4096);
         span.lap("map", &mut lap_at);
         drop(span);
+        // Trace-ring mirror paths: a cancelled span and a report
+        // snapshot must also be free on the disabled handle.
+        let mut loser = telemetry.span("job", SpanKind::Reduce, task, 1, task % 4);
+        loser.cancel();
+        drop(loser);
+        let report = telemetry.report();
+        assert!(report.trace.is_empty() && report.trace_dropped == 0);
         telemetry.record_value("hist", task as u64);
         telemetry.transfer(0, 1, 1024, 3);
         telemetry.placement(1, 1024);

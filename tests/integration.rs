@@ -230,5 +230,38 @@ fn run_report_covers_mr_pipeline() {
     // JSON export round-trips through the writer without panicking and
     // carries the schema tag.
     let json = report.to_json();
-    assert!(json.contains("\"schema\": \"pmr.run_report/3\""));
+    assert!(json.contains("\"schema\": \"pmr.run_report/4\""));
+}
+
+#[test]
+fn trace_diff_names_the_scheme_with_the_longer_critical_path() {
+    // Two seeded runs of the same workload under different blocking
+    // factors: the diff must label each run distinguishably and name the
+    // one whose critical path is actually longer.
+    use pairwise_mr::obs::{CriticalPath, TraceDiff};
+    let payloads: Vec<u64> = (0..48u64).map(|i| i * 37 % 101).collect();
+    let comp = comp_fn(|a: &u64, b: &u64| a.wrapping_mul(31) ^ b);
+    let run_with_h = |h: u64| {
+        let cluster =
+            Cluster::new(ClusterConfig::with_nodes(3)).with_telemetry(Telemetry::enabled());
+        PairwiseJob::new(&payloads, Arc::clone(&comp))
+            .scheme(BlockScheme::new(48, h))
+            .backend(Backend::Mr(&cluster))
+            .run()
+            .unwrap()
+    };
+    let coarse = run_with_h(3);
+    let fine = run_with_h(12);
+    let diff = TraceDiff::compute(&coarse.report, &fine.report);
+    assert_ne!(diff.label_a, diff.label_b, "task counts must distinguish the labels");
+    let cp_a = CriticalPath::from_report(&coarse.report).unwrap();
+    let cp_b = CriticalPath::from_report(&fine.report).unwrap();
+    assert_eq!(diff.critical_path_us, (cp_a.duration_us, cp_b.duration_us));
+    let expected = if cp_a.duration_us >= cp_b.duration_us { &diff.label_a } else { &diff.label_b };
+    assert_eq!(&diff.longer_critical_path, expected);
+    // Attribution categories tile each chain exactly.
+    let (c, s, r, w) = diff.attribution_a;
+    assert_eq!(c + s + r + w, cp_a.duration_us);
+    let (c, s, r, w) = diff.attribution_b;
+    assert_eq!(c + s + r + w, cp_b.duration_us);
 }
