@@ -1,0 +1,271 @@
+//! Batch evaluation kernels for the hot path
+//! ([`pmr_core::runner::BatchComp`]): unrolled multi-accumulator dense
+//! kernels and a merge-join sparse kernel.
+//!
+//! The dense kernels keep four independent accumulators and combine them
+//! as `(s0 + s1) + (s2 + s3)` — a fixed summation order shared by `eval`
+//! and `eval_batch`, so the scalar fallback and the batched path are
+//! bit-identical (the [`BatchComp`] contract). Dimension agreement is
+//! validated **once per dataset** at kernel construction
+//! ([`validate_uniform_dim`]); the per-pair inner loops carry only a
+//! `debug_assert!`.
+
+use crate::vector::{DenseVector, SparseVector};
+use pmr_core::runner::BatchComp;
+
+/// Checks that every vector of the dataset has the same dimension and
+/// returns it. Called once at store/kernel build time so the per-pair
+/// kernels can drop the hot-loop dimension asserts. An empty dataset has
+/// dimension 0.
+pub fn validate_uniform_dim(data: &[DenseVector]) -> Result<usize, String> {
+    let dim = data.first().map_or(0, DenseVector::dim);
+    for (i, v) in data.iter().enumerate() {
+        if v.dim() != dim {
+            return Err(format!(
+                "dimension mismatch: element {i} has dim {}, element 0 has dim {dim}",
+                v.dim()
+            ));
+        }
+    }
+    Ok(dim)
+}
+
+/// Inner product with four independent accumulators. `chunks_exact` keeps
+/// the inner loop free of bounds checks so LLVM can emit packed doubles;
+/// lane-wise packed IEEE ops are the very same operations as the scalar
+/// ones, so the result is still bit-identical to the plain 4-accumulator
+/// loop.
+#[inline(always)]
+fn dot4(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len().min(y.len());
+    let (x, y) = (&x[..n], &y[..n]);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0, 0.0, 0.0);
+    let (mut cx, mut cy) = (x.chunks_exact(4), y.chunks_exact(4));
+    for (a, b) in (&mut cx).zip(&mut cy) {
+        s0 += a[0] * b[0];
+        s1 += a[1] * b[1];
+        s2 += a[2] * b[2];
+        s3 += a[3] * b[3];
+    }
+    for (a, b) in cx.remainder().iter().zip(cy.remainder()) {
+        s0 += a * b;
+    }
+    (s0 + s1) + (s2 + s3)
+}
+
+/// Squared Euclidean distance with four independent accumulators — the
+/// summation order `BENCH_pairwise.json` entries are recorded against.
+#[inline(always)]
+fn sq_dist4(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len().min(y.len());
+    let (x, y) = (&x[..n], &y[..n]);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0, 0.0, 0.0);
+    let (mut cx, mut cy) = (x.chunks_exact(4), y.chunks_exact(4));
+    for (a, b) in (&mut cx).zip(&mut cy) {
+        let d0 = a[0] - b[0];
+        let d1 = a[1] - b[1];
+        let d2 = a[2] - b[2];
+        let d3 = a[3] - b[3];
+        s0 += d0 * d0;
+        s1 += d1 * d1;
+        s2 += d2 * d2;
+        s3 += d3 * d3;
+    }
+    for (a, b) in cx.remainder().iter().zip(cy.remainder()) {
+        let d = a - b;
+        s0 += d * d;
+    }
+    (s0 + s1) + (s2 + s3)
+}
+
+/// Covariance `Σ (xᵢ − x̄)(yᵢ − ȳ) / (n − 1)` with four independent
+/// cross-product accumulators; the means use the plain left-to-right sum
+/// of [`DenseVector::mean`].
+#[inline(always)]
+fn cov4(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len().min(y.len());
+    if n < 2 {
+        return 0.0;
+    }
+    let (x, y) = (&x[..n], &y[..n]);
+    let mx = x.iter().sum::<f64>() / n as f64;
+    let my = y.iter().sum::<f64>() / n as f64;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0, 0.0, 0.0);
+    let (mut cx, mut cy) = (x.chunks_exact(4), y.chunks_exact(4));
+    for (a, b) in (&mut cx).zip(&mut cy) {
+        s0 += (a[0] - mx) * (b[0] - my);
+        s1 += (a[1] - mx) * (b[1] - my);
+        s2 += (a[2] - mx) * (b[2] - my);
+        s3 += (a[3] - mx) * (b[3] - my);
+    }
+    for (a, b) in cx.remainder().iter().zip(cy.remainder()) {
+        s0 += (a - mx) * (b - my);
+    }
+    ((s0 + s1) + (s2 + s3)) / (n - 1) as f64
+}
+
+macro_rules! dense_kernel {
+    ($(#[$doc:meta])* $name:ident, $inner:ident, $label:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy)]
+        pub struct $name {
+            dim: usize,
+        }
+
+        impl $name {
+            /// Builds the kernel for a dataset, validating once that every
+            /// vector has the same dimension.
+            pub fn for_dataset(data: &[DenseVector]) -> Result<$name, String> {
+                validate_uniform_dim(data).map(|dim| $name { dim })
+            }
+
+            /// Builds the kernel for an already-validated dimension.
+            pub fn new(dim: usize) -> $name {
+                $name { dim }
+            }
+        }
+
+        impl BatchComp<DenseVector, f64> for $name {
+            fn eval(&self, a: &DenseVector, b: &DenseVector) -> f64 {
+                debug_assert_eq!(a.dim(), self.dim, "dimension mismatch");
+                debug_assert_eq!(b.dim(), self.dim, "dimension mismatch");
+                $inner(&a.0, &b.0)
+            }
+
+            fn eval_batch(&self, a: &[&DenseVector], b: &[&DenseVector], out: &mut Vec<f64>) {
+                for (x, y) in a.iter().zip(b) {
+                    debug_assert_eq!(x.dim(), self.dim, "dimension mismatch");
+                    debug_assert_eq!(y.dim(), self.dim, "dimension mismatch");
+                    out.push($inner(&x.0, &y.0));
+                }
+            }
+
+            fn name(&self) -> &'static str {
+                $label
+            }
+        }
+    };
+}
+
+dense_kernel!(
+    /// Batched inner product (covariance workload's `A × Aᵀ` building
+    /// block when rows are pre-centered).
+    DenseDotKernel,
+    dot4,
+    "dense-dot"
+);
+
+dense_kernel!(
+    /// Batched squared Euclidean distance — the acceptance benchmark's
+    /// kernel. Matches the scalar `sq_dist` comp of the perf harness
+    /// bit-for-bit.
+    DenseSqDistKernel,
+    sq_dist4,
+    "dense-sq-dist"
+);
+
+dense_kernel!(
+    /// Batched covariance (PCA workload). Note: uses the four-accumulator
+    /// summation order, so results differ in the last ulps from the plain
+    /// left-to-right [`crate::covariance::covariance`] comp.
+    DenseCovKernel,
+    cov4,
+    "dense-cov"
+);
+
+/// Batched sparse inner product: the merge join of [`SparseVector::dot`],
+/// evaluated per pair (tiling still wins locality — a tile touches at most
+/// `2 × TILE_EDGE` distinct postings lists).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SparseDotKernel;
+
+impl BatchComp<SparseVector, f64> for SparseDotKernel {
+    fn eval(&self, a: &SparseVector, b: &SparseVector) -> f64 {
+        a.dot(b)
+    }
+
+    fn name(&self) -> &'static str {
+        "sparse-dot"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::covariance::covariance;
+    use crate::generate::{gene_expression, zipf_documents};
+
+    fn batch_of(kernel: &dyn BatchComp<DenseVector, f64>, data: &[DenseVector]) -> Vec<f64> {
+        let a: Vec<&DenseVector> = data.iter().take(data.len() - 1).collect();
+        let b: Vec<&DenseVector> = data.iter().skip(1).collect();
+        let mut out = Vec::with_capacity(a.len());
+        kernel.eval_batch(&a, &b, &mut out);
+        out
+    }
+
+    #[test]
+    fn uniform_dim_validation() {
+        let data = gene_expression(10, 16, 4, 0.2, 1);
+        assert_eq!(validate_uniform_dim(&data), Ok(16));
+        assert_eq!(validate_uniform_dim(&[]), Ok(0));
+        let mut bad = data.clone();
+        bad[7].0.pop();
+        let err = validate_uniform_dim(&bad).unwrap_err();
+        assert!(err.contains("element 7"), "{err}");
+        assert!(DenseSqDistKernel::for_dataset(&bad).is_err());
+    }
+
+    #[test]
+    fn eval_batch_is_bitwise_eval() {
+        // The BatchComp contract: batched results are exactly the per-pair
+        // scalar results, for every dense kernel.
+        let data = gene_expression(30, 19, 4, 0.3, 9); // dim % 4 != 0: tail loop runs
+        let kernels: Vec<Box<dyn BatchComp<DenseVector, f64>>> = vec![
+            Box::new(DenseDotKernel::for_dataset(&data).unwrap()),
+            Box::new(DenseSqDistKernel::for_dataset(&data).unwrap()),
+            Box::new(DenseCovKernel::for_dataset(&data).unwrap()),
+        ];
+        for k in &kernels {
+            let batched = batch_of(k.as_ref(), &data);
+            for (i, r) in batched.iter().enumerate() {
+                let scalar = k.eval(&data[i], &data[i + 1]);
+                assert_eq!(r.to_bits(), scalar.to_bits(), "{} pair {i}", k.name());
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_match_reference_math() {
+        let data = gene_expression(12, 21, 3, 0.4, 4);
+        let dot = DenseDotKernel::for_dataset(&data).unwrap();
+        let sq = DenseSqDistKernel::for_dataset(&data).unwrap();
+        let cov = DenseCovKernel::for_dataset(&data).unwrap();
+        for i in 0..data.len() {
+            for j in 0..i {
+                let (a, b) = (&data[i], &data[j]);
+                assert!((dot.eval(a, b) - a.dot(b)).abs() < 1e-9);
+                let d = crate::distance::euclidean(a, b);
+                assert!((sq.eval(a, b) - d * d).abs() < 1e-9);
+                assert!((cov.eval(a, b) - covariance(a, b)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn covariance_degenerate_dims() {
+        let short = vec![DenseVector(vec![1.0]), DenseVector(vec![2.0])];
+        let cov = DenseCovKernel::for_dataset(&short).unwrap();
+        assert_eq!(cov.eval(&short[0], &short[1]), 0.0);
+    }
+
+    #[test]
+    fn sparse_kernel_is_merge_join_dot() {
+        let docs = zipf_documents(20, 256, 24, 1.1, 3);
+        for i in 0..docs.len() {
+            for j in 0..i {
+                let r = SparseDotKernel.eval(&docs[i], &docs[j]);
+                assert_eq!(r.to_bits(), docs[i].dot(&docs[j]).to_bits());
+            }
+        }
+    }
+}

@@ -22,6 +22,7 @@ pub mod covariance;
 pub mod distance;
 pub mod docsim;
 pub mod generate;
+pub mod kernels;
 pub mod mutualinfo;
 pub mod vector;
 

@@ -19,9 +19,11 @@ impl DenseVector {
         self.0.iter().map(|x| x * x).sum::<f64>().sqrt()
     }
 
-    /// Inner product with another vector (dimensions must match).
+    /// Inner product with another vector. Dimensions must match — checked
+    /// in debug builds only; datasets are validated once up front via
+    /// [`crate::kernels::validate_uniform_dim`] instead of per pair.
     pub fn dot(&self, other: &DenseVector) -> f64 {
-        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        debug_assert_eq!(self.dim(), other.dim(), "dimension mismatch");
         self.0.iter().zip(&other.0).map(|(a, b)| a * b).sum()
     }
 

@@ -1,0 +1,240 @@
+//! Perf-trajectory harness — records dense/sparse pairs-per-second into
+//! `BENCH_pairwise.json` at the repo root, independently of `cargo bench`,
+//! so hot-path changes can be compared against the committed baseline.
+//!
+//! ```sh
+//! cargo run --release -p pmr-bench --bin perf_baseline            # print only
+//! cargo run --release -p pmr-bench --bin perf_baseline -- --record <label>
+//! cargo run --release -p pmr-bench --bin perf_baseline -- --smoke # CI fast mode
+//! ```
+//!
+//! The dense workload is the acceptance configuration: v = 2048 vectors of
+//! dim 64, squared Euclidean distance, block scheme, 8 threads. The scalar
+//! comp uses the same 4-accumulator summation order as the batch kernel so
+//! results are bit-identical across the scalar and batched paths — speedups
+//! must come from execution machinery, never from changing the math.
+
+use std::time::Instant;
+
+use pmr_apps::generate::{gene_expression, zipf_documents};
+use pmr_apps::kernels::{DenseSqDistKernel, SparseDotKernel};
+use pmr_apps::{DenseVector, SparseVector};
+use pmr_core::runner::local::{run_local, run_local_kernel};
+use pmr_core::runner::{comp_fn, BatchComp, CompFn, ConcatSort, PairwiseOutput, Symmetry};
+use pmr_core::scheme::BlockScheme;
+
+const BENCH_FILE: &str = "BENCH_pairwise.json";
+
+/// Squared Euclidean distance with four independent accumulators combined
+/// as `(s0 + s1) + (s2 + s3)` — the exact summation order of the dense
+/// batch kernels, fixed here so recorded entries stay comparable bit-wise.
+fn sq_dist(a: &DenseVector, b: &DenseVector) -> f64 {
+    let (x, y) = (&a.0[..], &b.0[..]);
+    debug_assert_eq!(x.len(), y.len(), "dimension mismatch");
+    let n = x.len().min(y.len());
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0, 0.0, 0.0);
+    let mut i = 0;
+    while i + 4 <= n {
+        let d0 = x[i] - y[i];
+        let d1 = x[i + 1] - y[i + 1];
+        let d2 = x[i + 2] - y[i + 2];
+        let d3 = x[i + 3] - y[i + 3];
+        s0 += d0 * d0;
+        s1 += d1 * d1;
+        s2 += d2 * d2;
+        s3 += d3 * d3;
+        i += 4;
+    }
+    while i < n {
+        let d = x[i] - y[i];
+        s0 += d * d;
+        i += 1;
+    }
+    (s0 + s1) + (s2 + s3)
+}
+
+struct Workload<T> {
+    data: Vec<T>,
+    scheme: BlockScheme,
+    comp: CompFn<T, f64>,
+    threads: usize,
+    iters: usize,
+}
+
+/// Runs the workload `iters` times and returns (pairs/sec of the best
+/// iteration, output of the last run for identity checks).
+fn measure<T: Send + Sync>(w: &Workload<T>) -> (f64, PairwiseOutput<f64>) {
+    let v = w.data.len() as u64;
+    let pairs = v * (v - 1) / 2;
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..w.iters {
+        let start = Instant::now();
+        let (o, _stats) =
+            run_local(&w.data, &w.scheme, &w.comp, Symmetry::Symmetric, &ConcatSort, w.threads);
+        best = best.min(start.elapsed().as_secs_f64());
+        out = Some(o);
+    }
+    (pairs as f64 / best, out.unwrap())
+}
+
+/// [`measure`] through the batch-kernel path ([`run_local_kernel`]).
+fn measure_kernel<T: Send + Sync>(
+    w: &Workload<T>,
+    kernel: &dyn BatchComp<T, f64>,
+) -> (f64, PairwiseOutput<f64>) {
+    let v = w.data.len() as u64;
+    let pairs = v * (v - 1) / 2;
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..w.iters {
+        let start = Instant::now();
+        let (o, _stats) = run_local_kernel(
+            &w.data,
+            &w.scheme,
+            kernel,
+            Symmetry::Symmetric,
+            &ConcatSort,
+            w.threads,
+        );
+        best = best.min(start.elapsed().as_secs_f64());
+        out = Some(o);
+    }
+    (pairs as f64 / best, out.unwrap())
+}
+
+/// Asserts two outputs are byte-identical: same elements, same neighbor
+/// ids, and bitwise-equal `f64` results (NaN-proof, `±0.0`-proof).
+fn assert_bit_identical(a: &PairwiseOutput<f64>, b: &PairwiseOutput<f64>, what: &str) {
+    assert_eq!(a.per_element.len(), b.per_element.len(), "{what}: element count");
+    for ((ida, rowa), (idb, rowb)) in a.per_element.iter().zip(&b.per_element) {
+        assert_eq!(ida, idb, "{what}: element order");
+        assert_eq!(rowa.len(), rowb.len(), "{what}: row {ida} length");
+        for ((oa, ra), (ob, rb)) in rowa.iter().zip(rowb) {
+            assert_eq!(oa, ob, "{what}: row {ida} neighbor order");
+            assert_eq!(ra.to_bits(), rb.to_bits(), "{what}: result ({ida},{oa}) differs");
+        }
+    }
+}
+
+fn dense_workload(smoke: bool) -> Workload<DenseVector> {
+    let (v, iters) = if smoke { (256, 1) } else { (2048, 5) };
+    Workload {
+        data: gene_expression(v, 64, 8, 0.3, 42),
+        scheme: BlockScheme::new(v as u64, if smoke { 4 } else { 16 }),
+        comp: comp_fn(sq_dist),
+        threads: 8,
+        iters,
+    }
+}
+
+fn sparse_workload(smoke: bool) -> Workload<SparseVector> {
+    let (v, iters) = if smoke { (256, 1) } else { (1024, 5) };
+    Workload {
+        data: zipf_documents(v, 4096, 64, 1.1, 7),
+        scheme: BlockScheme::new(v as u64, 8),
+        comp: comp_fn(|a: &SparseVector, b: &SparseVector| a.dot(b)),
+        threads: 8,
+        iters,
+    }
+}
+
+/// Locates the repo root by walking up from CWD until `BENCH_FILE`'s
+/// directory (the one holding `Cargo.toml` with a `[workspace]`) is found.
+fn repo_root() -> std::path::PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.exists() {
+            if let Ok(s) = std::fs::read_to_string(&manifest) {
+                if s.contains("[workspace]") {
+                    return dir;
+                }
+            }
+        }
+        if !dir.pop() {
+            return std::env::current_dir().expect("cwd");
+        }
+    }
+}
+
+fn entry_json(label: &str, dense_pps: f64, sparse_pps: f64) -> String {
+    format!(
+        "    {{ \"label\": \"{label}\", \"dense_pairs_per_sec\": {dense_pps:.0}, \
+         \"sparse_pairs_per_sec\": {sparse_pps:.0} }}"
+    )
+}
+
+/// Appends an entry to `BENCH_pairwise.json`, preserving prior entries.
+/// The file is always written by this binary in a fixed layout, so prior
+/// entry lines are recognizable as the lines starting with `    {`.
+fn record(label: &str, dense_pps: f64, sparse_pps: f64) {
+    let path = repo_root().join(BENCH_FILE);
+    let mut entries: Vec<String> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(&path) {
+        for line in existing.lines() {
+            if line.starts_with("    {") {
+                entries.push(line.trim_end_matches(',').to_string());
+            }
+        }
+    }
+    entries.push(entry_json(label, dense_pps, sparse_pps));
+    let body = entries.join(",\n");
+    let json = format!(
+        "{{\n  \"schema\": \"pmr.perf/1\",\n  \"bench\": {{\n    \"dense\": {{ \"v\": 2048, \
+         \"dim\": 64, \"threads\": 8, \"scheme\": \"block(h=16)\", \"comp\": \
+         \"squared_euclidean\" }},\n    \"sparse\": {{ \"v\": 1024, \"vocab\": 4096, \"nnz\": 64, \
+         \"threads\": 8, \"scheme\": \"block(h=8)\", \"comp\": \"dot\" }}\n  }},\n  \"entries\": \
+         [\n{body}\n  ]\n}}\n"
+    );
+    std::fs::write(&path, json).expect("write BENCH_pairwise.json");
+    println!("recorded entry '{label}' in {}", path.display());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let label = args
+        .iter()
+        .position(|a| a == "--record")
+        .map(|i| args.get(i + 1).expect("--record needs a label").clone());
+
+    let dense = dense_workload(smoke);
+    let (dense_scalar_pps, dense_out) = measure(&dense);
+    let dense_kern = DenseSqDistKernel::for_dataset(&dense.data).expect("uniform dims");
+    let (dense_pps, dense_kout) = measure_kernel(&dense, &dense_kern);
+    assert_bit_identical(&dense_out, &dense_kout, "dense scalar vs kernel");
+    println!(
+        "dense  (v={}, dim=64, {} threads): {:>12.0} pairs/s scalar, {:>12.0} pairs/s kernel",
+        dense.data.len(),
+        dense.threads,
+        dense_scalar_pps,
+        dense_pps
+    );
+
+    let sparse = sparse_workload(smoke);
+    let (sparse_scalar_pps, sparse_out) = measure(&sparse);
+    let (sparse_pps, sparse_kout) = measure_kernel(&sparse, &SparseDotKernel);
+    assert_bit_identical(&sparse_out, &sparse_kout, "sparse scalar vs kernel");
+    println!(
+        "sparse (v={}, nnz≈64, {} threads): {:>12.0} pairs/s scalar, {:>12.0} pairs/s kernel",
+        sparse.data.len(),
+        sparse.threads,
+        sparse_scalar_pps,
+        sparse_pps
+    );
+
+    // Sanity: every element has v−1 neighbors (exactly-once coverage made
+    // it into the aggregated output), so a scheduler bug fails fast here.
+    for out in [&dense_out, &sparse_out] {
+        let v = out.per_element.len();
+        assert!(out.per_element.iter().all(|(_, r)| r.len() == v - 1), "missing pair results");
+    }
+
+    if let Some(label) = label {
+        record(&label, dense_pps, sparse_pps);
+    }
+    if smoke {
+        println!("smoke mode OK");
+    }
+}

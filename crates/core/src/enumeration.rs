@@ -106,9 +106,91 @@ pub fn pairs_in_range(start: u64, end: u64) -> impl Iterator<Item = (u64, u64)> 
     })
 }
 
+/// Edge length of the square index tiles used by the cache-blocked pair
+/// walks below. 32 keeps a tile's two operand runs (≤ 64 elements) inside
+/// L1 for payloads up to ~512 B each — e.g. dim-64 `f64` vectors.
+pub const TILE_EDGE: u64 = 32;
+
+/// Walks the full cross product `cols × rows` (every `(a, b)` with
+/// `a ∈ cols`, `b ∈ rows`) in [`TILE_EDGE`]-square tiles so both operand
+/// runs stay cache-hot across a tile. Callers guarantee `cols` holds the
+/// larger indexes (all emitted pairs satisfy `a > b`).
+pub fn for_each_pair_rect(
+    cols: std::ops::Range<u64>,
+    rows: std::ops::Range<u64>,
+    f: &mut dyn FnMut(u64, u64),
+) {
+    let mut a0 = cols.start;
+    while a0 < cols.end {
+        let a1 = (a0 + TILE_EDGE).min(cols.end);
+        let mut b0 = rows.start;
+        while b0 < rows.end {
+            let b1 = (b0 + TILE_EDGE).min(rows.end);
+            for a in a0..a1 {
+                for b in b0..b1 {
+                    f(a, b);
+                }
+            }
+            b0 = b1;
+        }
+        a0 = a1;
+    }
+}
+
+/// Walks the strict lower triangle of `range × range` (every `(a, b)` with
+/// `range.start ≤ b < a < range.end`) in [`TILE_EDGE`]-square tiles:
+/// full tiles left of the diagonal, then the triangular diagonal tile.
+pub fn for_each_pair_triangle(range: std::ops::Range<u64>, f: &mut dyn FnMut(u64, u64)) {
+    let mut a0 = range.start;
+    while a0 < range.end {
+        let a1 = (a0 + TILE_EDGE).min(range.end);
+        let mut b0 = range.start;
+        while b0 < a0 {
+            let b1 = (b0 + TILE_EDGE).min(a0);
+            for a in a0..a1 {
+                for b in b0..b1 {
+                    f(a, b);
+                }
+            }
+            b0 = b1;
+        }
+        for a in a0..a1 {
+            for b in a0..a {
+                f(a, b);
+            }
+        }
+        a0 = a1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tiled_walks_cover_exactly() {
+        // Rect: multiset equals the plain cross product.
+        for (cols, rows) in [(10u64..75, 0u64..10), (5..6, 0..5), (40..40, 0..10), (33..97, 0..33)]
+        {
+            let mut got = Vec::new();
+            for_each_pair_rect(cols.clone(), rows.clone(), &mut |a, b| got.push((a, b)));
+            let mut expect: Vec<(u64, u64)> =
+                cols.clone().flat_map(|a| rows.clone().map(move |b| (a, b))).collect();
+            got.sort_unstable();
+            expect.sort_unstable();
+            assert_eq!(got, expect, "cols {cols:?} rows {rows:?}");
+        }
+        // Triangle: multiset equals the strict triangle.
+        for range in [0u64..1, 0..2, 0..31, 0..32, 0..33, 7..100, 64..64] {
+            let mut got = Vec::new();
+            for_each_pair_triangle(range.clone(), &mut |a, b| got.push((a, b)));
+            let mut expect: Vec<(u64, u64)> =
+                range.clone().flat_map(|a| (range.start..a).map(move |b| (a, b))).collect();
+            got.sort_unstable();
+            expect.sort_unstable();
+            assert_eq!(got, expect, "range {range:?}");
+        }
+    }
 
     #[test]
     fn figure5_labels_match_paper() {

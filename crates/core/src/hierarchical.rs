@@ -19,7 +19,9 @@
 
 use std::sync::Arc;
 
-use crate::enumeration::{diag_count, diag_unrank, pair_count};
+use crate::enumeration::{
+    diag_count, diag_unrank, for_each_pair_rect, for_each_pair_triangle, pair_count,
+};
 use crate::scheme::{DesignScheme, DistributionScheme, SchemeMetrics};
 
 // ---------------------------------------------------------------------------
@@ -104,6 +106,15 @@ impl DistributionScheme for SubsetBlockScheme {
             }
         }
         out
+    }
+
+    fn for_each_pair(&self, task: u64, f: &mut dyn FnMut(u64, u64)) {
+        let (i, j) = diag_unrank(task);
+        if i == j {
+            for_each_pair_triangle(self.stripe(i), f);
+        } else {
+            for_each_pair_rect(self.stripe(i), self.stripe(j), f);
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -214,6 +225,11 @@ impl DistributionScheme for BipartiteGridScheme {
         out
     }
 
+    fn for_each_pair(&self, task: u64, f: &mut dyn FnMut(u64, u64)) {
+        let (x, y) = (task / self.f, task % self.f);
+        for_each_pair_rect(self.col_tile(x), self.row_tile(y), f);
+    }
+
     fn name(&self) -> &'static str {
         "two-level-block/grid-round"
     }
@@ -270,6 +286,10 @@ impl DistributionScheme for TaskSliceScheme {
 
     fn pairs(&self, task: u64) -> Vec<(u64, u64)> {
         self.inner.pairs(self.tasks[task as usize])
+    }
+
+    fn for_each_pair(&self, task: u64, f: &mut dyn FnMut(u64, u64)) {
+        self.inner.for_each_pair(self.tasks[task as usize], f);
     }
 
     fn num_pairs(&self, task: u64) -> u64 {

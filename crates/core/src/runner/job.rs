@@ -25,12 +25,13 @@ use pmr_cluster::Cluster;
 use pmr_mapreduce::{MrError, Wire};
 use pmr_obs::{RunReport, Telemetry};
 
+use crate::runner::kernel::{BatchComp, ScalarComp};
 use crate::runner::local::{run_local_impl, LocalRunStats};
 use crate::runner::mr::{
     run_mr_broadcast_impl, run_mr_impl, run_mr_rounds_impl, MrPairwiseOptions, MrRunReport,
     EVALUATIONS_COUNTER,
 };
-use crate::runner::sequential::run_sequential;
+use crate::runner::sequential::run_sequential_kernel;
 use crate::runner::store::ElementStore;
 use crate::runner::{Aggregator, CompFn, ConcatSort, PairwiseOutput, Symmetry};
 use crate::scheme::{BroadcastScheme, DistributionScheme};
@@ -106,6 +107,7 @@ impl<R> PairwiseRun<R> {
 pub struct PairwiseJob<'a, T, R> {
     store: Arc<ElementStore<T>>,
     comp: CompFn<T, R>,
+    kernel: Option<Arc<dyn BatchComp<T, R>>>,
     plan: Plan,
     backend: Backend<'a>,
     symmetry: Symmetry,
@@ -131,6 +133,7 @@ where
         PairwiseJob {
             store,
             comp,
+            kernel: None,
             plan: Plan::None,
             backend: Backend::Sequential,
             symmetry: Symmetry::Symmetric,
@@ -176,6 +179,20 @@ where
         self
     }
 
+    /// Evaluates through a batch kernel instead of the scalar comp — the
+    /// hot path for comps with a vectorized/tiled form (see
+    /// [`BatchComp`]). The kernel **replaces** the `comp` on every
+    /// backend; its `eval` must compute the same function.
+    pub fn kernel(self, kernel: impl BatchComp<T, R> + 'static) -> Self {
+        self.kernel_arc(Arc::new(kernel))
+    }
+
+    /// [`PairwiseJob::kernel`] for an already-shared kernel.
+    pub fn kernel_arc(mut self, kernel: Arc<dyn BatchComp<T, R>>) -> Self {
+        self.kernel = Some(kernel);
+        self
+    }
+
     /// Declares `comp`'s symmetry (default: [`Symmetry::Symmetric`]).
     pub fn symmetry(mut self, symmetry: Symmetry) -> Self {
         self.symmetry = symmetry;
@@ -215,8 +232,21 @@ where
     /// pipeline fails; payload-count mismatches surface as
     /// [`MrError::InvalidJob`].
     pub fn run(self) -> pmr_mapreduce::Result<PairwiseRun<R>> {
-        let PairwiseJob { store, comp, plan, backend, symmetry, aggregator, telemetry, options } =
-            self;
+        let PairwiseJob {
+            store,
+            comp,
+            kernel,
+            plan,
+            backend,
+            symmetry,
+            aggregator,
+            telemetry,
+            options,
+        } = self;
+        // Every backend evaluates through one kernel: the caller's batched
+        // one, or the comp wrapped scalar (bit-identical results either way).
+        let kernel: Arc<dyn BatchComp<T, R>> =
+            kernel.unwrap_or_else(|| Arc::new(ScalarComp::new(comp)));
         // One sink for the whole run: the cluster's when it has one (the
         // engine records spans there), otherwise the builder's.
         let effective = match backend {
@@ -247,7 +277,12 @@ where
         let mut run = match (backend, plan) {
             (Backend::Sequential, _) => {
                 let phase = effective.job_phase("sequential", "evaluate");
-                let output = run_sequential(store.elements(), &comp, symmetry, aggregator.as_ref());
+                let output = run_sequential_kernel(
+                    store.elements(),
+                    kernel.as_ref(),
+                    symmetry,
+                    aggregator.as_ref(),
+                );
                 drop(phase);
                 let v = store.len() as u64;
                 let evaluations = match symmetry {
@@ -270,7 +305,7 @@ where
                 let (output, stats) = run_local_impl(
                     store.elements(),
                     scheme.as_ref(),
-                    &comp,
+                    kernel.as_ref(),
                     symmetry,
                     aggregator.as_ref(),
                     threads,
@@ -287,7 +322,7 @@ where
                 let (output, stats) = run_local_impl(
                     store.elements(),
                     &scheme,
-                    &comp,
+                    kernel.as_ref(),
                     symmetry,
                     aggregator.as_ref(),
                     threads,
@@ -308,7 +343,7 @@ where
                     let (out, s) = run_local_impl(
                         store.elements(),
                         round.as_ref(),
-                        &comp,
+                        kernel.as_ref(),
                         symmetry,
                         &ConcatSort,
                         threads,
@@ -340,18 +375,18 @@ where
             }
             (Backend::Mr(cluster), Plan::Scheme(scheme)) => {
                 let (output, report) =
-                    run_mr_impl(cluster, scheme, &store, comp, symmetry, aggregator, options)?;
+                    run_mr_impl(cluster, scheme, &store, kernel, symmetry, aggregator, options)?;
                 PairwiseRun { output, report: RunReport::default(), mr: vec![report], local: None }
             }
             (Backend::Mr(cluster), Plan::Broadcast(scheme)) => {
                 let (output, report) = run_mr_broadcast_impl(
-                    cluster, &scheme, &store, comp, symmetry, aggregator, options,
+                    cluster, &scheme, &store, kernel, symmetry, aggregator, options,
                 )?;
                 PairwiseRun { output, report: RunReport::default(), mr: vec![report], local: None }
             }
             (Backend::Mr(cluster), Plan::Rounds(rounds)) => {
                 let (output, reports) = run_mr_rounds_impl(
-                    cluster, rounds, &store, comp, symmetry, aggregator, options,
+                    cluster, rounds, &store, kernel, symmetry, aggregator, options,
                 )?;
                 PairwiseRun { output, report: RunReport::default(), mr: reports, local: None }
             }

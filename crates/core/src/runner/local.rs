@@ -2,17 +2,39 @@
 //!
 //! This is the backend a downstream user runs on one machine: the scheme's
 //! tasks are the units of parallelism (exactly the paper's step 2, "perform
-//! pairwise element computation on all subsets in parallel"), pulled from a
-//! shared queue by a pool of worker threads; the per-element partial results
-//! are merged and aggregated afterwards (step 3).
+//! pairwise element computation on all subsets in parallel"); the
+//! per-element partial results are merged and aggregated afterwards
+//! (step 3).
+//!
+//! ## Scheduling
+//!
+//! Tasks are seeded **longest-first** (by `num_pairs`, descending — in the
+//! block scheme diagonal blocks carry ~half the pairs of off-diagonal
+//! ones) round-robin into per-worker deques. A worker pops from the front
+//! of its own deque and, when empty, steals from the *back* of the other
+//! deques — the victim keeps its large front tasks, the thief drains the
+//! small tail, and tail latency stays bounded by one task instead of one
+//! queue. No task is ever spawned mid-phase, so a failed steal scan means
+//! the phase is draining and the worker exits immediately: surplus workers
+//! (`threads > tasks` never even spawn — the pool is clamped) neither spin
+//! nor sleep.
+//!
+//! ## Evaluation
+//!
+//! Pairs are streamed via `DistributionScheme::for_each_pair` (no per-task
+//! pair vector) into L1-sized tiles evaluated by a [`BatchComp`] kernel;
+//! the [`CompFn`] entry point wraps the comp in a [`ScalarComp`], which
+//! evaluates tiles with the identical per-pair arithmetic — results are
+//! bit-for-bit the same on both paths.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::VecDeque;
 use std::time::Instant;
 
+use parking_lot::Mutex;
 use pmr_obs::{hist, SpanKind, Telemetry};
 
-use crate::runner::{finalize, Aggregator, CompFn, PairwiseOutput, Symmetry};
+use crate::runner::kernel::{evaluate_tiled, BatchComp, ScalarComp};
+use crate::runner::{Aggregator, CompFn, PairwiseOutput, Symmetry};
 use crate::scheme::DistributionScheme;
 
 /// Statistics from a local run.
@@ -41,16 +63,49 @@ where
     T: Sync,
     R: Clone + Send,
 {
-    run_local_impl(payloads, scheme, comp, symmetry, aggregator, threads, &Telemetry::disabled())
+    let kernel = ScalarComp::new(comp.clone());
+    run_local_impl(payloads, scheme, &kernel, symmetry, aggregator, threads, &Telemetry::disabled())
 }
 
-/// [`run_local`] with a telemetry handle: each task becomes a
-/// [`SpanKind::Task`] span (node = worker index), and the run's
-/// evaluate/aggregate windows are emitted as job phases of job `"local"`.
+/// [`run_local`] evaluating through a batch kernel instead of a scalar
+/// [`CompFn`] — the fast path for comps with a vectorized form.
+pub fn run_local_kernel<T, R>(
+    payloads: &[T],
+    scheme: &dyn DistributionScheme,
+    kernel: &dyn BatchComp<T, R>,
+    symmetry: Symmetry,
+    aggregator: &dyn Aggregator<R>,
+    threads: usize,
+) -> (PairwiseOutput<R>, LocalRunStats)
+where
+    T: Sync,
+    R: Clone + Send,
+{
+    run_local_impl(payloads, scheme, kernel, symmetry, aggregator, threads, &Telemetry::disabled())
+}
+
+/// Seeds per-worker deques longest-task-first, round-robin: sorting by
+/// descending `num_pairs` (stable, so ties keep ascending task order)
+/// starts the heavy tasks everywhere at once.
+fn seed_deques(scheme: &dyn DistributionScheme, workers: usize) -> Vec<Mutex<VecDeque<u64>>> {
+    let mut order: Vec<u64> = (0..scheme.num_tasks()).collect();
+    order.sort_by_key(|&t| std::cmp::Reverse(scheme.num_pairs(t)));
+    let deques: Vec<Mutex<VecDeque<u64>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, &t) in order.iter().enumerate() {
+        deques[i % workers].lock().push_back(t);
+    }
+    deques
+}
+
+/// The heart of the runner, shared with [`PairwiseJob`](crate::runner::job):
+/// each task becomes a [`SpanKind::Task`] span (node = worker index), and
+/// the run's evaluate/aggregate windows are emitted as job phases of job
+/// `"local"`.
 pub(crate) fn run_local_impl<T, R>(
     payloads: &[T],
     scheme: &dyn DistributionScheme,
-    comp: &CompFn<T, R>,
+    kernel: &dyn BatchComp<T, R>,
     symmetry: Symmetry,
     aggregator: &dyn Aggregator<R>,
     threads: usize,
@@ -61,57 +116,90 @@ where
     R: Clone + Send,
 {
     assert_eq!(payloads.len() as u64, scheme.v(), "payload count must match the scheme's v");
-    let threads = threads.max(1);
+    let v = payloads.len();
     let num_tasks = scheme.num_tasks();
-    let next_task = AtomicU64::new(0);
-    let evaluations = AtomicU64::new(0);
-    let max_ws = AtomicU64::new(0);
+    // Never spawn more workers than tasks: a surplus worker would only
+    // scan empty deques and exit, so don't pay its spawn either.
+    let workers = threads.max(1).min(num_tasks.max(1) as usize);
+    let deques = seed_deques(scheme, workers);
+
+    struct WorkerResult<R> {
+        /// Result triples, appended sequentially — the cheap emit layout;
+        /// grouping by element happens once, in the aggregate phase. For a
+        /// symmetric comp one `(a, b, r)` entry covers both directions;
+        /// for a non-symmetric comp each direction gets its own
+        /// `(with, other, r)` entry.
+        emitted: Vec<(u64, u64, R)>,
+        /// Per-element row sizes this worker contributes — counted during
+        /// emission (the array is L1-resident) so the merge can size every
+        /// row exactly without re-scanning the emit buffers.
+        counts: Vec<usize>,
+        tasks: u64,
+        evaluations: u64,
+        max_working_set: u64,
+    }
 
     // Each worker accumulates privately; merge after the scope ends.
     let eval_phase = telemetry.job_phase("local", "evaluate");
-    let worker_buckets: Vec<HashMap<u64, Vec<(u64, R)>>> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
+    let results: Vec<WorkerResult<R>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
             .map(|w| {
-                let next_task = &next_task;
-                let evaluations = &evaluations;
-                let max_ws = &max_ws;
+                let deques = &deques;
                 scope.spawn(move |_| {
-                    let mut local: HashMap<u64, Vec<(u64, R)>> = HashMap::new();
-                    let mut evals = 0u64;
+                    let mut res = WorkerResult {
+                        emitted: Vec::new(),
+                        counts: vec![0; v],
+                        tasks: 0,
+                        evaluations: 0,
+                        max_working_set: 0,
+                    };
                     loop {
-                        let t = next_task.fetch_add(1, Ordering::Relaxed);
-                        if t >= num_tasks {
-                            break;
-                        }
+                        // Pop-then-steal as separate statements: the own-
+                        // deque guard must drop before any victim is
+                        // locked, or two stealing workers can hold their
+                        // own (empty) deques while waiting on each other.
+                        let own = deques[w].lock().pop_front();
+                        let t = own.or_else(|| {
+                            (1..workers)
+                                .find_map(|off| deques[(w + off) % workers].lock().pop_back())
+                        });
+                        // All deques empty: tasks still in flight elsewhere
+                        // spawn no new work, so this worker is done.
+                        let Some(t) = t else { break };
                         let mut span =
                             telemetry.span("local", SpanKind::Task, t as u32, 0, w as u32);
                         let mut lap_at = Instant::now();
                         let ws = scheme.working_set(t);
-                        max_ws.fetch_max(ws.len() as u64, Ordering::Relaxed);
+                        res.max_working_set = res.max_working_set.max(ws.len() as u64);
                         span.add_records_in(ws.len() as u64);
-                        let mut task_evals = 0u64;
-                        for (a, b) in scheme.pairs(t) {
-                            let (pa, pb) = (&payloads[a as usize], &payloads[b as usize]);
-                            match symmetry {
-                                Symmetry::Symmetric => {
-                                    let r = comp(pa, pb);
-                                    task_evals += 1;
-                                    local.entry(a).or_default().push((b, r.clone()));
-                                    local.entry(b).or_default().push((a, r));
+                        let per_pair = match symmetry {
+                            Symmetry::Symmetric => 1,
+                            Symmetry::NonSymmetric => 2,
+                        };
+                        res.emitted.reserve(per_pair * scheme.num_pairs(t) as usize);
+                        let emitted = &mut res.emitted;
+                        let counts = &mut res.counts;
+                        let task_evals = evaluate_tiled(
+                            kernel,
+                            symmetry,
+                            |id| &payloads[id as usize],
+                            |f| scheme.for_each_pair(t, f),
+                            |a, b, rf, rr| {
+                                counts[a as usize] += 1;
+                                counts[b as usize] += 1;
+                                let rev = rr.map(|rr| (b, a, rr));
+                                emitted.push((a, b, rf));
+                                if let Some(entry) = rev {
+                                    emitted.push(entry);
                                 }
-                                Symmetry::NonSymmetric => {
-                                    task_evals += 2;
-                                    local.entry(a).or_default().push((b, comp(pa, pb)));
-                                    local.entry(b).or_default().push((a, comp(pb, pa)));
-                                }
-                            }
-                        }
-                        evals += task_evals;
+                            },
+                        );
+                        res.tasks += 1;
+                        res.evaluations += task_evals;
                         span.lap("evaluate", &mut lap_at);
                         telemetry.record_value(hist::EVALUATIONS_PER_TASK, task_evals);
                     }
-                    evaluations.fetch_add(evals, Ordering::Relaxed);
-                    local
+                    res
                 })
             })
             .collect();
@@ -121,23 +209,74 @@ where
     drop(eval_phase);
     let agg_phase = telemetry.job_phase("local", "aggregate");
 
-    let mut buckets: HashMap<u64, Vec<(u64, R)>> = HashMap::with_capacity(payloads.len());
-    for id in 0..scheme.v() {
-        buckets.insert(id, Vec::new());
-    }
-    for wb in worker_buckets {
-        for (id, mut partials) in wb {
-            buckets.get_mut(&id).expect("scheme produced out-of-range id").append(&mut partials);
+    let mut stats = LocalRunStats::default();
+    let mut emitted: Vec<Vec<(u64, u64, R)>> = Vec::with_capacity(results.len());
+    let mut counts = vec![0usize; v];
+    for res in results {
+        stats.tasks += res.tasks;
+        stats.evaluations += res.evaluations;
+        stats.max_working_set = stats.max_working_set.max(res.max_working_set);
+        for (c, wc) in counts.iter_mut().zip(&res.counts) {
+            *c += wc;
         }
+        emitted.push(res.emitted);
     }
-    let stats = LocalRunStats {
-        tasks: num_tasks,
-        evaluations: evaluations.load(Ordering::Relaxed),
-        max_working_set: max_ws.load(Ordering::Relaxed),
-    };
-    let out = finalize(buckets, aggregator);
+    debug_assert_eq!(stats.tasks, num_tasks, "every task runs exactly once");
+    let out = merge_aggregate(emitted, counts, symmetry, aggregator, threads);
     drop(agg_phase);
     (out, stats)
+}
+
+/// Groups the workers' flat emissions into per-element rows sized exactly
+/// from the worker-side `counts` (no `Vec` growth in the scatter), then
+/// aggregates the rows in parallel over contiguous id ranges. A symmetric
+/// entry `(a, b, r)` lands in both rows; a non-symmetric `(with, other, r)`
+/// entry only in `with`'s. For each element the partials land in worker
+/// order — exactly the order a sequential merge produces — and every
+/// aggregator orders by the unique neighbor id, so the output is
+/// byte-identical no matter which thread aggregates which range.
+fn merge_aggregate<R: Clone + Send>(
+    emitted: Vec<Vec<(u64, u64, R)>>,
+    counts: Vec<usize>,
+    symmetry: Symmetry,
+    aggregator: &dyn Aggregator<R>,
+    threads: usize,
+) -> PairwiseOutput<R> {
+    let v = counts.len();
+    if v == 0 {
+        return PairwiseOutput { per_element: Vec::new() };
+    }
+    let mut rows: Vec<Vec<(u64, R)>> = counts.into_iter().map(Vec::with_capacity).collect();
+    for flat in emitted {
+        for (a, b, r) in flat {
+            match symmetry {
+                Symmetry::Symmetric => {
+                    rows[a as usize].push((b, r.clone()));
+                    rows[b as usize].push((a, r));
+                }
+                Symmetry::NonSymmetric => rows[a as usize].push((b, r)),
+            }
+        }
+    }
+
+    // More aggregation threads than hardware threads only adds context
+    // switches (unlike the eval workers, no telemetry references these).
+    let hw = std::thread::available_parallelism().map_or(threads, |p| p.get());
+    let chunk = v.div_ceil(threads.max(1).min(hw).min(v));
+    crossbeam::thread::scope(|scope| {
+        for (k, out_chunk) in rows.chunks_mut(chunk).enumerate() {
+            scope.spawn(move |_| {
+                for (i, row) in out_chunk.iter_mut().enumerate() {
+                    let id = (k * chunk + i) as u64;
+                    *row = aggregator.aggregate(id, std::mem::take(row));
+                }
+            });
+        }
+    })
+    .expect("aggregate scope failed");
+    PairwiseOutput {
+        per_element: rows.into_iter().enumerate().map(|(id, r)| (id as u64, r)).collect(),
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +337,53 @@ mod tests {
         let (_, stats) = run_local(&data, &s, &comp(), Symmetry::Symmetric, &ConcatSort, 2);
         assert!(stats.max_working_set <= 12);
         assert_eq!(stats.tasks, 15);
+    }
+
+    #[test]
+    fn more_threads_than_tasks() {
+        // BlockScheme(10, 2) has 3 tasks; 16 requested workers must neither
+        // spin nor break coverage — the pool clamps to the task count.
+        let data = payloads(10);
+        let reference = run_sequential(&data, &comp(), Symmetry::Symmetric, &ConcatSort);
+        let s = BlockScheme::new(10, 2);
+        let (out, stats) = run_local(&data, &s, &comp(), Symmetry::Symmetric, &ConcatSort, 16);
+        assert_eq!(out, reference);
+        assert_eq!(stats.tasks, 3);
+    }
+
+    #[test]
+    fn kernel_path_matches_scalar_path() {
+        struct AbsDiff;
+        impl BatchComp<i64, i64> for AbsDiff {
+            fn eval(&self, a: &i64, b: &i64) -> i64 {
+                (a - b).abs()
+            }
+            fn name(&self) -> &'static str {
+                "absdiff"
+            }
+        }
+        let data = payloads(50);
+        let s = BlockScheme::new(50, 4);
+        let (scalar, _) = run_local(&data, &s, &comp(), Symmetry::Symmetric, &ConcatSort, 4);
+        let (batched, stats) =
+            run_local_kernel(&data, &s, &AbsDiff, Symmetry::Symmetric, &ConcatSort, 4);
+        assert_eq!(batched, scalar);
+        assert_eq!(stats.evaluations, 50 * 49 / 2);
+    }
+
+    #[test]
+    fn longest_first_seeding_orders_by_pairs() {
+        let s = BlockScheme::new(40, 4); // off-diag 100 pairs, diag 45
+        let deques = seed_deques(&s, 2);
+        let first_of_0 = *deques[0].lock().front().unwrap();
+        let first_of_1 = *deques[1].lock().front().unwrap();
+        assert_eq!(s.num_pairs(first_of_0), 100);
+        assert_eq!(s.num_pairs(first_of_1), 100);
+        // Every task seeded exactly once.
+        let mut all: Vec<u64> =
+            deques.iter().flat_map(|d| d.lock().iter().copied().collect::<Vec<_>>()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..s.num_tasks()).collect::<Vec<_>>());
     }
 
     #[test]

@@ -22,12 +22,14 @@
 //! without being *moved*.
 
 pub mod job;
+pub mod kernel;
 pub mod local;
 pub mod mr;
 pub mod sequential;
 pub mod store;
 
 pub use job::{Backend, PairwiseJob, PairwiseRun};
+pub use kernel::{BatchComp, ScalarComp};
 pub use store::ElementStore;
 
 use std::sync::Arc;
@@ -68,9 +70,59 @@ pub struct ConcatSort;
 
 impl<R> Aggregator<R> for ConcatSort {
     fn aggregate(&self, _element: u64, mut partials: Vec<(u64, R)>) -> Vec<(u64, R)> {
-        partials.sort_by_key(|(other, _)| *other);
+        sort_by_neighbor(&mut partials);
         partials
     }
+}
+
+/// Sorts partials by neighbor id — a stable counting sort when the key
+/// range is dense (the common case: ids are 0..v), falling back to the
+/// comparison sort otherwise. Both orders are identical (the counting sort
+/// is stable, and exactly-once schemes make the keys unique anyway), so
+/// which branch runs never changes the output.
+fn sort_by_neighbor<R>(partials: &mut [(u64, R)]) {
+    let n = partials.len();
+    if n >= 64 {
+        let (mut min, mut max) = (u64::MAX, 0u64);
+        for &(o, _) in partials.iter() {
+            min = min.min(o);
+            max = max.max(o);
+        }
+        let range = (max - min) as usize + 1;
+        if range <= 4 * n {
+            // Stable counting sort: compute each entry's target position,
+            // then apply the permutation in place by cycle-chasing (no
+            // clone of R needed).
+            let mut starts = vec![0u32; range];
+            for &(o, _) in partials.iter() {
+                starts[(o - min) as usize] += 1;
+            }
+            let mut sum = 0u32;
+            for s in starts.iter_mut() {
+                let c = *s;
+                *s = sum;
+                sum += c;
+            }
+            let mut target: Vec<u32> = partials
+                .iter()
+                .map(|&(o, _)| {
+                    let slot = &mut starts[(o - min) as usize];
+                    let t = *slot;
+                    *slot += 1;
+                    t
+                })
+                .collect();
+            for i in 0..n {
+                while target[i] as usize != i {
+                    let j = target[i] as usize;
+                    partials.swap(i, j);
+                    target.swap(i, j);
+                }
+            }
+            return;
+        }
+    }
+    partials.sort_unstable_by_key(|(other, _)| *other);
 }
 
 /// Keeps only results passing a predicate (the paper's DBSCAN remark:
@@ -91,7 +143,7 @@ impl<R, F: Fn(&R) -> bool + Send + Sync> FilterAggregator<R, F> {
 impl<R: Send, F: Fn(&R) -> bool + Send + Sync> Aggregator<R> for FilterAggregator<R, F> {
     fn aggregate(&self, _element: u64, mut partials: Vec<(u64, R)>) -> Vec<(u64, R)> {
         partials.retain(|(_, r)| (self.predicate)(r));
-        partials.sort_by_key(|(other, _)| *other);
+        sort_by_neighbor(&mut partials);
         partials
     }
 }
@@ -113,7 +165,9 @@ impl<R, F: Fn(&R) -> f64 + Send + Sync> TopKAggregator<R, F> {
 
 impl<R: Send, F: Fn(&R) -> f64 + Send + Sync> Aggregator<R> for TopKAggregator<R, F> {
     fn aggregate(&self, _element: u64, mut partials: Vec<(u64, R)>) -> Vec<(u64, R)> {
-        partials.sort_by(|(oa, ra), (ob, rb)| {
+        // The id tiebreak makes this a total order, so unstable is
+        // deterministic here too.
+        partials.sort_unstable_by(|(oa, ra), (ob, rb)| {
             (self.score)(ra).total_cmp(&(self.score)(rb)).then(oa.cmp(ob))
         });
         partials.truncate(self.k);
@@ -143,17 +197,19 @@ impl<R> PairwiseOutput<R> {
     }
 }
 
-/// Turns per-element result buckets into a sorted [`PairwiseOutput`],
-/// applying the aggregator.
-pub(crate) fn finalize<R>(
-    buckets: std::collections::HashMap<u64, Vec<(u64, R)>>,
+/// Turns dense id-indexed buckets (`buckets[id]` holds element `id`'s
+/// partials) into a sorted [`PairwiseOutput`], applying the aggregator —
+/// the hot-path bucket layout of the local and sequential runners.
+/// Already sorted by construction.
+pub(crate) fn finalize_dense<R>(
+    buckets: Vec<Vec<(u64, R)>>,
     aggregator: &dyn Aggregator<R>,
 ) -> PairwiseOutput<R> {
-    let mut per_element: Vec<(u64, Vec<(u64, R)>)> = buckets
+    let per_element = buckets
         .into_iter()
-        .map(|(id, partials)| (id, aggregator.aggregate(id, partials)))
+        .enumerate()
+        .map(|(id, partials)| (id as u64, aggregator.aggregate(id as u64, partials)))
         .collect();
-    per_element.sort_by_key(|(id, _)| *id);
     PairwiseOutput { per_element }
 }
 

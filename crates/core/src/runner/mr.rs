@@ -32,8 +32,9 @@ use pmr_mapreduce::{
 };
 use pmr_obs::{hist, Telemetry};
 
+use crate::runner::kernel::{evaluate_tiled, BatchComp};
 use crate::runner::store::ElementStore;
-use crate::runner::{Aggregator, CompFn, PairwiseOutput, Symmetry};
+use crate::runner::{Aggregator, PairwiseOutput, Symmetry};
 use crate::scheme::{BroadcastScheme, DistributionScheme};
 
 /// User counter: pairwise function evaluations performed inside tasks.
@@ -147,7 +148,7 @@ impl<T: Wire + Sync> Mapper for DistributeMapper<T> {
 /// resolving ids through the node-local element store.
 struct EvaluateReducer<T, R> {
     scheme: Arc<dyn DistributionScheme>,
-    comp: CompFn<T, R>,
+    kernel: Arc<dyn BatchComp<T, R>>,
     symmetry: Symmetry,
     telemetry: Telemetry,
 }
@@ -169,12 +170,18 @@ impl<T: Wire + Sync, R: Wire + Clone + Sync> Reducer for EvaluateReducer<T, R> {
             .ok_or_else(|| MrError::InvalidJob("element store not attached to job 1".into()))?;
         let mut ids: Vec<u64> = values.collect();
         ids.sort_unstable();
-        let expected = self.scheme.working_set(ws);
+        let mut expected = self.scheme.working_set(ws);
+        expected.sort_unstable();
         if ids.len() != expected.len() {
             return Err(MrError::User(format!(
                 "working set {ws}: received {} elements, scheme expects {}",
                 ids.len(),
                 expected.len()
+            )));
+        }
+        if ids != expected {
+            return Err(MrError::User(format!(
+                "working set {ws}: received ids differ from the scheme's working set"
             )));
         }
         // The working set's payloads are what the task memory budget
@@ -189,31 +196,21 @@ impl<T: Wire + Sync, R: Wire + Clone + Sync> Reducer for EvaluateReducer<T, R> {
             })
             .sum::<pmr_mapreduce::Result<u64>>()?;
         ctx.memory().try_reserve(payload_bytes)?;
-        let resolve = |id: u64| -> pmr_mapreduce::Result<&T> {
-            ids.binary_search(&id).map_err(|_| {
-                MrError::User(format!("working set {ws}: pair endpoint {id} missing"))
-            })?;
-            store.get(id).ok_or_else(|| MrError::User(format!("element id {id} not in store")))
-        };
+        // The received ids match the scheme's working set exactly and every
+        // one resolved against the store above; the scheme only enumerates
+        // pairs within the working set, so resolution below is infallible.
         let mut results: HashMap<u64, Vec<(u64, R)>> = HashMap::with_capacity(ids.len());
-        let pairs = self.scheme.pairs(ws);
-        let mut evals = 0u64;
-        for (a, b) in pairs {
-            let (pa, pb) = (resolve(a)?, resolve(b)?);
-            match self.symmetry {
-                Symmetry::Symmetric => {
-                    let r = (self.comp)(pa, pb);
-                    evals += 1;
-                    results.entry(a).or_default().push((b, r.clone()));
-                    results.entry(b).or_default().push((a, r));
-                }
-                Symmetry::NonSymmetric => {
-                    evals += 2;
-                    results.entry(a).or_default().push((b, (self.comp)(pa, pb)));
-                    results.entry(b).or_default().push((a, (self.comp)(pb, pa)));
-                }
-            }
-        }
+        let evals = evaluate_tiled(
+            self.kernel.as_ref(),
+            self.symmetry,
+            |id| store.get(id).expect("working-set id validated against the store"),
+            |f| self.scheme.for_each_pair(ws, f),
+            |a, b, rf, rr| {
+                let rb = rr.unwrap_or_else(|| rf.clone());
+                results.entry(a).or_default().push((b, rf));
+                results.entry(b).or_default().push((a, rb));
+            },
+        );
         ctx.counters().add(EVALUATIONS_COUNTER, evals);
         self.telemetry.record_value(hist::EVALUATIONS_PER_TASK, evals);
         // Emit every copy with its partial results (paper: "The output of
@@ -319,7 +316,7 @@ impl<T: Wire + Sync, R: Wire + Sync> Reducer for AggregateReducer<T, R> {
 /// recorded unchanged — but payload resolution goes through the store.
 struct BroadcastEvalMapper<T, R> {
     scheme: BroadcastScheme,
-    comp: CompFn<T, R>,
+    kernel: Arc<dyn BatchComp<T, R>>,
     symmetry: Symmetry,
     telemetry: Telemetry,
 }
@@ -339,30 +336,26 @@ impl<T: Wire + Sync, R: Wire + Clone + Sync> Mapper for BroadcastEvalMapper<T, R
         let store = ctx.store::<ElementStore<T>>().ok_or_else(|| {
             MrError::InvalidJob("element store not attached to broadcast job".into())
         })?;
-        let resolve = |id: u64| -> pmr_mapreduce::Result<&T> {
-            store
-                .get(id)
-                .ok_or_else(|| MrError::User(format!("broadcast: element id {id} not in store")))
-        };
-        let mut results: HashMap<u64, Vec<(u64, R)>> = HashMap::new();
-        let (s, e) = self.scheme.label_range(task);
-        let mut evals = 0u64;
-        for (a, b) in crate::enumeration::pairs_in_range(s, e) {
-            let (pa, pb) = (resolve(a)?, resolve(b)?);
-            match self.symmetry {
-                Symmetry::Symmetric => {
-                    let r = (self.comp)(pa, pb);
-                    evals += 1;
-                    results.entry(a).or_default().push((b, r.clone()));
-                    results.entry(b).or_default().push((a, r));
-                }
-                Symmetry::NonSymmetric => {
-                    evals += 2;
-                    results.entry(a).or_default().push((b, (self.comp)(pa, pb)));
-                    results.entry(b).or_default().push((a, (self.comp)(pb, pa)));
-                }
-            }
+        // The scheme's label ranges only name ids below `v`; one bound
+        // check makes the tiled resolution below infallible.
+        if (store.len() as u64) < self.scheme.v() {
+            return Err(MrError::User(format!(
+                "broadcast: element id {} not in store",
+                store.len()
+            )));
         }
+        let mut results: HashMap<u64, Vec<(u64, R)>> = HashMap::new();
+        let evals = evaluate_tiled(
+            self.kernel.as_ref(),
+            self.symmetry,
+            |id| store.get(id).expect("label range bounded by v"),
+            |f| self.scheme.for_each_pair(task, f),
+            |a, b, rf, rr| {
+                let rb = rr.unwrap_or_else(|| rf.clone());
+                results.entry(a).or_default().push((b, rf));
+                results.entry(b).or_default().push((a, rb));
+            },
+        );
         ctx.counters().add(EVALUATIONS_COUNTER, evals);
         self.telemetry.record_value(hist::EVALUATIONS_PER_TASK, evals);
         let mut rows: Vec<(u64, Vec<(u64, R)>)> = results.into_iter().collect();
@@ -424,7 +417,7 @@ pub(crate) fn run_mr_impl<T, R>(
     cluster: &Cluster,
     scheme: Arc<dyn DistributionScheme>,
     store: &Arc<ElementStore<T>>,
-    comp: CompFn<T, R>,
+    kernel: Arc<dyn BatchComp<T, R>>,
     symmetry: Symmetry,
     aggregator: Arc<dyn Aggregator<R>>,
     options: MrPairwiseOptions,
@@ -470,7 +463,7 @@ where
             DistributeMapper::<T> { scheme: Arc::clone(&scheme), _pd: std::marker::PhantomData },
             EvaluateReducer::<T, R> {
                 scheme: Arc::clone(&scheme),
-                comp,
+                kernel,
                 symmetry,
                 telemetry: telemetry.clone(),
             },
@@ -537,7 +530,7 @@ pub(crate) fn run_mr_rounds_impl<T, R>(
     cluster: &Cluster,
     rounds: Vec<Arc<dyn DistributionScheme>>,
     store: &Arc<ElementStore<T>>,
-    comp: CompFn<T, R>,
+    kernel: Arc<dyn BatchComp<T, R>>,
     symmetry: Symmetry,
     aggregator: Arc<dyn Aggregator<R>>,
     options: MrPairwiseOptions,
@@ -558,7 +551,7 @@ where
             cluster,
             round,
             store,
-            Arc::clone(&comp),
+            Arc::clone(&kernel),
             symmetry,
             Arc::new(crate::runner::ConcatSort),
             opts,
@@ -582,7 +575,7 @@ pub(crate) fn run_mr_broadcast_impl<T, R>(
     cluster: &Cluster,
     scheme: &BroadcastScheme,
     store: &Arc<ElementStore<T>>,
-    comp: CompFn<T, R>,
+    kernel: Arc<dyn BatchComp<T, R>>,
     symmetry: Symmetry,
     aggregator: Arc<dyn Aggregator<R>>,
     options: MrPairwiseOptions,
@@ -628,7 +621,7 @@ where
             format!("{dir}/out"),
             BroadcastEvalMapper::<T, R> {
                 scheme: scheme.clone(),
-                comp,
+                kernel,
                 symmetry,
                 telemetry: telemetry.clone(),
             },

@@ -1,9 +1,12 @@
 //! Single-threaded reference execution: the paper's trivial solution
 //! (`b = 1`, `D₁ = S`, `P₁` the full strict upper triangle).
+//!
+//! Runs through the same tiled evaluation core as the parallel backends
+//! (the stream here is the full triangle rather than one task's share),
+//! so the ground truth exercises the identical kernel code path.
 
-use std::collections::HashMap;
-
-use crate::runner::{finalize, Aggregator, CompFn, PairwiseOutput, Symmetry};
+use crate::runner::kernel::{evaluate_tiled, BatchComp, ScalarComp};
+use crate::runner::{finalize_dense, Aggregator, CompFn, PairwiseOutput, Symmetry};
 
 /// Evaluates `comp` on all pairs of `payloads` sequentially. Element `i` of
 /// the slice has id `i`. Ground truth for every other backend.
@@ -13,28 +16,37 @@ pub fn run_sequential<T, R: Clone>(
     symmetry: Symmetry,
     aggregator: &dyn Aggregator<R>,
 ) -> PairwiseOutput<R> {
+    let kernel = ScalarComp::new(comp.clone());
+    run_sequential_kernel(payloads, &kernel, symmetry, aggregator)
+}
+
+/// [`run_sequential`] through a batch kernel.
+pub fn run_sequential_kernel<T, R: Clone>(
+    payloads: &[T],
+    kernel: &dyn BatchComp<T, R>,
+    symmetry: Symmetry,
+    aggregator: &dyn Aggregator<R>,
+) -> PairwiseOutput<R> {
     let v = payloads.len() as u64;
-    let mut buckets: HashMap<u64, Vec<(u64, R)>> = HashMap::with_capacity(payloads.len());
-    for id in 0..v {
-        buckets.insert(id, Vec::new());
-    }
-    for a in 1..v {
-        for b in 0..a {
-            let (pa, pb) = (&payloads[a as usize], &payloads[b as usize]);
-            match symmetry {
-                Symmetry::Symmetric => {
-                    let r = comp(pa, pb);
-                    buckets.get_mut(&a).unwrap().push((b, r.clone()));
-                    buckets.get_mut(&b).unwrap().push((a, r));
-                }
-                Symmetry::NonSymmetric => {
-                    buckets.get_mut(&a).unwrap().push((b, comp(pa, pb)));
-                    buckets.get_mut(&b).unwrap().push((a, comp(pb, pa)));
+    let mut buckets: Vec<Vec<(u64, R)>> = (0..v).map(|_| Vec::new()).collect();
+    evaluate_tiled(
+        kernel,
+        symmetry,
+        |id| &payloads[id as usize],
+        |f| {
+            for a in 1..v {
+                for b in 0..a {
+                    f(a, b);
                 }
             }
-        }
-    }
-    finalize(buckets, aggregator)
+        },
+        |a, b, rf, rr| {
+            let rb = rr.unwrap_or_else(|| rf.clone());
+            buckets[a as usize].push((b, rf));
+            buckets[b as usize].push((a, rb));
+        },
+    );
+    finalize_dense(buckets, aggregator)
 }
 
 #[cfg(test)]

@@ -9,7 +9,9 @@
 //! Table-1 characteristics: `h(h+1)/2` tasks, working sets of `≤ 2e`
 //! elements, each element in `h` blocks, at most `e²` evaluations per task.
 
-use crate::enumeration::{diag_count, diag_rank, diag_unrank};
+use crate::enumeration::{
+    diag_count, diag_rank, diag_unrank, for_each_pair_rect, for_each_pair_triangle,
+};
 use crate::scheme::{DistributionScheme, SchemeMetrics};
 
 /// Block scheme with blocking factor `h`.
@@ -128,6 +130,15 @@ impl DistributionScheme for BlockScheme {
             }
         }
         out
+    }
+
+    fn for_each_pair(&self, task: u64, f: &mut dyn FnMut(u64, u64)) {
+        let (i, j) = self.position(task);
+        if i == j {
+            for_each_pair_triangle(self.stripe_range(i), f);
+        } else {
+            for_each_pair_rect(self.stripe_range(i), self.stripe_range(j), f);
+        }
     }
 
     fn num_pairs(&self, task: u64) -> u64 {
@@ -280,6 +291,20 @@ impl DistributionScheme for PairedBlockScheme {
                     triangle(first + 1);
                 }
                 out
+            }
+        }
+    }
+
+    fn for_each_pair(&self, task: u64, f: &mut dyn FnMut(u64, u64)) {
+        match self.classify(task) {
+            PairedTask::OffDiag { col, row } => {
+                for_each_pair_rect(self.inner.stripe_range(col), self.inner.stripe_range(row), f);
+            }
+            PairedTask::DiagPair { first } => {
+                for_each_pair_triangle(self.inner.stripe_range(first), f);
+                if first + 1 < self.inner.h {
+                    for_each_pair_triangle(self.inner.stripe_range(first + 1), f);
+                }
             }
         }
     }

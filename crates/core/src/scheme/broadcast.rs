@@ -90,6 +90,16 @@ impl DistributionScheme for BroadcastScheme {
         pairs_in_range(s, e).collect()
     }
 
+    fn for_each_pair(&self, task: u64, f: &mut dyn FnMut(u64, u64)) {
+        // A label range walks rows of the triangle: `b` advances
+        // contiguously within each row, which is already cache-friendly —
+        // no tiling needed, just avoid the vector.
+        let (s, e) = self.label_range(task);
+        for (a, b) in pairs_in_range(s, e) {
+            f(a, b);
+        }
+    }
+
     fn num_pairs(&self, task: u64) -> u64 {
         let (s, e) = self.label_range(task);
         e - s

@@ -92,6 +92,17 @@ impl DistributionScheme for DesignScheme {
         out
     }
 
+    fn for_each_pair(&self, task: u64, f: &mut dyn FnMut(u64, u64)) {
+        // Blocks hold only k ≈ √v elements — the whole working set is
+        // L1-resident, so the plain triangle walk is already optimal.
+        let block = &self.design.blocks()[task as usize];
+        for (idx, &a) in block.iter().enumerate().skip(1) {
+            for &b in &block[..idx] {
+                f(a, b);
+            }
+        }
+    }
+
     fn num_pairs(&self, task: u64) -> u64 {
         let k = self.design.blocks()[task as usize].len() as u64;
         k * k.saturating_sub(1) / 2

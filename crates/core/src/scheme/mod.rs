@@ -42,6 +42,20 @@ pub trait DistributionScheme: Send + Sync {
     /// `working_set(t)`.
     fn pairs(&self, task: u64) -> Vec<(u64, u64)>;
 
+    /// Streams task `t`'s pairs into `f` without materializing a pair
+    /// vector — the hot-path form of [`pairs`](Self::pairs). Yields exactly
+    /// the same multiset of `(a, b)` pairs; the *order* may differ (native
+    /// implementations walk cache-blocked
+    /// [`TILE_EDGE`](crate::enumeration::TILE_EDGE)-square tiles so both
+    /// operands stay L1-hot across a tile). All consumers of pair streams
+    /// are order-insensitive: evaluation results are keyed by `(a, b)` and
+    /// aggregators sort per-element lists by neighbor id.
+    fn for_each_pair(&self, task: u64, f: &mut dyn FnMut(u64, u64)) {
+        for (a, b) in self.pairs(task) {
+            f(a, b);
+        }
+    }
+
     /// Number of pairs task `t` evaluates (default: `pairs(t).len()`;
     /// schemes override with a closed form).
     fn num_pairs(&self, task: u64) -> u64 {

@@ -3,6 +3,8 @@
 
 use proptest::prelude::*;
 
+use std::collections::HashMap;
+
 use pmr_core::enumeration::{diag_rank, diag_unrank, pair_count, pair_rank, pair_unrank};
 use pmr_core::hierarchical::{verify_rounds_exactly_once, BatchedDesign, TwoLevelBlock};
 use pmr_core::runner::local::run_local;
@@ -10,7 +12,32 @@ use pmr_core::runner::sequential::run_sequential;
 use pmr_core::runner::{comp_fn, CompFn, ConcatSort, Symmetry};
 use pmr_core::scheme::{
     measure, verify_exactly_once, BlockScheme, BroadcastScheme, DesignScheme, DistributionScheme,
+    PairedBlockScheme,
 };
+
+/// Every scheme family at one (v, h) parameter point — the single-round
+/// schemes directly, the hierarchical ones through their per-round scheme
+/// objects (`SubsetBlockScheme`/`BipartiteGridScheme`/`TaskSliceScheme`).
+fn all_schemes(v: u64, h: u64) -> Vec<Box<dyn DistributionScheme>> {
+    let mut schemes: Vec<Box<dyn DistributionScheme>> = vec![
+        Box::new(BroadcastScheme::new(v, h + 1)),
+        Box::new(BlockScheme::new(v, h)),
+        Box::new(PairedBlockScheme::new(v, h)),
+        Box::new(DesignScheme::new(v)),
+    ];
+    schemes.extend(TwoLevelBlock::new(v, h.clamp(1, 4), 2).rounds());
+    let bd = BatchedDesign::new(v, h.clamp(1, 6));
+    schemes
+        .extend((0..bd.num_rounds()).map(|r| Box::new(bd.round(r)) as Box<dyn DistributionScheme>));
+    schemes
+}
+
+/// The multiset of pairs a task streams through `for_each_pair`.
+fn streamed(s: &dyn DistributionScheme, t: u64) -> Vec<(u64, u64)> {
+    let mut got = Vec::new();
+    s.for_each_pair(t, &mut |a, b| got.push((a, b)));
+    got
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -121,6 +148,50 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn for_each_pair_streams_the_pairs_multiset(v in 2u64..60, h in 1u64..8) {
+        // Per task, the streaming enumeration yields exactly the multiset
+        // `pairs()` yields — order-insensitive (the tiled walks reorder).
+        for s in all_schemes(v, h) {
+            for t in 0..s.num_tasks() {
+                let mut got = streamed(s.as_ref(), t);
+                let mut want = s.pairs(t);
+                got.sort_unstable();
+                want.sort_unstable();
+                prop_assert_eq!(got, want, "{} task {}", s.name(), t);
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_pair_union_covers_exactly_once(v in 2u64..60, h in 1u64..8) {
+        // The union over a scheme's tasks, streamed, covers every
+        // unordered pair of 0..v exactly once (the paper's correctness
+        // invariant, checked through the streaming path). Hierarchical
+        // *rounds* partition the pairs across rounds, so they are checked
+        // via `verify_rounds_exactly_once` above, not per round here.
+        let schemes: Vec<Box<dyn DistributionScheme>> = vec![
+            Box::new(BroadcastScheme::new(v, h + 1)),
+            Box::new(BlockScheme::new(v, h)),
+            Box::new(PairedBlockScheme::new(v, h)),
+            Box::new(DesignScheme::new(v)),
+        ];
+        for s in &schemes {
+            let mut seen: HashMap<(u64, u64), u64> = HashMap::new();
+            for t in 0..s.num_tasks() {
+                for (a, b) in streamed(s.as_ref(), t) {
+                    prop_assert!(b < a && a < v, "{}: bad pair ({a},{b})", s.name());
+                    *seen.entry((a, b)).or_insert(0) += 1;
+                }
+            }
+            prop_assert_eq!(seen.len() as u64, pair_count(v), "{} misses pairs", s.name());
+            prop_assert!(
+                seen.values().all(|&c| c == 1),
+                "{} covers some pair more than once", s.name()
+            );
         }
     }
 

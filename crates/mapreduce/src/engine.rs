@@ -41,6 +41,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Condvar;
 use std::time::{Duration, Instant};
 
 use bytes::BytesMut;
@@ -70,9 +71,10 @@ pub const INTERMEDIATE_PEAK_COUNTER: &str = "mr.intermediate.peak.bytes";
 /// scratch counters are committed.
 const PEAK_SUFFIX: &str = ".peak.bytes";
 
-/// How long an idle worker sleeps between polls for redistributed or
-/// speculative work.
-const IDLE_POLL: Duration = Duration::from_micros(200);
+/// How often a parked worker re-scans for stragglers when speculation is
+/// enabled. Without speculation, idle workers park indefinitely — every
+/// event they could react to advances the board's wake epoch.
+const SPECULATION_RECHECK: Duration = Duration::from_micros(200);
 
 /// Sentinel in a task's winner slot: no attempt has committed yet.
 const OPEN: u32 = u32::MAX;
@@ -96,6 +98,13 @@ struct PhaseBoard {
     durations: Mutex<Vec<u64>>,
     /// Currently running attempts `(task, node, start)`.
     running: Mutex<Vec<(usize, u32, Instant)>>,
+    /// Wake epoch: advanced (under the lock) by every event a parked
+    /// worker must observe — a commit, a requeued task, a drained dead
+    /// node, a phase error. Workers snapshot it before scanning for work
+    /// and park only while it is unchanged, so no wake is ever lost.
+    epoch: Mutex<u64>,
+    /// Parked idle workers wait here; `wake_all` rouses them to re-scan.
+    parked: Condvar,
 }
 
 impl PhaseBoard {
@@ -116,6 +125,43 @@ impl PhaseBoard {
             speculated: (0..tasks).map(|_| AtomicBool::new(false)).collect(),
             durations: Mutex::new(Vec::new()),
             running: Mutex::new(Vec::new()),
+            epoch: Mutex::new(0),
+            parked: Condvar::new(),
+        }
+    }
+
+    /// Snapshot of the wake epoch, taken *before* scanning for work so a
+    /// wake landing between a failed scan and the park is never lost —
+    /// `park` returns immediately when the epoch has already moved on.
+    fn wake_epoch(&self) -> u64 {
+        *self.epoch.lock()
+    }
+
+    /// Advances the wake epoch and rouses every parked worker to re-scan.
+    fn wake_all(&self) {
+        *self.epoch.lock() += 1;
+        self.parked.notify_all();
+    }
+
+    /// Parks the calling worker until the epoch moves past `seen` — or,
+    /// when `recheck` is set (speculation needs periodic straggler
+    /// scans), until that much time has elapsed.
+    fn park(&self, seen: u64, recheck: Option<Duration>) {
+        let mut guard = self.epoch.lock();
+        while *guard == seen {
+            match recheck {
+                Some(d) => {
+                    let (g, timeout) =
+                        self.parked.wait_timeout(guard, d).unwrap_or_else(|e| e.into_inner());
+                    guard = g;
+                    if timeout.timed_out() {
+                        return;
+                    }
+                }
+                None => {
+                    guard = self.parked.wait(guard).unwrap_or_else(|e| e.into_inner());
+                }
+            }
         }
     }
 
@@ -137,7 +183,8 @@ impl PhaseBoard {
         self.remaining.fetch_sub(1, Ordering::SeqCst);
     }
 
-    /// Pushes a task onto the least-loaded live node's queue.
+    /// Pushes a task onto the least-loaded live node's queue and wakes
+    /// parked workers — the target node's workers may all be idle.
     fn requeue_on_live(&self, cluster: &Cluster, task: usize) {
         let target = cluster
             .live_nodes()
@@ -145,6 +192,7 @@ impl PhaseBoard {
             .min_by_key(|nd| (self.queues[nd.index()].lock().len(), nd.0))
             .expect("cluster always keeps at least one live node");
         self.queues[target.index()].lock().push_back(task);
+        self.wake_all();
     }
 
     /// Moves every queued task of a (dead) node to live nodes.
@@ -358,6 +406,7 @@ impl<'c> Engine<'c> {
                                 board.drain_dead(cluster, node_idx);
                                 return;
                             }
+                            let seen = board.wake_epoch();
                             let popped = board.queues[node_idx].lock().pop_front();
                             let (task, is_backup) = match popped {
                                 Some(t) => (t, false),
@@ -369,7 +418,7 @@ impl<'c> Engine<'c> {
                                     match mult.and_then(|m| board.pick_speculation(node_idx, m)) {
                                         Some(t) => (t, true),
                                         None => {
-                                            std::thread::sleep(IDLE_POLL);
+                                            board.park(seen, mult.map(|_| SPECULATION_RECHECK));
                                             continue;
                                         }
                                     }
@@ -405,9 +454,16 @@ impl<'c> Engine<'c> {
                                     if guard.is_none() {
                                         *guard = Some(e);
                                     }
+                                    drop(guard);
+                                    board.wake_all();
                                     return;
                                 }
                             }
+                            // The attempt may have committed (remaining
+                            // moved), requeued work, or triggered a chaos
+                            // crash via task-completion accounting — parked
+                            // workers must re-scan either way.
+                            board.wake_all();
                         }
                     });
                 }
@@ -460,6 +516,7 @@ impl<'c> Engine<'c> {
                                 board.drain_dead(cluster, node_idx);
                                 return;
                             }
+                            let seen = board.wake_epoch();
                             let popped = board.queues[node_idx].lock().pop_front();
                             let (task, is_backup) = match popped {
                                 Some(t) => (t, false),
@@ -471,7 +528,7 @@ impl<'c> Engine<'c> {
                                     match mult.and_then(|m| board.pick_speculation(node_idx, m)) {
                                         Some(t) => (t, true),
                                         None => {
-                                            std::thread::sleep(IDLE_POLL);
+                                            board.park(seen, mult.map(|_| SPECULATION_RECHECK));
                                             continue;
                                         }
                                     }
@@ -510,9 +567,14 @@ impl<'c> Engine<'c> {
                                     if guard.is_none() {
                                         *guard = Some(e);
                                     }
+                                    drop(guard);
+                                    board.wake_all();
                                     return;
                                 }
                             }
+                            // See the map loop: parked workers re-scan
+                            // after every attempt resolution.
+                            board.wake_all();
                         }
                     });
                 }
