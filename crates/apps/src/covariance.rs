@@ -127,8 +127,7 @@ fn normalize(x: &mut [f64]) -> f64 {
 mod tests {
     use super::*;
     use crate::generate::random_matrix_rows;
-    use pmr_core::runner::sequential::run_sequential;
-    use pmr_core::runner::{ConcatSort, Symmetry};
+    use crate::testutil::reference;
 
     #[test]
     fn covariance_hand_example() {
@@ -142,7 +141,7 @@ mod tests {
     #[test]
     fn assembled_matrix_matches_direct_computation() {
         let rows = random_matrix_rows(12, 50, 31);
-        let out = run_sequential(&rows, &covariance_comp(), Symmetry::Symmetric, &ConcatSort);
+        let out = reference(&rows, &covariance_comp());
         let m = assemble_covariance(&rows, &out);
         for i in 0..12 {
             for j in 0..12 {
@@ -157,7 +156,7 @@ mod tests {
         // random_matrix_rows plants a rank-1 component; the top eigenvalue
         // must dominate.
         let rows = random_matrix_rows(20, 80, 7);
-        let out = run_sequential(&rows, &covariance_comp(), Symmetry::Symmetric, &ConcatSort);
+        let out = reference(&rows, &covariance_comp());
         let m = assemble_covariance(&rows, &out);
         let eigs = top_eigenpairs(&m, 3, 300);
         assert_eq!(eigs.len(), 3);
@@ -173,7 +172,7 @@ mod tests {
     #[test]
     fn eigenvalues_nonincreasing() {
         let rows = random_matrix_rows(15, 40, 13);
-        let out = run_sequential(&rows, &covariance_comp(), Symmetry::Symmetric, &ConcatSort);
+        let out = reference(&rows, &covariance_comp());
         let m = assemble_covariance(&rows, &out);
         let eigs = top_eigenpairs(&m, 5, 200);
         for w in eigs.windows(2) {

@@ -126,8 +126,8 @@ pub fn num_clusters(labels: &[DbscanLabel]) -> usize {
 mod tests {
     use super::*;
     use crate::generate::gaussian_clusters;
-    use pmr_core::runner::sequential::run_sequential;
-    use pmr_core::runner::{ConcatSort, FilterAggregator, Symmetry};
+    use crate::testutil::{reference, reference_with};
+    use pmr_core::runner::FilterAggregator;
 
     #[test]
     fn distances_basic() {
@@ -142,7 +142,7 @@ mod tests {
     #[test]
     fn dbscan_recovers_planted_clusters() {
         let (points, truth) = gaussian_clusters(90, 3, 2, 0.4, 11);
-        let out = run_sequential(&points, &euclidean_comp(), Symmetry::Symmetric, &ConcatSort);
+        let out = reference(&points, &euclidean_comp());
         let labels = dbscan(&out, 3.0, 4);
         assert_eq!(num_clusters(&labels), 3);
         // Every pair with the same truth label must share a cluster label.
@@ -160,11 +160,10 @@ mod tests {
         // The paper's pruning remark: only distances ≤ ε need to be kept.
         let (points, _) = gaussian_clusters(60, 2, 3, 0.5, 5);
         let eps = 4.0;
-        let full = run_sequential(&points, &euclidean_comp(), Symmetry::Symmetric, &ConcatSort);
-        let pruned = run_sequential(
+        let full = reference(&points, &euclidean_comp());
+        let pruned = reference_with(
             &points,
             &euclidean_comp(),
-            Symmetry::Symmetric,
             &FilterAggregator::new(move |d: &f64| *d <= eps),
         );
         assert!(pruned.total_results() < full.total_results());
@@ -174,7 +173,7 @@ mod tests {
     #[test]
     fn k_distance_curve_separates_cluster_scale_from_gap_scale() {
         let (points, _) = gaussian_clusters(60, 3, 2, 0.4, 11);
-        let out = run_sequential(&points, &euclidean_comp(), Symmetry::Symmetric, &ConcatSort);
+        let out = reference(&points, &euclidean_comp());
         let curve = k_distance_curve(&out, 4);
         assert_eq!(curve.len(), 60);
         // Sorted descending.
@@ -190,7 +189,7 @@ mod tests {
     #[test]
     fn dbscan_all_noise_when_eps_tiny() {
         let (points, _) = gaussian_clusters(20, 2, 2, 1.0, 3);
-        let out = run_sequential(&points, &euclidean_comp(), Symmetry::Symmetric, &ConcatSort);
+        let out = reference(&points, &euclidean_comp());
         let labels = dbscan(&out, 1e-9, 3);
         assert!(labels.iter().all(|l| *l == DbscanLabel::Noise));
         assert_eq!(num_clusters(&labels), 0);
@@ -199,7 +198,7 @@ mod tests {
     #[test]
     fn dbscan_single_cluster_when_eps_huge() {
         let (points, _) = gaussian_clusters(20, 4, 2, 1.0, 3);
-        let out = run_sequential(&points, &euclidean_comp(), Symmetry::Symmetric, &ConcatSort);
+        let out = reference(&points, &euclidean_comp());
         let labels = dbscan(&out, 1e9, 2);
         assert_eq!(num_clusters(&labels), 1);
     }

@@ -218,9 +218,8 @@ pub fn normalize_to_cosine(
 mod tests {
     use super::*;
     use crate::generate::zipf_documents;
+    use crate::testutil::reference;
     use pmr_cluster::ClusterConfig;
-    use pmr_core::runner::sequential::run_sequential;
-    use pmr_core::runner::{ConcatSort, Symmetry};
 
     #[test]
     fn elsayed_matches_full_pairwise_dot_products() {
@@ -229,7 +228,7 @@ mod tests {
         let report = run_elsayed(&cluster, &docs, "elsayed-test").unwrap();
 
         // Reference: full pairwise dot products.
-        let reference = run_sequential(&docs, &dot_comp(), Symmetry::Symmetric, &ConcatSort);
+        let reference = reference(&docs, &dot_comp());
         for &((a, b), d) in &report.dot_products {
             let r = reference
                 .results_of(a)

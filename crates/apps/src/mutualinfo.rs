@@ -92,8 +92,7 @@ pub fn network_edges(
 mod tests {
     use super::*;
     use crate::generate::gene_expression;
-    use pmr_core::runner::sequential::run_sequential;
-    use pmr_core::runner::{ConcatSort, Symmetry};
+    use crate::testutil::reference;
 
     #[test]
     fn identical_sequences_have_max_mi() {
@@ -141,7 +140,7 @@ mod tests {
     #[test]
     fn network_reconstruction_recovers_modules() {
         let genes = gene_expression(12, 600, 4, 0.2, 23);
-        let out = run_sequential(&genes, &mi_comp(6), Symmetry::Symmetric, &ConcatSort);
+        let out = reference(&genes, &mi_comp(6));
         // Pick a threshold between within- and cross-module MI levels.
         let within = mutual_information(&genes[0], &genes[1], 6);
         let across = mutual_information(&genes[0], &genes[8], 6);

@@ -20,7 +20,10 @@ use pmr_apps::generate::{gene_expression, zipf_documents};
 use pmr_apps::kernels::{DenseSqDistKernel, SparseDotKernel};
 use pmr_apps::{DenseVector, SparseVector};
 use pmr_core::runner::local::{run_local, run_local_kernel};
-use pmr_core::runner::{comp_fn, BatchComp, CompFn, ConcatSort, PairwiseOutput, Symmetry};
+use pmr_core::runner::{
+    aggregate_all, comp_fn, Aggregator, BatchComp, CompFn, ConcatSort, FnAggregator,
+    PairwiseOutput, Symmetry,
+};
 use pmr_core::scheme::BlockScheme;
 
 const BENCH_FILE: &str = "BENCH_pairwise.json";
@@ -78,10 +81,14 @@ fn measure<T: Send + Sync>(w: &Workload<T>) -> (f64, PairwiseOutput<f64>) {
     (pairs as f64 / best, out.unwrap())
 }
 
-/// [`measure`] through the batch-kernel path ([`run_local_kernel`]).
+/// [`measure`] through the batch-kernel path ([`run_local_kernel`]) under
+/// a caller-chosen aggregator — `&ConcatSort` takes the fused per-worker
+/// accumulator path, a [`FnAggregator`] control hides decomposability and
+/// forces the unfused flat-emit path.
 fn measure_kernel<T: Send + Sync>(
     w: &Workload<T>,
     kernel: &dyn BatchComp<T, f64>,
+    aggregator: &dyn Aggregator<f64>,
 ) -> (f64, PairwiseOutput<f64>) {
     let v = w.data.len() as u64;
     let pairs = v * (v - 1) / 2;
@@ -94,13 +101,20 @@ fn measure_kernel<T: Send + Sync>(
             &w.scheme,
             kernel,
             Symmetry::Symmetric,
-            &ConcatSort,
+            aggregator,
             w.threads,
         );
         best = best.min(start.elapsed().as_secs_f64());
         out = Some(o);
     }
     (pairs as f64 / best, out.unwrap())
+}
+
+/// The unfused control: aggregates with the exact `ConcatSort` logic but
+/// through a closure adapter, which does not advertise decomposability,
+/// so the runner takes the unfused path.
+fn unfused_concat_sort() -> impl Aggregator<f64> {
+    FnAggregator::new(|id, partials| aggregate_all(&ConcatSort, id, partials))
 }
 
 /// Asserts two outputs are byte-identical: same elements, same neighbor
@@ -158,17 +172,25 @@ fn repo_root() -> std::path::PathBuf {
     }
 }
 
-fn entry_json(label: &str, dense_pps: f64, sparse_pps: f64) -> String {
+fn entry_json(label: &str, dense_pps: f64, sparse_pps: f64, unfused: Option<(f64, f64)>) -> String {
+    let unfused = unfused
+        .map(|(d, s)| {
+            format!(
+                ", \"dense_pairs_per_sec_unfused\": {d:.0}, \
+                 \"sparse_pairs_per_sec_unfused\": {s:.0}"
+            )
+        })
+        .unwrap_or_default();
     format!(
         "    {{ \"label\": \"{label}\", \"dense_pairs_per_sec\": {dense_pps:.0}, \
-         \"sparse_pairs_per_sec\": {sparse_pps:.0} }}"
+         \"sparse_pairs_per_sec\": {sparse_pps:.0}{unfused} }}"
     )
 }
 
 /// Appends an entry to `BENCH_pairwise.json`, preserving prior entries.
 /// The file is always written by this binary in a fixed layout, so prior
 /// entry lines are recognizable as the lines starting with `    {`.
-fn record(label: &str, dense_pps: f64, sparse_pps: f64) {
+fn record(label: &str, dense_pps: f64, sparse_pps: f64, unfused: Option<(f64, f64)>) {
     let path = repo_root().join(BENCH_FILE);
     let mut entries: Vec<String> = Vec::new();
     if let Ok(existing) = std::fs::read_to_string(&path) {
@@ -178,7 +200,7 @@ fn record(label: &str, dense_pps: f64, sparse_pps: f64) {
             }
         }
     }
-    entries.push(entry_json(label, dense_pps, sparse_pps));
+    entries.push(entry_json(label, dense_pps, sparse_pps, unfused));
     let body = entries.join(",\n");
     let json = format!(
         "{{\n  \"schema\": \"pmr.perf/1\",\n  \"bench\": {{\n    \"dense\": {{ \"v\": 2048, \
@@ -202,26 +224,36 @@ fn main() {
     let dense = dense_workload(smoke);
     let (dense_scalar_pps, dense_out) = measure(&dense);
     let dense_kern = DenseSqDistKernel::for_dataset(&dense.data).expect("uniform dims");
-    let (dense_pps, dense_kout) = measure_kernel(&dense, &dense_kern);
+    let (dense_pps, dense_kout) = measure_kernel(&dense, &dense_kern, &ConcatSort);
     assert_bit_identical(&dense_out, &dense_kout, "dense scalar vs kernel");
+    let (dense_unfused_pps, dense_uout) =
+        measure_kernel(&dense, &dense_kern, &unfused_concat_sort());
+    assert_bit_identical(&dense_kout, &dense_uout, "dense fused vs unfused");
     println!(
-        "dense  (v={}, dim=64, {} threads): {:>12.0} pairs/s scalar, {:>12.0} pairs/s kernel",
+        "dense  (v={}, dim=64, {} threads): {:>12.0} pairs/s scalar, {:>12.0} pairs/s kernel \
+         ({:>12.0} unfused)",
         dense.data.len(),
         dense.threads,
         dense_scalar_pps,
-        dense_pps
+        dense_pps,
+        dense_unfused_pps
     );
 
     let sparse = sparse_workload(smoke);
     let (sparse_scalar_pps, sparse_out) = measure(&sparse);
-    let (sparse_pps, sparse_kout) = measure_kernel(&sparse, &SparseDotKernel);
+    let (sparse_pps, sparse_kout) = measure_kernel(&sparse, &SparseDotKernel, &ConcatSort);
     assert_bit_identical(&sparse_out, &sparse_kout, "sparse scalar vs kernel");
+    let (sparse_unfused_pps, sparse_uout) =
+        measure_kernel(&sparse, &SparseDotKernel, &unfused_concat_sort());
+    assert_bit_identical(&sparse_kout, &sparse_uout, "sparse fused vs unfused");
     println!(
-        "sparse (v={}, nnz≈64, {} threads): {:>12.0} pairs/s scalar, {:>12.0} pairs/s kernel",
+        "sparse (v={}, nnz≈64, {} threads): {:>12.0} pairs/s scalar, {:>12.0} pairs/s kernel \
+         ({:>12.0} unfused)",
         sparse.data.len(),
         sparse.threads,
         sparse_scalar_pps,
-        sparse_pps
+        sparse_pps,
+        sparse_unfused_pps
     );
 
     // Sanity: every element has v−1 neighbors (exactly-once coverage made
@@ -232,7 +264,7 @@ fn main() {
     }
 
     if let Some(label) = label {
-        record(&label, dense_pps, sparse_pps);
+        record(&label, dense_pps, sparse_pps, Some((dense_unfused_pps, sparse_unfused_pps)));
     }
     if smoke {
         println!("smoke mode OK");

@@ -40,6 +40,8 @@ COMMANDS
               --chaos-seed N      seed for the crash schedule (mr)
               --speculation X     back up tasks slower than X × median (mr)
               --max-result X      keep only results ≤ X (ε-pruning)
+              --fuse on|off       fold results where pairs are evaluated,
+                                  skipping the aggregation job (mr)  [on]
               --output FILE       TSV results  [stdout]
               --report FILE       write the run report as JSON
   generate  write a synthetic CSV dataset
@@ -113,6 +115,7 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "chaos-seed",
         "speculation",
         "max-result",
+        "fuse",
         "output",
         "report",
     ])?;
@@ -141,6 +144,13 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         if report_path.is_some() { Telemetry::enabled() } else { Telemetry::disabled() };
 
     let mut job = PairwiseJob::new(&data, comp).scheme_arc(scheme).telemetry(telemetry.clone());
+    match args.optional("fuse") {
+        None | Some("on") => {}
+        Some("off") => job = job.fuse(false),
+        Some(other) => {
+            return Err(Box::new(ArgError(format!("flag --fuse must be on or off, got '{other}'"))))
+        }
+    }
     if let Some(s) = args.optional("max-result") {
         let eps: f64 = s.parse().map_err(|_| ArgError("--max-result must be a number".into()))?;
         let agg: std::sync::Arc<dyn Aggregator<f64>> =
@@ -500,6 +510,41 @@ mod tests {
     }
 
     #[test]
+    fn fuse_flag_toggles_without_changing_output() {
+        let dir = std::env::temp_dir().join(format!("pmr-cli-fuse-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("pts.csv");
+        let fused = dir.join("fused.tsv");
+        let unfused = dir.join("unfused.tsv");
+        dispatch(&args(&format!(
+            "generate --kind clusters --n 30 --dim 2 --output {}",
+            csv.display()
+        )))
+        .unwrap();
+        for (flag, out) in [("on", &fused), ("off", &unfused)] {
+            dispatch(&args(&format!(
+                "run --input {} --scheme block --h 4 --backend mr --nodes 3 \
+                 --max-result 3.0 --fuse {flag} --output {}",
+                csv.display(),
+                out.display()
+            )))
+            .unwrap();
+        }
+        assert_eq!(
+            std::fs::read_to_string(&fused).unwrap(),
+            std::fs::read_to_string(&unfused).unwrap(),
+            "fused and unfused runs must produce identical output"
+        );
+        assert!(dispatch(&args(&format!(
+            "run --input {} --fuse maybe --output {}",
+            csv.display(),
+            fused.display()
+        )))
+        .is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn run_report_writes_json_for_each_backend() {
         let dir = std::env::temp_dir().join(format!("pmr-cli-report-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -521,7 +566,7 @@ mod tests {
             )))
             .unwrap();
             let json = std::fs::read_to_string(&json_path).unwrap();
-            assert!(json.contains("\"schema\": \"pmr.run_report/4\""), "{backend}");
+            assert!(json.contains("\"schema\": \"pmr.run_report/5\""), "{backend}");
             assert!(json.contains(&format!("\"backend\": \"{backend}\"")), "{backend}");
         }
         std::fs::remove_dir_all(&dir).unwrap();

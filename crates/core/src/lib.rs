@@ -46,8 +46,9 @@ pub mod runner;
 pub mod scheme;
 
 pub use runner::{
-    comp_fn, Aggregator, Backend, CompFn, ConcatSort, FilterAggregator, PairwiseJob,
-    PairwiseOutput, PairwiseRun, Symmetry, TopKAggregator,
+    aggregate_all, comp_fn, Accumulator, Aggregator, Backend, CompFn, ConcatSort,
+    DecomposableAggregator, FilterAggregator, FnAggregator, PairwiseJob, PairwiseOutput,
+    PairwiseRun, Symmetry, TopKAggregator,
 };
 pub use scheme::{
     measure, verify_exactly_once, BlockScheme, BroadcastScheme, DesignScheme, DistributionScheme,

@@ -33,7 +33,7 @@ use crate::runner::mr::{
 };
 use crate::runner::sequential::run_sequential_kernel;
 use crate::runner::store::ElementStore;
-use crate::runner::{Aggregator, CompFn, ConcatSort, PairwiseOutput, Symmetry};
+use crate::runner::{aggregate_all, Aggregator, CompFn, ConcatSort, PairwiseOutput, Symmetry};
 use crate::scheme::{BroadcastScheme, DistributionScheme};
 
 /// Where a [`PairwiseJob`] executes.
@@ -220,8 +220,22 @@ where
     }
 
     /// Overrides the MR execution options (shards, reducers, DFS dir, …).
+    /// Replaces the whole option set, including the
+    /// [`fuse`](MrPairwiseOptions::fuse) flag — call [`PairwiseJob::fuse`]
+    /// after this to combine the two.
     pub fn mr_options(mut self, options: MrPairwiseOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// Enables or disables fused aggregation (default: enabled). With a
+    /// [`DecomposableAggregator`](crate::runner::DecomposableAggregator),
+    /// the local backend merges per-worker accumulators at commit and the
+    /// MR backend aggregates inside job-1 reduce tasks, skipping job 2 and
+    /// its shuffle entirely; charged bytes are unchanged either way. A
+    /// non-decomposable aggregator always takes the unfused path.
+    pub fn fuse(mut self, fuse: bool) -> Self {
+        self.options.fuse = fuse;
         self
     }
 
@@ -309,6 +323,7 @@ where
                     symmetry,
                     aggregator.as_ref(),
                     threads,
+                    options.fuse,
                     &effective,
                 );
                 PairwiseRun {
@@ -326,6 +341,7 @@ where
                     symmetry,
                     aggregator.as_ref(),
                     threads,
+                    options.fuse,
                     &effective,
                 );
                 PairwiseRun {
@@ -347,6 +363,7 @@ where
                         symmetry,
                         &ConcatSort,
                         threads,
+                        options.fuse,
                         &effective,
                     );
                     for (id, mut partial) in out.per_element {
@@ -358,7 +375,7 @@ where
                 }
                 let mut per_element: Vec<(u64, Vec<(u64, R)>)> = merged
                     .into_iter()
-                    .map(|(id, partials)| (id, aggregator.aggregate(id, partials)))
+                    .map(|(id, partials)| (id, aggregate_all(aggregator.as_ref(), id, partials)))
                     .collect();
                 per_element.sort_by_key(|(id, _)| *id);
                 PairwiseRun {

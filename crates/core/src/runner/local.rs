@@ -33,8 +33,11 @@ use std::time::Instant;
 use parking_lot::Mutex;
 use pmr_obs::{hist, SpanKind, Telemetry};
 
-use crate::runner::kernel::{evaluate_tiled, BatchComp, ScalarComp};
-use crate::runner::{Aggregator, CompFn, PairwiseOutput, Symmetry};
+use crate::runner::kernel::{evaluate_tiled, evaluate_tiled_fused, BatchComp, ScalarComp};
+use crate::runner::{
+    aggregate_all, Accumulator, Aggregator, CompFn, DecomposableAggregator, PairwiseOutput,
+    Symmetry,
+};
 use crate::scheme::DistributionScheme;
 
 /// Statistics from a local run.
@@ -64,7 +67,16 @@ where
     R: Clone + Send,
 {
     let kernel = ScalarComp::new(comp.clone());
-    run_local_impl(payloads, scheme, &kernel, symmetry, aggregator, threads, &Telemetry::disabled())
+    run_local_impl(
+        payloads,
+        scheme,
+        &kernel,
+        symmetry,
+        aggregator,
+        threads,
+        true,
+        &Telemetry::disabled(),
+    )
 }
 
 /// [`run_local`] evaluating through a batch kernel instead of a scalar
@@ -81,7 +93,16 @@ where
     T: Sync,
     R: Clone + Send,
 {
-    run_local_impl(payloads, scheme, kernel, symmetry, aggregator, threads, &Telemetry::disabled())
+    run_local_impl(
+        payloads,
+        scheme,
+        kernel,
+        symmetry,
+        aggregator,
+        threads,
+        true,
+        &Telemetry::disabled(),
+    )
 }
 
 /// Seeds per-worker deques longest-task-first, round-robin: sorting by
@@ -98,32 +119,12 @@ fn seed_deques(scheme: &dyn DistributionScheme, workers: usize) -> Vec<Mutex<Vec
     deques
 }
 
-/// The heart of the runner, shared with [`PairwiseJob`](crate::runner::job):
-/// each task becomes a [`SpanKind::Task`] span (node = worker index), and
-/// the run's evaluate/aggregate windows are emitted as job phases of job
-/// `"local"`.
-pub(crate) fn run_local_impl<T, R>(
-    payloads: &[T],
-    scheme: &dyn DistributionScheme,
-    kernel: &dyn BatchComp<T, R>,
-    symmetry: Symmetry,
-    aggregator: &dyn Aggregator<R>,
-    threads: usize,
-    telemetry: &Telemetry,
-) -> (PairwiseOutput<R>, LocalRunStats)
-where
-    T: Sync,
-    R: Clone + Send,
-{
-    assert_eq!(payloads.len() as u64, scheme.v(), "payload count must match the scheme's v");
-    let v = payloads.len();
-    let num_tasks = scheme.num_tasks();
-    // Never spawn more workers than tasks: a surplus worker would only
-    // scan empty deques and exit, so don't pay its spawn either.
-    let workers = threads.max(1).min(num_tasks.max(1) as usize);
-    let deques = seed_deques(scheme, workers);
-
-    struct WorkerResult<R> {
+/// Per-worker emission state: flat result triples for the general path, or
+/// per-element accumulators when the aggregator is decomposable and the
+/// run is fused (results fold in-tile; the commit merges accumulators
+/// instead of scatter-filling rows).
+enum WorkerData<R> {
+    Flat {
         /// Result triples, appended sequentially — the cheap emit layout;
         /// grouping by element happens once, in the aggregate phase. For a
         /// symmetric comp one `(a, b, r)` entry covers both directions;
@@ -134,6 +135,46 @@ where
         /// emission (the array is L1-resident) so the merge can size every
         /// row exactly without re-scanning the emit buffers.
         counts: Vec<usize>,
+    },
+    Fused {
+        /// Dense per-element accumulators this worker folds into across
+        /// all its tasks.
+        accs: Vec<Accumulator<R>>,
+    },
+}
+
+/// The heart of the runner, shared with [`PairwiseJob`](crate::runner::job):
+/// each task becomes a [`SpanKind::Task`] span (node = worker index), and
+/// the run's evaluate/aggregate windows are emitted as job phases of job
+/// `"local"`. With `fuse` set and a decomposable aggregator, per-pair
+/// results are folded into per-worker accumulators at the tile flush and
+/// merged at commit; otherwise the flat emit + scatter path runs.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_local_impl<T, R>(
+    payloads: &[T],
+    scheme: &dyn DistributionScheme,
+    kernel: &dyn BatchComp<T, R>,
+    symmetry: Symmetry,
+    aggregator: &dyn Aggregator<R>,
+    threads: usize,
+    fuse: bool,
+    telemetry: &Telemetry,
+) -> (PairwiseOutput<R>, LocalRunStats)
+where
+    T: Sync,
+    R: Clone + Send,
+{
+    assert_eq!(payloads.len() as u64, scheme.v(), "payload count must match the scheme's v");
+    let v = payloads.len();
+    let num_tasks = scheme.num_tasks();
+    let decomposable = if fuse { aggregator.decomposable() } else { None };
+    // Never spawn more workers than tasks: a surplus worker would only
+    // scan empty deques and exit, so don't pay its spawn either.
+    let workers = threads.max(1).min(num_tasks.max(1) as usize);
+    let deques = seed_deques(scheme, workers);
+
+    struct WorkerResult<R> {
+        data: WorkerData<R>,
         tasks: u64,
         evaluations: u64,
         max_working_set: u64,
@@ -146,13 +187,14 @@ where
             .map(|w| {
                 let deques = &deques;
                 scope.spawn(move |_| {
-                    let mut res = WorkerResult {
-                        emitted: Vec::new(),
-                        counts: vec![0; v],
-                        tasks: 0,
-                        evaluations: 0,
-                        max_working_set: 0,
+                    let data = match decomposable {
+                        Some(_) => WorkerData::Fused {
+                            accs: (0..v as u64).map(|id| aggregator.init(id)).collect(),
+                        },
+                        None => WorkerData::Flat { emitted: Vec::new(), counts: vec![0; v] },
                     };
+                    let mut res =
+                        WorkerResult { data, tasks: 0, evaluations: 0, max_working_set: 0 };
                     loop {
                         // Pop-then-steal as separate statements: the own-
                         // deque guard must drop before any victim is
@@ -172,28 +214,39 @@ where
                         let ws = scheme.working_set(t);
                         res.max_working_set = res.max_working_set.max(ws.len() as u64);
                         span.add_records_in(ws.len() as u64);
-                        let per_pair = match symmetry {
-                            Symmetry::Symmetric => 1,
-                            Symmetry::NonSymmetric => 2,
+                        let task_evals = match &mut res.data {
+                            WorkerData::Fused { accs } => evaluate_tiled_fused(
+                                kernel,
+                                symmetry,
+                                |id| &payloads[id as usize],
+                                |f| scheme.for_each_pair(t, f),
+                                aggregator,
+                                accs,
+                                |_, _| {},
+                            ),
+                            WorkerData::Flat { emitted, counts } => {
+                                let per_pair = match symmetry {
+                                    Symmetry::Symmetric => 1,
+                                    Symmetry::NonSymmetric => 2,
+                                };
+                                emitted.reserve(per_pair * scheme.num_pairs(t) as usize);
+                                evaluate_tiled(
+                                    kernel,
+                                    symmetry,
+                                    |id| &payloads[id as usize],
+                                    |f| scheme.for_each_pair(t, f),
+                                    |a, b, rf, rr| {
+                                        counts[a as usize] += 1;
+                                        counts[b as usize] += 1;
+                                        let rev = rr.map(|rr| (b, a, rr));
+                                        emitted.push((a, b, rf));
+                                        if let Some(entry) = rev {
+                                            emitted.push(entry);
+                                        }
+                                    },
+                                )
+                            }
                         };
-                        res.emitted.reserve(per_pair * scheme.num_pairs(t) as usize);
-                        let emitted = &mut res.emitted;
-                        let counts = &mut res.counts;
-                        let task_evals = evaluate_tiled(
-                            kernel,
-                            symmetry,
-                            |id| &payloads[id as usize],
-                            |f| scheme.for_each_pair(t, f),
-                            |a, b, rf, rr| {
-                                counts[a as usize] += 1;
-                                counts[b as usize] += 1;
-                                let rev = rr.map(|rr| (b, a, rr));
-                                emitted.push((a, b, rf));
-                                if let Some(entry) = rev {
-                                    emitted.push(entry);
-                                }
-                            },
-                        );
                         res.tasks += 1;
                         res.evaluations += task_evals;
                         span.lap("evaluate", &mut lap_at);
@@ -212,19 +265,72 @@ where
     let mut stats = LocalRunStats::default();
     let mut emitted: Vec<Vec<(u64, u64, R)>> = Vec::with_capacity(results.len());
     let mut counts = vec![0usize; v];
+    let mut worker_accs: Vec<Vec<Accumulator<R>>> = Vec::with_capacity(results.len());
     for res in results {
         stats.tasks += res.tasks;
         stats.evaluations += res.evaluations;
         stats.max_working_set = stats.max_working_set.max(res.max_working_set);
-        for (c, wc) in counts.iter_mut().zip(&res.counts) {
-            *c += wc;
+        match res.data {
+            WorkerData::Flat { emitted: e, counts: wc } => {
+                for (c, w) in counts.iter_mut().zip(&wc) {
+                    *c += w;
+                }
+                emitted.push(e);
+            }
+            WorkerData::Fused { accs } => worker_accs.push(accs),
         }
-        emitted.push(res.emitted);
     }
     debug_assert_eq!(stats.tasks, num_tasks, "every task runs exactly once");
-    let out = merge_aggregate(emitted, counts, symmetry, aggregator, threads);
+    let out = match decomposable {
+        Some(dec) => merge_fused(worker_accs, dec, threads),
+        None => merge_aggregate(emitted, counts, symmetry, aggregator, threads),
+    };
     drop(agg_phase);
     (out, stats)
+}
+
+/// Merges the per-worker accumulator vectors in worker order, then
+/// finishes every element in parallel over contiguous id ranges. Merge
+/// order is irrelevant to the output — that is exactly the decomposability
+/// law the aggregator advertises — so the result is byte-identical across
+/// thread counts and to the unfused path.
+fn merge_fused<R: Clone + Send>(
+    worker_accs: Vec<Vec<Accumulator<R>>>,
+    dec: &dyn DecomposableAggregator<R>,
+    threads: usize,
+) -> PairwiseOutput<R> {
+    let mut workers = worker_accs.into_iter();
+    let Some(base) = workers.next() else {
+        return PairwiseOutput { per_element: Vec::new() };
+    };
+    let mut slots: Vec<Option<Accumulator<R>>> = base.into_iter().map(Some).collect();
+    for accs in workers {
+        for (slot, other) in slots.iter_mut().zip(accs) {
+            if !other.is_empty() {
+                dec.merge(slot.as_mut().expect("slot taken during merge"), other);
+            }
+        }
+    }
+    let v = slots.len();
+    if v == 0 {
+        return PairwiseOutput { per_element: Vec::new() };
+    }
+    let mut per_element: Vec<(u64, Vec<(u64, R)>)> =
+        (0..v as u64).map(|id| (id, Vec::new())).collect();
+    let hw = std::thread::available_parallelism().map_or(threads, |p| p.get());
+    let chunk = v.div_ceil(threads.max(1).min(hw).min(v));
+    crossbeam::thread::scope(|scope| {
+        for (acc_chunk, out_chunk) in slots.chunks_mut(chunk).zip(per_element.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                for (slot, out) in acc_chunk.iter_mut().zip(out_chunk.iter_mut()) {
+                    let acc = slot.take().expect("accumulator finished twice");
+                    out.1 = dec.finish(acc);
+                }
+            });
+        }
+    })
+    .expect("finish scope failed");
+    PairwiseOutput { per_element }
 }
 
 /// Groups the workers' flat emissions into per-element rows sized exactly
@@ -268,7 +374,7 @@ fn merge_aggregate<R: Clone + Send>(
             scope.spawn(move |_| {
                 for (i, row) in out_chunk.iter_mut().enumerate() {
                     let id = (k * chunk + i) as u64;
-                    *row = aggregator.aggregate(id, std::mem::take(row));
+                    *row = aggregate_all(aggregator, id, std::mem::take(row));
                 }
             });
         }
@@ -384,6 +490,31 @@ mod tests {
             deques.iter().flat_map(|d| d.lock().iter().copied().collect::<Vec<_>>()).collect();
         all.sort_unstable();
         assert_eq!(all, (0..s.num_tasks()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fused_path_matches_unfused_and_sequential() {
+        use crate::runner::{aggregate_all, FilterAggregator, FnAggregator, TopKAggregator};
+        let data = payloads(40);
+        let s = BlockScheme::new(40, 5);
+        // Semantically identical to ConcatSort but hides decomposability,
+        // forcing the flat scatter path for a direct comparison.
+        let unfused = FnAggregator::new(|id, partials| aggregate_all(&ConcatSort, id, partials));
+        let reference = run_sequential(&data, &comp(), Symmetry::Symmetric, &ConcatSort);
+        for threads in [1usize, 4] {
+            let (fused, _) =
+                run_local(&data, &s, &comp(), Symmetry::Symmetric, &ConcatSort, threads);
+            let (flat, _) = run_local(&data, &s, &comp(), Symmetry::Symmetric, &unfused, threads);
+            assert_eq!(fused, reference, "fused threads={threads}");
+            assert_eq!(flat, reference, "unfused threads={threads}");
+        }
+        // Filter and top-k fuse too, and still match the sequential path.
+        let filter = FilterAggregator::new(|r: &i64| *r < 10);
+        let topk = TopKAggregator::new(3, |r: &i64| *r as f64);
+        let (f_local, _) = run_local(&data, &s, &comp(), Symmetry::Symmetric, &filter, 4);
+        assert_eq!(f_local, run_sequential(&data, &comp(), Symmetry::Symmetric, &filter));
+        let (k_local, _) = run_local(&data, &s, &comp(), Symmetry::Symmetric, &topk, 4);
+        assert_eq!(k_local, run_sequential(&data, &comp(), Symmetry::Symmetric, &topk));
     }
 
     #[test]

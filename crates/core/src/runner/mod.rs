@@ -56,22 +56,182 @@ pub enum Symmetry {
     NonSymmetric,
 }
 
+/// Streaming aggregation state for one element: the partial `(other,
+/// result)` list an [`Aggregator`] folds pair results into. A concrete
+/// struct rather than an associated type so `dyn Aggregator<R>` stays
+/// object-safe everywhere the runners pass trait objects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Accumulator<R> {
+    element: u64,
+    partials: Vec<(u64, R)>,
+}
+
+impl<R> Accumulator<R> {
+    /// An empty accumulator for `element`.
+    pub fn new(element: u64) -> Self {
+        Accumulator { element, partials: Vec::new() }
+    }
+
+    /// Rebuilds an accumulator from partials a previous fold produced
+    /// (e.g. read back off the wire between fused MR stages).
+    pub fn from_parts(element: u64, partials: Vec<(u64, R)>) -> Self {
+        Accumulator { element, partials }
+    }
+
+    /// The element this accumulator belongs to.
+    pub fn element(&self) -> u64 {
+        self.element
+    }
+
+    /// The partials folded so far.
+    pub fn partials(&self) -> &[(u64, R)] {
+        &self.partials
+    }
+
+    /// Mutable partial list, for aggregators that compact in place.
+    pub fn partials_mut(&mut self) -> &mut Vec<(u64, R)> {
+        &mut self.partials
+    }
+
+    /// Number of partials currently held.
+    pub fn len(&self) -> usize {
+        self.partials.len()
+    }
+
+    /// True when nothing has been folded in (or survived folding).
+    pub fn is_empty(&self) -> bool {
+        self.partials.is_empty()
+    }
+
+    /// Consumes the accumulator, returning its partial list.
+    pub fn into_partials(self) -> Vec<(u64, R)> {
+        self.partials
+    }
+}
+
 /// Application-defined merge of the partial result lists collected from an
-/// element's copies (the paper's `aggregateResults`).
+/// element's copies (the paper's `aggregateResults`), expressed as a
+/// streaming fold: [`init`](Aggregator::init) an [`Accumulator`],
+/// [`fold`](Aggregator::fold) each `(other, result)` in as pairs are
+/// evaluated, [`finish`](Aggregator::finish) to produce the element's
+/// final list.
+///
+/// New implementations override `fold`/`finish` (and implement
+/// [`DecomposableAggregator`] when the fold is order-insensitive, which
+/// lets every backend fuse aggregation into pair evaluation). Legacy
+/// implementations that only override the deprecated one-shot
+/// [`aggregate`](Aggregator::aggregate) keep working unchanged through the
+/// provided defaults. Override at least one of `finish`/`aggregate` — the
+/// defaults are each other's shim and recurse forever otherwise. For
+/// closures, see [`FnAggregator`].
 pub trait Aggregator<R>: Send + Sync {
-    /// Merges the `(other, result)` partials gathered for `element`.
-    fn aggregate(&self, element: u64, partials: Vec<(u64, R)>) -> Vec<(u64, R)>;
+    /// Creates the accumulator for `element`.
+    fn init(&self, element: u64) -> Accumulator<R> {
+        Accumulator::new(element)
+    }
+
+    /// Folds one `(other, result)` partial into the accumulator.
+    fn fold(&self, acc: &mut Accumulator<R>, other: u64, result: R) {
+        acc.partials.push((other, result));
+    }
+
+    /// Produces the element's final `(other, result)` list.
+    fn finish(&self, acc: Accumulator<R>) -> Vec<(u64, R)> {
+        #[allow(deprecated)] // shim keeping legacy one-shot impls working
+        self.aggregate(acc.element, acc.partials)
+    }
+
+    /// One-shot merge of all partials gathered for `element`.
+    #[deprecated(note = "implement `fold`/`finish` (and `DecomposableAggregator` where the fold \
+                is order-insensitive) instead of the one-shot signature; callers should \
+                use `aggregate_all`")]
+    fn aggregate(&self, element: u64, partials: Vec<(u64, R)>) -> Vec<(u64, R)> {
+        let mut acc = self.init(element);
+        for (other, result) in partials {
+            self.fold(&mut acc, other, result);
+        }
+        self.finish(acc)
+    }
+
+    /// Advertises the decomposable capability. Returning `Some` promises
+    /// the decomposability law (see [`DecomposableAggregator`]) and lets
+    /// the runners fuse aggregation into pair evaluation — on the MR
+    /// backend, job 2 is skipped entirely.
+    fn decomposable(&self) -> Option<&dyn DecomposableAggregator<R>> {
+        None
+    }
+}
+
+/// Capability for aggregators whose fold is commutative/associative enough
+/// to split: folding any partition of an element's partials into separate
+/// accumulators and [`merge`](DecomposableAggregator::merge)-ing them in
+/// any order, then finishing, must equal one sequential fold — the
+/// *decomposability law*, property-tested in
+/// `crates/core/tests/aggregator_laws.rs` for every built-in.
+pub trait DecomposableAggregator<R>: Aggregator<R> {
+    /// Merges `other` into `acc`; both belong to the same element.
+    fn merge(&self, acc: &mut Accumulator<R>, other: Accumulator<R>);
+}
+
+/// One-shot aggregation routed through the streaming API — the
+/// non-deprecated replacement for calling [`Aggregator::aggregate`].
+pub fn aggregate_all<R>(
+    aggregator: &dyn Aggregator<R>,
+    element: u64,
+    partials: Vec<(u64, R)>,
+) -> Vec<(u64, R)> {
+    let mut acc = aggregator.init(element);
+    for (other, result) in partials {
+        aggregator.fold(&mut acc, other, result);
+    }
+    aggregator.finish(acc)
+}
+
+/// Adapts a one-shot closure `(element, partials) -> merged` into an
+/// [`Aggregator`] — the blanket path for user logic with no streaming
+/// form. Deliberately not decomposable: the closure sees every partial.
+pub struct FnAggregator<R, F: Fn(u64, Vec<(u64, R)>) -> Vec<(u64, R)> + Send + Sync> {
+    f: F,
+    _pd: std::marker::PhantomData<fn() -> R>,
+}
+
+impl<R, F: Fn(u64, Vec<(u64, R)>) -> Vec<(u64, R)> + Send + Sync> FnAggregator<R, F> {
+    /// Wraps a one-shot aggregation closure.
+    pub fn new(f: F) -> Self {
+        FnAggregator { f, _pd: std::marker::PhantomData }
+    }
+}
+
+impl<R: Send, F: Fn(u64, Vec<(u64, R)>) -> Vec<(u64, R)> + Send + Sync> Aggregator<R>
+    for FnAggregator<R, F>
+{
+    fn finish(&self, acc: Accumulator<R>) -> Vec<(u64, R)> {
+        (self.f)(acc.element, acc.partials)
+    }
 }
 
 /// Default aggregator: concatenates all partials and sorts them by the
-/// other element's id — the full neighbor list of Figure 2.
+/// other element's id — the full neighbor list of Figure 2. Decomposable:
+/// concatenation order is erased by the final sort (neighbor ids are
+/// unique under an exactly-once scheme).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ConcatSort;
 
 impl<R> Aggregator<R> for ConcatSort {
-    fn aggregate(&self, _element: u64, mut partials: Vec<(u64, R)>) -> Vec<(u64, R)> {
+    fn finish(&self, acc: Accumulator<R>) -> Vec<(u64, R)> {
+        let mut partials = acc.partials;
         sort_by_neighbor(&mut partials);
         partials
+    }
+
+    fn decomposable(&self) -> Option<&dyn DecomposableAggregator<R>> {
+        Some(self)
+    }
+}
+
+impl<R> DecomposableAggregator<R> for ConcatSort {
+    fn merge(&self, acc: &mut Accumulator<R>, other: Accumulator<R>) {
+        acc.partials.extend(other.partials);
     }
 }
 
@@ -141,10 +301,36 @@ impl<R, F: Fn(&R) -> bool + Send + Sync> FilterAggregator<R, F> {
 }
 
 impl<R: Send, F: Fn(&R) -> bool + Send + Sync> Aggregator<R> for FilterAggregator<R, F> {
-    fn aggregate(&self, _element: u64, mut partials: Vec<(u64, R)>) -> Vec<(u64, R)> {
-        partials.retain(|(_, r)| (self.predicate)(r));
+    /// Drops failing results at the fold, so pruned partials never occupy
+    /// accumulator (or, fused, network) space.
+    fn fold(&self, acc: &mut Accumulator<R>, other: u64, result: R) {
+        if (self.predicate)(&result) {
+            acc.partials.push((other, result));
+        }
+    }
+
+    fn finish(&self, acc: Accumulator<R>) -> Vec<(u64, R)> {
+        // Thresholded runs are often sparse: skip the sort (and the
+        // counting-sort allocation) when nothing survived the predicate.
+        if acc.partials.is_empty() {
+            return Vec::new();
+        }
+        let mut partials = acc.partials;
         sort_by_neighbor(&mut partials);
         partials
+    }
+
+    fn decomposable(&self) -> Option<&dyn DecomposableAggregator<R>> {
+        Some(self)
+    }
+}
+
+impl<R: Send, F: Fn(&R) -> bool + Send + Sync> DecomposableAggregator<R>
+    for FilterAggregator<R, F>
+{
+    fn merge(&self, acc: &mut Accumulator<R>, other: Accumulator<R>) {
+        // Both sides already passed the predicate at their folds.
+        acc.partials.extend(other.partials);
     }
 }
 
@@ -161,17 +347,53 @@ impl<R, F: Fn(&R) -> f64 + Send + Sync> TopKAggregator<R, F> {
     pub fn new(k: usize, score: F) -> Self {
         TopKAggregator { k, score, _pd: std::marker::PhantomData }
     }
-}
 
-impl<R: Send, F: Fn(&R) -> f64 + Send + Sync> Aggregator<R> for TopKAggregator<R, F> {
-    fn aggregate(&self, _element: u64, mut partials: Vec<(u64, R)>) -> Vec<(u64, R)> {
-        // The id tiebreak makes this a total order, so unstable is
-        // deterministic here too.
+    /// Sorts by `(score, id)` — a strict total order since neighbor ids
+    /// are unique per element — and keeps the `k` best. The `k` best of
+    /// any subset contain that subset's contribution to the global `k`
+    /// best, so compacting intermediate accumulators never changes the
+    /// finished list.
+    fn compact(&self, partials: &mut Vec<(u64, R)>) {
         partials.sort_unstable_by(|(oa, ra), (ob, rb)| {
             (self.score)(ra).total_cmp(&(self.score)(rb)).then(oa.cmp(ob))
         });
         partials.truncate(self.k);
-        partials
+    }
+
+    fn compaction_threshold(&self) -> usize {
+        (2 * self.k).max(16)
+    }
+}
+
+impl<R: Send, F: Fn(&R) -> f64 + Send + Sync> Aggregator<R> for TopKAggregator<R, F> {
+    /// Keeps the accumulator bounded at O(k): the buffer is compacted back
+    /// to `k` entries whenever it doubles past it.
+    fn fold(&self, acc: &mut Accumulator<R>, other: u64, result: R) {
+        acc.partials.push((other, result));
+        if acc.partials.len() >= self.compaction_threshold() {
+            self.compact(&mut acc.partials);
+        }
+    }
+
+    fn finish(&self, mut acc: Accumulator<R>) -> Vec<(u64, R)> {
+        if acc.partials.is_empty() {
+            return Vec::new();
+        }
+        self.compact(&mut acc.partials);
+        acc.partials
+    }
+
+    fn decomposable(&self) -> Option<&dyn DecomposableAggregator<R>> {
+        Some(self)
+    }
+}
+
+impl<R: Send, F: Fn(&R) -> f64 + Send + Sync> DecomposableAggregator<R> for TopKAggregator<R, F> {
+    fn merge(&self, acc: &mut Accumulator<R>, other: Accumulator<R>) {
+        acc.partials.extend(other.partials);
+        if acc.partials.len() >= self.compaction_threshold() {
+            self.compact(&mut acc.partials);
+        }
     }
 }
 
@@ -197,18 +419,20 @@ impl<R> PairwiseOutput<R> {
     }
 }
 
-/// Turns dense id-indexed buckets (`buckets[id]` holds element `id`'s
-/// partials) into a sorted [`PairwiseOutput`], applying the aggregator —
-/// the hot-path bucket layout of the local and sequential runners.
-/// Already sorted by construction.
+/// Finishes a dense id-indexed accumulator vector (`accs[id]` holds
+/// element `id`'s state) into a sorted [`PairwiseOutput`] — the hot-path
+/// layout of the local and sequential runners. Already sorted by
+/// construction.
 pub(crate) fn finalize_dense<R>(
-    buckets: Vec<Vec<(u64, R)>>,
+    accs: Vec<Accumulator<R>>,
     aggregator: &dyn Aggregator<R>,
 ) -> PairwiseOutput<R> {
-    let per_element = buckets
+    let per_element = accs
         .into_iter()
-        .enumerate()
-        .map(|(id, partials)| (id as u64, aggregator.aggregate(id as u64, partials)))
+        .map(|acc| {
+            let id = acc.element();
+            (id, aggregator.finish(acc))
+        })
         .collect();
     PairwiseOutput { per_element }
 }
@@ -220,22 +444,91 @@ mod tests {
     #[test]
     fn concat_sort_orders_by_neighbor() {
         let agg = ConcatSort;
-        let out = agg.aggregate(0, vec![(3u64, 30.0f64), (1, 10.0), (2, 20.0)]);
+        let out = aggregate_all(&agg, 0, vec![(3u64, 30.0f64), (1, 10.0), (2, 20.0)]);
         assert_eq!(out, vec![(1, 10.0), (2, 20.0), (3, 30.0)]);
     }
 
     #[test]
     fn filter_aggregator_prunes() {
         let agg = FilterAggregator::new(|r: &f64| *r < 15.0);
-        let out = agg.aggregate(0, vec![(3u64, 30.0f64), (1, 10.0), (2, 20.0)]);
+        let out = aggregate_all(&agg, 0, vec![(3u64, 30.0f64), (1, 10.0), (2, 20.0)]);
         assert_eq!(out, vec![(1, 10.0)]);
+    }
+
+    #[test]
+    fn filter_aggregator_empty_fold_skips_sort() {
+        let agg = FilterAggregator::new(|r: &f64| *r < 0.0);
+        let mut acc = agg.init(7);
+        agg.fold(&mut acc, 1, 10.0);
+        assert!(acc.is_empty(), "failing results must be dropped at the fold");
+        assert_eq!(agg.finish(acc), Vec::<(u64, f64)>::new());
     }
 
     #[test]
     fn topk_keeps_smallest() {
         let agg = TopKAggregator::new(2, |r: &f64| *r);
-        let out = agg.aggregate(0, vec![(3u64, 30.0f64), (1, 10.0), (2, 20.0)]);
+        let out = aggregate_all(&agg, 0, vec![(3u64, 30.0f64), (1, 10.0), (2, 20.0)]);
         assert_eq!(out, vec![(1, 10.0), (2, 20.0)]);
+    }
+
+    #[test]
+    fn topk_fold_stays_bounded() {
+        let agg = TopKAggregator::new(3, |r: &f64| *r);
+        let mut acc = agg.init(0);
+        for i in 0..1000u64 {
+            agg.fold(&mut acc, i + 1, 1000.0 - i as f64);
+        }
+        assert!(acc.len() < agg.compaction_threshold(), "fold must compact in place");
+        let out = agg.finish(acc);
+        assert_eq!(out, vec![(1000, 1.0), (999, 2.0), (998, 3.0)]);
+    }
+
+    /// A legacy implementation overriding only the deprecated one-shot
+    /// method still works through every streaming entry point.
+    #[test]
+    fn deprecated_one_shot_shim_still_works() {
+        struct Legacy;
+        #[allow(deprecated)]
+        impl Aggregator<u64> for Legacy {
+            fn aggregate(&self, _element: u64, mut partials: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+                partials.sort_unstable();
+                partials
+            }
+        }
+        let agg = Legacy;
+        assert!(agg.decomposable().is_none());
+        let out = aggregate_all(&agg, 0, vec![(2u64, 9u64), (1, 4)]);
+        assert_eq!(out, vec![(1, 4), (2, 9)]);
+        let mut acc = agg.init(0);
+        agg.fold(&mut acc, 2, 9);
+        agg.fold(&mut acc, 1, 4);
+        assert_eq!(agg.finish(acc), vec![(1, 4), (2, 9)]);
+    }
+
+    #[test]
+    fn fn_aggregator_adapts_closures() {
+        let agg = FnAggregator::new(|_element, mut partials: Vec<(u64, u64)>| {
+            partials.retain(|(_, r)| *r % 2 == 0);
+            partials.sort_unstable();
+            partials
+        });
+        assert!(Aggregator::<u64>::decomposable(&agg).is_none());
+        let out = aggregate_all(&agg, 3, vec![(5u64, 7u64), (4, 8), (2, 2)]);
+        assert_eq!(out, vec![(2, 2), (4, 8)]);
+    }
+
+    #[test]
+    fn merge_equals_single_fold_for_builtins() {
+        let partials = vec![(9u64, 5.0f64), (3, 1.0), (7, 5.0), (1, 2.0), (5, 0.5)];
+        let agg = TopKAggregator::new(2, |r: &f64| *r);
+        let mut left = agg.init(0);
+        let mut right = agg.init(0);
+        for (i, (o, r)) in partials.iter().enumerate() {
+            let acc = if i % 2 == 0 { &mut left } else { &mut right };
+            agg.fold(acc, *o, *r);
+        }
+        agg.merge(&mut left, right);
+        assert_eq!(agg.finish(left), aggregate_all(&agg, 0, partials));
     }
 
     #[test]

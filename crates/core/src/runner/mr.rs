@@ -20,6 +20,17 @@
 //! Job 2 (*aggregation*): `map` groups by element id (charging the payload
 //! copy the paper's identity map would carry); `reduce` merges the partial
 //! lists with the application's `aggregateResults`.
+//!
+//! **Fused path.** When the aggregator advertises
+//! [`DecomposableAggregator`](crate::runner::DecomposableAggregator) (and
+//! [`MrPairwiseOptions::fuse`] is set — the default), aggregation is fused
+//! into job 1's reduce tasks and **job 2 is skipped entirely**: pair
+//! results fold into per-element accumulators at the tile flush, each
+//! emitted copy carries folded partials, and the driver merges the copies'
+//! accumulators. Charged bytes stay byte-identical to the two-job model —
+//! the shuffle job 2 would have charged accrues under
+//! [`FUSED_CHARGED_SHUFFLE_COUNTER`] — while the physically moved shuffle
+//! bytes of job 2 disappear.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -32,13 +43,22 @@ use pmr_mapreduce::{
 };
 use pmr_obs::{hist, Telemetry};
 
-use crate::runner::kernel::{evaluate_tiled, BatchComp};
+use crate::runner::kernel::{evaluate_tiled, evaluate_tiled_fused, BatchComp};
 use crate::runner::store::ElementStore;
-use crate::runner::{Aggregator, PairwiseOutput, Symmetry};
+use crate::runner::{Accumulator, Aggregator, PairwiseOutput, Symmetry};
 use crate::scheme::{BroadcastScheme, DistributionScheme};
 
 /// User counter: pairwise function evaluations performed inside tasks.
 pub const EVALUATIONS_COUNTER: &str = "pairwise.evaluations";
+
+/// User counter (fused path only): the shuffle bytes job 2 *would have
+/// charged* for the records a fused reduce task emitted — frame, key,
+/// length prefix, every pre-fold `(other, result)` entry, and the
+/// payload-copy charge. Accrued through the task's scratch counters, so
+/// the total is exactly-once under crashes and speculation, and adding it
+/// to job 1's charged shuffle reproduces the unfused two-job total
+/// byte-for-byte.
+pub const FUSED_CHARGED_SHUFFLE_COUNTER: &str = "pairwise.fused.charged.shuffle.bytes";
 
 /// One aggregated output row as stored on the DFS: element id with its
 /// merged `(other, result)` list. Payloads never round-trip through the
@@ -61,6 +81,12 @@ pub struct MrPairwiseOptions {
     pub memory_overhead: (u64, u64),
     /// Base DFS directory for this run's files (must be unused).
     pub dfs_dir: String,
+    /// Fuse aggregation into job-1 reduce tasks when the aggregator is
+    /// decomposable, skipping job 2 and its shuffle entirely (charged
+    /// bytes are unchanged; only physically moved bytes collapse). Ignored
+    /// — the two-job pipeline runs — when the aggregator does not
+    /// advertise [`DecomposableAggregator`](crate::runner::DecomposableAggregator).
+    pub fuse: bool,
 }
 
 impl Default for MrPairwiseOptions {
@@ -72,6 +98,7 @@ impl Default for MrPairwiseOptions {
             reducers_job2: 0,
             memory_overhead: (1, 1),
             dfs_dir: format!("pairwise-run-{}", RUN_SEQ.fetch_add(1, Ordering::Relaxed)),
+            fuse: true,
         }
     }
 }
@@ -81,8 +108,12 @@ impl Default for MrPairwiseOptions {
 pub struct MrRunReport {
     /// Job 1 (or the single broadcast job) output.
     pub job1: JobOutput,
-    /// Job 2 output (absent for the single-job broadcast path).
+    /// Job 2 output (absent for the single-job broadcast path and for
+    /// fused runs, which skip it).
     pub job2: Option<JobOutput>,
+    /// True when aggregation was fused into job 1's reduce tasks and job 2
+    /// was skipped (decomposable aggregator + `MrPairwiseOptions::fuse`).
+    pub fused: bool,
     /// Pairwise function evaluations performed.
     pub evaluations: u64,
     /// Element copies materialized by job 1's map phase — `v ×` the
@@ -144,6 +175,44 @@ impl<T: Wire + Sync> Mapper for DistributeMapper<T> {
     }
 }
 
+/// Validates that a job-1 reduce group received exactly the scheme's
+/// working set and that every id resolves in the store. Returns the sorted
+/// ids and the working set's charged payload bytes — what the task memory
+/// budget constrains (paper §6): the engine reserved the id records'
+/// physical bytes, this charges the payload bytes they stand for.
+fn validate_working_set<T: Wire + Sync>(
+    scheme: &dyn DistributionScheme,
+    ws: u64,
+    values: Values<'_, u64>,
+    store: &ElementStore<T>,
+) -> pmr_mapreduce::Result<(Vec<u64>, u64)> {
+    let mut ids: Vec<u64> = values.collect();
+    ids.sort_unstable();
+    let mut expected = scheme.working_set(ws);
+    expected.sort_unstable();
+    if ids.len() != expected.len() {
+        return Err(MrError::User(format!(
+            "working set {ws}: received {} elements, scheme expects {}",
+            ids.len(),
+            expected.len()
+        )));
+    }
+    if ids != expected {
+        return Err(MrError::User(format!(
+            "working set {ws}: received ids differ from the scheme's working set"
+        )));
+    }
+    let payload_bytes: u64 = ids
+        .iter()
+        .map(|&id| {
+            store.get(id).map(|_| store.encoded_len(id)).ok_or_else(|| {
+                MrError::User(format!("working set {ws}: element id {id} not in store"))
+            })
+        })
+        .sum::<pmr_mapreduce::Result<u64>>()?;
+    Ok((ids, payload_bytes))
+}
+
 /// Job-1 reducer: `getPairs` + `evaluate` + `addResult` (both directions),
 /// resolving ids through the node-local element store.
 struct EvaluateReducer<T, R> {
@@ -168,33 +237,7 @@ impl<T: Wire + Sync, R: Wire + Clone + Sync> Reducer for EvaluateReducer<T, R> {
         let store = ctx
             .store::<ElementStore<T>>()
             .ok_or_else(|| MrError::InvalidJob("element store not attached to job 1".into()))?;
-        let mut ids: Vec<u64> = values.collect();
-        ids.sort_unstable();
-        let mut expected = self.scheme.working_set(ws);
-        expected.sort_unstable();
-        if ids.len() != expected.len() {
-            return Err(MrError::User(format!(
-                "working set {ws}: received {} elements, scheme expects {}",
-                ids.len(),
-                expected.len()
-            )));
-        }
-        if ids != expected {
-            return Err(MrError::User(format!(
-                "working set {ws}: received ids differ from the scheme's working set"
-            )));
-        }
-        // The working set's payloads are what the task memory budget
-        // constrains (paper §6): the engine reserved the id records'
-        // physical bytes, this charges the payload bytes they stand for.
-        let payload_bytes: u64 = ids
-            .iter()
-            .map(|&id| {
-                store.get(id).map(|_| store.encoded_len(id)).ok_or_else(|| {
-                    MrError::User(format!("working set {ws}: element id {id} not in store"))
-                })
-            })
-            .sum::<pmr_mapreduce::Result<u64>>()?;
+        let (ids, payload_bytes) = validate_working_set(self.scheme.as_ref(), ws, values, store)?;
         ctx.memory().try_reserve(payload_bytes)?;
         // The received ids match the scheme's working set exactly and every
         // one resolved against the store above; the scheme only enumerates
@@ -220,6 +263,77 @@ impl<T: Wire + Sync, R: Wire + Clone + Sync> Reducer for EvaluateReducer<T, R> {
             let partial = results.remove(&id).unwrap_or_default();
             ctx.emit(id, partial);
         }
+        ctx.memory().release(payload_bytes);
+        Ok(())
+    }
+}
+
+/// Fused job-1 reducer: evaluation *and* aggregation in one pass. Pair
+/// results are folded into per-element accumulators at the tile flush
+/// (never materialized as a per-pair list), and each element copy's
+/// emitted record already carries folded — filtered, compacted — partials.
+/// The driver merges the per-copy accumulators and job 2 never runs.
+///
+/// The charged-byte model is kept byte-identical to the unfused pipeline:
+/// every pre-fold `(other, result)` entry is observed and the shuffle
+/// bytes job 2 would have charged for this task's records accrue under
+/// [`FUSED_CHARGED_SHUFFLE_COUNTER`].
+struct FusedEvaluateReducer<T, R> {
+    scheme: Arc<dyn DistributionScheme>,
+    kernel: Arc<dyn BatchComp<T, R>>,
+    symmetry: Symmetry,
+    aggregator: Arc<dyn Aggregator<R>>,
+    telemetry: Telemetry,
+}
+
+impl<T: Wire + Sync, R: Wire + Clone + Sync> Reducer for FusedEvaluateReducer<T, R> {
+    type KIn = u64;
+    type VIn = u64;
+    type KOut = u64;
+    type VOut = Vec<(u64, R)>;
+
+    fn reduce(
+        &self,
+        ws: u64,
+        values: Values<'_, u64>,
+        ctx: &mut ReduceContext<'_, u64, Vec<(u64, R)>>,
+    ) -> pmr_mapreduce::Result<()> {
+        let store = ctx
+            .store::<ElementStore<T>>()
+            .ok_or_else(|| MrError::InvalidJob("element store not attached to job 1".into()))?;
+        let (ids, payload_bytes) = validate_working_set(self.scheme.as_ref(), ws, values, store)?;
+        ctx.memory().try_reserve(payload_bytes)?;
+        let aggregator = self.aggregator.as_ref();
+        let mut accs: HashMap<u64, Accumulator<R>> = HashMap::with_capacity(ids.len());
+        let mut folded_bytes: HashMap<u64, u64> = HashMap::with_capacity(ids.len());
+        let evals = evaluate_tiled_fused(
+            self.kernel.as_ref(),
+            self.symmetry,
+            |id| store.get(id).expect("working-set id validated against the store"),
+            |f| self.scheme.for_each_pair(ws, f),
+            aggregator,
+            &mut accs,
+            |id, r| {
+                // Wire size of the `(other, result)` entry the unfused
+                // partial list would carry for `id`: 8-byte other id plus
+                // the result's canonical encoding.
+                *folded_bytes.entry(id).or_insert(0) += 8 + r.to_bytes().len() as u64;
+            },
+        );
+        ctx.counters().add(EVALUATIONS_COUNTER, evals);
+        self.telemetry.record_value(hist::EVALUATIONS_PER_TASK, evals);
+        // Emit every copy with its folded partials, charging what job 2's
+        // map would have shuffled for the unfused record: frame header (8)
+        // + u64 key (8) + Vec length prefix (4) + the pre-fold entries +
+        // the element's payload-copy charge.
+        let mut fused_charge = 0u64;
+        for id in ids {
+            let partial = accs.remove(&id).map(Accumulator::into_partials).unwrap_or_default();
+            fused_charge +=
+                20 + folded_bytes.get(&id).copied().unwrap_or(0) + store.encoded_len(id);
+            ctx.emit(id, partial);
+        }
+        ctx.counters().add(FUSED_CHARGED_SHUFFLE_COUNTER, fused_charge);
         ctx.memory().release(payload_bytes);
         Ok(())
     }
@@ -294,11 +408,15 @@ impl<T: Wire + Sync, R: Wire + Sync> Reducer for AggregateReducer<T, R> {
         // the measured `maxws` pressure matches the paper's model.
         let payload_bytes = store.encoded_len(id) * values.len() as u64;
         ctx.memory().try_reserve(payload_bytes)?;
-        let mut partials: Vec<(u64, R)> = Vec::new();
-        for mut rs in values {
-            partials.append(&mut rs);
+        // Stream each copy's entries through the accumulator API; for the
+        // default fold this is exactly the old concatenate-then-aggregate.
+        let mut acc = self.aggregator.init(id);
+        for rs in values {
+            for (other, r) in rs {
+                self.aggregator.fold(&mut acc, other, r);
+            }
         }
-        let merged = self.aggregator.aggregate(id, partials);
+        let merged = self.aggregator.finish(acc);
         ctx.emit(id, merged);
         ctx.memory().release(payload_bytes);
         Ok(())
@@ -433,12 +551,16 @@ where
             scheme.v()
         )));
     }
+    // Fuse only when asked *and* the aggregator advertises the capability;
+    // anything else runs the paper's two-job pipeline unchanged.
+    let fused = options.fuse && aggregator.decomposable().is_some();
     let telemetry = cluster.telemetry().clone();
     telemetry.set_meta("scheme", scheme.name());
     telemetry.set_meta("scheme.v", scheme.v());
     telemetry.set_meta("scheme.tasks", scheme.num_tasks());
     telemetry.set_meta("backend", "mr");
     telemetry.set_meta("symmetry", format!("{symmetry:?}"));
+    telemetry.set_meta("mr.fused", fused);
     let n = cluster.num_nodes();
     record_analytic_meta(&telemetry, scheme.as_ref(), n as u64);
     let dir = &options.dfs_dir;
@@ -455,24 +577,101 @@ where
     drop(io);
 
     let engine = Engine::new(cluster);
-    let job1 = engine.run(
-        JobSpec::new(
-            format!("{dir}-j1-distribute-evaluate"),
-            inputs,
-            format!("{dir}/mid"),
-            DistributeMapper::<T> { scheme: Arc::clone(&scheme), _pd: std::marker::PhantomData },
-            EvaluateReducer::<T, R> {
-                scheme: Arc::clone(&scheme),
-                kernel,
-                symmetry,
-                telemetry: telemetry.clone(),
-            },
-            auto(n, scheme.num_tasks(), options.reducers_job1),
-        )
-        .partitioner(Arc::new(ModuloPartitioner))
-        .memory_overhead(options.memory_overhead.0, options.memory_overhead.1)
-        .store(store_handle(store)),
-    )?;
+    let reducers_job1 = auto(n, scheme.num_tasks(), options.reducers_job1);
+    let job1 = if fused {
+        engine.run(
+            JobSpec::new(
+                format!("{dir}-j1-distribute-evaluate"),
+                inputs,
+                format!("{dir}/mid"),
+                DistributeMapper::<T> {
+                    scheme: Arc::clone(&scheme),
+                    _pd: std::marker::PhantomData,
+                },
+                FusedEvaluateReducer::<T, R> {
+                    scheme: Arc::clone(&scheme),
+                    kernel,
+                    symmetry,
+                    aggregator: Arc::clone(&aggregator),
+                    telemetry: telemetry.clone(),
+                },
+                reducers_job1,
+            )
+            .partitioner(Arc::new(ModuloPartitioner))
+            .memory_overhead(options.memory_overhead.0, options.memory_overhead.1)
+            .store(store_handle(store)),
+        )?
+    } else {
+        engine.run(
+            JobSpec::new(
+                format!("{dir}-j1-distribute-evaluate"),
+                inputs,
+                format!("{dir}/mid"),
+                DistributeMapper::<T> {
+                    scheme: Arc::clone(&scheme),
+                    _pd: std::marker::PhantomData,
+                },
+                EvaluateReducer::<T, R> {
+                    scheme: Arc::clone(&scheme),
+                    kernel,
+                    symmetry,
+                    telemetry: telemetry.clone(),
+                },
+                reducers_job1,
+            )
+            .partitioner(Arc::new(ModuloPartitioner))
+            .memory_overhead(options.memory_overhead.0, options.memory_overhead.1)
+            .store(store_handle(store)),
+        )?
+    };
+
+    if fused {
+        // Job 2 is skipped outright: the driver merges the per-copy
+        // accumulators off job 1's output and finishes each element. The
+        // shuffle job 2 would have charged was accrued (exactly-once) by
+        // the fused reduce tasks, so the reported charged bytes still
+        // equal the unfused two-job total while nothing extra moved.
+        let dec = aggregator.decomposable().expect("fused run requires a decomposable aggregator");
+        let io = telemetry.job_phase(&format!("{dir}-io"), "merge-aggregate");
+        let rows: Vec<OutputRow<R>> = read_output(cluster, &format!("{dir}/mid"))?;
+        let mut accs: HashMap<u64, Accumulator<R>> = HashMap::new();
+        for (id, partial) in rows {
+            match accs.entry(id) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    dec.merge(e.get_mut(), Accumulator::from_parts(id, partial));
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(Accumulator::from_parts(id, partial));
+                }
+            }
+        }
+        let mut per_element: Vec<OutputRow<R>> =
+            accs.into_iter().map(|(id, acc)| (id, dec.finish(acc))).collect();
+        per_element.sort_by_key(|(id, _)| *id);
+        drop(io);
+
+        let fused_charge = job1.counters.get(FUSED_CHARGED_SHUFFLE_COUNTER).copied().unwrap_or(0);
+        let report = MrRunReport {
+            evaluations: job1.counters.get(EVALUATIONS_COUNTER).copied().unwrap_or(0),
+            replicated_records: job1.counters[pmr_mapreduce::builtin::MAP_OUTPUT_RECORDS],
+            shuffle_bytes: job1.counters[pmr_mapreduce::builtin::SHUFFLE_BYTES] + fused_charge,
+            shuffle_moved_bytes: moved_counter(&job1),
+            max_working_set_bytes: job1.stats.max_working_set_bytes,
+            network_bytes: job1.stats.network_bytes,
+            peak_intermediate_bytes: job1.stats.peak_intermediate_bytes,
+            node_crashes: recovery_counter([&job1], pmr_mapreduce::builtin::NODE_CRASHES),
+            map_reruns: recovery_counter([&job1], pmr_mapreduce::builtin::MAP_RERUNS),
+            speculative_launched: recovery_counter(
+                [&job1],
+                pmr_mapreduce::builtin::SPECULATIVE_LAUNCHED,
+            ),
+            speculative_won: recovery_counter([&job1], pmr_mapreduce::builtin::SPECULATIVE_WON),
+            job1,
+            job2: None,
+            fused: true,
+        };
+        return Ok((PairwiseOutput { per_element }, report));
+    }
 
     let job2 = engine.run(
         JobSpec::new(
@@ -514,6 +713,7 @@ where
         speculative_won: recovery_counter([&job1, &job2], pmr_mapreduce::builtin::SPECULATIVE_WON),
         job1,
         job2: Some(job2),
+        fused: false,
     };
     Ok((PairwiseOutput { per_element }, report))
 }
@@ -565,8 +765,10 @@ where
             cluster.dfs().delete(p);
         });
     }
-    let mut per_element: Vec<(u64, Vec<(u64, R)>)> =
-        merged.into_iter().map(|(id, partials)| (id, aggregator.aggregate(id, partials))).collect();
+    let mut per_element: Vec<(u64, Vec<(u64, R)>)> = merged
+        .into_iter()
+        .map(|(id, partials)| (id, crate::runner::aggregate_all(aggregator.as_ref(), id, partials)))
+        .collect();
     per_element.sort_by_key(|(id, _)| *id);
     Ok((PairwiseOutput { per_element }, reports))
 }
@@ -656,6 +858,10 @@ where
         speculative_won: recovery_counter([&job], pmr_mapreduce::builtin::SPECULATIVE_WON),
         job1: job,
         job2: None,
+        // The §5.1 variant is inherently single-job; its map-side emission
+        // stays unfused so the charged seeding/shuffle costs are the
+        // paper's unchanged.
+        fused: false,
     };
     Ok((PairwiseOutput { per_element }, report))
 }

@@ -5,8 +5,8 @@
 //! (the stream here is the full triangle rather than one task's share),
 //! so the ground truth exercises the identical kernel code path.
 
-use crate::runner::kernel::{evaluate_tiled, BatchComp, ScalarComp};
-use crate::runner::{finalize_dense, Aggregator, CompFn, PairwiseOutput, Symmetry};
+use crate::runner::kernel::{evaluate_tiled_fused, BatchComp, ScalarComp};
+use crate::runner::{finalize_dense, Accumulator, Aggregator, CompFn, PairwiseOutput, Symmetry};
 
 /// Evaluates `comp` on all pairs of `payloads` sequentially. Element `i` of
 /// the slice has id `i`. Ground truth for every other backend.
@@ -28,8 +28,11 @@ pub fn run_sequential_kernel<T, R: Clone>(
     aggregator: &dyn Aggregator<R>,
 ) -> PairwiseOutput<R> {
     let v = payloads.len() as u64;
-    let mut buckets: Vec<Vec<(u64, R)>> = (0..v).map(|_| Vec::new()).collect();
-    evaluate_tiled(
+    // Stream straight into per-element accumulators: with the default fold
+    // this is the old bucket layout, and a decomposable aggregator gets to
+    // filter/compact while the pair results are still tile-hot.
+    let mut accs: Vec<Accumulator<R>> = (0..v).map(|id| aggregator.init(id)).collect();
+    evaluate_tiled_fused(
         kernel,
         symmetry,
         |id| &payloads[id as usize],
@@ -40,13 +43,11 @@ pub fn run_sequential_kernel<T, R: Clone>(
                 }
             }
         },
-        |a, b, rf, rr| {
-            let rb = rr.unwrap_or_else(|| rf.clone());
-            buckets[a as usize].push((b, rf));
-            buckets[b as usize].push((a, rb));
-        },
+        aggregator,
+        &mut accs,
+        |_, _| {},
     );
-    finalize_dense(buckets, aggregator)
+    finalize_dense(accs, aggregator)
 }
 
 #[cfg(test)]

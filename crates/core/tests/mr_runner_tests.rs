@@ -38,12 +38,14 @@ fn two_job_pipeline_matches_sequential_for_all_schemes() {
         let run = PairwiseJob::new(&data, comp())
             .scheme_arc(Arc::clone(&scheme))
             .backend(Backend::Mr(&cluster))
+            .fuse(false) // force the paper's literal two-job pipeline
             .run()
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(run.output, reference, "scheme {name}");
         let report = &run.mr[0];
         assert_eq!(report.evaluations, (v * (v - 1) / 2) as u64, "scheme {name}");
         assert!(report.shuffle_bytes > 0);
+        assert!(!report.fused);
         assert!(report.job2.is_some());
     }
 }
@@ -253,9 +255,7 @@ fn mr_under_injected_failures_still_correct() {
             + report
                 .job2
                 .as_ref()
-                .unwrap()
-                .counters
-                .get(pmr_mapreduce::builtin::FAILED_ATTEMPTS)
+                .and_then(|j| j.counters.get(pmr_mapreduce::builtin::FAILED_ATTEMPTS))
                 .copied()
                 .unwrap_or(0);
     assert!(failed > 0, "seed should produce at least one injected failure");

@@ -25,6 +25,21 @@ fn instrumented_mr_run(v: u64, nodes: usize) -> PairwiseRun<u64> {
         .unwrap()
 }
 
+/// Same run forced onto the paper's literal two-job pipeline — the
+/// conservation tests below check both jobs' bookkeeping, so they opt out
+/// of fused aggregation (which skips job 2 entirely).
+fn instrumented_two_job_run(v: u64, nodes: usize) -> PairwiseRun<u64> {
+    let data: Vec<u64> = (0..v).map(|i| i * 17 % 257).collect();
+    let cluster =
+        Cluster::new(ClusterConfig::with_nodes(nodes)).with_telemetry(Telemetry::enabled());
+    PairwiseJob::new(&data, comp())
+        .scheme(BlockScheme::new(v, 6))
+        .backend(Backend::Mr(&cluster))
+        .fuse(false)
+        .run()
+        .unwrap()
+}
+
 /// Distinct job names in recorded order.
 fn job_names(report: &RunReport) -> Vec<String> {
     let mut names: Vec<String> = Vec::new();
@@ -38,7 +53,7 @@ fn job_names(report: &RunReport) -> Vec<String> {
 
 #[test]
 fn job_phases_tile_each_jobs_wall_time() {
-    let run = instrumented_mr_run(64, 4);
+    let run = instrumented_two_job_run(64, 4);
     let report = &run.report;
     let all_jobs = job_names(report);
     // Runner-level DFS I/O (input distribution, output collection) is
@@ -99,7 +114,7 @@ fn job_phases_tile_each_jobs_wall_time() {
 
 #[test]
 fn span_byte_totals_equal_builtin_counters() {
-    let run = instrumented_mr_run(48, 3);
+    let run = instrumented_two_job_run(48, 3);
     let report = &run.report;
     let jobs: Vec<String> = job_names(report).into_iter().filter(|j| !j.ends_with("-io")).collect();
     let counters = [&run.mr[0].job1.counters, &run.mr[0].job2.as_ref().unwrap().counters];
@@ -178,6 +193,7 @@ fn conservation_holds_under_injected_failures() {
     let run = PairwiseJob::new(&data, comp())
         .scheme(BlockScheme::new(48, 6))
         .backend(Backend::Mr(&cluster))
+        .fuse(false) // both jobs' bookkeeping is under test
         .run()
         .unwrap();
     let report = &run.report;

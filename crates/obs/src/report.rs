@@ -139,7 +139,7 @@ impl RunReport {
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_object();
-        w.str_field("schema", "pmr.run_report/4");
+        w.str_field("schema", "pmr.run_report/5");
         w.u64_field("wall_time_us", self.wall_time_us);
 
         w.begin_object_key("meta");
@@ -464,7 +464,7 @@ mod tests {
         });
         let json = r.to_json();
         for needle in [
-            "\"schema\": \"pmr.run_report/4\"",
+            "\"schema\": \"pmr.run_report/5\"",
             "\"events\"",
             "\"kind\": \"node.crash\"",
             "\"meta\"",
@@ -495,7 +495,7 @@ mod tests {
         let r = RunReport::default();
         r.write_json_file(path.to_str().unwrap()).expect("parents should be created");
         let text = std::fs::read_to_string(&path).unwrap();
-        assert!(text.contains("pmr.run_report/4"));
+        assert!(text.contains("pmr.run_report/5"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,7 +1,7 @@
 //! Golden-file test for the RunReport JSON serialization: a fully
 //! populated, hand-assembled report must serialize byte-for-byte to the
 //! checked-in `tests/golden/run_report.json`. Consumers parse this format
-//! (schema tag `pmr.run_report/4`), so any change to the writer or the
+//! (schema tag `pmr.run_report/5`), so any change to the writer or the
 //! report layout must show up as a reviewed diff of the golden file.
 //!
 //! To regenerate after an intentional format change:
@@ -77,6 +77,7 @@ fn sample_report() -> RunReport {
             ("backend".into(), "mr".into()),
             ("scheme".into(), "block".into()),
             ("scheme.v".into(), "32".into()),
+            ("mr.fused".into(), "true".into()),
         ],
         1000,
         vec![
@@ -193,6 +194,7 @@ fn sample_report() -> RunReport {
         ("mr.shuffle.bytes", 1536),
         ("mr.map.output.bytes", 1024),
         ("pairwise.evaluations", 496),
+        ("pairwise.fused.charged.shuffle.bytes", 512),
     ]);
     report
 }

@@ -48,10 +48,13 @@ pub use pmr_obs as obs;
 /// ```
 pub mod prelude {
     pub use pmr_cluster::{Cluster, ClusterConfig, NodeConfig};
-    pub use pmr_core::runner::mr::{MrPairwiseOptions, MrRunReport, EVALUATIONS_COUNTER};
+    pub use pmr_core::runner::mr::{
+        MrPairwiseOptions, MrRunReport, EVALUATIONS_COUNTER, FUSED_CHARGED_SHUFFLE_COUNTER,
+    };
     pub use pmr_core::runner::{
-        comp_fn, Aggregator, Backend, CompFn, ConcatSort, ElementStore, FilterAggregator,
-        PairwiseJob, PairwiseOutput, PairwiseRun, Symmetry, TopKAggregator,
+        aggregate_all, comp_fn, Accumulator, Aggregator, Backend, CompFn, ConcatSort,
+        DecomposableAggregator, ElementStore, FilterAggregator, FnAggregator, PairwiseJob,
+        PairwiseOutput, PairwiseRun, Symmetry, TopKAggregator,
     };
     pub use pmr_core::scheme::{
         BlockScheme, BroadcastScheme, DesignScheme, DistributionScheme, PairedBlockScheme,

@@ -1,0 +1,151 @@
+//! Fused-aggregation acceptance matrix: with a decomposable aggregator the
+//! MR backend must skip job 2 entirely while staying bit-identical to the
+//! unfused two-job pipeline — same output, same charged bytes (the paper's
+//! cost model), collapsed moved bytes — across every scheme and backend,
+//! including seeded node-crash runs.
+
+use std::sync::Arc;
+
+use pairwise_mr::mapreduce::builtin;
+use pairwise_mr::prelude::*;
+
+fn payloads(v: u64) -> Vec<u64> {
+    (0..v).map(|i| i * 37 % 101).collect()
+}
+
+fn comp() -> CompFn<u64, u64> {
+    comp_fn(|a: &u64, b: &u64| a.wrapping_mul(31) ^ b)
+}
+
+fn schemes(v: u64) -> Vec<(&'static str, Arc<dyn DistributionScheme>)> {
+    vec![
+        ("broadcast", Arc::new(BroadcastScheme::new(v, 6))),
+        ("block", Arc::new(BlockScheme::new(v, 5))),
+        ("design", Arc::new(DesignScheme::new(v))),
+    ]
+}
+
+fn mr_run(
+    scheme: Arc<dyn DistributionScheme>,
+    aggregator: Arc<dyn Aggregator<u64>>,
+    fuse: bool,
+) -> PairwiseRun<u64> {
+    let cluster = Cluster::new(ClusterConfig::with_nodes(4));
+    PairwiseJob::new(&payloads(scheme.v()), comp())
+        .scheme_arc(scheme)
+        .backend(Backend::Mr(&cluster))
+        .aggregator_arc(aggregator)
+        .fuse(fuse)
+        .run()
+        .unwrap()
+}
+
+#[test]
+fn fused_mr_skips_job2_with_identical_output_and_charged_bytes() {
+    let v = 40u64;
+    for (name, scheme) in schemes(v) {
+        let fused = mr_run(Arc::clone(&scheme), Arc::new(ConcatSort), true);
+        let unfused = mr_run(Arc::clone(&scheme), Arc::new(ConcatSort), false);
+
+        // The fused path is a single job; the unfused path is the paper's
+        // literal two-job pipeline.
+        let (f, u) = (&fused.mr[0], &unfused.mr[0]);
+        assert!(f.fused && f.job2.is_none(), "{name}: fused run must skip job 2");
+        assert!(!u.fused && u.job2.is_some(), "{name}: unfused run must keep job 2");
+
+        // Output is bit-identical.
+        assert_eq!(fused.output, unfused.output, "{name}");
+        assert_eq!(fused.evaluations(), v * (v - 1) / 2, "{name}");
+        assert_eq!(unfused.evaluations(), v * (v - 1) / 2, "{name}");
+
+        // The paper's cost model is untouched: charged shuffle bytes and
+        // replication counts are byte-identical — fusion only changes what
+        // physically moves.
+        assert_eq!(f.shuffle_bytes, u.shuffle_bytes, "{name}: charged bytes must not change");
+        assert_eq!(f.replicated_records, u.replicated_records, "{name}");
+        assert!(
+            f.shuffle_moved_bytes < u.shuffle_moved_bytes,
+            "{name}: moved bytes must collapse ({} vs {})",
+            f.shuffle_moved_bytes,
+            u.shuffle_moved_bytes
+        );
+
+        // The synthetic charge is bookkept exactly: job-1 physical shuffle
+        // plus the fused-charge counter reconstructs the two-job total.
+        let job1_shuffle = f.job1.counters[builtin::SHUFFLE_BYTES];
+        let charge = f.job1.counters[FUSED_CHARGED_SHUFFLE_COUNTER];
+        assert!(charge > 0, "{name}");
+        assert_eq!(f.shuffle_bytes, job1_shuffle + charge, "{name}");
+    }
+}
+
+#[test]
+fn fused_output_identical_across_backends_and_aggregators() {
+    let v = 36u64;
+    let data = payloads(v);
+    let aggregators: Vec<(&'static str, Arc<dyn Aggregator<u64>>)> = vec![
+        ("concat", Arc::new(ConcatSort)),
+        ("filter", Arc::new(FilterAggregator::new(|r: &u64| !r.is_multiple_of(3)))),
+        ("topk", Arc::new(TopKAggregator::new(5, |r: &u64| *r as f64))),
+    ];
+    for (agg_name, agg) in aggregators {
+        let reference = PairwiseJob::new(&data, comp())
+            .scheme(BlockScheme::new(v, 4))
+            .aggregator_arc(Arc::clone(&agg))
+            .run()
+            .unwrap()
+            .output;
+        for fuse in [true, false] {
+            for threads in [1usize, 4] {
+                let run = PairwiseJob::new(&data, comp())
+                    .scheme(BlockScheme::new(v, 4))
+                    .backend(Backend::Local { threads })
+                    .aggregator_arc(Arc::clone(&agg))
+                    .fuse(fuse)
+                    .run()
+                    .unwrap();
+                assert_eq!(run.output, reference, "{agg_name}: local/{threads} fuse={fuse}");
+            }
+            let run = mr_run(Arc::new(BlockScheme::new(v, 4)), Arc::clone(&agg), fuse);
+            assert_eq!(run.output, reference, "{agg_name}: mr fuse={fuse}");
+        }
+    }
+}
+
+#[test]
+fn fused_path_is_exactly_once_under_seeded_node_crashes() {
+    let v = 40u64;
+    let agg = || Arc::new(FilterAggregator::new(|r: &u64| !r.is_multiple_of(3)));
+    for (name, scheme) in schemes(v) {
+        let healthy = mr_run(Arc::clone(&scheme), agg(), true);
+        assert!(healthy.mr[0].fused, "{name}");
+        for chaos_seed in [5u64, 23, 1009] {
+            let cluster = Cluster::new(ClusterConfig::with_nodes(4).chaos(1, chaos_seed));
+            let chaotic = PairwiseJob::new(&payloads(v), comp())
+                .scheme_arc(Arc::clone(&scheme))
+                .backend(Backend::Mr(&cluster))
+                .aggregator_arc(agg())
+                .run()
+                .unwrap();
+            assert_eq!(cluster.node_crashes(), 1, "{name}/seed {chaos_seed}");
+            let report = &chaotic.mr[0];
+            assert!(report.fused && report.job2.is_none(), "{name}/seed {chaos_seed}");
+            assert_eq!(
+                chaotic.output, healthy.output,
+                "{name}/seed {chaos_seed}: fused output must survive a crash bit-identically"
+            );
+            // Exactly-once: committed evaluation counts (and the fused
+            // charge) ignore killed and duplicate attempts.
+            assert_eq!(
+                chaotic.evaluations(),
+                v * (v - 1) / 2,
+                "{name}/seed {chaos_seed}: evaluations must stay exactly-once"
+            );
+            assert_eq!(
+                report.job1.counters[FUSED_CHARGED_SHUFFLE_COUNTER],
+                healthy.mr[0].job1.counters[FUSED_CHARGED_SHUFFLE_COUNTER],
+                "{name}/seed {chaos_seed}: fused charge must stay exactly-once"
+            );
+        }
+    }
+}
