@@ -5,8 +5,15 @@
 //! ```sh
 //! cargo run --release -p pmr-bench --bin perf_baseline            # print only
 //! cargo run --release -p pmr-bench --bin perf_baseline -- --record <label>
+//! cargo run --release -p pmr-bench --bin perf_baseline -- --record-mp
 //! cargo run --release -p pmr-bench --bin perf_baseline -- --smoke # CI fast mode
 //! ```
+//!
+//! Every invocation also drives the dense workload end-to-end over real
+//! `pmr-worker` processes (UDS) and reports the bytes physically measured
+//! on the worker sockets; `--record-mp` pins that as the
+//! `multiprocess-shuffle` entry. Build the worker binary first
+//! (`cargo build --release -p pmr-cluster --bin pmr-worker`).
 //!
 //! The dense workload is the acceptance configuration: v = 2048 vectors of
 //! dim 64, squared Euclidean distance, block scheme, 8 threads. The scalar
@@ -16,13 +23,15 @@
 
 use std::time::Instant;
 
+use pmr_apps::distance::euclidean_comp;
 use pmr_apps::generate::{gene_expression, zipf_documents};
 use pmr_apps::kernels::{DenseSqDistKernel, SparseDotKernel};
 use pmr_apps::{DenseVector, SparseVector};
+use pmr_cluster::{Cluster, ClusterConfig, SocketMode, TransportKind};
 use pmr_core::runner::local::{run_local, run_local_kernel};
 use pmr_core::runner::{
-    aggregate_all, comp_fn, Aggregator, BatchComp, CompFn, ConcatSort, FnAggregator,
-    PairwiseOutput, Symmetry,
+    aggregate_all, comp_fn, Aggregator, Backend, BatchComp, CompFn, ConcatSort, FnAggregator,
+    PairwiseJob, PairwiseOutput, Symmetry,
 };
 use pmr_core::scheme::BlockScheme;
 
@@ -153,6 +162,59 @@ fn sparse_workload(smoke: bool) -> Workload<SparseVector> {
     }
 }
 
+/// Throughput and physically-moved wire bytes of a full two-job pipeline
+/// over real `pmr-worker` processes (UDS sockets).
+struct MpResult {
+    pairs_per_sec: f64,
+    wire_mb_per_sec: f64,
+    wire_mb: f64,
+}
+
+/// Runs the dense workload end-to-end on the multi-process transport and
+/// reports pairs/s plus MB/s physically measured on the worker sockets —
+/// the per-run [`WireSnapshot`](pmr_cluster::WireSnapshot) delta, so the
+/// shuffle/seed traffic is byte-exact, not modelled. Asserts the output
+/// is bit-identical to an in-process run of the same configuration.
+fn measure_multiprocess(smoke: bool) -> MpResult {
+    let (v, workers, iters) = if smoke { (128usize, 2, 1) } else { (512, 4, 3) };
+    let data = gene_expression(v, 64, 8, 0.3, 42);
+    let pairs = (v as u64) * (v as u64 - 1) / 2;
+
+    let run_once = |cluster: &Cluster| {
+        PairwiseJob::new(&data, euclidean_comp())
+            .scheme(BlockScheme::new(v as u64, 8))
+            .backend(Backend::Mr(cluster))
+            .run()
+            .expect("multiprocess pairwise run")
+    };
+
+    let inproc = Cluster::new(ClusterConfig::with_nodes(workers));
+    let reference = run_once(&inproc);
+
+    let mut best = f64::INFINITY;
+    let mut wire_bytes = 0u64;
+    for _ in 0..iters {
+        let cluster = Cluster::try_new(
+            ClusterConfig::with_nodes(workers)
+                .transport(TransportKind::Process { socket: SocketMode::Uds }),
+        )
+        .expect("spawn pmr-worker processes (cargo build -p pmr-cluster --bin pmr-worker first)");
+        let start = Instant::now();
+        let run = run_once(&cluster);
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(
+            run.output, reference.output,
+            "multiprocess output must be bit-identical to in-process"
+        );
+        if elapsed < best {
+            best = elapsed;
+            wire_bytes = run.mr[0].wire.total_bytes();
+        }
+    }
+    let wire_mb = wire_bytes as f64 / (1024.0 * 1024.0);
+    MpResult { pairs_per_sec: pairs as f64 / best, wire_mb_per_sec: wire_mb / best, wire_mb }
+}
+
 /// Locates the repo root by walking up from CWD until `BENCH_FILE`'s
 /// directory (the one holding `Cargo.toml` with a `[workspace]`) is found.
 fn repo_root() -> std::path::PathBuf {
@@ -187,30 +249,52 @@ fn entry_json(label: &str, dense_pps: f64, sparse_pps: f64, unfused: Option<(f64
     )
 }
 
-/// Appends an entry to `BENCH_pairwise.json`, preserving prior entries.
-/// The file is always written by this binary in a fixed layout, so prior
-/// entry lines are recognizable as the lines starting with `    {`.
-fn record(label: &str, dense_pps: f64, sparse_pps: f64, unfused: Option<(f64, f64)>) {
+/// Appends an entry line to `BENCH_pairwise.json`, preserving prior
+/// entries. The file is always written by this binary in a fixed layout,
+/// so prior entry lines are recognizable as the lines starting with
+/// `    {`. An entry whose label already exists is replaced, so re-running
+/// a recorder refreshes its row instead of duplicating it.
+fn record_entry(label: &str, entry: String) {
     let path = repo_root().join(BENCH_FILE);
+    let needle = format!("\"label\": \"{label}\"");
     let mut entries: Vec<String> = Vec::new();
     if let Ok(existing) = std::fs::read_to_string(&path) {
         for line in existing.lines() {
-            if line.starts_with("    {") {
+            if line.starts_with("    {") && !line.contains(&needle) {
                 entries.push(line.trim_end_matches(',').to_string());
             }
         }
     }
-    entries.push(entry_json(label, dense_pps, sparse_pps, unfused));
+    entries.push(entry);
     let body = entries.join(",\n");
     let json = format!(
         "{{\n  \"schema\": \"pmr.perf/1\",\n  \"bench\": {{\n    \"dense\": {{ \"v\": 2048, \
          \"dim\": 64, \"threads\": 8, \"scheme\": \"block(h=16)\", \"comp\": \
          \"squared_euclidean\" }},\n    \"sparse\": {{ \"v\": 1024, \"vocab\": 4096, \"nnz\": 64, \
-         \"threads\": 8, \"scheme\": \"block(h=8)\", \"comp\": \"dot\" }}\n  }},\n  \"entries\": \
-         [\n{body}\n  ]\n}}\n"
+         \"threads\": 8, \"scheme\": \"block(h=8)\", \"comp\": \"dot\" }},\n    \"multiprocess\": \
+         {{ \"v\": 512, \"dim\": 64, \"workers\": 4, \"scheme\": \"block(h=8)\", \"socket\": \
+         \"uds\", \"comp\": \"euclidean\" }}\n  }},\n  \"entries\": [\n{body}\n  ]\n}}\n"
     );
     std::fs::write(&path, json).expect("write BENCH_pairwise.json");
     println!("recorded entry '{label}' in {}", path.display());
+}
+
+fn record(label: &str, dense_pps: f64, sparse_pps: f64, unfused: Option<(f64, f64)>) {
+    record_entry(label, entry_json(label, dense_pps, sparse_pps, unfused));
+}
+
+/// Records the multi-process transport row: end-to-end pairs/s over real
+/// worker processes plus the MB/s physically measured on their sockets.
+fn record_multiprocess(mp: &MpResult) {
+    let label = "multiprocess-shuffle";
+    record_entry(
+        label,
+        format!(
+            "    {{ \"label\": \"{label}\", \"pairs_per_sec\": {:.0}, \
+             \"wire_mb_per_sec\": {:.2}, \"wire_mb\": {:.2} }}",
+            mp.pairs_per_sec, mp.wire_mb_per_sec, mp.wire_mb
+        ),
+    );
 }
 
 fn main() {
@@ -263,8 +347,23 @@ fn main() {
         assert!(out.per_element.iter().all(|(_, r)| r.len() == v - 1), "missing pair results");
     }
 
+    let mp = measure_multiprocess(smoke);
+    println!(
+        "multiproc (v={}, {} workers, uds): {:>12.0} pairs/s end-to-end, {:>8.2} MB on the wire \
+         ({:>8.2} MB/s)",
+        if smoke { 128 } else { 512 },
+        if smoke { 2 } else { 4 },
+        mp.pairs_per_sec,
+        mp.wire_mb,
+        mp.wire_mb_per_sec
+    );
+
     if let Some(label) = label {
         record(&label, dense_pps, sparse_pps, Some((dense_unfused_pps, sparse_unfused_pps)));
+    }
+    if args.iter().any(|a| a == "--record-mp") {
+        assert!(!smoke, "--record-mp needs the full workload, not --smoke");
+        record_multiprocess(&mp);
     }
     if smoke {
         println!("smoke mode OK");

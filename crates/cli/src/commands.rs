@@ -5,7 +5,7 @@ use std::io::{BufReader, BufWriter, Write};
 
 use pmr_apps::distance::{cosine_distance, euclidean, manhattan};
 use pmr_apps::generate::{gaussian_clusters, gene_expression, random_matrix_rows};
-use pmr_cluster::{Cluster, ClusterConfig};
+use pmr_cluster::{Cluster, ClusterConfig, SocketMode, TransportKind};
 use pmr_core::analysis::costmodel::{rank_feasible_schemes, CostParams};
 use pmr_core::analysis::limits::{fig9b_point, h_bounds};
 use pmr_core::analysis::table1::{block_row, broadcast_row, design_row};
@@ -33,15 +33,17 @@ COMMANDS
               --scheme NAME       block | broadcast | design | paired  [block]
               --h N               blocking factor (block/paired)  [8]
               --tasks N           task count (broadcast)  [16]
-              --backend NAME      local | mr | sequential  [local]
+              --backend NAME      local | mr | process | sequential  [local]
               --threads N         worker threads (local)  [4]
               --nodes N           simulated cluster nodes (mr)  [4]
-              --chaos-nodes N     crash N nodes at seeded points (mr)  [0]
-              --chaos-seed N      seed for the crash schedule (mr)
-              --speculation X     back up tasks slower than X × median (mr)
+              --workers N         real worker processes (process)  [4]
+              --socket MODE       worker socket: uds | tcp (process)  [uds]
+              --chaos-nodes N     crash N nodes at seeded points (mr/process)  [0]
+              --chaos-seed N      seed for the crash schedule (mr/process)
+              --speculation X     back up tasks slower than X × median (mr/process)
               --max-result X      keep only results ≤ X (ε-pruning)
               --fuse on|off       fold results where pairs are evaluated,
-                                  skipping the aggregation job (mr)  [on]
+                                  skipping the aggregation job (local/mr/process)  [on]
               --output FILE       TSV results  [stdout]
               --report FILE       write the run report as JSON
   generate  write a synthetic CSV dataset
@@ -100,6 +102,29 @@ fn scheme_from_args(
     })
 }
 
+/// Cluster sizing plus the chaos/speculation flags shared by the `mr` and
+/// `process` backends.
+fn cluster_config_from_args(
+    args: &Args,
+    nodes: usize,
+) -> Result<ClusterConfig, Box<dyn std::error::Error>> {
+    let mut config = ClusterConfig::with_nodes(nodes);
+    let chaos_nodes = args.num_or("chaos-nodes", 0usize)?;
+    if chaos_nodes > 0 {
+        let seed = args.num_or("chaos-seed", config.chaos_seed)?;
+        config = config.chaos(chaos_nodes, seed);
+    }
+    if let Some(s) = args.optional("speculation") {
+        let mult: f64 =
+            s.parse().map_err(|_| ArgError("--speculation must be a number ≥ 1".into()))?;
+        if mult < 1.0 {
+            return Err(Box::new(ArgError("--speculation must be ≥ 1".into())));
+        }
+        config = config.speculation(mult);
+    }
+    Ok(config)
+}
+
 fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     args.no_positionals()?;
     args.check_known(&[
@@ -111,6 +136,8 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "backend",
         "threads",
         "nodes",
+        "workers",
+        "socket",
         "chaos-nodes",
         "chaos-seed",
         "speculation",
@@ -158,31 +185,55 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         job = job.aggregator_arc(agg);
     }
     let backend = args.optional("backend").unwrap_or("local");
-    let cluster; // owns the simulated cluster for the 'mr' backend
+    // Backend-specific flags are rejected with a pointer to the backends
+    // they apply to, instead of being silently ignored.
+    let gate = |flag: &str, allowed: &[&str]| -> Result<(), ArgError> {
+        if args.optional(flag).is_some() && !allowed.contains(&backend) {
+            return Err(ArgError(format!(
+                "flag --{flag} only applies to --backend {} (got --backend {backend})",
+                allowed.join(" | ")
+            )));
+        }
+        Ok(())
+    };
+    gate("threads", &["local"])?;
+    gate("nodes", &["mr"])?;
+    gate("workers", &["process"])?;
+    gate("socket", &["process"])?;
+    gate("chaos-nodes", &["mr", "process"])?;
+    gate("chaos-seed", &["mr", "process"])?;
+    gate("speculation", &["mr", "process"])?;
+    gate("fuse", &["local", "mr", "process"])?;
+    let cluster; // owns the cluster for the 'mr' / 'process' backends
     let run = match backend {
         "sequential" => job.run()?,
         "local" => job.backend(Backend::Local { threads }).run()?,
         "mr" => {
-            let mut config = ClusterConfig::with_nodes(nodes);
-            let chaos_nodes = args.num_or("chaos-nodes", 0usize)?;
-            if chaos_nodes > 0 {
-                let seed = args.num_or("chaos-seed", config.chaos_seed)?;
-                config = config.chaos(chaos_nodes, seed);
-            }
-            if let Some(s) = args.optional("speculation") {
-                let mult: f64 =
-                    s.parse().map_err(|_| ArgError("--speculation must be a number ≥ 1".into()))?;
-                if mult < 1.0 {
-                    return Err(Box::new(ArgError("--speculation must be ≥ 1".into())));
+            cluster = Cluster::new(cluster_config_from_args(args, nodes)?)
+                .with_telemetry(telemetry.clone());
+            job.backend(Backend::Mr(&cluster)).run()?
+        }
+        "process" => {
+            let workers = args.num_or("workers", 4usize)?;
+            let socket = match args.optional("socket").unwrap_or("uds") {
+                "uds" => SocketMode::Uds,
+                "tcp" => SocketMode::Tcp,
+                other => {
+                    return Err(Box::new(ArgError(format!(
+                        "flag --socket must be uds or tcp, got '{other}'"
+                    ))))
                 }
-                config = config.speculation(mult);
-            }
-            cluster = Cluster::new(config).with_telemetry(telemetry.clone());
+            };
+            let config = cluster_config_from_args(args, workers)?
+                .transport(TransportKind::Process { socket });
+            cluster = Cluster::try_new(config)
+                .map_err(|e| ArgError(format!("cannot start worker processes: {e}")))?
+                .with_telemetry(telemetry.clone());
             job.backend(Backend::Mr(&cluster)).run()?
         }
         other => {
             return Err(Box::new(ArgError(format!(
-                "unknown backend '{other}' (local | mr | sequential)"
+                "unknown backend '{other}' (local | mr | process | sequential)"
             ))))
         }
     };
@@ -545,6 +596,75 @@ mod tests {
     }
 
     #[test]
+    fn backend_flag_combinations_are_validated() {
+        let dir = std::env::temp_dir().join(format!("pmr-cli-gate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("pts.csv");
+        dispatch(&args(&format!(
+            "generate --kind clusters --n 10 --dim 2 --output {}",
+            csv.display()
+        )))
+        .unwrap();
+        let c = csv.display();
+        for (line, needle) in [
+            (format!("run --input {c} --chaos-nodes 1"), "--chaos-nodes only applies"),
+            (format!("run --input {c} --backend sequential --fuse on"), "--fuse only applies"),
+            (format!("run --input {c} --backend local --speculation 2.0"), "--speculation only"),
+            (format!("run --input {c} --backend mr --workers 2"), "--workers only applies"),
+            (format!("run --input {c} --backend process --nodes 2"), "--nodes only applies"),
+            (format!("run --input {c} --backend process --threads 2"), "--threads only applies"),
+            (format!("run --input {c} --backend process --socket pigeon"), "uds or tcp"),
+            (format!("run --input {c} --backend mr --socket tcp"), "--socket only applies"),
+        ] {
+            let err = dispatch(&args(&line)).unwrap_err().to_string();
+            assert!(err.contains(needle), "{line}: expected '{needle}' in '{err}'");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// End-to-end over real worker processes: same output as the
+    /// in-process cluster, and the report carries the transport section.
+    #[test]
+    fn process_backend_matches_mr_and_reports_transport() {
+        let dir = std::env::temp_dir().join(format!("pmr-cli-proc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("pts.csv");
+        dispatch(&args(&format!(
+            "generate --kind clusters --n 24 --dim 2 --output {}",
+            csv.display()
+        )))
+        .unwrap();
+        let mr_out = dir.join("mr.tsv");
+        let proc_out = dir.join("proc.tsv");
+        let report = dir.join("proc.json");
+        dispatch(&args(&format!(
+            "run --input {} --scheme block --h 4 --backend mr --nodes 2 --output {}",
+            csv.display(),
+            mr_out.display()
+        )))
+        .unwrap();
+        dispatch(&args(&format!(
+            "run --input {} --scheme block --h 4 --backend process --workers 2 \
+             --report {} --output {}",
+            csv.display(),
+            report.display(),
+            proc_out.display()
+        )))
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&mr_out).unwrap(),
+            std::fs::read_to_string(&proc_out).unwrap(),
+            "in-process and multi-process backends must agree bit-for-bit"
+        );
+        let json = std::fs::read_to_string(&report).unwrap();
+        assert!(json.contains("\"backend\": \"process\""));
+        assert!(json.contains("\"transport\""));
+        assert!(json.contains("\"wire_bytes\""));
+        assert!(json.contains("\"workers\""));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn run_report_writes_json_for_each_backend() {
         let dir = std::env::temp_dir().join(format!("pmr-cli-report-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -557,8 +677,9 @@ mod tests {
         for backend in ["local", "mr", "sequential"] {
             let json_path = dir.join(format!("report-{backend}.json"));
             let tsv = dir.join("out.tsv");
+            let nodes = if backend == "mr" { " --nodes 3" } else { "" };
             dispatch(&args(&format!(
-                "run --input {} --scheme block --h 4 --backend {backend} --nodes 3 \
+                "run --input {} --scheme block --h 4 --backend {backend}{nodes} \
                  --report {} --output {}",
                 csv.display(),
                 json_path.display(),
@@ -566,7 +687,7 @@ mod tests {
             )))
             .unwrap();
             let json = std::fs::read_to_string(&json_path).unwrap();
-            assert!(json.contains("\"schema\": \"pmr.run_report/5\""), "{backend}");
+            assert!(json.contains("\"schema\": \"pmr.run_report/6\""), "{backend}");
             assert!(json.contains(&format!("\"backend\": \"{backend}\"")), "{backend}");
         }
         std::fs::remove_dir_all(&dir).unwrap();

@@ -1,0 +1,46 @@
+//! `pmr-worker` — one node's storage server for the multi-process
+//! transport.
+//!
+//! Spawned by [`pmr_cluster::transport::MultiProcessTransport`]; connects
+//! back to the coordinator's listener and serves framed put/get/remove
+//! requests until shut down. Not intended to be run by hand:
+//!
+//! ```sh
+//! pmr-worker --socket <path-or-addr> --node <index> --mode uds|tcp
+//! ```
+
+use pmr_cluster::config::SocketMode;
+use pmr_cluster::transport::run_worker;
+
+fn usage() -> ! {
+    eprintln!("usage: pmr-worker --socket <path-or-addr> --node <index> --mode uds|tcp");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut socket = None;
+    let mut node = None;
+    let mut mode = SocketMode::Uds;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else { usage() };
+        match flag.as_str() {
+            "--socket" => socket = Some(value.clone()),
+            "--node" => node = value.parse::<u64>().ok(),
+            "--mode" => {
+                mode = match value.as_str() {
+                    "uds" => SocketMode::Uds,
+                    "tcp" => SocketMode::Tcp,
+                    _ => usage(),
+                }
+            }
+            _ => usage(),
+        }
+    }
+    let (Some(socket), Some(node)) = (socket, node) else { usage() };
+    if let Err(e) = run_worker(&socket, node, mode) {
+        eprintln!("pmr-worker node {node}: {e}");
+        std::process::exit(1);
+    }
+}

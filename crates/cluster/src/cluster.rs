@@ -1,12 +1,14 @@
-//! The assembled cluster: nodes + DFS + network + failure injection.
+//! The assembled cluster: nodes + DFS + network + failure injection,
+//! over a pluggable [`Transport`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use bytes::Bytes;
 use parking_lot::Mutex;
 use pmr_obs::Telemetry;
 
-use crate::config::ClusterConfig;
+use crate::config::{ClusterConfig, TransportKind};
 use crate::dfs::Dfs;
 use crate::error::{ClusterError, Result};
 use crate::failure::{ChaosPlan, FailureInjector};
@@ -14,6 +16,9 @@ use crate::ids::NodeId;
 use crate::memory::MemoryGauge;
 use crate::network::TrafficAccountant;
 use crate::node::Node;
+use crate::transport::{
+    InProcessTransport, MultiProcessTransport, Transport, WireSnapshot, WorkerInfo,
+};
 
 /// Mutable state of the deterministic crash schedule.
 #[derive(Debug)]
@@ -27,9 +32,9 @@ struct ChaosRuntime {
 }
 
 /// A simulated shared-nothing cluster (paper §3's execution model).
-#[derive(Debug)]
 pub struct Cluster {
     config: ClusterConfig,
+    transport: Arc<dyn Transport>,
     nodes: Vec<Arc<Node>>,
     dfs: Dfs,
     traffic: TrafficAccountant,
@@ -44,14 +49,45 @@ pub struct Cluster {
     crashes: AtomicU64,
 }
 
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("config", &self.config)
+            .field("transport", &self.transport.name())
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
 impl Cluster {
     /// Builds a cluster from a configuration.
+    ///
+    /// Panics when the transport cannot be brought up (only possible with
+    /// [`TransportKind::Process`]); use [`Cluster::try_new`] to handle
+    /// that gracefully.
     pub fn new(config: ClusterConfig) -> Cluster {
+        Cluster::try_new(config).expect("cluster construction failed")
+    }
+
+    /// Builds a cluster from a configuration, surfacing transport
+    /// bring-up failures (missing worker binary, socket trouble,
+    /// handshake timeout) as [`ClusterError::Transport`].
+    pub fn try_new(config: ClusterConfig) -> Result<Cluster> {
         assert!(config.num_nodes > 0, "cluster needs at least one node");
-        let nodes = (0..config.num_nodes)
-            .map(|i| Arc::new(Node::new(NodeId(i as u32), config.node.storage_capacity)))
+        let transport: Arc<dyn Transport> = match config.transport {
+            TransportKind::InProcess => Arc::new(InProcessTransport::new(config.num_nodes)),
+            TransportKind::Process { socket } => {
+                Arc::new(MultiProcessTransport::spawn(config.num_nodes, socket)?)
+            }
+        };
+        let nodes: Vec<Arc<Node>> = (0..config.num_nodes)
+            .map(|i| {
+                let id = NodeId(i as u32);
+                Arc::new(Node::with_store(id, config.node.storage_capacity, transport.store(id)))
+            })
             .collect();
-        let dfs = Dfs::new(config.num_nodes, config.dfs_block_size, config.dfs_replication);
+        let stores = (0..config.num_nodes).map(|i| transport.store(NodeId(i as u32))).collect();
+        let dfs = Dfs::with_stores(config.dfs_block_size, config.dfs_replication, stores);
         let injector = FailureInjector::new(config.task_failure_probability, config.seed);
         let plan = if config.chaos_nodes > 0 {
             ChaosPlan::new(config.chaos_nodes, config.chaos_seed, config.num_nodes)
@@ -60,8 +96,9 @@ impl Cluster {
         } else {
             Vec::new()
         };
-        Cluster {
+        Ok(Cluster {
             config,
+            transport,
             nodes,
             dfs,
             traffic: TrafficAccountant::new(),
@@ -70,7 +107,44 @@ impl Cluster {
             charged_extra: std::sync::atomic::AtomicU64::new(0),
             chaos: Mutex::new(ChaosRuntime { plan, next: 0, completed: 0 }),
             crashes: AtomicU64::new(0),
+        })
+    }
+
+    /// The transport backing node-local storage.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
+    }
+
+    /// True when node storage lives in separate worker processes.
+    pub fn is_distributed(&self) -> bool {
+        self.transport.is_distributed()
+    }
+
+    /// Payload bytes physically serialized over worker sockets so far
+    /// (all zero on the in-process transport).
+    pub fn wire_snapshot(&self) -> WireSnapshot {
+        self.transport.wire_snapshot()
+    }
+
+    /// The worker process table (empty on the in-process transport).
+    pub fn workers(&self) -> Vec<WorkerInfo> {
+        self.transport.workers()
+    }
+
+    /// Ships `data` once to every live worker's store under `name` —
+    /// the §5.1 element-store distribution step. The shipment is
+    /// *unledgered*: physically measured on the wire (the `seed` class)
+    /// but never billed as intermediate data, so charged counters stay
+    /// identical across transports. A no-op in-process, where every
+    /// "worker" already shares the coordinator's memory.
+    pub fn seed_workers(&self, name: &str, data: &Bytes) -> Result<()> {
+        if !self.is_distributed() {
+            return Ok(());
         }
+        for node in self.live_nodes() {
+            self.transport.store(node).put(name, data.clone())?;
+        }
+        Ok(())
     }
 
     /// Attaches a telemetry handle (builder-style, before the cluster is

@@ -49,7 +49,7 @@ pub type DecodeResult<T> = Result<T, CodecError>;
 /// A type with a canonical binary encoding.
 ///
 /// ```
-/// use pmr_mapreduce::Wire;
+/// use pmr_cluster::Wire;
 ///
 /// let v = (7u64, String::from("hi"), vec![1u32, 2]);
 /// let bytes = v.to_bytes();
@@ -153,6 +153,12 @@ impl Wire for () {
     }
 }
 
+/// Upper bound on any single length-prefixed item (1 GiB). A prefix above
+/// this is treated as corrupt outright — even when a decoder is handed a
+/// buffer that happens to be large enough — so a flipped high bit in a
+/// frame header can never trigger a gigabyte-sized `split_to`.
+pub const MAX_ITEM_LEN: usize = 1 << 30;
+
 fn put_len(buf: &mut BytesMut, len: usize) {
     debug_assert!(len <= u32::MAX as usize);
     buf.put_u32(len as u32);
@@ -163,6 +169,9 @@ fn get_len(buf: &mut Bytes, what: &'static str) -> DecodeResult<usize> {
         return Err(CodecError::Truncated { what });
     }
     let len = buf.get_u32() as usize;
+    if len > MAX_ITEM_LEN {
+        return Err(CodecError::Corrupt { what });
+    }
     if buf.len() < len {
         return Err(CodecError::Truncated { what });
     }
@@ -421,6 +430,27 @@ mod tests {
         let mut buf = BytesMut::new();
         r.write_framed(&mut buf);
         assert_eq!(buf.len(), r.framed_len());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_corrupt_not_a_huge_read() {
+        // Length prefix claims 2 GiB (> MAX_ITEM_LEN) with 4 bytes behind it.
+        let mut buf = BytesMut::new();
+        buf.put_u32(0x8000_0000);
+        buf.extend_from_slice(b"data");
+        let mut b = buf.freeze();
+        assert!(matches!(RawRecord::read_framed(&mut b), Err(CodecError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_a_panic() {
+        // A record whose value length prefix promises more than remains.
+        let mut buf = BytesMut::new();
+        put_len(&mut buf, 1);
+        buf.put_u8(b'k');
+        put_len(&mut buf, 100);
+        buf.put_u8(b'v');
+        assert!(matches!(decode_raw_stream(buf.freeze()), Err(CodecError::Truncated { .. })));
     }
 
     #[test]

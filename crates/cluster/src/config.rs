@@ -6,6 +6,29 @@
 
 use crate::network::NetworkModel;
 
+/// Socket family used by the multi-process transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SocketMode {
+    /// Unix-domain sockets (the default; lowest overhead, Unix only).
+    Uds,
+    /// TCP over loopback (the portable fallback).
+    Tcp,
+}
+
+/// Where node-local storage physically lives (see [`crate::transport`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// The simulated in-process cluster — deterministic, the default, and
+    /// byte-identical to the historical behavior.
+    InProcess,
+    /// One spawned `pmr-worker` process per node; every store operation
+    /// crosses a real socket.
+    Process {
+        /// Socket family for the worker connections.
+        socket: SocketMode,
+    },
+}
+
 /// Per-node resource configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NodeConfig {
@@ -67,6 +90,9 @@ pub struct ClusterConfig {
     /// this multiple of the median completed-task time, a backup attempt is
     /// launched on another node. `None` disables speculation.
     pub speculation_multiplier: Option<f64>,
+    /// Where node-local storage lives: simulated in-process (default) or
+    /// in spawned worker processes behind real sockets.
+    pub transport: TransportKind,
 }
 
 impl Default for ClusterConfig {
@@ -84,6 +110,7 @@ impl Default for ClusterConfig {
             chaos_nodes: 0,
             chaos_seed: 0xDEAD_BEEF_0BAD_C0DE,
             speculation_multiplier: None,
+            transport: TransportKind::InProcess,
         }
     }
 }
@@ -133,6 +160,12 @@ impl ClusterConfig {
     pub fn speculation(mut self, multiplier: f64) -> Self {
         assert!(multiplier >= 1.0, "speculation multiplier must be >= 1");
         self.speculation_multiplier = Some(multiplier);
+        self
+    }
+
+    /// Selects the transport backing node-local storage, builder-style.
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
         self
     }
 
@@ -186,5 +219,13 @@ mod tests {
     #[should_panic(expected = "multiplier")]
     fn rejects_bad_speculation_multiplier() {
         let _ = ClusterConfig::default().speculation(0.5);
+    }
+
+    #[test]
+    fn transport_defaults_to_in_process() {
+        assert_eq!(ClusterConfig::default().transport, TransportKind::InProcess);
+        let c = ClusterConfig::with_nodes(2)
+            .transport(TransportKind::Process { socket: SocketMode::Tcp });
+        assert_eq!(c.transport, TransportKind::Process { socket: SocketMode::Tcp });
     }
 }

@@ -7,6 +7,15 @@
 //! a few nodes; readers on non-replica nodes pay network cost; MapReduce
 //! input splits are derived from block boundaries (record-aligned when the
 //! writer recorded record offsets).
+//!
+//! Since the transport refactor, block *metadata* (offsets, lengths,
+//! replica lists, record offsets) lives here on the coordinator while block
+//! *payloads* live in the per-node [`NodeStore`]s under `dfs/…` keys — the
+//! same stores that hold MapReduce intermediate files, so on the
+//! multi-process transport DFS reads and re-replication physically cross
+//! the worker sockets. DFS payloads are deliberately *unledgered*: they are
+//! input data, not intermediate data, and must not count toward the
+//! paper's `maxis` accounting.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -19,13 +28,18 @@ use pmr_obs::Telemetry;
 use crate::error::{ClusterError, Result};
 use crate::ids::NodeId;
 use crate::network::{NetworkModel, TrafficAccountant};
+use crate::transport::{InProcessStore, NodeStore};
 
-/// One replicated block of a DFS file.
+/// One replicated block of a DFS file (metadata only — the payload lives
+/// in the replica nodes' stores under `key`).
 #[derive(Debug, Clone)]
 struct DfsBlock {
     /// Byte offset of this block within the file.
     offset: u64,
-    data: Bytes,
+    /// Payload length in bytes.
+    len: u64,
+    /// Store key of the payload on every replica node.
+    key: String,
     replicas: Vec<NodeId>,
 }
 
@@ -65,12 +79,13 @@ pub struct InputSplit {
 /// let splits = dfs.splits("data", 3).unwrap();
 /// assert_eq!(splits.iter().map(|s| s.len).sum::<u64>(), 100);
 /// ```
-#[derive(Debug)]
 pub struct Dfs {
     block_size: u64,
     replication: usize,
     num_nodes: usize,
     files: RwLock<HashMap<String, DfsFile>>,
+    /// Per-node payload stores, indexed by node id.
+    stores: Vec<Arc<dyn NodeStore>>,
     placement: AtomicU64,
     bytes_written: AtomicU64,
     bytes_read: AtomicU64,
@@ -80,15 +95,44 @@ pub struct Dfs {
     telemetry: Telemetry,
 }
 
+impl std::fmt::Debug for Dfs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dfs")
+            .field("block_size", &self.block_size)
+            .field("replication", &self.replication)
+            .field("num_nodes", &self.num_nodes)
+            .field("files", &self.files.read().len())
+            .finish()
+    }
+}
+
 impl Dfs {
-    /// Creates a DFS over `num_nodes` nodes.
+    /// Creates a self-contained DFS over `num_nodes` nodes, with private
+    /// in-process payload stores (test/driver use).
     pub fn new(num_nodes: usize, block_size: u64, replication: usize) -> Dfs {
+        let stores = (0..num_nodes)
+            .map(|i| Arc::new(InProcessStore::new(NodeId(i as u32))) as Arc<dyn NodeStore>)
+            .collect();
+        Dfs::with_stores(block_size, replication, stores)
+    }
+
+    /// Creates a DFS whose block payloads live in the given per-node
+    /// transport stores (one per node, indexed by node id). This is how
+    /// [`crate::Cluster`] shares a single set of stores between the DFS and
+    /// node-local intermediate files.
+    pub fn with_stores(
+        block_size: u64,
+        replication: usize,
+        stores: Vec<Arc<dyn NodeStore>>,
+    ) -> Dfs {
+        let num_nodes = stores.len();
         assert!(num_nodes > 0 && block_size > 0 && replication > 0);
         Dfs {
             block_size,
             replication: replication.min(num_nodes),
             num_nodes,
             files: RwLock::new(HashMap::new()),
+            stores,
             placement: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
@@ -160,10 +204,14 @@ impl Dfs {
             let start = self.placement.fetch_add(1, Ordering::Relaxed) as usize;
             let replicas: Vec<NodeId> =
                 (0..replication).map(|i| live[(start + i) % live.len()]).collect();
+            let key = format!("dfs/{path}/{off}");
             for r in &replicas {
                 self.telemetry.placement(r.0, slice.len() as u64);
+                if !slice.is_empty() {
+                    self.stores[r.index()].put(&key, slice.clone())?;
+                }
             }
-            blocks.push(DfsBlock { offset: off, data: slice, replicas });
+            blocks.push(DfsBlock { offset: off, len: slice.len() as u64, key, replicas });
             off = end;
             if off >= len {
                 break;
@@ -175,6 +223,56 @@ impl Dfs {
             DfsFile { blocks, len, record_offsets: record_offsets.map(Arc::new) },
         );
         Ok(())
+    }
+
+    /// Fetches one block's payload, preferring the reader-local replica and
+    /// falling back across the remaining replicas when a store has died
+    /// under us (replica-resilient read).
+    fn fetch_block(&self, b: &DfsBlock, reader: Option<NodeId>) -> Result<Bytes> {
+        if b.len == 0 {
+            return Ok(Bytes::new());
+        }
+        let local = reader.filter(|r| b.replicas.contains(r));
+        let rest = b.replicas.iter().copied().filter(|r| Some(*r) != local);
+        for r in local.into_iter().chain(rest) {
+            if let Ok(data) = self.stores[r.index()].get(&b.key) {
+                return Ok(data);
+            }
+        }
+        Err(ClusterError::NoSuchFile(format!("dfs block {}", b.key)))
+    }
+
+    /// Concatenates `[offset, offset+len)` out of a file's blocks.
+    fn concat_range(
+        &self,
+        f: &DfsFile,
+        offset: u64,
+        len: u64,
+        reader: Option<NodeId>,
+    ) -> Result<Bytes> {
+        if len == 0 {
+            return Ok(Bytes::new());
+        }
+        // Fast path: a single block covers the whole range.
+        for b in &f.blocks {
+            if b.offset <= offset && offset + len <= b.offset + b.len {
+                let data = self.fetch_block(b, reader)?;
+                let s = (offset - b.offset) as usize;
+                return Ok(data.slice(s..s + len as usize));
+            }
+        }
+        let mut out = BytesMut::with_capacity(len as usize);
+        for b in &f.blocks {
+            let b_end = b.offset + b.len;
+            if b_end <= offset || b.offset >= offset + len {
+                continue;
+            }
+            let data = self.fetch_block(b, reader)?;
+            let s = offset.max(b.offset);
+            let e = b_end.min(offset + len);
+            out.extend_from_slice(&data[(s - b.offset) as usize..(e - b.offset) as usize]);
+        }
+        Ok(out.freeze())
     }
 
     /// True iff the path exists.
@@ -200,7 +298,7 @@ impl Dfs {
     pub fn read(&self, path: &str) -> Result<Bytes> {
         let files = self.files.read();
         let f = files.get(path).ok_or_else(|| ClusterError::NoSuchFile(path.to_string()))?;
-        Ok(concat_blocks(f, 0, f.len))
+        self.concat_range(f, 0, f.len, None)
     }
 
     /// Reads `[offset, offset+len)` of a file as node `reader`, charging
@@ -218,8 +316,8 @@ impl Dfs {
         let f = files.get(path).ok_or_else(|| ClusterError::NoSuchFile(path.to_string()))?;
         assert!(offset + len <= f.len, "read past end of {path}");
         for b in &f.blocks {
-            let b_end = b.offset + b.data.len() as u64;
-            if b_end <= offset || b.offset >= offset + len || b.data.is_empty() {
+            let b_end = b.offset + b.len;
+            if b_end <= offset || b.offset >= offset + len || b.len == 0 {
                 continue;
             }
             let overlap = b_end.min(offset + len) - b.offset.max(offset);
@@ -233,7 +331,7 @@ impl Dfs {
             traffic.record(model, src, reader, overlap);
         }
         self.bytes_read.fetch_add(len, Ordering::Relaxed);
-        Ok(concat_blocks(f, offset, len))
+        self.concat_range(f, offset, len, Some(reader))
     }
 
     /// Record-start offsets stored for a file, if any.
@@ -243,9 +341,19 @@ impl Dfs {
         Ok(f.record_offsets.clone())
     }
 
-    /// Deletes a file (idempotent).
+    /// Deletes a file (idempotent), dropping its payloads from the replica
+    /// stores (best-effort — a dead replica has already lost them).
     pub fn delete(&self, path: &str) {
-        self.files.write().remove(path);
+        if let Some(f) = self.files.write().remove(path) {
+            for b in &f.blocks {
+                if b.len == 0 {
+                    continue;
+                }
+                for r in &b.replicas {
+                    let _ = self.stores[r.index()].remove(&b.key);
+                }
+            }
+        }
     }
 
     /// Lists paths with the given prefix, sorted.
@@ -291,11 +399,8 @@ impl Dfs {
                 }
             };
             let end = end.max(start + 1).min(f.len);
-            let first_block = f
-                .blocks
-                .iter()
-                .find(|b| b.offset + (b.data.len() as u64).max(1) > start)
-                .unwrap_or(&f.blocks[0]);
+            let first_block =
+                f.blocks.iter().find(|b| b.offset + b.len.max(1) > start).unwrap_or(&f.blocks[0]);
             splits.push(InputSplit {
                 path: path.to_string(),
                 offset: start,
@@ -309,9 +414,10 @@ impl Dfs {
 
     /// Handles a node crash: marks the node dead, strips it from every
     /// block's replica list, and re-replicates under-replicated blocks onto
-    /// live nodes, charging the copy traffic (surviving replica → new
-    /// replica) through `traffic`. Returns `(blocks re-replicated, bytes
-    /// re-replicated)`. Idempotent per node.
+    /// live nodes — physically copying the payload from a surviving
+    /// replica's store into the new replica's store, charging the copy
+    /// traffic (surviving replica → new replica) through `traffic`. Returns
+    /// `(blocks re-replicated, bytes re-replicated)`. Idempotent per node.
     pub fn handle_node_crash(
         &self,
         victim: NodeId,
@@ -349,13 +455,23 @@ impl Dfs {
                     else {
                         break;
                     };
-                    let len = b.data.len() as u64;
+                    let len = b.len;
                     // Copy from a surviving replica when one exists; an
                     // empty block costs nothing to restore.
                     if len > 0 {
-                        if let Some(&src) = b.replicas.first() {
-                            traffic.record(model, src, dst, len);
+                        let Some((src, data)) = b
+                            .replicas
+                            .iter()
+                            .find_map(|&r| self.stores[r.index()].get(&b.key).ok().map(|d| (r, d)))
+                        else {
+                            // No surviving replica still holds the payload;
+                            // the block is lost and cannot be restored.
+                            break;
+                        };
+                        if self.stores[dst.index()].put(&b.key, data).is_err() {
+                            break;
                         }
+                        traffic.record(model, src, dst, len);
                     }
                     self.telemetry.placement(dst.0, len);
                     b.replicas.push(dst);
@@ -393,31 +509,6 @@ impl Dfs {
     pub fn bytes_read(&self) -> u64 {
         self.bytes_read.load(Ordering::Relaxed)
     }
-}
-
-fn concat_blocks(f: &DfsFile, offset: u64, len: u64) -> Bytes {
-    if len == 0 {
-        return Bytes::new();
-    }
-    // Fast path: a single block covers the whole range.
-    for b in &f.blocks {
-        let b_end = b.offset + b.data.len() as u64;
-        if b.offset <= offset && offset + len <= b_end {
-            let s = (offset - b.offset) as usize;
-            return b.data.slice(s..s + len as usize);
-        }
-    }
-    let mut out = BytesMut::with_capacity(len as usize);
-    for b in &f.blocks {
-        let b_end = b.offset + b.data.len() as u64;
-        if b_end <= offset || b.offset >= offset + len {
-            continue;
-        }
-        let s = offset.max(b.offset);
-        let e = b_end.min(offset + len);
-        out.extend_from_slice(&b.data[(s - b.offset) as usize..(e - b.offset) as usize]);
-    }
-    out.freeze()
 }
 
 #[cfg(test)]
@@ -566,5 +657,30 @@ mod tests {
         d.create("f", Bytes::from(vec![0u8; 16])).unwrap();
         let splits = d.splits("f", 1).unwrap();
         assert_eq!(splits[0].preferred_nodes.len(), 2);
+    }
+
+    #[test]
+    fn payloads_live_in_replica_stores_and_survive_one_store_loss() {
+        let stores: Vec<Arc<dyn NodeStore>> = (0..3)
+            .map(|i| Arc::new(InProcessStore::new(NodeId(i))) as Arc<dyn NodeStore>)
+            .collect();
+        let d = Dfs::with_stores(16, 2, stores.clone());
+        let data = Bytes::from((0..48u8).collect::<Vec<_>>());
+        d.create("f", data.clone()).unwrap();
+        // Every block payload physically lives under a `dfs/` key on
+        // exactly its replicas.
+        let held: usize = stores
+            .iter()
+            .map(|s| {
+                ["dfs/f/0", "dfs/f/16", "dfs/f/32"].iter().filter(|k| s.get(k).is_ok()).count()
+            })
+            .sum();
+        assert_eq!(held, 6, "3 blocks x 2 replicas");
+        // Killing one store: reads fall back to the surviving replica.
+        stores[0].kill();
+        assert_eq!(d.read("f").unwrap(), data);
+        // Deleting drops payloads from the surviving stores.
+        d.delete("f");
+        assert!(stores[1].get("dfs/f/0").is_err() && stores[2].get("dfs/f/0").is_err());
     }
 }

@@ -47,6 +47,11 @@ pub enum ClusterError {
         /// Description of the failed task attempt.
         task: String,
     },
+    /// The multi-process transport could not be brought up (worker binary
+    /// missing, socket bind failure, handshake timeout). Distinct from
+    /// [`ClusterError::NodeDead`], which covers workers lost *after* a
+    /// successful start.
+    Transport(String),
 }
 
 impl fmt::Display for ClusterError {
@@ -68,6 +73,7 @@ impl fmt::Display for ClusterError {
             ClusterError::NodeDead(n) => write!(f, "{n} is dead (crashed)"),
             ClusterError::FileExists(p) => write!(f, "DFS file already exists: {p}"),
             ClusterError::InjectedFailure { task } => write!(f, "injected failure in {task}"),
+            ClusterError::Transport(msg) => write!(f, "transport failure: {msg}"),
         }
     }
 }

@@ -12,6 +12,11 @@
 //! * [`memory`] — per-task working-set budgets (the paper's `maxws`);
 //! * [`failure`] — deterministic task-failure injection and seeded
 //!   node-crash schedules (chaos testing);
+//! * [`codec`] — the wire codecs ([`codec::Wire`], [`codec::RawRecord`])
+//!   shared by the MapReduce engine and the transport frames;
+//! * [`transport`] — the [`Transport`] seam: node-local storage either
+//!   in-process (simulated, deterministic) or in spawned worker processes
+//!   speaking length-prefixed frames over Unix-domain/TCP sockets;
 //! * [`cluster`] — the assembled [`Cluster`], including the cluster-wide
 //!   intermediate-storage cap (the paper's `maxis`).
 
@@ -19,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod codec;
 pub mod config;
 pub mod dfs;
 pub mod error;
@@ -27,9 +33,11 @@ pub mod ids;
 pub mod memory;
 pub mod network;
 pub mod node;
+pub mod transport;
 
 pub use cluster::Cluster;
-pub use config::{ClusterConfig, NodeConfig};
+pub use codec::{CodecError, RawRecord, Wire};
+pub use config::{ClusterConfig, NodeConfig, SocketMode, TransportKind};
 pub use dfs::{Dfs, InputSplit};
 pub use error::{ClusterError, Result};
 pub use failure::{ChaosPlan, FailureInjector};
@@ -38,3 +46,4 @@ pub use memory::MemoryGauge;
 pub use network::{NetworkModel, TrafficAccountant};
 pub use node::Node;
 pub use pmr_obs::Telemetry;
+pub use transport::{NodeStore, Transport, WireSnapshot, WorkerInfo};

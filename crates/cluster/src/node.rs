@@ -1,38 +1,74 @@
-//! A simulated worker node: local file store and storage ledger.
+//! A worker node: coordinator-side storage ledger over a transport-backed
+//! payload store.
 //!
 //! Nodes hold (a) DFS block replicas and (b) node-local files — the
 //! materialized intermediate data of MapReduce (map outputs waiting to be
 //! shuffled, distributed-cache copies). The paper's `maxis` limit is about
 //! exactly this intermediate data; each node additionally has its own
 //! capacity.
+//!
+//! Since the transport refactor the node is split in two: the *ledger*
+//! (which files exist, their sizes, the capacity/peak accounting, the
+//! alive flag) lives here on the coordinator, while the payload bytes live
+//! in a [`NodeStore`] — an in-process map on the simulated transport, a
+//! spawned worker process on the multi-process one. Every capacity
+//! decision and every `NoSuchFile`/`NodeDead` distinction is made from the
+//! ledger, which is what keeps behavior and all charged numbers identical
+//! across transports.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::RwLock;
 
 use crate::error::{ClusterError, Result};
 use crate::ids::NodeId;
+use crate::transport::{InProcessStore, NodeStore};
 
-/// One simulated node.
-#[derive(Debug)]
+/// One worker node (ledger + payload store).
 pub struct Node {
     id: NodeId,
     storage_capacity: Option<u64>,
-    files: RwLock<HashMap<String, Bytes>>,
+    /// File name → payload length. The single source of truth for
+    /// existence and accounting; the store holds the bytes.
+    ledger: RwLock<HashMap<String, u64>>,
+    store: Arc<dyn NodeStore>,
     storage_used: AtomicU64,
     storage_peak: AtomicU64,
     alive: AtomicBool,
 }
 
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("id", &self.id)
+            .field("storage_capacity", &self.storage_capacity)
+            .field("files", &self.ledger.read().len())
+            .field("alive", &self.is_alive())
+            .finish()
+    }
+}
+
 impl Node {
-    /// Creates a node with the given local-storage capacity.
+    /// Creates a node with the given local-storage capacity, backed by a
+    /// private in-process store.
     pub fn new(id: NodeId, storage_capacity: Option<u64>) -> Node {
+        Node::with_store(id, storage_capacity, Arc::new(InProcessStore::new(id)))
+    }
+
+    /// Creates a node whose payloads live in the given transport store.
+    pub fn with_store(
+        id: NodeId,
+        storage_capacity: Option<u64>,
+        store: Arc<dyn NodeStore>,
+    ) -> Node {
         Node {
             id,
             storage_capacity,
-            files: RwLock::new(HashMap::new()),
+            ledger: RwLock::new(HashMap::new()),
+            store,
             storage_used: AtomicU64::new(0),
             storage_peak: AtomicU64::new(0),
             alive: AtomicBool::new(true),
@@ -50,33 +86,36 @@ impl Node {
     }
 
     /// Crashes the node: every local file is lost and all subsequent reads
-    /// and writes fail with [`ClusterError::NodeDead`]. Returns
+    /// and writes fail with [`ClusterError::NodeDead`]. On the
+    /// multi-process transport this SIGKILLs the worker process. Returns
     /// `(files lost, bytes lost)`. Idempotent — crashing a dead node loses
     /// nothing further.
     pub fn crash(&self) -> (usize, u64) {
-        // Take the file lock before flipping the flag so a concurrent
+        // Take the ledger lock before flipping the flag so a concurrent
         // write either completes (and is wiped here) or observes the dead
         // flag and fails.
-        let mut files = self.files.write();
+        let mut ledger = self.ledger.write();
         if !self.alive.swap(false, Ordering::SeqCst) {
             return (0, 0);
         }
-        let lost_files = files.len();
+        let lost_files = ledger.len();
         let lost_bytes = self.storage_used.swap(0, Ordering::SeqCst);
-        files.clear();
+        ledger.clear();
+        self.store.kill();
         (lost_files, lost_bytes)
     }
 
     /// Writes (or overwrites) a node-local file, enforcing the storage
     /// capacity. Overwriting releases the old bytes first. Fails with
-    /// [`ClusterError::NodeDead`] once the node has crashed.
+    /// [`ClusterError::NodeDead`] once the node has crashed (or, on the
+    /// multi-process transport, when the worker process is gone).
     pub fn write_local(&self, name: &str, data: Bytes) -> Result<()> {
         let new_len = data.len() as u64;
-        let mut files = self.files.write();
+        let mut ledger = self.ledger.write();
         if !self.is_alive() {
             return Err(ClusterError::NodeDead(self.id));
         }
-        let old_len = files.get(name).map_or(0, |b| b.len() as u64);
+        let old_len = ledger.get(name).copied().unwrap_or(0);
         let cur = self.storage_used.load(Ordering::Relaxed);
         let next = cur - old_len + new_len;
         if let Some(cap) = self.storage_capacity {
@@ -88,7 +127,8 @@ impl Node {
                 });
             }
         }
-        files.insert(name.to_string(), data);
+        self.store.put(name, data)?;
+        ledger.insert(name.to_string(), new_len);
         self.storage_used.store(next, Ordering::Relaxed);
         self.storage_peak.fetch_max(next, Ordering::Relaxed);
         Ok(())
@@ -99,35 +139,44 @@ impl Node {
     /// `NoSuchFile`, so callers can distinguish "genuinely absent" from
     /// "lost with the node".
     pub fn read_local(&self, name: &str) -> Result<Bytes> {
-        let files = self.files.read();
+        let ledger = self.ledger.read();
         if !self.is_alive() {
             return Err(ClusterError::NodeDead(self.id));
         }
-        files
-            .get(name)
-            .cloned()
-            .ok_or_else(|| ClusterError::NoSuchFile(format!("{}:{}", self.id, name)))
+        if !ledger.contains_key(name) {
+            return Err(ClusterError::NoSuchFile(format!("{}:{}", self.id, name)));
+        }
+        // Ledger says the file exists; a store failure here means the
+        // worker died under us, which is a node death to the caller.
+        match self.store.get(name) {
+            Ok(data) => Ok(data),
+            Err(_) => Err(ClusterError::NodeDead(self.id)),
+        }
     }
 
     /// Deletes a node-local file, releasing its bytes. Missing files are
     /// ignored (idempotent, like task-cleanup in real frameworks).
     pub fn delete_local(&self, name: &str) {
-        let mut files = self.files.write();
-        if let Some(old) = files.remove(name) {
-            self.storage_used.fetch_sub(old.len() as u64, Ordering::Relaxed);
+        let mut ledger = self.ledger.write();
+        if let Some(old_len) = ledger.remove(name) {
+            self.storage_used.fetch_sub(old_len, Ordering::Relaxed);
+            let _ = self.store.remove(name);
         }
     }
 
     /// Deletes all local files whose name starts with `prefix`; returns the
     /// number of files removed.
     pub fn delete_local_prefix(&self, prefix: &str) -> usize {
-        let mut files = self.files.write();
+        let mut ledger = self.ledger.write();
         let victims: Vec<String> =
-            files.keys().filter(|k| k.starts_with(prefix)).cloned().collect();
+            ledger.keys().filter(|k| k.starts_with(prefix)).cloned().collect();
         for v in &victims {
-            if let Some(old) = files.remove(v) {
-                self.storage_used.fetch_sub(old.len() as u64, Ordering::Relaxed);
+            if let Some(old_len) = ledger.remove(v) {
+                self.storage_used.fetch_sub(old_len, Ordering::Relaxed);
             }
+        }
+        if !victims.is_empty() {
+            let _ = self.store.remove_prefix(prefix);
         }
         victims.len()
     }
@@ -135,7 +184,7 @@ impl Node {
     /// Lists local file names with the given prefix, sorted.
     pub fn list_local(&self, prefix: &str) -> Vec<String> {
         let mut names: Vec<String> =
-            self.files.read().keys().filter(|k| k.starts_with(prefix)).cloned().collect();
+            self.ledger.read().keys().filter(|k| k.starts_with(prefix)).cloned().collect();
         names.sort();
         names
     }
@@ -214,5 +263,16 @@ mod tests {
         assert_eq!(n.list_local("job1/"), vec!["job1/part0", "job1/part1"]);
         assert_eq!(n.delete_local_prefix("job1/"), 2);
         assert_eq!(n.storage_used(), 1);
+    }
+
+    #[test]
+    fn ledger_and_store_stay_consistent() {
+        let store = Arc::new(InProcessStore::new(NodeId(3)));
+        let n = Node::with_store(NodeId(3), None, store.clone() as Arc<dyn NodeStore>);
+        n.write_local("x", Bytes::from_static(b"abc")).unwrap();
+        // The payload physically lives in the store.
+        assert_eq!(store.get("x").unwrap(), Bytes::from_static(b"abc"));
+        n.delete_local("x");
+        assert!(store.get("x").is_err());
     }
 }

@@ -1,0 +1,135 @@
+//! End-to-end tests of the multi-process transport: real `pmr-worker`
+//! processes, real sockets, real SIGKILL. These exercise the transport
+//! directly and through a full [`Cluster`]; the engine-level parity
+//! matrix lives in the workspace-root `multiprocess` integration test.
+
+use bytes::Bytes;
+use pmr_cluster::transport::MultiProcessTransport;
+use pmr_cluster::{
+    Cluster, ClusterConfig, ClusterError, NodeId, SocketMode, Transport, TransportKind,
+};
+
+#[test]
+fn uds_roundtrip_counts_wire_bytes() {
+    let t = MultiProcessTransport::spawn(2, SocketMode::Uds).expect("spawn workers");
+    assert_eq!(t.num_nodes(), 2);
+    assert!(t.is_distributed());
+    assert_eq!(t.name(), "process");
+
+    let s0 = t.store(NodeId(0));
+    s0.put("mr/1/m/0/p/3", Bytes::from_static(b"partition-payload")).unwrap();
+    assert_eq!(s0.get("mr/1/m/0/p/3").unwrap(), Bytes::from_static(b"partition-payload"));
+    assert!(matches!(s0.get("mr/1/m/0/p/9"), Err(ClusterError::NoSuchFile(_))));
+    s0.remove("mr/1/m/0/p/3").unwrap();
+    assert!(s0.get("mr/1/m/0/p/3").is_err());
+
+    // The payload crossed the socket twice: once as a map-output put,
+    // once as a shuffle get.
+    let snap = t.wire_snapshot();
+    assert_eq!(snap.map_output_bytes, 17);
+    assert_eq!(snap.shuffle_bytes, 17);
+    assert!(snap.frames >= 6, "put+get+remove, 2 frames each");
+
+    // Both workers are real OS processes.
+    let workers = t.workers();
+    assert_eq!(workers.len(), 2);
+    for w in &workers {
+        assert!(w.alive);
+        assert!(w.pid > 0);
+    }
+}
+
+#[test]
+fn tcp_fallback_roundtrip() {
+    let t = MultiProcessTransport::spawn(1, SocketMode::Tcp).expect("spawn workers over tcp");
+    let s = t.store(NodeId(0));
+    s.put("f", Bytes::from_static(b"over tcp")).unwrap();
+    assert_eq!(s.get("f").unwrap(), Bytes::from_static(b"over tcp"));
+    s.remove_prefix("").unwrap();
+    assert!(s.get("f").is_err());
+}
+
+#[test]
+fn sigkill_is_node_death_and_spares_other_workers() {
+    let t = MultiProcessTransport::spawn(2, SocketMode::Uds).expect("spawn workers");
+    let victim = t.store(NodeId(1));
+    victim.put("x", Bytes::from_static(b"doomed")).unwrap();
+    let pid = victim.pid().unwrap();
+    victim.kill();
+    assert!(!victim.is_alive(), "killed worker is reaped");
+    assert!(matches!(victim.get("x"), Err(ClusterError::NodeDead(NodeId(1)))));
+    assert!(
+        !std::path::Path::new(&format!("/proc/{pid}")).exists()
+            || std::fs::read_to_string(format!("/proc/{pid}/stat"))
+                .map(|s| s.contains(") Z "))
+                .unwrap_or(true),
+        "worker process {pid} is gone (or at most a reaped zombie entry)"
+    );
+
+    // The other worker is unaffected.
+    let survivor = t.store(NodeId(0));
+    survivor.put("y", Bytes::from_static(b"alive")).unwrap();
+    assert_eq!(survivor.get("y").unwrap(), Bytes::from_static(b"alive"));
+    let table = t.workers();
+    assert!(!table[1].alive);
+    assert!(table[0].alive);
+}
+
+#[test]
+fn cluster_runs_on_process_transport() {
+    let config =
+        ClusterConfig::with_nodes(3).transport(TransportKind::Process { socket: SocketMode::Uds });
+    let c = Cluster::try_new(config).expect("cluster over worker processes");
+    assert!(c.is_distributed());
+    assert_eq!(c.workers().len(), 3);
+
+    // Node-local files round-trip through the worker, and the ledger
+    // keeps charging exactly as in-process.
+    let n = c.node(NodeId(0));
+    n.write_local("mr/1/m/0/p/0", Bytes::from(vec![7u8; 100])).unwrap();
+    assert_eq!(n.storage_used(), 100);
+    assert_eq!(n.read_local("mr/1/m/0/p/0").unwrap(), Bytes::from(vec![7u8; 100]));
+
+    // DFS block payloads live on the workers too (the `dfs` wire class).
+    c.dfs().create("input", Bytes::from(vec![9u8; 4096])).unwrap();
+    assert_eq!(c.dfs().read("input").unwrap(), Bytes::from(vec![9u8; 4096]));
+    let snap = c.wire_snapshot();
+    assert!(snap.dfs_bytes >= 4096 * 2, "replicated creation crossed the wire");
+    assert_eq!(snap.map_output_bytes, 100);
+
+    // Crashing a node SIGKILLs its real worker process; the cluster
+    // survives, and DFS data is re-replicated from surviving workers.
+    assert!(c.crash_node(NodeId(0)));
+    let table = c.workers();
+    assert!(!table[0].alive);
+    assert!(table[1].alive && table[2].alive);
+    assert!(matches!(n.read_local("mr/1/m/0/p/0"), Err(ClusterError::NodeDead(NodeId(0)))));
+    assert_eq!(c.dfs().read("input").unwrap(), Bytes::from(vec![9u8; 4096]));
+}
+
+#[test]
+fn seed_workers_ships_once_per_live_worker() {
+    let config =
+        ClusterConfig::with_nodes(2).transport(TransportKind::Process { socket: SocketMode::Uds });
+    let c = Cluster::try_new(config).expect("cluster over worker processes");
+    let payload = Bytes::from(vec![5u8; 1000]);
+    c.seed_workers("seed/dataset", &payload).unwrap();
+    let snap = c.wire_snapshot();
+    assert_eq!(snap.seed_bytes, 2000, "one copy per worker");
+    // Seeding is unledgered: nothing counts as intermediate data.
+    assert_eq!(c.intermediate_bytes(), 0);
+    // Workers can serve the seed back.
+    assert_eq!(c.transport().store(NodeId(1)).get("seed/dataset").unwrap(), payload);
+}
+
+#[test]
+fn in_process_cluster_reports_no_wire_traffic() {
+    let c = Cluster::new(ClusterConfig::with_nodes(2));
+    assert!(!c.is_distributed());
+    c.node(NodeId(0)).write_local("f", Bytes::from(vec![1u8; 64])).unwrap();
+    c.dfs().create("input", Bytes::from(vec![2u8; 256])).unwrap();
+    let snap = c.wire_snapshot();
+    assert_eq!(snap.total_bytes(), 0);
+    assert_eq!(snap.frames, 0);
+    assert!(c.workers().is_empty());
+}

@@ -55,6 +55,10 @@ impl Backend<'_> {
         match self {
             Backend::Sequential => "sequential",
             Backend::Local { .. } => "local",
+            // A cluster whose node storage lives in worker processes
+            // reports as its own backend so runs are distinguishable in
+            // report meta without inspecting the transport section.
+            Backend::Mr(cluster) if cluster.is_distributed() => "process",
             Backend::Mr(_) => "mr",
         }
     }
@@ -421,6 +425,25 @@ where
         }
         if let Some(local) = &run.local {
             report.merge_counters([(EVALUATIONS_COUNTER, local.evaluations)]);
+        }
+        // Distributed runs carry the physically measured wire traffic and
+        // the worker-process table; in-process runs have no wire, so the
+        // section stays absent and the report is unchanged from before the
+        // transport layer existed.
+        if let Backend::Mr(cluster) = backend {
+            if cluster.is_distributed() {
+                let snap = cluster.wire_snapshot();
+                report.transport = Some(pmr_obs::TransportReport {
+                    name: cluster.transport().name().to_string(),
+                    workers: cluster
+                        .workers()
+                        .iter()
+                        .map(|w| pmr_obs::WorkerProc { node: w.node.0, pid: w.pid, alive: w.alive })
+                        .collect(),
+                    wire_bytes: snap.series().iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+                    wire_frames: snap.frames,
+                });
+            }
         }
         run.report = report;
         Ok(run)

@@ -36,7 +36,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use pmr_cluster::Cluster;
+use pmr_cluster::{Cluster, WireSnapshot};
 use pmr_mapreduce::{
     read_output, write_sharded, Engine, JobOutput, JobSpec, MapContext, Mapper, ModuloPartitioner,
     MrError, ReduceContext, Reducer, Values, Wire,
@@ -141,6 +141,14 @@ pub struct MrRunReport {
     pub speculative_launched: u64,
     /// Speculative backup attempts that beat the original and won commit.
     pub speculative_won: u64,
+    /// Transport the run executed on (`"in-process"` or `"process"`).
+    pub transport: &'static str,
+    /// Bytes this run *physically* put on the transport's sockets, by wire
+    /// class (the delta over the run; all-zero on the in-process
+    /// transport). On a healthy multi-process run `wire.shuffle_bytes`
+    /// equals [`shuffle_moved_bytes`](MrRunReport::shuffle_moved_bytes)
+    /// exactly — the measured proof behind the reported counter.
+    pub wire: WireSnapshot,
 }
 
 // ---------------------------------------------------------------------------
@@ -558,12 +566,21 @@ where
     telemetry.set_meta("scheme", scheme.name());
     telemetry.set_meta("scheme.v", scheme.v());
     telemetry.set_meta("scheme.tasks", scheme.num_tasks());
-    telemetry.set_meta("backend", "mr");
+    telemetry.set_meta("backend", if cluster.is_distributed() { "process" } else { "mr" });
     telemetry.set_meta("symmetry", format!("{symmetry:?}"));
     telemetry.set_meta("mr.fused", fused);
     let n = cluster.num_nodes();
     record_analytic_meta(&telemetry, scheme.as_ref(), n as u64);
     let dir = &options.dfs_dir;
+    let wire_start = cluster.wire_snapshot();
+    // Distributed runs ship the encoded element store to every worker once
+    // up front — the id-indexed resolver a real deployment would hold
+    // node-locally. Measured on the wire (`seed` class), never charged.
+    if cluster.is_distributed() {
+        let io = telemetry.job_phase(&format!("{dir}-io"), "seed-store");
+        cluster.seed_workers(&format!("seed/{dir}/store"), &store.dataset_bytes())?;
+        drop(io);
+    }
     let shards = if options.input_shards == 0 { 2 * n } else { options.input_shards };
     // Runner-level I/O gets its own phase track (job `{dir}-io`) so the
     // report's phases tile the whole run, not just the engine jobs.
@@ -666,6 +683,8 @@ where
                 pmr_mapreduce::builtin::SPECULATIVE_LAUNCHED,
             ),
             speculative_won: recovery_counter([&job1], pmr_mapreduce::builtin::SPECULATIVE_WON),
+            transport: cluster.transport().name(),
+            wire: cluster.wire_snapshot().delta(&wire_start),
             job1,
             job2: None,
             fused: true,
@@ -711,6 +730,8 @@ where
             pmr_mapreduce::builtin::SPECULATIVE_LAUNCHED,
         ),
         speculative_won: recovery_counter([&job1, &job2], pmr_mapreduce::builtin::SPECULATIVE_WON),
+        transport: cluster.transport().name(),
+        wire: cluster.wire_snapshot().delta(&wire_start),
         job1,
         job2: Some(job2),
         fused: false,
@@ -797,14 +818,21 @@ where
     telemetry.set_meta("scheme", scheme.name());
     telemetry.set_meta("scheme.v", scheme.v());
     telemetry.set_meta("scheme.tasks", scheme.num_tasks());
-    telemetry.set_meta("backend", "mr");
+    telemetry.set_meta("backend", if cluster.is_distributed() { "process" } else { "mr" });
     telemetry.set_meta("symmetry", format!("{symmetry:?}"));
     let n = cluster.num_nodes();
     record_analytic_meta(&telemetry, scheme, n as u64);
     let dir = &options.dfs_dir;
+    let wire_start = cluster.wire_snapshot();
     // The §5.1 seeding cost: the dataset is broadcast to every node, and
-    // the per-node store view resolves against it.
+    // the per-node store view resolves against it. Distributed runs also
+    // ship the encoded store to every worker (`seed` wire class).
     let dataset_bytes = store.dataset_bytes();
+    if cluster.is_distributed() {
+        let io = telemetry.job_phase(&format!("{dir}-io"), "seed-store");
+        cluster.seed_workers(&format!("seed/{dir}/store"), &dataset_bytes)?;
+        drop(io);
+    }
 
     // Input = one record per (nonempty) task: the unit of map-side work.
     let tasks: Vec<(u64, ())> =
@@ -856,6 +884,8 @@ where
             pmr_mapreduce::builtin::SPECULATIVE_LAUNCHED,
         ),
         speculative_won: recovery_counter([&job], pmr_mapreduce::builtin::SPECULATIVE_WON),
+        transport: cluster.transport().name(),
+        wire: cluster.wire_snapshot().delta(&wire_start),
         job1: job,
         job2: None,
         // The §5.1 variant is inherently single-job; its map-side emission

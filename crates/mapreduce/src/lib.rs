@@ -21,7 +21,6 @@
 #![warn(missing_docs)]
 
 pub mod api;
-pub mod codec;
 pub mod counters;
 pub mod engine;
 pub mod error;
@@ -42,3 +41,7 @@ pub use error::{MrError, Result};
 pub use io::{read_output, read_records, write_records, write_sharded};
 pub use job::{JobOutput, JobSpec, JobStats};
 pub use partition::{fnv1a, HashPartitioner, ModuloPartitioner, Partitioner};
+/// The wire codecs, relocated to `pmr-cluster` so the transport layer can
+/// frame RPCs with the same encoding; re-exported here so every historical
+/// `pmr_mapreduce::codec::…` path keeps working.
+pub use pmr_cluster::codec;

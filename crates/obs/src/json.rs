@@ -109,6 +109,13 @@ impl JsonWriter {
         self
     }
 
+    /// Writes `key: true` / `key: false`.
+    pub fn bool_field(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.out.push_str(if value { "true" } else { "false" });
+        self
+    }
+
     /// Writes `key: <float>` (rendered with up to 6 decimal places,
     /// trailing zeros trimmed; NaN/infinities become null).
     pub fn f64_field(&mut self, key: &str, value: f64) -> &mut Self {

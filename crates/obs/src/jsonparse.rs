@@ -5,7 +5,7 @@
 //! offline `trace` CLI needs to load them back. This module parses any
 //! RFC 8259 document into a [`JsonValue`] tree (objects preserve key
 //! order) and [`RunReport::from_json`] rebuilds a full
-//! [`crate::RunReport`] from the `pmr.run_report/5` schema.
+//! [`crate::RunReport`] from the `pmr.run_report/6` schema.
 
 use crate::histogram::{HistogramBucket, HistogramSnapshot};
 use crate::report::{NodeTimeline, RunReport};
@@ -63,6 +63,14 @@ impl JsonValue {
     pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
         match self {
             JsonValue::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
             _ => None,
         }
     }
@@ -364,6 +372,26 @@ impl RunReport {
                 r.counters.push((k.clone(), v.as_u64().unwrap_or(0)));
             }
         }
+        if let Some(t) = root.get("transport") {
+            let mut section = crate::TransportReport {
+                name: t.str_or_empty("name").to_string(),
+                wire_frames: t.u64_or_zero("wire_frames"),
+                ..Default::default()
+            };
+            if let Some(classes) = t.get("wire_bytes").and_then(JsonValue::as_object) {
+                for (class, bytes) in classes {
+                    section.wire_bytes.push((class.clone(), bytes.as_u64().unwrap_or(0)));
+                }
+            }
+            for worker in t.get("workers").and_then(JsonValue::as_array).unwrap_or(&[]) {
+                section.workers.push(crate::WorkerProc {
+                    node: worker.u64_or_zero("node") as u32,
+                    pid: worker.u64_or_zero("pid") as u32,
+                    alive: worker.get("alive").and_then(JsonValue::as_bool).unwrap_or(false),
+                });
+            }
+            r.transport = Some(section);
+        }
         for p in root.get("job_phases").and_then(JsonValue::as_array).unwrap_or(&[]) {
             let bytes = p.get("bytes");
             r.job_phases.push(JobPhase {
@@ -529,6 +557,15 @@ mod tests {
         t.event_traced("map.rerun", 1, 33, "map 3 re-run".to_string());
         let mut report = t.report();
         report.merge_counters([("mr.shuffle.bytes", 42)]);
+        report.transport = Some(crate::TransportReport {
+            name: "process".to_string(),
+            workers: vec![
+                crate::WorkerProc { node: 0, pid: 4242, alive: true },
+                crate::WorkerProc { node: 1, pid: 4243, alive: false },
+            ],
+            wire_bytes: vec![("shuffle".to_string(), 17), ("map_output".to_string(), 9)],
+            wire_frames: 12,
+        });
 
         let json = report.to_json();
         let parsed = RunReport::from_json(&json).expect("parse back");
@@ -539,5 +576,12 @@ mod tests {
         assert_eq!(parsed.trace.len(), report.trace.len());
         assert_eq!(parsed.task_spans[0].kind, "map");
         assert_eq!(parsed.counter("mr.shuffle.bytes"), Some(42));
+        let transport = parsed.transport.as_ref().expect("transport section survives");
+        assert_eq!(transport.name, "process");
+        assert_eq!(transport.wire_class("shuffle"), Some(17));
+        assert_eq!(transport.wire_total_bytes(), 26);
+        assert_eq!(transport.workers.len(), 2);
+        assert!(transport.workers[0].alive);
+        assert!(!transport.workers[1].alive);
     }
 }

@@ -40,7 +40,7 @@ pub use analyze::{CriticalPath, CriticalPathSegment, NodeUtilization, SkewReport
 pub use histogram::{Histogram, HistogramBucket, HistogramSnapshot};
 pub use json::JsonWriter;
 pub use jsonparse::JsonValue;
-pub use report::{NodeTimeline, RunReport};
+pub use report::{NodeTimeline, RunReport, TransportReport, WorkerProc};
 pub use telemetry::{
     JobPhase, LinkStats, PhaseGuard, PlacementStats, RunEvent, Span, SpanKind, TaskSpan, Telemetry,
 };

@@ -24,6 +24,49 @@ pub struct NodeTimeline {
     pub memory_high_water_bytes: u64,
 }
 
+/// One worker process row in the report's transport section.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerProc {
+    /// Node the worker backs.
+    pub node: u32,
+    /// OS process id.
+    pub pid: u32,
+    /// Whether the process was still running when the report was taken.
+    pub alive: bool,
+}
+
+/// Physical-transport section of a run report (schema 6): which backend
+/// moved the bytes, the worker process table, and the payload bytes that
+/// actually crossed worker sockets, by traffic class.
+///
+/// Absent (`None` on [`RunReport::transport`]) for in-process runs, whose
+/// byte movement is simulated rather than serialized.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransportReport {
+    /// Transport name (`"process"`).
+    pub name: String,
+    /// Spawned worker processes, ascending by node.
+    pub workers: Vec<WorkerProc>,
+    /// Physically serialized payload bytes as `(class, bytes)` pairs in
+    /// stable order (`dfs`, `seed`, `cache`, `spill`, `map_output`,
+    /// `shuffle`, `other`).
+    pub wire_bytes: Vec<(String, u64)>,
+    /// Total frames exchanged over worker sockets.
+    pub wire_frames: u64,
+}
+
+impl TransportReport {
+    /// Bytes of a named wire class, if recorded.
+    pub fn wire_class(&self, class: &str) -> Option<u64> {
+        self.wire_bytes.iter().find(|(c, _)| c == class).map(|(_, b)| *b)
+    }
+
+    /// Sum of all wire classes.
+    pub fn wire_total_bytes(&self) -> u64 {
+        self.wire_bytes.iter().map(|(_, b)| *b).sum()
+    }
+}
+
 /// A completed run's telemetry: metadata, counters, job phases, task
 /// spans, per-node timelines, traffic/placement aggregates, histograms.
 #[derive(Debug, Clone, Default)]
@@ -53,6 +96,9 @@ pub struct RunReport {
     pub trace: Vec<TraceEvent>,
     /// Trace events evicted from the bounded ring before this snapshot.
     pub trace_dropped: u64,
+    /// Physical-transport section (worker table + wire byte classes);
+    /// `None` for in-process runs.
+    pub transport: Option<TransportReport>,
 }
 
 impl RunReport {
@@ -88,6 +134,7 @@ impl RunReport {
             events,
             trace,
             trace_dropped,
+            transport: None,
         }
     }
 
@@ -139,7 +186,7 @@ impl RunReport {
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_object();
-        w.str_field("schema", "pmr.run_report/5");
+        w.str_field("schema", "pmr.run_report/6");
         w.u64_field("wall_time_us", self.wall_time_us);
 
         w.begin_object_key("meta");
@@ -153,6 +200,27 @@ impl RunReport {
             w.u64_field(k, *v);
         }
         w.end_object();
+
+        if let Some(t) = &self.transport {
+            w.begin_object_key("transport");
+            w.str_field("name", &t.name);
+            w.u64_field("wire_frames", t.wire_frames);
+            w.begin_object_key("wire_bytes");
+            for (class, bytes) in &t.wire_bytes {
+                w.u64_field(class, *bytes);
+            }
+            w.end_object();
+            w.begin_array_key("workers");
+            for worker in &t.workers {
+                w.begin_object();
+                w.u64_field("node", worker.node as u64);
+                w.u64_field("pid", worker.pid as u64);
+                w.bool_field("alive", worker.alive);
+                w.end_object();
+            }
+            w.end_array();
+            w.end_object();
+        }
 
         w.begin_array_key("job_phases");
         for p in &self.job_phases {
@@ -464,7 +532,7 @@ mod tests {
         });
         let json = r.to_json();
         for needle in [
-            "\"schema\": \"pmr.run_report/5\"",
+            "\"schema\": \"pmr.run_report/6\"",
             "\"events\"",
             "\"kind\": \"node.crash\"",
             "\"meta\"",
@@ -495,7 +563,42 @@ mod tests {
         let r = RunReport::default();
         r.write_json_file(path.to_str().unwrap()).expect("parents should be created");
         let text = std::fs::read_to_string(&path).unwrap();
-        assert!(text.contains("pmr.run_report/5"));
+        assert!(text.contains("pmr.run_report/6"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transport_section_is_optional_and_serializes() {
+        let plain = RunReport::default().to_json();
+        assert!(!plain.contains("\"transport\""), "in-process reports omit the section");
+
+        let r = RunReport {
+            transport: Some(TransportReport {
+                name: "process".into(),
+                workers: vec![
+                    WorkerProc { node: 0, pid: 4242, alive: true },
+                    WorkerProc { node: 1, pid: 4243, alive: false },
+                ],
+                wire_bytes: vec![("shuffle".into(), 512), ("dfs".into(), 64)],
+                wire_frames: 12,
+            }),
+            ..RunReport::default()
+        };
+        let json = r.to_json();
+        for needle in [
+            "\"transport\"",
+            "\"name\": \"process\"",
+            "\"wire_frames\": 12",
+            "\"shuffle\": 512",
+            "\"pid\": 4242",
+            "\"alive\": true",
+            "\"alive\": false",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        let t = r.transport.as_ref().unwrap();
+        assert_eq!(t.wire_class("shuffle"), Some(512));
+        assert_eq!(t.wire_class("cache"), None);
+        assert_eq!(t.wire_total_bytes(), 576);
     }
 }

@@ -47,7 +47,7 @@ pub use pmr_obs as obs;
 /// assert!(run.report.wall_time_us > 0);
 /// ```
 pub mod prelude {
-    pub use pmr_cluster::{Cluster, ClusterConfig, NodeConfig};
+    pub use pmr_cluster::{Cluster, ClusterConfig, NodeConfig, SocketMode, TransportKind};
     pub use pmr_core::runner::mr::{
         MrPairwiseOptions, MrRunReport, EVALUATIONS_COUNTER, FUSED_CHARGED_SHUFFLE_COUNTER,
     };
