@@ -33,12 +33,20 @@ fn main() {
                 fmt_u64(p.block as u64),
                 fmt_u64(p.design as u64),
                 fmt_u64(p.design_both as u64),
+                fmt_u64(p.quorum as u64),
             ]
         })
         .collect();
     print_table(
         "Figure 9(b), analytic: max v per approach (maxws = 200MB, maxis = 1TB)",
-        &["element size [KB]", "broadcast", "block", "design (paper curve)", "design (+ws limit)"],
+        &[
+            "element size [KB]",
+            "broadcast",
+            "block",
+            "design (paper curve)",
+            "design (+ws limit)",
+            "quorum",
+        ],
         &rows,
     );
     let crossover = block_design_crossover(maxws, maxis);

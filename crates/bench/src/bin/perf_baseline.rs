@@ -6,6 +6,7 @@
 //! cargo run --release -p pmr-bench --bin perf_baseline            # print only
 //! cargo run --release -p pmr-bench --bin perf_baseline -- --record <label>
 //! cargo run --release -p pmr-bench --bin perf_baseline -- --record-mp
+//! cargo run --release -p pmr-bench --bin perf_baseline -- --record-quorum
 //! cargo run --release -p pmr-bench --bin perf_baseline -- --smoke # CI fast mode
 //! ```
 //!
@@ -33,7 +34,7 @@ use pmr_core::runner::{
     aggregate_all, comp_fn, Aggregator, Backend, BatchComp, CompFn, ConcatSort, FnAggregator,
     PairwiseJob, PairwiseOutput, Symmetry,
 };
-use pmr_core::scheme::BlockScheme;
+use pmr_core::scheme::{BlockScheme, DistributionScheme, QuorumScheme};
 
 const BENCH_FILE: &str = "BENCH_pairwise.json";
 
@@ -67,7 +68,7 @@ fn sq_dist(a: &DenseVector, b: &DenseVector) -> f64 {
 
 struct Workload<T> {
     data: Vec<T>,
-    scheme: BlockScheme,
+    scheme: Box<dyn DistributionScheme>,
     comp: CompFn<T, f64>,
     threads: usize,
     iters: usize,
@@ -82,8 +83,14 @@ fn measure<T: Send + Sync>(w: &Workload<T>) -> (f64, PairwiseOutput<f64>) {
     let mut out = None;
     for _ in 0..w.iters {
         let start = Instant::now();
-        let (o, _stats) =
-            run_local(&w.data, &w.scheme, &w.comp, Symmetry::Symmetric, &ConcatSort, w.threads);
+        let (o, _stats) = run_local(
+            &w.data,
+            w.scheme.as_ref(),
+            &w.comp,
+            Symmetry::Symmetric,
+            &ConcatSort,
+            w.threads,
+        );
         best = best.min(start.elapsed().as_secs_f64());
         out = Some(o);
     }
@@ -107,7 +114,7 @@ fn measure_kernel<T: Send + Sync>(
         let start = Instant::now();
         let (o, _stats) = run_local_kernel(
             &w.data,
-            &w.scheme,
+            w.scheme.as_ref(),
             kernel,
             Symmetry::Symmetric,
             aggregator,
@@ -144,7 +151,21 @@ fn dense_workload(smoke: bool) -> Workload<DenseVector> {
     let (v, iters) = if smoke { (256, 1) } else { (2048, 5) };
     Workload {
         data: gene_expression(v, 64, 8, 0.3, 42),
-        scheme: BlockScheme::new(v as u64, if smoke { 4 } else { 16 }),
+        scheme: Box::new(BlockScheme::new(v as u64, if smoke { 4 } else { 16 })),
+        comp: comp_fn(sq_dist),
+        threads: 8,
+        iters,
+    }
+}
+
+/// The dense workload redistributed by the cyclic-quorum scheme: identical
+/// data and comp, √v-sized working sets instead of 2⌈v/h⌉ blocks. Output
+/// must be bit-identical to [`dense_workload`]'s.
+fn dense_quorum_workload(smoke: bool) -> Workload<DenseVector> {
+    let (v, iters) = if smoke { (256, 1) } else { (2048, 5) };
+    Workload {
+        data: gene_expression(v, 64, 8, 0.3, 42),
+        scheme: Box::new(QuorumScheme::new(v as u64)),
         comp: comp_fn(sq_dist),
         threads: 8,
         iters,
@@ -155,7 +176,7 @@ fn sparse_workload(smoke: bool) -> Workload<SparseVector> {
     let (v, iters) = if smoke { (256, 1) } else { (1024, 5) };
     Workload {
         data: zipf_documents(v, 4096, 64, 1.1, 7),
-        scheme: BlockScheme::new(v as u64, 8),
+        scheme: Box::new(BlockScheme::new(v as u64, 8)),
         comp: comp_fn(|a: &SparseVector, b: &SparseVector| a.dot(b)),
         threads: 8,
         iters,
@@ -273,7 +294,9 @@ fn record_entry(label: &str, entry: String) {
          \"squared_euclidean\" }},\n    \"sparse\": {{ \"v\": 1024, \"vocab\": 4096, \"nnz\": 64, \
          \"threads\": 8, \"scheme\": \"block(h=8)\", \"comp\": \"dot\" }},\n    \"multiprocess\": \
          {{ \"v\": 512, \"dim\": 64, \"workers\": 4, \"scheme\": \"block(h=8)\", \"socket\": \
-         \"uds\", \"comp\": \"euclidean\" }}\n  }},\n  \"entries\": [\n{body}\n  ]\n}}\n"
+         \"uds\", \"comp\": \"euclidean\" }},\n    \"quorum\": {{ \"v\": 2048, \"dim\": 64, \
+         \"threads\": 8, \"scheme\": \"quorum(k≈45)\", \"comp\": \"squared_euclidean\" \
+         }}\n  }},\n  \"entries\": [\n{body}\n  ]\n}}\n"
     );
     std::fs::write(&path, json).expect("write BENCH_pairwise.json");
     println!("recorded entry '{label}' in {}", path.display());
@@ -340,9 +363,25 @@ fn main() {
         sparse_unfused_pps
     );
 
+    // Quorum redistribution of the dense workload: same data, same comp,
+    // same kernel — the aggregated output must be bit-identical to the
+    // block-scheme run even though the task decomposition is disjoint.
+    let quorum = dense_quorum_workload(smoke);
+    let (quorum_scalar_pps, quorum_out) = measure(&quorum);
+    assert_bit_identical(&dense_out, &quorum_out, "dense block vs quorum scalar");
+    let (quorum_pps, quorum_kout) = measure_kernel(&quorum, &dense_kern, &ConcatSort);
+    assert_bit_identical(&quorum_out, &quorum_kout, "quorum scalar vs kernel");
+    println!(
+        "quorum (v={}, dim=64, {} threads): {:>12.0} pairs/s scalar, {:>12.0} pairs/s kernel",
+        quorum.data.len(),
+        quorum.threads,
+        quorum_scalar_pps,
+        quorum_pps,
+    );
+
     // Sanity: every element has v−1 neighbors (exactly-once coverage made
     // it into the aggregated output), so a scheduler bug fails fast here.
-    for out in [&dense_out, &sparse_out] {
+    for out in [&dense_out, &sparse_out, &quorum_out] {
         let v = out.per_element.len();
         assert!(out.per_element.iter().all(|(_, r)| r.len() == v - 1), "missing pair results");
     }
@@ -364,6 +403,16 @@ fn main() {
     if args.iter().any(|a| a == "--record-mp") {
         assert!(!smoke, "--record-mp needs the full workload, not --smoke");
         record_multiprocess(&mp);
+    }
+    if args.iter().any(|a| a == "--record-quorum") {
+        assert!(!smoke, "--record-quorum needs the full workload, not --smoke");
+        record_entry(
+            "quorum",
+            format!(
+                "    {{ \"label\": \"quorum\", \"dense_pairs_per_sec\": {quorum_pps:.0}, \
+                 \"dense_pairs_per_sec_scalar\": {quorum_scalar_pps:.0} }}"
+            ),
+        );
     }
     if smoke {
         println!("smoke mode OK");

@@ -6,13 +6,13 @@ use std::io::{BufReader, BufWriter, Write};
 use pmr_apps::distance::{cosine_distance, euclidean, manhattan};
 use pmr_apps::generate::{gaussian_clusters, gene_expression, random_matrix_rows};
 use pmr_cluster::{Cluster, ClusterConfig, SocketMode, TransportKind};
-use pmr_core::analysis::costmodel::{rank_feasible_schemes, CostParams};
-use pmr_core::analysis::limits::{fig9b_point, h_bounds};
-use pmr_core::analysis::table1::{block_row, broadcast_row, design_row};
+use pmr_core::analysis::costmodel::{rank_feasible_schemes, replication_frontier, CostParams};
+use pmr_core::analysis::limits::{fig9b_point, h_bounds, reducer_capacity};
+use pmr_core::analysis::table1::{block_row, broadcast_row, design_row, quorum_row};
 use pmr_core::runner::{comp_fn, Aggregator, Backend, CompFn, FilterAggregator, PairwiseJob};
 use pmr_core::scheme::{
     measure, verify_exactly_once, BlockScheme, BroadcastScheme, DesignScheme, DistributionScheme,
-    PairedBlockScheme,
+    PairedBlockScheme, QuorumScheme,
 };
 use pmr_designs::primes::smallest_plane_order;
 use pmr_obs::{export, RunReport, Telemetry, TraceDiff};
@@ -30,7 +30,7 @@ COMMANDS
   run       evaluate a function on all pairs of a CSV dataset
               --input FILE        CSV: one element per line, comma-separated
               --comp NAME         euclidean | manhattan | cosine  [euclidean]
-              --scheme NAME       block | broadcast | design | paired  [block]
+              --scheme NAME       block | broadcast | design | quorum | paired  [block]
               --h N               blocking factor (block/paired)  [8]
               --tasks N           task count (broadcast)  [16]
               --backend NAME      local | mr | process | sequential  [local]
@@ -94,9 +94,10 @@ fn scheme_from_args(
         "paired" => Box::new(PairedBlockScheme::new(v, args.num_or("h", 8)?)),
         "broadcast" => Box::new(BroadcastScheme::new(v, args.num_or("tasks", 16)?)),
         "design" => Box::new(DesignScheme::new(v)),
+        "quorum" => Box::new(QuorumScheme::new(v)),
         other => {
             return Err(Box::new(ArgError(format!(
-                "unknown scheme '{other}' (block | paired | broadcast | design)"
+                "unknown scheme '{other}' (block | paired | broadcast | design | quorum)"
             ))))
         }
     })
@@ -324,6 +325,7 @@ fn plan(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     check("broadcast", point.broadcast);
     check("block", point.block);
     check("design", point.design_both);
+    check("quorum", point.quorum);
     if let Some((lo, hi)) = h_bounds((v * s) as f64, maxws, maxis) {
         println!("  block h range: [{lo}, {hi}]");
     }
@@ -331,6 +333,33 @@ fn plan(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 
     let params =
         CostParams { v, element_bytes: s, n_nodes: n, comp_cost_us: comp_us, ..Default::default() };
+
+    // Replication-rate frontier: each scheme against the Afrati–Ullman
+    // lower bound (arXiv 1206.4377) at the environment's reducer capacity.
+    let q_cap = reducer_capacity(s as f64, maxws);
+    let frontier = replication_frontier(&params, maxws, maxis);
+    if let Some(row) = frontier.first() {
+        println!(
+            "\nreplication-rate frontier (reducer capacity {q_cap} elements, \
+             Afrati–Ullman lower bound r ≥ {:.2}):",
+            row.env_lower_bound
+        );
+        println!(
+            "  {:<10}  {:>11}  {:>12}  {:>11}  {:>10}",
+            "scheme", "replication", "working set", "own bound", "status"
+        );
+        for r in &frontier {
+            println!(
+                "  {:<10}  {:>11.2}  {:>12}  {:>11.2}  {:>10}",
+                r.scheme,
+                r.replication,
+                r.working_set,
+                r.own_lower_bound,
+                if r.feasible { "feasible" } else { "INFEASIBLE" }
+            );
+        }
+    }
+
     let ranked = rank_feasible_schemes(&params, maxws, maxis);
     if ranked.is_empty() {
         println!("no scheme fits these limits — consider the hierarchical extensions (§7)");
@@ -376,7 +405,7 @@ fn table1(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "{:>10}  {:>10}  {:>14}  {:>12}  {:>12}  {:>14}",
         "scheme", "tasks", "comm [sends]", "replication", "working set", "evals/task"
     )?;
-    for m in [broadcast_row(v, n, n), block_row(v, h, n), design_row(v, n)] {
+    for m in [broadcast_row(v, n, n), block_row(v, h, n), design_row(v, n), quorum_row(v, n)] {
         writeln!(
             out,
             "{:>10}  {:>10}  {:>14}  {:>12.1}  {:>12}  {:>14.1}",
@@ -464,6 +493,8 @@ mod tests {
             "verify --scheme paired --v 30 --h 4",
             "verify --scheme broadcast --v 30 --tasks 5",
             "verify --scheme design --v 30",
+            "verify --scheme quorum --v 30",
+            "verify --scheme quorum --v 31",
         ] {
             dispatch(&args(line)).unwrap_or_else(|e| panic!("{line}: {e}"));
         }

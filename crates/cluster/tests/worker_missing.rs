@@ -1,0 +1,40 @@
+//! Regression: a missing `pmr-worker` binary must surface as a typed
+//! [`ClusterError::Transport`] — never a panic — from both the raw
+//! transport and `Cluster::try_new`.
+//!
+//! This lives in its own integration-test file (= its own OS process) so
+//! the `PMR_WORKER_BIN` override cannot leak into the spawn tests that
+//! rely on the default worker-binary lookup.
+
+use pmr_cluster::transport::MultiProcessTransport;
+use pmr_cluster::{Cluster, ClusterConfig, ClusterError, SocketMode, TransportKind};
+
+#[test]
+fn missing_worker_binary_is_a_typed_transport_error() {
+    std::env::set_var("PMR_WORKER_BIN", "/nonexistent/pmr-worker-gone");
+
+    let err = MultiProcessTransport::spawn(2, SocketMode::Uds)
+        .err()
+        .expect("spawn must fail without a worker binary");
+    match &err {
+        ClusterError::Transport(msg) => {
+            assert!(msg.contains("PMR_WORKER_BIN"), "unexpected message: {msg}");
+            assert!(msg.contains("pmr-worker-gone"), "unexpected message: {msg}");
+        }
+        other => panic!("expected ClusterError::Transport, got {other:?}"),
+    }
+
+    // The same failure propagates through the fallible cluster
+    // constructor instead of panicking.
+    let config =
+        ClusterConfig::with_nodes(2).transport(TransportKind::Process { socket: SocketMode::Uds });
+    match Cluster::try_new(config) {
+        Err(ClusterError::Transport(msg)) => {
+            assert!(msg.contains("PMR_WORKER_BIN"), "unexpected message: {msg}");
+        }
+        Ok(_) => panic!("Cluster::try_new must fail without a worker binary"),
+        Err(other) => panic!("expected ClusterError::Transport, got {other:?}"),
+    }
+
+    std::env::remove_var("PMR_WORKER_BIN");
+}

@@ -20,7 +20,7 @@
 //! which `pmr-bench --bin scheme_advisor` validates against real measured
 //! wall times on the local backend.
 
-use crate::analysis::table1::{block_row, broadcast_row, design_row};
+use crate::analysis::table1::{block_row, broadcast_row, design_row, quorum_row};
 use crate::scheme::SchemeMetrics;
 
 /// Workload and environment parameters for the makespan model.
@@ -108,6 +108,11 @@ pub fn design_cost(p: &CostParams) -> CostEstimate {
     estimate_from_metrics(&design_row(p.v, p.n_nodes), p)
 }
 
+/// Cost estimate for the quorum approach.
+pub fn quorum_cost(p: &CostParams) -> CostEstimate {
+    estimate_from_metrics(&quorum_row(p.v, p.n_nodes), p)
+}
+
 /// Searches `1 ≤ h ≤ v` for the blocking factor minimizing the model
 /// makespan (the knob the paper leaves to the user).
 pub fn best_block_h(p: &CostParams) -> (u64, CostEstimate) {
@@ -138,11 +143,16 @@ pub fn best_block_h(p: &CostParams) -> (u64, CostEstimate) {
     best
 }
 
-/// Ranks all three approaches for the given parameters, fastest first.
+/// Ranks all four approaches for the given parameters, fastest first.
 /// The block entry uses [`best_block_h`].
 pub fn rank_schemes(p: &CostParams) -> Vec<(CostEstimate, Option<u64>)> {
     let (h, block) = best_block_h(p);
-    let mut v = vec![(broadcast_cost(p, None), None), (block, Some(h)), (design_cost(p), None)];
+    let mut v = vec![
+        (broadcast_cost(p, None), None),
+        (block, Some(h)),
+        (design_cost(p), None),
+        (quorum_cost(p), None),
+    ];
     v.sort_by(|(a, _), (b, _)| a.total_us.total_cmp(&b.total_us));
     v
 }
@@ -182,8 +192,84 @@ pub fn rank_feasible_schemes(
     if (p.v as f64) <= limits::max_v_design_both(s, maxws, maxis) {
         out.push((design_cost(p), None));
     }
+    if (p.v as f64) <= limits::max_v_quorum(s, maxws, maxis) {
+        out.push((quorum_cost(p), None));
+    }
     out.sort_by(|(a, _), (b, _)| a.total_us.total_cmp(&b.total_us));
     out
+}
+
+/// One scheme's placement against the Afrati–Ullman replication-rate lower
+/// bound for a given environment (`maxws`, `maxis`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierRow {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// The scheme's analytic replication rate at this `v`.
+    pub replication: f64,
+    /// The scheme's working-set size in elements (its reducer size).
+    pub working_set: u64,
+    /// The environment lower bound `(v−1)/(q_cap−1)` at the reducer
+    /// capacity `q_cap = ⌊maxws/s⌋` — no scheme that fits `maxws` can
+    /// replicate less.
+    pub env_lower_bound: f64,
+    /// The bound at the scheme's *own* reducer size `(v−1)/(W−1)`: how much
+    /// replication its working-set choice forces. `replication /
+    /// own_lower_bound` is the scheme's distance from the frontier.
+    pub own_lower_bound: f64,
+    /// Whether the scheme fits both environment limits at this `v`.
+    pub feasible: bool,
+}
+
+/// Places every scheme against the Afrati–Ullman replication-rate lower
+/// bound (arXiv 1206.4377) for the environment `maxws`/`maxis`: the
+/// replication-rate frontier the `scheme_advisor` reports. The block row
+/// uses the best feasible `h` (falling back to [`best_block_h`] when no
+/// feasible `h` exists, marked infeasible).
+pub fn replication_frontier(p: &CostParams, maxws: f64, maxis: f64) -> Vec<FrontierRow> {
+    use crate::analysis::limits;
+    let s = p.element_bytes as f64;
+    let v = p.v;
+    let q_cap = limits::reducer_capacity(s, maxws);
+    let env_bound = limits::replication_rate_lower_bound(v, q_cap);
+    let dataset = v as f64 * s;
+
+    let h_range = limits::h_bounds(dataset, maxws, maxis);
+    let block_h = match h_range {
+        Some((lo, hi)) => {
+            let mut best = (lo, block_cost(p, lo));
+            let mut h = lo;
+            while h <= hi {
+                let c = block_cost(p, h);
+                if c.total_us < best.1.total_us {
+                    best = (h, c);
+                }
+                h = (h * 5 / 4).max(h + 1);
+            }
+            best.0
+        }
+        None => best_block_h(p).0,
+    };
+
+    let rows: Vec<(SchemeMetrics, bool)> = vec![
+        (
+            broadcast_row(v, (p.n_nodes * p.slots_per_node).max(1), p.n_nodes),
+            (v as f64) <= limits::max_v_broadcast(s, maxws),
+        ),
+        (block_row(v, block_h, p.n_nodes), h_range.is_some()),
+        (design_row(v, p.n_nodes), (v as f64) <= limits::max_v_design_both(s, maxws, maxis)),
+        (quorum_row(v, p.n_nodes), (v as f64) <= limits::max_v_quorum(s, maxws, maxis)),
+    ];
+    rows.into_iter()
+        .map(|(m, feasible)| FrontierRow {
+            scheme: m.scheme,
+            replication: m.replication_factor,
+            working_set: m.working_set_size,
+            env_lower_bound: env_bound,
+            own_lower_bound: limits::replication_rate_lower_bound(v, m.working_set_size),
+            feasible,
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -263,9 +349,59 @@ mod tests {
     #[test]
     fn breakdown_sums_to_total() {
         let p = CostParams::default();
-        for est in [broadcast_cost(&p, None), block_cost(&p, 16), design_cost(&p)] {
+        for est in [broadcast_cost(&p, None), block_cost(&p, 16), design_cost(&p), quorum_cost(&p)]
+        {
             assert!((est.compute_us + est.aggregate_us - est.total_us).abs() < 1e-6);
             assert!(est.waves >= 1);
         }
+    }
+
+    #[test]
+    fn frontier_places_every_scheme_above_the_lower_bound() {
+        // The paper's §3 workload: 10,000 × 500 KB, maxws 200 MB, maxis 1 TB.
+        let p = CostParams::default();
+        let rows = replication_frontier(&p, 200e6, 1e12);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            // No scheme beats the Afrati–Ullman bound at its own reducer
+            // size (replication ≥ (v−1)/(W−1), with a hair of slack for
+            // the broadcast row's p < bound-at-v case).
+            assert!(
+                r.replication >= r.own_lower_bound * 0.999 || !r.feasible,
+                "{}: r={} own bound={}",
+                r.scheme,
+                r.replication,
+                r.own_lower_bound
+            );
+            // q_cap = ⌊200 MB / 512 KB⌋ = 390 elements.
+            assert_eq!(
+                r.env_lower_bound,
+                crate::analysis::limits::replication_rate_lower_bound(10_000, 390),
+                "{}",
+                r.scheme
+            );
+        }
+        // Broadcast cannot fit 5 GB in 200 MB; quorum and design can.
+        let by_name = |n: &str| rows.iter().find(|r| r.scheme == n).unwrap();
+        assert!(!by_name("broadcast").feasible);
+        assert!(by_name("design").feasible);
+        assert!(by_name("quorum").feasible);
+        // Quorum sits near the frontier: within a small factor of the bound
+        // at its own reducer size (k(k−1) ≥ v−1 ⇒ ratio ≤ ~k/(k−1)·c).
+        let q = by_name("quorum");
+        assert!(
+            q.replication <= 2.5 * q.own_lower_bound,
+            "quorum r={} vs own bound {}",
+            q.replication,
+            q.own_lower_bound
+        );
+    }
+
+    #[test]
+    fn feasible_ranking_includes_quorum_when_it_fits() {
+        let p = CostParams::default();
+        let ranked = rank_feasible_schemes(&p, 200e6, 1e12);
+        assert!(ranked.iter().any(|(e, _)| e.scheme == "quorum"), "{ranked:?}");
+        assert!(rank_schemes(&p).iter().any(|(e, _)| e.scheme == "quorum"));
     }
 }

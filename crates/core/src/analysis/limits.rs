@@ -22,7 +22,15 @@
 //! curves, `*_exact` variants use the exact plane order instead of the
 //! `√v` approximation.
 
-use pmr_designs::primes::smallest_plane_order;
+use pmr_designs::primes::{isqrt128, smallest_plane_order};
+
+/// `x` as an exact `u64` byte quantity, if it is one (integral, in range).
+/// The limit curves take `f64` arguments for the paper's continuous plots;
+/// byte budgets are integers in practice, and the integer paths below keep
+/// those exact where `f64` would round.
+fn as_exact_u64(x: f64) -> Option<u64> {
+    (x.fract() == 0.0 && x >= 1.0 && x <= u64::MAX as f64).then_some(x as u64)
+}
 
 /// Figure 8(a): the largest `v` such that the broadcast working set
 /// (`v` elements of `s` bytes) fits in `maxws`.
@@ -30,13 +38,40 @@ pub fn max_v_broadcast(element_size: f64, maxws: f64) -> f64 {
     (maxws / element_size).floor()
 }
 
+/// Exact integer form of the paper's design storage curve:
+/// `v^{3/2}·s ≤ maxis ⇔ v³·s² ≤ maxis²`, evaluated over `u128`
+/// (multiplication overflow means the left side is astronomically large,
+/// i.e. infeasible).
+pub fn design_curve_fits(v: u64, element_size: u64, maxis: u64) -> bool {
+    let (v, s, m) = (v as u128, element_size as u128, maxis as u128);
+    v.checked_mul(v)
+        .and_then(|x| x.checked_mul(v))
+        .and_then(|x| x.checked_mul(s * s))
+        .is_some_and(|lhs| lhs <= m * m)
+}
+
 /// Figure 8(b): the largest `v` such that the design scheme's materialized
 /// intermediate data (`v^{3/2}·s`, from the `√v` replication factor) fits
 /// in `maxis` — the paper's curve.
+///
+/// For integer byte quantities the floor is certified against the exact
+/// predicate [`design_curve_fits`]: the continuous form floors
+/// `(maxis/s)^{2/3}` after adding a `1e-6` epsilon, which absorbs float
+/// error at exact powers but used to overshoot the true limit by 1 when
+/// the curve sat within `1e-6` *below* an integer.
 pub fn max_v_design(element_size: f64, maxis: f64) -> f64 {
-    // Continuous curve (the paper plots it on log-log axes); a tiny epsilon
-    // absorbs floating error at exact powers before flooring.
-    ((maxis / element_size).powf(2.0 / 3.0) + 1e-6).floor()
+    let approx = ((maxis / element_size).powf(2.0 / 3.0) + 1e-6).floor();
+    if let (Some(s), Some(m)) = (as_exact_u64(element_size), as_exact_u64(maxis)) {
+        let mut v = if approx >= 0.0 && approx <= u64::MAX as f64 { approx as u64 } else { 0 };
+        while v > 0 && !design_curve_fits(v, s, m) {
+            v -= 1;
+        }
+        while design_curve_fits(v + 1, s, m) {
+            v += 1;
+        }
+        return v as f64;
+    }
+    approx
 }
 
 /// The design scheme's working-set limit (not drawn in the paper's Figure
@@ -84,17 +119,79 @@ pub fn max_v_design_exact(element_size: u64, maxis: u64) -> u64 {
     lo
 }
 
+/// Exact Figure 9(b) block threshold: the largest dataset size `D` (bytes)
+/// with `2·D² ≤ maxws·maxis`, via a `u128` integer square root. The `f64`
+/// form `√(maxws·maxis/2)` loses integer precision once the product
+/// exceeds `2^53` and could flip feasibility by one byte.
+pub fn max_dataset_bytes_block_exact(maxws: u64, maxis: u64) -> u64 {
+    // 2D² ≤ W·I ⇔ D² ≤ ⌊W·I/2⌋ (both sides integral), so the floor sqrt
+    // is exact. The result fits u64: √(2^128/2) < 2^64.
+    isqrt128((maxws as u128) * (maxis as u128) / 2) as u64
+}
+
+/// Exact Figure 9(b) block curve: the largest `v` with
+/// `2·(v·s)² ≤ maxws·maxis`, all in integer arithmetic.
+pub fn max_v_block_exact(element_size: u64, maxws: u64, maxis: u64) -> u64 {
+    max_dataset_bytes_block_exact(maxws, maxis) / element_size.max(1)
+}
+
 /// Figure 9(b) block curve: the largest `v` such that *some* valid `h`
-/// exists, i.e. `v·s ≤ √(maxws·maxis/2)`.
+/// exists, i.e. `v·s ≤ √(maxws·maxis/2)`. Integer byte budgets take the
+/// exact `u128` path ([`max_v_block_exact`]).
 pub fn max_v_block(element_size: f64, maxws: f64, maxis: f64) -> f64 {
+    if let (Some(s), Some(w), Some(i)) =
+        (as_exact_u64(element_size), as_exact_u64(maxws), as_exact_u64(maxis))
+    {
+        return max_v_block_exact(s, w, i) as f64;
+    }
     ((maxws * maxis / 2.0).sqrt() / element_size).floor()
 }
 
 /// The largest dataset size in bytes for which the block approach has a
 /// valid blocking factor: `vs ≤ √(maxws·maxis/2)` (paper's necessary
-/// condition).
+/// condition). Integer byte budgets take the exact `u128` path
+/// ([`max_dataset_bytes_block_exact`]).
 pub fn max_dataset_bytes_block(maxws: f64, maxis: f64) -> f64 {
+    if let (Some(w), Some(i)) = (as_exact_u64(maxws), as_exact_u64(maxis)) {
+        return max_dataset_bytes_block_exact(w, i) as f64;
+    }
     (maxws * maxis / 2.0).sqrt()
+}
+
+/// Quorum-scheme feasibility (Kleinheksel–Somani cyclic quorums): working
+/// sets hold `k ≈ √v` elements, so `√v·s ≤ maxws` bounds the working set
+/// and `v·k·s ≈ v^{3/2}·s ≤ maxis` bounds the intermediate data — the same
+/// analytic curves as the design scheme, but attained at **every** `v`
+/// (no plane-order rounding) with exactly uniform working sets.
+pub fn max_v_quorum(element_size: f64, maxws: f64, maxis: f64) -> f64 {
+    max_v_design(element_size, maxis).min(max_v_design_ws(element_size, maxws))
+}
+
+/// Afrati–Ullman (arXiv 1206.4377) replication-rate lower bound for the
+/// all-pairs problem: a reducer receiving at most `q` elements pairs each
+/// of its inputs with at most `q − 1` partners, and every element must
+/// meet the other `v − 1`, so **any** correct mapping scheme replicates
+/// each input at least `(v − 1)/(q − 1)` times. Returns `∞` when
+/// `q < 2` (no reducer can form a pair at all).
+pub fn replication_rate_lower_bound(v: u64, reducer_elements: u64) -> f64 {
+    if v < 2 {
+        return 0.0;
+    }
+    if reducer_elements < 2 {
+        return f64::INFINITY;
+    }
+    ((v - 1) as f64 / (reducer_elements - 1) as f64).max(1.0)
+}
+
+/// The reducer capacity in elements that `maxws` affords: the `q` to feed
+/// [`replication_rate_lower_bound`] for a given environment.
+pub fn reducer_capacity(element_size: f64, maxws: f64) -> u64 {
+    let q = (maxws / element_size).floor();
+    if q < 0.0 {
+        0
+    } else {
+        q as u64
+    }
 }
 
 /// Figure 9(a): the valid blocking-factor range for a dataset of
@@ -122,6 +219,9 @@ pub struct Fig9bPoint {
     pub design: f64,
     /// Design limit honoring the working-set constraint too.
     pub design_both: f64,
+    /// Quorum limit (both constraints; the design curves without
+    /// plane-order rounding).
+    pub quorum: f64,
 }
 
 /// Evaluates Figure 9(b) at one element size.
@@ -132,6 +232,7 @@ pub fn fig9b_point(element_size: f64, maxws: f64, maxis: f64) -> Fig9bPoint {
         block: max_v_block(element_size, maxws, maxis),
         design: max_v_design(element_size, maxis),
         design_both: max_v_design_both(element_size, maxws, maxis),
+        quorum: max_v_quorum(element_size, maxws, maxis),
     }
 }
 
@@ -252,5 +353,92 @@ mod tests {
             let p = fig9b_point(s, 200.0 * MB, 1.0 * TB);
             assert!(p.design_both <= p.design);
         }
+    }
+
+    #[test]
+    fn design_epsilon_no_longer_overshoots() {
+        // Regression: maxis = 1,284,253 with s = 1 puts the continuous
+        // curve within 1e-6 *below* 11,815, so the epsilon-then-floor form
+        // returned 11,815 even though 11,815³ > maxis². True limit: 11,814.
+        let (s, maxis) = (1u64, 1_284_253u64);
+        let old = ((maxis as f64 / s as f64).powf(2.0 / 3.0) + 1e-6).floor();
+        assert_eq!(old, 11_815.0, "the buggy formula no longer reproduces the premise");
+        assert!(!design_curve_fits(11_815, s, maxis));
+        assert_eq!(max_v_design(s as f64, maxis as f64), 11_814.0);
+        assert!(design_curve_fits(11_814, s, maxis));
+    }
+
+    #[test]
+    fn design_limit_certified_against_exact_predicate() {
+        for s in [1u64, 2, 17, 1_000, 1 << 20] {
+            for maxis in [1u64, 999, 1_284_253, 1 << 30, 10u64.pow(12), (1 << 53) - 1] {
+                let v = max_v_design(s as f64, maxis as f64) as u64;
+                assert!(v == 0 || design_curve_fits(v, s, maxis), "s={s} maxis={maxis} v={v}");
+                assert!(!design_curve_fits(v + 1, s, maxis), "s={s} maxis={maxis} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_exact_boundary_parity() {
+        // The defining property 2D² ≤ W·I < 2(D+1)² at byte budgets well
+        // above 2^53, where the old f64 √ form could flip feasibility.
+        for (w, i) in [
+            (200u64 * 1_000_000, 10u64.pow(12)),
+            ((1 << 53) + 1, (1 << 53) + 3),
+            (u64::MAX, u64::MAX),
+            (3, u64::MAX),
+            (1, 1),
+        ] {
+            let d = max_dataset_bytes_block_exact(w, i) as u128;
+            let budget = w as u128 * i as u128;
+            assert!(2 * d * d <= budget, "w={w} i={i} d={d}");
+            assert!(
+                (2u128).checked_mul((d + 1) * (d + 1)).is_none_or(|x| x > budget),
+                "w={w} i={i} d={d}"
+            );
+        }
+        // A perfect-square product beyond 2^53: exact answer recovered.
+        let d0 = (1u64 << 53) + 12_345;
+        // 2·d0² = w·i with w = 2·d0, i = d0.
+        assert_eq!(max_dataset_bytes_block_exact(2 * d0, d0), d0);
+    }
+
+    #[test]
+    fn max_v_block_exact_agrees_with_f64_path_in_range() {
+        // Below 2^53 products the two forms must agree (parity check).
+        for (s, w, i) in
+            [(100_000u64, 200_000_000u64, 1_000_000_000u64), (1_000, 1 << 20, 1 << 30), (1, 4, 8)]
+        {
+            let exact = max_v_block_exact(s, w, i);
+            let f = ((w as f64 * i as f64 / 2.0).sqrt() / s as f64).floor();
+            assert_eq!(exact as f64, f, "s={s} w={w} i={i}");
+            assert_eq!(max_v_block(s as f64, w as f64, i as f64), exact as f64);
+        }
+    }
+
+    #[test]
+    fn quorum_limit_tracks_design_curves() {
+        // Same analytic curves as design-with-both-constraints.
+        for s in [1.0 * KB, 100.0 * KB, 1.0 * MB, 10.0 * MB] {
+            let p = fig9b_point(s, 200.0 * MB, 1.0 * TB);
+            assert_eq!(p.quorum, p.design_both, "s={s}");
+            assert!(p.quorum <= p.design);
+        }
+    }
+
+    #[test]
+    fn afrati_ullman_lower_bound() {
+        // Broadcast-sized reducers (q = v): bound collapses to 1.
+        assert_eq!(replication_rate_lower_bound(1_000, 1_000), 1.0);
+        // Pair-sized reducers (q = 2): every pair its own reducer, r = v−1.
+        assert_eq!(replication_rate_lower_bound(1_000, 2), 999.0);
+        // √v-sized reducers: r ≥ ≈ √v — the regime quorum/design attain.
+        let r = replication_rate_lower_bound(10_000, 100);
+        assert!((r - 9_999.0 / 99.0).abs() < 1e-9);
+        // Degenerate reducers can never pair anything.
+        assert_eq!(replication_rate_lower_bound(10, 1), f64::INFINITY);
+        // Capacity from the environment.
+        assert_eq!(reducer_capacity(500.0 * KB, 200.0 * MB), 400);
     }
 }

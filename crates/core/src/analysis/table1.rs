@@ -1,11 +1,14 @@
-//! The paper's Table 1: analytic comparison of the three distribution
-//! schemes, plus validation against measured scheme walks.
+//! The paper's Table 1: analytic comparison of the distribution schemes
+//! (the paper's three plus the cyclic-quorum extension), plus validation
+//! against measured scheme walks.
 
 use crate::enumeration::pair_count;
 use crate::scheme::{
-    measure, BlockScheme, BroadcastScheme, DesignScheme, DistributionScheme, SchemeMetrics,
+    measure, BlockScheme, BroadcastScheme, DesignScheme, DistributionScheme, QuorumScheme,
+    SchemeMetrics,
 };
 use pmr_designs::primes::smallest_plane_order;
+use pmr_designs::quorum::difference_cover_size;
 
 /// Shared scenario parameters (the paper's `v`, `n` and, for the block
 /// approach, `h`; the broadcast task count defaults to `n`).
@@ -29,12 +32,14 @@ impl Scenario {
     }
 }
 
-/// All three Table-1 rows for a scenario.
-pub fn table1(sc: Scenario) -> [SchemeMetrics; 3] {
+/// All four Table-1 rows for a scenario (the paper's three schemes plus
+/// the cyclic-quorum extension).
+pub fn table1(sc: Scenario) -> [SchemeMetrics; 4] {
     [
         BroadcastScheme::new(sc.v, sc.broadcast_tasks).metrics(sc.n),
         BlockScheme::new(sc.v, sc.h).metrics(sc.n),
         DesignScheme::new(sc.v).metrics(sc.n),
+        QuorumScheme::new(sc.v).metrics(sc.n),
     ]
 }
 
@@ -80,6 +85,21 @@ pub fn design_row(v: u64, n: u64) -> SchemeMetrics {
     }
 }
 
+/// Closed-form Table-1 row for the quorum approach. Builds the difference
+/// cover (cheap: `O(v^{3/2})` for the pruning pass) to report the exact
+/// quorum size `k`; everything else is closed-form in `v` and `k`.
+pub fn quorum_row(v: u64, n: u64) -> SchemeMetrics {
+    let k = difference_cover_size(v);
+    SchemeMetrics {
+        scheme: "quorum",
+        num_tasks: v,
+        communication_elements: ((2 * v * k) as f64).min(2.0 * (v * n) as f64) as u64,
+        replication_factor: k as f64,
+        working_set_size: k,
+        evaluations_per_task: (v / 2) as f64, // ⌊v/2⌋ ≈ the paper's (v−1)/2
+    }
+}
+
 /// One scheme's analytic-vs-measured comparison.
 #[derive(Debug, Clone)]
 pub struct ValidationRow {
@@ -97,12 +117,13 @@ pub struct ValidationRow {
     pub evaluations_within_bound: bool,
 }
 
-/// Walks all three schemes for a scenario and checks the analytic claims.
+/// Walks all four schemes for a scenario and checks the analytic claims.
 pub fn validate(sc: Scenario) -> Vec<ValidationRow> {
     let schemes: Vec<Box<dyn DistributionScheme>> = vec![
         Box::new(BroadcastScheme::new(sc.v, sc.broadcast_tasks)),
         Box::new(BlockScheme::new(sc.v, sc.h)),
         Box::new(DesignScheme::new(sc.v)),
+        Box::new(QuorumScheme::new(sc.v)),
     ];
     schemes
         .iter()
@@ -129,9 +150,10 @@ mod tests {
     #[test]
     fn closed_forms_match_constructed_schemes() {
         let sc = Scenario::new(500, 8, 10);
-        let [bc, bl, de] = table1(sc);
+        let [bc, bl, de, qu] = table1(sc);
         assert_eq!(bc, broadcast_row(500, 8, 8));
         assert_eq!(bl, block_row(500, 10, 8));
+        assert_eq!(qu, quorum_row(500, 8));
         // The constructed design drops truncation-emptied blocks, so its
         // task count can be slightly below the closed form's q² + q + 1.
         let row = design_row(500, 8);
@@ -170,5 +192,12 @@ mod tests {
         assert_eq!(de.num_tasks, 10_303); // q=101 ⇒ q²+q+1
         assert_eq!(de.replication_factor, 102.0);
         assert_eq!(de.evaluations_per_task, 5_151.0); // C(q+1, 2) ≈ (v−1)/2
+        let qu = quorum_row(10_000, 100);
+        assert_eq!(qu.num_tasks, 10_000); // one rotation per element
+        assert_eq!(qu.evaluations_per_task, 5_000.0); // ⌊v/2⌋
+                                                      // k ≈ √v: between the counting bound and 2√v.
+        let k = qu.working_set_size;
+        assert!(k * (k - 1) >= 9_999, "k={k}");
+        assert!((k as f64) <= 2.0 * 100.0 + 2.0, "k={k}");
     }
 }

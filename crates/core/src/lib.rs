@@ -7,10 +7,11 @@
 //!
 //! * [`enumeration`] — exact labeling of the pair matrix's upper triangle
 //!   (Figures 5 and 6);
-//! * [`scheme`] — the [`scheme::DistributionScheme`] abstraction and the
+//! * [`scheme`] — the [`scheme::DistributionScheme`] abstraction, the
 //!   paper's three instances: [`scheme::BroadcastScheme`] (§5.1),
 //!   [`scheme::BlockScheme`] (§5.2), [`scheme::DesignScheme`] (§5.3, backed
-//!   by projective planes from `pmr-designs`);
+//!   by projective planes from `pmr-designs`), plus the cyclic-quorum
+//!   [`scheme::QuorumScheme`] (Kleinheksel–Somani, arXiv 1608.05174);
 //! * [`runner`] — execution backends: sequential reference, local thread
 //!   pool, and the paper's two chained MapReduce jobs (Algorithms 1–2) on
 //!   the simulated cluster of `pmr-cluster`/`pmr-mapreduce`, plus the
@@ -52,5 +53,5 @@ pub use runner::{
 };
 pub use scheme::{
     measure, verify_exactly_once, BlockScheme, BroadcastScheme, DesignScheme, DistributionScheme,
-    MeasuredMetrics, PairedBlockScheme, SchemeError, SchemeMetrics,
+    MeasuredMetrics, PairedBlockScheme, QuorumScheme, SchemeError, SchemeMetrics,
 };

@@ -17,10 +17,12 @@
 pub mod block;
 pub mod broadcast;
 pub mod design;
+pub mod quorum;
 
 pub use block::{BlockScheme, PairedBlockScheme};
 pub use broadcast::BroadcastScheme;
 pub use design::DesignScheme;
+pub use quorum::QuorumScheme;
 
 /// A partitioning of the Cartesian product `S × S` into per-task work.
 pub trait DistributionScheme: Send + Sync {

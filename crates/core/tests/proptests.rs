@@ -5,6 +5,7 @@ use proptest::prelude::*;
 
 use std::collections::HashMap;
 
+use pmr_core::analysis::limits::{design_curve_fits, max_v_design};
 use pmr_core::enumeration::{diag_rank, diag_unrank, pair_count, pair_rank, pair_unrank};
 use pmr_core::hierarchical::{verify_rounds_exactly_once, BatchedDesign, TwoLevelBlock};
 use pmr_core::runner::local::run_local;
@@ -12,7 +13,7 @@ use pmr_core::runner::sequential::run_sequential;
 use pmr_core::runner::{comp_fn, CompFn, ConcatSort, Symmetry};
 use pmr_core::scheme::{
     measure, verify_exactly_once, BlockScheme, BroadcastScheme, DesignScheme, DistributionScheme,
-    PairedBlockScheme,
+    PairedBlockScheme, QuorumScheme,
 };
 
 /// Every scheme family at one (v, h) parameter point — the single-round
@@ -24,6 +25,7 @@ fn all_schemes(v: u64, h: u64) -> Vec<Box<dyn DistributionScheme>> {
         Box::new(BlockScheme::new(v, h)),
         Box::new(PairedBlockScheme::new(v, h)),
         Box::new(DesignScheme::new(v)),
+        Box::new(QuorumScheme::new(v)),
     ];
     schemes.extend(TwoLevelBlock::new(v, h.clamp(1, 4), 2).rounds());
     let bd = BatchedDesign::new(v, h.clamp(1, 6));
@@ -82,6 +84,73 @@ proptest! {
     }
 
     #[test]
+    fn quorum_exactly_once_across_task_counts(v in 2u64..300) {
+        // The quorum scheme has one task per element, so sweeping `v`
+        // sweeps the task count; every unordered pair must be covered by
+        // exactly one of the `v` rotations.
+        let s = QuorumScheme::new(v);
+        prop_assert_eq!(s.num_tasks(), v);
+        prop_assert!(verify_exactly_once(&s).is_ok());
+        let m = measure(&s);
+        prop_assert_eq!(m.total_pairs, pair_count(v));
+        prop_assert!(m.max_working_set <= s.quorum_size());
+    }
+
+    #[test]
+    fn metrics_replication_matches_measured_memberships(v in 2u64..100, h in 1u64..12) {
+        // Each scheme's analytic `metrics()` replication rate equals the
+        // measured per-element emit count (working-set memberships / v):
+        // exact for broadcast, block, and quorum; an upper bound for the
+        // design (truncation drops emptied blocks, so some elements land
+        // in fewer than q+1 tasks).
+        let schemes: Vec<Box<dyn DistributionScheme>> = vec![
+            Box::new(BroadcastScheme::new(v, h)),
+            Box::new(BlockScheme::new(v, h)),
+            Box::new(DesignScheme::new(v)),
+            Box::new(QuorumScheme::new(v)),
+        ];
+        for s in &schemes {
+            let analytic = s.metrics(1).replication_factor;
+            let memberships: u64 = (0..s.num_tasks())
+                .map(|t| s.working_set(t).len() as u64)
+                .sum();
+            let measured = memberships as f64 / v as f64;
+            if s.name() == "design" {
+                prop_assert!(
+                    measured <= analytic + 1e-9,
+                    "{}: measured {measured} > analytic {analytic}", s.name()
+                );
+            } else {
+                prop_assert!(
+                    (measured - analytic).abs() < 1e-9,
+                    "{}: measured {measured} != analytic {analytic}", s.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn design_limit_curve_never_exceeds_exact_predicate(
+        s in 1u64..1_000_000, maxis in 1u64..1_000_000_000_000,
+    ) {
+        // Satellite regression: the continuous v^{3/2}·s ≤ maxis curve,
+        // floored to an integer limit, must itself satisfy the exact
+        // integer predicate (the old +1e-6 epsilon could overshoot by 1).
+        let lim = max_v_design(s as f64, maxis as f64);
+        prop_assert_eq!(lim, lim.floor());
+        if lim >= 1.0 {
+            prop_assert!(
+                design_curve_fits(lim as u64, s, maxis),
+                "limit {lim} violates v³s² ≤ maxis² for s={s}, maxis={maxis}"
+            );
+        }
+        prop_assert!(
+            !design_curve_fits(lim as u64 + 1, s, maxis),
+            "limit {lim} is not maximal for s={s}, maxis={maxis}"
+        );
+    }
+
+    #[test]
     fn block_replication_is_exactly_h(v in 2u64..100, h in 1u64..12) {
         let s = BlockScheme::new(v, h);
         let eff_h = s.blocking_factor();
@@ -123,6 +192,7 @@ proptest! {
             Box::new(BroadcastScheme::new(v, h + 1)),
             Box::new(BlockScheme::new(v, h)),
             Box::new(DesignScheme::new(v)),
+            Box::new(QuorumScheme::new(v)),
         ];
         for s in &schemes {
             let (out, stats) =
@@ -138,6 +208,7 @@ proptest! {
             Box::new(BroadcastScheme::new(v, h)),
             Box::new(BlockScheme::new(v, h)),
             Box::new(DesignScheme::new(v)),
+            Box::new(QuorumScheme::new(v)),
         ];
         for s in &schemes {
             for e in 0..v {
@@ -178,6 +249,7 @@ proptest! {
             Box::new(BlockScheme::new(v, h)),
             Box::new(PairedBlockScheme::new(v, h)),
             Box::new(DesignScheme::new(v)),
+            Box::new(QuorumScheme::new(v)),
         ];
         for s in &schemes {
             let mut seen: HashMap<(u64, u64), u64> = HashMap::new();
@@ -201,6 +273,7 @@ proptest! {
             Box::new(BroadcastScheme::new(v, h)),
             Box::new(BlockScheme::new(v, h)),
             Box::new(DesignScheme::new(v)),
+            Box::new(QuorumScheme::new(v)),
         ];
         for s in &schemes {
             for t in 0..s.num_tasks() {

@@ -97,6 +97,26 @@ pub fn isqrt(n: u64) -> u64 {
     r
 }
 
+/// Exact integer square root over `u128`: the largest `r` with `r² ≤ n`.
+///
+/// The feasibility analysis needs this for byte products above `2^53`,
+/// where `f64::sqrt` can no longer represent the operand exactly.
+pub fn isqrt128(n: u128) -> u128 {
+    if n < 2 {
+        return n;
+    }
+    // Newton's method from an over-estimate (`2^(⌊log₂ n⌋/2 + 1) ≥ √n`);
+    // with integer division the iterates decrease monotonically to ⌊√n⌋.
+    let mut x = 1u128 << (n.ilog2() / 2 + 1);
+    loop {
+        let y = (x + n / x) / 2;
+        if y >= x {
+            return x;
+        }
+        x = y;
+    }
+}
+
 /// Exact integer k-th root: the largest `r` with `r^k ≤ n`.
 pub fn ikroot(n: u64, k: u32) -> u64 {
     assert!(k >= 1);
@@ -263,6 +283,23 @@ mod tests {
             assert!(r * r <= n && (r + 1) * (r + 1) > n, "n={n} r={r}");
         }
         assert_eq!(isqrt(u64::MAX), 4_294_967_295);
+    }
+
+    #[test]
+    fn isqrt128_exact() {
+        for n in 0..5000u128 {
+            let r = isqrt128(n);
+            assert!(r * r <= n && (r + 1) * (r + 1) > n, "n={n} r={r}");
+        }
+        // Around perfect squares beyond f64's 2^53 exact-integer range.
+        for base in [(1u128 << 53) + 1, (1 << 64) - 1, (1 << 63) + 12345] {
+            for n in [base * base - 1, base * base, base * base + 1] {
+                let r = isqrt128(n);
+                assert!(r * r <= n, "n={n} r={r}");
+                assert!((r + 1).checked_mul(r + 1).is_none_or(|sq| sq > n), "n={n} r={r}");
+            }
+        }
+        assert_eq!(isqrt128(u128::MAX), (1 << 64) - 1);
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Difference covers and cyclic quorums (Kleinheksel–Somani, arXiv
+//! 1608.05174).
+//!
+//! A **difference cover** of `Z_v` is a set `A` whose ordered differences
+//! `a − b (mod v)` hit every residue. Its *development* — the `v` rotations
+//! `B_t = { (a + t) mod v : a ∈ A }` — is a **cyclic quorum system**: for
+//! every unordered pair `{x, y} ⊂ Z_v` some rotation contains both
+//! elements, which is exactly the all-pairs property the quorum
+//! distribution scheme in `pmr-core` exploits.
+//!
+//! Two constructions:
+//!
+//! * when `v = q² + q + 1` for a prime `q`, the [Singer](mod@crate::singer)
+//!   perfect difference set is an **optimal** cover of size `q + 1 ≈ √v`;
+//! * for general `v`, the classical two-block set
+//!   `{0, …, r−1} ∪ {r, 2r, …}` with `r = ⌈√v⌉` covers every residue with
+//!   `≈ 2√v` elements, and a greedy pruning pass removes the redundancy the
+//!   generic construction leaves (typically landing near `1.4√v`, within a
+//!   small constant of the `√v` counting lower bound `k(k−1) ≥ v−1`).
+
+use crate::primes::{is_prime, isqrt, plane_size};
+use crate::singer::singer_difference_set;
+
+/// True iff every nonzero residue mod `v` occurs among the ordered
+/// differences `a − b (mod v)` of distinct elements of `a`.
+///
+/// (`v = 1` has no nonzero residues, so any set — even the empty one — is
+/// trivially a cover.)
+pub fn is_difference_cover(a: &[u64], v: u64) -> bool {
+    if v <= 1 {
+        return true;
+    }
+    let mut seen = vec![false; v as usize];
+    for &x in a {
+        for &y in a {
+            if x != y {
+                seen[(((x + v) - y) % v) as usize] = true;
+            }
+        }
+    }
+    seen[1..].iter().all(|&c| c)
+}
+
+/// Builds a small difference cover of `Z_v`, sorted ascending.
+///
+/// Uses the optimal Singer set when `v = q² + q + 1` with `q` prime, the
+/// pruned `⌈√v⌉`-construction otherwise. The result always satisfies
+/// [`is_difference_cover`]; its size is the quorum size `k ≈ √v` of the
+/// cyclic quorum system it generates.
+pub fn difference_cover(v: u64) -> Vec<u64> {
+    assert!(v >= 1, "difference cover needs a nonempty cyclic group");
+    if v <= 2 {
+        return (0..v).collect();
+    }
+    let q = isqrt(v);
+    if plane_size(q) == v && is_prime(q) {
+        return singer_difference_set(q);
+    }
+
+    // Two-block construction: any d ∈ [1, v) is d = a·r + s with s < r, so
+    // d = (a+1)·r − (r − s) when s > 0 and d = a·r − 0 otherwise — both a
+    // difference of a multiple of r and a residue below r.
+    let r = isqrt(v - 1) + 1; // ⌈√v⌉
+    let mut cover: Vec<u64> = (0..r).collect();
+    let mut j = r;
+    while j < v + r {
+        cover.push(j % v);
+        j += r;
+    }
+    cover.sort_unstable();
+    cover.dedup();
+    debug_assert!(is_difference_cover(&cover, v), "v={v}: construction must cover");
+
+    // Greedy prune: drop any element whose removal keeps the property.
+    let mut i = 0;
+    while i < cover.len() && cover.len() > 1 {
+        let mut trial = cover.clone();
+        trial.remove(i);
+        if is_difference_cover(&trial, v) {
+            cover = trial; // retry the same index
+        } else {
+            i += 1;
+        }
+    }
+    cover
+}
+
+/// The quorum size `k = |difference_cover(v)|` without keeping the cover.
+pub fn difference_cover_size(v: u64) -> u64 {
+    difference_cover(v).len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_small_v_exhaustively() {
+        for v in 1..=200u64 {
+            let a = difference_cover(v);
+            assert!(is_difference_cover(&a, v), "v={v}: {a:?}");
+            assert!(a.windows(2).all(|w| w[0] < w[1]), "v={v}: not sorted/dedup: {a:?}");
+            assert!(a.iter().all(|&x| x < v), "v={v}: out of range: {a:?}");
+        }
+    }
+
+    #[test]
+    fn singer_route_is_optimal_for_plane_sizes() {
+        // v = q² + q + 1, q prime ⇒ perfect difference set of size q + 1.
+        for (v, k) in [(7u64, 3u64), (13, 4), (31, 6), (57, 8), (133, 12)] {
+            assert_eq!(difference_cover(v).len() as u64, k, "v={v}");
+        }
+    }
+
+    #[test]
+    fn size_stays_near_sqrt_v() {
+        for v in [10u64, 50, 100, 500, 1000, 2048, 5000] {
+            let k = difference_cover(v).len() as u64;
+            // Counting lower bound: k(k−1) ordered differences must cover
+            // the v−1 nonzero residues.
+            assert!(k * (k - 1) >= v - 1, "v={v} k={k} below counting bound");
+            let sqrt_v = (v as f64).sqrt();
+            assert!((k as f64) <= 2.0 * sqrt_v + 2.0, "v={v} k={k} vs √v={sqrt_v}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_covers() {
+        assert!(!is_difference_cover(&[0, 1, 2], 7)); // covers ±1, ±2; misses 3, 4
+        assert!(!is_difference_cover(&[0], 2));
+        assert!(is_difference_cover(&[0, 1, 3], 7)); // the Fano set
+        assert!(is_difference_cover(&[], 1)); // trivially
+    }
+
+    #[test]
+    fn tiny_groups() {
+        assert_eq!(difference_cover(1), vec![0]);
+        assert_eq!(difference_cover(2), vec![0, 1]);
+        let a3 = difference_cover(3);
+        assert_eq!(a3.len(), 2, "{a3:?}");
+    }
+}

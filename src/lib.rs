@@ -8,10 +8,11 @@
 //! This umbrella crate re-exports the workspace:
 //!
 //! * [`core`] (`pmr-core`) — distribution schemes (broadcast / block /
-//!   design), execution backends (sequential, local threads, MapReduce),
-//!   the paper's analytic models, and the §7 hierarchical extensions;
+//!   design / cyclic-quorum), execution backends (sequential, local
+//!   threads, MapReduce), the paper's analytic models, and the §7
+//!   hierarchical extensions;
 //! * [`designs`] (`pmr-designs`) — finite fields, projective planes,
-//!   `(v, k, 1)`-designs;
+//!   `(v, k, 1)`-designs, difference covers of `Z_v`;
 //! * [`cluster`] (`pmr-cluster`) — the simulated shared-nothing cluster;
 //! * [`mapreduce`] (`pmr-mapreduce`) — the MapReduce framework;
 //! * [`apps`] (`pmr-apps`) — DBSCAN, document similarity (incl. the
@@ -58,6 +59,7 @@ pub mod prelude {
     };
     pub use pmr_core::scheme::{
         BlockScheme, BroadcastScheme, DesignScheme, DistributionScheme, PairedBlockScheme,
+        QuorumScheme,
     };
     pub use pmr_obs::{RunReport, Telemetry};
 }

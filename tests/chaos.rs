@@ -20,6 +20,7 @@ fn schemes(v: u64) -> Vec<(&'static str, Arc<dyn DistributionScheme>)> {
         ("broadcast", Arc::new(BroadcastScheme::new(v, 6))),
         ("block", Arc::new(BlockScheme::new(v, 5))),
         ("design", Arc::new(DesignScheme::new(v))),
+        ("quorum", Arc::new(QuorumScheme::new(v))),
     ]
 }
 
@@ -64,6 +65,43 @@ fn every_scheme_survives_node_crashes_with_identical_output() {
                 chaotic.report.events.iter().any(|e| e.kind == "node.crash"),
                 "{name}/seed {chaos_seed}: node.crash event missing from the report"
             );
+        }
+    }
+}
+
+#[test]
+fn quorum_matches_the_broadcast_reference_everywhere() {
+    // Acceptance: the quorum scheme is bit-identical to a broadcast-scheme
+    // reference across backend × fused × chaos-seed combinations — a
+    // completely different task decomposition must not change one bit of
+    // the aggregated result.
+    let v = 40u64;
+    let data = payloads(v);
+    let reference = PairwiseJob::new(&data, comp())
+        .scheme(BroadcastScheme::new(v, 6))
+        .backend(Backend::Sequential)
+        .run()
+        .unwrap();
+
+    let check = |label: &str, run: PairwiseRun<u64>| {
+        assert_eq!(run.output, reference.output, "{label}: output differs from broadcast");
+        assert_eq!(run.evaluations(), v * (v - 1) / 2, "{label}: not exactly-once");
+    };
+
+    let job = || PairwiseJob::new(&data, comp()).scheme(QuorumScheme::new(v));
+    check("sequential", job().backend(Backend::Sequential).run().unwrap());
+    check("local", job().backend(Backend::Local { threads: 4 }).run().unwrap());
+    for fuse in [true, false] {
+        let cluster = Cluster::new(ClusterConfig::with_nodes(4));
+        check(
+            &format!("mr/fuse={fuse}"),
+            job().backend(Backend::Mr(&cluster)).fuse(fuse).run().unwrap(),
+        );
+        for chaos_seed in [5u64, 23, 1009] {
+            let cluster = Cluster::new(ClusterConfig::with_nodes(4).chaos(1, chaos_seed));
+            let run = job().backend(Backend::Mr(&cluster)).fuse(fuse).run().unwrap();
+            assert_eq!(cluster.node_crashes(), 1, "fuse={fuse}/seed {chaos_seed}");
+            check(&format!("mr/fuse={fuse}/chaos={chaos_seed}"), run);
         }
     }
 }

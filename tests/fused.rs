@@ -22,6 +22,7 @@ fn schemes(v: u64) -> Vec<(&'static str, Arc<dyn DistributionScheme>)> {
         ("broadcast", Arc::new(BroadcastScheme::new(v, 6))),
         ("block", Arc::new(BlockScheme::new(v, 5))),
         ("design", Arc::new(DesignScheme::new(v))),
+        ("quorum", Arc::new(QuorumScheme::new(v))),
     ]
 }
 

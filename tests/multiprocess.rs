@@ -56,6 +56,7 @@ fn output_and_charged_counters_identical_across_transports() {
         Arc::new(PairedBlockScheme::new(v, 4)),
         Arc::new(BroadcastScheme::new(v, 6)),
         Arc::new(DesignScheme::new(v)),
+        Arc::new(QuorumScheme::new(v)),
     ];
     for fuse in [true, false] {
         for scheme in &schemes {
