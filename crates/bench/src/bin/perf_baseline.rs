@@ -7,6 +7,7 @@
 //! cargo run --release -p pmr-bench --bin perf_baseline -- --record <label>
 //! cargo run --release -p pmr-bench --bin perf_baseline -- --record-mp
 //! cargo run --release -p pmr-bench --bin perf_baseline -- --record-quorum
+//! cargo run --release -p pmr-bench --bin perf_baseline -- --record-trace-overhead
 //! cargo run --release -p pmr-bench --bin perf_baseline -- --smoke # CI fast mode
 //! ```
 //!
@@ -28,7 +29,7 @@ use pmr_apps::distance::euclidean_comp;
 use pmr_apps::generate::{gene_expression, zipf_documents};
 use pmr_apps::kernels::{DenseSqDistKernel, SparseDotKernel};
 use pmr_apps::{DenseVector, SparseVector};
-use pmr_cluster::{Cluster, ClusterConfig, SocketMode, TransportKind};
+use pmr_cluster::{Cluster, ClusterConfig, SocketMode, Telemetry, TransportKind};
 use pmr_core::runner::local::{run_local, run_local_kernel};
 use pmr_core::runner::{
     aggregate_all, comp_fn, Aggregator, Backend, BatchComp, CompFn, ConcatSort, FnAggregator,
@@ -236,6 +237,62 @@ fn measure_multiprocess(smoke: bool) -> MpResult {
     MpResult { pairs_per_sec: pairs as f64 / best, wire_mb_per_sec: wire_mb / best, wire_mb }
 }
 
+/// Tracing-on vs tracing-off multiprocess throughput. The distributed
+/// trace rings (worker-side frame spans + heartbeats + the shutdown
+/// drain/merge) are supposed to cost < 3% end-to-end.
+struct TraceOverhead {
+    untraced_pairs_per_sec: f64,
+    traced_pairs_per_sec: f64,
+}
+
+impl TraceOverhead {
+    fn overhead_pct(&self) -> f64 {
+        100.0 * (1.0 - self.traced_pairs_per_sec / self.untraced_pairs_per_sec)
+    }
+}
+
+/// Runs the dense workload over real worker processes twice per
+/// iteration — tracing disabled, then fully traced (worker rings +
+/// clock-offset pings + drain/merge) — and compares best-iteration
+/// throughput. The traced run must still drain events from every worker,
+/// so the comparison covers the whole telemetry path, not just the arm
+/// flag.
+fn measure_trace_overhead(smoke: bool) -> TraceOverhead {
+    let (v, workers, iters) = if smoke { (128usize, 2, 1) } else { (512, 4, 3) };
+    let data = gene_expression(v, 64, 8, 0.3, 42);
+    let pairs = (v as u64) * (v as u64 - 1) / 2;
+    let mut best = [f64::INFINITY; 2]; // [untraced, traced]
+    for _ in 0..iters {
+        for (slot, traced) in [(0usize, false), (1, true)] {
+            let telemetry = if traced { Telemetry::enabled() } else { Telemetry::disabled() };
+            let cluster = Cluster::try_new(
+                ClusterConfig::with_nodes(workers)
+                    .transport(TransportKind::Process { socket: SocketMode::Uds }),
+            )
+            .expect("spawn pmr-worker processes")
+            .with_telemetry(telemetry.clone());
+            let start = Instant::now();
+            let run = PairwiseJob::new(&data, euclidean_comp())
+                .scheme(BlockScheme::new(v as u64, 8))
+                .backend(Backend::Mr(&cluster))
+                .telemetry(telemetry.clone())
+                .run()
+                .expect("multiprocess pairwise run");
+            best[slot] = best[slot].min(start.elapsed().as_secs_f64());
+            if traced {
+                assert!(
+                    !run.report.trace.is_empty(),
+                    "traced run must actually merge worker events"
+                );
+            }
+        }
+    }
+    TraceOverhead {
+        untraced_pairs_per_sec: pairs as f64 / best[0],
+        traced_pairs_per_sec: pairs as f64 / best[1],
+    }
+}
+
 /// Locates the repo root by walking up from CWD until `BENCH_FILE`'s
 /// directory (the one holding `Cargo.toml` with a `[workspace]`) is found.
 fn repo_root() -> std::path::PathBuf {
@@ -403,6 +460,30 @@ fn main() {
     if args.iter().any(|a| a == "--record-mp") {
         assert!(!smoke, "--record-mp needs the full workload, not --smoke");
         record_multiprocess(&mp);
+    }
+    let overhead = measure_trace_overhead(smoke);
+    println!(
+        "trace overhead (multiproc, {} workers): {:>12.0} pairs/s untraced, {:>12.0} pairs/s \
+         traced ({:+.2}% overhead, target < 3%)",
+        if smoke { 2 } else { 4 },
+        overhead.untraced_pairs_per_sec,
+        overhead.traced_pairs_per_sec,
+        overhead.overhead_pct()
+    );
+
+    if args.iter().any(|a| a == "--record-trace-overhead") {
+        assert!(!smoke, "--record-trace-overhead needs the full workload, not --smoke");
+        record_entry(
+            "distributed-trace-overhead",
+            format!(
+                "    {{ \"label\": \"distributed-trace-overhead\", \
+                 \"pairs_per_sec_untraced\": {:.0}, \"pairs_per_sec_traced\": {:.0}, \
+                 \"overhead_pct\": {:.2} }}",
+                overhead.untraced_pairs_per_sec,
+                overhead.traced_pairs_per_sec,
+                overhead.overhead_pct()
+            ),
+        );
     }
     if args.iter().any(|a| a == "--record-quorum") {
         assert!(!smoke, "--record-quorum needs the full workload, not --smoke");

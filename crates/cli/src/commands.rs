@@ -46,6 +46,9 @@ COMMANDS
                                   skipping the aggregation job (local/mr/process)  [on]
               --output FILE       TSV results  [stdout]
               --report FILE       write the run report as JSON
+              --live DEST         emit live JSONL progress records while the
+                                  run is in flight; DEST is a file path, or
+                                  '-' / 'stderr' for standard error
   generate  write a synthetic CSV dataset
               --kind NAME         clusters | genes | matrix  [clusters]
               --n N --dim D       size/shape  [200, 3]
@@ -66,6 +69,9 @@ COMMANDS
               export FILE --chrome OUT
                                   write a Chrome-trace JSON (chrome://tracing)
               diff A B            compare critical paths of two runs
+              follow FILE         tail a --live JSONL file, printing progress
+                                  until the run's done marker
+              --timeout SECS      give up if no done marker arrives (follow)  [60]
   help      this text
 ";
 
@@ -126,6 +132,44 @@ fn cluster_config_from_args(
     Ok(config)
 }
 
+/// Starts the `--live` JSONL reporter when requested. `"-"` and
+/// `"stderr"` stream to standard error; anything else is a file path.
+/// The returned monitor stops (writing its `done` record) on drop, so
+/// callers bind it for the duration of the run.
+fn start_live_monitor(
+    dest: Option<&str>,
+    telemetry: &Telemetry,
+    probe: Option<pmr_obs::TransportProbe>,
+) -> Result<Option<pmr_obs::LiveMonitor>, Box<dyn std::error::Error>> {
+    let Some(dest) = dest else { return Ok(None) };
+    let sink = match dest {
+        "-" | "stderr" => pmr_obs::LiveSink::Stderr,
+        path => pmr_obs::LiveSink::File(path.into()),
+    };
+    let monitor =
+        pmr_obs::LiveMonitor::start(telemetry, sink, std::time::Duration::from_millis(200), probe)
+            .map_err(|e| ArgError(format!("cannot start live monitor: {e}")))?;
+    Ok(Some(monitor))
+}
+
+/// Builds the live monitor's transport probe over a cluster: wire bytes
+/// per class plus worker liveness, sampled once per reporting interval.
+fn transport_probe(cluster: &Cluster) -> pmr_obs::TransportProbe {
+    let transport = std::sync::Arc::clone(cluster.transport());
+    Box::new(move || {
+        let snap = transport.wire_snapshot();
+        pmr_obs::LiveTransportSample {
+            frames: snap.frames,
+            classes: snap.series(),
+            workers: transport
+                .workers()
+                .iter()
+                .map(|w| pmr_obs::LiveWorker { node: w.node.0, alive: w.alive })
+                .collect(),
+        }
+    })
+}
+
 fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     args.no_positionals()?;
     args.check_known(&[
@@ -146,6 +190,7 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "fuse",
         "output",
         "report",
+        "live",
     ])?;
     let input = args.required("input")?;
     let data = read_vectors(BufReader::new(File::open(input)?)).map_err(ArgError)?;
@@ -167,9 +212,14 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let threads = args.num_or("threads", 4usize)?;
     let nodes = args.num_or("nodes", 4usize)?;
     let report_path = args.optional("report");
-    // Telemetry costs nothing when no report is requested.
-    let telemetry =
-        if report_path.is_some() { Telemetry::enabled() } else { Telemetry::disabled() };
+    let live_dest = args.optional("live");
+    // Telemetry costs nothing when neither a report nor live monitoring
+    // is requested.
+    let telemetry = if report_path.is_some() || live_dest.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
 
     let mut job = PairwiseJob::new(&data, comp).scheme_arc(scheme).telemetry(telemetry.clone());
     match args.optional("fuse") {
@@ -207,11 +257,19 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     gate("fuse", &["local", "mr", "process"])?;
     let cluster; // owns the cluster for the 'mr' / 'process' backends
     let run = match backend {
-        "sequential" => job.run()?,
-        "local" => job.backend(Backend::Local { threads }).run()?,
+        "sequential" => {
+            let _monitor = start_live_monitor(live_dest, &telemetry, None)?;
+            job.run()?
+        }
+        "local" => {
+            let _monitor = start_live_monitor(live_dest, &telemetry, None)?;
+            job.backend(Backend::Local { threads }).run()?
+        }
         "mr" => {
             cluster = Cluster::new(cluster_config_from_args(args, nodes)?)
                 .with_telemetry(telemetry.clone());
+            let _monitor =
+                start_live_monitor(live_dest, &telemetry, Some(transport_probe(&cluster)))?;
             job.backend(Backend::Mr(&cluster)).run()?
         }
         "process" => {
@@ -230,6 +288,8 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             cluster = Cluster::try_new(config)
                 .map_err(|e| ArgError(format!("cannot start worker processes: {e}")))?
                 .with_telemetry(telemetry.clone());
+            let _monitor =
+                start_live_monitor(live_dest, &telemetry, Some(transport_probe(&cluster)))?;
             job.backend(Backend::Mr(&cluster)).run()?
         }
         other => {
@@ -428,8 +488,67 @@ fn load_report(path: &str) -> Result<RunReport, Box<dyn std::error::Error>> {
     Ok(report)
 }
 
+/// Tails a `--live` JSONL file, printing one progress line per record
+/// until the `"done": true` marker. Malformed lines are an error; a
+/// missing done marker within `timeout` is an error (the run stalled or
+/// the file is not a live stream).
+fn follow_live(path: &str, timeout: std::time::Duration) -> Result<(), Box<dyn std::error::Error>> {
+    let started = std::time::Instant::now();
+    let mut seen = 0usize;
+    loop {
+        let text = std::fs::read_to_string(path).unwrap_or_default();
+        let complete = text.ends_with('\n');
+        let lines: Vec<&str> = text.lines().collect();
+        let ready = if complete { lines.len() } else { lines.len().saturating_sub(1) };
+        for line in &lines[seen.min(ready)..ready] {
+            let v = pmr_obs::JsonValue::parse(line)
+                .map_err(|e| ArgError(format!("malformed live record: {e} in {line:?}")))?;
+            if v.str_or_empty("schema") != pmr_obs::live::LIVE_SCHEMA {
+                return Err(Box::new(ArgError(format!(
+                    "not a live stream: unexpected schema {:?}",
+                    v.str_or_empty("schema")
+                ))));
+            }
+            let done = v.get("done").and_then(pmr_obs::JsonValue::as_bool).unwrap_or(false);
+            let workers = v.get("workers").and_then(pmr_obs::JsonValue::as_array);
+            let liveness = workers
+                .map(|ws| {
+                    let alive = ws
+                        .iter()
+                        .filter(|w| {
+                            w.get("alive").and_then(pmr_obs::JsonValue::as_bool) == Some(true)
+                        })
+                        .count();
+                    format!("  workers {alive}/{} alive", ws.len())
+                })
+                .unwrap_or_default();
+            println!(
+                "[{:>6.2}s] tasks {:>5}  pairs {:>9}  {:>10.0} pairs/s  trace events {:>6}{}{}",
+                v.u64_or_zero("t_us") as f64 / 1e6,
+                v.u64_or_zero("tasks"),
+                v.u64_or_zero("evaluations"),
+                v.get("pairs_per_s").and_then(pmr_obs::JsonValue::as_f64).unwrap_or(0.0),
+                v.u64_or_zero("trace_events"),
+                liveness,
+                if done { "  [done]" } else { "" },
+            );
+            if done {
+                return Ok(());
+            }
+        }
+        seen = ready;
+        if started.elapsed() > timeout {
+            return Err(Box::new(ArgError(format!(
+                "no done marker in '{path}' after {}s — run still in flight or stream truncated",
+                timeout.as_secs()
+            ))));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+}
+
 fn trace(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    let action = args.required_positional(0, "analyze | export | diff")?;
+    let action = args.required_positional(0, "analyze | export | diff | follow")?;
     match action {
         "analyze" => {
             args.max_positionals(2)?;
@@ -469,9 +588,16 @@ fn trace(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             writeln!(out, "{}", row("  wait", d.attribution_a.3, d.attribution_b.3))?;
             writeln!(out, "longer critical path: {}", d.longer_critical_path)?;
         }
+        "follow" => {
+            args.max_positionals(2)?;
+            args.check_known(&["timeout"])?;
+            let path = args.required_positional(1, "live.jsonl")?;
+            let timeout_s: u64 = args.num_or("timeout", 60u64)?;
+            follow_live(path, std::time::Duration::from_secs(timeout_s))?;
+        }
         other => {
             return Err(Box::new(ArgError(format!(
-                "unknown trace action '{other}' (analyze | export | diff)"
+                "unknown trace action '{other}' (analyze | export | diff | follow)"
             ))))
         }
     }
@@ -718,9 +844,44 @@ mod tests {
             )))
             .unwrap();
             let json = std::fs::read_to_string(&json_path).unwrap();
-            assert!(json.contains("\"schema\": \"pmr.run_report/6\""), "{backend}");
+            assert!(json.contains("\"schema\": \"pmr.run_report/7\""), "{backend}");
             assert!(json.contains(&format!("\"backend\": \"{backend}\"")), "{backend}");
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn live_monitor_writes_jsonl_and_follow_replays_it() {
+        let dir = std::env::temp_dir().join(format!("pmr-cli-live-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("pts.csv");
+        let live = dir.join("live.jsonl");
+        dispatch(&args(&format!(
+            "generate --kind clusters --n 30 --dim 2 --output {}",
+            csv.display()
+        )))
+        .unwrap();
+        dispatch(&args(&format!(
+            "run --input {} --scheme block --h 4 --backend mr --nodes 3 --live {} --output {}",
+            csv.display(),
+            live.display(),
+            dir.join("out.tsv").display()
+        )))
+        .unwrap();
+        let text = std::fs::read_to_string(&live).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(!lines.is_empty());
+        for line in &lines {
+            let v = pmr_obs::JsonValue::parse(line).expect("each live record is valid JSON");
+            assert_eq!(v.str_or_empty("schema"), pmr_obs::live::LIVE_SCHEMA);
+        }
+        let last = pmr_obs::JsonValue::parse(lines.last().unwrap()).unwrap();
+        assert_eq!(last.get("done").and_then(pmr_obs::JsonValue::as_bool), Some(true));
+        // follow terminates on the done marker and rejects non-live files.
+        dispatch(&args(&format!("trace follow {}", live.display()))).unwrap();
+        let bogus = dir.join("bogus.jsonl");
+        std::fs::write(&bogus, "{\"schema\": \"other/1\"}\n").unwrap();
+        assert!(dispatch(&args(&format!("trace follow {} --timeout 1", bogus.display()))).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -150,12 +150,23 @@ impl Cluster {
     /// Attaches a telemetry handle (builder-style, before the cluster is
     /// shared): the DFS emits placement events and the traffic accountant
     /// emits transfer events into it, and the engine picks it up from
-    /// here for task spans and job phases.
+    /// here for task spans and job phases. On a distributed transport
+    /// with telemetry enabled this also switches worker-side tracing on
+    /// and estimates each worker's clock offset.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Cluster {
         self.traffic.set_telemetry(telemetry.clone());
         self.dfs.set_telemetry(telemetry.clone());
+        self.transport.set_telemetry(&telemetry);
         self.telemetry = telemetry;
         self
+    }
+
+    /// Drains every live worker's trace ring into the telemetry sink,
+    /// rebasing worker timestamps onto the coordinator's epoch; dead
+    /// workers get a one-time `worker.lost` mark. A no-op in-process or
+    /// when telemetry is disabled.
+    pub fn drain_worker_traces(&self) {
+        self.transport.drain_traces();
     }
 
     /// The telemetry handle events are recorded into (disabled unless

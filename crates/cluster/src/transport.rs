@@ -31,19 +31,20 @@
 //! one-byte status (`0` ok, `1` missing), then the result. Frames above
 //! [`MAX_FRAME_LEN`] are rejected without allocating.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::{BufMut, Bytes, BytesMut};
 use parking_lot::Mutex;
+use pmr_obs::{trace, Telemetry, TraceEvent};
 
 use crate::codec::{Wire, MAX_ITEM_LEN};
 use crate::config::SocketMode;
@@ -123,6 +124,33 @@ fn classify(name: &str, is_get: bool) -> WireClass {
         }
     } else {
         WireClass::Other
+    }
+}
+
+/// Single-byte encoding of a [`WireClass`] for worker trace frames.
+fn class_code(class: WireClass) -> u8 {
+    match class {
+        WireClass::Dfs => 0,
+        WireClass::Seed => 1,
+        WireClass::Cache => 2,
+        WireClass::Spill => 3,
+        WireClass::MapOutput => 4,
+        WireClass::Shuffle => 5,
+        WireClass::Other => 6,
+    }
+}
+
+/// Class name for a worker-reported class code, matching the keys of
+/// [`WireSnapshot::series`]. Unknown codes collapse to `"other"`.
+fn class_name(code: u8) -> &'static str {
+    match code {
+        0 => "dfs",
+        1 => "seed",
+        2 => "cache",
+        3 => "spill",
+        4 => "map_output",
+        5 => "shuffle",
+        _ => "other",
     }
 }
 
@@ -249,6 +277,13 @@ pub struct WorkerInfo {
     pub pid: u32,
     /// Whether the process is still running.
     pub alive: bool,
+    /// Estimated clock offset (worker clock minus coordinator telemetry
+    /// clock) in µs; `0` when the worker was never traced.
+    pub offset_us: i64,
+    /// Worker-side trace events drained into the merged trace so far.
+    pub trace_events: u64,
+    /// Events the worker's bounded ring evicted before they were drained.
+    pub trace_dropped: u64,
 }
 
 /// Supplies the per-node [`NodeStore`]s and the physical-wire accounting.
@@ -265,6 +300,17 @@ pub trait Transport: Send + Sync {
     fn wire_snapshot(&self) -> WireSnapshot;
     /// The worker process table (empty in-process).
     fn workers(&self) -> Vec<WorkerInfo>;
+    /// Attaches the coordinator's telemetry handle. On a distributed
+    /// transport with telemetry enabled this switches the worker trace
+    /// rings on and estimates each worker's clock offset via a PING
+    /// exchange; otherwise a no-op (the default).
+    fn set_telemetry(&self, _telemetry: &Telemetry) {}
+    /// Drains every live worker's trace ring into the attached telemetry
+    /// sink, rebasing worker timestamps onto the coordinator's epoch.
+    /// Unreachable (e.g. SIGKILL'd) workers are marked with a one-time
+    /// `worker.lost` event at their last sign of life. No-op by default
+    /// and whenever no enabled telemetry was attached.
+    fn drain_traces(&self) {}
 }
 
 // ---------------------------------------------------------------------------
@@ -381,6 +427,14 @@ mod op {
     pub const REMOVE: u8 = 4;
     pub const REMOVE_PREFIX: u8 = 5;
     pub const SHUTDOWN: u8 = 6;
+    /// Clock probe: replies `OK` + the worker's clock (µs since its own
+    /// epoch). Used by the coordinator's offset estimator.
+    pub const PING: u8 = 7;
+    /// Enables (operand `1`) or disables (`0`) the worker's trace ring.
+    pub const TRACE_CTL: u8 = 8;
+    /// Drains the worker's trace ring: replies `OK` + a
+    /// [`super::WorkerTraceReport`], then clears the ring.
+    pub const TRACE_DRAIN: u8 = 9;
 }
 
 mod status {
@@ -457,6 +511,196 @@ impl Write for Conn {
 }
 
 // ---------------------------------------------------------------------------
+// Worker-side tracing
+// ---------------------------------------------------------------------------
+
+/// Upper bound on events a worker retains between drains. The ring is
+/// bounded: under backpressure the oldest events are evicted and counted
+/// in [`WorkerTraceReport::dropped`], never blocking the serve loop.
+const WORKER_RING_CAPACITY: usize = 1 << 15;
+
+/// How often a tracing worker stamps a heartbeat event into its ring.
+const HEARTBEAT_INTERVAL_US: u64 = 50_000;
+
+/// Rounds of the PING exchange behind the clock-offset estimator; the
+/// round with the smallest RTT wins (NTP-style minimum filter).
+const PING_ROUNDS: usize = 8;
+
+/// One frame-level span recorded inside a worker process. Timestamps are
+/// µs on the *worker's* clock (its process-start epoch); the coordinator
+/// rebases them onto its telemetry epoch using the PING-estimated offset
+/// before merging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerTraceEvent {
+    /// Frame opcode handled (`op::PUT` …), or `0` for a heartbeat.
+    pub opcode: u8,
+    /// Traffic-class code (see `class_code`); meaningless for heartbeats.
+    pub class: u8,
+    /// Start of handling, µs since the worker's epoch.
+    pub at_us: u64,
+    /// Handling duration in µs (decode + store op + response encode).
+    pub dur_us: u64,
+    /// Payload bytes: data written on PUT, data returned on GET, else 0.
+    pub bytes: u64,
+    /// Heartbeat stats (`ops=… bytes=…`), empty for op spans.
+    pub detail: String,
+}
+
+impl Wire for WorkerTraceEvent {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.opcode.encode(buf);
+        self.class.encode(buf);
+        self.at_us.encode(buf);
+        self.dur_us.encode(buf);
+        self.bytes.encode(buf);
+        self.detail.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> crate::codec::DecodeResult<Self> {
+        Ok(WorkerTraceEvent {
+            opcode: u8::decode(buf)?,
+            class: u8::decode(buf)?,
+            at_us: u64::decode(buf)?,
+            dur_us: u64::decode(buf)?,
+            bytes: u64::decode(buf)?,
+            detail: String::decode(buf)?,
+        })
+    }
+}
+
+/// Converts one drained worker event — already rebased to `at_us` on the
+/// coordinator's telemetry axis — into a merged-trace event on that
+/// node's process lane.
+fn worker_trace_event(node: u32, at_us: u64, ev: &WorkerTraceEvent) -> TraceEvent {
+    let kind = match ev.opcode {
+        op::PUT => trace::kind::WORKER_PUT,
+        op::GET => trace::kind::WORKER_GET,
+        op::REMOVE => trace::kind::WORKER_REMOVE,
+        op::REMOVE_PREFIX => trace::kind::WORKER_REMOVE_PREFIX,
+        _ => trace::kind::WORKER_HEARTBEAT,
+    };
+    TraceEvent {
+        at_us,
+        kind,
+        node,
+        phase: if ev.opcode == 0 { String::new() } else { class_name(ev.class).to_string() },
+        bytes: ev.bytes,
+        dur_us: ev.dur_us,
+        detail: ev.detail.clone(),
+        ..TraceEvent::default()
+    }
+}
+
+/// Payload of a `TRACE_DRAIN` response: the ring contents in recording
+/// order plus the eviction count since the previous drain.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WorkerTraceReport {
+    /// Events evicted from the bounded ring since the last drain.
+    pub dropped: u64,
+    /// Retained events, oldest first.
+    pub events: Vec<WorkerTraceEvent>,
+}
+
+impl Wire for WorkerTraceReport {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.dropped.encode(buf);
+        self.events.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> crate::codec::DecodeResult<Self> {
+        Ok(WorkerTraceReport { dropped: u64::decode(buf)?, events: Vec::decode(buf)? })
+    }
+}
+
+/// The worker process's trace state: a bounded ring plus heartbeat
+/// bookkeeping. Disabled until the coordinator sends `TRACE_CTL 1`, and
+/// the serve loop takes no timestamps while disabled — an untraced worker
+/// does no extra work per frame.
+struct WorkerTrace {
+    enabled: bool,
+    epoch: Instant,
+    ring: VecDeque<WorkerTraceEvent>,
+    dropped: u64,
+    last_heartbeat_us: u64,
+    ops: u64,
+    payload_bytes: u64,
+}
+
+impl WorkerTrace {
+    fn new() -> Self {
+        WorkerTrace {
+            enabled: false,
+            epoch: Instant::now(),
+            ring: VecDeque::new(),
+            dropped: 0,
+            last_heartbeat_us: 0,
+            ops: 0,
+            payload_bytes: 0,
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn push(&mut self, ev: WorkerTraceEvent) {
+        if self.ring.len() >= WORKER_RING_CAPACITY {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(ev);
+    }
+
+    /// Records one handled data frame and, when due, a heartbeat after it.
+    fn record(&mut self, opcode: u8, class: WireClass, at_us: u64, bytes: u64) {
+        let now = self.now_us();
+        self.ops += 1;
+        self.payload_bytes += bytes;
+        self.push(WorkerTraceEvent {
+            opcode,
+            class: class_code(class),
+            at_us,
+            dur_us: now.saturating_sub(at_us),
+            bytes,
+            detail: String::new(),
+        });
+        if now.saturating_sub(self.last_heartbeat_us) >= HEARTBEAT_INTERVAL_US {
+            self.last_heartbeat_us = now;
+            let detail = format!("ops={} bytes={}", self.ops, self.payload_bytes);
+            self.push(WorkerTraceEvent {
+                opcode: 0,
+                class: class_code(WireClass::Other),
+                at_us: now,
+                dur_us: 0,
+                bytes: 0,
+                detail,
+            });
+        }
+    }
+
+    /// Hands the ring over, closing it with one final heartbeat so every
+    /// drained batch carries the worker's cumulative frame stats (and a
+    /// later crash always has a "last heartbeat" to anchor against).
+    fn drain(&mut self) -> WorkerTraceReport {
+        let now = self.now_us();
+        self.last_heartbeat_us = now;
+        let detail = format!("ops={} bytes={}", self.ops, self.payload_bytes);
+        self.push(WorkerTraceEvent {
+            opcode: 0,
+            class: class_code(WireClass::Other),
+            at_us: now,
+            dur_us: 0,
+            bytes: 0,
+            detail,
+        });
+        WorkerTraceReport {
+            dropped: std::mem::take(&mut self.dropped),
+            events: std::mem::take(&mut self.ring).into(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Worker side
 // ---------------------------------------------------------------------------
 
@@ -487,6 +731,7 @@ pub fn run_worker(addr: &str, node: u64, mode: SocketMode) -> io::Result<()> {
     write_frame(&mut conn, &hello)?;
 
     let mut files: HashMap<String, Bytes> = HashMap::new();
+    let mut trace = WorkerTrace::new();
     loop {
         let mut req = match read_frame(&mut conn) {
             Ok(frame) => frame,
@@ -495,33 +740,72 @@ pub fn run_worker(addr: &str, node: u64, mode: SocketMode) -> io::Result<()> {
             Err(e) => return Err(e),
         };
         let opcode = u8::decode(&mut req).map_err(|e| proto_err(&e.to_string()))?;
+        // Timestamp only when tracing: an untraced worker does not touch
+        // the clock per frame (the zero-overhead guarantee).
+        let at_us = if trace.enabled { trace.now_us() } else { 0 };
         let mut resp = BytesMut::new();
         match opcode {
             op::PUT => {
                 let name = String::decode(&mut req).map_err(|e| proto_err(&e.to_string()))?;
                 let data = Bytes::decode(&mut req).map_err(|e| proto_err(&e.to_string()))?;
+                let bytes = data.len() as u64;
+                let class = classify(&name, false);
                 files.insert(name, data);
                 resp.put_u8(status::OK);
+                if trace.enabled {
+                    trace.record(op::PUT, class, at_us, bytes);
+                }
             }
             op::GET => {
                 let name = String::decode(&mut req).map_err(|e| proto_err(&e.to_string()))?;
+                let mut bytes = 0u64;
                 match files.get(&name) {
                     Some(data) => {
+                        bytes = data.len() as u64;
                         resp.put_u8(status::OK);
                         data.encode(&mut resp);
                     }
                     None => resp.put_u8(status::MISSING),
+                }
+                if trace.enabled {
+                    trace.record(op::GET, classify(&name, true), at_us, bytes);
                 }
             }
             op::REMOVE => {
                 let name = String::decode(&mut req).map_err(|e| proto_err(&e.to_string()))?;
                 files.remove(&name);
                 resp.put_u8(status::OK);
+                if trace.enabled {
+                    trace.record(op::REMOVE, classify(&name, false), at_us, 0);
+                }
             }
             op::REMOVE_PREFIX => {
                 let prefix = String::decode(&mut req).map_err(|e| proto_err(&e.to_string()))?;
                 files.retain(|name, _| !name.starts_with(&prefix));
                 resp.put_u8(status::OK);
+                if trace.enabled {
+                    trace.record(op::REMOVE_PREFIX, WireClass::Other, at_us, 0);
+                }
+            }
+            // Control frames are never recorded in the ring and never
+            // counted in a wire class: the byte-parity invariant (wire ==
+            // moved) and the per-class sums must not see the trace plane.
+            op::PING => {
+                resp.put_u8(status::OK);
+                trace.now_us().encode(&mut resp);
+            }
+            op::TRACE_CTL => {
+                let on = u8::decode(&mut req).map_err(|e| proto_err(&e.to_string()))?;
+                trace.enabled = on != 0;
+                if trace.enabled {
+                    // Heartbeats count from the enable point.
+                    trace.last_heartbeat_us = trace.now_us();
+                }
+                resp.put_u8(status::OK);
+            }
+            op::TRACE_DRAIN => {
+                resp.put_u8(status::OK);
+                trace.drain().encode(&mut resp);
             }
             op::SHUTDOWN => {
                 resp.put_u8(status::OK);
@@ -549,6 +833,43 @@ struct RemoteStore {
     conn: Mutex<Option<Conn>>,
     child: Mutex<Option<Child>>,
     stats: Arc<WireStats>,
+    trace: TraceState,
+}
+
+/// Coordinator-side distributed-tracing state for one worker.
+struct TraceState {
+    /// Worker ring switched on and offset estimated.
+    enabled: AtomicBool,
+    /// The coordinator sink drains merge into (disabled until attached).
+    telemetry: Mutex<Telemetry>,
+    /// Estimated worker-minus-coordinator clock offset, µs.
+    offset_us: AtomicI64,
+    /// Coordinator-clock µs of the last successful RPC (liveness mark).
+    last_seen_us: AtomicU64,
+    /// Largest rebased timestamp merged for this worker's lane, so later
+    /// drains (and the `worker.lost` mark) stay monotone per lane even
+    /// when the offset estimate is off by a few µs.
+    high_water_us: AtomicU64,
+    /// Events drained so far / evicted worker-side before a drain.
+    events: AtomicU64,
+    dropped: AtomicU64,
+    /// The one-time `worker.lost` mark was already emitted.
+    lost_marked: AtomicBool,
+}
+
+impl Default for TraceState {
+    fn default() -> Self {
+        TraceState {
+            enabled: AtomicBool::new(false),
+            telemetry: Mutex::new(Telemetry::disabled()),
+            offset_us: AtomicI64::new(0),
+            last_seen_us: AtomicU64::new(0),
+            high_water_us: AtomicU64::new(0),
+            events: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            lost_marked: AtomicBool::new(false),
+        }
+    }
 }
 
 impl RemoteStore {
@@ -557,12 +878,105 @@ impl RemoteStore {
         let conn = guard.as_mut().ok_or(ClusterError::NodeDead(self.node))?;
         let roundtrip = write_frame(conn, req).and_then(|()| read_frame(conn));
         match roundtrip {
-            Ok(resp) => Ok(resp),
+            Ok(resp) => {
+                // One clock read per RPC, traced workers only: the
+                // liveness mark a later `worker.lost` event anchors to.
+                if self.trace.enabled.load(Ordering::Relaxed) {
+                    let now = self.trace.telemetry.lock().now_us();
+                    self.trace.last_seen_us.store(now, Ordering::Relaxed);
+                }
+                Ok(resp)
+            }
             Err(_) => {
                 // Fail the connection permanently: a half-completed frame
                 // exchange would desynchronize every later RPC.
                 *guard = None;
                 Err(ClusterError::NodeDead(self.node))
+            }
+        }
+    }
+
+    /// Switches the worker's trace ring on and estimates its clock offset
+    /// with a minimum-RTT PING exchange: each round brackets the worker's
+    /// reply `w` between coordinator reads `t0`/`t2`, and the round with
+    /// the smallest RTT pins `offset = w - (t0 + t2) / 2`.
+    fn enable_trace(&self, telemetry: &Telemetry) -> Result<()> {
+        *self.trace.telemetry.lock() = telemetry.clone();
+        let mut ctl = BytesMut::new();
+        ctl.put_u8(op::TRACE_CTL);
+        1u8.encode(&mut ctl);
+        let resp = self.rpc(&ctl)?;
+        self.expect_ok(resp)?;
+
+        let mut best: Option<(u64, i64)> = None;
+        for _ in 0..PING_ROUNDS {
+            let mut ping = BytesMut::new();
+            ping.put_u8(op::PING);
+            let t0 = telemetry.now_us();
+            let resp = self.rpc(&ping)?;
+            let t2 = telemetry.now_us();
+            let mut body = self.expect_ok(resp)?;
+            let w_us = u64::decode(&mut body).map_err(|_| ClusterError::NodeDead(self.node))?;
+            let rtt = t2.saturating_sub(t0);
+            let offset = w_us as i64 - ((t0 + t2) / 2) as i64;
+            if best.is_none_or(|(r, _)| rtt < r) {
+                best = Some((rtt, offset));
+            }
+        }
+        let (_, offset) = best.expect("PING_ROUNDS > 0");
+        self.trace.offset_us.store(offset, Ordering::Relaxed);
+        self.trace.last_seen_us.store(telemetry.now_us(), Ordering::Relaxed);
+        self.trace.enabled.store(true, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Drains the worker's ring into `telemetry`, rebasing each event's
+    /// worker-clock timestamp onto the coordinator epoch and clamping the
+    /// lane monotone. A dead worker gets a one-time `worker.lost` mark at
+    /// its last observed liveness instead.
+    fn drain_trace(&self, telemetry: &Telemetry) {
+        if !self.trace.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let offset = self.trace.offset_us.load(Ordering::Relaxed);
+        let node = self.node.0;
+        let mut req = BytesMut::new();
+        req.put_u8(op::TRACE_DRAIN);
+        let drained = self.rpc(&req).and_then(|resp| self.expect_ok(resp)).and_then(|mut body| {
+            WorkerTraceReport::decode(&mut body).map_err(|_| ClusterError::NodeDead(self.node))
+        });
+        match drained {
+            Ok(report) => {
+                self.trace.events.fetch_add(report.events.len() as u64, Ordering::Relaxed);
+                self.trace.dropped.fetch_add(report.dropped, Ordering::Relaxed);
+                let mut high = self.trace.high_water_us.load(Ordering::Relaxed);
+                let events: Vec<TraceEvent> = report
+                    .events
+                    .iter()
+                    .map(|ev| {
+                        let rebased = (ev.at_us as i64 - offset).max(0) as u64;
+                        let at_us = rebased.max(high);
+                        high = at_us;
+                        worker_trace_event(node, at_us, ev)
+                    })
+                    .collect();
+                self.trace.high_water_us.store(high, Ordering::Relaxed);
+                telemetry.merge_worker_events(events);
+            }
+            Err(_) => {
+                // Worker unreachable (SIGKILL, broken socket): mark the
+                // lane once, at the worker's last observed sign of life.
+                if !self.trace.lost_marked.swap(true, Ordering::Relaxed) {
+                    let last_seen = self.trace.last_seen_us.load(Ordering::Relaxed);
+                    let at_us = last_seen.max(self.trace.high_water_us.load(Ordering::Relaxed));
+                    telemetry.merge_worker_events([TraceEvent {
+                        at_us,
+                        kind: trace::kind::WORKER_LOST,
+                        node,
+                        detail: format!("worker unreachable; last heartbeat at {last_seen}us"),
+                        ..TraceEvent::default()
+                    }]);
+                }
             }
         }
     }
@@ -662,6 +1076,9 @@ pub struct MultiProcessTransport {
     stores: Vec<Arc<RemoteStore>>,
     stats: Arc<WireStats>,
     socket_path: Option<PathBuf>,
+    /// Coordinator telemetry attached via [`Transport::set_telemetry`];
+    /// disabled until then. Drains target this sink.
+    telemetry: Mutex<Telemetry>,
 }
 
 /// Resolves the worker binary: the `PMR_WORKER_BIN` environment variable
@@ -855,10 +1272,16 @@ impl MultiProcessTransport {
                     conn: Mutex::new(conn),
                     child: Mutex::new(Some(child)),
                     stats: Arc::clone(&stats),
+                    trace: TraceState::default(),
                 })
             })
             .collect();
-        Ok(MultiProcessTransport { stores, stats, socket_path })
+        Ok(MultiProcessTransport {
+            stores,
+            stats,
+            socket_path,
+            telemetry: Mutex::new(Telemetry::disabled()),
+        })
     }
 }
 
@@ -886,13 +1309,46 @@ impl Transport for MultiProcessTransport {
     fn workers(&self) -> Vec<WorkerInfo> {
         self.stores
             .iter()
-            .map(|s| WorkerInfo { node: s.node, pid: s.pid, alive: s.is_alive() })
+            .map(|s| WorkerInfo {
+                node: s.node,
+                pid: s.pid,
+                alive: s.is_alive(),
+                offset_us: s.trace.offset_us.load(Ordering::Relaxed),
+                trace_events: s.trace.events.load(Ordering::Relaxed),
+                trace_dropped: s.trace.dropped.load(Ordering::Relaxed),
+            })
             .collect()
+    }
+
+    fn set_telemetry(&self, telemetry: &Telemetry) {
+        if !telemetry.is_enabled() {
+            return;
+        }
+        *self.telemetry.lock() = telemetry.clone();
+        for store in &self.stores {
+            // A worker that fails the enable handshake is already dead to
+            // the engine (its connection was failed permanently); tracing
+            // simply proceeds without it.
+            let _ = store.enable_trace(telemetry);
+        }
+    }
+
+    fn drain_traces(&self) {
+        let telemetry = self.telemetry.lock().clone();
+        if !telemetry.is_enabled() {
+            return;
+        }
+        for store in &self.stores {
+            store.drain_trace(&telemetry);
+        }
     }
 }
 
 impl Drop for MultiProcessTransport {
     fn drop(&mut self) {
+        // Final drain: whatever the last job left in the worker rings
+        // still makes it into the merged trace before the sockets close.
+        self.drain_traces();
         for store in &self.stores {
             // Polite shutdown first so healthy workers exit on their own…
             let mut req = BytesMut::new();
@@ -950,6 +1406,112 @@ mod tests {
         let mut r = io::Cursor::new(huge);
         let err = read_frame(&mut r).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn class_codes_roundtrip_to_series_names() {
+        let classes = [
+            WireClass::Dfs,
+            WireClass::Seed,
+            WireClass::Cache,
+            WireClass::Spill,
+            WireClass::MapOutput,
+            WireClass::Shuffle,
+            WireClass::Other,
+        ];
+        let names: Vec<&str> = classes.iter().map(|c| class_name(class_code(*c))).collect();
+        assert_eq!(names, vec!["dfs", "seed", "cache", "spill", "map_output", "shuffle", "other"]);
+        // Every series key is reachable from a class code and vice versa.
+        let series = WireSnapshot::default().series();
+        assert_eq!(series.iter().map(|(k, _)| *k).collect::<Vec<_>>(), names);
+    }
+
+    #[test]
+    fn worker_trace_report_roundtrips_on_the_wire() {
+        let report = WorkerTraceReport {
+            dropped: 3,
+            events: vec![
+                WorkerTraceEvent {
+                    opcode: op::PUT,
+                    class: class_code(WireClass::MapOutput),
+                    at_us: 1_000,
+                    dur_us: 12,
+                    bytes: 4096,
+                    detail: String::new(),
+                },
+                WorkerTraceEvent {
+                    opcode: 0,
+                    class: class_code(WireClass::Other),
+                    at_us: 51_000,
+                    dur_us: 0,
+                    bytes: 0,
+                    detail: "ops=1 bytes=4096".to_string(),
+                },
+            ],
+        };
+        let back = WorkerTraceReport::from_bytes(report.to_bytes()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn worker_ring_is_bounded_and_drain_resets() {
+        let mut trace = WorkerTrace::new();
+        trace.enabled = true;
+        for _ in 0..(WORKER_RING_CAPACITY + 10) {
+            trace.push(WorkerTraceEvent {
+                opcode: op::GET,
+                class: 5,
+                at_us: 0,
+                dur_us: 0,
+                bytes: 1,
+                detail: String::new(),
+            });
+        }
+        assert_eq!(trace.ring.len(), WORKER_RING_CAPACITY);
+        assert_eq!(trace.dropped, 10);
+        // Drain closes the batch with one final heartbeat (evicting one
+        // more event from the already-full ring).
+        let report = trace.drain();
+        assert_eq!(report.events.len(), WORKER_RING_CAPACITY);
+        assert_eq!(report.dropped, 11);
+        let last = report.events.last().unwrap();
+        assert_eq!(last.opcode, 0, "drain ends on a heartbeat");
+        assert!(last.detail.contains("ops="));
+        // A second drain starts from a clean ring: just its heartbeat.
+        let again = trace.drain();
+        assert_eq!(again.events.len(), 1);
+        assert_eq!(again.events[0].opcode, 0);
+        assert_eq!(again.dropped, 0);
+    }
+
+    #[test]
+    fn worker_events_convert_onto_the_node_lane() {
+        let ev = WorkerTraceEvent {
+            opcode: op::GET,
+            class: class_code(WireClass::Shuffle),
+            at_us: 999,
+            dur_us: 5,
+            bytes: 128,
+            detail: String::new(),
+        };
+        let out = worker_trace_event(2, 1_234, &ev);
+        assert_eq!(out.kind, trace::kind::WORKER_GET);
+        assert_eq!(out.node, 2);
+        assert_eq!(out.at_us, 1_234, "caller-supplied rebased stamp wins");
+        assert_eq!(out.phase, "shuffle");
+        assert_eq!(out.bytes, 128);
+        let hb = WorkerTraceEvent {
+            opcode: 0,
+            class: 6,
+            at_us: 0,
+            dur_us: 0,
+            bytes: 0,
+            detail: "ops=9 bytes=1".to_string(),
+        };
+        let out = worker_trace_event(0, 7, &hb);
+        assert_eq!(out.kind, trace::kind::WORKER_HEARTBEAT);
+        assert_eq!(out.phase, "");
+        assert_eq!(out.detail, "ops=9 bytes=1");
     }
 
     #[test]

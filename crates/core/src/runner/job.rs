@@ -413,6 +413,11 @@ where
             }
         };
 
+        // Final drain: catch worker-side trace events recorded after the
+        // last job's finalize drain (no-op in-process / tracing off).
+        if let Backend::Mr(cluster) = backend {
+            cluster.drain_worker_traces();
+        }
         // Assemble the report last so wall time covers the whole run, then
         // fold in the framework counters (and the evaluation counts the
         // non-MR backends tracked outside the counter system).
@@ -438,7 +443,14 @@ where
                     workers: cluster
                         .workers()
                         .iter()
-                        .map(|w| pmr_obs::WorkerProc { node: w.node.0, pid: w.pid, alive: w.alive })
+                        .map(|w| pmr_obs::WorkerProc {
+                            node: w.node.0,
+                            pid: w.pid,
+                            alive: w.alive,
+                            offset_us: w.offset_us,
+                            trace_events: w.trace_events,
+                            trace_dropped: w.trace_dropped,
+                        })
                         .collect(),
                     wire_bytes: snap.series().iter().map(|&(k, v)| (k.to_string(), v)).collect(),
                     wire_frames: snap.frames,

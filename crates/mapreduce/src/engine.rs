@@ -587,6 +587,10 @@ impl<'c> Engine<'c> {
         );
         drop(phase);
         let phase = telemetry.job_phase(&spec.name, "finalize");
+        // Pull any worker-side trace rings into the coordinator's trace
+        // while the workers are quiescent (no-op on in-process runs or
+        // with tracing disabled).
+        cluster.drain_worker_traces();
         self.cleanup(jid, charged_total);
         if let Some(e) = error.lock().take() {
             return Err(e);

@@ -4,10 +4,14 @@
 //! # Chrome-trace layout
 //!
 //! * `pid 0` — the driver: job-phase windows as complete (`"X"`) slices.
-//! * `pid n+1` — cluster node `n`, with thread lanes: `tid 0` map
+//! * node `n` — its own process lane, with thread lanes: `tid 0` map
 //!   tasks, `tid 1` reduce tasks, `tid 2` generic tasks, `tid 3`
 //!   discrete events (crash / recovery / speculation / cancel /
-//!   placement) as instants (`"i"`), `tid 4` network transfers.
+//!   placement) as instants (`"i"`), `tid 4` network transfers, `tid 5`
+//!   worker-side storage ops drained from the distributed trace rings.
+//!   On distributed runs the lane's `pid` is the worker's **real OS
+//!   pid** (taken from the report's transport section); simulated runs
+//!   fall back to the synthetic `n + 1`.
 //!
 //! Every emitted event carries `ph`, `ts`, `pid`, and `tid`, and events
 //! are written in ascending `ts` order, so any single lane's timestamps
@@ -38,17 +42,39 @@ fn task_tid(kind: &str) -> u64 {
     }
 }
 
-fn node_pid(node: u32) -> u64 {
-    if node == trace::NONE {
-        0
-    } else {
-        node as u64 + 1
+/// Process-lane assignment: `NONE` (driver) is pid 0; a node with a
+/// known worker process uses its real OS pid; otherwise the synthetic
+/// `node + 1` keeps simulated lanes stable.
+struct LaneMap {
+    real: std::collections::BTreeMap<u32, u64>,
+}
+
+impl LaneMap {
+    fn from_report(r: &RunReport) -> LaneMap {
+        let mut real = std::collections::BTreeMap::new();
+        if let Some(t) = &r.transport {
+            for w in &t.workers {
+                if w.pid != 0 {
+                    real.insert(w.node, w.pid as u64);
+                }
+            }
+        }
+        LaneMap { real }
+    }
+
+    fn pid(&self, node: u32) -> u64 {
+        if node == trace::NONE {
+            0
+        } else {
+            self.real.get(&node).copied().unwrap_or(node as u64 + 1)
+        }
     }
 }
 
 /// Renders a report as Chrome-trace JSON (the `traceEvents` array
 /// format).
 pub fn chrome_trace(r: &RunReport) -> String {
+    let lanes = LaneMap::from_report(r);
     let mut events: Vec<ChromeEvent> = Vec::new();
 
     for p in &r.job_phases {
@@ -83,7 +109,7 @@ pub fn chrome_trace(r: &RunReport) -> String {
             ph: "X",
             ts: s.start_us,
             dur: Some(s.end_us.saturating_sub(s.start_us)),
-            pid: node_pid(s.node),
+            pid: lanes.pid(s.node),
             tid: task_tid(s.kind),
             args,
         });
@@ -109,9 +135,46 @@ pub fn chrome_trace(r: &RunReport) -> String {
                     ph: "X",
                     ts: e.at_us,
                     dur: Some(e.sim_us),
-                    pid: node_pid(e.node),
+                    pid: lanes.pid(e.node),
                     tid: 4,
                     args: vec![("bytes".to_string(), e.bytes.to_string())],
+                });
+            }
+            trace::kind::WORKER_PUT
+            | trace::kind::WORKER_GET
+            | trace::kind::WORKER_REMOVE
+            | trace::kind::WORKER_REMOVE_PREFIX => {
+                // Worker-side storage ops drained from the trace rings
+                // become complete slices on the worker-ops lane.
+                let mut args = vec![("bytes".to_string(), e.bytes.to_string())];
+                if !e.phase.is_empty() {
+                    args.push(("class".to_string(), JsonWriter::quote(&e.phase)));
+                }
+                events.push(ChromeEvent {
+                    name: e.kind.to_string(),
+                    cat: "worker",
+                    ph: "X",
+                    ts: e.at_us,
+                    dur: Some(e.dur_us),
+                    pid: lanes.pid(e.node),
+                    tid: 5,
+                    args,
+                });
+            }
+            trace::kind::WORKER_HEARTBEAT | trace::kind::WORKER_LOST => {
+                let mut args: Vec<(String, String)> = Vec::new();
+                if !e.detail.is_empty() {
+                    args.push(("detail".to_string(), JsonWriter::quote(&e.detail)));
+                }
+                events.push(ChromeEvent {
+                    name: e.kind.to_string(),
+                    cat: "worker",
+                    ph: "i",
+                    ts: e.at_us,
+                    dur: None,
+                    pid: lanes.pid(e.node),
+                    tid: 5,
+                    args,
                 });
             }
             _ => {
@@ -138,7 +201,7 @@ pub fn chrome_trace(r: &RunReport) -> String {
                     ph: "i",
                     ts: e.at_us,
                     dur: None,
-                    pid: node_pid(e.node),
+                    pid: lanes.pid(e.node),
                     tid: 3,
                     args,
                 });
@@ -403,6 +466,68 @@ mod tests {
         assert!(names.contains(&"node.crash"));
         assert!(names.contains(&"map.rerun"));
         assert!(names.iter().any(|n| n.starts_with("xfer")));
+    }
+
+    #[test]
+    fn worker_lanes_use_real_pids_from_the_transport_section() {
+        let t = Telemetry::enabled();
+        {
+            let mut span = t.span("j1", SpanKind::Map, 0, 0, 1);
+            let mut at = std::time::Instant::now();
+            span.lap("map", &mut at);
+        }
+        t.merge_worker_events([
+            crate::TraceEvent {
+                at_us: 10,
+                kind: trace::kind::WORKER_PUT,
+                node: 1,
+                phase: "map_output".to_string(),
+                bytes: 256,
+                dur_us: 4,
+                ..crate::TraceEvent::default()
+            },
+            crate::TraceEvent {
+                at_us: 20,
+                kind: trace::kind::WORKER_HEARTBEAT,
+                node: 1,
+                detail: "ops=1 bytes=256".to_string(),
+                ..crate::TraceEvent::default()
+            },
+        ]);
+        let mut r = t.report();
+        r.transport = Some(crate::TransportReport {
+            name: "process".to_string(),
+            workers: vec![crate::WorkerProc {
+                node: 1,
+                pid: 31337,
+                alive: true,
+                offset_us: -3,
+                trace_events: 2,
+                trace_dropped: 0,
+            }],
+            ..Default::default()
+        });
+
+        let json = chrome_trace(&r);
+        let v = JsonValue::parse(&json).expect("chrome trace must parse");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let put = events
+            .iter()
+            .find(|e| e.str_or_empty("name") == trace::kind::WORKER_PUT)
+            .expect("worker.put slice");
+        assert_eq!(put.str_or_empty("ph"), "X");
+        assert_eq!(put.u64_or_zero("pid"), 31337, "node 1 lane uses the real worker pid");
+        assert_eq!(put.u64_or_zero("tid"), 5);
+        assert_eq!(put.get("args").unwrap().str_or_empty("class"), "map_output");
+        let hb = events
+            .iter()
+            .find(|e| e.str_or_empty("name") == trace::kind::WORKER_HEARTBEAT)
+            .expect("heartbeat instant");
+        assert_eq!(hb.str_or_empty("ph"), "i");
+        assert_eq!(hb.u64_or_zero("pid"), 31337);
+        // The node-1 task span rides the same real-pid lane.
+        let task = events.iter().find(|e| e.str_or_empty("name") == "map 0").expect("task slice");
+        assert_eq!(task.u64_or_zero("pid"), 31337);
     }
 
     #[test]

@@ -64,6 +64,11 @@ impl Histogram {
         self.count
     }
 
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
     /// Immutable snapshot with only the populated buckets.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {

@@ -109,6 +109,13 @@ impl JsonWriter {
         self
     }
 
+    /// Writes `key: <integer>`, preserving the sign.
+    pub fn i64_field(&mut self, key: &str, value: i64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.out, "{value}");
+        self
+    }
+
     /// Writes `key: true` / `key: false`.
     pub fn bool_field(&mut self, key: &str, value: bool) -> &mut Self {
         self.key(key);
@@ -182,6 +189,7 @@ mod tests {
         w.begin_object();
         w.str_field("name", "run");
         w.u64_field("n", 4);
+        w.i64_field("skew", -3);
         w.f64_field("ratio", 0.25);
         w.begin_array_key("items");
         w.begin_object().u64_field("id", 1).end_object();
@@ -192,7 +200,7 @@ mod tests {
         let text = w.finish();
         assert_eq!(
             text,
-            "{\n  \"name\": \"run\",\n  \"n\": 4,\n  \"ratio\": 0.25,\n  \"items\": [\n    {\n      \"id\": 1\n    },\n    {\n      \"id\": 2\n    }\n  ],\n  \"empty\": {}\n}"
+            "{\n  \"name\": \"run\",\n  \"n\": 4,\n  \"skew\": -3,\n  \"ratio\": 0.25,\n  \"items\": [\n    {\n      \"id\": 1\n    },\n    {\n      \"id\": 2\n    }\n  ],\n  \"empty\": {}\n}"
         );
     }
 

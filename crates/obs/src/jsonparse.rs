@@ -5,7 +5,7 @@
 //! offline `trace` CLI needs to load them back. This module parses any
 //! RFC 8259 document into a [`JsonValue`] tree (objects preserve key
 //! order) and [`RunReport::from_json`] rebuilds a full
-//! [`crate::RunReport`] from the `pmr.run_report/6` schema.
+//! [`crate::RunReport`] from the `pmr.run_report/7` schema.
 
 use crate::histogram::{HistogramBucket, HistogramSnapshot};
 use crate::report::{NodeTimeline, RunReport};
@@ -337,6 +337,12 @@ fn intern(name: &str) -> &'static str {
         "speculative.launch",
         "speculative.win",
         "dfs.rereplicate",
+        trace::kind::WORKER_PUT,
+        trace::kind::WORKER_GET,
+        trace::kind::WORKER_REMOVE,
+        trace::kind::WORKER_REMOVE_PREFIX,
+        trace::kind::WORKER_HEARTBEAT,
+        trace::kind::WORKER_LOST,
     ];
     match KNOWN.iter().find(|k| **k == name) {
         Some(k) => k,
@@ -388,6 +394,13 @@ impl RunReport {
                     node: worker.u64_or_zero("node") as u32,
                     pid: worker.u64_or_zero("pid") as u32,
                     alive: worker.get("alive").and_then(JsonValue::as_bool).unwrap_or(false),
+                    offset_us: worker
+                        .get("offset_us")
+                        .and_then(JsonValue::as_f64)
+                        .map(|n| n as i64)
+                        .unwrap_or(0),
+                    trace_events: worker.u64_or_zero("trace_events"),
+                    trace_dropped: worker.u64_or_zero("trace_dropped"),
                 });
             }
             r.transport = Some(section);
@@ -560,8 +573,22 @@ mod tests {
         report.transport = Some(crate::TransportReport {
             name: "process".to_string(),
             workers: vec![
-                crate::WorkerProc { node: 0, pid: 4242, alive: true },
-                crate::WorkerProc { node: 1, pid: 4243, alive: false },
+                crate::WorkerProc {
+                    node: 0,
+                    pid: 4242,
+                    alive: true,
+                    offset_us: -17,
+                    trace_events: 88,
+                    trace_dropped: 0,
+                },
+                crate::WorkerProc {
+                    node: 1,
+                    pid: 4243,
+                    alive: false,
+                    offset_us: 5,
+                    trace_events: 12,
+                    trace_dropped: 2,
+                },
             ],
             wire_bytes: vec![("shuffle".to_string(), 17), ("map_output".to_string(), 9)],
             wire_frames: 12,

@@ -22,7 +22,11 @@
 //!   crash/recovery/speculation) recorded into a bounded ring; the
 //!   substrate for the [`analyze`] layer (critical path, skew/straggler
 //!   diagnosis, run diffs) and the [`export`] layer (Chrome-trace JSON,
-//!   text summaries).
+//!   text summaries). Distributed runs merge worker-side trace rings
+//!   into the same stream after clock-offset rebasing
+//!   ([`Telemetry::merge_worker_events`]).
+//! * [`live`] — a sampling reporter thread emitting periodic JSONL
+//!   progress records (`pmr.live/1`) for `--live` run monitoring.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +36,7 @@ pub mod export;
 pub mod histogram;
 pub mod json;
 pub mod jsonparse;
+pub mod live;
 pub mod report;
 pub mod telemetry;
 pub mod trace;
@@ -40,9 +45,11 @@ pub use analyze::{CriticalPath, CriticalPathSegment, NodeUtilization, SkewReport
 pub use histogram::{Histogram, HistogramBucket, HistogramSnapshot};
 pub use json::JsonWriter;
 pub use jsonparse::JsonValue;
+pub use live::{LiveMonitor, LiveSink, LiveTransportSample, LiveWorker, TransportProbe};
 pub use report::{NodeTimeline, RunReport, TransportReport, WorkerProc};
 pub use telemetry::{
-    JobPhase, LinkStats, PhaseGuard, PlacementStats, RunEvent, Span, SpanKind, TaskSpan, Telemetry,
+    JobPhase, LinkStats, PhaseGuard, PlacementStats, Progress, RunEvent, Span, SpanKind, TaskSpan,
+    Telemetry,
 };
 pub use trace::{TraceEvent, TraceRing};
 

@@ -33,10 +33,18 @@ pub struct WorkerProc {
     pub pid: u32,
     /// Whether the process was still running when the report was taken.
     pub alive: bool,
+    /// Estimated clock offset (worker minus coordinator) in µs from the
+    /// transport's PING exchange; 0 when the worker was never traced.
+    pub offset_us: i64,
+    /// Worker-side trace events drained into the merged trace.
+    pub trace_events: u64,
+    /// Worker-side trace events evicted before they could be drained.
+    pub trace_dropped: u64,
 }
 
-/// Physical-transport section of a run report (schema 6): which backend
-/// moved the bytes, the worker process table, and the payload bytes that
+/// Physical-transport section of a run report (schema 7): which backend
+/// moved the bytes, the worker process table with per-worker clock-offset
+/// estimates and drained-trace counts, and the payload bytes that
 /// actually crossed worker sockets, by traffic class.
 ///
 /// Absent (`None` on [`RunReport::transport`]) for in-process runs, whose
@@ -186,7 +194,7 @@ impl RunReport {
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_object();
-        w.str_field("schema", "pmr.run_report/6");
+        w.str_field("schema", "pmr.run_report/7");
         w.u64_field("wall_time_us", self.wall_time_us);
 
         w.begin_object_key("meta");
@@ -216,6 +224,9 @@ impl RunReport {
                 w.u64_field("node", worker.node as u64);
                 w.u64_field("pid", worker.pid as u64);
                 w.bool_field("alive", worker.alive);
+                w.i64_field("offset_us", worker.offset_us);
+                w.u64_field("trace_events", worker.trace_events);
+                w.u64_field("trace_dropped", worker.trace_dropped);
                 w.end_object();
             }
             w.end_array();
@@ -532,7 +543,7 @@ mod tests {
         });
         let json = r.to_json();
         for needle in [
-            "\"schema\": \"pmr.run_report/6\"",
+            "\"schema\": \"pmr.run_report/7\"",
             "\"events\"",
             "\"kind\": \"node.crash\"",
             "\"meta\"",
@@ -563,7 +574,7 @@ mod tests {
         let r = RunReport::default();
         r.write_json_file(path.to_str().unwrap()).expect("parents should be created");
         let text = std::fs::read_to_string(&path).unwrap();
-        assert!(text.contains("pmr.run_report/6"));
+        assert!(text.contains("pmr.run_report/7"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -576,8 +587,22 @@ mod tests {
             transport: Some(TransportReport {
                 name: "process".into(),
                 workers: vec![
-                    WorkerProc { node: 0, pid: 4242, alive: true },
-                    WorkerProc { node: 1, pid: 4243, alive: false },
+                    WorkerProc {
+                        node: 0,
+                        pid: 4242,
+                        alive: true,
+                        offset_us: -37,
+                        trace_events: 120,
+                        trace_dropped: 0,
+                    },
+                    WorkerProc {
+                        node: 1,
+                        pid: 4243,
+                        alive: false,
+                        offset_us: 12,
+                        trace_events: 7,
+                        trace_dropped: 3,
+                    },
                 ],
                 wire_bytes: vec![("shuffle".into(), 512), ("dfs".into(), 64)],
                 wire_frames: 12,
@@ -593,6 +618,10 @@ mod tests {
             "\"pid\": 4242",
             "\"alive\": true",
             "\"alive\": false",
+            "\"offset_us\": -37",
+            "\"offset_us\": 12",
+            "\"trace_events\": 120",
+            "\"trace_dropped\": 3",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }

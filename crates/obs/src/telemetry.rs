@@ -114,6 +114,19 @@ pub struct RunEvent {
     pub detail: String,
 }
 
+/// Point-in-time progress sample returned by [`Telemetry::progress`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Progress {
+    /// Sample time, µs since the telemetry epoch (0 when disabled).
+    pub at_us: u64,
+    /// Task spans committed so far.
+    pub tasks_committed: u64,
+    /// Total pairwise evaluations observed so far.
+    pub evaluations: u64,
+    /// Trace events recorded so far (retained + evicted).
+    pub trace_events: u64,
+}
+
 /// Aggregated traffic over one directed node pair.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LinkStats {
@@ -326,6 +339,45 @@ impl Telemetry {
                     let mut h = Histogram::new();
                     h.record(value);
                     st.histograms.insert(histogram.to_string(), h);
+                }
+            }
+        }
+    }
+
+    /// Merges worker-side trace events — already rebased onto this sink's
+    /// epoch by the transport's clock-offset estimator — into the trace
+    /// ring under one mutex hold, preserving the iterator's order. The
+    /// ring assigns `seq`, so drained worker events take their place in
+    /// the total order at the drain point. A no-op when disabled.
+    pub fn merge_worker_events<I>(&self, events: I)
+    where
+        I: IntoIterator<Item = TraceEvent>,
+    {
+        if let Some(sink) = &self.0 {
+            let mut st = sink.lock();
+            for ev in events {
+                st.trace.push(ev);
+            }
+        }
+    }
+
+    /// A cheap point-in-time progress sample for live monitoring: task
+    /// spans committed, total pairwise evaluations observed, and trace
+    /// volume. All zero (without locking) when disabled.
+    pub fn progress(&self) -> Progress {
+        match &self.0 {
+            None => Progress::default(),
+            Some(sink) => {
+                let at_us = sink.epoch.elapsed().as_micros() as u64;
+                let st = sink.lock();
+                Progress {
+                    at_us,
+                    tasks_committed: st.spans.len() as u64,
+                    evaluations: st
+                        .histograms
+                        .get(crate::hist::EVALUATIONS_PER_TASK)
+                        .map_or(0, |h| h.sum()),
+                    trace_events: st.trace.len() as u64 + st.trace.dropped(),
                 }
             }
         }
@@ -651,6 +703,54 @@ mod tests {
         let kinds: Vec<&str> = r.trace.iter().map(|e| e.kind).collect();
         assert_eq!(kinds, vec!["task.start", "task.cancel"]);
         assert_eq!(r.trace[1].attempt, 1);
+    }
+
+    #[test]
+    fn worker_events_merge_into_the_trace_in_order() {
+        let t = Telemetry::enabled();
+        t.event("node.crash", "node_1 crashed".to_string());
+        t.merge_worker_events(vec![
+            TraceEvent {
+                at_us: 5,
+                kind: trace::kind::WORKER_PUT,
+                node: 1,
+                bytes: 64,
+                phase: "map_output".to_string(),
+                ..TraceEvent::default()
+            },
+            TraceEvent {
+                at_us: 9,
+                kind: trace::kind::WORKER_HEARTBEAT,
+                node: 1,
+                detail: "ops=1 bytes=64".to_string(),
+                ..TraceEvent::default()
+            },
+        ]);
+        let r = t.report();
+        let kinds: Vec<&str> = r.trace.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["node.crash", "worker.put", "worker.heartbeat"]);
+        for (i, e) in r.trace.iter().enumerate() {
+            assert_eq!(e.seq, i as u64, "merged events join the total order");
+        }
+        assert_eq!(r.trace[1].bytes, 64);
+        assert_eq!(r.trace[1].phase, "map_output");
+    }
+
+    #[test]
+    fn progress_samples_tasks_and_evaluations() {
+        let disabled = Telemetry::disabled();
+        assert_eq!(disabled.progress(), Progress::default());
+
+        let t = Telemetry::enabled();
+        {
+            let _span = t.span("j", SpanKind::Map, 0, 0, 0);
+        }
+        t.record_value(crate::hist::EVALUATIONS_PER_TASK, 10);
+        t.record_value(crate::hist::EVALUATIONS_PER_TASK, 32);
+        let p = t.progress();
+        assert_eq!(p.tasks_committed, 1);
+        assert_eq!(p.evaluations, 42);
+        assert!(p.trace_events >= 2, "span start/commit are traced");
     }
 
     #[test]

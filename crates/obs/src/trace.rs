@@ -45,6 +45,19 @@ pub mod kind {
     pub const TRANSFER: &str = "transfer";
     /// A DFS block replica landed on `node`.
     pub const PLACEMENT: &str = "placement";
+    /// A worker process handled a PUT frame; `phase` is the wire class.
+    pub const WORKER_PUT: &str = "worker.put";
+    /// A worker process served a GET frame; `bytes` is the reply payload.
+    pub const WORKER_GET: &str = "worker.get";
+    /// A worker process handled a REMOVE frame.
+    pub const WORKER_REMOVE: &str = "worker.remove";
+    /// A worker process handled a REMOVE_PREFIX frame.
+    pub const WORKER_REMOVE_PREFIX: &str = "worker.remove_prefix";
+    /// Periodic worker liveness stamp; `detail` carries cumulative stats.
+    pub const WORKER_HEARTBEAT: &str = "worker.heartbeat";
+    /// The coordinator found a traced worker unreachable; stamped once at
+    /// the worker's last observed sign of life.
+    pub const WORKER_LOST: &str = "worker.lost";
 }
 
 /// One structured trace event.

@@ -62,6 +62,12 @@ fn disabled_sink_hot_path_does_not_allocate() {
         drop(telemetry.job_phase("job", "phase"));
         let _ = telemetry.now_us();
         let _ = telemetry.clone();
+        // Distributed-tracing paths: merging worker rings and sampling
+        // live progress are also free on the disabled handle (the
+        // multiprocess transport leaves both calls in place).
+        telemetry.merge_worker_events(std::iter::empty());
+        let progress = telemetry.progress();
+        assert!(progress.tasks_committed == 0 && progress.trace_events == 0);
     }
     ARMED.store(false, Ordering::SeqCst);
 
