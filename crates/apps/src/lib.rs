@@ -13,6 +13,8 @@
 //!   edge reconstruction;
 //! * [`covariance`] — covariance matrices via pairwise inner products and
 //!   PCA by power iteration;
+//! * [`prune`] — candidate pruning (exact prefix filtering, minhash LSH
+//!   banding) for thresholded similarity joins;
 //! * [`vector`] / [`generate`] — payload types and synthetic data.
 
 #![forbid(unsafe_code)]
@@ -24,6 +26,7 @@ pub mod docsim;
 pub mod generate;
 pub mod kernels;
 pub mod mutualinfo;
+pub mod prune;
 pub mod vector;
 
 pub use vector::{DenseVector, SparseVector};

@@ -7,6 +7,7 @@
 //! cargo run --release -p pmr-bench --bin perf_baseline -- --record <label>
 //! cargo run --release -p pmr-bench --bin perf_baseline -- --record-mp
 //! cargo run --release -p pmr-bench --bin perf_baseline -- --record-quorum
+//! cargo run --release -p pmr-bench --bin perf_baseline -- --record-pruned
 //! cargo run --release -p pmr-bench --bin perf_baseline -- --record-trace-overhead
 //! cargo run --release -p pmr-bench --bin perf_baseline -- --smoke # CI fast mode
 //! ```
@@ -23,17 +24,20 @@
 //! results are bit-identical across the scalar and batched paths — speedups
 //! must come from execution machinery, never from changing the math.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use pmr_apps::distance::euclidean_comp;
+use pmr_apps::docsim::tfidf;
 use pmr_apps::generate::{gene_expression, zipf_documents};
 use pmr_apps::kernels::{DenseSqDistKernel, SparseDotKernel};
+use pmr_apps::prune::PrefixFilter;
 use pmr_apps::{DenseVector, SparseVector};
 use pmr_cluster::{Cluster, ClusterConfig, SocketMode, Telemetry, TransportKind};
 use pmr_core::runner::local::{run_local, run_local_kernel};
 use pmr_core::runner::{
-    aggregate_all, comp_fn, Aggregator, Backend, BatchComp, CompFn, ConcatSort, FnAggregator,
-    PairwiseJob, PairwiseOutput, Symmetry,
+    aggregate_all, comp_fn, Aggregator, Backend, BatchComp, CompFn, ConcatSort, FilterAggregator,
+    FnAggregator, PairFilter, PairwiseJob, PairwiseOutput, Symmetry,
 };
 use pmr_core::scheme::{BlockScheme, DistributionScheme, QuorumScheme};
 
@@ -182,6 +186,134 @@ fn sparse_workload(smoke: bool) -> Workload<SparseVector> {
         threads: 8,
         iters,
     }
+}
+
+/// Thresholds swept by the pruned-join measurement.
+const PRUNED_THRESHOLDS: [f64; 4] = [0.5, 0.7, 0.8, 0.9];
+/// The headline threshold: throughput and the 10× pruning claim are
+/// asserted here.
+const PRUNED_DEFAULT_T: f64 = 0.8;
+
+/// One threshold point of the pruned-join sweep.
+struct PrunedRow {
+    threshold: f64,
+    candidates: u64,
+    evaluated: u64,
+    survivors: u64,
+}
+
+/// Exact vs prefix-filtered thresholded join on the skewed corpus.
+struct PrunedResult {
+    v: usize,
+    exact_pps: f64,
+    pruned_pps: f64,
+    sweep: Vec<PrunedRow>,
+}
+
+/// Measures the thresholded similarity join: a skewed Zipf corpus,
+/// tf-idf-reweighted and unit-normalized (so the dot product is the
+/// cosine), joined exactly and through the prefix filter. At the default
+/// threshold the pruned output must be bit-identical to the exact one
+/// (recall 1.0) while evaluating ≥ 10× fewer pairs; the full sweep
+/// records how candidates/evaluated/survivors move with the threshold.
+fn measure_pruned(smoke: bool) -> PrunedResult {
+    let (v, iters) = if smoke { (256usize, 1) } else { (2048, 3) };
+    let mut raw = zipf_documents(v, 8192, 64, 1.2, 13);
+    // Plant near-duplicates (every 64th document copied with its last
+    // term dropped) so the join has a real survivor set at every
+    // threshold, not just pairs to prune.
+    for i in (0..v.saturating_sub(1)).step_by(64) {
+        let mut twin = raw[i].clone();
+        twin.0.pop();
+        raw[i + 1] = twin;
+    }
+    let corpus: Vec<SparseVector> = tfidf(&raw)
+        .into_iter()
+        .map(|vec| {
+            let n = vec.norm();
+            if n == 0.0 {
+                vec
+            } else {
+                SparseVector(vec.0.into_iter().map(|(i, w)| (i, w / n)).collect())
+            }
+        })
+        .collect();
+    let pairs = (v as u64) * (v as u64 - 1) / 2;
+    // Throughput is pairs of the *full relation* resolved per second for
+    // both runs, so the pruned number is directly comparable.
+    let time_join = |filter: Option<&Arc<dyn PairFilter>>, t: f64, iters: usize| {
+        let mut best = f64::INFINITY;
+        let mut out = None;
+        for _ in 0..iters {
+            let mut job =
+                PairwiseJob::new(&corpus, comp_fn(|a: &SparseVector, b: &SparseVector| a.dot(b)))
+                    .scheme(BlockScheme::new(v as u64, 8))
+                    .aggregator_arc(Arc::new(FilterAggregator::new(move |r: &f64| *r >= t))
+                        as Arc<dyn Aggregator<f64>>)
+                    .backend(Backend::Local { threads: 8 });
+            if let Some(f) = filter {
+                job = job.pair_filter_arc(Arc::clone(f));
+            }
+            let start = Instant::now();
+            let run = job.run().expect("thresholded join run");
+            best = best.min(start.elapsed().as_secs_f64());
+            out = Some(run);
+        }
+        (pairs as f64 / best, out.unwrap())
+    };
+
+    let (exact_pps, exact) = time_join(None, PRUNED_DEFAULT_T, iters);
+    let mut sweep = Vec::new();
+    let mut pruned_pps = 0.0;
+    for &t in &PRUNED_THRESHOLDS {
+        let headline = (t - PRUNED_DEFAULT_T).abs() < 1e-12;
+        let filter: Arc<dyn PairFilter> = Arc::new(PrefixFilter::build(&corpus, t));
+        let (pps, run) = time_join(Some(&filter), t, if headline { iters } else { 1 });
+        let p = run.report.pruning.as_ref().expect("filtered run reports pruning");
+        let (candidates, evaluated) = (p.candidates, p.evaluated);
+        let survivors: u64 =
+            run.output.per_element.iter().map(|(_, r)| r.len() as u64).sum::<u64>() / 2;
+        if headline {
+            assert_bit_identical(
+                &exact.output,
+                &run.output,
+                "prefix-pruned vs exact thresholded join",
+            );
+            assert!(
+                evaluated * 10 <= candidates,
+                "pruning claim violated at t={t}: evaluated {evaluated} of {candidates}"
+            );
+            pruned_pps = pps;
+        }
+        sweep.push(PrunedRow { threshold: t, candidates, evaluated, survivors });
+    }
+    PrunedResult { v, exact_pps, pruned_pps, sweep }
+}
+
+/// Records the thresholded-join row: exact vs pruned throughput at the
+/// default threshold plus the candidate/evaluated/survivor sweep.
+fn record_pruned(r: &PrunedResult) {
+    let sweep = r
+        .sweep
+        .iter()
+        .map(|row| {
+            format!(
+                "{{ \"threshold\": {:.2}, \"candidates\": {}, \"evaluated\": {}, \
+                 \"survivors\": {} }}",
+                row.threshold, row.candidates, row.evaluated, row.survivors
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    record_entry(
+        "pruned-join",
+        format!(
+            "    {{ \"label\": \"pruned-join\", \"pruner\": \"prefix\", \"threshold\": {:.2}, \
+             \"pairs_per_sec_exact\": {:.0}, \"pairs_per_sec_pruned\": {:.0}, \
+             \"sweep\": [ {sweep} ] }}",
+            PRUNED_DEFAULT_T, r.exact_pps, r.pruned_pps
+        ),
+    );
 }
 
 /// Throughput and physically-moved wire bytes of a full two-job pipeline
@@ -352,8 +484,10 @@ fn record_entry(label: &str, entry: String) {
          \"threads\": 8, \"scheme\": \"block(h=8)\", \"comp\": \"dot\" }},\n    \"multiprocess\": \
          {{ \"v\": 512, \"dim\": 64, \"workers\": 4, \"scheme\": \"block(h=8)\", \"socket\": \
          \"uds\", \"comp\": \"euclidean\" }},\n    \"quorum\": {{ \"v\": 2048, \"dim\": 64, \
-         \"threads\": 8, \"scheme\": \"quorum(k≈45)\", \"comp\": \"squared_euclidean\" \
-         }}\n  }},\n  \"entries\": [\n{body}\n  ]\n}}\n"
+         \"threads\": 8, \"scheme\": \"quorum(k≈45)\", \"comp\": \"squared_euclidean\" }},\n    \
+         \"pruned\": {{ \"v\": 2048, \"vocab\": 8192, \"nnz\": 64, \"zipf_s\": 1.2, \
+         \"near_dups\": 32, \"threads\": 8, \"scheme\": \"block(h=8)\", \"comp\": \"dot(tfidf, \
+         unit-normalized)\", \"pruner\": \"prefix\" }}\n  }},\n  \"entries\": [\n{body}\n  ]\n}}\n"
     );
     std::fs::write(&path, json).expect("write BENCH_pairwise.json");
     println!("recorded entry '{label}' in {}", path.display());
@@ -443,6 +577,22 @@ fn main() {
         assert!(out.per_element.iter().all(|(_, r)| r.len() == v - 1), "missing pair results");
     }
 
+    let pruned = measure_pruned(smoke);
+    let headline =
+        pruned.sweep.iter().find(|r| (r.threshold - PRUNED_DEFAULT_T).abs() < 1e-12).unwrap();
+    println!(
+        "pruned (v={}, t={}, prefix): {:>12.0} pairs/s exact, {:>12.0} pairs/s pruned \
+         ({:.1}× — {} of {} pairs evaluated, {} survivors)",
+        pruned.v,
+        PRUNED_DEFAULT_T,
+        pruned.exact_pps,
+        pruned.pruned_pps,
+        pruned.pruned_pps / pruned.exact_pps,
+        headline.evaluated,
+        headline.candidates,
+        headline.survivors
+    );
+
     let mp = measure_multiprocess(smoke);
     println!(
         "multiproc (v={}, {} workers, uds): {:>12.0} pairs/s end-to-end, {:>8.2} MB on the wire \
@@ -484,6 +634,10 @@ fn main() {
                 overhead.overhead_pct()
             ),
         );
+    }
+    if args.iter().any(|a| a == "--record-pruned") {
+        assert!(!smoke, "--record-pruned needs the full workload, not --smoke");
+        record_pruned(&pruned);
     }
     if args.iter().any(|a| a == "--record-quorum") {
         assert!(!smoke, "--record-quorum needs the full workload, not --smoke");

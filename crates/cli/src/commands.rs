@@ -5,6 +5,7 @@ use std::io::{BufReader, BufWriter, Write};
 
 use pmr_apps::distance::{cosine_distance, euclidean, manhattan};
 use pmr_apps::generate::{gaussian_clusters, gene_expression, random_matrix_rows};
+use pmr_apps::prune::{LshFilter, PrefixFilter};
 use pmr_cluster::{Cluster, ClusterConfig, SocketMode, TransportKind};
 use pmr_core::analysis::costmodel::{rank_feasible_schemes, replication_frontier, CostParams};
 use pmr_core::analysis::limits::{fig9b_point, h_bounds, reducer_capacity};
@@ -42,6 +43,11 @@ COMMANDS
               --chaos-seed N      seed for the crash schedule (mr/process)
               --speculation X     back up tasks slower than X × median (mr/process)
               --max-result X      keep only results ≤ X (ε-pruning)
+              --threshold T       thresholded join: keep only pairs with
+                                  cosine similarity ≥ T (requires --comp cosine)
+              --pruner NAME       candidate pruning below the pair relation:
+                                  prefix | lsh | none  [prefix]
+                                  (requires --threshold; none = exact all-pairs)
               --fuse on|off       fold results where pairs are evaluated,
                                   skipping the aggregation job (local/mr/process)  [on]
               --output FILE       TSV results  [stdout]
@@ -187,6 +193,8 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "chaos-seed",
         "speculation",
         "max-result",
+        "threshold",
+        "pruner",
         "fuse",
         "output",
         "report",
@@ -229,11 +237,64 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             return Err(Box::new(ArgError(format!("flag --fuse must be on or off, got '{other}'"))))
         }
     }
-    if let Some(s) = args.optional("max-result") {
-        let eps: f64 = s.parse().map_err(|_| ArgError("--max-result must be a number".into()))?;
+    // --max-result and --threshold both become one FilterAggregator cut on
+    // the comp result (a distance): the tighter bound wins.
+    let mut cut: Option<f64> = match args.optional("max-result") {
+        None => None,
+        Some(s) => Some(s.parse().map_err(|_| ArgError("--max-result must be a number".into()))?),
+    };
+    let threshold: Option<f64> = match args.optional("threshold") {
+        None => None,
+        Some(s) => {
+            let t: f64 = s.parse().map_err(|_| ArgError("--threshold must be a number".into()))?;
+            if !(t > 0.0 && t <= 1.0) {
+                return Err(Box::new(ArgError(format!("--threshold must be in (0, 1], got {t}"))));
+            }
+            if args.optional("comp").unwrap_or("euclidean") != "cosine" {
+                return Err(Box::new(ArgError(
+                    "--threshold is a cosine-similarity bound and requires --comp cosine".into(),
+                )));
+            }
+            // cos(a, b) ≥ t  ⟺  cosine distance 1 − cos(a, b) ≤ 1 − t.
+            cut = Some(cut.map_or(1.0 - t, |e: f64| e.min(1.0 - t)));
+            Some(t)
+        }
+    };
+    if let Some(eps) = cut {
         let agg: std::sync::Arc<dyn Aggregator<f64>> =
             std::sync::Arc::new(FilterAggregator::new(move |r: &f64| *r <= eps));
         job = job.aggregator_arc(agg);
+    }
+    match (args.optional("pruner"), threshold) {
+        (Some(_), None) => return Err(Box::new(ArgError("--pruner requires --threshold".into()))),
+        (None, None) => {}
+        (name, Some(t)) => {
+            // The pruners index term sets, so sparsify the dense rows
+            // (column index = term id, zero entries dropped).
+            let sparse: Vec<pmr_apps::SparseVector> = data
+                .iter()
+                .map(|row| {
+                    pmr_apps::SparseVector::from_entries(
+                        row.0
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, w)| **w != 0.0)
+                            .map(|(i, &w)| (i as u32, w))
+                            .collect(),
+                    )
+                })
+                .collect();
+            match name.unwrap_or("prefix") {
+                "prefix" => job = job.pair_filter(PrefixFilter::build(&sparse, t)),
+                "lsh" => job = job.pair_filter(LshFilter::with_defaults(&sparse)),
+                "none" => {} // exact all-pairs reference, still thresholded
+                other => {
+                    return Err(Box::new(ArgError(format!(
+                        "unknown pruner '{other}' (prefix | lsh | none)"
+                    ))))
+                }
+            }
+        }
     }
     let backend = args.optional("backend").unwrap_or("local");
     // Backend-specific flags are rejected with a pointer to the backends
@@ -312,6 +373,12 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         scheme_name,
         backend
     );
+    if let Some(p) = &run.report.pruning {
+        eprintln!(
+            "{} pruner rejected {} of {} candidate pairs ({} evaluated)",
+            p.pruner, p.pruned, p.candidates, p.evaluated
+        );
+    }
     let crashes: u64 = run.mr.iter().map(|r| r.node_crashes).sum();
     if crashes > 0 {
         eprintln!(
@@ -678,6 +745,84 @@ mod tests {
     }
 
     #[test]
+    fn thresholded_run_matches_exact_reference_and_reports_pruning() {
+        let dir = std::env::temp_dir().join(format!("pmr-cli-prune-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("pts.csv");
+        dispatch(&args(&format!(
+            "generate --kind clusters --n 40 --dim 3 --output {}",
+            csv.display()
+        )))
+        .unwrap();
+        let exact = dir.join("exact.tsv");
+        let pruned = dir.join("pruned.tsv");
+        let report = dir.join("pruned.json");
+        dispatch(&args(&format!(
+            "run --input {} --comp cosine --threshold 0.9 --pruner none --output {}",
+            csv.display(),
+            exact.display()
+        )))
+        .unwrap();
+        dispatch(&args(&format!(
+            "run --input {} --comp cosine --threshold 0.9 --pruner prefix \
+             --report {} --output {}",
+            csv.display(),
+            report.display(),
+            pruned.display()
+        )))
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&exact).unwrap(),
+            std::fs::read_to_string(&pruned).unwrap(),
+            "prefix filtering is exact: pruned output must match the reference"
+        );
+        let json = std::fs::read_to_string(&report).unwrap();
+        assert!(json.contains("\"pruning\""), "report carries the pruning section");
+        assert!(json.contains("\"pruner\": \"prefix\""));
+        assert!(json.contains("\"exact\": true"));
+        assert!(json.contains("pairwise.candidates.pairs"));
+        // LSH path runs end-to-end too (probabilistic, so no output diff).
+        dispatch(&args(&format!(
+            "run --input {} --comp cosine --threshold 0.9 --pruner lsh --output {}",
+            csv.display(),
+            pruned.display()
+        )))
+        .unwrap();
+        // Unfiltered reports omit the section entirely (counter hygiene).
+        let plain_report = dir.join("plain.json");
+        dispatch(&args(&format!(
+            "run --input {} --comp cosine --report {} --output {}",
+            csv.display(),
+            plain_report.display(),
+            pruned.display()
+        )))
+        .unwrap();
+        let plain = std::fs::read_to_string(&plain_report).unwrap();
+        assert!(!plain.contains("\"pruning\""));
+        assert!(!plain.contains("pairwise.candidates.pairs"));
+        // Flag validation: threshold needs cosine, pruner needs threshold.
+        for (line, needle) in [
+            (format!("run --input {} --threshold 0.9", csv.display()), "requires --comp cosine"),
+            (
+                format!("run --input {} --comp cosine --threshold 1.5", csv.display()),
+                "must be in (0, 1]",
+            ),
+            (format!("run --input {} --pruner prefix", csv.display()), "requires --threshold"),
+            (
+                format!(
+                    "run --input {} --comp cosine --threshold 0.9 --pruner magic",
+                    csv.display()
+                ),
+                "unknown pruner",
+            ),
+        ] {
+            let err = dispatch(&args(&line)).unwrap_err().to_string();
+            assert!(err.contains(needle), "{line}: expected '{needle}' in '{err}'");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn run_survives_chaos_flags() {
         let dir = std::env::temp_dir().join(format!("pmr-cli-chaos-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -844,7 +989,7 @@ mod tests {
             )))
             .unwrap();
             let json = std::fs::read_to_string(&json_path).unwrap();
-            assert!(json.contains("\"schema\": \"pmr.run_report/7\""), "{backend}");
+            assert!(json.contains("\"schema\": \"pmr.run_report/8\""), "{backend}");
             assert!(json.contains(&format!("\"backend\": \"{backend}\"")), "{backend}");
         }
         std::fs::remove_dir_all(&dir).unwrap();

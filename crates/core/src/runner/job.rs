@@ -25,13 +25,14 @@ use pmr_cluster::Cluster;
 use pmr_mapreduce::{MrError, Wire};
 use pmr_obs::{RunReport, Telemetry};
 
+use crate::runner::filter::PairFilter;
 use crate::runner::kernel::{BatchComp, ScalarComp};
 use crate::runner::local::{run_local_impl, LocalRunStats};
 use crate::runner::mr::{
     run_mr_broadcast_impl, run_mr_impl, run_mr_rounds_impl, MrPairwiseOptions, MrRunReport,
     EVALUATIONS_COUNTER,
 };
-use crate::runner::sequential::run_sequential_kernel;
+use crate::runner::sequential::run_sequential_impl;
 use crate::runner::store::ElementStore;
 use crate::runner::{aggregate_all, Aggregator, CompFn, ConcatSort, PairwiseOutput, Symmetry};
 use crate::scheme::{BroadcastScheme, DistributionScheme};
@@ -116,6 +117,7 @@ pub struct PairwiseJob<'a, T, R> {
     backend: Backend<'a>,
     symmetry: Symmetry,
     aggregator: Arc<dyn Aggregator<R>>,
+    filter: Option<Arc<dyn PairFilter>>,
     telemetry: Telemetry,
     options: MrPairwiseOptions,
 }
@@ -142,6 +144,7 @@ where
             backend: Backend::Sequential,
             symmetry: Symmetry::Symmetric,
             aggregator: Arc::new(ConcatSort),
+            filter: None,
             telemetry: Telemetry::disabled(),
             options: MrPairwiseOptions::default(),
         }
@@ -214,6 +217,23 @@ where
         self
     }
 
+    /// Installs a candidate-pruning [`PairFilter`] for a thresholded
+    /// ("some pairs") join: every backend streams each task's pairs
+    /// through the filter **below the scheme's enumeration**, so pruned
+    /// pairs are never resolved or evaluated. Distribution, replication,
+    /// and the charged cost model are untouched; the run's report gains
+    /// the three pruning counters and a `pruning` section (filtered runs
+    /// only — unfiltered reports are byte-identical to before).
+    pub fn pair_filter(self, filter: impl PairFilter + 'static) -> Self {
+        self.pair_filter_arc(Arc::new(filter))
+    }
+
+    /// [`PairwiseJob::pair_filter`] for an already-shared filter.
+    pub fn pair_filter_arc(mut self, filter: Arc<dyn PairFilter>) -> Self {
+        self.filter = Some(filter);
+        self
+    }
+
     /// Attaches a telemetry handle; [`PairwiseRun::report`] snapshots it
     /// after the run. On [`Backend::Mr`] the cluster's own handle (see
     /// `Cluster::with_telemetry`) takes precedence when enabled, so engine
@@ -258,6 +278,7 @@ where
             backend,
             symmetry,
             aggregator,
+            filter,
             telemetry,
             options,
         } = self;
@@ -274,6 +295,10 @@ where
         effective.set_meta("backend", backend.name());
         effective.set_meta("symmetry", format!("{symmetry:?}"));
         effective.set_meta("elements", store.len());
+        if let Some(f) = &filter {
+            effective.set_meta("pruner", f.name());
+            effective.set_meta("pruner.exact", f.exact());
+        }
         match &plan {
             Plan::None => {}
             Plan::Scheme(s) => {
@@ -295,23 +320,25 @@ where
         let mut run = match (backend, plan) {
             (Backend::Sequential, _) => {
                 let phase = effective.job_phase("sequential", "evaluate");
-                let output = run_sequential_kernel(
+                let (output, evaluations, pruning) = run_sequential_impl(
                     store.elements(),
                     kernel.as_ref(),
                     symmetry,
                     aggregator.as_ref(),
+                    filter.as_deref(),
                 );
                 drop(phase);
                 let v = store.len() as u64;
-                let evaluations = match symmetry {
-                    Symmetry::Symmetric => v * v.saturating_sub(1) / 2,
-                    Symmetry::NonSymmetric => v * v.saturating_sub(1),
-                };
                 PairwiseRun {
                     output,
                     report: RunReport::default(),
                     mr: Vec::new(),
-                    local: Some(LocalRunStats { tasks: 1, evaluations, max_working_set: v }),
+                    local: Some(LocalRunStats {
+                        tasks: 1,
+                        evaluations,
+                        max_working_set: v,
+                        pruning,
+                    }),
                 }
             }
             (Backend::Local { .. }, Plan::None) => {
@@ -328,6 +355,7 @@ where
                     aggregator.as_ref(),
                     threads,
                     options.fuse,
+                    filter.as_deref(),
                     &effective,
                 );
                 PairwiseRun {
@@ -346,6 +374,7 @@ where
                     aggregator.as_ref(),
                     threads,
                     options.fuse,
+                    filter.as_deref(),
                     &effective,
                 );
                 PairwiseRun {
@@ -368,6 +397,7 @@ where
                         &ConcatSort,
                         threads,
                         options.fuse,
+                        filter.as_deref(),
                         &effective,
                     );
                     for (id, mut partial) in out.per_element {
@@ -376,6 +406,9 @@ where
                     stats.tasks += s.tasks;
                     stats.evaluations += s.evaluations;
                     stats.max_working_set = stats.max_working_set.max(s.max_working_set);
+                    if let Some(p) = s.pruning {
+                        stats.pruning.get_or_insert_with(Default::default).absorb(p);
+                    }
                 }
                 let mut per_element: Vec<(u64, Vec<(u64, R)>)> = merged
                     .into_iter()
@@ -395,19 +428,41 @@ where
                 ));
             }
             (Backend::Mr(cluster), Plan::Scheme(scheme)) => {
-                let (output, report) =
-                    run_mr_impl(cluster, scheme, &store, kernel, symmetry, aggregator, options)?;
+                let (output, report) = run_mr_impl(
+                    cluster,
+                    scheme,
+                    &store,
+                    kernel,
+                    symmetry,
+                    aggregator,
+                    filter.clone(),
+                    options,
+                )?;
                 PairwiseRun { output, report: RunReport::default(), mr: vec![report], local: None }
             }
             (Backend::Mr(cluster), Plan::Broadcast(scheme)) => {
                 let (output, report) = run_mr_broadcast_impl(
-                    cluster, &scheme, &store, kernel, symmetry, aggregator, options,
+                    cluster,
+                    &scheme,
+                    &store,
+                    kernel,
+                    symmetry,
+                    aggregator,
+                    filter.clone(),
+                    options,
                 )?;
                 PairwiseRun { output, report: RunReport::default(), mr: vec![report], local: None }
             }
             (Backend::Mr(cluster), Plan::Rounds(rounds)) => {
                 let (output, reports) = run_mr_rounds_impl(
-                    cluster, rounds, &store, kernel, symmetry, aggregator, options,
+                    cluster,
+                    rounds,
+                    &store,
+                    kernel,
+                    symmetry,
+                    aggregator,
+                    filter.clone(),
+                    options,
                 )?;
                 PairwiseRun { output, report: RunReport::default(), mr: reports, local: None }
             }
@@ -430,6 +485,21 @@ where
         }
         if let Some(local) = &run.local {
             report.merge_counters([(EVALUATIONS_COUNTER, local.evaluations)]);
+            // Pruning counters only exist on filtered runs (the MR path
+            // enforces the same rule task-side), so unfiltered reports are
+            // byte-identical to pre-pruning ones.
+            if let Some(p) = local.pruning {
+                report.merge_counters(p.counters());
+            }
+        }
+        if let Some(f) = &filter {
+            report.pruning = Some(pmr_obs::PruningReport {
+                pruner: f.name().to_string(),
+                exact: f.exact(),
+                candidates: report.counter(crate::runner::CANDIDATE_PAIRS_COUNTER).unwrap_or(0),
+                pruned: report.counter(crate::runner::PRUNED_PAIRS_COUNTER).unwrap_or(0),
+                evaluated: report.counter(crate::runner::EVALUATED_PAIRS_COUNTER).unwrap_or(0),
+            });
         }
         // Distributed runs carry the physically measured wire traffic and
         // the worker-process table; in-process runs have no wire, so the

@@ -33,6 +33,7 @@ use std::time::Instant;
 use parking_lot::Mutex;
 use pmr_obs::{hist, SpanKind, Telemetry};
 
+use crate::runner::filter::{PairFilter, PruneStats};
 use crate::runner::kernel::{evaluate_tiled, evaluate_tiled_fused, BatchComp, ScalarComp};
 use crate::runner::{
     aggregate_all, Accumulator, Aggregator, CompFn, DecomposableAggregator, PairwiseOutput,
@@ -49,6 +50,9 @@ pub struct LocalRunStats {
     pub evaluations: u64,
     /// Largest working set (elements) seen by any task.
     pub max_working_set: u64,
+    /// Enumerated/pruned pair tallies — `Some` only when a
+    /// [`PairFilter`] was active, mirroring the counter-hygiene rule.
+    pub pruning: Option<PruneStats>,
 }
 
 /// Evaluates all pairs of `payloads` under `scheme` on `threads` worker
@@ -75,6 +79,7 @@ where
         aggregator,
         threads,
         true,
+        None,
         &Telemetry::disabled(),
     )
 }
@@ -101,6 +106,7 @@ where
         aggregator,
         threads,
         true,
+        None,
         &Telemetry::disabled(),
     )
 }
@@ -148,7 +154,10 @@ enum WorkerData<R> {
 /// the run's evaluate/aggregate windows are emitted as job phases of job
 /// `"local"`. With `fuse` set and a decomposable aggregator, per-pair
 /// results are folded into per-worker accumulators at the tile flush and
-/// merged at commit; otherwise the flat emit + scatter path runs.
+/// merged at commit; otherwise the flat emit + scatter path runs. A
+/// [`PairFilter`] gates the pair stream below enumeration: pruned pairs
+/// never enter a tile, and the enumerated/pruned tallies land in
+/// [`LocalRunStats::pruning`].
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_local_impl<T, R>(
     payloads: &[T],
@@ -158,6 +167,7 @@ pub(crate) fn run_local_impl<T, R>(
     aggregator: &dyn Aggregator<R>,
     threads: usize,
     fuse: bool,
+    filter: Option<&dyn PairFilter>,
     telemetry: &Telemetry,
 ) -> (PairwiseOutput<R>, LocalRunStats)
 where
@@ -178,6 +188,7 @@ where
         tasks: u64,
         evaluations: u64,
         max_working_set: u64,
+        prune: PruneStats,
     }
 
     // Each worker accumulates privately; merge after the scope ends.
@@ -193,8 +204,13 @@ where
                         },
                         None => WorkerData::Flat { emitted: Vec::new(), counts: vec![0; v] },
                     };
-                    let mut res =
-                        WorkerResult { data, tasks: 0, evaluations: 0, max_working_set: 0 };
+                    let mut res = WorkerResult {
+                        data,
+                        tasks: 0,
+                        evaluations: 0,
+                        max_working_set: 0,
+                        prune: PruneStats::default(),
+                    };
                     loop {
                         // Pop-then-steal as separate statements: the own-
                         // deque guard must drop before any victim is
@@ -214,12 +230,27 @@ where
                         let ws = scheme.working_set(t);
                         res.max_working_set = res.max_working_set.max(ws.len() as u64);
                         span.add_records_in(ws.len() as u64);
+                        // The filter gates the pair stream below the
+                        // scheme's enumeration: a pruned pair never enters
+                        // a tile. With no filter the stream is handed over
+                        // untouched — no per-pair branch, no tallies.
+                        let mut task_prune = PruneStats::default();
                         let task_evals = match &mut res.data {
                             WorkerData::Fused { accs } => evaluate_tiled_fused(
                                 kernel,
                                 symmetry,
                                 |id| &payloads[id as usize],
-                                |f| scheme.for_each_pair(t, f),
+                                |f| match filter {
+                                    None => scheme.for_each_pair(t, f),
+                                    Some(pf) => scheme.for_each_pair(t, &mut |a, b| {
+                                        task_prune.candidates += 1;
+                                        if pf.is_candidate(a, b) {
+                                            f(a, b);
+                                        } else {
+                                            task_prune.pruned += 1;
+                                        }
+                                    }),
+                                },
                                 aggregator,
                                 accs,
                                 |_, _| {},
@@ -229,12 +260,27 @@ where
                                     Symmetry::Symmetric => 1,
                                     Symmetry::NonSymmetric => 2,
                                 };
-                                emitted.reserve(per_pair * scheme.num_pairs(t) as usize);
+                                // Under a filter `num_pairs` is only an
+                                // upper bound — let the emit vector grow
+                                // instead of reserving for pruned pairs.
+                                if filter.is_none() {
+                                    emitted.reserve(per_pair * scheme.num_pairs(t) as usize);
+                                }
                                 evaluate_tiled(
                                     kernel,
                                     symmetry,
                                     |id| &payloads[id as usize],
-                                    |f| scheme.for_each_pair(t, f),
+                                    |f| match filter {
+                                        None => scheme.for_each_pair(t, f),
+                                        Some(pf) => scheme.for_each_pair(t, &mut |a, b| {
+                                            task_prune.candidates += 1;
+                                            if pf.is_candidate(a, b) {
+                                                f(a, b);
+                                            } else {
+                                                task_prune.pruned += 1;
+                                            }
+                                        }),
+                                    },
                                     |a, b, rf, rr| {
                                         counts[a as usize] += 1;
                                         counts[b as usize] += 1;
@@ -249,6 +295,7 @@ where
                         };
                         res.tasks += 1;
                         res.evaluations += task_evals;
+                        res.prune.absorb(task_prune);
                         span.lap("evaluate", &mut lap_at);
                         telemetry.record_value(hist::EVALUATIONS_PER_TASK, task_evals);
                     }
@@ -263,6 +310,7 @@ where
     let agg_phase = telemetry.job_phase("local", "aggregate");
 
     let mut stats = LocalRunStats::default();
+    let mut prune_total = PruneStats::default();
     let mut emitted: Vec<Vec<(u64, u64, R)>> = Vec::with_capacity(results.len());
     let mut counts = vec![0usize; v];
     let mut worker_accs: Vec<Vec<Accumulator<R>>> = Vec::with_capacity(results.len());
@@ -270,6 +318,7 @@ where
         stats.tasks += res.tasks;
         stats.evaluations += res.evaluations;
         stats.max_working_set = stats.max_working_set.max(res.max_working_set);
+        prune_total.absorb(res.prune);
         match res.data {
             WorkerData::Flat { emitted: e, counts: wc } => {
                 for (c, w) in counts.iter_mut().zip(&wc) {
@@ -281,6 +330,11 @@ where
         }
     }
     debug_assert_eq!(stats.tasks, num_tasks, "every task runs exactly once");
+    // Counter hygiene: only a filtered run reports pruning tallies, so an
+    // unfiltered run's stats (and report) are unchanged by this feature.
+    if filter.is_some() {
+        stats.pruning = Some(prune_total);
+    }
     let out = match decomposable {
         Some(dec) => merge_fused(worker_accs, dec, threads),
         None => merge_aggregate(emitted, counts, symmetry, aggregator, threads),

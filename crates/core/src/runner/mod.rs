@@ -21,6 +21,7 @@
 //! replicated payload bytes are *charged* to the paper's cost model
 //! without being *moved*.
 
+pub mod filter;
 pub mod job;
 pub mod kernel;
 pub mod local;
@@ -28,6 +29,9 @@ pub mod mr;
 pub mod sequential;
 pub mod store;
 
+pub use filter::{
+    PairFilter, PruneStats, CANDIDATE_PAIRS_COUNTER, EVALUATED_PAIRS_COUNTER, PRUNED_PAIRS_COUNTER,
+};
 pub use job::{Backend, PairwiseJob, PairwiseRun};
 pub use kernel::{BatchComp, ScalarComp};
 pub use store::ElementStore;

@@ -43,6 +43,7 @@ use pmr_mapreduce::{
 };
 use pmr_obs::{hist, Telemetry};
 
+use crate::runner::filter::{PairFilter, PruneStats};
 use crate::runner::kernel::{evaluate_tiled, evaluate_tiled_fused, BatchComp};
 use crate::runner::store::ElementStore;
 use crate::runner::{Accumulator, Aggregator, PairwiseOutput, Symmetry};
@@ -227,6 +228,7 @@ struct EvaluateReducer<T, R> {
     scheme: Arc<dyn DistributionScheme>,
     kernel: Arc<dyn BatchComp<T, R>>,
     symmetry: Symmetry,
+    filter: Option<Arc<dyn PairFilter>>,
     telemetry: Telemetry,
 }
 
@@ -251,11 +253,23 @@ impl<T: Wire + Sync, R: Wire + Clone + Sync> Reducer for EvaluateReducer<T, R> {
         // one resolved against the store above; the scheme only enumerates
         // pairs within the working set, so resolution below is infallible.
         let mut results: HashMap<u64, Vec<(u64, R)>> = HashMap::with_capacity(ids.len());
+        let mut prune = PruneStats::default();
+        let filter = self.filter.as_deref();
         let evals = evaluate_tiled(
             self.kernel.as_ref(),
             self.symmetry,
             |id| store.get(id).expect("working-set id validated against the store"),
-            |f| self.scheme.for_each_pair(ws, f),
+            |f| match filter {
+                None => self.scheme.for_each_pair(ws, f),
+                Some(pf) => self.scheme.for_each_pair(ws, &mut |a, b| {
+                    prune.candidates += 1;
+                    if pf.is_candidate(a, b) {
+                        f(a, b);
+                    } else {
+                        prune.pruned += 1;
+                    }
+                }),
+            },
             |a, b, rf, rr| {
                 let rb = rr.unwrap_or_else(|| rf.clone());
                 results.entry(a).or_default().push((b, rf));
@@ -263,6 +277,14 @@ impl<T: Wire + Sync, R: Wire + Clone + Sync> Reducer for EvaluateReducer<T, R> {
             },
         );
         ctx.counters().add(EVALUATIONS_COUNTER, evals);
+        // Pruning counters exist only on filtered runs; accrued through
+        // the task's scratch counters they stay exactly-once under crashes
+        // and speculation, like every other user counter.
+        if filter.is_some() {
+            for (name, value) in prune.counters() {
+                ctx.counters().add(name, value);
+            }
+        }
         self.telemetry.record_value(hist::EVALUATIONS_PER_TASK, evals);
         // Emit every copy with its partial results (paper: "The output of
         // the reduce phase contains each element (including all copies)") —
@@ -291,6 +313,7 @@ struct FusedEvaluateReducer<T, R> {
     kernel: Arc<dyn BatchComp<T, R>>,
     symmetry: Symmetry,
     aggregator: Arc<dyn Aggregator<R>>,
+    filter: Option<Arc<dyn PairFilter>>,
     telemetry: Telemetry,
 }
 
@@ -314,11 +337,23 @@ impl<T: Wire + Sync, R: Wire + Clone + Sync> Reducer for FusedEvaluateReducer<T,
         let aggregator = self.aggregator.as_ref();
         let mut accs: HashMap<u64, Accumulator<R>> = HashMap::with_capacity(ids.len());
         let mut folded_bytes: HashMap<u64, u64> = HashMap::with_capacity(ids.len());
+        let mut prune = PruneStats::default();
+        let filter = self.filter.as_deref();
         let evals = evaluate_tiled_fused(
             self.kernel.as_ref(),
             self.symmetry,
             |id| store.get(id).expect("working-set id validated against the store"),
-            |f| self.scheme.for_each_pair(ws, f),
+            |f| match filter {
+                None => self.scheme.for_each_pair(ws, f),
+                Some(pf) => self.scheme.for_each_pair(ws, &mut |a, b| {
+                    prune.candidates += 1;
+                    if pf.is_candidate(a, b) {
+                        f(a, b);
+                    } else {
+                        prune.pruned += 1;
+                    }
+                }),
+            },
             aggregator,
             &mut accs,
             |id, r| {
@@ -329,6 +364,11 @@ impl<T: Wire + Sync, R: Wire + Clone + Sync> Reducer for FusedEvaluateReducer<T,
             },
         );
         ctx.counters().add(EVALUATIONS_COUNTER, evals);
+        if filter.is_some() {
+            for (name, value) in prune.counters() {
+                ctx.counters().add(name, value);
+            }
+        }
         self.telemetry.record_value(hist::EVALUATIONS_PER_TASK, evals);
         // Emit every copy with its folded partials, charging what job 2's
         // map would have shuffled for the unfused record: frame header (8)
@@ -444,6 +484,7 @@ struct BroadcastEvalMapper<T, R> {
     scheme: BroadcastScheme,
     kernel: Arc<dyn BatchComp<T, R>>,
     symmetry: Symmetry,
+    filter: Option<Arc<dyn PairFilter>>,
     telemetry: Telemetry,
 }
 
@@ -471,11 +512,23 @@ impl<T: Wire + Sync, R: Wire + Clone + Sync> Mapper for BroadcastEvalMapper<T, R
             )));
         }
         let mut results: HashMap<u64, Vec<(u64, R)>> = HashMap::new();
+        let mut prune = PruneStats::default();
+        let filter = self.filter.as_deref();
         let evals = evaluate_tiled(
             self.kernel.as_ref(),
             self.symmetry,
             |id| store.get(id).expect("label range bounded by v"),
-            |f| self.scheme.for_each_pair(task, f),
+            |f| match filter {
+                None => self.scheme.for_each_pair(task, f),
+                Some(pf) => self.scheme.for_each_pair(task, &mut |a, b| {
+                    prune.candidates += 1;
+                    if pf.is_candidate(a, b) {
+                        f(a, b);
+                    } else {
+                        prune.pruned += 1;
+                    }
+                }),
+            },
             |a, b, rf, rr| {
                 let rb = rr.unwrap_or_else(|| rf.clone());
                 results.entry(a).or_default().push((b, rf));
@@ -483,6 +536,11 @@ impl<T: Wire + Sync, R: Wire + Clone + Sync> Mapper for BroadcastEvalMapper<T, R
             },
         );
         ctx.counters().add(EVALUATIONS_COUNTER, evals);
+        if filter.is_some() {
+            for (name, value) in prune.counters() {
+                ctx.counters().add(name, value);
+            }
+        }
         self.telemetry.record_value(hist::EVALUATIONS_PER_TASK, evals);
         let mut rows: Vec<(u64, Vec<(u64, R)>)> = results.into_iter().collect();
         rows.sort_by_key(|(id, _)| *id);
@@ -539,6 +597,7 @@ fn record_analytic_meta(telemetry: &Telemetry, scheme: &dyn DistributionScheme, 
     );
 }
 
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_mr_impl<T, R>(
     cluster: &Cluster,
     scheme: Arc<dyn DistributionScheme>,
@@ -546,6 +605,7 @@ pub(crate) fn run_mr_impl<T, R>(
     kernel: Arc<dyn BatchComp<T, R>>,
     symmetry: Symmetry,
     aggregator: Arc<dyn Aggregator<R>>,
+    filter: Option<Arc<dyn PairFilter>>,
     options: MrPairwiseOptions,
 ) -> pmr_mapreduce::Result<(PairwiseOutput<R>, MrRunReport)>
 where
@@ -610,6 +670,7 @@ where
                     kernel,
                     symmetry,
                     aggregator: Arc::clone(&aggregator),
+                    filter,
                     telemetry: telemetry.clone(),
                 },
                 reducers_job1,
@@ -632,6 +693,7 @@ where
                     scheme: Arc::clone(&scheme),
                     kernel,
                     symmetry,
+                    filter,
                     telemetry: telemetry.clone(),
                 },
                 reducers_job1,
@@ -747,6 +809,7 @@ where
 /// is applied once over the merged lists. Returns the per-round reports so
 /// experiments can show that peak intermediate storage is bounded by the
 /// largest *round* rather than the whole dataset's replication.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_mr_rounds_impl<T, R>(
     cluster: &Cluster,
     rounds: Vec<Arc<dyn DistributionScheme>>,
@@ -754,6 +817,7 @@ pub(crate) fn run_mr_rounds_impl<T, R>(
     kernel: Arc<dyn BatchComp<T, R>>,
     symmetry: Symmetry,
     aggregator: Arc<dyn Aggregator<R>>,
+    filter: Option<Arc<dyn PairFilter>>,
     options: MrPairwiseOptions,
 ) -> pmr_mapreduce::Result<(PairwiseOutput<R>, Vec<MrRunReport>)>
 where
@@ -775,6 +839,7 @@ where
             Arc::clone(&kernel),
             symmetry,
             Arc::new(crate::runner::ConcatSort),
+            filter.clone(),
             opts,
         )?;
         for (id, mut partial) in out.per_element {
@@ -794,6 +859,7 @@ where
     Ok((PairwiseOutput { per_element }, reports))
 }
 
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_mr_broadcast_impl<T, R>(
     cluster: &Cluster,
     scheme: &BroadcastScheme,
@@ -801,6 +867,7 @@ pub(crate) fn run_mr_broadcast_impl<T, R>(
     kernel: Arc<dyn BatchComp<T, R>>,
     symmetry: Symmetry,
     aggregator: Arc<dyn Aggregator<R>>,
+    filter: Option<Arc<dyn PairFilter>>,
     options: MrPairwiseOptions,
 ) -> pmr_mapreduce::Result<(PairwiseOutput<R>, MrRunReport)>
 where
@@ -853,9 +920,13 @@ where
                 scheme: scheme.clone(),
                 kernel,
                 symmetry,
+                filter: filter.clone(),
                 telemetry: telemetry.clone(),
             },
-            AggregateReducer::<T, R> { aggregator, _pd: std::marker::PhantomData },
+            AggregateReducer::<T, R> {
+                aggregator: Arc::clone(&aggregator),
+                _pd: std::marker::PhantomData,
+            },
             auto(n, scheme.v(), options.reducers_job2),
         )
         .partitioner(Arc::new(ModuloPartitioner))
@@ -867,6 +938,24 @@ where
     let io = telemetry.job_phase(&format!("{dir}-io"), "collect-output");
     let mut per_element: Vec<OutputRow<R>> = read_output(cluster, &format!("{dir}/out"))?;
     per_element.sort_by_key(|(id, _)| *id);
+    // The broadcast mapper only emits elements that produced results, so a
+    // filter that prunes *every* pair of an element would drop its row.
+    // Backfill the empty rows the other backends produce (aggregator run
+    // over zero partials), keeping pruned output identical across
+    // backends. Unfiltered runs never hit this: every element has v−1
+    // pairs, so every id was emitted.
+    if filter.is_some() && per_element.len() < store.len() {
+        let mut filled: Vec<OutputRow<R>> = Vec::with_capacity(store.len());
+        let mut have = per_element.into_iter().peekable();
+        for id in 0..store.len() as u64 {
+            match have.peek() {
+                Some((next, _)) if *next == id => filled.push(have.next().unwrap()),
+                _ => filled
+                    .push((id, crate::runner::aggregate_all(aggregator.as_ref(), id, Vec::new()))),
+            }
+        }
+        per_element = filled;
+    }
     drop(io);
 
     let report = MrRunReport {

@@ -5,6 +5,7 @@
 //! (the stream here is the full triangle rather than one task's share),
 //! so the ground truth exercises the identical kernel code path.
 
+use crate::runner::filter::{PairFilter, PruneStats};
 use crate::runner::kernel::{evaluate_tiled_fused, BatchComp, ScalarComp};
 use crate::runner::{finalize_dense, Accumulator, Aggregator, CompFn, PairwiseOutput, Symmetry};
 
@@ -27,19 +28,48 @@ pub fn run_sequential_kernel<T, R: Clone>(
     symmetry: Symmetry,
     aggregator: &dyn Aggregator<R>,
 ) -> PairwiseOutput<R> {
+    run_sequential_impl(payloads, kernel, symmetry, aggregator, None).0
+}
+
+/// The shared core: streams the full strict upper triangle, optionally
+/// through a [`PairFilter`] (pruned pairs never reach a tile). Returns the
+/// output, the evaluations performed, and — only when a filter was
+/// active — the enumerated/pruned tallies.
+pub(crate) fn run_sequential_impl<T, R: Clone>(
+    payloads: &[T],
+    kernel: &dyn BatchComp<T, R>,
+    symmetry: Symmetry,
+    aggregator: &dyn Aggregator<R>,
+    filter: Option<&dyn PairFilter>,
+) -> (PairwiseOutput<R>, u64, Option<PruneStats>) {
     let v = payloads.len() as u64;
     // Stream straight into per-element accumulators: with the default fold
     // this is the old bucket layout, and a decomposable aggregator gets to
     // filter/compact while the pair results are still tile-hot.
     let mut accs: Vec<Accumulator<R>> = (0..v).map(|id| aggregator.init(id)).collect();
-    evaluate_tiled_fused(
+    let mut prune = PruneStats::default();
+    let evals = evaluate_tiled_fused(
         kernel,
         symmetry,
         |id| &payloads[id as usize],
-        |f| {
-            for a in 1..v {
-                for b in 0..a {
-                    f(a, b);
+        |f| match filter {
+            None => {
+                for a in 1..v {
+                    for b in 0..a {
+                        f(a, b);
+                    }
+                }
+            }
+            Some(pf) => {
+                for a in 1..v {
+                    for b in 0..a {
+                        prune.candidates += 1;
+                        if pf.is_candidate(a, b) {
+                            f(a, b);
+                        } else {
+                            prune.pruned += 1;
+                        }
+                    }
                 }
             }
         },
@@ -47,7 +77,7 @@ pub fn run_sequential_kernel<T, R: Clone>(
         &mut accs,
         |_, _| {},
     );
-    finalize_dense(accs, aggregator)
+    (finalize_dense(accs, aggregator), evals, filter.map(|_| prune))
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@
 //! offline `trace` CLI needs to load them back. This module parses any
 //! RFC 8259 document into a [`JsonValue`] tree (objects preserve key
 //! order) and [`RunReport::from_json`] rebuilds a full
-//! [`crate::RunReport`] from the `pmr.run_report/7` schema.
+//! [`crate::RunReport`] from the `pmr.run_report/8` schema.
 
 use crate::histogram::{HistogramBucket, HistogramSnapshot};
 use crate::report::{NodeTimeline, RunReport};
@@ -404,6 +404,15 @@ impl RunReport {
                 });
             }
             r.transport = Some(section);
+        }
+        if let Some(p) = root.get("pruning") {
+            r.pruning = Some(crate::PruningReport {
+                pruner: p.str_or_empty("pruner").to_string(),
+                exact: p.get("exact").and_then(JsonValue::as_bool).unwrap_or(false),
+                candidates: p.u64_or_zero("candidates"),
+                pruned: p.u64_or_zero("pruned"),
+                evaluated: p.u64_or_zero("evaluated"),
+            });
         }
         for p in root.get("job_phases").and_then(JsonValue::as_array).unwrap_or(&[]) {
             let bytes = p.get("bytes");

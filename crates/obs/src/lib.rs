@@ -46,7 +46,7 @@ pub use histogram::{Histogram, HistogramBucket, HistogramSnapshot};
 pub use json::JsonWriter;
 pub use jsonparse::JsonValue;
 pub use live::{LiveMonitor, LiveSink, LiveTransportSample, LiveWorker, TransportProbe};
-pub use report::{NodeTimeline, RunReport, TransportReport, WorkerProc};
+pub use report::{NodeTimeline, PruningReport, RunReport, TransportReport, WorkerProc};
 pub use telemetry::{
     JobPhase, LinkStats, PhaseGuard, PlacementStats, Progress, RunEvent, Span, SpanKind, TaskSpan,
     Telemetry,

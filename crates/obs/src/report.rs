@@ -63,6 +63,25 @@ pub struct TransportReport {
     pub wire_frames: u64,
 }
 
+/// Candidate-pruning section of a run report (schema 8): which pruner
+/// screened the pair relation and how many enumerated pairs it admitted.
+///
+/// Absent (`None` on [`RunReport::pruning`]) for unfiltered runs, whose
+/// reports stay byte-identical to pre-pruning schemas modulo the tag.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PruningReport {
+    /// Pruner name (`"prefix"`, `"lsh"`, ...).
+    pub pruner: String,
+    /// Whether the pruner is exact (recall 1.0 by construction).
+    pub exact: bool,
+    /// Pairs enumerated by the distribution scheme(s).
+    pub candidates: u64,
+    /// Pairs rejected before evaluation.
+    pub pruned: u64,
+    /// Pairs that reached the kernel (`candidates - pruned`).
+    pub evaluated: u64,
+}
+
 impl TransportReport {
     /// Bytes of a named wire class, if recorded.
     pub fn wire_class(&self, class: &str) -> Option<u64> {
@@ -107,6 +126,8 @@ pub struct RunReport {
     /// Physical-transport section (worker table + wire byte classes);
     /// `None` for in-process runs.
     pub transport: Option<TransportReport>,
+    /// Candidate-pruning section; `None` for unfiltered runs.
+    pub pruning: Option<PruningReport>,
 }
 
 impl RunReport {
@@ -143,6 +164,7 @@ impl RunReport {
             trace,
             trace_dropped,
             transport: None,
+            pruning: None,
         }
     }
 
@@ -194,7 +216,7 @@ impl RunReport {
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_object();
-        w.str_field("schema", "pmr.run_report/7");
+        w.str_field("schema", "pmr.run_report/8");
         w.u64_field("wall_time_us", self.wall_time_us);
 
         w.begin_object_key("meta");
@@ -230,6 +252,16 @@ impl RunReport {
                 w.end_object();
             }
             w.end_array();
+            w.end_object();
+        }
+
+        if let Some(p) = &self.pruning {
+            w.begin_object_key("pruning");
+            w.str_field("pruner", &p.pruner);
+            w.bool_field("exact", p.exact);
+            w.u64_field("candidates", p.candidates);
+            w.u64_field("pruned", p.pruned);
+            w.u64_field("evaluated", p.evaluated);
             w.end_object();
         }
 
@@ -543,7 +575,7 @@ mod tests {
         });
         let json = r.to_json();
         for needle in [
-            "\"schema\": \"pmr.run_report/7\"",
+            "\"schema\": \"pmr.run_report/8\"",
             "\"events\"",
             "\"kind\": \"node.crash\"",
             "\"meta\"",
@@ -574,7 +606,7 @@ mod tests {
         let r = RunReport::default();
         r.write_json_file(path.to_str().unwrap()).expect("parents should be created");
         let text = std::fs::read_to_string(&path).unwrap();
-        assert!(text.contains("pmr.run_report/7"));
+        assert!(text.contains("pmr.run_report/8"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -629,5 +661,33 @@ mod tests {
         assert_eq!(t.wire_class("shuffle"), Some(512));
         assert_eq!(t.wire_class("cache"), None);
         assert_eq!(t.wire_total_bytes(), 576);
+    }
+
+    #[test]
+    fn pruning_section_is_optional_and_serializes() {
+        let plain = RunReport::default().to_json();
+        assert!(!plain.contains("\"pruning\""), "unfiltered reports omit the section");
+
+        let r = RunReport {
+            pruning: Some(PruningReport {
+                pruner: "prefix".into(),
+                exact: true,
+                candidates: 1000,
+                pruned: 900,
+                evaluated: 100,
+            }),
+            ..RunReport::default()
+        };
+        let json = r.to_json();
+        for needle in [
+            "\"pruning\"",
+            "\"pruner\": \"prefix\"",
+            "\"exact\": true",
+            "\"candidates\": 1000",
+            "\"pruned\": 900",
+            "\"evaluated\": 100",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! Golden-file test for the RunReport JSON serialization: a fully
 //! populated, hand-assembled report must serialize byte-for-byte to the
 //! checked-in `tests/golden/run_report.json`. Consumers parse this format
-//! (schema tag `pmr.run_report/7`), so any change to the writer or the
+//! (schema tag `pmr.run_report/8`), so any change to the writer or the
 //! report layout must show up as a reviewed diff of the golden file.
 //!
 //! To regenerate after an intentional format change:
@@ -9,7 +9,7 @@
 
 use pmr_obs::telemetry::{JobPhase, LinkStats, PlacementStats, RunEvent, TaskSpan};
 use pmr_obs::trace::{self, TraceEvent};
-use pmr_obs::{Histogram, RunReport};
+use pmr_obs::{Histogram, PruningReport, RunReport};
 
 /// Deterministic report exercising every section and value shape the
 /// writer handles (empty + populated objects, nested arrays, floats).
@@ -196,6 +196,13 @@ fn sample_report() -> RunReport {
         ("pairwise.evaluations", 496),
         ("pairwise.fused.charged.shuffle.bytes", 512),
     ]);
+    report.pruning = Some(PruningReport {
+        pruner: "prefix".into(),
+        exact: true,
+        candidates: 496,
+        pruned: 448,
+        evaluated: 48,
+    });
     report
 }
 

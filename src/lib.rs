@@ -54,8 +54,9 @@ pub mod prelude {
     };
     pub use pmr_core::runner::{
         aggregate_all, comp_fn, Accumulator, Aggregator, Backend, CompFn, ConcatSort,
-        DecomposableAggregator, ElementStore, FilterAggregator, FnAggregator, PairwiseJob,
-        PairwiseOutput, PairwiseRun, Symmetry, TopKAggregator,
+        DecomposableAggregator, ElementStore, FilterAggregator, FnAggregator, PairFilter,
+        PairwiseJob, PairwiseOutput, PairwiseRun, PruneStats, Symmetry, TopKAggregator,
+        CANDIDATE_PAIRS_COUNTER, EVALUATED_PAIRS_COUNTER, PRUNED_PAIRS_COUNTER,
     };
     pub use pmr_core::scheme::{
         BlockScheme, BroadcastScheme, DesignScheme, DistributionScheme, PairedBlockScheme,
